@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! Full-stack applications for the paper's use case (§4.2).
+//!
+//! "Independent applications were developed for the Seller and Carrier
+//! [on STL] ... Independent applications were developed for Seller and
+//! Buyer [on SWT]." This crate provides those applications as typed
+//! wrappers over the chaincode APIs:
+//!
+//! * [`stl_app`] — the STL Seller and Carrier applications.
+//! * [`swt_app`] — the SWT Buyer application and the SWT Seller Client
+//!   (SWT-SC), the component that performs the cross-network query.
+//! * [`scenario`] — a driver for the complete Fig. 3 interoperation
+//!   scenario (Steps 1-10), plus the Table 1 acronym listing.
+
+pub mod scenario;
+pub mod stl_app;
+pub mod swt_app;

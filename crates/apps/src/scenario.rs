@@ -1,0 +1,233 @@
+//! The complete Fig. 3 interoperation scenario, step by step.
+//!
+//! "On STL, a seller and a carrier arrange shipment of exported goods
+//! against a purchase order negotiated offline between the seller and a
+//! buyer (Step 1). Steps 5-8 culminate in the carrier taking possession of
+//! the shipment and producing a bill of lading (B/L) as proof. On SWT, the
+//! buyer's bank issues an L/C ... (Steps 2-4) ... the seller's bank may
+//! request payment ... as illustrated in Step 10, but it must have proof
+//! of existence of a valid B/L, and such proof is fetched from STL using a
+//! cross-network query (Step 9)."
+
+use crate::stl_app::{CarrierApp, SellerApp};
+use crate::swt_app::{BuyerApp, SellerClientApp};
+use interop::setup::Testbed;
+use interop::InteropError;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tdt_contracts::swt::LcStatus;
+
+/// Table 1 of the paper: common use case acronyms.
+pub const ACRONYMS: &[(&str, &str)] = &[
+    ("L/C", "Letter of Credit: Trade Financing Instrument"),
+    (
+        "B/L",
+        "Bill of Lading: Carrier Acknowledgement of Shipment Receipt",
+    ),
+    ("(S)TL", "(Simplified) TradeLens: Trade Logistics Network"),
+    ("(S)WT", "(Simplified) We.Trade: Trade Finance Network"),
+    ("SWT-SC", "Simplified We.Trade-Seller Client"),
+    ("ECC", "Exposure Control Chaincode"),
+    (
+        "CMDAC",
+        "Configuration Management & Data Acceptance Chaincode",
+    ),
+];
+
+/// Renders Table 1 as text.
+pub fn acronym_table() -> String {
+    let mut out = String::from("Acronym | Expansion & Description\n--------|------------------------\n");
+    for (acronym, expansion) in ACRONYMS {
+        out.push_str(&format!("{acronym:7} | {expansion}\n"));
+    }
+    out
+}
+
+/// One executed scenario step.
+#[derive(Debug, Clone)]
+pub struct ScenarioStep {
+    /// Step number as labelled in Fig. 3.
+    pub number: &'static str,
+    /// What happened.
+    pub description: String,
+    /// Which network the step ran on.
+    pub network: &'static str,
+    /// Wall-clock duration.
+    pub duration: Duration,
+}
+
+/// The record of a full scenario run.
+#[derive(Debug)]
+pub struct ScenarioReport {
+    /// The purchase-order reference linking both networks.
+    pub po_ref: String,
+    /// Executed steps, in order.
+    pub steps: Vec<ScenarioStep>,
+    /// Final L/C status on SWT.
+    pub final_lc_status: LcStatus,
+}
+
+impl ScenarioReport {
+    /// Renders the step table.
+    pub fn table(&self) -> String {
+        let mut out =
+            String::from("step | network | description | latency\n-----|---------|-------------|--------\n");
+        for s in &self.steps {
+            out.push_str(&format!(
+                "{:4} | {:7} | {:<60} | {:>9.1?}\n",
+                s.number, s.network, s.description, s.duration
+            ));
+        }
+        out
+    }
+}
+
+/// Drives the entire Fig. 3 scenario over a prepared [`Testbed`].
+///
+/// # Errors
+///
+/// Returns an [`InteropError`] when any step fails.
+pub fn run_trade_scenario(testbed: &Testbed, po_ref: &str) -> Result<ScenarioReport, InteropError> {
+    let seller = SellerApp::new(testbed.stl_seller_gateway());
+    let carrier = CarrierApp::new(testbed.stl_carrier_gateway());
+    let buyer = BuyerApp::new(testbed.swt_buyer_gateway());
+    let swt_sc = SellerClientApp::new(
+        testbed.swt_seller_gateway(),
+        Arc::clone(&testbed.swt_relay),
+    );
+    let mut steps: Vec<ScenarioStep> = Vec::new();
+    let mut run = |number: &'static str,
+                   network: &'static str,
+                   description: String,
+                   f: &mut dyn FnMut() -> Result<(), InteropError>|
+     -> Result<(), InteropError> {
+        let t0 = Instant::now();
+        f()?;
+        steps.push(ScenarioStep {
+            number,
+            description,
+            network,
+            duration: t0.elapsed(),
+        });
+        Ok(())
+    };
+
+    // Step 1: P.O. negotiated offline; the seller registers the shipment.
+    run(
+        "1",
+        "STL",
+        format!("seller creates shipment against purchase order {po_ref}"),
+        &mut || Ok(seller.create_shipment(po_ref, "600 tulip bulbs")?),
+    )?;
+    // Steps 2-4: buyer applies, buyer's bank issues the L/C.
+    run(
+        "2",
+        "SWT",
+        "buyer applies for a letter of credit".into(),
+        &mut || Ok(buyer.request_lc(po_ref, &format!("LC-{po_ref}"), "buyer-gmbh", "tulip-exports", 100_000)?),
+    )?;
+    run(
+        "3-4",
+        "SWT",
+        "buyer's bank issues the L/C in favour of the seller's bank".into(),
+        &mut || Ok(buyer.issue_lc(po_ref)?),
+    )?;
+    // Steps 5-8: booking, possession transfer, bill of lading.
+    run(
+        "5-6",
+        "STL",
+        "carrier confirms the booking".into(),
+        &mut || Ok(carrier.confirm_booking(po_ref)?),
+    )?;
+    run(
+        "7",
+        "STL",
+        "seller transfers possession of the goods".into(),
+        &mut || Ok(seller.transfer_possession(po_ref)?),
+    )?;
+    run(
+        "8",
+        "STL",
+        "carrier takes possession and issues the bill of lading".into(),
+        &mut || Ok(carrier.issue_bill_of_lading(po_ref, &format!("BL-{po_ref}"))?),
+    )?;
+    // Step 9: cross-network query with proof, then the upload transaction.
+    run(
+        "9",
+        "cross",
+        "SWT-SC fetches the B/L from STL with proof and uploads dispatch docs".into(),
+        &mut || swt_sc.fetch_and_upload(po_ref).map(|_| ()),
+    )?;
+    // Step 10: payment request and settlement.
+    run(
+        "10a",
+        "SWT",
+        "seller's bank requests payment under the L/C".into(),
+        &mut || Ok(swt_sc.request_payment(po_ref)?),
+    )?;
+    run(
+        "10b",
+        "SWT",
+        "buyer's bank records the payment".into(),
+        &mut || Ok(buyer.record_payment(po_ref)?),
+    )?;
+
+    let final_lc_status = buyer.letter_of_credit(po_ref)?.status;
+    Ok(ScenarioReport {
+        po_ref: po_ref.to_string(),
+        steps,
+        final_lc_status,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interop::setup::stl_swt_testbed;
+
+    #[test]
+    fn full_scenario_ends_paid() {
+        let t = stl_swt_testbed();
+        let report = run_trade_scenario(&t, "PO-2026-07").unwrap();
+        assert_eq!(report.final_lc_status, LcStatus::Paid);
+        assert_eq!(report.steps.len(), 9);
+        let table = report.table();
+        assert!(table.contains("cross"));
+        assert!(table.contains("bill of lading"));
+    }
+
+    #[test]
+    fn scenario_fails_cleanly_when_interop_unconfigured() {
+        // Without the exposure rule, Step 9 must fail with AccessDenied —
+        // and the earlier steps must already be committed.
+        let t = stl_swt_testbed();
+        interop::config::remove_exposure_rule(
+            &t.stl_seller_gateway(),
+            "swt",
+            "seller-bank-org",
+            "TradeLensCC",
+            "GetBillOfLading",
+        )
+        .unwrap();
+        let err = run_trade_scenario(&t, "PO-X").unwrap_err();
+        assert!(matches!(err, InteropError::AccessDenied(_)));
+    }
+
+    #[test]
+    fn acronym_table_complete() {
+        let table = acronym_table();
+        for (acronym, _) in ACRONYMS {
+            assert!(table.contains(acronym));
+        }
+        assert_eq!(ACRONYMS.len(), 7);
+    }
+
+    #[test]
+    fn scenario_repeatable_with_distinct_pos() {
+        let t = stl_swt_testbed();
+        let r1 = run_trade_scenario(&t, "PO-A").unwrap();
+        let r2 = run_trade_scenario(&t, "PO-B").unwrap();
+        assert_eq!(r1.final_lc_status, LcStatus::Paid);
+        assert_eq!(r2.final_lc_status, LcStatus::Paid);
+    }
+}

@@ -1,0 +1,94 @@
+//! E12 — ablation: orderer batch size vs destination-transaction
+//! throughput. The paper's Fabric deployment inherits block batching; this
+//! bench characterizes our solo orderer's behaviour so protocol latencies
+//! can be attributed correctly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+use tdt_fabric::chaincode::{Chaincode, TxContext};
+use tdt_fabric::endorse::TransactionEnvelope;
+use tdt_fabric::error::ChaincodeError;
+use tdt_fabric::network::NetworkBuilder;
+use tdt_fabric::policy::EndorsementPolicy;
+
+struct KvStore;
+
+impl Chaincode for KvStore {
+    fn invoke(
+        &self,
+        ctx: &mut TxContext<'_>,
+        function: &str,
+        args: &[Vec<u8>],
+    ) -> Result<Vec<u8>, ChaincodeError> {
+        match function {
+            "put" => {
+                let key = String::from_utf8_lossy(&args[0]).into_owned();
+                ctx.put_state(&key, args[1].clone());
+                Ok(Vec::new())
+            }
+            f => Err(ChaincodeError::UnknownFunction(f.into())),
+        }
+    }
+}
+
+fn bench_batching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batching");
+    group.sample_size(10);
+    const TXS: u64 = 20;
+    group.throughput(Throughput::Elements(TXS));
+    for batch in [1usize, 5, 20] {
+        group.bench_with_input(
+            BenchmarkId::new("commit_20_txs/batch", batch),
+            &batch,
+            |b, &batch| {
+                b.iter_batched(
+                    || {
+                        let net = NetworkBuilder::new("batchnet")
+                            .org("org-a", 1)
+                            .chaincode(
+                                "kv",
+                                Arc::new(KvStore),
+                                EndorsementPolicy::any_of(["org-a"]),
+                            )
+                            .batch_size(batch)
+                            .build();
+                        let client = net.register_client("org-a", "c", false).unwrap();
+                        (net, client)
+                    },
+                    |(net, client)| {
+                        for i in 0..TXS {
+                            let proposal = tdt_fabric::chaincode::Proposal::new(
+                                net.next_txid(),
+                                net.channel(),
+                                "kv",
+                                "put",
+                                vec![format!("k{i}").into_bytes(), b"v".to_vec()],
+                                client.certificate().clone(),
+                            )
+                            .sign(client.signing_key());
+                            let (sim, endorsements) =
+                                net.endorse(&proposal, &["org-a".to_string()]).unwrap();
+                            let envelope = TransactionEnvelope {
+                                txid: proposal.txid.clone(),
+                                channel: net.channel().to_string(),
+                                chaincode: "kv".into(),
+                                result: sim.result,
+                                rwset: sim.rwset,
+                                endorsements,
+                                creator_cert: client.certificate().clone(),
+                            };
+                            net.order(&envelope).unwrap();
+                        }
+                        black_box(net.cut_block().unwrap());
+                    },
+                    criterion::BatchSize::PerIteration,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batching);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E12 — characterization: the cryptographic substrate across parameter
+//! sizes (the knob a deployment turns when trading performance for
+//! security margin).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tdt_crypto::elgamal::DecryptionKey;
+use tdt_crypto::group::Group;
+use tdt_crypto::schnorr::SigningKey;
+use tdt_crypto::sha256::sha256;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto_primitives");
+    group.sample_size(20);
+
+    // Hashing throughput.
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xa5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, data| {
+            b.iter(|| black_box(sha256(data)))
+        });
+    }
+    group.throughput(Throughput::Elements(1));
+
+    // Signatures and hybrid encryption per group size.
+    for g in [Group::modp_768(), Group::modp_1024(), Group::modp_2048()] {
+        let name = g.name();
+        let sk = SigningKey::from_seed(g.clone(), b"bench-sign");
+        let vk = sk.verifying_key();
+        let sig = sk.sign(b"metadata bytes");
+        group.bench_function(BenchmarkId::new("schnorr_sign", name), |b| {
+            b.iter(|| black_box(sk.sign(b"metadata bytes")))
+        });
+        group.bench_function(BenchmarkId::new("schnorr_verify", name), |b| {
+            b.iter(|| {
+                vk.verify(b"metadata bytes", &sig).unwrap();
+                black_box(())
+            })
+        });
+        let dk = DecryptionKey::from_seed(g.clone(), b"bench-enc");
+        let ek = dk.encryption_key();
+        let ct = ek.encrypt_deterministic(b"a confidential bill of lading", b"seed");
+        group.bench_function(BenchmarkId::new("elgamal_encrypt", name), |b| {
+            b.iter(|| black_box(ek.encrypt_deterministic(b"a confidential bill of lading", b"seed")))
+        });
+        group.bench_function(BenchmarkId::new("elgamal_decrypt", name), |b| {
+            b.iter(|| black_box(dk.decrypt(&ct).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! E12 — characterization: proof size and latency as the verification
+//! policy grows, and the cost of the paper's two confidentiality design
+//! choices (encrypting the result; encrypting the metadata).
+//!
+//! Prints the proof-size table (the regenerated "figure"), then benchmarks
+//! generation/processing/validation at several policy sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use interop::block_proof::{generate_block_proof, verify_block_proof};
+use std::hint::black_box;
+use tdt_bench::SyntheticSource;
+use tdt_wire::codec::Message;
+use tdt_wire::messages::PolicyNode;
+
+const POLICY_SIZES: &[usize] = &[1, 2, 4, 8];
+const RESULT: &[u8] = b"a bill of lading sized payload: 600 tulip bulbs, carrier X, PO-1001";
+
+fn print_size_table() {
+    println!("\n=== proof size vs verification-policy size (attestations = orgs) ===");
+    println!("{:>5} | {:>18} | {:>20} | {:>14}", "orgs", "proof bytes", "encrypted-md bytes", "result bytes");
+    for &n in POLICY_SIZES {
+        let source = SyntheticSource::new(n);
+        let plain = source.generate_proof(RESULT, &[1; 16], false);
+        let encrypted = source.generate_proof(RESULT, &[1; 16], true);
+        println!(
+            "{:>5} | {:>18} | {:>20} | {:>14}",
+            n,
+            plain.encode_to_vec().len(),
+            encrypted.encode_to_vec().len(),
+            RESULT.len()
+        );
+    }
+    println!();
+}
+
+/// Ablation (DESIGN.md choice #1): attestation proofs vs the pluggable
+/// block-inclusion scheme, at the paper's 2-org policy.
+fn bench_block_proof_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proof_scheme_ablation");
+    group.sample_size(20);
+    let t = tdt_bench::prepared_testbed("PO-1001");
+    let (_, peer) = t.stl.peers().next().unwrap();
+    let (block_number, txid) = {
+        let peer = peer.read();
+        let number = peer.height() - 1;
+        let block = peer.store().block(number).unwrap();
+        let txid = tdt_fabric::endorse::TransactionEnvelope::decode_from_slice(
+            &block.transactions[0],
+        )
+        .unwrap()
+        .txid;
+        (number, txid)
+    };
+    let orgs = vec!["seller-org".to_string(), "carrier-org".to_string()];
+    let policy = PolicyNode::And(vec![
+        PolicyNode::Org("seller-org".into()),
+        PolicyNode::Org("carrier-org".into()),
+    ]);
+    let config = t.stl.network_config();
+    let proof = generate_block_proof(&t.stl, block_number, &txid, &orgs).unwrap();
+    println!(
+        "\nblock-inclusion proof size: {} bytes (tx envelope {} bytes)",
+        proof.encode_to_vec().len(),
+        proof.tx_bytes.len()
+    );
+    group.bench_function("block_proof/generate", |b| {
+        b.iter(|| black_box(generate_block_proof(&t.stl, block_number, &txid, &orgs).unwrap()))
+    });
+    group.bench_function("block_proof/verify", |b| {
+        b.iter(|| verify_block_proof(black_box(&proof), &config, &policy).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    print_size_table();
+    let mut group = c.benchmark_group("proof_scaling");
+    group.sample_size(20);
+    for &n in POLICY_SIZES {
+        let source = SyntheticSource::new(n);
+        // Proof generation: N signatures (plus N metadata encryptions in
+        // the confidential variant).
+        group.bench_with_input(
+            BenchmarkId::new("generate/plaintext_metadata", n),
+            &n,
+            |b, _| b.iter(|| black_box(source.generate_proof(RESULT, &[1; 16], false))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("generate/encrypted_metadata", n),
+            &n,
+            |b, _| b.iter(|| black_box(source.generate_proof(RESULT, &[1; 16], true))),
+        );
+        // Proof validation: N cert chains + N signature verifications.
+        let proof = source.generate_proof(RESULT, &[1; 16], false);
+        group.bench_with_input(BenchmarkId::new("validate", n), &n, |b, _| {
+            b.iter(|| black_box(source.validate_proof(&proof)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_block_proof_ablation);
+criterion_main!(benches);

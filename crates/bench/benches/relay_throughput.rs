@@ -1,0 +1,92 @@
+//! E8 — availability characterization: relay service throughput, the cost
+//! of rate limiting, and the behaviour of redundant relay groups under
+//! partial outage (paper §5: "the effects of DoS attacks can be mitigated
+//! by adding redundant relays").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use interop::InteropClient;
+use std::hint::black_box;
+use std::sync::Arc;
+use tdt_bench::{bl_address, bl_policy, prepared_testbed, swt_client};
+use tdt_relay::discovery::DiscoveryService;
+use tdt_relay::ratelimit::RateLimiter;
+use tdt_relay::redundancy::RelayGroup;
+use tdt_relay::service::RelayService;
+use tdt_relay::transport::RelayTransport;
+
+fn bench_relay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relay_throughput");
+    group.sample_size(20);
+
+    // Baseline: one relay, no limiter.
+    {
+        let t = prepared_testbed("PO-1001");
+        let client = swt_client(&t);
+        group.bench_function("single_relay", |b| {
+            b.iter(|| {
+                black_box(
+                    client
+                        .query_remote(bl_address("PO-1001"), bl_policy())
+                        .unwrap(),
+                )
+            })
+        });
+    }
+
+    // With a generous rate limiter in the path (overhead of the check).
+    {
+        let t = prepared_testbed("PO-1001");
+        let limited = Arc::new(
+            RelayService::new(
+                "swt-relay-limited",
+                "swt",
+                Arc::clone(&t.registry) as Arc<dyn DiscoveryService>,
+                Arc::clone(&t.bus) as Arc<dyn RelayTransport>,
+            )
+            .with_rate_limiter(RateLimiter::new(1_000_000, 1_000_000.0)),
+        );
+        let client = InteropClient::new(t.swt_seller_gateway(), limited);
+        group.bench_function("single_relay_with_rate_limiter", |b| {
+            b.iter(|| {
+                black_box(
+                    client
+                        .query_remote(bl_address("PO-1001"), bl_policy())
+                        .unwrap(),
+                )
+            })
+        });
+    }
+
+    // Redundant group of three with two members down: failover cost.
+    {
+        let t = prepared_testbed("PO-1001");
+        let mut relays = vec![Arc::clone(&t.swt_relay)];
+        for i in 1..3 {
+            relays.push(Arc::new(RelayService::new(
+                format!("swt-relay-{i}"),
+                "swt",
+                Arc::clone(&t.registry) as Arc<dyn DiscoveryService>,
+                Arc::clone(&t.bus) as Arc<dyn RelayTransport>,
+            )));
+        }
+        relays[0].set_down(true);
+        relays[1].set_down(true);
+        let client = InteropClient::with_relay_group(
+            t.swt_seller_gateway(),
+            Arc::new(RelayGroup::new(relays)),
+        );
+        group.bench_function("relay_group_3_with_2_down", |b| {
+            b.iter(|| {
+                black_box(
+                    client
+                        .query_remote(bl_address("PO-1001"), bl_policy())
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_relay);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! E12 — characterization: wire-protocol serialization costs ("Protocol
+//! Buffers ... enables efficient wire communication", paper §3.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tdt_bench::SyntheticSource;
+use tdt_wire::codec::Message;
+use tdt_wire::messages::{
+    AuthInfo, NetworkAddress, Query, QueryResponse, RelayEnvelope, ResponseStatus,
+    VerificationPolicy,
+};
+
+fn sample_query() -> Query {
+    Query {
+        request_id: "req-123456".into(),
+        address: NetworkAddress::new("stl", "trade-channel", "TradeLensCC", "GetBillOfLading")
+            .with_arg(b"PO-1001".to_vec()),
+        policy: VerificationPolicy::all_of_orgs(["seller-org", "carrier-org"])
+            .with_confidentiality(),
+        auth: AuthInfo {
+            network_id: "swt".into(),
+            organization_id: "seller-bank-org".into(),
+            certificate: vec![0xab; 300],
+            signature: vec![0xcd; 96],
+        },
+        nonce: vec![7; 16],
+        invocation: false,
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_codec");
+
+    let query = sample_query();
+    let query_bytes = query.encode_to_vec();
+    println!("\nencoded query size: {} bytes", query_bytes.len());
+    group.bench_function("query/encode", |b| {
+        b.iter(|| black_box(query.encode_to_vec()))
+    });
+    group.bench_function("query/decode", |b| {
+        b.iter(|| black_box(Query::decode_from_slice(&query_bytes).unwrap()))
+    });
+
+    // Responses of increasing proof size.
+    for n in [1usize, 2, 4, 8] {
+        let source = SyntheticSource::new(n);
+        let proof = source.generate_proof(b"result payload", &[1; 16], true);
+        let response = QueryResponse {
+            request_id: "req-123456".into(),
+            status: ResponseStatus::Ok,
+            error: String::new(),
+            result: vec![0xefu8; 256],
+            result_encrypted: true,
+            attestations: proof.attestations,
+        };
+        let bytes = response.encode_to_vec();
+        group.bench_with_input(
+            BenchmarkId::new("response/encode", n),
+            &response,
+            |b, r| b.iter(|| black_box(r.encode_to_vec())),
+        );
+        group.bench_with_input(BenchmarkId::new("response/decode", n), &bytes, |b, bytes| {
+            b.iter(|| black_box(QueryResponse::decode_from_slice(bytes).unwrap()))
+        });
+    }
+
+    // Envelope wrapping (the relay hop overhead).
+    let envelope = RelayEnvelope::query("swt-relay", "stl", &query);
+    let env_bytes = envelope.encode_to_vec();
+    group.bench_function("envelope/roundtrip", |b| {
+        b.iter(|| {
+            let bytes = envelope.encode_to_vec();
+            black_box(RelayEnvelope::decode_from_slice(&bytes).unwrap())
+        })
+    });
+    println!("encoded envelope size: {} bytes", env_bytes.len());
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! System contracts and application chaincodes.
+//!
+//! The paper's architecture (§3.2) rests on *system contracts* deployed on
+//! every peer of each interoperating network:
+//!
+//! * [`ecc`] — the **Exposure Control Chaincode**: consensual access-control
+//!   rules `<network, org, chaincode, function>` checked on every relay
+//!   query, plus response encryption with the requester's public key.
+//! * [`cmdac`] — the combined **Configuration Management & Data Acceptance
+//!   Chaincode**: records foreign network configurations (MSP roots, peer
+//!   certificates) and verification policies, validates attestation proofs
+//!   against them, and tracks nonces to block replays.
+//!
+//! Plus the two application chaincodes of the use case (§4.2):
+//!
+//! * [`stl`] — Simplified TradeLens: shipments and bills of lading, with
+//!   the `GetBillOfLading` function exposed cross-network.
+//! * [`swt`] — Simplified We.Trade: letters of credit and payments, with
+//!   `UploadDispatchDocs` accepting a remotely fetched B/L plus proof.
+//!
+//! Interop-specific lines in the application chaincodes are marked with
+//! `// interop-adaptation` comments so the adaptation-effort experiment
+//! (paper §5, "Ease of Use and Adaptation") can count them.
+
+pub mod cmdac;
+pub mod ecc;
+pub mod stl;
+pub mod swt;
+
+/// Conventional deployment name of the Exposure Control Chaincode.
+pub const ECC_NAME: &str = "ECC";
+/// Conventional deployment name of the combined Configuration Management &
+/// Data Acceptance Chaincode.
+pub const CMDAC_NAME: &str = "CMDAC";

@@ -1,0 +1,894 @@
+//! Simplified TradeLens (STL) chaincode: trade-logistics shipments.
+//!
+//! STL "retains just a Seller and a Carrier negotiating the export of a
+//! shipment" (paper §4). A single chaincode manages shipment state and
+//! documentation; the carrier taking possession produces a bill of lading
+//! (B/L), the document fetched cross-network by SWT.
+//!
+//! The interop adaptation is confined to `GetBillOfLading` and marked with
+//! `// interop-adaptation` comments: an ECC access check before execution
+//! and an ECC encryption call after — the paper measured ~35 SLOC for this.
+//!
+//! # Functions
+//!
+//! | function | args | caller |
+//! |---|---|---|
+//! | `CreateShipment` | `[po_ref, goods]` | seller org |
+//! | `ConfirmBooking` | `[po_ref]` | carrier org |
+//! | `TransferPossession` | `[po_ref]` | seller org |
+//! | `IssueBillOfLading` | `[po_ref, bl_id]` | carrier org |
+//! | `GetShipment` | `[po_ref]` | any local member |
+//! | `GetBillOfLading` | `[po_ref]` | local member or relay query |
+
+use tdt_fabric::chaincode::{Chaincode, TxContext};
+use tdt_fabric::error::ChaincodeError;
+use tdt_wire::codec::{Message, Reader, Writer};
+use tdt_wire::WireError;
+
+/// Shipment lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShipmentStatus {
+    /// Created by the seller against a purchase order.
+    #[default]
+    Created,
+    /// Carrier confirmed the booking.
+    BookingConfirmed,
+    /// Carrier has taken possession of the goods.
+    InPossession,
+    /// Bill of lading issued.
+    BlIssued,
+}
+
+impl ShipmentStatus {
+    fn code(self) -> u64 {
+        match self {
+            ShipmentStatus::Created => 1,
+            ShipmentStatus::BookingConfirmed => 2,
+            ShipmentStatus::InPossession => 3,
+            ShipmentStatus::BlIssued => 4,
+        }
+    }
+
+    fn from_code(code: u64) -> Result<Self, WireError> {
+        match code {
+            1 => Ok(ShipmentStatus::Created),
+            2 => Ok(ShipmentStatus::BookingConfirmed),
+            3 => Ok(ShipmentStatus::InPossession),
+            4 => Ok(ShipmentStatus::BlIssued),
+            v => Err(WireError::UnknownEnumValue {
+                field: "shipment status",
+                value: v,
+            }),
+        }
+    }
+}
+
+/// A shipment tracked on the STL ledger.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Shipment {
+    /// Purchase-order reference negotiated offline (the cross-network key).
+    pub po_ref: String,
+    /// Seller identity (qualified name).
+    pub seller: String,
+    /// Carrier identity (qualified name) — set at booking confirmation.
+    pub carrier: String,
+    /// Description of the goods.
+    pub goods: String,
+    /// Lifecycle state.
+    pub status: ShipmentStatus,
+    /// Bill-of-lading id once issued.
+    pub bl_id: String,
+}
+
+impl Message for Shipment {
+    fn encode(&self, w: &mut Writer) {
+        w.string(1, &self.po_ref);
+        w.string(2, &self.seller);
+        w.string(3, &self.carrier);
+        w.string(4, &self.goods);
+        w.u64(5, self.status.code());
+        w.string(6, &self.bl_id);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let mut out = Shipment::default();
+        while let Some((field, v)) = r.next_field()? {
+            match field {
+                1 => out.po_ref = v.as_string(1, "po_ref")?,
+                2 => out.seller = v.as_string(2, "seller")?,
+                3 => out.carrier = v.as_string(3, "carrier")?,
+                4 => out.goods = v.as_string(4, "goods")?,
+                5 => out.status = ShipmentStatus::from_code(v.as_u64(5)?)?,
+                6 => out.bl_id = v.as_string(6, "bl_id")?,
+                _ => {}
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A bill of lading: the carrier's acknowledgement of shipment receipt.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BillOfLading {
+    /// Unique B/L id.
+    pub bl_id: String,
+    /// Purchase-order reference it covers.
+    pub po_ref: String,
+    /// Issuing carrier (qualified name).
+    pub carrier: String,
+    /// Goods description as received.
+    pub goods: String,
+    /// Ledger height at issuance.
+    pub issued_height: u64,
+}
+
+impl Message for BillOfLading {
+    fn encode(&self, w: &mut Writer) {
+        w.string(1, &self.bl_id);
+        w.string(2, &self.po_ref);
+        w.string(3, &self.carrier);
+        w.string(4, &self.goods);
+        w.u64(5, self.issued_height);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let mut out = BillOfLading::default();
+        while let Some((field, v)) = r.next_field()? {
+            match field {
+                1 => out.bl_id = v.as_string(1, "bl_id")?,
+                2 => out.po_ref = v.as_string(2, "po_ref")?,
+                3 => out.carrier = v.as_string(3, "carrier")?,
+                4 => out.goods = v.as_string(4, "goods")?,
+                5 => out.issued_height = v.as_u64(5)?,
+                _ => {}
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The STL chaincode (`TradeLensCC`).
+#[derive(Debug, Clone)]
+pub struct StlChaincode {
+    seller_org: String,
+    carrier_org: String,
+}
+
+impl StlChaincode {
+    /// Conventional deployment name.
+    pub const NAME: &'static str = "TradeLensCC";
+
+    /// Creates the chaincode bound to the two STL organizations.
+    pub fn new(seller_org: impl Into<String>, carrier_org: impl Into<String>) -> Self {
+        StlChaincode {
+            seller_org: seller_org.into(),
+            carrier_org: carrier_org.into(),
+        }
+    }
+
+    fn shipment_key(po_ref: &str) -> String {
+        format!("shipment:{po_ref}")
+    }
+
+    fn bl_key(po_ref: &str) -> String {
+        format!("bl:{po_ref}")
+    }
+
+    fn load_shipment(ctx: &mut TxContext<'_>, po_ref: &str) -> Result<Shipment, ChaincodeError> {
+        let bytes = ctx
+            .get_state(&Self::shipment_key(po_ref))
+            .ok_or_else(|| ChaincodeError::NotFound(format!("shipment {po_ref:?}")))?;
+        Shipment::decode_from_slice(&bytes)
+            .map_err(|e| ChaincodeError::Internal(format!("stored shipment corrupt: {e}")))
+    }
+
+    fn require_org(ctx: &TxContext<'_>, org: &str) -> Result<(), ChaincodeError> {
+        let caller_org = &ctx.creator().subject().organization;
+        if caller_org != org {
+            return Err(ChaincodeError::AccessDenied(format!(
+                "caller org {caller_org:?} is not {org:?}"
+            )));
+        }
+        Ok(())
+    }
+
+    fn arg_str(args: &[Vec<u8>], idx: usize, name: &str) -> Result<String, ChaincodeError> {
+        let raw = args
+            .get(idx)
+            .ok_or_else(|| ChaincodeError::BadRequest(format!("missing argument {name}")))?;
+        String::from_utf8(raw.clone())
+            .map_err(|_| ChaincodeError::BadRequest(format!("argument {name} is not utf-8")))
+    }
+}
+
+impl Chaincode for StlChaincode {
+    fn invoke(
+        &self,
+        ctx: &mut TxContext<'_>,
+        function: &str,
+        args: &[Vec<u8>],
+    ) -> Result<Vec<u8>, ChaincodeError> {
+        match function {
+            "CreateShipment" => {
+                Self::require_org(ctx, &self.seller_org)?;
+                let po_ref = Self::arg_str(args, 0, "po_ref")?;
+                let goods = Self::arg_str(args, 1, "goods")?;
+                if po_ref.is_empty() {
+                    return Err(ChaincodeError::BadRequest("po_ref must be non-empty".into()));
+                }
+                if ctx.get_state(&Self::shipment_key(&po_ref)).is_some() {
+                    return Err(ChaincodeError::BadRequest(format!(
+                        "shipment {po_ref:?} already exists"
+                    )));
+                }
+                let shipment = Shipment {
+                    po_ref: po_ref.clone(),
+                    seller: ctx.creator().subject().qualified_name(),
+                    carrier: String::new(),
+                    goods,
+                    status: ShipmentStatus::Created,
+                    bl_id: String::new(),
+                };
+                ctx.put_state(&Self::shipment_key(&po_ref), shipment.encode_to_vec());
+                Ok(Vec::new())
+            }
+            "ConfirmBooking" => {
+                Self::require_org(ctx, &self.carrier_org)?;
+                let po_ref = Self::arg_str(args, 0, "po_ref")?;
+                let mut shipment = Self::load_shipment(ctx, &po_ref)?;
+                if shipment.status != ShipmentStatus::Created {
+                    return Err(ChaincodeError::BadRequest(format!(
+                        "cannot confirm booking in state {:?}",
+                        shipment.status
+                    )));
+                }
+                shipment.carrier = ctx.creator().subject().qualified_name();
+                shipment.status = ShipmentStatus::BookingConfirmed;
+                ctx.put_state(&Self::shipment_key(&po_ref), shipment.encode_to_vec());
+                Ok(Vec::new())
+            }
+            "TransferPossession" => {
+                Self::require_org(ctx, &self.seller_org)?;
+                let po_ref = Self::arg_str(args, 0, "po_ref")?;
+                let mut shipment = Self::load_shipment(ctx, &po_ref)?;
+                if shipment.status != ShipmentStatus::BookingConfirmed {
+                    return Err(ChaincodeError::BadRequest(format!(
+                        "cannot transfer possession in state {:?}",
+                        shipment.status
+                    )));
+                }
+                shipment.status = ShipmentStatus::InPossession;
+                ctx.put_state(&Self::shipment_key(&po_ref), shipment.encode_to_vec());
+                Ok(Vec::new())
+            }
+            "IssueBillOfLading" => {
+                Self::require_org(ctx, &self.carrier_org)?;
+                let po_ref = Self::arg_str(args, 0, "po_ref")?;
+                let bl_id = Self::arg_str(args, 1, "bl_id")?;
+                let mut shipment = Self::load_shipment(ctx, &po_ref)?;
+                if shipment.status != ShipmentStatus::InPossession {
+                    return Err(ChaincodeError::BadRequest(format!(
+                        "cannot issue B/L in state {:?}",
+                        shipment.status
+                    )));
+                }
+                let bl = BillOfLading {
+                    bl_id: bl_id.clone(),
+                    po_ref: po_ref.clone(),
+                    carrier: ctx.creator().subject().qualified_name(),
+                    goods: shipment.goods.clone(),
+                    issued_height: ctx.peer().ledger_height,
+                };
+                shipment.status = ShipmentStatus::BlIssued;
+                shipment.bl_id = bl_id;
+                ctx.put_state(&Self::shipment_key(&po_ref), shipment.encode_to_vec());
+                ctx.put_state(&Self::bl_key(&po_ref), bl.encode_to_vec());
+                Ok(Vec::new())
+            }
+            "GetShipment" => {
+                let po_ref = Self::arg_str(args, 0, "po_ref")?;
+                ctx.get_state(&Self::shipment_key(&po_ref))
+                    .ok_or_else(|| ChaincodeError::NotFound(format!("shipment {po_ref:?}")))
+            }
+            // Cross-network *invocation* target (the extension of paper §5
+            // and §7): a foreign trade-finance network records the
+            // financing status of a purchase order on the logistics ledger.
+            "RecordFinancingStatus" => {
+                let po_ref = Self::arg_str(args, 0, "po_ref")?;
+                let status = Self::arg_str(args, 1, "status")?;
+                // interop-adaptation: relay invocations pass the Exposure
+                // interop-adaptation: Control check before writing.
+                if ctx.is_relay_query() {
+                    // interop-adaptation
+                    let network = ctx
+                        .transient("requester-network") // interop-adaptation
+                        .ok_or_else(|| ChaincodeError::BadRequest("missing requester-network".into()))?
+                        .to_vec(); // interop-adaptation
+                    let org = ctx
+                        .transient("requester-org") // interop-adaptation
+                        .ok_or_else(|| ChaincodeError::BadRequest("missing requester-org".into()))?
+                        .to_vec(); // interop-adaptation
+                    let cert = ctx
+                        .transient("requester-cert") // interop-adaptation
+                        .ok_or_else(|| ChaincodeError::BadRequest("missing requester-cert".into()))?
+                        .to_vec(); // interop-adaptation
+                    ctx.invoke_chaincode(
+                        // interop-adaptation
+                        crate::ECC_NAME, // interop-adaptation
+                        "CheckAccess",   // interop-adaptation
+                        &[
+                            network,                              // interop-adaptation
+                            org,                                  // interop-adaptation
+                            Self::NAME.as_bytes().to_vec(),       // interop-adaptation
+                            b"RecordFinancingStatus".to_vec(),    // interop-adaptation
+                            cert.clone(),                         // interop-adaptation
+                        ],
+                    )?; // interop-adaptation
+                    // The shipment must exist before financing is recorded.
+                    Self::load_shipment(ctx, &po_ref)?;
+                    ctx.put_state(
+                        &format!("financing:{po_ref}"),
+                        status.clone().into_bytes(),
+                    );
+                    // interop-adaptation: encrypt the acknowledgement so
+                    // interop-adaptation: relays cannot read it.
+                    return ctx.invoke_chaincode(
+                        // interop-adaptation
+                        crate::ECC_NAME,     // interop-adaptation
+                        "EncryptResponse",   // interop-adaptation
+                        &[cert, format!("recorded:{status}").into_bytes()], // interop-adaptation
+                    ); // interop-adaptation
+                }
+                Self::load_shipment(ctx, &po_ref)?;
+                ctx.put_state(&format!("financing:{po_ref}"), status.into_bytes());
+                Ok(b"recorded".to_vec())
+            }
+            "GetFinancingStatus" => {
+                let po_ref = Self::arg_str(args, 0, "po_ref")?;
+                ctx.get_state(&format!("financing:{po_ref}"))
+                    .ok_or_else(|| {
+                        ChaincodeError::NotFound(format!("no financing status for {po_ref:?}"))
+                    })
+            }
+            // Provenance: every recorded state of the shipment, oldest
+            // first, as newline-separated status codes (GetHistoryForKey).
+            "GetShipmentHistory" => {
+                let po_ref = Self::arg_str(args, 0, "po_ref")?;
+                let history = ctx.get_history(&Self::shipment_key(&po_ref));
+                if history.is_empty() {
+                    return Err(ChaincodeError::NotFound(format!(
+                        "no history for shipment {po_ref:?}"
+                    )));
+                }
+                let mut lines = Vec::with_capacity(history.len());
+                for entry in history {
+                    let status = entry
+                        .value
+                        .as_deref()
+                        .and_then(|bytes| Shipment::decode_from_slice(bytes).ok())
+                        .map(|s| format!("{:?}", s.status))
+                        .unwrap_or_else(|| "Deleted".to_string());
+                    lines.push(format!("{}:{}", entry.version, status));
+                }
+                Ok(lines.join("\n").into_bytes())
+            }
+            "GetBillOfLading" => {
+                let po_ref = Self::arg_str(args, 0, "po_ref")?;
+                // interop-adaptation: relay queries must pass the Exposure
+                // interop-adaptation: Control check before any data access.
+                if ctx.is_relay_query() {
+                    // interop-adaptation
+                    let network = ctx
+                        .transient("requester-network") // interop-adaptation
+                        .ok_or_else(|| {
+                            ChaincodeError::BadRequest("missing requester-network".into())
+                            // interop-adaptation
+                        })?
+                        .to_vec(); // interop-adaptation
+                    let org = ctx
+                        .transient("requester-org") // interop-adaptation
+                        .ok_or_else(|| {
+                            ChaincodeError::BadRequest("missing requester-org".into())
+                            // interop-adaptation
+                        })?
+                        .to_vec(); // interop-adaptation
+                    let cert = ctx
+                        .transient("requester-cert") // interop-adaptation
+                        .ok_or_else(|| {
+                            ChaincodeError::BadRequest("missing requester-cert".into())
+                            // interop-adaptation
+                        })?
+                        .to_vec(); // interop-adaptation
+                    ctx.invoke_chaincode(
+                        // interop-adaptation
+                        crate::ECC_NAME, // interop-adaptation
+                        "CheckAccess",   // interop-adaptation
+                        &[
+                            network,                            // interop-adaptation
+                            org,                                // interop-adaptation
+                            Self::NAME.as_bytes().to_vec(),     // interop-adaptation
+                            b"GetBillOfLading".to_vec(),        // interop-adaptation
+                            cert,                               // interop-adaptation
+                        ],
+                    )?; // interop-adaptation
+                }
+                let bl = ctx
+                    .get_state(&Self::bl_key(&po_ref))
+                    .ok_or_else(|| ChaincodeError::NotFound(format!("no B/L for {po_ref:?}")))?;
+                // interop-adaptation: encrypt the response for the foreign
+                // interop-adaptation: requester so relays cannot read it.
+                if ctx.is_relay_query() {
+                    // interop-adaptation
+                    let cert = ctx
+                        .transient("requester-cert") // interop-adaptation
+                        .expect("checked above")
+                        .to_vec(); // interop-adaptation
+                    return ctx.invoke_chaincode(
+                        // interop-adaptation
+                        crate::ECC_NAME,     // interop-adaptation
+                        "EncryptResponse",   // interop-adaptation
+                        &[cert, bl],         // interop-adaptation
+                    ); // interop-adaptation
+                }
+                Ok(bl)
+            }
+            other => Err(ChaincodeError::UnknownFunction(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmdac::Cmdac;
+    use crate::ecc::Ecc;
+    use std::sync::Arc;
+    use tdt_crypto::cert::CertRole;
+    use tdt_crypto::group::Group;
+    use tdt_fabric::chaincode::{ChaincodeRegistry, PeerInfo, Proposal};
+    use tdt_fabric::msp::{Identity, Msp};
+    use tdt_ledger::state::WorldState;
+    use tdt_wire::messages::{encode_certificate, NetworkConfig, OrgConfig};
+
+    struct Fixture {
+        state: WorldState,
+        registry: ChaincodeRegistry,
+        seller: Identity,
+        carrier: Identity,
+        foreign_client: Identity,
+        foreign_config: NetworkConfig,
+        tx_counter: u64,
+    }
+
+    fn fixture() -> Fixture {
+        let mut seller_msp = Msp::new("stl", "seller-org", Group::test_group(), b"s");
+        let mut carrier_msp = Msp::new("stl", "carrier-org", Group::test_group(), b"c");
+        let seller = seller_msp.enroll("seller-app", CertRole::Client, false);
+        let carrier = carrier_msp.enroll("carrier-app", CertRole::Client, false);
+        let mut foreign_msp = Msp::new("swt", "seller-bank-org", Group::test_group(), b"f");
+        let foreign_client = foreign_msp.enroll("swt-sc", CertRole::Client, true);
+        let foreign_config = NetworkConfig {
+            network_id: "swt".into(),
+            group_name: "modp768".into(),
+            orgs: vec![OrgConfig {
+                org_id: "seller-bank-org".into(),
+                root_cert: encode_certificate(foreign_msp.root_certificate()),
+                peer_certs: vec![],
+            }],
+        };
+        let mut registry = ChaincodeRegistry::new();
+        registry.deploy(
+            StlChaincode::NAME,
+            Arc::new(StlChaincode::new("seller-org", "carrier-org")),
+        );
+        registry.deploy("ECC", Arc::new(Ecc::new()));
+        registry.deploy("CMDAC", Arc::new(Cmdac::new()));
+        Fixture {
+            state: WorldState::new(),
+            registry,
+            seller,
+            carrier,
+            foreign_client,
+            foreign_config,
+            tx_counter: 0,
+        }
+    }
+
+    fn invoke_as(
+        f: &mut Fixture,
+        caller: &Identity,
+        chaincode: &str,
+        function: &str,
+        args: Vec<Vec<u8>>,
+        relay: bool,
+        transient: Vec<(&str, Vec<u8>)>,
+    ) -> Result<Vec<u8>, ChaincodeError> {
+        f.tx_counter += 1;
+        let mut proposal = Proposal::new(
+            format!("tx-{}", f.tx_counter),
+            "trade-channel",
+            chaincode,
+            function,
+            args.clone(),
+            caller.certificate().clone(),
+        );
+        if relay {
+            proposal = proposal.as_relay_query();
+        }
+        for (k, v) in transient {
+            proposal = proposal.with_transient(k, v);
+        }
+        let peer = PeerInfo {
+            peer_id: "stl/seller-org/peer0".into(),
+            org_id: "seller-org".into(),
+            network_id: "stl".into(),
+            ledger_height: f.tx_counter,
+        };
+        let mut ctx = TxContext::new(&f.state, &f.registry, &proposal, peer);
+        let code = f.registry.get(chaincode).unwrap();
+        let result = code.invoke(&mut ctx, function, &args);
+        let rwset = ctx.into_rwset();
+        if result.is_ok() {
+            f.state
+                .apply(&rwset, tdt_ledger::rwset::Version::new(f.tx_counter, 0));
+        }
+        result
+    }
+
+    fn full_lifecycle(f: &mut Fixture, po: &str) {
+        let seller = f.seller.clone();
+        let carrier = f.carrier.clone();
+        invoke_as(
+            f,
+            &seller,
+            StlChaincode::NAME,
+            "CreateShipment",
+            vec![po.into(), b"600 tulip bulbs".to_vec()],
+            false,
+            vec![],
+        )
+        .unwrap();
+        invoke_as(
+            f,
+            &carrier,
+            StlChaincode::NAME,
+            "ConfirmBooking",
+            vec![po.into()],
+            false,
+            vec![],
+        )
+        .unwrap();
+        invoke_as(
+            f,
+            &seller,
+            StlChaincode::NAME,
+            "TransferPossession",
+            vec![po.into()],
+            false,
+            vec![],
+        )
+        .unwrap();
+        invoke_as(
+            f,
+            &carrier,
+            StlChaincode::NAME,
+            "IssueBillOfLading",
+            vec![po.into(), b"BL-7".to_vec()],
+            false,
+            vec![],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn shipment_lifecycle() {
+        let mut f = fixture();
+        full_lifecycle(&mut f, "PO-1001");
+        let seller = f.seller.clone();
+        let bytes = invoke_as(
+            &mut f,
+            &seller,
+            StlChaincode::NAME,
+            "GetShipment",
+            vec![b"PO-1001".to_vec()],
+            false,
+            vec![],
+        )
+        .unwrap();
+        let shipment = Shipment::decode_from_slice(&bytes).unwrap();
+        assert_eq!(shipment.status, ShipmentStatus::BlIssued);
+        assert_eq!(shipment.bl_id, "BL-7");
+        assert_eq!(shipment.seller, "stl/seller-org/seller-app");
+        assert_eq!(shipment.carrier, "stl/carrier-org/carrier-app");
+    }
+
+    #[test]
+    fn local_get_bl_plaintext() {
+        let mut f = fixture();
+        full_lifecycle(&mut f, "PO-1001");
+        let seller = f.seller.clone();
+        let bytes = invoke_as(
+            &mut f,
+            &seller,
+            StlChaincode::NAME,
+            "GetBillOfLading",
+            vec![b"PO-1001".to_vec()],
+            false,
+            vec![],
+        )
+        .unwrap();
+        let bl = BillOfLading::decode_from_slice(&bytes).unwrap();
+        assert_eq!(bl.bl_id, "BL-7");
+        assert_eq!(bl.po_ref, "PO-1001");
+        assert_eq!(bl.goods, "600 tulip bulbs");
+    }
+
+    #[test]
+    fn wrong_org_rejected_per_function() {
+        let mut f = fixture();
+        let seller = f.seller.clone();
+        let carrier = f.carrier.clone();
+        // Carrier cannot create shipments.
+        assert!(matches!(
+            invoke_as(
+                &mut f,
+                &carrier,
+                StlChaincode::NAME,
+                "CreateShipment",
+                vec![b"PO-X".to_vec(), b"goods".to_vec()],
+                false,
+                vec![],
+            ),
+            Err(ChaincodeError::AccessDenied(_))
+        ));
+        invoke_as(
+            &mut f,
+            &seller,
+            StlChaincode::NAME,
+            "CreateShipment",
+            vec![b"PO-X".to_vec(), b"goods".to_vec()],
+            false,
+            vec![],
+        )
+        .unwrap();
+        // Seller cannot confirm bookings.
+        assert!(matches!(
+            invoke_as(
+                &mut f,
+                &seller,
+                StlChaincode::NAME,
+                "ConfirmBooking",
+                vec![b"PO-X".to_vec()],
+                false,
+                vec![],
+            ),
+            Err(ChaincodeError::AccessDenied(_))
+        ));
+    }
+
+    #[test]
+    fn state_machine_enforced() {
+        let mut f = fixture();
+        let seller = f.seller.clone();
+        let carrier = f.carrier.clone();
+        invoke_as(
+            &mut f,
+            &seller,
+            StlChaincode::NAME,
+            "CreateShipment",
+            vec![b"PO-1".to_vec(), b"goods".to_vec()],
+            false,
+            vec![],
+        )
+        .unwrap();
+        // Cannot issue a B/L before possession transfer.
+        assert!(matches!(
+            invoke_as(
+                &mut f,
+                &carrier,
+                StlChaincode::NAME,
+                "IssueBillOfLading",
+                vec![b"PO-1".to_vec(), b"BL-1".to_vec()],
+                false,
+                vec![],
+            ),
+            Err(ChaincodeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_shipment_rejected() {
+        let mut f = fixture();
+        let seller = f.seller.clone();
+        invoke_as(
+            &mut f,
+            &seller,
+            StlChaincode::NAME,
+            "CreateShipment",
+            vec![b"PO-1".to_vec(), b"goods".to_vec()],
+            false,
+            vec![],
+        )
+        .unwrap();
+        assert!(matches!(
+            invoke_as(
+                &mut f,
+                &seller,
+                StlChaincode::NAME,
+                "CreateShipment",
+                vec![b"PO-1".to_vec(), b"more".to_vec()],
+                false,
+                vec![],
+            ),
+            Err(ChaincodeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn missing_bl_not_found() {
+        let mut f = fixture();
+        let seller = f.seller.clone();
+        invoke_as(
+            &mut f,
+            &seller,
+            StlChaincode::NAME,
+            "CreateShipment",
+            vec![b"PO-1".to_vec(), b"goods".to_vec()],
+            false,
+            vec![],
+        )
+        .unwrap();
+        assert!(matches!(
+            invoke_as(
+                &mut f,
+                &seller,
+                StlChaincode::NAME,
+                "GetBillOfLading",
+                vec![b"PO-1".to_vec()],
+                false,
+                vec![],
+            ),
+            Err(ChaincodeError::NotFound(_))
+        ));
+    }
+
+    fn setup_interop(f: &mut Fixture) {
+        // Record SWT config + exposure rule on STL.
+        let admin = f.seller.clone();
+        let cfg = f.foreign_config.encode_to_vec();
+        invoke_as(f, &admin, "CMDAC", "RecordForeignConfig", vec![cfg], false, vec![]).unwrap();
+        invoke_as(
+            f,
+            &admin,
+            "ECC",
+            "AddAccessRule",
+            vec![
+                b"swt".to_vec(),
+                b"seller-bank-org".to_vec(),
+                StlChaincode::NAME.as_bytes().to_vec(),
+                b"GetBillOfLading".to_vec(),
+            ],
+            false,
+            vec![],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn relay_query_returns_encrypted_bl() {
+        let mut f = fixture();
+        full_lifecycle(&mut f, "PO-1001");
+        setup_interop(&mut f);
+        let foreign = f.foreign_client.clone();
+        let cert_bytes = encode_certificate(foreign.certificate());
+        let wrapped_bytes = invoke_as(
+            &mut f,
+            &foreign,
+            StlChaincode::NAME,
+            "GetBillOfLading",
+            vec![b"PO-1001".to_vec()],
+            true,
+            vec![
+                ("requester-network", b"swt".to_vec()),
+                ("requester-org", b"seller-bank-org".to_vec()),
+                ("requester-cert", cert_bytes),
+            ],
+        )
+        .unwrap();
+        // The relay-visible bytes are ciphertext (plus a hash), not the B/L.
+        let bl_plain = {
+            let seller = f.seller.clone();
+            invoke_as(
+                &mut f,
+                &seller,
+                StlChaincode::NAME,
+                "GetBillOfLading",
+                vec![b"PO-1001".to_vec()],
+                false,
+                vec![],
+            )
+            .unwrap()
+        };
+        assert_ne!(wrapped_bytes, bl_plain);
+        let wrapped = crate::ecc::EncryptedResult::from_bytes(&wrapped_bytes).unwrap();
+        assert_eq!(wrapped.plaintext_hash, tdt_crypto::sha256(&bl_plain));
+        // Only the foreign client can decrypt.
+        let ct = tdt_crypto::elgamal::Ciphertext::from_bytes(&wrapped.ciphertext).unwrap();
+        let decrypted = foreign.decryption_key().unwrap().decrypt(&ct).unwrap();
+        assert_eq!(decrypted, bl_plain);
+    }
+
+    #[test]
+    fn relay_query_without_rule_denied() {
+        let mut f = fixture();
+        full_lifecycle(&mut f, "PO-1001");
+        // Record config but no exposure rule.
+        let admin = f.seller.clone();
+        let cfg = f.foreign_config.encode_to_vec();
+        invoke_as(&mut f, &admin, "CMDAC", "RecordForeignConfig", vec![cfg], false, vec![]).unwrap();
+        let foreign = f.foreign_client.clone();
+        let cert_bytes = encode_certificate(foreign.certificate());
+        let err = invoke_as(
+            &mut f,
+            &foreign,
+            StlChaincode::NAME,
+            "GetBillOfLading",
+            vec![b"PO-1001".to_vec()],
+            true,
+            vec![
+                ("requester-network", b"swt".to_vec()),
+                ("requester-org", b"seller-bank-org".to_vec()),
+                ("requester-cert", cert_bytes),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ChaincodeError::AccessDenied(_)));
+    }
+
+    #[test]
+    fn relay_query_missing_transient_rejected() {
+        let mut f = fixture();
+        full_lifecycle(&mut f, "PO-1001");
+        setup_interop(&mut f);
+        let foreign = f.foreign_client.clone();
+        let err = invoke_as(
+            &mut f,
+            &foreign,
+            StlChaincode::NAME,
+            "GetBillOfLading",
+            vec![b"PO-1001".to_vec()],
+            true,
+            vec![],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ChaincodeError::BadRequest(_)));
+    }
+
+    #[test]
+    fn shipment_message_roundtrip() {
+        let s = Shipment {
+            po_ref: "PO-1".into(),
+            seller: "a".into(),
+            carrier: "b".into(),
+            goods: "g".into(),
+            status: ShipmentStatus::InPossession,
+            bl_id: "BL".into(),
+        };
+        assert_eq!(Shipment::decode_from_slice(&s.encode_to_vec()).unwrap(), s);
+    }
+
+    #[test]
+    fn bl_message_roundtrip() {
+        let bl = BillOfLading {
+            bl_id: "BL-1".into(),
+            po_ref: "PO-1".into(),
+            carrier: "c".into(),
+            goods: "g".into(),
+            issued_height: 9,
+        };
+        assert_eq!(
+            BillOfLading::decode_from_slice(&bl.encode_to_vec()).unwrap(),
+            bl
+        );
+    }
+}

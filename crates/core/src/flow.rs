@@ -1,0 +1,285 @@
+//! Instrumented execution of the paper's message flow (Fig. 2 / Fig. 4).
+//!
+//! Runs the full cross-network transaction one protocol step at a time,
+//! timing each, so the experiment harness can print a per-step table that
+//! mirrors the numbered arrows of Figure 2:
+//!
+//! 1. client builds + signs the query
+//! 2. local relay performs discovery lookup
+//! 3. local relay serializes and forwards the request
+//! 4. source relay deserializes and dispatches to the driver
+//! 5. driver orchestrates the query against selected peers
+//! 6. peers consult the Exposure Control contract (inside Step 5 here —
+//!    it executes within chaincode simulation)
+//! 7. peer results collectively form the proof
+//! 8. source relay serializes the reply
+//! 9. client receives, decrypts, and pre-verifies the response
+//! 10. client submits the local transaction with data + proof
+
+use crate::client::{InteropClient, RemoteData};
+use crate::driver::FabricDriver;
+use crate::error::InteropError;
+use crate::proof::process_response;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tdt_fabric::gateway::TxOutcome;
+use tdt_relay::discovery::DiscoveryService;
+use tdt_relay::driver::NetworkDriver;
+use tdt_wire::codec::Message;
+use tdt_wire::messages::{
+    NetworkAddress, Query, QueryResponse, RelayEnvelope, VerificationPolicy,
+};
+
+/// Timing of one protocol step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepTiming {
+    /// Step number(s) as labelled in Fig. 2.
+    pub step: &'static str,
+    /// Human-readable description.
+    pub name: &'static str,
+    /// Wall-clock duration of the step.
+    pub duration: Duration,
+}
+
+/// The outcome of a traced end-to-end flow.
+#[derive(Debug)]
+pub struct TracedOutcome {
+    /// The remote data + proof obtained in Steps 1-9.
+    pub remote: RemoteData,
+    /// The local transaction outcome of Step 10.
+    pub outcome: TxOutcome,
+    /// Per-step timings.
+    pub steps: Vec<StepTiming>,
+}
+
+impl TracedOutcome {
+    /// Renders the timing table (one row per step).
+    pub fn table(&self) -> String {
+        let mut out = String::from("step | description | latency\n-----|-------------|--------\n");
+        for s in &self.steps {
+            out.push_str(&format!(
+                "{:4} | {:<55} | {:>9.1?}\n",
+                s.step, s.name, s.duration
+            ));
+        }
+        out
+    }
+
+    /// Total latency across all steps.
+    pub fn total(&self) -> Duration {
+        self.steps.iter().map(|s| s.duration).sum()
+    }
+}
+
+/// Pieces needed to run the flow with step-level instrumentation. The
+/// normal path ([`InteropClient::query_remote`]) performs the same steps
+/// opaquely; the traced variant needs direct access to each component.
+pub struct FlowHarness {
+    /// The destination-side client.
+    pub client: InteropClient,
+    /// The discovery service the destination relay would use (Step 2).
+    pub discovery: Arc<dyn DiscoveryService>,
+    /// The source network's driver (Steps 5-7).
+    pub source_driver: Arc<FabricDriver>,
+    /// Id of the destination relay (envelope sender).
+    pub relay_id: String,
+}
+
+impl FlowHarness {
+    /// Runs Steps 1-9, returning remote data and timings.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InteropError`] when any step fails.
+    pub fn query_traced(
+        &self,
+        address: NetworkAddress,
+        policy: VerificationPolicy,
+    ) -> Result<(RemoteData, Vec<StepTiming>), InteropError> {
+        let mut steps = Vec::with_capacity(8);
+        let time = |steps: &mut Vec<StepTiming>, step, name, start: Instant| {
+            steps.push(StepTiming {
+                step,
+                name,
+                duration: start.elapsed(),
+            });
+        };
+
+        // Step 1: the client application builds and signs the query.
+        let t0 = Instant::now();
+        let query = self.client.build_query(address, policy);
+        time(&mut steps, "1", "client builds and signs query", t0);
+
+        // Step 2: discovery lookup for the source relay.
+        let t0 = Instant::now();
+        let target_network = query.address.network_id.clone();
+        let _endpoint = self.discovery.lookup(&target_network)?;
+        time(&mut steps, "2", "relay discovery lookup", t0);
+
+        // Step 3: serialize the request for the wire.
+        let t0 = Instant::now();
+        let envelope = RelayEnvelope::query(self.relay_id.clone(), target_network, &query);
+        let wire_bytes = envelope.encode_to_vec();
+        time(&mut steps, "3", "serialize and forward request", t0);
+
+        // Step 4: the source relay deserializes and dispatches.
+        let t0 = Instant::now();
+        let received = RelayEnvelope::decode_from_slice(&wire_bytes)?;
+        let received_query = Query::decode_from_slice(&received.payload)?;
+        time(&mut steps, "4", "source relay deserializes request", t0);
+
+        // Steps 5-7: the driver orchestrates execution on selected peers;
+        // each peer's chaincode consults the ECC, and the collected
+        // signatures form the proof.
+        let t0 = Instant::now();
+        let response = self.source_driver.execute_query(&received_query)?;
+        time(
+            &mut steps,
+            "5-7",
+            "peer execution, exposure control, proof collection",
+            t0,
+        );
+
+        // Step 8: serialize the reply.
+        let t0 = Instant::now();
+        let reply = RelayEnvelope::response(self.relay_id.clone(), "swt", &response);
+        let reply_bytes = reply.encode_to_vec();
+        time(&mut steps, "8", "serialize and return response", t0);
+
+        // Step 9: the client decrypts and pre-verifies data + proof.
+        let t0 = Instant::now();
+        let reply = RelayEnvelope::decode_from_slice(&reply_bytes)?;
+        let response = QueryResponse::decode_from_slice(&reply.payload)?;
+        let proof = process_response(self.client.gateway().identity(), &query, &response)?;
+        time(&mut steps, "9", "client decrypts and verifies proof", t0);
+
+        Ok((
+            RemoteData {
+                data: proof.result.clone(),
+                proof,
+            },
+            steps,
+        ))
+    }
+
+    /// Runs the complete flow: Steps 1-9 plus the Step-10 transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InteropError`] when any step fails.
+    pub fn run_traced(
+        &self,
+        address: NetworkAddress,
+        policy: VerificationPolicy,
+        chaincode: &str,
+        function: &str,
+        args: Vec<Vec<u8>>,
+    ) -> Result<TracedOutcome, InteropError> {
+        let (remote, mut steps) = self.query_traced(address, policy)?;
+        // Step 10: transaction on the destination ledger with data + proof;
+        // the chaincode validates via the Data Acceptance contract.
+        let t0 = Instant::now();
+        let outcome = self
+            .client
+            .submit_with_remote_data(chaincode, function, args, &remote)?;
+        steps.push(StepTiming {
+            step: "10",
+            name: "local transaction with proof (data acceptance)",
+            duration: t0.elapsed(),
+        });
+        Ok(TracedOutcome {
+            remote,
+            outcome,
+            steps,
+        })
+    }
+}
+
+/// Builds a [`FlowHarness`] over a standard STL/SWT testbed.
+pub fn harness_for_testbed(testbed: &crate::setup::Testbed) -> FlowHarness {
+    FlowHarness {
+        client: InteropClient::new(
+            testbed.swt_seller_gateway(),
+            Arc::clone(&testbed.swt_relay),
+        ),
+        discovery: Arc::clone(&testbed.registry) as Arc<dyn DiscoveryService>,
+        source_driver: Arc::new(FabricDriver::new(Arc::clone(&testbed.stl))),
+        relay_id: "swt-relay".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{issue_sample_bl, stl_swt_testbed};
+    use tdt_contracts::swt::SwtChaincode;
+
+    fn prepared_testbed() -> crate::setup::Testbed {
+        let t = stl_swt_testbed();
+        issue_sample_bl(&t, "PO-1001");
+        let buyer = t.swt_buyer_gateway();
+        buyer
+            .submit(
+                SwtChaincode::NAME,
+                "RequestLC",
+                vec![
+                    b"PO-1001".to_vec(),
+                    b"LC-1".to_vec(),
+                    b"buyer".to_vec(),
+                    b"seller".to_vec(),
+                    b"100000".to_vec(),
+                ],
+            )
+            .unwrap()
+            .into_committed()
+            .unwrap();
+        buyer
+            .submit(SwtChaincode::NAME, "IssueLC", vec![b"PO-1001".to_vec()])
+            .unwrap()
+            .into_committed()
+            .unwrap();
+        t
+    }
+
+    fn address() -> NetworkAddress {
+        NetworkAddress::new("stl", "trade-channel", "TradeLensCC", "GetBillOfLading")
+            .with_arg(b"PO-1001".to_vec())
+    }
+
+    fn policy() -> VerificationPolicy {
+        VerificationPolicy::all_of_orgs(["seller-org", "carrier-org"]).with_confidentiality()
+    }
+
+    #[test]
+    fn traced_flow_completes_all_steps() {
+        let t = prepared_testbed();
+        let harness = harness_for_testbed(&t);
+        let traced = harness
+            .run_traced(
+                address(),
+                policy(),
+                SwtChaincode::NAME,
+                "UploadDispatchDocs",
+                vec![b"PO-1001".to_vec()],
+            )
+            .unwrap();
+        assert!(traced.outcome.code.is_valid());
+        let step_labels: Vec<&str> = traced.steps.iter().map(|s| s.step).collect();
+        assert_eq!(step_labels, vec!["1", "2", "3", "4", "5-7", "8", "9", "10"]);
+        assert!(traced.total() > Duration::ZERO);
+        // The table renders one row per step plus the header.
+        assert_eq!(traced.table().lines().count(), 2 + traced.steps.len());
+    }
+
+    #[test]
+    fn traced_query_matches_untraced_client() {
+        let t = prepared_testbed();
+        let harness = harness_for_testbed(&t);
+        let (remote_traced, _) = harness.query_traced(address(), policy()).unwrap();
+        let client = InteropClient::new(t.swt_seller_gateway(), Arc::clone(&t.swt_relay));
+        let remote_plain = client.query_remote(address(), policy()).unwrap();
+        // Same data, independent nonces/proofs.
+        assert_eq!(remote_traced.data, remote_plain.data);
+        assert_ne!(remote_traced.proof.nonce, remote_plain.proof.nonce);
+    }
+}

@@ -1,0 +1,175 @@
+//! Verification-policy utilities.
+//!
+//! The wire-level [`PolicyNode`] language is evaluated by the destination's
+//! Data Acceptance contract; the *source* relay driver also reads it to
+//! decide which peers to query (paper §3.3, Step 5: the driver
+//! "orchestrate\[s\] the query against the respective peers in the network
+//! based on the specified verification policy").
+
+use tdt_wire::messages::{PolicyNode, VerificationPolicy};
+
+/// Computes a minimal set of organizations whose attestations would
+/// satisfy `node`. Returns `None` for unsatisfiable expressions.
+pub fn minimal_org_set(node: &PolicyNode) -> Option<Vec<String>> {
+    match node {
+        PolicyNode::Org(org) => Some(vec![org.clone()]),
+        PolicyNode::And(children) => {
+            let mut out: Vec<String> = Vec::new();
+            for child in children {
+                for org in minimal_org_set(child)? {
+                    if !out.contains(&org) {
+                        out.push(org);
+                    }
+                }
+            }
+            Some(out)
+        }
+        PolicyNode::Or(children) => children
+            .iter()
+            .filter_map(minimal_org_set)
+            .min_by_key(Vec::len),
+        PolicyNode::OutOf(k, children) => {
+            let mut candidates: Vec<Vec<String>> =
+                children.iter().filter_map(minimal_org_set).collect();
+            if candidates.len() < *k as usize {
+                return None;
+            }
+            candidates.sort_by_key(Vec::len);
+            let mut out: Vec<String> = Vec::new();
+            for set in candidates.into_iter().take(*k as usize) {
+                for org in set {
+                    if !out.contains(&org) {
+                        out.push(org);
+                    }
+                }
+            }
+            Some(out)
+        }
+    }
+}
+
+/// Builds the paper's proof-of-concept policy: one peer from each of the
+/// given organizations, with end-to-end confidentiality.
+pub fn confidential_all_of<I, S>(orgs: I) -> VerificationPolicy
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    VerificationPolicy::all_of_orgs(orgs).with_confidentiality()
+}
+
+/// Derives a verification policy from a source network's consensus
+/// (endorsement) policy — the construction the paper lists as future work
+/// (§7: "the construction of an optimal verification policy from a
+/// network's consensus policy"). The mapping is conservative: the
+/// verification policy mirrors the endorsement policy's structure, so any
+/// proof satisfying it reflects at least the endorsement quorum.
+pub fn from_endorsement_policy(policy: &tdt_fabric::policy::EndorsementPolicy) -> PolicyNode {
+    use tdt_fabric::policy::EndorsementPolicy as Ep;
+    match policy {
+        Ep::Org(org) => PolicyNode::Org(org.clone()),
+        Ep::And(children) => PolicyNode::And(children.iter().map(from_endorsement_policy).collect()),
+        Ep::Or(children) => PolicyNode::Or(children.iter().map(from_endorsement_policy).collect()),
+        Ep::OutOf(k, children) => {
+            PolicyNode::OutOf(*k, children.iter().map(from_endorsement_policy).collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdt_fabric::policy::EndorsementPolicy;
+
+    #[test]
+    fn minimal_set_org() {
+        assert_eq!(
+            minimal_org_set(&PolicyNode::Org("a".into())).unwrap(),
+            vec!["a"]
+        );
+    }
+
+    #[test]
+    fn minimal_set_and_dedups() {
+        let node = PolicyNode::And(vec![
+            PolicyNode::Org("a".into()),
+            PolicyNode::Org("b".into()),
+            PolicyNode::Org("a".into()),
+        ]);
+        assert_eq!(minimal_org_set(&node).unwrap(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn minimal_set_or_picks_smallest() {
+        let node = PolicyNode::Or(vec![
+            PolicyNode::And(vec![PolicyNode::Org("a".into()), PolicyNode::Org("b".into())]),
+            PolicyNode::Org("c".into()),
+        ]);
+        assert_eq!(minimal_org_set(&node).unwrap(), vec!["c"]);
+    }
+
+    #[test]
+    fn minimal_set_outof() {
+        let node = PolicyNode::OutOf(
+            2,
+            vec![
+                PolicyNode::Org("a".into()),
+                PolicyNode::Org("b".into()),
+                PolicyNode::Org("c".into()),
+            ],
+        );
+        let set = minimal_org_set(&node).unwrap();
+        assert_eq!(set.len(), 2);
+        assert!(node.is_satisfied(&set));
+    }
+
+    #[test]
+    fn unsatisfiable_outof() {
+        let node = PolicyNode::OutOf(5, vec![PolicyNode::Org("a".into())]);
+        assert!(minimal_org_set(&node).is_none());
+    }
+
+    #[test]
+    fn minimal_set_satisfies_policy() {
+        // Nested combination.
+        let node = PolicyNode::And(vec![
+            PolicyNode::Org("x".into()),
+            PolicyNode::OutOf(
+                1,
+                vec![PolicyNode::Org("y".into()), PolicyNode::Org("z".into())],
+            ),
+        ]);
+        let set = minimal_org_set(&node).unwrap();
+        assert!(node.is_satisfied(&set));
+        assert!(set.contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn confidential_builder() {
+        let p = confidential_all_of(["seller-org", "carrier-org"]);
+        assert!(p.confidential);
+        assert!(p.expression.is_satisfied(&["seller-org", "carrier-org"]));
+    }
+
+    #[test]
+    fn endorsement_policy_mapping_preserves_semantics() {
+        let ep = EndorsementPolicy::And(vec![
+            EndorsementPolicy::Org("a".into()),
+            EndorsementPolicy::k_of(1, ["b", "c"]),
+        ]);
+        let vp = from_endorsement_policy(&ep);
+        for sample in [
+            vec!["a", "b"],
+            vec!["a", "c"],
+            vec!["a"],
+            vec!["b", "c"],
+            vec![],
+        ] {
+            assert_eq!(
+                ep.is_satisfied(&sample),
+                vp.is_satisfied(&sample),
+                "sample {sample:?}"
+            );
+        }
+    }
+}

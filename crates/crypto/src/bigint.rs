@@ -1,0 +1,748 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! Implements exactly the operations needed by the Schnorr/ElGamal layer:
+//! comparison, addition, subtraction, schoolbook multiplication, binary long
+//! division, and Barrett-reduced modular exponentiation (HAC 14.42). Limbs
+//! are `u64`, stored little-endian.
+
+use crate::error::CryptoError;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// # Example
+///
+/// ```
+/// use tdt_crypto::bigint::BigUint;
+///
+/// let a = BigUint::from_u64(10);
+/// let b = BigUint::from_u64(4);
+/// assert_eq!(a.mul(&b), BigUint::from_u64(40));
+/// let (q, r) = a.div_rem(&b);
+/// assert_eq!((q, r), (BigUint::from_u64(2), BigUint::from_u64(2)));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs; no trailing zero limbs (normalized).
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Constructs from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// Constructs from big-endian bytes (leading zeros allowed).
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        let mut chunk_start = bytes.len();
+        while chunk_start > 0 {
+            let lo = chunk_start.saturating_sub(8);
+            let mut limb = 0u64;
+            for &b in &bytes[lo..chunk_start] {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+            chunk_start = lo;
+        }
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// Parses a hex string (whitespace tolerated).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::Encoding`] on non-hex characters.
+    pub fn from_hex(s: &str) -> Result<Self, CryptoError> {
+        let cleaned: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        let padded = if cleaned.len() % 2 == 1 {
+            format!("0{cleaned}")
+        } else {
+            cleaned
+        };
+        let bytes = crate::hex_decode(&padded)?;
+        Ok(Self::from_bytes_be(&bytes))
+    }
+
+    /// Serializes to minimal big-endian bytes (empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        // Strip leading zeros.
+        let first_nonzero = out.iter().position(|&b| b != 0).unwrap_or(out.len() - 1);
+        out.drain(..first_nonzero);
+        out
+    }
+
+    /// Serializes to big-endian bytes left-padded to exactly `len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `len` bytes.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_bytes_be();
+        assert!(raw.len() <= len, "value does not fit in {len} bytes");
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// True if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True if the value is odd.
+    pub fn is_odd(&self) -> bool {
+        self.limbs.first().is_some_and(|l| l & 1 == 1)
+    }
+
+    /// Number of significant bits.
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Value of bit `i` (little-endian bit order).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % 64)) & 1 == 1
+    }
+
+    /// Returns the low 64 bits.
+    pub fn low_u64(&self) -> u64 {
+        self.limbs.first().copied().unwrap_or(0)
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for (i, &a) in long.iter().enumerate() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`.
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        assert!(self >= other, "BigUint subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Schoolbook multiplication `self * other`.
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Left shift by `n` bits.
+    pub fn shl(&self, n: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = n / 64;
+        let bit_shift = n % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry > 0 {
+                out.push(carry);
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Right shift by `n` bits.
+    pub fn shr(&self, n: usize) -> BigUint {
+        let limb_shift = n / 64;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = n % 64;
+        let mut out = Vec::with_capacity(self.limbs.len() - limb_shift);
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs[limb_shift..]);
+        } else {
+            let src = &self.limbs[limb_shift..];
+            for i in 0..src.len() {
+                let hi = if i + 1 < src.len() {
+                    src[i + 1] << (64 - bit_shift)
+                } else {
+                    0
+                };
+                out.push((src[i] >> bit_shift) | hi);
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Drops the limbs above index `k` (i.e. `self mod 2^(64k)`).
+    fn truncate_limbs(&self, k: usize) -> BigUint {
+        let mut limbs = self.limbs.clone();
+        limbs.truncate(k);
+        let mut r = BigUint { limbs };
+        r.normalize();
+        r
+    }
+
+    /// Shifts right by whole limbs (i.e. `self / 2^(64k)`).
+    fn shr_limbs(&self, k: usize) -> BigUint {
+        if k >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        BigUint {
+            limbs: self.limbs[k..].to_vec(),
+        }
+    }
+
+    /// Binary long division: returns `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (BigUint::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            return self.div_rem_u64(divisor.limbs[0]);
+        }
+        let shift = self.bits() - divisor.bits();
+        let mut remainder = self.clone();
+        let mut quotient_limbs = vec![0u64; shift / 64 + 1];
+        let mut shifted = divisor.shl(shift);
+        let mut i = shift as isize;
+        while i >= 0 {
+            if remainder >= shifted {
+                remainder = remainder.sub(&shifted);
+                quotient_limbs[(i as usize) / 64] |= 1u64 << ((i as usize) % 64);
+            }
+            shifted = shifted.shr(1);
+            i -= 1;
+        }
+        let mut q = BigUint {
+            limbs: quotient_limbs,
+        };
+        q.normalize();
+        (q, remainder)
+    }
+
+    fn div_rem_u64(&self, d: u64) -> (BigUint, BigUint) {
+        let mut rem = 0u128;
+        let mut q = vec![0u64; self.limbs.len()];
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            q[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        let mut quotient = BigUint { limbs: q };
+        quotient.normalize();
+        (quotient, BigUint::from_u64(rem as u64))
+    }
+
+    /// `self mod m`.
+    pub fn rem(&self, m: &BigUint) -> BigUint {
+        self.div_rem(m).1
+    }
+
+    /// Modular addition `(self + other) mod m`; inputs must already be `< m`.
+    pub fn mod_add(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        debug_assert!(self < m && other < m);
+        let s = self.add(other);
+        if &s >= m {
+            s.sub(m)
+        } else {
+            s
+        }
+    }
+
+    /// Modular subtraction `(self - other) mod m`; inputs must already be `< m`.
+    pub fn mod_sub(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        debug_assert!(self < m && other < m);
+        if self >= other {
+            self.sub(other)
+        } else {
+            self.add(m).sub(other)
+        }
+    }
+
+    /// Modular exponentiation `self^exp mod m` using a Barrett context.
+    pub fn modexp(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        let ctx = BarrettContext::new(m.clone());
+        ctx.modexp(self, exp)
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint(0x{self})")
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        write!(f, "{}", crate::hex_encode(&self.to_bytes_be()))
+    }
+}
+
+impl fmt::LowerHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_u64(v)
+    }
+}
+
+/// Barrett reduction context (HAC algorithm 14.42) for a fixed modulus.
+///
+/// Precomputes `mu = floor(b^(2k) / m)` once, after which each reduction of a
+/// value `x < m^2` costs two multiplications and a few subtractions — the
+/// workhorse behind [`BarrettContext::modexp`].
+#[derive(Debug, Clone)]
+pub struct BarrettContext {
+    modulus: BigUint,
+    mu: BigUint,
+    k: usize,
+}
+
+impl BarrettContext {
+    /// Builds a reduction context for `modulus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero or one.
+    pub fn new(modulus: BigUint) -> Self {
+        assert!(modulus > BigUint::one(), "modulus must be > 1");
+        let k = modulus.limbs.len();
+        // b^(2k) where b = 2^64.
+        let b2k = BigUint::one().shl(64 * 2 * k);
+        let (mu, _) = b2k.div_rem(&modulus);
+        BarrettContext { modulus, mu, k }
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// Reduces `x` (which must be `< m^2 * b`) modulo `m`.
+    pub fn reduce(&self, x: &BigUint) -> BigUint {
+        if x < &self.modulus {
+            return x.clone();
+        }
+        let k = self.k;
+        // q1 = floor(x / b^(k-1)); q2 = q1*mu; q3 = floor(q2 / b^(k+1)).
+        let q1 = x.shr_limbs(k - 1);
+        let q2 = q1.mul(&self.mu);
+        let q3 = q2.shr_limbs(k + 1);
+        // r1 = x mod b^(k+1); r2 = (q3*m) mod b^(k+1).
+        let r1 = x.truncate_limbs(k + 1);
+        let r2 = q3.mul(&self.modulus).truncate_limbs(k + 1);
+        let mut r = if r1 >= r2 {
+            r1.sub(&r2)
+        } else {
+            // r1 - r2 + b^(k+1)
+            r1.add(&BigUint::one().shl(64 * (k + 1))).sub(&r2)
+        };
+        while r >= self.modulus {
+            r = r.sub(&self.modulus);
+        }
+        r
+    }
+
+    /// Modular multiplication `(a * b) mod m`.
+    pub fn modmul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        self.reduce(&a.mul(b))
+    }
+
+    /// Modular exponentiation `base^exp mod m` with a 4-bit window.
+    pub fn modexp(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one();
+        }
+        let base = self.reduce(base);
+        // Precompute base^0..=15.
+        let mut table = Vec::with_capacity(16);
+        table.push(BigUint::one());
+        table.push(base.clone());
+        for i in 2..16 {
+            let prev: &BigUint = &table[i - 1];
+            table.push(self.modmul(prev, &base));
+        }
+        let nbits = exp.bits();
+        let nwindows = nbits.div_ceil(4);
+        let mut result = BigUint::one();
+        for w in (0..nwindows).rev() {
+            if result > BigUint::one() {
+                for _ in 0..4 {
+                    result = self.modmul(&result, &result);
+                }
+            }
+            let mut window = 0usize;
+            for b in 0..4 {
+                let bit_idx = w * 4 + (3 - b);
+                window <<= 1;
+                if exp.bit(bit_idx) {
+                    window |= 1;
+                }
+            }
+            if window != 0 {
+                result = self.modmul(&result, &table[window]);
+            }
+        }
+        result
+    }
+}
+
+/// Generates a uniformly random value in `[1, upper)`.
+///
+/// # Panics
+///
+/// Panics if `upper <= 1`.
+pub fn random_below<R: rand::RngCore>(upper: &BigUint, rng: &mut R) -> BigUint {
+    assert!(upper > &BigUint::one(), "upper bound must exceed 1");
+    let byte_len = upper.bits().div_ceil(8);
+    loop {
+        let mut bytes = vec![0u8; byte_len];
+        rng.fill_bytes(&mut bytes);
+        // Mask the top byte so the rejection rate stays below 50%.
+        let excess_bits = byte_len * 8 - upper.bits();
+        bytes[0] &= 0xffu8 >> excess_bits;
+        let candidate = BigUint::from_bytes_be(&bytes);
+        if !candidate.is_zero() && &candidate < upper {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn big(hex: &str) -> BigUint {
+        BigUint::from_hex(hex).unwrap()
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigUint::zero().is_zero());
+        assert!(!BigUint::one().is_zero());
+        assert_eq!(BigUint::zero().bits(), 0);
+        assert_eq!(BigUint::one().bits(), 1);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let v = big("0123456789abcdef0123456789abcdef01");
+        assert_eq!(BigUint::from_bytes_be(&v.to_bytes_be()), v);
+    }
+
+    #[test]
+    fn from_bytes_leading_zeros() {
+        assert_eq!(
+            BigUint::from_bytes_be(&[0, 0, 0, 5]),
+            BigUint::from_u64(5)
+        );
+    }
+
+    #[test]
+    fn padded_bytes() {
+        let v = BigUint::from_u64(0x1234);
+        assert_eq!(v.to_bytes_be_padded(4), vec![0, 0, 0x12, 0x34]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn padded_bytes_too_small() {
+        BigUint::from_u64(0x123456).to_bytes_be_padded(2);
+    }
+
+    #[test]
+    fn add_with_carry() {
+        let a = big("ffffffffffffffff");
+        let b = BigUint::one();
+        assert_eq!(a.add(&b), big("010000000000000000"));
+    }
+
+    #[test]
+    fn sub_with_borrow() {
+        let a = big("010000000000000000");
+        let b = BigUint::one();
+        assert_eq!(a.sub(&b), big("ffffffffffffffff"));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        BigUint::one().sub(&BigUint::from_u64(2));
+    }
+
+    #[test]
+    fn mul_cross_limb() {
+        let a = big("ffffffffffffffff");
+        assert_eq!(a.mul(&a), big("fffffffffffffffe0000000000000001"));
+    }
+
+    #[test]
+    fn shifts() {
+        let v = BigUint::from_u64(1);
+        assert_eq!(v.shl(64), big("010000000000000000"));
+        assert_eq!(v.shl(64).shr(64), v);
+        assert_eq!(v.shl(3), BigUint::from_u64(8));
+        assert_eq!(BigUint::from_u64(8).shr(3), BigUint::from_u64(1));
+        assert_eq!(BigUint::from_u64(8).shr(4), BigUint::zero());
+    }
+
+    #[test]
+    fn div_rem_simple() {
+        let (q, r) = BigUint::from_u64(100).div_rem(&BigUint::from_u64(7));
+        assert_eq!(q, BigUint::from_u64(14));
+        assert_eq!(r, BigUint::from_u64(2));
+    }
+
+    #[test]
+    fn div_rem_large() {
+        let a = big("ffffffffffffffffffffffffffffffffffffffffffffffff");
+        let b = big("fedcba9876543210");
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q.mul(&b).add(&r), a);
+        assert!(r < b);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        BigUint::one().div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn modexp_small() {
+        // 3^7 mod 10 = 2187 mod 10 = 7
+        let r = BigUint::from_u64(3).modexp(&BigUint::from_u64(7), &BigUint::from_u64(10));
+        assert_eq!(r, BigUint::from_u64(7));
+    }
+
+    #[test]
+    fn modexp_fermat() {
+        // Fermat's little theorem: a^(p-1) = 1 mod p for prime p.
+        let p = BigUint::from_u64(1_000_000_007);
+        let a = BigUint::from_u64(123_456_789);
+        let r = a.modexp(&p.sub(&BigUint::one()), &p);
+        assert_eq!(r, BigUint::one());
+    }
+
+    #[test]
+    fn modexp_zero_exponent() {
+        let m = BigUint::from_u64(97);
+        assert_eq!(
+            BigUint::from_u64(5).modexp(&BigUint::zero(), &m),
+            BigUint::one()
+        );
+    }
+
+    #[test]
+    fn barrett_reduce_matches_div_rem() {
+        let m = big("c90fdaa22168c234c4c6628b80dc1cd1");
+        let ctx = BarrettContext::new(m.clone());
+        let x = big("0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef");
+        assert_eq!(ctx.reduce(&x), x.rem(&m));
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut rng = rand::thread_rng();
+        let upper = big("ff00000000000001");
+        for _ in 0..50 {
+            let v = random_below(&upper, &mut rng);
+            assert!(!v.is_zero());
+            assert!(v < upper);
+        }
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(big("0100000000000000ff") > big("ff"));
+        assert!(big("fe") < big("ff"));
+        assert_eq!(big("00ff"), big("ff"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_sub_roundtrip(a in proptest::collection::vec(any::<u8>(), 0..40),
+                                  b in proptest::collection::vec(any::<u8>(), 0..40)) {
+            let a = BigUint::from_bytes_be(&a);
+            let b = BigUint::from_bytes_be(&b);
+            let sum = a.add(&b);
+            prop_assert_eq!(sum.sub(&b), a);
+        }
+
+        #[test]
+        fn prop_div_rem_invariant(a in proptest::collection::vec(any::<u8>(), 0..48),
+                                  b in proptest::collection::vec(any::<u8>(), 1..24)) {
+            let a = BigUint::from_bytes_be(&a);
+            let b = BigUint::from_bytes_be(&b);
+            prop_assume!(!b.is_zero());
+            let (q, r) = a.div_rem(&b);
+            prop_assert_eq!(q.mul(&b).add(&r), a);
+            prop_assert!(r < b);
+        }
+
+        #[test]
+        fn prop_mul_commutative(a in proptest::collection::vec(any::<u8>(), 0..32),
+                                b in proptest::collection::vec(any::<u8>(), 0..32)) {
+            let a = BigUint::from_bytes_be(&a);
+            let b = BigUint::from_bytes_be(&b);
+            prop_assert_eq!(a.mul(&b), b.mul(&a));
+        }
+
+        #[test]
+        fn prop_bytes_roundtrip(a in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let v = BigUint::from_bytes_be(&a);
+            prop_assert_eq!(BigUint::from_bytes_be(&v.to_bytes_be()), v);
+        }
+
+        #[test]
+        fn prop_barrett_matches_rem(x in proptest::collection::vec(any::<u8>(), 0..64),
+                                    m in proptest::collection::vec(any::<u8>(), 2..32)) {
+            let x = BigUint::from_bytes_be(&x);
+            let m = BigUint::from_bytes_be(&m);
+            prop_assume!(m > BigUint::one());
+            // Barrett precondition: x < m^2 * b. Reduce x first if it is too big.
+            let x = x.rem(&m.mul(&m));
+            let ctx = BarrettContext::new(m.clone());
+            prop_assert_eq!(ctx.reduce(&x), x.rem(&m));
+        }
+
+        #[test]
+        fn prop_shift_roundtrip(a in proptest::collection::vec(any::<u8>(), 0..32),
+                                n in 0usize..200) {
+            let v = BigUint::from_bytes_be(&a);
+            prop_assert_eq!(v.shl(n).shr(n), v);
+        }
+    }
+}

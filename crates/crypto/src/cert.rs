@@ -1,0 +1,523 @@
+//! Minimal X.509-like certificates and certificate authorities.
+//!
+//! Fabric-style Membership Service Providers (MSPs) root every identity in
+//! an organization CA. This module provides just enough of that machinery:
+//! a [`Certificate`] binds a subject (name, organization, network, role) to
+//! a Schnorr verification key and optionally an ElGamal encryption key, and
+//! is signed by a [`CertificateAuthority`]. Destination networks validate
+//! proofs by authenticating signer certificates against the source network's
+//! recorded root certificates (paper §4.3).
+
+use crate::error::CryptoError;
+use crate::group::Group;
+use crate::schnorr::{Signature, SigningKey, VerifyingKey};
+use serde::{Deserialize, Serialize};
+
+/// The role a certificate subject plays in its network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CertRole {
+    /// An organization's root certificate authority.
+    RootCa,
+    /// A ledger-maintaining peer node.
+    Peer,
+    /// An ordering-service node.
+    Orderer,
+    /// A client application (e.g. the SWT Seller Client).
+    Client,
+}
+
+impl CertRole {
+    /// Stable single-byte encoding used in the canonical form.
+    pub fn code(self) -> u8 {
+        match self {
+            CertRole::RootCa => 0,
+            CertRole::Peer => 1,
+            CertRole::Orderer => 2,
+            CertRole::Client => 3,
+        }
+    }
+
+    /// Decodes [`CertRole::code`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::Malformed`] on unknown codes.
+    pub fn from_code(code: u8) -> Result<Self, CryptoError> {
+        match code {
+            0 => Ok(CertRole::RootCa),
+            1 => Ok(CertRole::Peer),
+            2 => Ok(CertRole::Orderer),
+            3 => Ok(CertRole::Client),
+            _ => Err(CryptoError::Malformed(format!("unknown cert role {code}"))),
+        }
+    }
+}
+
+/// The identity a certificate attests to.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Subject {
+    /// Human-readable unique name within the organization, e.g. `peer0`.
+    pub common_name: String,
+    /// Organization (MSP) the subject belongs to, e.g. `seller-org`.
+    pub organization: String,
+    /// Network the organization belongs to, e.g. `simplified-tradelens`.
+    pub network: String,
+    /// Role of the subject.
+    pub role: CertRole,
+}
+
+impl Subject {
+    /// Convenience constructor.
+    pub fn new(
+        common_name: impl Into<String>,
+        organization: impl Into<String>,
+        network: impl Into<String>,
+        role: CertRole,
+    ) -> Self {
+        Subject {
+            common_name: common_name.into(),
+            organization: organization.into(),
+            network: network.into(),
+            role,
+        }
+    }
+
+    /// Fully-qualified name `network/organization/common_name`.
+    pub fn qualified_name(&self) -> String {
+        format!("{}/{}/{}", self.network, self.organization, self.common_name)
+    }
+}
+
+/// A signed certificate binding a [`Subject`] to its public keys.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Certificate {
+    subject: Subject,
+    serial: u64,
+    group_name: String,
+    /// Schnorr verification key bytes.
+    sign_key: Vec<u8>,
+    /// Optional ElGamal encryption key bytes (clients that receive
+    /// confidential query responses carry one).
+    enc_key: Option<Vec<u8>>,
+    issuer: Subject,
+    signature: Option<Signature>,
+}
+
+impl Certificate {
+    /// The certified subject.
+    pub fn subject(&self) -> &Subject {
+        &self.subject
+    }
+
+    /// The issuing CA's subject.
+    pub fn issuer(&self) -> &Subject {
+        &self.issuer
+    }
+
+    /// Monotonic serial number assigned by the issuer.
+    pub fn serial(&self) -> u64 {
+        self.serial
+    }
+
+    /// Name of the group the keys live in.
+    pub fn group_name(&self) -> &str {
+        &self.group_name
+    }
+
+    /// The subject's Schnorr verification key.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the stored bytes are not a valid group element
+    /// or the group name is unknown.
+    pub fn verifying_key(&self) -> Result<VerifyingKey, CryptoError> {
+        let group = Group::by_name(&self.group_name).ok_or_else(|| {
+            CryptoError::InvalidKey(format!("unknown group {:?}", self.group_name))
+        })?;
+        VerifyingKey::from_bytes(group, &self.sign_key)
+    }
+
+    /// The subject's ElGamal encryption key, if present.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the stored bytes are invalid or the group name is
+    /// unknown.
+    pub fn encryption_key(&self) -> Result<Option<crate::elgamal::EncryptionKey>, CryptoError> {
+        let Some(bytes) = &self.enc_key else {
+            return Ok(None);
+        };
+        let group = Group::by_name(&self.group_name).ok_or_else(|| {
+            CryptoError::InvalidKey(format!("unknown group {:?}", self.group_name))
+        })?;
+        Ok(Some(crate::elgamal::EncryptionKey::from_bytes(
+            group, bytes,
+        )?))
+    }
+
+    /// Canonical byte form covered by the CA signature.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        fn push_str(out: &mut Vec<u8>, s: &str) {
+            out.extend_from_slice(&(s.len() as u32).to_be_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        fn push_bytes(out: &mut Vec<u8>, b: &[u8]) {
+            out.extend_from_slice(&(b.len() as u32).to_be_bytes());
+            out.extend_from_slice(b);
+        }
+        out.extend_from_slice(b"tdt-cert-v1");
+        push_str(&mut out, &self.subject.common_name);
+        push_str(&mut out, &self.subject.organization);
+        push_str(&mut out, &self.subject.network);
+        out.push(self.subject.role.code());
+        out.extend_from_slice(&self.serial.to_be_bytes());
+        push_str(&mut out, &self.group_name);
+        push_bytes(&mut out, &self.sign_key);
+        match &self.enc_key {
+            Some(k) => {
+                out.push(1);
+                push_bytes(&mut out, k);
+            }
+            None => out.push(0),
+        }
+        push_str(&mut out, &self.issuer.common_name);
+        push_str(&mut out, &self.issuer.organization);
+        push_str(&mut out, &self.issuer.network);
+        out.push(self.issuer.role.code());
+        out
+    }
+
+    /// Stable fingerprint: SHA-256 of the canonical bytes, hex encoded.
+    pub fn fingerprint(&self) -> String {
+        crate::hex_encode(&crate::sha256(&self.canonical_bytes()))
+    }
+
+    /// Validates this certificate against an issuing root certificate.
+    ///
+    /// Checks that (1) the issuer subject matches the root's subject, (2)
+    /// the root is actually a CA certificate for the same network, and (3)
+    /// the signature over the canonical bytes verifies under the root's key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::CertificateInvalid`] describing the failure.
+    pub fn verify(&self, root: &Certificate) -> Result<(), CryptoError> {
+        if root.subject.role != CertRole::RootCa {
+            return Err(CryptoError::CertificateInvalid(
+                "issuer certificate is not a root CA".into(),
+            ));
+        }
+        if self.issuer != root.subject {
+            return Err(CryptoError::CertificateInvalid(format!(
+                "issuer {:?} does not match root subject {:?}",
+                self.issuer.qualified_name(),
+                root.subject.qualified_name()
+            )));
+        }
+        if self.subject.network != root.subject.network {
+            return Err(CryptoError::CertificateInvalid(
+                "subject network differs from issuer network".into(),
+            ));
+        }
+        let signature = self.signature.as_ref().ok_or_else(|| {
+            CryptoError::CertificateInvalid("certificate is unsigned".into())
+        })?;
+        let root_key = root.verifying_key()?;
+        root_key
+            .verify(&self.canonical_bytes(), signature)
+            .map_err(|_| CryptoError::CertificateInvalid("bad CA signature".into()))
+    }
+
+    /// Validates a self-signed root certificate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::CertificateInvalid`] if the certificate is not
+    /// a self-signed root CA or the self-signature fails.
+    pub fn verify_self_signed(&self) -> Result<(), CryptoError> {
+        if self.subject.role != CertRole::RootCa || self.issuer != self.subject {
+            return Err(CryptoError::CertificateInvalid(
+                "not a self-signed root certificate".into(),
+            ));
+        }
+        let signature = self.signature.as_ref().ok_or_else(|| {
+            CryptoError::CertificateInvalid("certificate is unsigned".into())
+        })?;
+        let key = self.verifying_key()?;
+        key.verify(&self.canonical_bytes(), signature)
+            .map_err(|_| CryptoError::CertificateInvalid("bad self-signature".into()))
+    }
+
+    /// Raw Schnorr key bytes (for wire encoding).
+    pub fn sign_key_bytes(&self) -> &[u8] {
+        &self.sign_key
+    }
+
+    /// Raw ElGamal key bytes, if present.
+    pub fn enc_key_bytes(&self) -> Option<&[u8]> {
+        self.enc_key.as_deref()
+    }
+
+    /// The CA signature, if the certificate has been signed.
+    pub fn signature(&self) -> Option<&Signature> {
+        self.signature.as_ref()
+    }
+
+    /// Internal constructor used by [`CertificateAuthority`] and tests that
+    /// need to craft malformed certificates.
+    pub fn assemble(
+        subject: Subject,
+        serial: u64,
+        group_name: String,
+        sign_key: Vec<u8>,
+        enc_key: Option<Vec<u8>>,
+        issuer: Subject,
+        signature: Option<Signature>,
+    ) -> Self {
+        Certificate {
+            subject,
+            serial,
+            group_name,
+            sign_key,
+            enc_key,
+            issuer,
+            signature,
+        }
+    }
+}
+
+/// A certificate authority: a self-signed root certificate plus its key.
+#[derive(Debug, Clone)]
+pub struct CertificateAuthority {
+    cert: Certificate,
+    key: SigningKey,
+    next_serial: u64,
+}
+
+impl CertificateAuthority {
+    /// Creates a new root CA for `organization` in `network`, deriving the
+    /// key deterministically from the qualified name and `seed`.
+    pub fn new(
+        network: impl Into<String>,
+        organization: impl Into<String>,
+        group: Group,
+        seed: &[u8],
+    ) -> Self {
+        let network = network.into();
+        let organization = organization.into();
+        let subject = Subject::new("ca", organization, network, CertRole::RootCa);
+        let mut seed_material = subject.qualified_name().into_bytes();
+        seed_material.extend_from_slice(seed);
+        let key = SigningKey::from_seed(group.clone(), &seed_material);
+        let mut cert = Certificate {
+            subject: subject.clone(),
+            serial: 0,
+            group_name: group.name().to_string(),
+            sign_key: key.verifying_key().to_bytes(),
+            enc_key: None,
+            issuer: subject,
+            signature: None,
+        };
+        cert.signature = Some(key.sign(&cert.canonical_bytes()));
+        CertificateAuthority {
+            cert,
+            key,
+            next_serial: 1,
+        }
+    }
+
+    /// The self-signed root certificate.
+    pub fn root_certificate(&self) -> &Certificate {
+        &self.cert
+    }
+
+    /// Issues a certificate over the given subject and keys.
+    ///
+    /// The subject's organization and network are forced to match the CA's.
+    pub fn issue(
+        &mut self,
+        common_name: impl Into<String>,
+        role: CertRole,
+        verifying_key: &VerifyingKey,
+        encryption_key: Option<&crate::elgamal::EncryptionKey>,
+    ) -> Certificate {
+        let subject = Subject::new(
+            common_name,
+            self.cert.subject.organization.clone(),
+            self.cert.subject.network.clone(),
+            role,
+        );
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        let mut cert = Certificate {
+            subject,
+            serial,
+            group_name: self.cert.group_name.clone(),
+            sign_key: verifying_key.to_bytes(),
+            enc_key: encryption_key.map(|k| k.to_bytes()),
+            issuer: self.cert.subject.clone(),
+            signature: None,
+        };
+        cert.signature = Some(self.key.sign(&cert.canonical_bytes()));
+        cert
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elgamal::DecryptionKey;
+
+    fn ca() -> CertificateAuthority {
+        CertificateAuthority::new("stl", "seller-org", Group::test_group(), b"seed")
+    }
+
+    fn member_key(seed: &[u8]) -> SigningKey {
+        SigningKey::from_seed(Group::test_group(), seed)
+    }
+
+    #[test]
+    fn root_is_self_signed() {
+        let ca = ca();
+        assert!(ca.root_certificate().verify_self_signed().is_ok());
+    }
+
+    #[test]
+    fn issued_cert_verifies_against_root() {
+        let mut ca = ca();
+        let key = member_key(b"peer0");
+        let cert = ca.issue("peer0", CertRole::Peer, &key.verifying_key(), None);
+        assert!(cert.verify(ca.root_certificate()).is_ok());
+        assert_eq!(cert.subject().organization, "seller-org");
+        assert_eq!(cert.subject().network, "stl");
+    }
+
+    #[test]
+    fn cert_with_encryption_key_roundtrips() {
+        let mut ca = ca();
+        let sk = member_key(b"client");
+        let dk = DecryptionKey::from_seed(Group::test_group(), b"client-enc");
+        let cert = ca.issue(
+            "swt-sc",
+            CertRole::Client,
+            &sk.verifying_key(),
+            Some(&dk.encryption_key()),
+        );
+        let ek = cert.encryption_key().unwrap().unwrap();
+        let ct = ek.encrypt_deterministic(b"data", b"s");
+        assert_eq!(dk.decrypt(&ct).unwrap(), b"data");
+    }
+
+    #[test]
+    fn wrong_root_rejected() {
+        let mut ca1 = ca();
+        let ca2 = CertificateAuthority::new("stl", "carrier-org", Group::test_group(), b"seed2");
+        let key = member_key(b"peer0");
+        let cert = ca1.issue("peer0", CertRole::Peer, &key.verifying_key(), None);
+        assert!(cert.verify(ca2.root_certificate()).is_err());
+    }
+
+    #[test]
+    fn tampered_subject_rejected() {
+        let mut ca = ca();
+        let key = member_key(b"peer0");
+        let cert = ca.issue("peer0", CertRole::Peer, &key.verifying_key(), None);
+        let tampered = Certificate::assemble(
+            Subject::new("evil-peer", "seller-org", "stl", CertRole::Peer),
+            cert.serial(),
+            cert.group_name().to_string(),
+            cert.sign_key_bytes().to_vec(),
+            None,
+            cert.issuer().clone(),
+            cert.signature().cloned(),
+        );
+        assert!(tampered.verify(ca.root_certificate()).is_err());
+    }
+
+    #[test]
+    fn swapped_key_rejected() {
+        let mut ca = ca();
+        let key = member_key(b"peer0");
+        let evil_key = member_key(b"evil");
+        let cert = ca.issue("peer0", CertRole::Peer, &key.verifying_key(), None);
+        let tampered = Certificate::assemble(
+            cert.subject().clone(),
+            cert.serial(),
+            cert.group_name().to_string(),
+            evil_key.verifying_key().to_bytes(),
+            None,
+            cert.issuer().clone(),
+            cert.signature().cloned(),
+        );
+        assert!(tampered.verify(ca.root_certificate()).is_err());
+    }
+
+    #[test]
+    fn unsigned_cert_rejected() {
+        let mut ca = ca();
+        let key = member_key(b"peer0");
+        let cert = ca.issue("peer0", CertRole::Peer, &key.verifying_key(), None);
+        let unsigned = Certificate::assemble(
+            cert.subject().clone(),
+            cert.serial(),
+            cert.group_name().to_string(),
+            cert.sign_key_bytes().to_vec(),
+            None,
+            cert.issuer().clone(),
+            None,
+        );
+        assert!(matches!(
+            unsigned.verify(ca.root_certificate()),
+            Err(CryptoError::CertificateInvalid(_))
+        ));
+    }
+
+    #[test]
+    fn non_ca_cannot_act_as_root() {
+        let mut ca = ca();
+        let key = member_key(b"peer0");
+        let peer_cert = ca.issue("peer0", CertRole::Peer, &key.verifying_key(), None);
+        let victim = ca.issue("peer1", CertRole::Peer, &key.verifying_key(), None);
+        assert!(victim.verify(&peer_cert).is_err());
+    }
+
+    #[test]
+    fn serials_increment() {
+        let mut ca = ca();
+        let key = member_key(b"k");
+        let c1 = ca.issue("a", CertRole::Peer, &key.verifying_key(), None);
+        let c2 = ca.issue("b", CertRole::Peer, &key.verifying_key(), None);
+        assert!(c2.serial() > c1.serial());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_unique() {
+        let mut ca = ca();
+        let key = member_key(b"k");
+        let c1 = ca.issue("a", CertRole::Peer, &key.verifying_key(), None);
+        let c2 = ca.issue("b", CertRole::Peer, &key.verifying_key(), None);
+        assert_eq!(c1.fingerprint(), c1.fingerprint());
+        assert_ne!(c1.fingerprint(), c2.fingerprint());
+        assert_eq!(c1.fingerprint().len(), 64);
+    }
+
+    #[test]
+    fn qualified_name_format() {
+        let s = Subject::new("peer0", "org", "net", CertRole::Peer);
+        assert_eq!(s.qualified_name(), "net/org/peer0");
+    }
+
+    #[test]
+    fn role_codes_roundtrip() {
+        for role in [
+            CertRole::RootCa,
+            CertRole::Peer,
+            CertRole::Orderer,
+            CertRole::Client,
+        ] {
+            assert_eq!(CertRole::from_code(role.code()).unwrap(), role);
+        }
+        assert!(CertRole::from_code(99).is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type shared by all cryptographic primitives in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the cryptographic substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// A signature failed verification.
+    InvalidSignature,
+    /// A MAC tag failed verification (ciphertext integrity violation).
+    InvalidMac,
+    /// A ciphertext was malformed (truncated, wrong group element, ...).
+    Malformed(String),
+    /// A certificate failed validation (bad signature, untrusted issuer,
+    /// expired, revoked, or subject mismatch).
+    CertificateInvalid(String),
+    /// Key material was invalid for the requested operation.
+    InvalidKey(String),
+    /// An encoding/decoding problem (hex, byte layout).
+    Encoding(String),
+    /// A group element was outside the expected subgroup or range.
+    InvalidGroupElement,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::InvalidSignature => write!(f, "signature verification failed"),
+            CryptoError::InvalidMac => write!(f, "message authentication tag mismatch"),
+            CryptoError::Malformed(msg) => write!(f, "malformed cryptographic input: {msg}"),
+            CryptoError::CertificateInvalid(msg) => write!(f, "certificate invalid: {msg}"),
+            CryptoError::InvalidKey(msg) => write!(f, "invalid key material: {msg}"),
+            CryptoError::Encoding(msg) => write!(f, "encoding error: {msg}"),
+            CryptoError::InvalidGroupElement => write!(f, "value is not a valid group element"),
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let variants = [
+            CryptoError::InvalidSignature,
+            CryptoError::InvalidMac,
+            CryptoError::Malformed("x".into()),
+            CryptoError::CertificateInvalid("y".into()),
+            CryptoError::InvalidKey("z".into()),
+            CryptoError::Encoding("w".into()),
+            CryptoError::InvalidGroupElement,
+        ];
+        for v in variants {
+            let msg = v.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CryptoError>();
+    }
+}

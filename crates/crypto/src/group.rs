@@ -1,0 +1,366 @@
+//! Named multiplicative groups modulo safe primes.
+//!
+//! A [`Group`] is the quadratic-residue subgroup of `Z_p^*` for a safe prime
+//! `p = 2q + 1`. The subgroup has prime order `q = (p-1)/2` and is generated
+//! by `g = 4` (the square of 2, guaranteed to be a quadratic residue). All
+//! Schnorr and ElGamal operations in this crate run in such a group.
+//!
+//! Three well-known safe primes are bundled:
+//!
+//! * [`Group::modp_768`] — Oakley Group 1 (RFC 2409), fast, for tests.
+//! * [`Group::modp_1024`] — Oakley Group 2 (RFC 2409), the default.
+//! * [`Group::modp_2048`] — RFC 3526 Group 14, for production-equivalent runs.
+//!
+//! The unit tests verify the subgroup structure (`g^q == 1 mod p`), which
+//! guards against transcription errors in the constants.
+
+use crate::bigint::{BarrettContext, BigUint};
+use std::fmt;
+use std::sync::Arc;
+
+/// Oakley Group 1 prime (768-bit safe prime, RFC 2409 §6.1).
+const MODP_768_HEX: &str = "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74\
+     020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437\
+     4FE1356D6D51C245E485B576625E7EC6F44C42E9A63A3620FFFFFFFFFFFFFFFF";
+
+/// Oakley Group 2 prime (1024-bit safe prime, RFC 2409 §6.2).
+const MODP_1024_HEX: &str = "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74\
+     020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437\
+     4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED\
+     EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF";
+
+/// RFC 3526 Group 14 prime (2048-bit safe prime).
+const MODP_2048_HEX: &str = "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74\
+     020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437\
+     4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED\
+     EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05\
+     98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB\
+     9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B\
+     E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718\
+     3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF";
+
+/// A multiplicative group of prime order `q` inside `Z_p^*`.
+///
+/// Cheap to clone (internally reference-counted): the Barrett contexts for
+/// `p` and `q` are shared.
+#[derive(Clone)]
+pub struct Group {
+    inner: Arc<GroupInner>,
+}
+
+struct GroupInner {
+    name: &'static str,
+    p_ctx: BarrettContext,
+    q_ctx: BarrettContext,
+    generator: BigUint,
+    element_len: usize,
+}
+
+impl fmt::Debug for Group {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Group")
+            .field("name", &self.inner.name)
+            .field("bits", &self.p().bits())
+            .finish()
+    }
+}
+
+impl PartialEq for Group {
+    fn eq(&self, other: &Self) -> bool {
+        self.inner.name == other.inner.name && self.p() == other.p()
+    }
+}
+
+impl Eq for Group {}
+
+impl Group {
+    fn from_prime(name: &'static str, p_hex: &str) -> Self {
+        let p = BigUint::from_hex(p_hex).expect("builtin prime constant is valid hex");
+        let q = p.sub(&BigUint::one()).shr(1);
+        let element_len = p.bits().div_ceil(8);
+        Group {
+            inner: Arc::new(GroupInner {
+                name,
+                p_ctx: BarrettContext::new(p),
+                q_ctx: BarrettContext::new(q),
+                generator: BigUint::from_u64(4),
+                element_len,
+            }),
+        }
+    }
+
+    /// Oakley Group 1 (768-bit). Fast; suitable for tests and benches.
+    pub fn modp_768() -> Self {
+        Self::from_prime("modp768", MODP_768_HEX)
+    }
+
+    /// Oakley Group 2 (1024-bit). The default group.
+    pub fn modp_1024() -> Self {
+        Self::from_prime("modp1024", MODP_1024_HEX)
+    }
+
+    /// RFC 3526 Group 14 (2048-bit). Production-equivalent parameter size.
+    pub fn modp_2048() -> Self {
+        Self::from_prime("modp2048", MODP_2048_HEX)
+    }
+
+    /// The group used throughout the test-suites: the 768-bit Oakley group.
+    pub fn test_group() -> Self {
+        Self::modp_768()
+    }
+
+    /// Looks a group up by its short name (`modp768`, `modp1024`, `modp2048`).
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "modp768" => Some(Self::modp_768()),
+            "modp1024" => Some(Self::modp_1024()),
+            "modp2048" => Some(Self::modp_2048()),
+            _ => None,
+        }
+    }
+
+    /// Short identifier of the group.
+    pub fn name(&self) -> &'static str {
+        self.inner.name
+    }
+
+    /// The safe prime `p`.
+    pub fn p(&self) -> &BigUint {
+        self.inner.p_ctx.modulus()
+    }
+
+    /// The subgroup order `q = (p-1)/2`.
+    pub fn q(&self) -> &BigUint {
+        self.inner.q_ctx.modulus()
+    }
+
+    /// The subgroup generator (`4`).
+    pub fn generator(&self) -> &BigUint {
+        &self.inner.generator
+    }
+
+    /// Byte length of a serialized group element.
+    pub fn element_len(&self) -> usize {
+        self.inner.element_len
+    }
+
+    /// `base^exp mod p`.
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        self.inner.p_ctx.modexp(base, exp)
+    }
+
+    /// `g^exp mod p`.
+    pub fn pow_g(&self, exp: &BigUint) -> BigUint {
+        self.pow(&self.inner.generator, exp)
+    }
+
+    /// `(a * b) mod p`.
+    pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        self.inner.p_ctx.modmul(a, b)
+    }
+
+    /// Inverse of a subgroup element: `a^(q-1) mod p` (valid because the
+    /// subgroup has prime order `q`).
+    pub fn invert(&self, a: &BigUint) -> BigUint {
+        let exp = self.q().sub(&BigUint::one());
+        self.pow(a, &exp)
+    }
+
+    /// Reduces an arbitrary integer modulo the subgroup order `q`.
+    pub fn reduce_scalar(&self, x: &BigUint) -> BigUint {
+        self.inner.q_ctx.reduce(x)
+    }
+
+    /// Scalar arithmetic mod `q`: `(a + b) mod q`.
+    pub fn scalar_add(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        a.mod_add(b, self.q())
+    }
+
+    /// Scalar arithmetic mod `q`: `(a * b) mod q`.
+    pub fn scalar_mul<'a>(&'a self, a: &'a BigUint) -> ScalarMul<'a> {
+        ScalarMul { group: self, a }
+    }
+
+    /// Hashes arbitrary bytes to a nonzero scalar mod `q`.
+    pub fn hash_to_scalar(&self, parts: &[&[u8]]) -> BigUint {
+        // Expand to 2x the scalar width to keep the mod-q bias negligible,
+        // by hashing with two domain-separated counters.
+        let mut wide = Vec::with_capacity(64);
+        let mut h0 = crate::sha256::Sha256::new();
+        h0.update(b"tdt-h2s-0");
+        for p in parts {
+            h0.update(&(p.len() as u64).to_be_bytes());
+            h0.update(p);
+        }
+        wide.extend_from_slice(&h0.finalize());
+        let mut h1 = crate::sha256::Sha256::new();
+        h1.update(b"tdt-h2s-1");
+        for p in parts {
+            h1.update(&(p.len() as u64).to_be_bytes());
+            h1.update(p);
+        }
+        wide.extend_from_slice(&h1.finalize());
+        let scalar = self.reduce_scalar(&BigUint::from_bytes_be(&wide));
+        if scalar.is_zero() {
+            BigUint::one()
+        } else {
+            scalar
+        }
+    }
+
+    /// Validates the group parameters: `p` must be a safe prime and the
+    /// generator must have order exactly `q`. Expensive (Miller-Rabin over
+    /// `p` and `q`); intended for one-time validation of *imported*
+    /// parameters — the built-ins are checked by the test-suite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CryptoError::InvalidKey`] describing what failed.
+    pub fn validate(&self, rounds: u32) -> Result<(), crate::CryptoError> {
+        if !crate::prime::is_safe_prime(self.p(), rounds) {
+            return Err(crate::CryptoError::InvalidKey(
+                "group modulus is not a safe prime".into(),
+            ));
+        }
+        if self.pow_g(self.q()) != BigUint::one() {
+            return Err(crate::CryptoError::InvalidKey(
+                "generator does not have order q".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Checks that `x` is a valid element of the order-`q` subgroup.
+    pub fn is_element(&self, x: &BigUint) -> bool {
+        if x.is_zero() || x >= self.p() {
+            return false;
+        }
+        // Subgroup membership: x^q == 1 mod p.
+        self.pow(x, self.q()) == BigUint::one()
+    }
+
+    /// Serializes a group element as fixed-width big-endian bytes.
+    pub fn element_to_bytes(&self, x: &BigUint) -> Vec<u8> {
+        x.to_bytes_be_padded(self.inner.element_len)
+    }
+}
+
+/// Borrowed helper returned by [`Group::scalar_mul`], letting callers finish
+/// the multiplication with a second operand.
+#[derive(Debug)]
+pub struct ScalarMul<'a> {
+    group: &'a Group,
+    a: &'a BigUint,
+}
+
+impl ScalarMul<'_> {
+    /// Completes the product `(a * b) mod q`.
+    pub fn by(self, b: &BigUint) -> BigUint {
+        self.group.inner.q_ctx.reduce(&self.a.mul(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bigint::random_below;
+
+    /// Transcription guard: the generator must have order exactly q. If a
+    /// prime constant were mistyped this would fail with overwhelming
+    /// probability.
+    #[test]
+    fn generator_order_768() {
+        let g = Group::modp_768();
+        assert_eq!(g.pow_g(g.q()), BigUint::one());
+        assert_ne!(g.pow_g(&BigUint::one()), BigUint::one());
+    }
+
+    #[test]
+    fn generator_order_1024() {
+        let g = Group::modp_1024();
+        assert_eq!(g.pow_g(g.q()), BigUint::one());
+    }
+
+    #[test]
+    fn generator_order_2048() {
+        let g = Group::modp_2048();
+        assert_eq!(g.pow_g(g.q()), BigUint::one());
+    }
+
+    #[test]
+    fn p_is_odd_and_q_half() {
+        for g in [Group::modp_768(), Group::modp_1024(), Group::modp_2048()] {
+            assert!(g.p().is_odd());
+            assert_eq!(&g.q().shl(1).add(&BigUint::one()), g.p());
+        }
+    }
+
+    #[test]
+    fn invert_is_inverse() {
+        let g = Group::test_group();
+        let mut rng = rand::thread_rng();
+        let x = random_below(g.q(), &mut rng);
+        let elem = g.pow_g(&x);
+        let inv = g.invert(&elem);
+        assert_eq!(g.mul(&elem, &inv), BigUint::one());
+    }
+
+    #[test]
+    fn elements_are_in_subgroup() {
+        let g = Group::test_group();
+        let mut rng = rand::thread_rng();
+        let x = random_below(g.q(), &mut rng);
+        let elem = g.pow_g(&x);
+        assert!(g.is_element(&elem));
+    }
+
+    #[test]
+    fn non_elements_rejected() {
+        let g = Group::test_group();
+        assert!(!g.is_element(&BigUint::zero()));
+        assert!(!g.is_element(g.p()));
+        // p ≡ 3 (mod 4), so -1 ≡ p-1 is a quadratic non-residue and hence
+        // outside the order-q subgroup.
+        assert!(!g.is_element(&g.p().sub(&BigUint::one())));
+    }
+
+    #[test]
+    fn hash_to_scalar_deterministic_and_domain_separated() {
+        let g = Group::test_group();
+        let a = g.hash_to_scalar(&[b"hello", b"world"]);
+        let b = g.hash_to_scalar(&[b"hello", b"world"]);
+        let c = g.hash_to_scalar(&[b"helloworld"]);
+        assert_eq!(a, b);
+        // Length prefixes must prevent concatenation ambiguity.
+        assert_ne!(a, c);
+        assert!(&a < g.q());
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert_eq!(Group::by_name("modp768"), Some(Group::modp_768()));
+        assert_eq!(Group::by_name("modp1024"), Some(Group::modp_1024()));
+        assert!(Group::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn element_bytes_fixed_width() {
+        let g = Group::modp_768();
+        let bytes = g.element_to_bytes(&BigUint::one());
+        assert_eq!(bytes.len(), g.element_len());
+        assert_eq!(g.element_len(), 96);
+    }
+
+    #[test]
+    fn validate_accepts_builtin_group() {
+        assert!(Group::modp_768().validate(4).is_ok());
+    }
+
+    #[test]
+    fn scalar_mul_matches_naive() {
+        let g = Group::test_group();
+        let a = BigUint::from_u64(u64::MAX);
+        let b = BigUint::from_u64(u64::MAX - 1);
+        assert_eq!(g.scalar_mul(&a).by(&b), a.mul(&b).rem(g.q()));
+    }
+}

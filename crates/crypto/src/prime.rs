@@ -1,0 +1,148 @@
+//! Miller-Rabin probabilistic primality testing.
+//!
+//! Used to validate the built-in safe-prime group parameters (a
+//! transcription error in a hardcoded prime would silently weaken every
+//! signature), and available to applications that import their own group
+//! parameters from configuration.
+
+use crate::bigint::{BarrettContext, BigUint};
+use crate::drbg::HmacDrbg;
+
+/// Number of Miller-Rabin rounds used by [`is_probable_prime`]. Each round
+/// has at most a 1/4 false-positive rate, so 32 rounds leave < 2⁻⁶⁴.
+pub const DEFAULT_ROUNDS: u32 = 32;
+
+/// Miller-Rabin with deterministically derived bases (HMAC-DRBG seeded from
+/// the candidate), so results are reproducible.
+///
+/// Returns `true` when `n` is prime with overwhelming probability, `false`
+/// when `n` is definitely composite.
+pub fn is_probable_prime(n: &BigUint, rounds: u32) -> bool {
+    // Small cases.
+    if n < &BigUint::from_u64(2) {
+        return false;
+    }
+    for small in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let p = BigUint::from_u64(small);
+        if n == &p {
+            return true;
+        }
+        if n.rem(&p).is_zero() {
+            return false;
+        }
+    }
+    // Write n-1 = d * 2^s with d odd.
+    let one = BigUint::one();
+    let two = BigUint::from_u64(2);
+    let n_minus_1 = n.sub(&one);
+    let mut d = n_minus_1.clone();
+    let mut s = 0u32;
+    while !d.is_odd() {
+        d = d.shr(1);
+        s += 1;
+    }
+    let ctx = BarrettContext::new(n.clone());
+    let mut drbg = HmacDrbg::from_parts(&[b"tdt-miller-rabin", &n.to_bytes_be()]);
+    'witness: for _ in 0..rounds {
+        // Base a in [2, n-2].
+        let a = loop {
+            let candidate = crate::bigint::random_below(&n_minus_1, &mut drbg);
+            if candidate >= two {
+                break candidate;
+            }
+        };
+        let mut x = ctx.modexp(&a, &d);
+        if x == one || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..s.saturating_sub(1) {
+            x = ctx.modmul(&x, &x);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false; // a is a witness of compositeness
+    }
+    true
+}
+
+/// Checks that `p` is a *safe prime*: both `p` and `(p-1)/2` are prime.
+pub fn is_safe_prime(p: &BigUint, rounds: u32) -> bool {
+    if !p.is_odd() {
+        return false;
+    }
+    let q = p.sub(&BigUint::one()).shr(1);
+    is_probable_prime(p, rounds) && is_probable_prime(&q, rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn small_primes_accepted() {
+        for p in [2u64, 3, 5, 7, 11, 13, 101, 7919, 1_000_000_007] {
+            assert!(is_probable_prime(&n(p), 16), "{p} should be prime");
+        }
+    }
+
+    #[test]
+    fn small_composites_rejected() {
+        for c in [0u64, 1, 4, 6, 9, 15, 100, 7917, 1_000_000_008] {
+            assert!(!is_probable_prime(&n(c), 16), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Fermat pseudoprimes that fool a^(n-1) ≡ 1 tests.
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 62745, 162401] {
+            assert!(!is_probable_prime(&n(c), 16), "{c} is Carmichael");
+        }
+    }
+
+    #[test]
+    fn safe_primes_detected() {
+        // 23 = 2*11+1, 47 = 2*23+1, 59, 83, 107 are safe primes.
+        for p in [23u64, 47, 59, 83, 107, 179, 227] {
+            assert!(is_safe_prime(&n(p), 16), "{p} is a safe prime");
+        }
+        // 13 is prime but (13-1)/2 = 6 is not.
+        assert!(!is_safe_prime(&n(13), 16));
+        assert!(!is_safe_prime(&n(22), 16));
+    }
+
+    #[test]
+    fn builtin_group_primes_are_safe() {
+        // The transcription guard for the hardcoded MODP constants. A few
+        // rounds suffice here; the generator-order tests in `group` provide
+        // an independent algebraic check.
+        use crate::group::Group;
+        for group in [Group::modp_768(), Group::modp_1024()] {
+            assert!(
+                is_safe_prime(group.p(), 4),
+                "{} prime failed the safe-prime check",
+                group.name()
+            );
+        }
+    }
+
+    #[test]
+    fn builtin_2048_prime_is_safe() {
+        // Separate test: the 2048-bit check is the slowest.
+        use crate::group::Group;
+        let group = Group::modp_2048();
+        assert!(is_safe_prime(group.p(), 2));
+    }
+
+    #[test]
+    fn large_composite_rejected() {
+        // Product of two 64-bit-ish primes.
+        let p = n(1_000_000_007).mul(&n(1_000_000_009));
+        assert!(!is_probable_prime(&p, 8));
+    }
+}

@@ -1,0 +1,368 @@
+//! Schnorr signatures over a MODP subgroup of prime order.
+//!
+//! This is the signature scheme used by peers to endorse transactions and
+//! attest query results (the paper's proofs are arrays of peer signatures
+//! over result metadata). Nonces are derived deterministically from the
+//! secret key and message via HMAC-DRBG, RFC 6979 style, so signing never
+//! needs an entropy source and cannot leak the key through nonce reuse.
+//!
+//! Scheme (group `G` of order `q`, generator `g`):
+//!
+//! * keygen: `x ← [1, q)`, `y = g^x`
+//! * sign(m): `k = DRBG(x, m)`, `r = g^k`, `e = H(r ‖ y ‖ m) mod q`,
+//!   `s = k + e·x mod q`; signature is `(e, s)`
+//! * verify: `r' = g^s · y^{-e}`, accept iff `e == H(r' ‖ y ‖ m) mod q`
+
+use crate::bigint::{random_below, BigUint};
+use crate::drbg::HmacDrbg;
+use crate::error::CryptoError;
+use crate::group::Group;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A Schnorr signature `(e, s)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signature {
+    e: Vec<u8>,
+    s: Vec<u8>,
+}
+
+impl Signature {
+    /// The challenge scalar `e`, big-endian.
+    pub fn e_bytes(&self) -> &[u8] {
+        &self.e
+    }
+
+    /// The response scalar `s`, big-endian.
+    pub fn s_bytes(&self) -> &[u8] {
+        &self.s
+    }
+
+    /// Reconstructs a signature from its two scalar components.
+    pub fn from_scalars(e: Vec<u8>, s: Vec<u8>) -> Self {
+        Signature { e, s }
+    }
+
+    /// Serializes as `len(e) ‖ e ‖ s` for transport.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.e.len() + self.s.len());
+        out.extend_from_slice(&(self.e.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.e);
+        out.extend_from_slice(&self.s);
+        out
+    }
+
+    /// Parses the [`Signature::to_bytes`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::Malformed`] on truncated input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        if bytes.len() < 4 {
+            return Err(CryptoError::Malformed("signature too short".into()));
+        }
+        let e_len = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        if bytes.len() < 4 + e_len {
+            return Err(CryptoError::Malformed("signature e truncated".into()));
+        }
+        Ok(Signature {
+            e: bytes[4..4 + e_len].to_vec(),
+            s: bytes[4 + e_len..].to_vec(),
+        })
+    }
+}
+
+/// A Schnorr signing (secret) key.
+#[derive(Clone)]
+pub struct SigningKey {
+    group: Group,
+    x: BigUint,
+    y: BigUint,
+}
+
+impl fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print the secret scalar.
+        f.debug_struct("SigningKey")
+            .field("group", &self.group.name())
+            .field("public", &crate::hex_encode(&self.y.to_bytes_be()[..8.min(self.y.to_bytes_be().len())]))
+            .finish()
+    }
+}
+
+impl SigningKey {
+    /// Generates a fresh random key pair.
+    pub fn generate<R: rand::RngCore>(group: Group, rng: &mut R) -> Self {
+        let x = random_below(group.q(), rng);
+        let y = group.pow_g(&x);
+        SigningKey { group, x, y }
+    }
+
+    /// Derives a key pair deterministically from seed material (useful for
+    /// reproducible test networks).
+    pub fn from_seed(group: Group, seed: &[u8]) -> Self {
+        let mut drbg = HmacDrbg::from_parts(&[b"tdt-signing-key", seed]);
+        let x = random_below(group.q(), &mut drbg);
+        let y = group.pow_g(&x);
+        SigningKey { group, x, y }
+    }
+
+    /// The corresponding verification (public) key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        VerifyingKey {
+            group: self.group.clone(),
+            y: self.y.clone(),
+        }
+    }
+
+    /// The group this key lives in.
+    pub fn group(&self) -> &Group {
+        &self.group
+    }
+
+    /// Signs `message` with a deterministic nonce.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let x_bytes = self.x.to_bytes_be();
+        let mut drbg = HmacDrbg::from_parts(&[b"tdt-schnorr-nonce", &x_bytes, message]);
+        let k = random_below(self.group.q(), &mut drbg);
+        let r = self.group.pow_g(&k);
+        let e = self.challenge(&r, message);
+        // s = k + e*x mod q
+        let ex = self.group.scalar_mul(&e).by(&self.x);
+        let s = self.group.scalar_add(&k, &ex);
+        Signature {
+            e: e.to_bytes_be(),
+            s: s.to_bytes_be(),
+        }
+    }
+
+    fn challenge(&self, r: &BigUint, message: &[u8]) -> BigUint {
+        self.group.hash_to_scalar(&[
+            b"tdt-schnorr",
+            &self.group.element_to_bytes(r),
+            &self.group.element_to_bytes(&self.y),
+            message,
+        ])
+    }
+
+    /// Exports the secret scalar (big-endian). Handle with care.
+    pub fn secret_bytes(&self) -> Vec<u8> {
+        self.x.to_bytes_be()
+    }
+
+    /// Reconstructs a signing key from an exported secret scalar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidKey`] if the scalar is zero or ≥ q.
+    pub fn from_secret_bytes(group: Group, bytes: &[u8]) -> Result<Self, CryptoError> {
+        let x = BigUint::from_bytes_be(bytes);
+        if x.is_zero() || &x >= group.q() {
+            return Err(CryptoError::InvalidKey("scalar out of range".into()));
+        }
+        let y = group.pow_g(&x);
+        Ok(SigningKey { group, x, y })
+    }
+}
+
+/// A Schnorr verification (public) key.
+#[derive(Clone, PartialEq, Eq)]
+pub struct VerifyingKey {
+    group: Group,
+    y: BigUint,
+}
+
+impl fmt::Debug for VerifyingKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VerifyingKey")
+            .field("group", &self.group.name())
+            .field("y", &format!("{:.16}", self.y.to_string()))
+            .finish()
+    }
+}
+
+impl VerifyingKey {
+    /// The group this key lives in.
+    pub fn group(&self) -> &Group {
+        &self.group
+    }
+
+    /// The public group element `y = g^x`.
+    pub fn element(&self) -> &BigUint {
+        &self.y
+    }
+
+    /// Serializes as fixed-width big-endian bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.group.element_to_bytes(&self.y)
+    }
+
+    /// Parses a public key; checks subgroup membership.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidGroupElement`] if the element is not in
+    /// the prime-order subgroup.
+    pub fn from_bytes(group: Group, bytes: &[u8]) -> Result<Self, CryptoError> {
+        let y = BigUint::from_bytes_be(bytes);
+        if !group.is_element(&y) {
+            return Err(CryptoError::InvalidGroupElement);
+        }
+        Ok(VerifyingKey { group, y })
+    }
+
+    /// Verifies `signature` over `message`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidSignature`] when verification fails.
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), CryptoError> {
+        let e = BigUint::from_bytes_be(&signature.e);
+        let s = BigUint::from_bytes_be(&signature.s);
+        if e.is_zero() || &e >= self.group.q() || &s >= self.group.q() {
+            return Err(CryptoError::InvalidSignature);
+        }
+        // r' = g^s * y^(q - e)  (y has order q, so y^(q-e) = y^(-e))
+        let gs = self.group.pow_g(&s);
+        let y_neg_e = self.group.pow(&self.y, &self.group.q().sub(&e));
+        let r_prime = self.group.mul(&gs, &y_neg_e);
+        let e_prime = self.group.hash_to_scalar(&[
+            b"tdt-schnorr",
+            &self.group.element_to_bytes(&r_prime),
+            &self.group.element_to_bytes(&self.y),
+            message,
+        ]);
+        if e_prime == e {
+            Ok(())
+        } else {
+            Err(CryptoError::InvalidSignature)
+        }
+    }
+
+    /// Stable short identifier for this key (first 16 hex chars of the
+    /// SHA-256 of the encoded element).
+    pub fn key_id(&self) -> String {
+        let digest = crate::sha256(&self.to_bytes());
+        crate::hex_encode(&digest[..8])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> SigningKey {
+        SigningKey::from_seed(Group::test_group(), b"unit-test-key")
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let sk = key();
+        let sig = sk.sign(b"message");
+        assert!(sk.verifying_key().verify(b"message", &sig).is_ok());
+    }
+
+    #[test]
+    fn verify_rejects_wrong_message() {
+        let sk = key();
+        let sig = sk.sign(b"message");
+        assert_eq!(
+            sk.verifying_key().verify(b"other", &sig),
+            Err(CryptoError::InvalidSignature)
+        );
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key() {
+        let sk = key();
+        let other = SigningKey::from_seed(Group::test_group(), b"other-key");
+        let sig = sk.sign(b"message");
+        assert!(other.verifying_key().verify(b"message", &sig).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_tampered_signature() {
+        let sk = key();
+        let sig = sk.sign(b"message");
+        let mut s = sig.s_bytes().to_vec();
+        s[0] ^= 1;
+        let forged = Signature::from_scalars(sig.e_bytes().to_vec(), s);
+        assert!(sk.verifying_key().verify(b"message", &forged).is_err());
+    }
+
+    #[test]
+    fn deterministic_signatures() {
+        let sk = key();
+        assert_eq!(sk.sign(b"m"), sk.sign(b"m"));
+        assert_ne!(sk.sign(b"m1"), sk.sign(b"m2"));
+    }
+
+    #[test]
+    fn signature_bytes_roundtrip() {
+        let sig = key().sign(b"roundtrip");
+        let parsed = Signature::from_bytes(&sig.to_bytes()).unwrap();
+        assert_eq!(parsed, sig);
+    }
+
+    #[test]
+    fn signature_from_bytes_rejects_truncated() {
+        assert!(Signature::from_bytes(&[0, 0]).is_err());
+        assert!(Signature::from_bytes(&[0, 0, 0, 99, 1]).is_err());
+    }
+
+    #[test]
+    fn public_key_roundtrip() {
+        let vk = key().verifying_key();
+        let parsed = VerifyingKey::from_bytes(Group::test_group(), &vk.to_bytes()).unwrap();
+        assert_eq!(parsed, vk);
+        // Parsed key still verifies.
+        let sig = key().sign(b"x");
+        assert!(parsed.verify(b"x", &sig).is_ok());
+    }
+
+    #[test]
+    fn public_key_rejects_non_element() {
+        // p-1 is a quadratic non-residue (p ≡ 3 mod 4), outside the subgroup.
+        let group = Group::test_group();
+        let bad = group.p().sub(&crate::bigint::BigUint::one()).to_bytes_be();
+        let err = VerifyingKey::from_bytes(group, &bad).unwrap_err();
+        assert_eq!(err, CryptoError::InvalidGroupElement);
+    }
+
+    #[test]
+    fn secret_bytes_roundtrip() {
+        let sk = key();
+        let restored =
+            SigningKey::from_secret_bytes(Group::test_group(), &sk.secret_bytes()).unwrap();
+        let sig = restored.sign(b"m");
+        assert!(sk.verifying_key().verify(b"m", &sig).is_ok());
+    }
+
+    #[test]
+    fn from_secret_rejects_zero() {
+        assert!(SigningKey::from_secret_bytes(Group::test_group(), &[]).is_err());
+    }
+
+    #[test]
+    fn key_ids_are_distinct() {
+        let a = SigningKey::from_seed(Group::test_group(), b"a");
+        let b = SigningKey::from_seed(Group::test_group(), b"b");
+        assert_ne!(a.verifying_key().key_id(), b.verifying_key().key_id());
+        assert_eq!(a.verifying_key().key_id().len(), 16);
+    }
+
+    #[test]
+    fn generate_with_rng() {
+        let mut rng = rand::thread_rng();
+        let sk = SigningKey::generate(Group::test_group(), &mut rng);
+        let sig = sk.sign(b"fresh");
+        assert!(sk.verifying_key().verify(b"fresh", &sig).is_ok());
+    }
+
+    #[test]
+    fn empty_message_signs() {
+        let sk = key();
+        let sig = sk.sign(b"");
+        assert!(sk.verifying_key().verify(b"", &sig).is_ok());
+    }
+}

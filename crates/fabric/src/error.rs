@@ -1,0 +1,154 @@
+//! Error types for the Fabric-like blockchain.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by chaincode business logic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaincodeError {
+    /// A referenced asset/key does not exist.
+    NotFound(String),
+    /// The request was malformed (wrong arguments, bad state transition).
+    BadRequest(String),
+    /// The caller is not permitted to perform the operation.
+    AccessDenied(String),
+    /// A referenced chaincode function does not exist.
+    UnknownFunction(String),
+    /// Internal failure (serialization, crypto, ...).
+    Internal(String),
+}
+
+impl fmt::Display for ChaincodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaincodeError::NotFound(m) => write!(f, "not found: {m}"),
+            ChaincodeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ChaincodeError::AccessDenied(m) => write!(f, "access denied: {m}"),
+            ChaincodeError::UnknownFunction(m) => write!(f, "unknown function: {m}"),
+            ChaincodeError::Internal(m) => write!(f, "internal chaincode error: {m}"),
+        }
+    }
+}
+
+impl Error for ChaincodeError {}
+
+/// Errors raised by the network machinery (peers, orderer, gateway).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FabricError {
+    /// Chaincode execution failed.
+    Chaincode(ChaincodeError),
+    /// No chaincode with the given name is deployed.
+    ChaincodeNotDeployed(String),
+    /// The referenced organization does not exist.
+    UnknownOrganization(String),
+    /// The referenced peer does not exist.
+    UnknownPeer(String),
+    /// An identity failed MSP validation.
+    IdentityInvalid(String),
+    /// A proposal/transaction signature failed.
+    BadSignature(String),
+    /// Too few (or invalid) endorsements to satisfy the policy.
+    EndorsementPolicyUnsatisfied(String),
+    /// Transaction rejected at validation (MVCC or policy).
+    TransactionInvalidated(String),
+    /// The addressed peer is unreachable (fault injection / partition).
+    PeerUnavailable(String),
+    /// A ledger-layer failure.
+    Ledger(tdt_ledger::LedgerError),
+    /// A wire-encoding failure.
+    Wire(tdt_wire::WireError),
+    /// Anything else.
+    Internal(String),
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::Chaincode(e) => write!(f, "chaincode error: {e}"),
+            FabricError::ChaincodeNotDeployed(name) => {
+                write!(f, "chaincode {name:?} is not deployed")
+            }
+            FabricError::UnknownOrganization(org) => write!(f, "unknown organization {org:?}"),
+            FabricError::UnknownPeer(p) => write!(f, "unknown peer {p:?}"),
+            FabricError::IdentityInvalid(m) => write!(f, "identity invalid: {m}"),
+            FabricError::BadSignature(m) => write!(f, "bad signature: {m}"),
+            FabricError::EndorsementPolicyUnsatisfied(m) => {
+                write!(f, "endorsement policy unsatisfied: {m}")
+            }
+            FabricError::TransactionInvalidated(m) => write!(f, "transaction invalidated: {m}"),
+            FabricError::PeerUnavailable(p) => write!(f, "peer {p:?} unavailable"),
+            FabricError::Ledger(e) => write!(f, "ledger error: {e}"),
+            FabricError::Wire(e) => write!(f, "wire error: {e}"),
+            FabricError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl Error for FabricError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FabricError::Chaincode(e) => Some(e),
+            FabricError::Ledger(e) => Some(e),
+            FabricError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ChaincodeError> for FabricError {
+    fn from(e: ChaincodeError) -> Self {
+        FabricError::Chaincode(e)
+    }
+}
+
+impl From<tdt_ledger::LedgerError> for FabricError {
+    fn from(e: tdt_ledger::LedgerError) -> Self {
+        FabricError::Ledger(e)
+    }
+}
+
+impl From<tdt_wire::WireError> for FabricError {
+    fn from(e: tdt_wire::WireError) -> Self {
+        FabricError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_nonempty() {
+        let errs: Vec<FabricError> = vec![
+            ChaincodeError::NotFound("x".into()).into(),
+            FabricError::ChaincodeNotDeployed("cc".into()),
+            FabricError::UnknownOrganization("o".into()),
+            FabricError::UnknownPeer("p".into()),
+            FabricError::IdentityInvalid("i".into()),
+            FabricError::BadSignature("s".into()),
+            FabricError::EndorsementPolicyUnsatisfied("e".into()),
+            FabricError::TransactionInvalidated("t".into()),
+            FabricError::PeerUnavailable("p".into()),
+            FabricError::Ledger(tdt_ledger::LedgerError::BlockNotFound(1)),
+            FabricError::Wire(tdt_wire::WireError::UnexpectedEof),
+            FabricError::Internal("x".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn source_chains() {
+        let e: FabricError = ChaincodeError::BadRequest("b".into()).into();
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&FabricError::Internal("x".into())).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FabricError>();
+        assert_send_sync::<ChaincodeError>();
+    }
+}

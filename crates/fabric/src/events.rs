@@ -1,0 +1,115 @@
+//! Block events: publish/subscribe notification of commits.
+//!
+//! The paper lists "publish and subscribe to events" among the operations a
+//! network should expose for interoperability (§2). Applications subscribe
+//! to learn when their transactions commit (and with what validation code).
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use tdt_ledger::block::TxValidationCode;
+
+/// A committed-block notification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockEvent {
+    /// The committed block's number.
+    pub block_number: u64,
+    /// Transaction ids in the block, in order.
+    pub txids: Vec<String>,
+    /// Validation code per transaction, parallel to `txids`.
+    pub validation: Vec<TxValidationCode>,
+}
+
+impl BlockEvent {
+    /// The validation code of `txid` in this block, if present.
+    pub fn validation_of(&self, txid: &str) -> Option<TxValidationCode> {
+        self.txids
+            .iter()
+            .position(|t| t == txid)
+            .and_then(|i| self.validation.get(i).copied())
+    }
+}
+
+/// Fan-out hub for block events.
+#[derive(Debug, Default)]
+pub struct EventHub {
+    subscribers: Mutex<Vec<Sender<BlockEvent>>>,
+}
+
+impl EventHub {
+    /// Creates a hub with no subscribers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribes; the receiver gets every event published after this call.
+    pub fn subscribe(&self) -> Receiver<BlockEvent> {
+        let (tx, rx) = unbounded();
+        self.subscribers.lock().push(tx);
+        rx
+    }
+
+    /// Publishes an event to all live subscribers, pruning dead ones.
+    pub fn publish(&self, event: BlockEvent) {
+        let mut subs = self.subscribers.lock();
+        subs.retain(|s| s.send(event.clone()).is_ok());
+    }
+
+    /// Number of live subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(n: u64) -> BlockEvent {
+        BlockEvent {
+            block_number: n,
+            txids: vec!["tx-a".into(), "tx-b".into()],
+            validation: vec![TxValidationCode::Valid, TxValidationCode::MvccConflict],
+        }
+    }
+
+    #[test]
+    fn subscribers_receive_events() {
+        let hub = EventHub::new();
+        let rx1 = hub.subscribe();
+        let rx2 = hub.subscribe();
+        hub.publish(event(1));
+        assert_eq!(rx1.recv().unwrap().block_number, 1);
+        assert_eq!(rx2.recv().unwrap().block_number, 1);
+    }
+
+    #[test]
+    fn late_subscriber_misses_earlier_events() {
+        let hub = EventHub::new();
+        hub.publish(event(1));
+        let rx = hub.subscribe();
+        hub.publish(event(2));
+        assert_eq!(rx.recv().unwrap().block_number, 2);
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn dead_subscribers_pruned() {
+        let hub = EventHub::new();
+        let rx = hub.subscribe();
+        drop(rx);
+        let _live = hub.subscribe();
+        hub.publish(event(1));
+        assert_eq!(hub.subscriber_count(), 1);
+    }
+
+    #[test]
+    fn validation_lookup() {
+        let e = event(1);
+        assert_eq!(e.validation_of("tx-a"), Some(TxValidationCode::Valid));
+        assert_eq!(
+            e.validation_of("tx-b"),
+            Some(TxValidationCode::MvccConflict)
+        );
+        assert_eq!(e.validation_of("missing"), None);
+    }
+}

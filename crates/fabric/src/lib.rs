@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! A Hyperledger-Fabric-like permissioned blockchain, built from scratch.
+//!
+//! The paper's proof-of-concept runs on Hyperledger Fabric; this crate
+//! reproduces the Fabric semantics the interoperability protocol depends on
+//! (paper §4.1):
+//!
+//! * **execute-order-validate** — endorsing peers simulate chaincode against
+//!   their own state snapshot producing read/write sets ([`endorse`]), an
+//!   ordering service cuts blocks ([`orderer`]), and every peer validates
+//!   endorsement policies and MVCC before committing ([`peer`]).
+//! * **organizations and MSPs** — each org runs a Membership Service
+//!   Provider rooted in its own CA ([`msp`]).
+//! * **endorsement policies** — boolean org-set expressions checked at
+//!   validation time ([`policy`]).
+//! * **chaincode** — smart contracts as Rust trait objects with a Fabric
+//!   shim-style state API, including cross-chaincode invocation
+//!   ([`chaincode`]).
+//! * **pluggable endorsement** — the mechanism (Fabric's "pluggable
+//!   transaction endorsement", paper ref \[8\]) that the interop layer uses to
+//!   sign-and-encrypt query responses ([`endorse::EndorsementPlugin`]).
+//!
+//! [`network`] wires everything into a runnable in-process network with a
+//! client [`gateway`], block [`events`], and fault injection ([`net`]) for
+//! availability experiments.
+
+pub mod chaincode;
+pub mod endorse;
+pub mod error;
+pub mod events;
+pub mod gateway;
+pub mod msp;
+pub mod net;
+pub mod network;
+pub mod orderer;
+pub mod peer;
+pub mod policy;
+
+pub use error::FabricError;

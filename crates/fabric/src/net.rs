@@ -1,0 +1,124 @@
+//! Simulated network conditions: fault injection for availability tests.
+//!
+//! The paper's availability analysis (§5) discusses DoS on relays and peers
+//! and mitigation through redundancy. [`FaultInjector`] lets tests and
+//! benches take peers down, add latency, and partition components without
+//! touching the protocol logic.
+
+use parking_lot::RwLock;
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Debug, Default)]
+struct Faults {
+    down: HashSet<String>,
+    latency: Duration,
+}
+
+/// Shared, cheaply clonable fault configuration.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    inner: Arc<RwLock<Faults>>,
+}
+
+impl FaultInjector {
+    /// Creates an injector with no faults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks a component (peer, relay) as down.
+    pub fn take_down(&self, component: impl Into<String>) {
+        self.inner.write().down.insert(component.into());
+    }
+
+    /// Restores a component.
+    pub fn restore(&self, component: &str) {
+        self.inner.write().down.remove(component);
+    }
+
+    /// True when the component is currently down.
+    pub fn is_down(&self, component: &str) -> bool {
+        self.inner.read().down.contains(component)
+    }
+
+    /// Sets a per-message artificial latency.
+    pub fn set_latency(&self, latency: Duration) {
+        self.inner.write().latency = latency;
+    }
+
+    /// Sleeps for the configured latency (no-op when zero).
+    pub fn apply_latency(&self) {
+        let latency = self.inner.read().latency;
+        if !latency.is_zero() {
+            std::thread::sleep(latency);
+        }
+    }
+
+    /// Clears every fault.
+    pub fn clear(&self) {
+        let mut inner = self.inner.write();
+        inner.down.clear();
+        inner.latency = Duration::ZERO;
+    }
+
+    /// Number of components currently down.
+    pub fn down_count(&self) -> usize {
+        self.inner.read().down.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn take_down_and_restore() {
+        let f = FaultInjector::new();
+        assert!(!f.is_down("peer0"));
+        f.take_down("peer0");
+        assert!(f.is_down("peer0"));
+        f.restore("peer0");
+        assert!(!f.is_down("peer0"));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let f = FaultInjector::new();
+        let g = f.clone();
+        f.take_down("x");
+        assert!(g.is_down("x"));
+        g.clear();
+        assert!(!f.is_down("x"));
+    }
+
+    #[test]
+    fn latency_applied() {
+        let f = FaultInjector::new();
+        f.set_latency(Duration::from_millis(20));
+        let start = Instant::now();
+        f.apply_latency();
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn zero_latency_fast() {
+        let f = FaultInjector::new();
+        let start = Instant::now();
+        f.apply_latency();
+        assert!(start.elapsed() < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let f = FaultInjector::new();
+        f.take_down("a");
+        f.take_down("b");
+        f.set_latency(Duration::from_millis(5));
+        assert_eq!(f.down_count(), 2);
+        f.clear();
+        assert_eq!(f.down_count(), 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! The ordering service: batches endorsed transactions into blocks.
+//!
+//! Models Fabric's solo orderer: transactions are accepted in arrival order
+//! and cut into blocks either when the batch reaches `batch_size` or when
+//! the caller forces a cut (Fabric's batch timeout, driven manually here so
+//! simulations stay deterministic).
+
+use tdt_ledger::block::{Block, BlockHeader};
+
+/// A solo ordering service.
+#[derive(Debug)]
+pub struct OrderingService {
+    tip: BlockHeader,
+    pending: Vec<Vec<u8>>,
+    batch_size: usize,
+    ordered_count: u64,
+}
+
+impl OrderingService {
+    /// Creates the service from the channel's genesis block.
+    pub fn new(genesis: &Block, batch_size: usize) -> Self {
+        OrderingService {
+            tip: genesis.header.clone(),
+            pending: Vec::new(),
+            batch_size: batch_size.max(1),
+            ordered_count: 0,
+        }
+    }
+
+    /// Number of transactions ordered so far.
+    pub fn ordered_count(&self) -> u64 {
+        self.ordered_count
+    }
+
+    /// Number of transactions waiting for the next block.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Configured batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Changes the batch size (affects subsequent cuts).
+    pub fn set_batch_size(&mut self, batch_size: usize) {
+        self.batch_size = batch_size.max(1);
+    }
+
+    /// Accepts one endorsed transaction envelope; returns a block when the
+    /// batch filled up.
+    pub fn submit(&mut self, envelope_bytes: Vec<u8>) -> Option<Block> {
+        self.pending.push(envelope_bytes);
+        self.ordered_count += 1;
+        if self.pending.len() >= self.batch_size {
+            self.cut()
+        } else {
+            None
+        }
+    }
+
+    /// Forces a block cut (the batch-timeout path). Returns `None` when
+    /// nothing is pending.
+    pub fn cut(&mut self) -> Option<Block> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let txs = std::mem::take(&mut self.pending);
+        let block = Block::next(&self.tip, txs);
+        self.tip = block.header.clone();
+        Some(block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orderer(batch: usize) -> OrderingService {
+        OrderingService::new(&Block::genesis(vec![b"cfg".to_vec()]), batch)
+    }
+
+    #[test]
+    fn batch_of_one_cuts_immediately() {
+        let mut o = orderer(1);
+        let block = o.submit(b"tx1".to_vec()).unwrap();
+        assert_eq!(block.header.number, 1);
+        assert_eq!(block.transactions, vec![b"tx1".to_vec()]);
+        assert_eq!(o.pending_count(), 0);
+    }
+
+    #[test]
+    fn batch_accumulates_until_full() {
+        let mut o = orderer(3);
+        assert!(o.submit(b"a".to_vec()).is_none());
+        assert!(o.submit(b"b".to_vec()).is_none());
+        let block = o.submit(b"c".to_vec()).unwrap();
+        assert_eq!(block.transactions.len(), 3);
+    }
+
+    #[test]
+    fn manual_cut_flushes_partial_batch() {
+        let mut o = orderer(10);
+        o.submit(b"a".to_vec());
+        let block = o.cut().unwrap();
+        assert_eq!(block.transactions.len(), 1);
+        assert!(o.cut().is_none());
+    }
+
+    #[test]
+    fn blocks_chain_correctly() {
+        let genesis = Block::genesis(vec![]);
+        let mut o = OrderingService::new(&genesis, 1);
+        let b1 = o.submit(b"a".to_vec()).unwrap();
+        let b2 = o.submit(b"b".to_vec()).unwrap();
+        assert_eq!(b1.header.prev_hash, genesis.hash());
+        assert_eq!(b2.header.prev_hash, b1.hash());
+        assert_eq!(b2.header.number, 2);
+    }
+
+    #[test]
+    fn ordered_count_tracks() {
+        let mut o = orderer(2);
+        o.submit(b"a".to_vec());
+        o.submit(b"b".to_vec());
+        o.submit(b"c".to_vec());
+        assert_eq!(o.ordered_count(), 3);
+        assert_eq!(o.pending_count(), 1);
+    }
+
+    #[test]
+    fn zero_batch_size_clamped() {
+        let mut o = orderer(0);
+        assert_eq!(o.batch_size(), 1);
+        o.set_batch_size(0);
+        assert_eq!(o.batch_size(), 1);
+        assert!(o.submit(b"tx".to_vec()).is_some());
+    }
+}

@@ -1,0 +1,573 @@
+//! Peers: simulation (endorsement) and validation/commit.
+//!
+//! Every peer maintains its own block store and world state replica. The
+//! commit path re-validates everything — endorsement certificates against
+//! the MSP registry, endorsement signatures against the reconstructed
+//! proposal-response payload, the chaincode's endorsement policy, and MVCC
+//! read versions — so a single faulty peer cannot corrupt honest replicas.
+
+use crate::chaincode::{ChaincodeRegistry, PeerInfo, Proposal, TxContext};
+use crate::endorse::{
+    DefaultEndorsement, Endorsement, EndorsementPlugin, ProposalResponsePayload, SimulationResult,
+    TransactionEnvelope,
+};
+use crate::error::FabricError;
+use crate::msp::{Identity, MspRegistry};
+use crate::policy::EndorsementPolicy;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tdt_ledger::block::{Block, TxValidationCode};
+use tdt_ledger::history::HistoryIndex;
+use tdt_ledger::rwset::Version;
+use tdt_ledger::state::WorldState;
+use tdt_ledger::store::BlockStore;
+use tdt_wire::codec::Message;
+
+/// A peer node: endorser + committer with its own ledger replica.
+#[derive(Debug)]
+pub struct Peer {
+    network_id: String,
+    org_id: String,
+    name: String,
+    identity: Identity,
+    registry: Arc<ChaincodeRegistry>,
+    msp_registry: Arc<MspRegistry>,
+    policies: Arc<HashMap<String, EndorsementPolicy>>,
+    store: BlockStore,
+    state: WorldState,
+    history: HistoryIndex,
+}
+
+impl Peer {
+    /// Creates a peer with an empty ledger.
+    pub fn new(
+        network_id: impl Into<String>,
+        org_id: impl Into<String>,
+        name: impl Into<String>,
+        identity: Identity,
+        registry: Arc<ChaincodeRegistry>,
+        msp_registry: Arc<MspRegistry>,
+        policies: Arc<HashMap<String, EndorsementPolicy>>,
+    ) -> Self {
+        Peer {
+            network_id: network_id.into(),
+            org_id: org_id.into(),
+            name: name.into(),
+            identity,
+            registry,
+            msp_registry,
+            policies,
+            store: BlockStore::new(),
+            state: WorldState::new(),
+            history: HistoryIndex::new(),
+        }
+    }
+
+    /// Qualified peer id `network/org/name`.
+    pub fn qualified_name(&self) -> String {
+        format!("{}/{}/{}", self.network_id, self.org_id, self.name)
+    }
+
+    /// The peer's organization.
+    pub fn org_id(&self) -> &str {
+        &self.org_id
+    }
+
+    /// The peer's own identity (certificate + keys).
+    pub fn identity(&self) -> &Identity {
+        &self.identity
+    }
+
+    /// Current chain height.
+    pub fn height(&self) -> u64 {
+        self.store.height()
+    }
+
+    /// Read access to the committed world state (tests, diagnostics).
+    pub fn state(&self) -> &WorldState {
+        &self.state
+    }
+
+    /// Read access to the block store.
+    pub fn store(&self) -> &BlockStore {
+        &self.store
+    }
+
+    /// Per-key history index.
+    pub fn history(&self) -> &HistoryIndex {
+        &self.history
+    }
+
+    /// Deterministic digest of this replica's world state (for
+    /// replica-consistency checks).
+    pub fn state_hash(&self) -> [u8; 32] {
+        self.state.state_hash()
+    }
+
+    fn peer_info(&self) -> PeerInfo {
+        PeerInfo {
+            peer_id: self.qualified_name(),
+            org_id: self.org_id.clone(),
+            network_id: self.network_id.clone(),
+            ledger_height: self.store.height(),
+        }
+    }
+
+    /// Simulates a proposal against this peer's current state.
+    ///
+    /// Local proposals must carry a valid creator signature and a creator
+    /// certificate that validates against the network's MSPs. Relay queries
+    /// skip those peer-level checks: authenticating the *foreign* requester
+    /// is the Exposure Control contract's job (paper §4.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FabricError`] on authentication failure, unknown
+    /// chaincode, or chaincode business errors.
+    pub fn simulate(&self, proposal: &Proposal) -> Result<SimulationResult, FabricError> {
+        if !proposal.relay_query {
+            proposal.verify_signature()?;
+            self.msp_registry.validate(&proposal.creator)?;
+        }
+        let code = self
+            .registry
+            .get(&proposal.chaincode)
+            .ok_or_else(|| FabricError::ChaincodeNotDeployed(proposal.chaincode.clone()))?;
+        let mut ctx = TxContext::new(&self.state, &self.registry, proposal, self.peer_info())
+            .with_history(&self.history);
+        let result = code.invoke(&mut ctx, &proposal.function, &proposal.args)?;
+        Ok(SimulationResult {
+            result,
+            rwset: ctx.into_rwset(),
+        })
+    }
+
+    /// Endorses a simulation result for a regular transaction using the
+    /// default endorsement plugin.
+    ///
+    /// # Errors
+    ///
+    /// Propagates plugin failures.
+    pub fn endorse_transaction(
+        &self,
+        proposal: &Proposal,
+        sim: &SimulationResult,
+    ) -> Result<Endorsement, FabricError> {
+        let payload = ProposalResponsePayload::new(&proposal.txid, &proposal.chaincode, sim);
+        let out = DefaultEndorsement.endorse(&self.identity, &payload.canonical_bytes(), proposal)?;
+        Ok(Endorsement {
+            endorser_cert: self.identity.certificate().clone(),
+            signature: out.signature,
+        })
+    }
+
+    /// Endorses with a custom plugin, returning the raw plugin output (used
+    /// by the interop query path, which encrypts metadata).
+    ///
+    /// # Errors
+    ///
+    /// Propagates plugin failures.
+    pub fn endorse_with_plugin(
+        &self,
+        proposal: &Proposal,
+        payload: &[u8],
+        plugin: &dyn EndorsementPlugin,
+    ) -> Result<crate::endorse::PluginOutput, FabricError> {
+        plugin.endorse(&self.identity, payload, proposal)
+    }
+
+    /// Validates one transaction envelope against this peer's state.
+    fn validate_tx(&self, envelope: &TransactionEnvelope) -> TxValidationCode {
+        // 1. Endorsement signatures + certificates.
+        let payload_bytes = envelope.response_payload().canonical_bytes();
+        let mut endorsing_orgs: Vec<String> = Vec::new();
+        for endorsement in &envelope.endorsements {
+            if self.msp_registry.validate(&endorsement.endorser_cert).is_err() {
+                return TxValidationCode::BadEndorsementSignature;
+            }
+            let Ok(vk) = endorsement.endorser_cert.verifying_key() else {
+                return TxValidationCode::BadEndorsementSignature;
+            };
+            if vk.verify(&payload_bytes, &endorsement.signature).is_err() {
+                return TxValidationCode::BadEndorsementSignature;
+            }
+            let org = endorsement.endorser_cert.subject().organization.clone();
+            if !endorsing_orgs.contains(&org) {
+                endorsing_orgs.push(org);
+            }
+        }
+        // 2. Endorsement policy for the chaincode.
+        let Some(policy) = self.policies.get(&envelope.chaincode) else {
+            return TxValidationCode::BadPayload;
+        };
+        if !policy.is_satisfied(&endorsing_orgs) {
+            return TxValidationCode::EndorsementPolicyFailure;
+        }
+        // 3. MVCC.
+        if !self.state.mvcc_check(&envelope.rwset) {
+            return TxValidationCode::MvccConflict;
+        }
+        TxValidationCode::Valid
+    }
+
+    /// Validates and commits a block delivered by the ordering service.
+    ///
+    /// Returns the per-transaction validation codes. Invalid transactions
+    /// are recorded in block metadata but their writes are not applied —
+    /// Fabric's "validate" phase.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FabricError`] when the block itself does not extend the
+    /// chain (wrong number, broken hash link, bad data hash).
+    pub fn validate_and_commit(&mut self, mut block: Block) -> Result<Vec<TxValidationCode>, FabricError> {
+        // Genesis/config blocks carry raw config payloads, not envelopes.
+        if block.header.number == 0 {
+            let codes = vec![TxValidationCode::Valid; block.transactions.len()];
+            block.metadata.tx_validation = codes.clone();
+            self.store.append(block)?;
+            return Ok(codes);
+        }
+        // Verify the chain link up front so state is never mutated for a
+        // block that cannot be appended.
+        let expected = self.store.height();
+        if block.header.number != expected {
+            return Err(tdt_ledger::LedgerError::NonContiguousBlock {
+                expected,
+                got: block.header.number,
+            }
+            .into());
+        }
+        if let Some(tip) = self.store.tip() {
+            if block.header.prev_hash != tip.hash() {
+                return Err(tdt_ledger::LedgerError::BrokenHashChain {
+                    block: block.header.number,
+                }
+                .into());
+            }
+        }
+        if !block.data_hash_valid() {
+            return Err(tdt_ledger::LedgerError::DataHashMismatch {
+                block: block.header.number,
+            }
+            .into());
+        }
+        // Validate transactions *serially*: a transaction's MVCC check sees
+        // the writes of earlier valid transactions in the same block
+        // (Fabric semantics — two same-block conflicting writes cannot both
+        // commit).
+        let block_number = block.header.number;
+        let mut codes = Vec::with_capacity(block.transactions.len());
+        let mut committed: Vec<(usize, String)> = Vec::new();
+        for (i, tx_bytes) in block.transactions.iter().enumerate() {
+            match TransactionEnvelope::decode_from_slice(tx_bytes) {
+                Ok(envelope) => {
+                    let code = self.validate_tx(&envelope);
+                    if code.is_valid() {
+                        let version = Version::new(block_number, i as u64);
+                        self.state.apply(&envelope.rwset, version);
+                        self.history.record(&envelope.rwset, version);
+                        committed.push((i, envelope.txid.clone()));
+                    }
+                    codes.push(code);
+                }
+                Err(_) => codes.push(TxValidationCode::BadPayload),
+            }
+        }
+        block.metadata.tx_validation = codes.clone();
+        self.store
+            .append(block)
+            .expect("chain link verified above");
+        for (i, txid) in committed {
+            self.store.index_tx(txid, block_number, i);
+        }
+        Ok(codes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaincode::Chaincode;
+    use crate::error::ChaincodeError;
+    use crate::msp::Msp;
+    use tdt_crypto::cert::CertRole;
+    use tdt_crypto::group::Group;
+
+    struct KvStore;
+
+    impl Chaincode for KvStore {
+        fn invoke(
+            &self,
+            ctx: &mut TxContext<'_>,
+            function: &str,
+            args: &[Vec<u8>],
+        ) -> Result<Vec<u8>, ChaincodeError> {
+            match function {
+                "put" => {
+                    let key = String::from_utf8_lossy(&args[0]).into_owned();
+                    ctx.put_state(&key, args[1].clone());
+                    Ok(Vec::new())
+                }
+                "get" => {
+                    let key = String::from_utf8_lossy(&args[0]).into_owned();
+                    ctx.get_state(&key)
+                        .ok_or(ChaincodeError::NotFound(key))
+                }
+                f => Err(ChaincodeError::UnknownFunction(f.into())),
+            }
+        }
+    }
+
+    struct Fixture {
+        peer: Peer,
+        client: Identity,
+    }
+
+    fn fixture() -> Fixture {
+        let mut msp = Msp::new("net", "org1", Group::test_group(), b"s");
+        let peer_id = msp.enroll("peer0", CertRole::Peer, false);
+        let client = msp.enroll("alice", CertRole::Client, false);
+        let mut registry = ChaincodeRegistry::new();
+        registry.deploy("kv", Arc::new(KvStore));
+        let mut msp_registry = MspRegistry::new();
+        msp_registry.register("org1", msp.root_certificate().clone());
+        let mut policies = HashMap::new();
+        policies.insert("kv".to_string(), EndorsementPolicy::any_of(["org1"]));
+        let mut peer = Peer::new(
+            "net",
+            "org1",
+            "peer0",
+            peer_id,
+            Arc::new(registry),
+            Arc::new(msp_registry),
+            Arc::new(policies),
+        );
+        peer.validate_and_commit(Block::genesis(vec![b"config".to_vec()]))
+            .unwrap();
+        Fixture { peer, client }
+    }
+
+    fn proposal(f: &Fixture, txid: &str, function: &str, args: Vec<Vec<u8>>) -> Proposal {
+        Proposal::new(
+            txid,
+            "ch",
+            "kv",
+            function,
+            args,
+            f.client.certificate().clone(),
+        )
+        .sign(f.client.signing_key())
+    }
+
+    fn envelope(f: &Fixture, proposal: &Proposal, sim: &SimulationResult) -> TransactionEnvelope {
+        let endorsement = f.peer.endorse_transaction(proposal, sim).unwrap();
+        TransactionEnvelope {
+            txid: proposal.txid.clone(),
+            channel: "ch".into(),
+            chaincode: "kv".into(),
+            result: sim.result.clone(),
+            rwset: sim.rwset.clone(),
+            endorsements: vec![endorsement],
+            creator_cert: proposal.creator.clone(),
+        }
+    }
+
+    fn commit(f: &mut Fixture, env: &TransactionEnvelope) -> Vec<TxValidationCode> {
+        let tip = f.peer.store().tip().unwrap().clone();
+        let block = Block::next(&tip, vec![env.encode_to_vec()]);
+        f.peer.validate_and_commit(block).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_put_get() {
+        let mut f = fixture();
+        let p = proposal(&f, "tx1", "put", vec![b"k".to_vec(), b"v".to_vec()]);
+        let sim = f.peer.simulate(&p).unwrap();
+        let env = envelope(&f, &p, &sim);
+        let codes = commit(&mut f, &env);
+        assert_eq!(codes, vec![TxValidationCode::Valid]);
+        // Query sees the committed value.
+        let q = proposal(&f, "tx2", "get", vec![b"k".to_vec()]);
+        let sim = f.peer.simulate(&q).unwrap();
+        assert_eq!(sim.result, b"v");
+        assert_eq!(f.peer.height(), 2);
+    }
+
+    #[test]
+    fn unsigned_proposal_rejected() {
+        let f = fixture();
+        let mut p = proposal(&f, "tx", "put", vec![b"k".to_vec(), b"v".to_vec()]);
+        p.signature = None;
+        assert!(matches!(
+            f.peer.simulate(&p),
+            Err(FabricError::BadSignature(_))
+        ));
+    }
+
+    #[test]
+    fn foreign_creator_rejected_locally() {
+        let f = fixture();
+        let mut other_msp = Msp::new("other-net", "org-x", Group::test_group(), b"x");
+        let foreign = other_msp.enroll("mallory", CertRole::Client, false);
+        let p = Proposal::new(
+            "tx",
+            "ch",
+            "kv",
+            "get",
+            vec![b"k".to_vec()],
+            foreign.certificate().clone(),
+        )
+        .sign(foreign.signing_key());
+        assert!(matches!(
+            f.peer.simulate(&p),
+            Err(FabricError::IdentityInvalid(_))
+        ));
+    }
+
+    #[test]
+    fn relay_query_bypasses_local_msp() {
+        // Relay queries carry foreign certs; the peer lets the chaincode
+        // (ECC) decide, so simulation succeeds here.
+        let mut f = fixture();
+        let p0 = proposal(&f, "tx0", "put", vec![b"k".to_vec(), b"v".to_vec()]);
+        let sim = f.peer.simulate(&p0).unwrap();
+        let env = envelope(&f, &p0, &sim);
+        commit(&mut f, &env);
+        let mut other_msp = Msp::new("other-net", "org-x", Group::test_group(), b"x");
+        let foreign = other_msp.enroll("swt-sc", CertRole::Client, false);
+        let p = Proposal::new(
+            "txr",
+            "ch",
+            "kv",
+            "get",
+            vec![b"k".to_vec()],
+            foreign.certificate().clone(),
+        )
+        .as_relay_query();
+        let sim = f.peer.simulate(&p).unwrap();
+        assert_eq!(sim.result, b"v");
+    }
+
+    #[test]
+    fn unknown_chaincode() {
+        let f = fixture();
+        let mut p = proposal(&f, "tx", "put", vec![b"k".to_vec(), b"v".to_vec()]);
+        p.chaincode = "missing".into();
+        let p = Proposal { signature: None, ..p }.sign(f.client.signing_key());
+        assert!(matches!(
+            f.peer.simulate(&p),
+            Err(FabricError::ChaincodeNotDeployed(_))
+        ));
+    }
+
+    #[test]
+    fn mvcc_conflict_invalidates_second_tx() {
+        let mut f = fixture();
+        // Seed the key.
+        let p0 = proposal(&f, "tx0", "put", vec![b"k".to_vec(), b"v0".to_vec()]);
+        let sim0 = f.peer.simulate(&p0).unwrap();
+        let env0 = envelope(&f, &p0, &sim0);
+        commit(&mut f, &env0);
+        // Two competing updates simulated against the same snapshot. The kv
+        // chaincode's put doesn't read, so use get+put via two proposals
+        // simulated before either commits.
+        let pa = proposal(&f, "txa", "get", vec![b"k".to_vec()]);
+        let sim_a_read = f.peer.simulate(&pa).unwrap();
+        let pa2 = proposal(&f, "txa2", "put", vec![b"k".to_vec(), b"va".to_vec()]);
+        let mut sim_a = f.peer.simulate(&pa2).unwrap();
+        // Merge the read into tx A's rwset to make it a read-modify-write.
+        sim_a.rwset.ns_sets[0]
+            .reads
+            .extend(sim_a_read.rwset.ns_sets[0].reads.iter().cloned());
+        let pb = proposal(&f, "txb", "put", vec![b"k".to_vec(), b"vb".to_vec()]);
+        let sim_b = f.peer.simulate(&pb).unwrap();
+        // Commit B first.
+        let env_b = envelope(&f, &pb, &sim_b);
+        assert_eq!(commit(&mut f, &env_b), vec![TxValidationCode::Valid]);
+        // A's read of k is now stale.
+        let env_a = envelope(&f, &pa2, &sim_a);
+        assert_eq!(commit(&mut f, &env_a), vec![TxValidationCode::MvccConflict]);
+        // B's write survived.
+        let q = proposal(&f, "txq", "get", vec![b"k".to_vec()]);
+        assert_eq!(f.peer.simulate(&q).unwrap().result, b"vb");
+    }
+
+    #[test]
+    fn endorsement_policy_failure() {
+        let mut f = fixture();
+        let p = proposal(&f, "tx", "put", vec![b"k".to_vec(), b"v".to_vec()]);
+        let sim = f.peer.simulate(&p).unwrap();
+        let mut env = envelope(&f, &p, &sim);
+        env.endorsements.clear();
+        assert_eq!(
+            commit(&mut f, &env),
+            vec![TxValidationCode::EndorsementPolicyFailure]
+        );
+    }
+
+    #[test]
+    fn forged_endorsement_signature_rejected() {
+        let mut f = fixture();
+        let p = proposal(&f, "tx", "put", vec![b"k".to_vec(), b"v".to_vec()]);
+        let sim = f.peer.simulate(&p).unwrap();
+        let mut env = envelope(&f, &p, &sim);
+        // Tamper with the result after endorsement.
+        env.result = b"forged".to_vec();
+        assert_eq!(
+            commit(&mut f, &env),
+            vec![TxValidationCode::BadEndorsementSignature]
+        );
+    }
+
+    #[test]
+    fn garbage_tx_payload_flagged() {
+        let mut f = fixture();
+        let tip = f.peer.store().tip().unwrap().clone();
+        let block = Block::next(&tip, vec![b"not an envelope".to_vec()]);
+        let codes = f.peer.validate_and_commit(block).unwrap();
+        assert_eq!(codes, vec![TxValidationCode::BadPayload]);
+    }
+
+    #[test]
+    fn invalid_tx_writes_not_applied() {
+        let mut f = fixture();
+        let p = proposal(&f, "tx", "put", vec![b"k".to_vec(), b"v".to_vec()]);
+        let sim = f.peer.simulate(&p).unwrap();
+        let mut env = envelope(&f, &p, &sim);
+        env.endorsements.clear();
+        commit(&mut f, &env);
+        let q = proposal(&f, "txq", "get", vec![b"k".to_vec()]);
+        assert!(f.peer.simulate(&q).is_err()); // key never committed
+    }
+
+    #[test]
+    fn history_recorded_on_commit() {
+        let mut f = fixture();
+        for (i, v) in [b"v1".as_slice(), b"v2"].iter().enumerate() {
+            let p = proposal(
+                &f,
+                &format!("tx{i}"),
+                "put",
+                vec![b"k".to_vec(), v.to_vec()],
+            );
+            let sim = f.peer.simulate(&p).unwrap();
+            let env = envelope(&f, &p, &sim);
+            commit(&mut f, &env);
+        }
+        let history = f.peer.history().history("kv", "k");
+        assert_eq!(history.len(), 2);
+        assert_eq!(history[0].value, Some(b"v1".to_vec()));
+        assert_eq!(history[1].value, Some(b"v2".to_vec()));
+    }
+
+    #[test]
+    fn tx_index_after_commit() {
+        let mut f = fixture();
+        let p = proposal(&f, "tx-indexed", "put", vec![b"k".to_vec(), b"v".to_vec()]);
+        let sim = f.peer.simulate(&p).unwrap();
+        let env = envelope(&f, &p, &sim);
+        commit(&mut f, &env);
+        assert!(f.peer.store().find_tx("tx-indexed").is_ok());
+    }
+}

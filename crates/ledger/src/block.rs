@@ -1,0 +1,175 @@
+//! Hash-chained blocks.
+//!
+//! A block's header commits to its number, the previous block's header hash,
+//! and the Merkle root of its transaction payloads — the immutability
+//! anchor for everything above.
+
+use crate::merkle::{merkle_root, Hash};
+use serde::{Deserialize, Serialize};
+use tdt_crypto::sha256::sha256_concat;
+
+/// The validation outcome of a transaction, recorded in block metadata by
+/// committing peers (Fabric's validation flags).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TxValidationCode {
+    /// The transaction committed.
+    Valid,
+    /// Rejected: a read version was stale at commit time.
+    MvccConflict,
+    /// Rejected: the endorsement policy was not satisfied.
+    EndorsementPolicyFailure,
+    /// Rejected: an endorsement signature failed verification.
+    BadEndorsementSignature,
+    /// Rejected: malformed transaction payload.
+    BadPayload,
+}
+
+impl TxValidationCode {
+    /// True if the transaction committed successfully.
+    pub fn is_valid(self) -> bool {
+        matches!(self, TxValidationCode::Valid)
+    }
+}
+
+/// Block header: the hash-chained part.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockHeader {
+    /// Height of this block (genesis is 0).
+    pub number: u64,
+    /// Hash of the previous block's header ([0; 32] for genesis).
+    pub prev_hash: Hash,
+    /// Merkle root of the block's transaction payloads.
+    pub data_hash: Hash,
+}
+
+impl BlockHeader {
+    /// The header hash that the next block links to.
+    pub fn hash(&self) -> Hash {
+        sha256_concat(&[
+            b"tdt-block-header",
+            &self.number.to_be_bytes(),
+            &self.prev_hash,
+            &self.data_hash,
+        ])
+    }
+}
+
+/// Per-block metadata filled in by committing peers.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BlockMetadata {
+    /// Validation code for each transaction, parallel to the payload list.
+    pub tx_validation: Vec<TxValidationCode>,
+}
+
+/// A block: header, opaque transaction payloads, and commit metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// The hash-chained header.
+    pub header: BlockHeader,
+    /// Opaque transaction payloads (serialized envelopes).
+    pub transactions: Vec<Vec<u8>>,
+    /// Validation flags (empty until a committer validates the block).
+    pub metadata: BlockMetadata,
+}
+
+impl Block {
+    /// Builds the genesis block from initial (config) transactions.
+    pub fn genesis(transactions: Vec<Vec<u8>>) -> Self {
+        let data_hash = merkle_root(&transactions);
+        Block {
+            header: BlockHeader {
+                number: 0,
+                prev_hash: [0u8; 32],
+                data_hash,
+            },
+            transactions,
+            metadata: BlockMetadata::default(),
+        }
+    }
+
+    /// Builds the successor of `prev` containing `transactions`.
+    pub fn next(prev: &BlockHeader, transactions: Vec<Vec<u8>>) -> Self {
+        let data_hash = merkle_root(&transactions);
+        Block {
+            header: BlockHeader {
+                number: prev.number + 1,
+                prev_hash: prev.hash(),
+                data_hash,
+            },
+            transactions,
+            metadata: BlockMetadata::default(),
+        }
+    }
+
+    /// Recomputes the data hash and compares with the header.
+    pub fn data_hash_valid(&self) -> bool {
+        merkle_root(&self.transactions) == self.header.data_hash
+    }
+
+    /// Header hash shorthand.
+    pub fn hash(&self) -> Hash {
+        self.header.hash()
+    }
+
+    /// Number of transactions in the block.
+    pub fn tx_count(&self) -> usize {
+        self.transactions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genesis_links_to_zero() {
+        let g = Block::genesis(vec![b"cfg".to_vec()]);
+        assert_eq!(g.header.number, 0);
+        assert_eq!(g.header.prev_hash, [0u8; 32]);
+        assert!(g.data_hash_valid());
+    }
+
+    #[test]
+    fn next_links_to_previous() {
+        let g = Block::genesis(vec![]);
+        let b1 = Block::next(&g.header, vec![b"tx1".to_vec()]);
+        assert_eq!(b1.header.number, 1);
+        assert_eq!(b1.header.prev_hash, g.hash());
+        assert!(b1.data_hash_valid());
+    }
+
+    #[test]
+    fn tampered_tx_breaks_data_hash() {
+        let mut b = Block::genesis(vec![b"tx".to_vec()]);
+        b.transactions[0] = b"forged".to_vec();
+        assert!(!b.data_hash_valid());
+    }
+
+    #[test]
+    fn header_hash_depends_on_all_fields() {
+        let g = Block::genesis(vec![b"tx".to_vec()]);
+        let mut h2 = g.header.clone();
+        h2.number = 5;
+        assert_ne!(g.header.hash(), h2.hash());
+        let mut h3 = g.header.clone();
+        h3.data_hash = [1u8; 32];
+        assert_ne!(g.header.hash(), h3.hash());
+        let mut h4 = g.header.clone();
+        h4.prev_hash = [2u8; 32];
+        assert_ne!(g.header.hash(), h4.hash());
+    }
+
+    #[test]
+    fn validation_codes() {
+        assert!(TxValidationCode::Valid.is_valid());
+        assert!(!TxValidationCode::MvccConflict.is_valid());
+        assert!(!TxValidationCode::EndorsementPolicyFailure.is_valid());
+    }
+
+    #[test]
+    fn empty_block_is_consistent() {
+        let b = Block::genesis(vec![]);
+        assert!(b.data_hash_valid());
+        assert_eq!(b.tx_count(), 0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Ledger substrate error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by ledger data structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LedgerError {
+    /// A block's number did not continue the chain.
+    NonContiguousBlock {
+        /// The height the chain expected next.
+        expected: u64,
+        /// The number the block carried.
+        got: u64,
+    },
+    /// A block's previous-hash link did not match the chain tip.
+    BrokenHashChain {
+        /// The offending block number.
+        block: u64,
+    },
+    /// A block's data hash did not match its transactions.
+    DataHashMismatch {
+        /// The offending block number.
+        block: u64,
+    },
+    /// A requested block does not exist.
+    BlockNotFound(u64),
+    /// A requested transaction id does not exist.
+    TxNotFound(String),
+    /// A Merkle proof failed verification.
+    InvalidMerkleProof,
+    /// A Merkle proof was requested for an out-of-range leaf.
+    LeafOutOfRange {
+        /// The requested leaf index.
+        index: usize,
+        /// How many leaves the tree has.
+        leaves: usize,
+    },
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::NonContiguousBlock { expected, got } => {
+                write!(f, "expected block number {expected}, got {got}")
+            }
+            LedgerError::BrokenHashChain { block } => {
+                write!(f, "block {block} does not link to the previous block hash")
+            }
+            LedgerError::DataHashMismatch { block } => {
+                write!(f, "block {block} data hash does not match its transactions")
+            }
+            LedgerError::BlockNotFound(n) => write!(f, "block {n} not found"),
+            LedgerError::TxNotFound(id) => write!(f, "transaction {id:?} not found"),
+            LedgerError::InvalidMerkleProof => write!(f, "merkle proof verification failed"),
+            LedgerError::LeafOutOfRange { index, leaves } => {
+                write!(f, "leaf index {index} out of range for {leaves} leaves")
+            }
+        }
+    }
+}
+
+impl Error for LedgerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            LedgerError::NonContiguousBlock {
+                expected: 1,
+                got: 3,
+            },
+            LedgerError::BrokenHashChain { block: 2 },
+            LedgerError::DataHashMismatch { block: 2 },
+            LedgerError::BlockNotFound(9),
+            LedgerError::TxNotFound("tx".into()),
+            LedgerError::InvalidMerkleProof,
+            LedgerError::LeafOutOfRange {
+                index: 5,
+                leaves: 2,
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

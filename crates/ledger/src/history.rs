@@ -1,0 +1,96 @@
+//! Per-key value history, the basis for provenance queries
+//! (`GetHistoryForKey` in Fabric chaincode terms).
+
+use crate::rwset::{TxRwSet, Version};
+use std::collections::HashMap;
+
+/// One historical modification of a key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryEntry {
+    /// Version (block/tx) of the modification.
+    pub version: Version,
+    /// Value written, or `None` for a delete.
+    pub value: Option<Vec<u8>>,
+}
+
+/// Records every committed modification per (namespace, key).
+#[derive(Debug, Clone, Default)]
+pub struct HistoryIndex {
+    entries: HashMap<(String, String), Vec<HistoryEntry>>,
+}
+
+impl HistoryIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the writes of a committed transaction.
+    pub fn record(&mut self, rwset: &TxRwSet, version: Version) {
+        for ns in &rwset.ns_sets {
+            for w in &ns.writes {
+                self.entries
+                    .entry((ns.namespace.clone(), w.key.clone()))
+                    .or_default()
+                    .push(HistoryEntry {
+                        version,
+                        value: w.value.clone(),
+                    });
+            }
+        }
+    }
+
+    /// Full modification history of a key, oldest first.
+    pub fn history(&self, namespace: &str, key: &str) -> &[HistoryEntry] {
+        self.entries
+            .get(&(namespace.to_string(), key.to_string()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The number of distinct keys with any history.
+    pub fn key_count(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(ns: &str, key: &str, value: Option<&[u8]>) -> TxRwSet {
+        let mut rw = TxRwSet::new();
+        rw.record_write(ns, key, value.map(<[u8]>::to_vec));
+        rw
+    }
+
+    #[test]
+    fn history_accumulates_in_order() {
+        let mut idx = HistoryIndex::new();
+        idx.record(&tx("cc", "k", Some(b"v1")), Version::new(1, 0));
+        idx.record(&tx("cc", "k", Some(b"v2")), Version::new(2, 0));
+        idx.record(&tx("cc", "k", None), Version::new(3, 0));
+        let h = idx.history("cc", "k");
+        assert_eq!(h.len(), 3);
+        assert_eq!(h[0].value, Some(b"v1".to_vec()));
+        assert_eq!(h[1].value, Some(b"v2".to_vec()));
+        assert_eq!(h[2].value, None);
+        assert_eq!(h[2].version, Version::new(3, 0));
+    }
+
+    #[test]
+    fn unknown_key_has_empty_history() {
+        let idx = HistoryIndex::new();
+        assert!(idx.history("cc", "nope").is_empty());
+    }
+
+    #[test]
+    fn namespaces_separate() {
+        let mut idx = HistoryIndex::new();
+        idx.record(&tx("a", "k", Some(b"x")), Version::new(1, 0));
+        idx.record(&tx("b", "k", Some(b"y")), Version::new(1, 1));
+        assert_eq!(idx.history("a", "k").len(), 1);
+        assert_eq!(idx.history("b", "k").len(), 1);
+        assert_eq!(idx.key_count(), 2);
+    }
+}

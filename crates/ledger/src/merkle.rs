@@ -1,0 +1,239 @@
+//! Binary Merkle trees with inclusion proofs.
+//!
+//! Block data hashes are Merkle roots over the block's transactions, so a
+//! light verifier can check that a transaction is included in a block
+//! without the full payload. Leaves and interior nodes are domain-separated
+//! to prevent second-preimage splicing attacks.
+
+use crate::error::LedgerError;
+use tdt_crypto::sha256::sha256_concat;
+
+/// A 32-byte Merkle node hash.
+pub type Hash = [u8; 32];
+
+fn leaf_hash(data: &[u8]) -> Hash {
+    sha256_concat(&[b"\x00leaf", data])
+}
+
+fn node_hash(left: &Hash, right: &Hash) -> Hash {
+    sha256_concat(&[b"\x01node", left, right])
+}
+
+/// Computes the Merkle root of `leaves`.
+///
+/// The empty tree has the all-zero root. Odd nodes are promoted (not
+/// duplicated), so the tree is resistant to CVE-2012-2459-style mutation.
+pub fn merkle_root<T: AsRef<[u8]>>(leaves: &[T]) -> Hash {
+    if leaves.is_empty() {
+        return [0u8; 32];
+    }
+    let mut level: Vec<Hash> = leaves.iter().map(|l| leaf_hash(l.as_ref())).collect();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            match pair {
+                [l, r] => next.push(node_hash(l, r)),
+                [single] => next.push(*single),
+                _ => unreachable!(),
+            }
+        }
+        level = next;
+    }
+    level[0]
+}
+
+/// One step of a Merkle inclusion proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProofStep {
+    /// Sibling hash to combine with.
+    pub sibling: Hash,
+    /// True if the sibling is on the right of the running hash.
+    pub sibling_on_right: bool,
+}
+
+/// A Merkle inclusion proof for one leaf.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MerkleProof {
+    steps: Vec<ProofStep>,
+}
+
+impl MerkleProof {
+    /// Reconstructs a proof from its steps (e.g. after wire transfer).
+    pub fn from_steps(steps: Vec<ProofStep>) -> Self {
+        MerkleProof { steps }
+    }
+
+    /// The proof's path steps, leaf-side first.
+    pub fn steps(&self) -> &[ProofStep] {
+        &self.steps
+    }
+
+    /// The number of hashes in the proof path.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True for a single-leaf tree's (empty) proof.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Verifies that `leaf_data` is included under `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LedgerError::InvalidMerkleProof`] when the recomputed root
+    /// differs.
+    pub fn verify(&self, leaf_data: &[u8], root: &Hash) -> Result<(), LedgerError> {
+        let mut running = leaf_hash(leaf_data);
+        for step in &self.steps {
+            running = if step.sibling_on_right {
+                node_hash(&running, &step.sibling)
+            } else {
+                node_hash(&step.sibling, &running)
+            };
+        }
+        if &running == root {
+            Ok(())
+        } else {
+            Err(LedgerError::InvalidMerkleProof)
+        }
+    }
+}
+
+/// Builds an inclusion proof for `leaves[index]`.
+///
+/// # Errors
+///
+/// Returns [`LedgerError::LeafOutOfRange`] if `index` is out of bounds.
+pub fn merkle_proof<T: AsRef<[u8]>>(leaves: &[T], index: usize) -> Result<MerkleProof, LedgerError> {
+    if index >= leaves.len() {
+        return Err(LedgerError::LeafOutOfRange {
+            index,
+            leaves: leaves.len(),
+        });
+    }
+    let mut level: Vec<Hash> = leaves.iter().map(|l| leaf_hash(l.as_ref())).collect();
+    let mut idx = index;
+    let mut steps = Vec::new();
+    while level.len() > 1 {
+        let sibling_idx = if idx.is_multiple_of(2) { idx + 1 } else { idx - 1 };
+        if sibling_idx < level.len() {
+            steps.push(ProofStep {
+                sibling: level[sibling_idx],
+                sibling_on_right: sibling_idx > idx,
+            });
+        }
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            match pair {
+                [l, r] => next.push(node_hash(l, r)),
+                [single] => next.push(*single),
+                _ => unreachable!(),
+            }
+        }
+        idx /= 2;
+        level = next;
+    }
+    Ok(MerkleProof { steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_tree_root_is_zero() {
+        let leaves: Vec<Vec<u8>> = Vec::new();
+        assert_eq!(merkle_root(&leaves), [0u8; 32]);
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf_hash() {
+        let root = merkle_root(&[b"tx0"]);
+        assert_eq!(root, leaf_hash(b"tx0"));
+        let proof = merkle_proof(&[b"tx0"], 0).unwrap();
+        assert!(proof.is_empty());
+        assert!(proof.verify(b"tx0", &root).is_ok());
+    }
+
+    #[test]
+    fn root_changes_with_any_leaf() {
+        let a = merkle_root(&[b"t0".as_slice(), b"t1", b"t2"]);
+        let b = merkle_root(&[b"t0".as_slice(), b"tX", b"t2"]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn proofs_verify_for_all_leaves() {
+        for n in 1..=17usize {
+            let leaves: Vec<Vec<u8>> = (0..n).map(|i| format!("tx-{i}").into_bytes()).collect();
+            let root = merkle_root(&leaves);
+            for (i, leaf) in leaves.iter().enumerate() {
+                let proof = merkle_proof(&leaves, i).unwrap();
+                proof
+                    .verify(leaf, &root)
+                    .unwrap_or_else(|_| panic!("leaf {i} of {n} failed"));
+            }
+        }
+    }
+
+    #[test]
+    fn proof_rejects_wrong_leaf() {
+        let leaves = [b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()];
+        let root = merkle_root(&leaves);
+        let proof = merkle_proof(&leaves, 1).unwrap();
+        assert_eq!(
+            proof.verify(b"not-b", &root),
+            Err(LedgerError::InvalidMerkleProof)
+        );
+    }
+
+    #[test]
+    fn proof_rejects_wrong_root() {
+        let leaves = [b"a".to_vec(), b"b".to_vec()];
+        let proof = merkle_proof(&leaves, 0).unwrap();
+        assert_eq!(
+            proof.verify(b"a", &[9u8; 32]),
+            Err(LedgerError::InvalidMerkleProof)
+        );
+    }
+
+    #[test]
+    fn out_of_range_leaf() {
+        let leaves = [b"a".to_vec()];
+        assert_eq!(
+            merkle_proof(&leaves, 1).unwrap_err(),
+            LedgerError::LeafOutOfRange {
+                index: 1,
+                leaves: 1
+            }
+        );
+    }
+
+    #[test]
+    fn leaf_and_node_domains_differ() {
+        // A leaf containing what looks like two concatenated hashes must not
+        // collide with the interior node of those hashes.
+        let h1 = leaf_hash(b"x");
+        let h2 = leaf_hash(b"y");
+        let mut spliced = Vec::new();
+        spliced.extend_from_slice(&h1);
+        spliced.extend_from_slice(&h2);
+        assert_ne!(leaf_hash(&spliced), node_hash(&h1, &h2));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_all_proofs_verify(
+            leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..20), 1..32),
+            seed in any::<usize>(),
+        ) {
+            let idx = seed % leaves.len();
+            let root = merkle_root(&leaves);
+            let proof = merkle_proof(&leaves, idx).unwrap();
+            prop_assert!(proof.verify(&leaves[idx], &root).is_ok());
+        }
+    }
+}

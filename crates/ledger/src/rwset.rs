@@ -1,0 +1,280 @@
+//! Transaction read/write sets.
+//!
+//! Fabric's execute-order-validate pipeline simulates a transaction against
+//! a snapshot, recording the *versions* of every key read and the new values
+//! of every key written. At commit time the validator re-checks the read
+//! versions against current state (MVCC) and applies the writes only if
+//! nothing moved underneath.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The version of a committed key: the block and intra-block transaction
+/// index that last wrote it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Version {
+    /// Block number of the writing transaction.
+    pub block: u64,
+    /// Index of the writing transaction within the block.
+    pub tx: u64,
+}
+
+impl Version {
+    /// Creates a version.
+    pub fn new(block: u64, tx: u64) -> Self {
+        Version { block, tx }
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.block, self.tx)
+    }
+}
+
+/// One recorded read: the key and the version observed (None if the key was
+/// absent at simulation time).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KvRead {
+    /// The key that was read.
+    pub key: String,
+    /// Version observed, or `None` when the key did not exist.
+    pub version: Option<Version>,
+}
+
+/// One recorded write: the key and new value (`None` deletes the key).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KvWrite {
+    /// The key being written.
+    pub key: String,
+    /// New value; `None` is a delete.
+    pub value: Option<Vec<u8>>,
+}
+
+/// The read/write set of one chaincode namespace.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NsRwSet {
+    /// Chaincode namespace the keys belong to.
+    pub namespace: String,
+    /// Recorded reads, in order.
+    pub reads: Vec<KvRead>,
+    /// Recorded writes, in order (later writes to a key supersede earlier).
+    pub writes: Vec<KvWrite>,
+}
+
+impl NsRwSet {
+    /// Creates an empty set for `namespace`.
+    pub fn new(namespace: impl Into<String>) -> Self {
+        NsRwSet {
+            namespace: namespace.into(),
+            reads: Vec::new(),
+            writes: Vec::new(),
+        }
+    }
+}
+
+/// The complete read/write set of a transaction across namespaces.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TxRwSet {
+    /// Per-namespace sets, in first-touch order.
+    pub ns_sets: Vec<NsRwSet>,
+}
+
+impl TxRwSet {
+    /// Creates an empty transaction read/write set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the set for `namespace`, creating it if needed.
+    pub fn namespace_mut(&mut self, namespace: &str) -> &mut NsRwSet {
+        if let Some(pos) = self.ns_sets.iter().position(|s| s.namespace == namespace) {
+            &mut self.ns_sets[pos]
+        } else {
+            self.ns_sets.push(NsRwSet::new(namespace));
+            self.ns_sets.last_mut().expect("just pushed")
+        }
+    }
+
+    /// Records a read of `key` at `version`, deduplicating repeat reads.
+    pub fn record_read(&mut self, namespace: &str, key: &str, version: Option<Version>) {
+        let ns = self.namespace_mut(namespace);
+        if !ns.reads.iter().any(|r| r.key == key) {
+            ns.reads.push(KvRead {
+                key: key.to_string(),
+                version,
+            });
+        }
+    }
+
+    /// Records a write of `key`, superseding any earlier write of it.
+    pub fn record_write(&mut self, namespace: &str, key: &str, value: Option<Vec<u8>>) {
+        let ns = self.namespace_mut(namespace);
+        if let Some(w) = ns.writes.iter_mut().find(|w| w.key == key) {
+            w.value = value;
+        } else {
+            ns.writes.push(KvWrite {
+                key: key.to_string(),
+                value,
+            });
+        }
+    }
+
+    /// Looks up a pending write (read-your-own-writes during simulation).
+    pub fn pending_write(&self, namespace: &str, key: &str) -> Option<&KvWrite> {
+        self.ns_sets
+            .iter()
+            .find(|s| s.namespace == namespace)?
+            .writes
+            .iter()
+            .find(|w| w.key == key)
+    }
+
+    /// True when the transaction wrote nothing (a pure query).
+    pub fn is_read_only(&self) -> bool {
+        self.ns_sets.iter().all(|s| s.writes.is_empty())
+    }
+
+    /// Total number of recorded reads.
+    pub fn read_count(&self) -> usize {
+        self.ns_sets.iter().map(|s| s.reads.len()).sum()
+    }
+
+    /// Total number of recorded writes.
+    pub fn write_count(&self) -> usize {
+        self.ns_sets.iter().map(|s| s.writes.len()).sum()
+    }
+
+    /// Canonical bytes for hashing/endorsement signatures.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        // Deterministic: namespaces in recorded order, entries in recorded
+        // order, all fields length-prefixed.
+        let mut out = Vec::new();
+        fn push(out: &mut Vec<u8>, bytes: &[u8]) {
+            out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+            out.extend_from_slice(bytes);
+        }
+        out.extend_from_slice(b"rwset-v1");
+        out.extend_from_slice(&(self.ns_sets.len() as u32).to_be_bytes());
+        for ns in &self.ns_sets {
+            push(&mut out, ns.namespace.as_bytes());
+            out.extend_from_slice(&(ns.reads.len() as u32).to_be_bytes());
+            for r in &ns.reads {
+                push(&mut out, r.key.as_bytes());
+                match r.version {
+                    Some(v) => {
+                        out.push(1);
+                        out.extend_from_slice(&v.block.to_be_bytes());
+                        out.extend_from_slice(&v.tx.to_be_bytes());
+                    }
+                    None => out.push(0),
+                }
+            }
+            out.extend_from_slice(&(ns.writes.len() as u32).to_be_bytes());
+            for w in &ns.writes {
+                push(&mut out, w.key.as_bytes());
+                match &w.value {
+                    Some(v) => {
+                        out.push(1);
+                        push(&mut out, v);
+                    }
+                    None => out.push(0),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_display() {
+        assert_eq!(Version::new(3, 1).to_string(), "3:1");
+    }
+
+    #[test]
+    fn version_ordering() {
+        assert!(Version::new(1, 5) < Version::new(2, 0));
+        assert!(Version::new(2, 0) < Version::new(2, 1));
+    }
+
+    #[test]
+    fn reads_deduplicated() {
+        let mut rw = TxRwSet::new();
+        rw.record_read("cc", "k", Some(Version::new(1, 0)));
+        rw.record_read("cc", "k", Some(Version::new(1, 0)));
+        rw.record_read("cc", "k2", None);
+        assert_eq!(rw.read_count(), 2);
+    }
+
+    #[test]
+    fn writes_superseded() {
+        let mut rw = TxRwSet::new();
+        rw.record_write("cc", "k", Some(b"v1".to_vec()));
+        rw.record_write("cc", "k", Some(b"v2".to_vec()));
+        assert_eq!(rw.write_count(), 1);
+        assert_eq!(
+            rw.pending_write("cc", "k").unwrap().value,
+            Some(b"v2".to_vec())
+        );
+    }
+
+    #[test]
+    fn delete_recorded_as_none() {
+        let mut rw = TxRwSet::new();
+        rw.record_write("cc", "k", Some(b"v".to_vec()));
+        rw.record_write("cc", "k", None);
+        assert_eq!(rw.pending_write("cc", "k").unwrap().value, None);
+    }
+
+    #[test]
+    fn namespaces_isolated() {
+        let mut rw = TxRwSet::new();
+        rw.record_write("cc1", "k", Some(b"a".to_vec()));
+        rw.record_write("cc2", "k", Some(b"b".to_vec()));
+        assert_eq!(rw.ns_sets.len(), 2);
+        assert_eq!(
+            rw.pending_write("cc1", "k").unwrap().value,
+            Some(b"a".to_vec())
+        );
+        assert_eq!(
+            rw.pending_write("cc2", "k").unwrap().value,
+            Some(b"b".to_vec())
+        );
+        assert!(rw.pending_write("cc3", "k").is_none());
+    }
+
+    #[test]
+    fn read_only_detection() {
+        let mut rw = TxRwSet::new();
+        rw.record_read("cc", "k", None);
+        assert!(rw.is_read_only());
+        rw.record_write("cc", "k", Some(vec![1]));
+        assert!(!rw.is_read_only());
+    }
+
+    #[test]
+    fn canonical_bytes_deterministic_and_sensitive() {
+        let mut a = TxRwSet::new();
+        a.record_read("cc", "k", Some(Version::new(1, 0)));
+        a.record_write("cc", "k", Some(b"v".to_vec()));
+        let mut b = TxRwSet::new();
+        b.record_read("cc", "k", Some(Version::new(1, 0)));
+        b.record_write("cc", "k", Some(b"v".to_vec()));
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+        b.record_write("cc", "k", Some(b"v2".to_vec()));
+        assert_ne!(a.canonical_bytes(), b.canonical_bytes());
+    }
+
+    #[test]
+    fn canonical_bytes_distinguish_read_version() {
+        let mut a = TxRwSet::new();
+        a.record_read("cc", "k", Some(Version::new(1, 0)));
+        let mut b = TxRwSet::new();
+        b.record_read("cc", "k", None);
+        assert_ne!(a.canonical_bytes(), b.canonical_bytes());
+    }
+}

@@ -1,0 +1,299 @@
+//! Versioned key-value world state with MVCC validation.
+//!
+//! Each committed key carries the [`Version`] of the transaction that last
+//! wrote it. Validators call [`WorldState::mvcc_check`] to decide whether a
+//! simulated transaction's reads are still current before applying its
+//! writes — the "validate" half of execute-order-validate.
+
+use crate::rwset::{TxRwSet, Version};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A committed value and the version that wrote it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionedValue {
+    /// The value bytes.
+    pub value: Vec<u8>,
+    /// Version of the writing transaction.
+    pub version: Version,
+}
+
+/// The current state of every key across all chaincode namespaces.
+#[derive(Debug, Clone, Default)]
+pub struct WorldState {
+    // (namespace, key) -> versioned value; BTreeMap gives us range scans.
+    entries: BTreeMap<(String, String), VersionedValue>,
+}
+
+impl WorldState {
+    /// Creates an empty world state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the current value of `key` in `namespace`.
+    pub fn get(&self, namespace: &str, key: &str) -> Option<&VersionedValue> {
+        self.entries
+            .get(&(namespace.to_string(), key.to_string()))
+    }
+
+    /// Current version of `key`, or `None` if absent.
+    pub fn version(&self, namespace: &str, key: &str) -> Option<Version> {
+        self.get(namespace, key).map(|v| v.version)
+    }
+
+    /// Range scan over keys in `[start, end)` within a namespace, in key
+    /// order. An empty `end` means "to the end of the namespace".
+    pub fn range<'a>(
+        &'a self,
+        namespace: &str,
+        start: &str,
+        end: &str,
+    ) -> impl Iterator<Item = (&'a str, &'a VersionedValue)> + 'a {
+        let ns = namespace.to_string();
+        let lower = Bound::Included((ns.clone(), start.to_string()));
+        let upper = if end.is_empty() {
+            Bound::Excluded((format!("{ns}\u{0}"), String::new()))
+        } else {
+            Bound::Excluded((ns.clone(), end.to_string()))
+        };
+        self.entries
+            .range((lower, upper))
+            .filter(move |((n, _), _)| *n == ns)
+            .map(|((_, k), v)| (k.as_str(), v))
+    }
+
+    /// All keys of a namespace (for diagnostics and tests).
+    pub fn keys_in_namespace(&self, namespace: &str) -> Vec<&str> {
+        self.range(namespace, "", "").map(|(k, _)| k).collect()
+    }
+
+    /// Number of live keys across all namespaces.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no key exists.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// A deterministic digest of the entire world state: SHA-256 over the
+    /// sorted `(namespace, key, version, value)` entries. Two replicas
+    /// that executed the same blocks must produce identical digests —
+    /// the basis for replica-consistency checks and checkpointing.
+    pub fn state_hash(&self) -> [u8; 32] {
+        let mut hasher = tdt_crypto::sha256::Sha256::new();
+        hasher.update(b"tdt-state-v1");
+        // BTreeMap iterates in sorted order, so this is deterministic.
+        for ((namespace, key), entry) in &self.entries {
+            hasher.update(&(namespace.len() as u32).to_be_bytes());
+            hasher.update(namespace.as_bytes());
+            hasher.update(&(key.len() as u32).to_be_bytes());
+            hasher.update(key.as_bytes());
+            hasher.update(&entry.version.block.to_be_bytes());
+            hasher.update(&entry.version.tx.to_be_bytes());
+            hasher.update(&(entry.value.len() as u32).to_be_bytes());
+            hasher.update(&entry.value);
+        }
+        hasher.finalize()
+    }
+
+    /// MVCC check: every read version in `rwset` must match current state.
+    ///
+    /// Read-only transactions are exempt in Fabric (they are not ordered);
+    /// callers decide whether to enforce that.
+    pub fn mvcc_check(&self, rwset: &TxRwSet) -> bool {
+        for ns in &rwset.ns_sets {
+            for read in &ns.reads {
+                let current = self.version(&ns.namespace, &read.key);
+                if current != read.version {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Applies the writes of a validated transaction at `version`.
+    pub fn apply(&mut self, rwset: &TxRwSet, version: Version) {
+        for ns in &rwset.ns_sets {
+            for write in &ns.writes {
+                let full_key = (ns.namespace.clone(), write.key.clone());
+                match &write.value {
+                    Some(value) => {
+                        self.entries.insert(
+                            full_key,
+                            VersionedValue {
+                                value: value.clone(),
+                                version,
+                            },
+                        );
+                    }
+                    None => {
+                        self.entries.remove(&full_key);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_tx(ns: &str, key: &str, value: &[u8]) -> TxRwSet {
+        let mut rw = TxRwSet::new();
+        rw.record_write(ns, key, Some(value.to_vec()));
+        rw
+    }
+
+    #[test]
+    fn get_returns_committed_value() {
+        let mut ws = WorldState::new();
+        ws.apply(&write_tx("cc", "k", b"v"), Version::new(1, 0));
+        let vv = ws.get("cc", "k").unwrap();
+        assert_eq!(vv.value, b"v");
+        assert_eq!(vv.version, Version::new(1, 0));
+    }
+
+    #[test]
+    fn get_absent_is_none() {
+        let ws = WorldState::new();
+        assert!(ws.get("cc", "nope").is_none());
+        assert!(ws.is_empty());
+    }
+
+    #[test]
+    fn delete_removes_key() {
+        let mut ws = WorldState::new();
+        ws.apply(&write_tx("cc", "k", b"v"), Version::new(1, 0));
+        let mut del = TxRwSet::new();
+        del.record_write("cc", "k", None);
+        ws.apply(&del, Version::new(2, 0));
+        assert!(ws.get("cc", "k").is_none());
+    }
+
+    #[test]
+    fn namespaces_do_not_collide() {
+        let mut ws = WorldState::new();
+        ws.apply(&write_tx("cc1", "k", b"a"), Version::new(1, 0));
+        ws.apply(&write_tx("cc2", "k", b"b"), Version::new(1, 1));
+        assert_eq!(ws.get("cc1", "k").unwrap().value, b"a");
+        assert_eq!(ws.get("cc2", "k").unwrap().value, b"b");
+        assert_eq!(ws.len(), 2);
+    }
+
+    #[test]
+    fn mvcc_passes_on_current_reads() {
+        let mut ws = WorldState::new();
+        ws.apply(&write_tx("cc", "k", b"v"), Version::new(1, 0));
+        let mut rw = TxRwSet::new();
+        rw.record_read("cc", "k", Some(Version::new(1, 0)));
+        rw.record_write("cc", "k", Some(b"v2".to_vec()));
+        assert!(ws.mvcc_check(&rw));
+    }
+
+    #[test]
+    fn mvcc_fails_on_stale_read() {
+        let mut ws = WorldState::new();
+        ws.apply(&write_tx("cc", "k", b"v"), Version::new(1, 0));
+        // Another tx commits first.
+        ws.apply(&write_tx("cc", "k", b"v2"), Version::new(2, 0));
+        let mut rw = TxRwSet::new();
+        rw.record_read("cc", "k", Some(Version::new(1, 0)));
+        assert!(!ws.mvcc_check(&rw));
+    }
+
+    #[test]
+    fn mvcc_fails_on_phantom_create() {
+        // Tx read "absent", but key now exists.
+        let mut ws = WorldState::new();
+        ws.apply(&write_tx("cc", "k", b"v"), Version::new(1, 0));
+        let mut rw = TxRwSet::new();
+        rw.record_read("cc", "k", None);
+        assert!(!ws.mvcc_check(&rw));
+    }
+
+    #[test]
+    fn mvcc_passes_on_absent_read_still_absent() {
+        let ws = WorldState::new();
+        let mut rw = TxRwSet::new();
+        rw.record_read("cc", "k", None);
+        assert!(ws.mvcc_check(&rw));
+    }
+
+    #[test]
+    fn mvcc_fails_on_deleted_key() {
+        let mut ws = WorldState::new();
+        ws.apply(&write_tx("cc", "k", b"v"), Version::new(1, 0));
+        let mut rw = TxRwSet::new();
+        rw.record_read("cc", "k", Some(Version::new(1, 0)));
+        // Key deleted before this tx validates.
+        let mut del = TxRwSet::new();
+        del.record_write("cc", "k", None);
+        ws.apply(&del, Version::new(2, 0));
+        assert!(!ws.mvcc_check(&rw));
+    }
+
+    #[test]
+    fn range_scan_in_order() {
+        let mut ws = WorldState::new();
+        for (i, k) in ["apple", "banana", "cherry", "date"].iter().enumerate() {
+            ws.apply(&write_tx("cc", k, b"x"), Version::new(1, i as u64));
+        }
+        ws.apply(&write_tx("other", "berry", b"x"), Version::new(1, 9));
+        let keys: Vec<&str> = ws.range("cc", "b", "d").map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["banana", "cherry"]);
+        let all: Vec<&str> = ws.range("cc", "", "").map(|(k, _)| k).collect();
+        assert_eq!(all, vec!["apple", "banana", "cherry", "date"]);
+    }
+
+    #[test]
+    fn keys_in_namespace_excludes_other_namespaces() {
+        let mut ws = WorldState::new();
+        ws.apply(&write_tx("a", "k1", b"x"), Version::new(1, 0));
+        ws.apply(&write_tx("b", "k2", b"x"), Version::new(1, 1));
+        assert_eq!(ws.keys_in_namespace("a"), vec!["k1"]);
+        assert_eq!(ws.keys_in_namespace("b"), vec!["k2"]);
+        assert!(ws.keys_in_namespace("c").is_empty());
+    }
+
+    #[test]
+    fn state_hash_deterministic_and_order_insensitive() {
+        let mut a = WorldState::new();
+        let mut b = WorldState::new();
+        // Apply the same writes in different transaction groupings.
+        a.apply(&write_tx("cc", "k1", b"v1"), Version::new(1, 0));
+        a.apply(&write_tx("cc", "k2", b"v2"), Version::new(1, 1));
+        let mut both = TxRwSet::new();
+        both.record_write("cc", "k2", Some(b"v2".to_vec()));
+        b.apply(&both, Version::new(1, 1));
+        b.apply(&write_tx("cc", "k1", b"v1"), Version::new(1, 0));
+        assert_eq!(a.state_hash(), b.state_hash());
+    }
+
+    #[test]
+    fn state_hash_sensitive_to_values_and_versions() {
+        let mut a = WorldState::new();
+        a.apply(&write_tx("cc", "k", b"v"), Version::new(1, 0));
+        let mut b = WorldState::new();
+        b.apply(&write_tx("cc", "k", b"v2"), Version::new(1, 0));
+        assert_ne!(a.state_hash(), b.state_hash());
+        let mut c = WorldState::new();
+        c.apply(&write_tx("cc", "k", b"v"), Version::new(2, 0));
+        assert_ne!(a.state_hash(), c.state_hash());
+        assert_ne!(a.state_hash(), WorldState::new().state_hash());
+    }
+
+    #[test]
+    fn later_write_wins_within_apply() {
+        let mut ws = WorldState::new();
+        let mut rw = TxRwSet::new();
+        rw.record_write("cc", "k", Some(b"first".to_vec()));
+        rw.record_write("cc", "k", Some(b"second".to_vec()));
+        ws.apply(&rw, Version::new(1, 0));
+        assert_eq!(ws.get("cc", "k").unwrap().value, b"second");
+    }
+}

@@ -1,0 +1,244 @@
+//! Append-only block store with chain-integrity checking.
+
+use crate::block::{Block, BlockHeader};
+use crate::error::LedgerError;
+use crate::merkle::Hash;
+use std::collections::HashMap;
+
+/// An append-only store of blocks plus a transaction-id index.
+#[derive(Debug, Clone, Default)]
+pub struct BlockStore {
+    blocks: Vec<Block>,
+    // txid -> (block number, tx index)
+    tx_index: HashMap<String, (u64, usize)>,
+}
+
+impl BlockStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Chain height (number of blocks; genesis makes height 1).
+    pub fn height(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// Header of the newest block, if any.
+    pub fn tip(&self) -> Option<&BlockHeader> {
+        self.blocks.last().map(|b| &b.header)
+    }
+
+    /// Appends a block after verifying number, hash link, and data hash.
+    ///
+    /// # Errors
+    ///
+    /// * [`LedgerError::NonContiguousBlock`] on a gap or replay.
+    /// * [`LedgerError::BrokenHashChain`] on a bad previous-hash link.
+    /// * [`LedgerError::DataHashMismatch`] when transactions don't match the
+    ///   header commitment.
+    pub fn append(&mut self, block: Block) -> Result<(), LedgerError> {
+        let expected = self.height();
+        if block.header.number != expected {
+            return Err(LedgerError::NonContiguousBlock {
+                expected,
+                got: block.header.number,
+            });
+        }
+        if let Some(tip) = self.tip() {
+            if block.header.prev_hash != tip.hash() {
+                return Err(LedgerError::BrokenHashChain {
+                    block: block.header.number,
+                });
+            }
+        } else if block.header.prev_hash != [0u8; 32] {
+            return Err(LedgerError::BrokenHashChain { block: 0 });
+        }
+        if !block.data_hash_valid() {
+            return Err(LedgerError::DataHashMismatch {
+                block: block.header.number,
+            });
+        }
+        self.blocks.push(block);
+        Ok(())
+    }
+
+    /// Registers a transaction id for lookup via [`BlockStore::find_tx`].
+    pub fn index_tx(&mut self, txid: impl Into<String>, block: u64, tx_index: usize) {
+        self.tx_index.insert(txid.into(), (block, tx_index));
+    }
+
+    /// Fetches a block by number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LedgerError::BlockNotFound`] when out of range.
+    pub fn block(&self, number: u64) -> Result<&Block, LedgerError> {
+        self.blocks
+            .get(number as usize)
+            .ok_or(LedgerError::BlockNotFound(number))
+    }
+
+    /// Looks up a transaction payload by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LedgerError::TxNotFound`] for unknown ids.
+    pub fn find_tx(&self, txid: &str) -> Result<&[u8], LedgerError> {
+        let (block, idx) = self
+            .tx_index
+            .get(txid)
+            .ok_or_else(|| LedgerError::TxNotFound(txid.to_string()))?;
+        let block = self.block(*block)?;
+        Ok(&block.transactions[*idx])
+    }
+
+    /// Iterates blocks in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.iter()
+    }
+
+    /// Verifies the whole chain: links, numbers, and data hashes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first integrity violation found.
+    pub fn verify_chain(&self) -> Result<(), LedgerError> {
+        let mut prev: Option<Hash> = None;
+        for (i, block) in self.blocks.iter().enumerate() {
+            if block.header.number != i as u64 {
+                return Err(LedgerError::NonContiguousBlock {
+                    expected: i as u64,
+                    got: block.header.number,
+                });
+            }
+            let expected_prev = prev.unwrap_or([0u8; 32]);
+            if block.header.prev_hash != expected_prev {
+                return Err(LedgerError::BrokenHashChain {
+                    block: block.header.number,
+                });
+            }
+            if !block.data_hash_valid() {
+                return Err(LedgerError::DataHashMismatch {
+                    block: block.header.number,
+                });
+            }
+            prev = Some(block.hash());
+        }
+        Ok(())
+    }
+
+    /// Total number of transactions across all blocks.
+    pub fn total_txs(&self) -> usize {
+        self.blocks.iter().map(Block::tx_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> BlockStore {
+        let mut store = BlockStore::new();
+        store.append(Block::genesis(vec![b"cfg".to_vec()])).unwrap();
+        for i in 1..n {
+            let tip = store.tip().unwrap().clone();
+            store
+                .append(Block::next(&tip, vec![format!("tx-{i}").into_bytes()]))
+                .unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn append_and_height() {
+        let store = chain(5);
+        assert_eq!(store.height(), 5);
+        assert_eq!(store.total_txs(), 5);
+        assert!(store.verify_chain().is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_number() {
+        let mut store = chain(2);
+        let tip = store.tip().unwrap().clone();
+        let mut block = Block::next(&tip, vec![]);
+        block.header.number = 7;
+        assert!(matches!(
+            store.append(block),
+            Err(LedgerError::NonContiguousBlock { expected: 2, got: 7 })
+        ));
+    }
+
+    #[test]
+    fn rejects_broken_link() {
+        let mut store = chain(2);
+        let tip = store.tip().unwrap().clone();
+        let mut block = Block::next(&tip, vec![]);
+        block.header.prev_hash = [9u8; 32];
+        assert!(matches!(
+            store.append(block),
+            Err(LedgerError::BrokenHashChain { block: 2 })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_genesis_link() {
+        let mut store = BlockStore::new();
+        let mut g = Block::genesis(vec![]);
+        g.header.prev_hash = [1u8; 32];
+        assert!(store.append(g).is_err());
+    }
+
+    #[test]
+    fn rejects_tampered_data() {
+        let mut store = chain(1);
+        let tip = store.tip().unwrap().clone();
+        let mut block = Block::next(&tip, vec![b"tx".to_vec()]);
+        block.transactions[0] = b"changed".to_vec();
+        assert!(matches!(
+            store.append(block),
+            Err(LedgerError::DataHashMismatch { block: 1 })
+        ));
+    }
+
+    #[test]
+    fn block_lookup() {
+        let store = chain(3);
+        assert_eq!(store.block(0).unwrap().header.number, 0);
+        assert_eq!(store.block(2).unwrap().header.number, 2);
+        assert_eq!(
+            store.block(3).unwrap_err(),
+            LedgerError::BlockNotFound(3)
+        );
+    }
+
+    #[test]
+    fn tx_index_lookup() {
+        let mut store = chain(3);
+        store.index_tx("tx-1", 1, 0);
+        assert_eq!(store.find_tx("tx-1").unwrap(), b"tx-1");
+        assert_eq!(
+            store.find_tx("missing").unwrap_err(),
+            LedgerError::TxNotFound("missing".into())
+        );
+    }
+
+    #[test]
+    fn verify_chain_detects_retroactive_tampering() {
+        let mut store = chain(4);
+        // Tamper with a middle block's payload directly.
+        store.blocks[2].transactions[0] = b"forged".to_vec();
+        assert!(matches!(
+            store.verify_chain(),
+            Err(LedgerError::DataHashMismatch { block: 2 })
+        ));
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let store = chain(3);
+        let numbers: Vec<u64> = store.iter().map(|b| b.header.number).collect();
+        assert_eq!(numbers, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Pluggable network drivers.
+//!
+//! "The relay also includes a set of pluggable network drivers that
+//! translates the network-neutral protocol messages into calls to the
+//! underlying network implementation" (paper §3.2). The Fabric driver
+//! lives in the `interop` crate; an echo driver is provided here for relay
+//! tests and as the simplest reference implementation.
+
+use crate::error::RelayError;
+use tdt_wire::messages::{Query, QueryResponse, ResponseStatus};
+
+/// Translates network-neutral queries into ledger-specific execution.
+pub trait NetworkDriver: Send + Sync {
+    /// The network this driver serves.
+    fn network_id(&self) -> &str;
+
+    /// Executes `query` against the local network, orchestrating proof
+    /// collection per the query's verification policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelayError::DriverFailed`] on execution failure. Expected
+    /// protocol-level failures (access denied, not found) are reported in
+    /// the [`QueryResponse::status`] instead.
+    fn execute_query(&self, query: &Query) -> Result<QueryResponse, RelayError>;
+}
+
+/// A trivial driver that echoes the query's first argument back, unsigned.
+/// Useful for exercising relay plumbing without a blockchain.
+#[derive(Debug, Clone)]
+pub struct EchoDriver {
+    network_id: String,
+}
+
+impl EchoDriver {
+    /// Creates an echo driver for `network_id`.
+    pub fn new(network_id: impl Into<String>) -> Self {
+        EchoDriver {
+            network_id: network_id.into(),
+        }
+    }
+}
+
+impl NetworkDriver for EchoDriver {
+    fn network_id(&self) -> &str {
+        &self.network_id
+    }
+
+    fn execute_query(&self, query: &Query) -> Result<QueryResponse, RelayError> {
+        Ok(QueryResponse {
+            request_id: query.request_id.clone(),
+            status: ResponseStatus::Ok,
+            error: String::new(),
+            result: query.address.args.first().cloned().unwrap_or_default(),
+            result_encrypted: false,
+            attestations: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdt_wire::messages::NetworkAddress;
+
+    #[test]
+    fn echo_driver_echoes() {
+        let driver = EchoDriver::new("echo-net");
+        assert_eq!(driver.network_id(), "echo-net");
+        let query = Query {
+            request_id: "r1".into(),
+            address: NetworkAddress::new("echo-net", "l", "c", "f").with_arg(b"hello".to_vec()),
+            ..Default::default()
+        };
+        let resp = driver.execute_query(&query).unwrap();
+        assert_eq!(resp.result, b"hello");
+        assert_eq!(resp.request_id, "r1");
+        assert_eq!(resp.status, ResponseStatus::Ok);
+    }
+
+    #[test]
+    fn echo_driver_empty_args() {
+        let driver = EchoDriver::new("echo-net");
+        let query = Query {
+            request_id: "r2".into(),
+            address: NetworkAddress::new("echo-net", "l", "c", "f"),
+            ..Default::default()
+        };
+        let resp = driver.execute_query(&query).unwrap();
+        assert!(resp.result.is_empty());
+    }
+}

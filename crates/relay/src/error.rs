@@ -1,0 +1,84 @@
+//! Relay error type.
+
+use std::error::Error;
+use std::fmt;
+use tdt_wire::WireError;
+
+/// Errors raised by the relay layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelayError {
+    /// No relay endpoint could be found for a network.
+    DiscoveryFailed(String),
+    /// The transport could not reach the remote relay.
+    TransportFailed(String),
+    /// The local relay shed the request (token bucket empty).
+    RateLimited,
+    /// A relay instance is down (fault injection / outage).
+    RelayDown(String),
+    /// No driver is registered for the addressed network.
+    NoDriver(String),
+    /// The driver failed to execute the query.
+    DriverFailed(String),
+    /// The remote relay answered with an error envelope.
+    Remote(String),
+    /// Wire encoding/decoding failed.
+    Wire(WireError),
+}
+
+impl fmt::Display for RelayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelayError::DiscoveryFailed(m) => write!(f, "relay discovery failed: {m}"),
+            RelayError::TransportFailed(m) => write!(f, "relay transport failed: {m}"),
+            RelayError::RateLimited => write!(f, "request rate limited by relay"),
+            RelayError::RelayDown(id) => write!(f, "relay {id:?} is down"),
+            RelayError::NoDriver(net) => write!(f, "no driver registered for network {net:?}"),
+            RelayError::DriverFailed(m) => write!(f, "network driver failed: {m}"),
+            RelayError::Remote(m) => write!(f, "remote relay error: {m}"),
+            RelayError::Wire(e) => write!(f, "wire error: {e}"),
+        }
+    }
+}
+
+impl Error for RelayError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RelayError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for RelayError {
+    fn from(e: WireError) -> Self {
+        RelayError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            RelayError::DiscoveryFailed("x".into()),
+            RelayError::TransportFailed("x".into()),
+            RelayError::RateLimited,
+            RelayError::RelayDown("r".into()),
+            RelayError::NoDriver("n".into()),
+            RelayError::DriverFailed("d".into()),
+            RelayError::Remote("m".into()),
+            RelayError::Wire(WireError::UnexpectedEof),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn wire_error_sources() {
+        let e = RelayError::Wire(WireError::UnexpectedEof);
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! The relay service: trusted-data-transfer plumbing between networks.
+//!
+//! "Deployed within, and acting on behalf of, each network is a relay
+//! service ... The relay service serves requests for authentic data from
+//! applications by fetching the data along with verifiable proofs from
+//! remote networks" (paper §3.2). The relay operates at the technical,
+//! syntactic, and semantic layers; it is *untrusted*: data and proofs are
+//! end-to-end protected between source peers and the requesting client.
+//!
+//! * [`service`] — the relay itself: query forwarding on the destination
+//!   side, driver dispatch on the source side.
+//! * [`driver`] — the pluggable [`driver::NetworkDriver`] abstraction that
+//!   translates the network-neutral protocol into ledger-specific calls
+//!   (the Fabric driver lives in the `interop` crate).
+//! * [`discovery`] — pluggable relay discovery: a static map and the
+//!   paper's local file-based registry.
+//! * [`transport`] — relay-to-relay transports: an in-process bus for
+//!   deterministic tests and a length-prefixed TCP transport.
+//! * [`ratelimit`] — token-bucket DoS protection (paper §5, availability).
+//! * [`redundancy`] — redundant relay groups with failover (paper §5).
+
+pub mod discovery;
+pub mod driver;
+pub mod error;
+pub mod events;
+pub mod ratelimit;
+pub mod redundancy;
+pub mod service;
+pub mod transport;
+
+pub use error::RelayError;

@@ -1,0 +1,192 @@
+//! Redundant relay groups.
+//!
+//! "The effects of DoS attacks can be mitigated by adding redundant
+//! relays" (paper §5). A [`RelayGroup`] fronts several relay instances of
+//! the same network and fails over between them.
+
+use crate::error::RelayError;
+use crate::service::RelayService;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use tdt_wire::messages::{Query, QueryResponse};
+
+/// A set of interchangeable relays for one network, with round-robin
+/// selection and failover.
+pub struct RelayGroup {
+    relays: Vec<Arc<RelayService>>,
+    next: AtomicUsize,
+}
+
+impl std::fmt::Debug for RelayGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RelayGroup")
+            .field("relays", &self.relays.iter().map(|r| r.id()).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl RelayGroup {
+    /// Creates a group from relay instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `relays` is empty.
+    pub fn new(relays: Vec<Arc<RelayService>>) -> Self {
+        assert!(!relays.is_empty(), "a relay group needs at least one relay");
+        RelayGroup {
+            relays,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of member relays.
+    pub fn len(&self) -> usize {
+        self.relays.len()
+    }
+
+    /// Always false: groups cannot be empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of members currently marked down.
+    pub fn down_count(&self) -> usize {
+        self.relays.iter().filter(|r| r.is_down()).count()
+    }
+
+    /// Relays a query, starting from the next relay in round-robin order
+    /// and failing over on relay-local errors (down, rate limited,
+    /// transport failure). Errors reported by the *remote* side are
+    /// returned immediately — retrying a different local relay cannot fix
+    /// them.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last failure when every member relay failed.
+    pub fn relay_query(&self, query: &Query) -> Result<QueryResponse, RelayError> {
+        let start = self.next.fetch_add(1, Ordering::Relaxed);
+        let mut last_err = None;
+        for offset in 0..self.relays.len() {
+            let relay = &self.relays[(start + offset) % self.relays.len()];
+            match relay.relay_query(query) {
+                Ok(response) => return Ok(response),
+                Err(
+                    e @ (RelayError::RelayDown(_)
+                    | RelayError::RateLimited
+                    | RelayError::TransportFailed(_)),
+                ) => last_err = Some(e),
+                Err(other) => return Err(other),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| RelayError::RelayDown("all relays".into())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discovery::{DiscoveryService, StaticRegistry};
+    use crate::driver::EchoDriver;
+    use crate::ratelimit::RateLimiter;
+    use crate::transport::{EnvelopeHandler, InProcessBus, RelayTransport};
+    use tdt_wire::messages::NetworkAddress;
+
+    fn setup(n: usize, limited: bool) -> (RelayGroup, Arc<RelayService>) {
+        let registry = Arc::new(StaticRegistry::new());
+        let bus = Arc::new(InProcessBus::new());
+        registry.register("stl", "inproc:stl-relay");
+        let stl_relay = Arc::new(RelayService::new(
+            "stl-relay",
+            "stl",
+            Arc::clone(&registry) as Arc<dyn DiscoveryService>,
+            Arc::clone(&bus) as Arc<dyn RelayTransport>,
+        ));
+        stl_relay.register_driver(Arc::new(EchoDriver::new("stl")));
+        bus.register("stl-relay", Arc::clone(&stl_relay) as Arc<dyn EnvelopeHandler>);
+        let mut relays = Vec::new();
+        for i in 0..n {
+            let mut relay = RelayService::new(
+                format!("swt-relay-{i}"),
+                "swt",
+                Arc::clone(&registry) as Arc<dyn DiscoveryService>,
+                Arc::clone(&bus) as Arc<dyn RelayTransport>,
+            );
+            if limited {
+                relay = relay.with_rate_limiter(RateLimiter::new(1, 0.0));
+            }
+            relays.push(Arc::new(relay));
+        }
+        (RelayGroup::new(relays), stl_relay)
+    }
+
+    fn query() -> Query {
+        Query {
+            request_id: "r".into(),
+            address: NetworkAddress::new("stl", "l", "c", "f").with_arg(b"data".to_vec()),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn group_serves_queries() {
+        let (group, _stl) = setup(3, false);
+        assert_eq!(group.len(), 3);
+        let response = group.relay_query(&query()).unwrap();
+        assert_eq!(response.result, b"data");
+    }
+
+    #[test]
+    fn failover_past_down_relays() {
+        let (group, _stl) = setup(3, false);
+        group.relays[0].set_down(true);
+        group.relays[1].set_down(true);
+        assert_eq!(group.down_count(), 2);
+        // Should still succeed on the remaining relay, for many requests.
+        for _ in 0..5 {
+            assert!(group.relay_query(&query()).is_ok());
+        }
+    }
+
+    #[test]
+    fn all_down_fails() {
+        let (group, _stl) = setup(2, false);
+        for relay in &group.relays {
+            relay.set_down(true);
+        }
+        assert!(matches!(
+            group.relay_query(&query()),
+            Err(RelayError::RelayDown(_))
+        ));
+    }
+
+    #[test]
+    fn rate_limited_relays_fail_over() {
+        // Each relay allows exactly one request; the group absorbs N.
+        let (group, _stl) = setup(3, true);
+        for _ in 0..3 {
+            assert!(group.relay_query(&query()).is_ok());
+        }
+        assert!(matches!(
+            group.relay_query(&query()),
+            Err(RelayError::RateLimited)
+        ));
+    }
+
+    #[test]
+    fn remote_errors_not_retried() {
+        let (group, _stl) = setup(2, false);
+        let mut q = query();
+        q.address.network_id = "unknown-network".into();
+        // Discovery failure is relay-local config, not failover-able.
+        assert!(matches!(
+            group.relay_query(&q),
+            Err(RelayError::DiscoveryFailed(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one relay")]
+    fn empty_group_panics() {
+        RelayGroup::new(Vec::new());
+    }
+}

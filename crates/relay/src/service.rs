@@ -1,0 +1,593 @@
+//! The relay service itself.
+//!
+//! One relay is deployed per network. It plays two roles in the paper's
+//! message flow (Fig. 2):
+//!
+//! * **destination side** — [`RelayService::relay_query`] implements Steps
+//!   1-3 and 9: take a client query, discover the remote relay, serialize
+//!   and forward, return the response to the application.
+//! * **source side** — the [`EnvelopeHandler`] impl implements Steps 4-8:
+//!   deserialize the incoming request, pick the driver for the addressed
+//!   network, orchestrate proof collection, and reply.
+
+use crate::discovery::DiscoveryService;
+use crate::driver::NetworkDriver;
+use crate::error::RelayError;
+use crate::events::{EventSink, EventSource};
+use crate::ratelimit::RateLimiter;
+use crate::transport::{EnvelopeHandler, RelayTransport};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use tdt_wire::codec::Message;
+use tdt_wire::messages::{
+    AuthInfo, EnvelopeKind, EventNotice, EventSubscribeRequest, Query, QueryResponse,
+    RelayEnvelope,
+};
+
+/// Counters exposed for monitoring and the availability experiments.
+#[derive(Debug, Default)]
+pub struct RelayStats {
+    /// Queries forwarded to remote relays (destination role).
+    pub forwarded: AtomicU64,
+    /// Queries served for remote relays (source role).
+    pub served: AtomicU64,
+    /// Requests shed by the rate limiter.
+    pub shed: AtomicU64,
+}
+
+/// A relay service instance.
+pub struct RelayService {
+    id: String,
+    local_network: String,
+    discovery: Arc<dyn DiscoveryService>,
+    transport: Arc<dyn RelayTransport>,
+    drivers: RwLock<HashMap<String, Arc<dyn NetworkDriver>>>,
+    event_sources: RwLock<HashMap<String, Arc<dyn EventSource>>>,
+    subscriptions: RwLock<HashMap<String, Sender<EventNotice>>>,
+    subscription_counter: AtomicU64,
+    rate_limiter: Option<RateLimiter>,
+    down: AtomicBool,
+    stats: RelayStats,
+}
+
+impl std::fmt::Debug for RelayService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RelayService")
+            .field("id", &self.id)
+            .field("local_network", &self.local_network)
+            .field("drivers", &self.drivers.read().keys().collect::<Vec<_>>())
+            .field("down", &self.down.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl RelayService {
+    /// Creates a relay for `local_network`.
+    pub fn new(
+        id: impl Into<String>,
+        local_network: impl Into<String>,
+        discovery: Arc<dyn DiscoveryService>,
+        transport: Arc<dyn RelayTransport>,
+    ) -> Self {
+        RelayService {
+            id: id.into(),
+            local_network: local_network.into(),
+            discovery,
+            transport,
+            drivers: RwLock::new(HashMap::new()),
+            event_sources: RwLock::new(HashMap::new()),
+            subscriptions: RwLock::new(HashMap::new()),
+            subscription_counter: AtomicU64::new(0),
+            rate_limiter: None,
+            down: AtomicBool::new(false),
+            stats: RelayStats::default(),
+        }
+    }
+
+    /// Installs a rate limiter (builder style).
+    pub fn with_rate_limiter(mut self, limiter: RateLimiter) -> Self {
+        self.rate_limiter = Some(limiter);
+        self
+    }
+
+    /// The relay's identifier.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The network this relay serves.
+    pub fn local_network(&self) -> &str {
+        &self.local_network
+    }
+
+    /// Monitoring counters.
+    pub fn stats(&self) -> &RelayStats {
+        &self.stats
+    }
+
+    /// Registers the driver that executes queries against a local network.
+    pub fn register_driver(&self, driver: Arc<dyn NetworkDriver>) {
+        self.drivers
+            .write()
+            .insert(driver.network_id().to_string(), driver);
+    }
+
+    /// Registers the event feed for a local network.
+    pub fn register_event_source(&self, source: Arc<dyn EventSource>) {
+        self.event_sources
+            .write()
+            .insert(source.network_id().to_string(), source);
+    }
+
+    /// The endpoint other relays reach this relay at (in-process bus).
+    pub fn inproc_endpoint(&self) -> String {
+        format!("inproc:{}", self.id)
+    }
+
+    /// Destination role: subscribes to a remote network's block events.
+    /// Every pushed [`EventNotice`] arrives on the returned receiver.
+    ///
+    /// # Errors
+    ///
+    /// * [`RelayError::RelayDown`] when this relay is down.
+    /// * [`RelayError::DiscoveryFailed`] for unknown networks.
+    /// * [`RelayError::Remote`] when the source refuses the subscription.
+    pub fn subscribe_remote_events(
+        &self,
+        network_id: &str,
+        auth: AuthInfo,
+    ) -> Result<Receiver<EventNotice>, RelayError> {
+        if self.is_down() {
+            return Err(RelayError::RelayDown(self.id.clone()));
+        }
+        let endpoint = self.discovery.lookup(network_id)?;
+        let seq = self.subscription_counter.fetch_add(1, Ordering::Relaxed);
+        let subscription_id = format!("{}-sub-{seq}", self.id);
+        let (tx, rx) = unbounded();
+        self.subscriptions
+            .write()
+            .insert(subscription_id.clone(), tx);
+        let request = EventSubscribeRequest {
+            subscription_id: subscription_id.clone(),
+            network_id: network_id.to_string(),
+            reply_endpoint: self.inproc_endpoint(),
+            auth,
+        };
+        let envelope = RelayEnvelope {
+            kind: EnvelopeKind::EventSubscribe,
+            source_relay: self.id.clone(),
+            dest_network: network_id.to_string(),
+            payload: request.encode_to_vec(),
+        };
+        let reply = match self.transport.send(&endpoint, &envelope) {
+            Ok(reply) => reply,
+            Err(e) => {
+                self.subscriptions.write().remove(&subscription_id);
+                return Err(e);
+            }
+        };
+        match reply.kind {
+            EnvelopeKind::Ack => Ok(rx),
+            EnvelopeKind::Error => {
+                self.subscriptions.write().remove(&subscription_id);
+                Err(RelayError::Remote(
+                    String::from_utf8_lossy(&reply.payload).into_owned(),
+                ))
+            }
+            other => {
+                self.subscriptions.write().remove(&subscription_id);
+                Err(RelayError::Remote(format!(
+                    "unexpected subscription reply {other:?}"
+                )))
+            }
+        }
+    }
+
+    /// Cancels a local subscription (the source learns on its next push).
+    pub fn unsubscribe(&self, subscription_id: &str) {
+        self.subscriptions.write().remove(subscription_id);
+    }
+
+    /// Number of live local subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.subscriptions.read().len()
+    }
+
+    /// Simulates an outage (availability experiments).
+    pub fn set_down(&self, down: bool) {
+        self.down.store(down, Ordering::Relaxed);
+    }
+
+    /// True when the relay is simulating an outage.
+    pub fn is_down(&self) -> bool {
+        self.down.load(Ordering::Relaxed)
+    }
+
+    /// Destination role: forwards `query` to the source network's relay
+    /// and returns its response (Fig. 2, Steps 1-3 and 9).
+    ///
+    /// # Errors
+    ///
+    /// * [`RelayError::RelayDown`] when this relay is down.
+    /// * [`RelayError::RateLimited`] when the local limiter sheds the call.
+    /// * [`RelayError::DiscoveryFailed`] when the remote network is unknown.
+    /// * [`RelayError::TransportFailed`] when the remote relay is unreachable.
+    /// * [`RelayError::Remote`] when the remote relay reports an error.
+    pub fn relay_query(&self, query: &Query) -> Result<QueryResponse, RelayError> {
+        if self.is_down() {
+            return Err(RelayError::RelayDown(self.id.clone()));
+        }
+        if let Some(limiter) = &self.rate_limiter {
+            if !limiter.try_acquire() {
+                self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(RelayError::RateLimited);
+            }
+        }
+        let target_network = &query.address.network_id;
+        // Step 2: discovery.
+        let endpoint = self.discovery.lookup(target_network)?;
+        // Step 3: serialize and forward.
+        let envelope = RelayEnvelope::query(self.id.clone(), target_network.clone(), query);
+        let reply = self.transport.send(&endpoint, &envelope)?;
+        self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+        match reply.kind {
+            EnvelopeKind::QueryResponse => Ok(QueryResponse::decode_from_slice(&reply.payload)?),
+            EnvelopeKind::Error => Err(RelayError::Remote(
+                String::from_utf8_lossy(&reply.payload).into_owned(),
+            )),
+            other => Err(RelayError::Remote(format!(
+                "unexpected reply envelope {other:?}"
+            ))),
+        }
+    }
+
+    /// Source role: handles one incoming envelope (Fig. 2, Steps 4-8).
+    fn handle_envelope(&self, envelope: RelayEnvelope) -> RelayEnvelope {
+        if self.is_down() {
+            return RelayEnvelope::error(
+                self.id.clone(),
+                envelope.dest_network,
+                format!("relay {} is down", self.id),
+            );
+        }
+        if let Some(limiter) = &self.rate_limiter {
+            if !limiter.try_acquire() {
+                self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                return RelayEnvelope::error(
+                    self.id.clone(),
+                    envelope.dest_network,
+                    "rate limited",
+                );
+            }
+        }
+        match envelope.kind {
+            EnvelopeKind::Ping => RelayEnvelope {
+                kind: EnvelopeKind::Pong,
+                source_relay: self.id.clone(),
+                dest_network: envelope.dest_network,
+                payload: Vec::new(),
+            },
+            EnvelopeKind::QueryRequest => {
+                // Step 4: deserialize, determine the target network.
+                let query = match Query::decode_from_slice(&envelope.payload) {
+                    Ok(q) => q,
+                    Err(e) => {
+                        return RelayEnvelope::error(
+                            self.id.clone(),
+                            envelope.dest_network,
+                            format!("malformed query: {e}"),
+                        )
+                    }
+                };
+                let network = &query.address.network_id;
+                let driver = match self.drivers.read().get(network).cloned() {
+                    Some(d) => d,
+                    None => {
+                        return RelayEnvelope::error(
+                            self.id.clone(),
+                            envelope.dest_network,
+                            format!("no driver for network {network:?}"),
+                        )
+                    }
+                };
+                // Steps 5-7: the driver orchestrates the query and proof
+                // collection against the network's peers.
+                self.stats.served.fetch_add(1, Ordering::Relaxed);
+                match driver.execute_query(&query) {
+                    Ok(response) => RelayEnvelope::response(
+                        self.id.clone(),
+                        envelope.source_relay,
+                        &response,
+                    ),
+                    Err(e) => RelayEnvelope::error(
+                        self.id.clone(),
+                        envelope.dest_network,
+                        e.to_string(),
+                    ),
+                }
+            }
+            // Source side: accept an event subscription and start the feed.
+            EnvelopeKind::EventSubscribe => {
+                let request = match EventSubscribeRequest::decode_from_slice(&envelope.payload) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        return RelayEnvelope::error(
+                            self.id.clone(),
+                            envelope.dest_network,
+                            format!("malformed subscription: {e}"),
+                        )
+                    }
+                };
+                let source = match self.event_sources.read().get(&request.network_id).cloned() {
+                    Some(s) => s,
+                    None => {
+                        return RelayEnvelope::error(
+                            self.id.clone(),
+                            envelope.dest_network,
+                            format!("no event source for network {:?}", request.network_id),
+                        )
+                    }
+                };
+                // The sink pushes each notice back over the transport.
+                let transport = Arc::clone(&self.transport);
+                let reply_endpoint = request.reply_endpoint.clone();
+                let relay_id = self.id.clone();
+                let subscriber_network = request.auth.network_id.clone();
+                let sink: EventSink = Box::new(move |notice| {
+                    let push = RelayEnvelope {
+                        kind: EnvelopeKind::Event,
+                        source_relay: relay_id.clone(),
+                        dest_network: subscriber_network.clone(),
+                        payload: notice.encode_to_vec(),
+                    };
+                    match transport.send(&reply_endpoint, &push) {
+                        Ok(reply) if reply.kind == EnvelopeKind::Ack => Ok(()),
+                        Ok(reply) => Err(RelayError::Remote(format!(
+                            "subscriber replied {:?}",
+                            reply.kind
+                        ))),
+                        Err(e) => Err(e),
+                    }
+                });
+                match source.start(&request, sink) {
+                    Ok(()) => RelayEnvelope {
+                        kind: EnvelopeKind::Ack,
+                        source_relay: self.id.clone(),
+                        dest_network: envelope.dest_network,
+                        payload: Vec::new(),
+                    },
+                    Err(e) => RelayEnvelope::error(
+                        self.id.clone(),
+                        envelope.dest_network,
+                        e.to_string(),
+                    ),
+                }
+            }
+            // Destination side: route a pushed event to its subscriber.
+            EnvelopeKind::Event => {
+                let notice = match EventNotice::decode_from_slice(&envelope.payload) {
+                    Ok(n) => n,
+                    Err(e) => {
+                        return RelayEnvelope::error(
+                            self.id.clone(),
+                            envelope.dest_network,
+                            format!("malformed event: {e}"),
+                        )
+                    }
+                };
+                let subscription_id = notice.subscription_id.clone();
+                let delivered = {
+                    let subs = self.subscriptions.read();
+                    subs.get(&subscription_id)
+                        .map(|tx| tx.send(notice).is_ok())
+                        .unwrap_or(false)
+                };
+                if delivered {
+                    RelayEnvelope {
+                        kind: EnvelopeKind::Ack,
+                        source_relay: self.id.clone(),
+                        dest_network: envelope.dest_network,
+                        payload: Vec::new(),
+                    }
+                } else {
+                    // Subscriber gone: drop it and tell the source to stop.
+                    self.subscriptions.write().remove(&subscription_id);
+                    RelayEnvelope::error(
+                        self.id.clone(),
+                        envelope.dest_network,
+                        format!("no live subscription {subscription_id:?}"),
+                    )
+                }
+            }
+            other => RelayEnvelope::error(
+                self.id.clone(),
+                envelope.dest_network,
+                format!("unsupported envelope kind {other:?}"),
+            ),
+        }
+    }
+}
+
+impl EnvelopeHandler for RelayService {
+    fn handle(&self, envelope: RelayEnvelope) -> RelayEnvelope {
+        self.handle_envelope(envelope)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discovery::StaticRegistry;
+    use crate::driver::EchoDriver;
+    use crate::transport::InProcessBus;
+    use tdt_wire::messages::NetworkAddress;
+
+    struct Fixture {
+        swt_relay: Arc<RelayService>,
+        stl_relay: Arc<RelayService>,
+        registry: Arc<StaticRegistry>,
+        bus: Arc<InProcessBus>,
+    }
+
+    fn fixture() -> Fixture {
+        fixture_with_limit(None)
+    }
+
+    fn fixture_with_limit(limit: Option<RateLimiter>) -> Fixture {
+        let registry = Arc::new(StaticRegistry::new());
+        let bus = Arc::new(InProcessBus::new());
+        registry.register("stl", "inproc:stl-relay");
+        registry.register("swt", "inproc:swt-relay");
+        let mut stl_relay = RelayService::new(
+            "stl-relay",
+            "stl",
+            Arc::clone(&registry) as Arc<dyn DiscoveryService>,
+            Arc::clone(&bus) as Arc<dyn RelayTransport>,
+        );
+        if let Some(limit) = limit {
+            stl_relay = stl_relay.with_rate_limiter(limit);
+        }
+        let stl_relay = Arc::new(stl_relay);
+        stl_relay.register_driver(Arc::new(EchoDriver::new("stl")));
+        let swt_relay = Arc::new(RelayService::new(
+            "swt-relay",
+            "swt",
+            Arc::clone(&registry) as Arc<dyn DiscoveryService>,
+            Arc::clone(&bus) as Arc<dyn RelayTransport>,
+        ));
+        bus.register("stl-relay", Arc::clone(&stl_relay) as Arc<dyn EnvelopeHandler>);
+        bus.register("swt-relay", Arc::clone(&swt_relay) as Arc<dyn EnvelopeHandler>);
+        Fixture {
+            swt_relay,
+            stl_relay,
+            registry,
+            bus,
+        }
+    }
+
+    fn bl_query() -> Query {
+        Query {
+            request_id: "req-1".into(),
+            address: NetworkAddress::new("stl", "trade-channel", "TradeLensCC", "GetBillOfLading")
+                .with_arg(b"PO-1001".to_vec()),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn cross_relay_query_roundtrip() {
+        let f = fixture();
+        let response = f.swt_relay.relay_query(&bl_query()).unwrap();
+        assert_eq!(response.result, b"PO-1001");
+        assert_eq!(response.request_id, "req-1");
+        assert_eq!(f.swt_relay.stats().forwarded.load(Ordering::Relaxed), 1);
+        assert_eq!(f.stl_relay.stats().served.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn unknown_network_discovery_error() {
+        let f = fixture();
+        let mut query = bl_query();
+        query.address.network_id = "mars".into();
+        assert!(matches!(
+            f.swt_relay.relay_query(&query),
+            Err(RelayError::DiscoveryFailed(_))
+        ));
+    }
+
+    #[test]
+    fn remote_relay_without_driver_reports_error() {
+        let f = fixture();
+        // Point "stl" at the SWT relay, which has no driver for stl.
+        f.registry.register("stl", "inproc:swt-relay");
+        assert!(matches!(
+            f.swt_relay.relay_query(&bl_query()),
+            Err(RelayError::Remote(m)) if m.contains("no driver")
+        ));
+    }
+
+    #[test]
+    fn downed_local_relay_rejects() {
+        let f = fixture();
+        f.swt_relay.set_down(true);
+        assert!(matches!(
+            f.swt_relay.relay_query(&bl_query()),
+            Err(RelayError::RelayDown(_))
+        ));
+        f.swt_relay.set_down(false);
+        assert!(f.swt_relay.relay_query(&bl_query()).is_ok());
+    }
+
+    #[test]
+    fn downed_remote_relay_reports_error() {
+        let f = fixture();
+        f.stl_relay.set_down(true);
+        assert!(matches!(
+            f.swt_relay.relay_query(&bl_query()),
+            Err(RelayError::Remote(m)) if m.contains("down")
+        ));
+    }
+
+    #[test]
+    fn unreachable_remote_relay_transport_error() {
+        let f = fixture();
+        f.bus.deregister("stl-relay");
+        assert!(matches!(
+            f.swt_relay.relay_query(&bl_query()),
+            Err(RelayError::TransportFailed(_))
+        ));
+    }
+
+    #[test]
+    fn source_rate_limiting_sheds() {
+        let f = fixture_with_limit(Some(RateLimiter::new(2, 0.0)));
+        assert!(f.swt_relay.relay_query(&bl_query()).is_ok());
+        assert!(f.swt_relay.relay_query(&bl_query()).is_ok());
+        let err = f.swt_relay.relay_query(&bl_query()).unwrap_err();
+        assert!(matches!(err, RelayError::Remote(m) if m.contains("rate limited")));
+        assert_eq!(f.stl_relay.stats().shed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn ping_pong() {
+        let f = fixture();
+        let ping = RelayEnvelope {
+            kind: EnvelopeKind::Ping,
+            source_relay: "tester".into(),
+            dest_network: "stl".into(),
+            payload: Vec::new(),
+        };
+        let pong = f.stl_relay.handle(ping);
+        assert_eq!(pong.kind, EnvelopeKind::Pong);
+        assert_eq!(pong.source_relay, "stl-relay");
+    }
+
+    #[test]
+    fn malformed_query_payload_reports_error() {
+        let f = fixture();
+        let bad = RelayEnvelope {
+            kind: EnvelopeKind::QueryRequest,
+            source_relay: "t".into(),
+            dest_network: "stl".into(),
+            payload: vec![0xff, 0xff, 0xff],
+        };
+        let reply = f.stl_relay.handle(bad);
+        assert_eq!(reply.kind, EnvelopeKind::Error);
+    }
+
+    #[test]
+    fn unsupported_envelope_kind() {
+        let f = fixture();
+        let odd = RelayEnvelope {
+            kind: EnvelopeKind::QueryResponse,
+            source_relay: "t".into(),
+            dest_network: "stl".into(),
+            payload: Vec::new(),
+        };
+        let reply = f.stl_relay.handle(odd);
+        assert_eq!(reply.kind, EnvelopeKind::Error);
+    }
+}

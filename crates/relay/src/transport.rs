@@ -1,0 +1,350 @@
+//! Relay-to-relay transports.
+//!
+//! Two interchangeable transports carry [`RelayEnvelope`]s between relays:
+//! an in-process bus (deterministic, used by tests and benches) and a real
+//! TCP transport using length-prefixed frames. Endpoint strings select the
+//! transport: `inproc:<relay-id>` or `tcp:<host>:<port>`.
+
+use crate::error::RelayError;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tdt_wire::codec::Message;
+use tdt_wire::framing::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+use tdt_wire::messages::RelayEnvelope;
+
+/// Something that can answer relay envelopes (a relay service).
+pub trait EnvelopeHandler: Send + Sync {
+    /// Handles one request envelope, returning the response envelope.
+    fn handle(&self, envelope: RelayEnvelope) -> RelayEnvelope;
+}
+
+/// Request/response transport between relays.
+pub trait RelayTransport: Send + Sync {
+    /// Sends `envelope` to `endpoint` and waits for the reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelayError::TransportFailed`] when the endpoint is
+    /// unreachable or the exchange fails.
+    fn send(&self, endpoint: &str, envelope: &RelayEnvelope) -> Result<RelayEnvelope, RelayError>;
+}
+
+/// In-process bus: endpoints are handler registrations in a shared map.
+#[derive(Default)]
+pub struct InProcessBus {
+    handlers: RwLock<HashMap<String, Arc<dyn EnvelopeHandler>>>,
+}
+
+impl std::fmt::Debug for InProcessBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InProcessBus")
+            .field("endpoints", &self.handlers.read().len())
+            .finish()
+    }
+}
+
+impl InProcessBus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `handler` under `relay_id` (endpoint `inproc:<relay_id>`).
+    pub fn register(&self, relay_id: impl Into<String>, handler: Arc<dyn EnvelopeHandler>) {
+        self.handlers.write().insert(relay_id.into(), handler);
+    }
+
+    /// Removes a registration (simulates a relay going offline).
+    pub fn deregister(&self, relay_id: &str) {
+        self.handlers.write().remove(relay_id);
+    }
+}
+
+impl RelayTransport for InProcessBus {
+    fn send(&self, endpoint: &str, envelope: &RelayEnvelope) -> Result<RelayEnvelope, RelayError> {
+        let relay_id = endpoint.strip_prefix("inproc:").ok_or_else(|| {
+            RelayError::TransportFailed(format!(
+                "in-process bus cannot serve endpoint {endpoint:?}"
+            ))
+        })?;
+        let handler = self
+            .handlers
+            .read()
+            .get(relay_id)
+            .cloned()
+            .ok_or_else(|| {
+                RelayError::TransportFailed(format!("no relay registered at {endpoint:?}"))
+            })?;
+        Ok(handler.handle(envelope.clone()))
+    }
+}
+
+/// TCP transport: connects per request, frames the envelope, reads the
+/// framed reply.
+#[derive(Debug, Clone)]
+pub struct TcpTransport {
+    max_frame: usize,
+    timeout: Duration,
+}
+
+impl Default for TcpTransport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TcpTransport {
+    /// Creates a transport with the default frame cap and a 5 s timeout.
+    pub fn new() -> Self {
+        TcpTransport {
+            max_frame: DEFAULT_MAX_FRAME,
+            timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Overrides the read/write timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+}
+
+impl RelayTransport for TcpTransport {
+    fn send(&self, endpoint: &str, envelope: &RelayEnvelope) -> Result<RelayEnvelope, RelayError> {
+        let addr = endpoint.strip_prefix("tcp:").ok_or_else(|| {
+            RelayError::TransportFailed(format!("tcp transport cannot serve endpoint {endpoint:?}"))
+        })?;
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| RelayError::TransportFailed(format!("connect {addr}: {e}")))?;
+        stream.set_read_timeout(Some(self.timeout)).ok();
+        stream.set_write_timeout(Some(self.timeout)).ok();
+        let mut stream = stream;
+        write_frame(&mut stream, &envelope.encode_to_vec(), self.max_frame)
+            .map_err(|e| RelayError::TransportFailed(format!("send to {addr}: {e}")))?;
+        stream.flush().ok();
+        let reply = read_frame(&mut stream, self.max_frame)
+            .map_err(|e| RelayError::TransportFailed(format!("receive from {addr}: {e}")))?;
+        Ok(RelayEnvelope::decode_from_slice(&reply)?)
+    }
+}
+
+/// A TCP server front-end for a relay: accepts framed envelopes and feeds
+/// them to an [`EnvelopeHandler`].
+#[derive(Debug)]
+pub struct TcpRelayServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpRelayServer {
+    /// Binds `bind_addr` (use port 0 for an ephemeral port) and starts
+    /// serving `handler` on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelayError::TransportFailed`] when binding fails.
+    pub fn spawn(bind_addr: &str, handler: Arc<dyn EnvelopeHandler>) -> Result<Self, RelayError> {
+        let listener = TcpListener::bind(bind_addr)
+            .map_err(|e| RelayError::TransportFailed(format!("bind {bind_addr}: {e}")))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| RelayError::TransportFailed(e.to_string()))?;
+        listener.set_nonblocking(true).ok();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown_flag = Arc::clone(&shutdown);
+        let thread = std::thread::spawn(move || {
+            while !shutdown_flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nonblocking(false).ok();
+                        let handler = Arc::clone(&handler);
+                        std::thread::spawn(move || {
+                            let mut stream = stream;
+                            stream
+                                .set_read_timeout(Some(Duration::from_secs(10)))
+                                .ok();
+                            // Serve framed requests until the peer closes.
+                            while let Ok(frame) = read_frame(&mut stream, DEFAULT_MAX_FRAME) {
+                                let reply = match RelayEnvelope::decode_from_slice(&frame) {
+                                    Ok(envelope) => handler.handle(envelope),
+                                    Err(e) => RelayEnvelope::error(
+                                        "tcp-server",
+                                        "",
+                                        format!("malformed envelope: {e}"),
+                                    ),
+                                };
+                                if write_frame(
+                                    &mut stream,
+                                    &reply.encode_to_vec(),
+                                    DEFAULT_MAX_FRAME,
+                                )
+                                .is_err()
+                                {
+                                    break;
+                                }
+                            }
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(TcpRelayServer {
+            local_addr,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address, e.g. to build the `tcp:<addr>` endpoint string.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The endpoint string clients should use.
+    pub fn endpoint(&self) -> String {
+        format!("tcp:{}", self.local_addr)
+    }
+
+    /// Signals the accept loop to stop (without blocking).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Drop for TcpRelayServer {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(thread) = self.thread.take() {
+            thread.join().ok();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdt_wire::messages::EnvelopeKind;
+
+    /// Echoes the payload back as a response envelope.
+    struct EchoHandler;
+
+    impl EnvelopeHandler for EchoHandler {
+        fn handle(&self, envelope: RelayEnvelope) -> RelayEnvelope {
+            RelayEnvelope {
+                kind: EnvelopeKind::QueryResponse,
+                source_relay: "echo".into(),
+                dest_network: envelope.dest_network,
+                payload: envelope.payload,
+            }
+        }
+    }
+
+    fn request(payload: &[u8]) -> RelayEnvelope {
+        RelayEnvelope {
+            kind: EnvelopeKind::QueryRequest,
+            source_relay: "test".into(),
+            dest_network: "target".into(),
+            payload: payload.to_vec(),
+        }
+    }
+
+    #[test]
+    fn inproc_roundtrip() {
+        let bus = InProcessBus::new();
+        bus.register("echo-relay", Arc::new(EchoHandler));
+        let reply = bus.send("inproc:echo-relay", &request(b"ping")).unwrap();
+        assert_eq!(reply.kind, EnvelopeKind::QueryResponse);
+        assert_eq!(reply.payload, b"ping");
+    }
+
+    #[test]
+    fn inproc_unknown_endpoint() {
+        let bus = InProcessBus::new();
+        assert!(matches!(
+            bus.send("inproc:ghost", &request(b"x")),
+            Err(RelayError::TransportFailed(_))
+        ));
+    }
+
+    #[test]
+    fn inproc_rejects_foreign_scheme() {
+        let bus = InProcessBus::new();
+        assert!(bus.send("tcp:1.2.3.4:1", &request(b"x")).is_err());
+    }
+
+    #[test]
+    fn inproc_deregister() {
+        let bus = InProcessBus::new();
+        bus.register("r", Arc::new(EchoHandler));
+        assert!(bus.send("inproc:r", &request(b"x")).is_ok());
+        bus.deregister("r");
+        assert!(bus.send("inproc:r", &request(b"x")).is_err());
+    }
+
+    #[test]
+    fn tcp_roundtrip() {
+        let server = TcpRelayServer::spawn("127.0.0.1:0", Arc::new(EchoHandler)).unwrap();
+        let transport = TcpTransport::new();
+        let reply = transport
+            .send(&server.endpoint(), &request(b"over tcp"))
+            .unwrap();
+        assert_eq!(reply.payload, b"over tcp");
+        assert_eq!(reply.kind, EnvelopeKind::QueryResponse);
+    }
+
+    #[test]
+    fn tcp_multiple_sequential_requests() {
+        let server = TcpRelayServer::spawn("127.0.0.1:0", Arc::new(EchoHandler)).unwrap();
+        let transport = TcpTransport::new();
+        for i in 0..5 {
+            let payload = format!("msg-{i}").into_bytes();
+            let reply = transport.send(&server.endpoint(), &request(&payload)).unwrap();
+            assert_eq!(reply.payload, payload);
+        }
+    }
+
+    #[test]
+    fn tcp_concurrent_requests() {
+        let server = TcpRelayServer::spawn("127.0.0.1:0", Arc::new(EchoHandler)).unwrap();
+        let endpoint = server.endpoint();
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let endpoint = endpoint.clone();
+            handles.push(std::thread::spawn(move || {
+                let transport = TcpTransport::new();
+                let payload = format!("thread-{i}").into_bytes();
+                let reply = transport.send(&endpoint, &request(&payload)).unwrap();
+                assert_eq!(reply.payload, payload);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn tcp_unreachable_endpoint() {
+        let transport = TcpTransport::new().with_timeout(Duration::from_millis(300));
+        // Port 1 is almost certainly closed.
+        assert!(matches!(
+            transport.send("tcp:127.0.0.1:1", &request(b"x")),
+            Err(RelayError::TransportFailed(_))
+        ));
+    }
+
+    #[test]
+    fn tcp_bad_scheme() {
+        let transport = TcpTransport::new();
+        assert!(transport.send("inproc:x", &request(b"x")).is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Wire protocol error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while encoding or decoding wire messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before a complete value was read.
+    UnexpectedEof,
+    /// A varint exceeded 10 bytes (64-bit overflow).
+    VarintOverflow,
+    /// A declared length exceeds the remaining buffer.
+    LengthOutOfBounds {
+        /// The length the field header declared.
+        declared: u64,
+        /// Bytes actually remaining in the buffer.
+        remaining: usize,
+    },
+    /// A field had an unexpected wire type.
+    WireTypeMismatch {
+        /// The field number.
+        field: u32,
+        /// The wire type the decoder expected.
+        expected: &'static str,
+    },
+    /// An unknown wire type code appeared in a tag.
+    UnknownWireType(u8),
+    /// A required field was absent from the encoded message.
+    MissingField(&'static str),
+    /// A field contained invalid UTF-8.
+    InvalidUtf8(&'static str),
+    /// An enum field carried an unknown discriminant.
+    UnknownEnumValue {
+        /// Which field.
+        field: &'static str,
+        /// The unknown discriminant.
+        value: u64,
+    },
+    /// An embedded structure failed validation.
+    Invalid(String),
+    /// A frame exceeded the transport's maximum size.
+    FrameTooLarge {
+        /// The offending frame size.
+        size: usize,
+        /// The configured maximum.
+        max: usize,
+    },
+    /// An I/O failure in the framing layer.
+    Io(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof => write!(f, "unexpected end of input"),
+            WireError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            WireError::LengthOutOfBounds {
+                declared,
+                remaining,
+            } => write!(
+                f,
+                "declared length {declared} exceeds remaining {remaining} bytes"
+            ),
+            WireError::WireTypeMismatch { field, expected } => {
+                write!(f, "field {field} expected wire type {expected}")
+            }
+            WireError::UnknownWireType(code) => write!(f, "unknown wire type {code}"),
+            WireError::MissingField(name) => write!(f, "missing required field {name}"),
+            WireError::InvalidUtf8(name) => write!(f, "field {name} is not valid utf-8"),
+            WireError::UnknownEnumValue { field, value } => {
+                write!(f, "field {field} has unknown enum value {value}")
+            }
+            WireError::Invalid(msg) => write!(f, "invalid message: {msg}"),
+            WireError::FrameTooLarge { size, max } => {
+                write!(f, "frame of {size} bytes exceeds maximum {max}")
+            }
+            WireError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            WireError::UnexpectedEof,
+            WireError::VarintOverflow,
+            WireError::LengthOutOfBounds {
+                declared: 10,
+                remaining: 2,
+            },
+            WireError::WireTypeMismatch {
+                field: 3,
+                expected: "varint",
+            },
+            WireError::UnknownWireType(7),
+            WireError::MissingField("address"),
+            WireError::InvalidUtf8("name"),
+            WireError::UnknownEnumValue {
+                field: "type",
+                value: 99,
+            },
+            WireError::Invalid("oops".into()),
+            WireError::FrameTooLarge {
+                size: 100,
+                max: 10,
+            },
+            WireError::Io("broken pipe".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn from_io_error() {
+        let io = std::io::Error::other("boom");
+        let w: WireError = io.into();
+        assert!(matches!(w, WireError::Io(_)));
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Network-neutral wire protocol for cross-network data transfer.
+//!
+//! The paper specifies that relays communicate "using a shared
+//! network-neutral protocol specified using Protocol Buffers" (§3.2). This
+//! crate reproduces that layer from scratch:
+//!
+//! * [`varint`] — LEB128 variable-length integers (proto3 wire rule).
+//! * [`codec`] — a tag/wire-type field codec compatible with the proto3
+//!   binary format, plus the [`codec::Message`] trait.
+//! * [`messages`] — the relay protocol schema: [`messages::NetworkAddress`],
+//!   [`messages::Query`], [`messages::QueryResponse`], attestation proofs,
+//!   verification policies, and the [`messages::RelayEnvelope`] that wraps
+//!   them on the wire.
+//! * [`framing`] — length-prefixed frames for stream transports (TCP).
+//!
+//! # Example
+//!
+//! ```
+//! use tdt_wire::codec::Message;
+//! use tdt_wire::messages::NetworkAddress;
+//!
+//! let addr = NetworkAddress::new("simplified-tradelens", "trade-channel",
+//!                                "TradeLensCC", "GetBillOfLading")
+//!     .with_arg(b"PO-1001".to_vec());
+//! let bytes = addr.encode_to_vec();
+//! let decoded = NetworkAddress::decode_from_slice(&bytes)?;
+//! assert_eq!(decoded, addr);
+//! # Ok::<(), tdt_wire::WireError>(())
+//! ```
+
+pub mod codec;
+pub mod error;
+pub mod framing;
+pub mod messages;
+pub mod varint;
+
+pub use error::WireError;

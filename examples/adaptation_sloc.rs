@@ -1,0 +1,89 @@
+//! Regenerates the paper's adaptation-effort measurements (§5, "Ease of
+//! Use and Adaptation"): counts the interop-specific source lines in the
+//! source chaincode, destination chaincode, and destination application —
+//! every such line is tagged `// interop-adaptation` in this codebase —
+//! and compares them with the paper's reported figures.
+//!
+//! Run with: `cargo run --example adaptation_sloc`
+
+use std::path::Path;
+
+/// Counts tagged lines in `path`, optionally restricted to the region
+/// between `start_anchor` and the next match-arm terminator, so functions
+/// adapted later (extensions) don't inflate the paper-comparable number.
+fn count_marked(path: &Path, region: Option<&str>) -> std::io::Result<usize> {
+    let content = std::fs::read_to_string(path)?;
+    let lines: Vec<&str> = content.lines().collect();
+    let (from, to) = match region {
+        None => (0, lines.len()),
+        Some(anchor) => {
+            let start = lines
+                .iter()
+                .position(|l| l.contains(anchor))
+                .unwrap_or(0);
+            // The region ends at the next top-level match arm (`"..." =>`).
+            let end = lines[start + 1..]
+                .iter()
+                .position(|l| l.trim_start().starts_with('"') && l.contains("=>"))
+                .map(|off| start + 1 + off)
+                .unwrap_or(lines.len());
+            (start, end)
+        }
+    };
+    Ok(lines[from..to]
+        .iter()
+        .filter(|line| line.contains("// interop-adaptation"))
+        .count())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let stl = root.join("crates/contracts/src/stl.rs");
+    let swt = root.join("crates/contracts/src/swt.rs");
+    let app = root.join("crates/apps/src/swt_app.rs");
+    let cases = [
+        (
+            "source chaincode (STL GetBillOfLading only)",
+            count_marked(&stl, Some("\"GetBillOfLading\" =>"))?,
+            Some(35usize),
+        ),
+        (
+            "destination chaincode (SWT UploadDispatchDocs)",
+            count_marked(&swt, None)?,
+            Some(20),
+        ),
+        (
+            "destination application (SWT Seller Client)",
+            count_marked(&app, None)?,
+            Some(80),
+        ),
+        (
+            "extension: STL RecordFinancingStatus (invocation target)",
+            count_marked(&stl, Some("\"RecordFinancingStatus\" =>"))?,
+            None,
+        ),
+    ];
+    println!("adaptation effort: interop-specific SLOC (paper §5 vs this reproduction)\n");
+    println!(
+        "{:<58} | {:>10} | {:>8}",
+        "component", "paper SLOC", "measured"
+    );
+    println!("{}", "-".repeat(84));
+    for (name, measured, paper) in &cases {
+        match paper {
+            Some(p) => println!("{name:<58} | {p:>9}~ | {measured:>8}"),
+            None => println!("{name:<58} | {:>10} | {measured:>8}", "n/a"),
+        }
+    }
+    println!(
+        "\nNotes: the paper counts Go/JavaScript lines; this reproduction counts Rust\n\
+         lines tagged `// interop-adaptation`. The shape matches the paper's claim:\n\
+         the source-side change is small and one-time (\"permitting access to\n\
+         functions other than GetBillOfLading only requires the addition of a\n\
+         policy rule\"), and the destination chaincode change is smaller still.\n\
+         The destination *application* burden is far below the paper's ~80 SLOC\n\
+         because the reusable InteropClient absorbs the relay-API calls,\n\
+         decryption, and proof handling the paper's authors wrote by hand."
+    );
+    Ok(())
+}

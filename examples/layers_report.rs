@@ -1,0 +1,41 @@
+//! Regenerates Fig. 1: the layered interaction model for blockchain
+//! applications, annotated with which component of this implementation
+//! covers each layer.
+//!
+//! Run with: `cargo run --example layers_report`
+
+fn main() {
+    let layers: &[(&str, &str, &str)] = &[
+        (
+            "Governance",
+            "network governing bodies decide exposure & acceptance policies",
+            "interop::config admin transactions (ECC rules, CMDAC policies)",
+        ),
+        (
+            "Semantic",
+            "consensual data exposure and acceptance; proofs of consensus view",
+            "tdt-contracts (ECC, CMDAC), interop::{plugin, proof, driver}",
+        ),
+        (
+            "Syntactic",
+            "network-neutral message schema (queries, policies, proofs)",
+            "tdt-wire::messages (proto3-compatible codec)",
+        ),
+        (
+            "Technical",
+            "wire transports, framing, discovery",
+            "tdt-relay::{transport, discovery}, tdt-wire::framing",
+        ),
+    ];
+    println!("Fig. 1 — Layered Interaction Model for Blockchain Applications\n");
+    println!("{:<11} | {:<66} | implemented by", "layer", "responsibility");
+    println!("{}", "-".repeat(140));
+    for (layer, responsibility, component) in layers {
+        println!("{layer:<11} | {responsibility:<66} | {component}");
+    }
+    println!(
+        "\nThe relay operates at the technical, syntactic, and semantic layers\n\
+         (paper §3.2); the unique blockchain-interoperability challenge sits at\n\
+         the semantic layer, where data validity is a *consensus* property."
+    );
+}

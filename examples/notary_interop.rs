@@ -1,0 +1,85 @@
+//! Extensibility demonstration (paper §5): the same relay, wire protocol,
+//! client, and destination-side Data Acceptance contract serving a
+//! Corda-like notary network through a second driver.
+//!
+//! Run with: `cargo run --example notary_interop`
+
+use std::sync::Arc;
+use tdt::interop::corda_like::{CordaLikeDriver, NotaryNetwork};
+use tdt::interop::setup::stl_swt_testbed;
+use tdt::interop::InteropClient;
+use tdt::relay::discovery::DiscoveryService;
+use tdt::relay::service::RelayService;
+use tdt::relay::transport::{EnvelopeHandler, RelayTransport};
+use tdt::wire::messages::{NetworkAddress, VerificationPolicy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("building the SWT destination network...");
+    let testbed = stl_swt_testbed();
+
+    println!("standing up a Corda-like notary network with two notaries...");
+    let notary_net = Arc::new(NotaryNetwork::new(
+        "corda-net",
+        &["notary-org-a", "notary-org-b"],
+    ));
+    notary_net.record_fact(
+        "VaultCC",
+        "GetFact",
+        "ISIN-DE000",
+        b"bond registered, face value 1,000,000".to_vec(),
+    );
+    notary_net.allow("swt", "seller-bank-org");
+
+    // Reuse the existing relay bus + registry: only a driver is new.
+    let relay = Arc::new(RelayService::new(
+        "corda-relay",
+        "corda-net",
+        Arc::clone(&testbed.registry) as Arc<dyn DiscoveryService>,
+        Arc::clone(&testbed.bus) as Arc<dyn RelayTransport>,
+    ));
+    relay.register_driver(Arc::new(CordaLikeDriver::new(Arc::clone(&notary_net))));
+    testbed
+        .bus
+        .register("corda-relay", Arc::clone(&relay) as Arc<dyn EnvelopeHandler>);
+    testbed.registry.register("corda-net", "inproc:corda-relay");
+
+    // Record the notary network's config + a notary verification policy on
+    // SWT — the exact admin path used for Fabric networks.
+    let admin = testbed.swt_seller_gateway();
+    let policy = VerificationPolicy::all_of_orgs(["notary-org-a", "notary-org-b"])
+        .with_confidentiality();
+    tdt::interop::config::record_foreign_config(&admin, &notary_net.network_config())?;
+    tdt::interop::config::set_verification_policy(
+        &admin, "corda-net", "VaultCC", "GetFact", &policy,
+    )?;
+
+    // Query the notary network through the unchanged client + relay.
+    let client = InteropClient::new(testbed.swt_seller_gateway(), Arc::clone(&testbed.swt_relay));
+    let address = NetworkAddress::new("corda-net", "vault", "VaultCC", "GetFact")
+        .with_arg(b"ISIN-DE000".to_vec());
+    let remote = client.query_remote(address, policy)?;
+    println!(
+        "\nfetched fact: {:?} with {} notary attestations",
+        String::from_utf8_lossy(&remote.data),
+        remote.proof.attestations.len()
+    );
+
+    // Validate the notary proof through SWT's CMDAC, unchanged.
+    let verdict = admin
+        .submit(
+            "CMDAC",
+            "ValidateProof",
+            vec![
+                b"corda-net".to_vec(),
+                b"corda-net:vault:VaultCC:GetFact".to_vec(),
+                remote.proof_bytes(),
+            ],
+        )?
+        .into_committed()?;
+    println!(
+        "SWT's Data Acceptance contract verdict: {:?}",
+        String::from_utf8_lossy(&verdict)
+    );
+    println!("\nno relay, wire, client, or CMDAC changes were needed — only a driver.");
+    Ok(())
+}

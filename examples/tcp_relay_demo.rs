@@ -1,0 +1,65 @@
+//! Relays over real TCP sockets with a file-based discovery registry —
+//! the deployment shape of the paper's proof-of-concept (which plugged "a
+//! local file-based registry" into the SWT relay).
+//!
+//! Run with: `cargo run --example tcp_relay_demo`
+
+use std::sync::Arc;
+use tdt::contracts::stl::BillOfLading;
+use tdt::interop::driver::FabricDriver;
+use tdt::interop::setup::{issue_sample_bl, stl_swt_testbed};
+use tdt::interop::InteropClient;
+use tdt::relay::discovery::{DiscoveryService, FileRegistry};
+use tdt::relay::service::RelayService;
+use tdt::relay::transport::{EnvelopeHandler, RelayTransport, TcpRelayServer, TcpTransport};
+use tdt::wire::codec::Message;
+use tdt::wire::messages::{NetworkAddress, VerificationPolicy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("building networks...");
+    let testbed = stl_swt_testbed();
+    issue_sample_bl(&testbed, "PO-1001");
+
+    // Source-side relay served over TCP.
+    let registry_path = std::env::temp_dir().join(format!("tdt-registry-{}.txt", std::process::id()));
+    let stl_relay = Arc::new(RelayService::new(
+        "stl-relay-tcp",
+        "stl",
+        Arc::new(FileRegistry::new(&registry_path)) as Arc<dyn DiscoveryService>,
+        Arc::new(TcpTransport::new()) as Arc<dyn RelayTransport>,
+    ));
+    stl_relay.register_driver(Arc::new(FabricDriver::new(Arc::clone(&testbed.stl))));
+    let server = TcpRelayServer::spawn(
+        "127.0.0.1:0",
+        Arc::clone(&stl_relay) as Arc<dyn EnvelopeHandler>,
+    )?;
+    println!("STL relay listening on {}", server.local_addr());
+
+    // The destination relay discovers it through the file registry.
+    FileRegistry::write_entries(&registry_path, [("stl", server.endpoint().as_str())])?;
+    println!("registry written to {}", registry_path.display());
+    let swt_relay = Arc::new(RelayService::new(
+        "swt-relay-tcp",
+        "swt",
+        Arc::new(FileRegistry::new(&registry_path)) as Arc<dyn DiscoveryService>,
+        Arc::new(TcpTransport::new()) as Arc<dyn RelayTransport>,
+    ));
+
+    // The cross-network query now travels over a real socket.
+    let client = InteropClient::new(testbed.swt_seller_gateway(), swt_relay);
+    let address = NetworkAddress::new("stl", "trade-channel", "TradeLensCC", "GetBillOfLading")
+        .with_arg(b"PO-1001".to_vec());
+    let policy =
+        VerificationPolicy::all_of_orgs(["seller-org", "carrier-org"]).with_confidentiality();
+    let remote = client.query_remote(address, policy)?;
+    let bl = BillOfLading::decode_from_slice(&remote.data)?;
+    println!(
+        "\nfetched B/L {} over TCP with {} attestations",
+        bl.bl_id,
+        remote.proof.attestations.len()
+    );
+    std::fs::remove_file(&registry_path).ok();
+    server.shutdown();
+    println!("done.");
+    Ok(())
+}

@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! Facade crate for the Trusted Data Transfer stack.
+//!
+//! Re-exports every layer of the reproduction of *"Enabling Enterprise
+//! Blockchain Interoperability with Trusted Data Transfer"* (Abebe et al.,
+//! Middleware 2019) so examples and integration tests can depend on a single
+//! crate. See `README.md` for the architecture overview and `DESIGN.md` for
+//! the system inventory.
+
+pub use interop;
+pub use tdt_apps as apps;
+pub use tdt_contracts as contracts;
+pub use tdt_crypto as crypto;
+pub use tdt_fabric as fabric;
+pub use tdt_ledger as ledger;
+pub use tdt_relay as relay;
+pub use tdt_wire as wire;

@@ -1,0 +1,149 @@
+//! E11 — §5 "Generalization and Extensibility": the relay service, system
+//! contracts, and client support are reused unchanged for a non-Fabric
+//! (Corda-like notary) network; only the network driver is new.
+
+use std::sync::Arc;
+use tdt::interop::corda_like::{CordaLikeDriver, NotaryNetwork};
+use tdt::interop::setup::stl_swt_testbed;
+use tdt::interop::{InteropClient, InteropError};
+use tdt::relay::discovery::DiscoveryService;
+use tdt::relay::service::RelayService;
+use tdt::relay::transport::{EnvelopeHandler, RelayTransport};
+use tdt::wire::messages::{NetworkAddress, PolicyNode, VerificationPolicy};
+
+struct NotaryFixture {
+    testbed: tdt::interop::setup::Testbed,
+    notary_net: Arc<NotaryNetwork>,
+}
+
+fn fixture() -> NotaryFixture {
+    let testbed = stl_swt_testbed();
+    let notary_net = Arc::new(NotaryNetwork::new(
+        "corda-net",
+        &["notary-org-a", "notary-org-b", "notary-org-c"],
+    ));
+    notary_net.record_fact("VaultCC", "GetFact", "K-1", b"notarized state".to_vec());
+    notary_net.allow("swt", "seller-bank-org");
+    let relay = Arc::new(RelayService::new(
+        "corda-relay",
+        "corda-net",
+        Arc::clone(&testbed.registry) as Arc<dyn DiscoveryService>,
+        Arc::clone(&testbed.bus) as Arc<dyn RelayTransport>,
+    ));
+    relay.register_driver(Arc::new(CordaLikeDriver::new(Arc::clone(&notary_net))));
+    testbed
+        .bus
+        .register("corda-relay", Arc::clone(&relay) as Arc<dyn EnvelopeHandler>);
+    testbed.registry.register("corda-net", "inproc:corda-relay");
+    NotaryFixture { testbed, notary_net }
+}
+
+fn fact_address() -> NetworkAddress {
+    NetworkAddress::new("corda-net", "vault", "VaultCC", "GetFact").with_arg(b"K-1".to_vec())
+}
+
+#[test]
+fn unchanged_client_queries_both_platforms() {
+    let f = fixture();
+    tdt::interop::setup::issue_sample_bl(&f.testbed, "PO-1001");
+    let client = InteropClient::new(
+        f.testbed.swt_seller_gateway(),
+        Arc::clone(&f.testbed.swt_relay),
+    );
+    // Fabric source.
+    let fabric_remote = client
+        .query_remote(
+            NetworkAddress::new("stl", "trade-channel", "TradeLensCC", "GetBillOfLading")
+                .with_arg(b"PO-1001".to_vec()),
+            VerificationPolicy::all_of_orgs(["seller-org", "carrier-org"]).with_confidentiality(),
+        )
+        .unwrap();
+    // Notary source, same client, same relay.
+    let notary_remote = client
+        .query_remote(
+            fact_address(),
+            VerificationPolicy::all_of_orgs(["notary-org-a", "notary-org-b"])
+                .with_confidentiality(),
+        )
+        .unwrap();
+    assert!(!fabric_remote.data.is_empty());
+    assert_eq!(notary_remote.data, b"notarized state");
+}
+
+#[test]
+fn notary_threshold_policies_work() {
+    let f = fixture();
+    let client = InteropClient::new(
+        f.testbed.swt_seller_gateway(),
+        Arc::clone(&f.testbed.swt_relay),
+    );
+    // 2-of-3 notaries.
+    let policy = VerificationPolicy {
+        expression: PolicyNode::OutOf(
+            2,
+            vec![
+                PolicyNode::Org("notary-org-a".into()),
+                PolicyNode::Org("notary-org-b".into()),
+                PolicyNode::Org("notary-org-c".into()),
+            ],
+        ),
+        confidential: true,
+    };
+    let remote = client.query_remote(fact_address(), policy).unwrap();
+    assert_eq!(remote.proof.attestations.len(), 2);
+}
+
+#[test]
+fn cmdac_accepts_notary_configuration_schema() {
+    // The "standardized platform-independent schema" (paper §5): the
+    // notary network's configuration uses the same NetworkConfig message
+    // and the same recording transaction as Fabric networks.
+    let f = fixture();
+    let admin = f.testbed.swt_seller_gateway();
+    tdt::interop::config::record_foreign_config(&admin, &f.notary_net.network_config()).unwrap();
+    let policy = VerificationPolicy::all_of_orgs(["notary-org-a", "notary-org-b"])
+        .with_confidentiality();
+    tdt::interop::config::set_verification_policy(
+        &admin, "corda-net", "VaultCC", "GetFact", &policy,
+    )
+    .unwrap();
+    let client = InteropClient::new(
+        f.testbed.swt_seller_gateway(),
+        Arc::clone(&f.testbed.swt_relay),
+    );
+    let remote = client.query_remote(fact_address(), policy).unwrap();
+    let verdict = admin
+        .submit(
+            "CMDAC",
+            "ValidateProof",
+            vec![
+                b"corda-net".to_vec(),
+                b"corda-net:vault:VaultCC:GetFact".to_vec(),
+                remote.proof_bytes(),
+            ],
+        )
+        .unwrap()
+        .into_committed()
+        .unwrap();
+    assert_eq!(verdict, b"ok");
+}
+
+#[test]
+fn notary_exposure_control_denies_unauthorized_networks() {
+    let f = fixture();
+    // The STL seller (wrong network/org pairing) is not on the grant list.
+    let stl_client = f
+        .testbed
+        .stl
+        .register_client("seller-org", "stl-prober", true)
+        .unwrap();
+    let gateway = tdt::fabric::gateway::Gateway::new(Arc::clone(&f.testbed.stl), stl_client);
+    let client = InteropClient::new(gateway, Arc::clone(&f.testbed.stl_relay));
+    let err = client
+        .query_remote(
+            fact_address(),
+            VerificationPolicy::all_of_orgs(["notary-org-a"]).with_confidentiality(),
+        )
+        .unwrap_err();
+    assert!(matches!(err, InteropError::AccessDenied(_)));
+}

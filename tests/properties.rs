@@ -1,0 +1,310 @@
+//! Cross-crate property-based tests: protocol invariants that must hold
+//! for *all* inputs, not just the fixtures.
+
+use proptest::prelude::*;
+use tdt::crypto::sha256::sha256;
+use tdt::wire::codec::Message;
+use tdt::wire::messages::{
+    Attestation, NetworkAddress, PolicyNode, Proof, Query, ResultMetadata, VerificationPolicy,
+};
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+fn arb_policy() -> impl Strategy<Value = PolicyNode> {
+    let leaf = "[a-e]{1,4}".prop_map(PolicyNode::Org);
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(PolicyNode::And),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(PolicyNode::Or),
+            (1u32..4, prop::collection::vec(inner, 1..4))
+                .prop_map(|(k, children)| PolicyNode::OutOf(k, children)),
+        ]
+    })
+}
+
+fn arb_address() -> impl Strategy<Value = NetworkAddress> {
+    (
+        "[a-z]{1,8}",
+        "[a-z]{1,8}",
+        "[A-Za-z]{1,10}",
+        "[A-Za-z]{1,10}",
+        prop::collection::vec(prop::collection::vec(any::<u8>(), 0..16), 0..3),
+    )
+        .prop_map(|(n, l, c, f, args)| {
+            let mut addr = NetworkAddress::new(n, l, c, f);
+            addr.args = args;
+            addr
+        })
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    (
+        "[a-z0-9-]{1,20}",
+        arb_address(),
+        arb_policy(),
+        any::<bool>(),
+        prop::collection::vec(any::<u8>(), 0..24),
+        any::<bool>(),
+    )
+        .prop_map(|(request_id, address, expression, confidential, nonce, invocation)| Query {
+            request_id,
+            address,
+            policy: VerificationPolicy {
+                expression,
+                confidential,
+            },
+            auth: Default::default(),
+            nonce,
+            invocation,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // -----------------------------------------------------------------------
+    // Wire roundtrips for arbitrary protocol messages.
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn prop_query_wire_roundtrip(query in arb_query()) {
+        let decoded = Query::decode_from_slice(&query.encode_to_vec()).unwrap();
+        prop_assert_eq!(decoded, query);
+    }
+
+    #[test]
+    fn prop_policy_wire_roundtrip(policy in arb_policy()) {
+        let decoded = PolicyNode::decode_from_slice(&policy.encode_to_vec()).unwrap();
+        prop_assert_eq!(decoded, policy);
+    }
+
+    #[test]
+    fn prop_wire_decoder_total(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Arbitrary bytes either decode or error — never panic.
+        let _ = Query::decode_from_slice(&bytes);
+        let _ = Proof::decode_from_slice(&bytes);
+        let _ = PolicyNode::decode_from_slice(&bytes);
+    }
+
+    // -----------------------------------------------------------------------
+    // Policy algebra.
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn prop_policy_satisfaction_monotone(
+        policy in arb_policy(),
+        base in prop::collection::vec("[a-e]{1,4}", 0..6),
+        extra in prop::collection::vec("[a-e]{1,4}", 0..4),
+    ) {
+        // Adding organizations never turns a satisfied policy unsatisfied.
+        if policy.is_satisfied(&base) {
+            let mut superset = base.clone();
+            superset.extend(extra);
+            prop_assert!(policy.is_satisfied(&superset));
+        }
+    }
+
+    #[test]
+    fn prop_minimal_org_set_sound_and_complete(policy in arb_policy()) {
+        match tdt::interop::policy::minimal_org_set(&policy) {
+            Some(set) => prop_assert!(policy.is_satisfied(&set), "minimal set must satisfy"),
+            None => {
+                // Unsatisfiable even with every mentioned org present.
+                let all: Vec<String> =
+                    policy.organizations().iter().map(|s| s.to_string()).collect();
+                prop_assert!(!policy.is_satisfied(&all), "claimed unsatisfiable but all-orgs satisfies");
+            }
+        }
+    }
+
+    #[test]
+    fn prop_empty_org_set_only_satisfies_trivial(policy in arb_policy()) {
+        // A policy satisfied by nobody's attestation must also be reported
+        // satisfiable with an empty minimal set (degenerate expressions
+        // like And([]) — which arb_policy cannot generate — aside).
+        let empty: Vec<String> = Vec::new();
+        if policy.is_satisfied(&empty) {
+            let set = tdt::interop::policy::minimal_org_set(&policy);
+            prop_assert!(set.is_some());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Proof mutation resistance: no single byte flip may change the accepted
+// result.
+// ---------------------------------------------------------------------------
+
+fn make_valid_proof() -> (Proof, tdt::fabric::msp::Identity, tdt::fabric::msp::Msp) {
+    let mut msp = tdt::fabric::msp::Msp::new(
+        "src-net",
+        "org-a",
+        tdt::crypto::group::Group::test_group(),
+        b"prop-seed",
+    );
+    let peer = msp.enroll("peer0", tdt::crypto::cert::CertRole::Peer, false);
+    let result = b"the genuine result".to_vec();
+    let metadata = ResultMetadata {
+        request_id: "req".into(),
+        address: "src-net:l:CC:Get".into(),
+        result_hash: sha256(&result).to_vec(),
+        nonce: vec![1; 8],
+        peer_id: peer.qualified_name(),
+        org_id: "org-a".into(),
+        ledger_height: 3,
+        committed_block_plus_one: 0,
+        txid: String::new(),
+    };
+    let md = metadata.encode_to_vec();
+    let proof = Proof {
+        request_id: "req".into(),
+        address: "src-net:l:CC:Get".into(),
+        nonce: vec![1; 8],
+        result,
+        attestations: vec![Attestation {
+            signer_cert: tdt::wire::messages::encode_certificate(peer.certificate()),
+            signature: peer.sign(&md).to_bytes(),
+            metadata: md,
+            metadata_encrypted: false,
+        }],
+    };
+    (proof, peer, msp)
+}
+
+/// CMDAC-equivalent standalone validation (root check + signature +
+/// metadata consistency).
+fn validates(proof: &Proof, root: &tdt::crypto::cert::Certificate) -> bool {
+    let result_hash = sha256(&proof.result);
+    if proof.attestations.is_empty() {
+        return false;
+    }
+    for att in &proof.attestations {
+        let Ok(cert) = tdt::wire::messages::decode_certificate(&att.signer_cert) else {
+            return false;
+        };
+        if cert.verify(root).is_err() {
+            return false;
+        }
+        let Ok(vk) = cert.verifying_key() else {
+            return false;
+        };
+        let Ok(sig) = tdt::crypto::schnorr::Signature::from_bytes(&att.signature) else {
+            return false;
+        };
+        if vk.verify(&att.metadata, &sig).is_err() {
+            return false;
+        }
+        let Ok(md) = ResultMetadata::decode_from_slice(&att.metadata) else {
+            return false;
+        };
+        if md.result_hash != result_hash.to_vec()
+            || md.request_id != proof.request_id
+            || md.address != proof.address
+            || md.nonce != proof.nonce
+        {
+            return false;
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_proof_single_byte_flip_never_accepted_with_changed_content(
+        byte_seed in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let (proof, _peer, msp) = make_valid_proof();
+        let root = msp.root_certificate().clone();
+        prop_assert!(validates(&proof, &root), "baseline proof must validate");
+        let mut bytes = proof.encode_to_vec();
+        let idx = byte_seed % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        match Proof::decode_from_slice(&bytes) {
+            Err(_) => {} // corrupted encoding rejected outright
+            Ok(mutated) => {
+                if validates(&mutated, &root) {
+                    // Acceptable only if the mutation was semantically
+                    // invisible (e.g. a skipped unknown field) — the
+                    // accepted content must be identical to the original.
+                    prop_assert_eq!(mutated, proof);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MVCC serializability: committed transactions correspond to a serial
+// execution.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn prop_mvcc_commits_equal_serial_execution(
+        ops in prop::collection::vec((0u8..4, 0u8..3), 1..12),
+    ) {
+        use tdt::ledger::rwset::{TxRwSet, Version};
+        use tdt::ledger::state::WorldState;
+        // Each op is a read-modify-write of key k_i simulated against the
+        // *initial* state (a same-block batch), then validated serially.
+        let mut state = WorldState::new();
+        let mut seed = TxRwSet::new();
+        for key in 0..3 {
+            seed.record_write("cc", &format!("k{key}"), Some(vec![0]));
+        }
+        state.apply(&seed, Version::new(0, 0));
+
+        // Simulate every tx against the committed snapshot.
+        let txs: Vec<TxRwSet> = ops
+            .iter()
+            .map(|(val, key)| {
+                let key = format!("k{key}");
+                let mut rw = TxRwSet::new();
+                let version = state.version("cc", &key);
+                rw.record_read("cc", &key, version);
+                rw.record_write("cc", &key, Some(vec![val + 1]));
+                rw
+            })
+            .collect();
+
+        // Serial validation, Fabric style.
+        let mut shadow = state.clone();
+        let mut committed = Vec::new();
+        for (i, rw) in txs.iter().enumerate() {
+            if shadow.mvcc_check(rw) {
+                shadow.apply(rw, Version::new(1, i as u64));
+                committed.push(i);
+            }
+        }
+        // Property 1: per key, at most one of the conflicting txs commits.
+        for key in 0..3u8 {
+            let key = format!("k{key}");
+            let writers: Vec<usize> = committed
+                .iter()
+                .copied()
+                .filter(|&i| txs[i].pending_write("cc", &key).is_some())
+                .collect();
+            prop_assert!(writers.len() <= 1, "key {} written by {:?}", key, writers);
+        }
+        // Property 2: final state equals applying exactly the committed txs
+        // serially to the initial state.
+        let mut replay = state.clone();
+        for &i in &committed {
+            replay.apply(&txs[i], Version::new(1, i as u64));
+        }
+        for key in 0..3u8 {
+            let key = format!("k{key}");
+            prop_assert_eq!(
+                shadow.get("cc", &key).map(|v| v.value.clone()),
+                replay.get("cc", &key).map(|v| v.value.clone())
+            );
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! E3 — Fig. 3: the supply-chain / trade-finance interoperation use case.
+
+use tdt::apps::scenario::{acronym_table, run_trade_scenario, ACRONYMS};
+use tdt::apps::stl_app::{CarrierApp, SellerApp};
+use tdt::apps::swt_app::{BuyerApp, SellerClientApp};
+use tdt::contracts::stl::ShipmentStatus;
+use tdt::contracts::swt::LcStatus;
+use tdt::interop::setup::stl_swt_testbed;
+use tdt::interop::InteropError;
+use std::sync::Arc;
+
+#[test]
+fn full_scenario_reaches_payment() {
+    let t = stl_swt_testbed();
+    let report = run_trade_scenario(&t, "PO-1001").unwrap();
+    assert_eq!(report.final_lc_status, LcStatus::Paid);
+    // Both ledgers advanced: STL ran 4 business transactions, SWT ran 5.
+    let (_, stl_peer) = t.stl.peers().next().unwrap();
+    assert!(stl_peer.read().height() >= 5);
+    let (_, swt_peer) = t.swt.peers().next().unwrap();
+    assert!(swt_peer.read().height() >= 6);
+    // Every replica of each network holds an identical world state.
+    t.stl.check_replica_consistency().unwrap();
+    t.swt.check_replica_consistency().unwrap();
+}
+
+#[test]
+fn scenario_steps_in_paper_order() {
+    let t = stl_swt_testbed();
+    let report = run_trade_scenario(&t, "PO-7").unwrap();
+    let numbers: Vec<&str> = report.steps.iter().map(|s| s.number).collect();
+    assert_eq!(
+        numbers,
+        vec!["1", "2", "3-4", "5-6", "7", "8", "9", "10a", "10b"]
+    );
+    // Step 9 is the only cross-network step.
+    let cross: Vec<&str> = report
+        .steps
+        .iter()
+        .filter(|s| s.network == "cross")
+        .map(|s| s.number)
+        .collect();
+    assert_eq!(cross, vec!["9"]);
+}
+
+/// The fraud scenario the paper's Step 9 exists to prevent: the seller
+/// cannot claim payment against a forged B/L, because only a proof-backed
+/// B/L reaches the SWT ledger.
+#[test]
+fn seller_cannot_shortcut_to_payment() {
+    let t = stl_swt_testbed();
+    let seller = SellerApp::new(t.stl_seller_gateway());
+    let carrier = CarrierApp::new(t.stl_carrier_gateway());
+    let buyer = BuyerApp::new(t.swt_buyer_gateway());
+    let swt_sc = SellerClientApp::new(t.swt_seller_gateway(), Arc::clone(&t.swt_relay));
+
+    seller.create_shipment("PO-9", "goods").unwrap();
+    carrier.confirm_booking("PO-9").unwrap();
+    // No possession transfer, no B/L!
+    buyer.request_lc("PO-9", "LC-9", "b", "s", 1_000).unwrap();
+    buyer.issue_lc("PO-9").unwrap();
+    // The cross-network fetch fails: there is no B/L to prove.
+    let err = swt_sc.fetch_bill_of_lading("PO-9").unwrap_err();
+    assert!(matches!(err, InteropError::NotFound(_)));
+    // And payment cannot be requested without verified docs.
+    assert!(swt_sc.request_payment("PO-9").is_err());
+    assert_eq!(
+        buyer.letter_of_credit("PO-9").unwrap().status,
+        LcStatus::Issued
+    );
+    assert_eq!(
+        seller.shipment("PO-9").unwrap().status,
+        ShipmentStatus::BookingConfirmed
+    );
+}
+
+#[test]
+fn parallel_purchase_orders_do_not_interfere() {
+    let t = stl_swt_testbed();
+    let r1 = run_trade_scenario(&t, "PO-A").unwrap();
+    let r2 = run_trade_scenario(&t, "PO-B").unwrap();
+    assert_eq!(r1.final_lc_status, LcStatus::Paid);
+    assert_eq!(r2.final_lc_status, LcStatus::Paid);
+    // Distinct B/Ls on STL.
+    let carrier = CarrierApp::new(t.stl_carrier_gateway());
+    assert_eq!(carrier.bill_of_lading("PO-A").unwrap().bl_id, "BL-PO-A");
+    assert_eq!(carrier.bill_of_lading("PO-B").unwrap().bl_id, "BL-PO-B");
+}
+
+#[test]
+fn table_one_acronyms() {
+    // E5 — Table 1 regenerates completely.
+    let table = acronym_table();
+    assert_eq!(ACRONYMS.len(), 7);
+    for (acronym, expansion) in ACRONYMS {
+        assert!(table.contains(acronym), "{acronym} missing");
+        assert!(table.contains(expansion), "{expansion} missing");
+    }
+}
