@@ -3,16 +3,22 @@
 //! partial outage (paper §5: "the effects of DoS attacks can be mitigated
 //! by adding redundant relays").
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use interop::driver::FabricDriver;
 use interop::InteropClient;
 use std::hint::black_box;
 use std::sync::Arc;
+use std::time::Duration;
 use tdt_bench::{bl_address, bl_policy, prepared_testbed, swt_client};
+use tdt_fabric::gateway::Gateway;
 use tdt_relay::discovery::DiscoveryService;
+use tdt_relay::driver::NetworkDriver;
+use tdt_relay::error::RelayError;
 use tdt_relay::ratelimit::RateLimiter;
 use tdt_relay::redundancy::RelayGroup;
 use tdt_relay::service::RelayService;
 use tdt_relay::transport::RelayTransport;
+use tdt_wire::messages::{Query, QueryResponse};
 
 fn bench_relay(c: &mut Criterion) {
     let mut group = c.benchmark_group("relay_throughput");
@@ -88,5 +94,74 @@ fn bench_relay(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_relay);
+/// A driver decorating the real Fabric driver with a fixed peer
+/// round-trip time, as real endorsement traffic would see. The worker
+/// pool's win is overlapping these waits across concurrent requests, so
+/// it shows even on a single-core host; on multicore the pooled mode
+/// additionally overlaps the crypto.
+#[derive(Debug)]
+struct SimulatedRttDriver {
+    inner: FabricDriver,
+    rtt: Duration,
+}
+
+impl NetworkDriver for SimulatedRttDriver {
+    fn network_id(&self) -> &str {
+        self.inner.network_id()
+    }
+
+    fn execute_query(&self, query: &Query) -> Result<QueryResponse, RelayError> {
+        std::thread::sleep(self.rtt);
+        self.inner.execute_query(query)
+    }
+}
+
+/// Serial (one-worker pool) vs pooled (four workers) envelope handling on
+/// the source relay, under four concurrent clients.
+fn bench_serial_vs_pooled(c: &mut Criterion) {
+    const CLIENTS: usize = 4;
+    const PEER_RTT: Duration = Duration::from_millis(25);
+    let mut group = c.benchmark_group("relay_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(CLIENTS as u64));
+    for (label, workers) in [("pool_1_serial", 1usize), ("pool_4", 4)] {
+        let t = prepared_testbed("PO-1001");
+        t.stl_relay.register_driver(Arc::new(SimulatedRttDriver {
+            inner: FabricDriver::new(Arc::clone(&t.stl)),
+            rtt: PEER_RTT,
+        }));
+        t.stl_relay.start_workers(workers);
+        let clients: Vec<InteropClient> = (0..CLIENTS)
+            .map(|i| {
+                let identity = t
+                    .swt
+                    .register_client("seller-bank-org", &format!("bench-sc-{i}"), true)
+                    .unwrap();
+                InteropClient::new(
+                    Gateway::new(Arc::clone(&t.swt), identity),
+                    Arc::clone(&t.swt_relay),
+                )
+            })
+            .collect();
+        group.bench_function(format!("{CLIENTS}_clients_{label}"), |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for client in &clients {
+                        scope.spawn(move || {
+                            black_box(
+                                client
+                                    .query_remote(bl_address("PO-1001"), bl_policy())
+                                    .unwrap(),
+                            );
+                        });
+                    }
+                });
+            })
+        });
+        t.stl_relay.stop_workers();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_relay, bench_serial_vs_pooled);
 criterion_main!(benches);

@@ -24,7 +24,9 @@
 //! | `GetVerificationPolicy` | `[network_id, contract, function]` | wire [`VerificationPolicy`] |
 //! | `ValidateProof` | `[network_id, expected_address, proof]` (wire [`Proof`]) | `"ok"` |
 
+use std::sync::Arc;
 use tdt_crypto::cert::{CertRole, Certificate};
+use tdt_crypto::certcache::CertChainCache;
 use tdt_crypto::sha256::sha256;
 use tdt_fabric::chaincode::{Chaincode, TxContext};
 use tdt_fabric::error::ChaincodeError;
@@ -34,13 +36,32 @@ use tdt_wire::messages::{
 };
 
 /// The CMDAC system contract.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Cmdac;
+///
+/// Chain validation of attestation signer certificates goes through a
+/// [`CertChainCache`]: the same few endorser certificates recur across
+/// proofs, and re-running the Schnorr chain check on every attestation
+/// dominates `ValidateProof`. The cache is invalidated (epoch bump)
+/// whenever `RecordForeignConfig` changes the trusted root set.
+#[derive(Debug, Clone, Default)]
+pub struct Cmdac {
+    cert_cache: Arc<CertChainCache>,
+}
 
 impl Cmdac {
-    /// Creates the contract.
+    /// Creates the contract with a private certificate-chain cache.
     pub fn new() -> Self {
-        Cmdac
+        Cmdac::default()
+    }
+
+    /// Creates the contract sharing `cert_cache` with other components
+    /// (e.g. a relay exposing the hit rate through its stats).
+    pub fn with_cert_cache(cert_cache: Arc<CertChainCache>) -> Self {
+        Cmdac { cert_cache }
+    }
+
+    /// The certificate-chain cache used by proof validation.
+    pub fn cert_cache(&self) -> &Arc<CertChainCache> {
+        &self.cert_cache
     }
 
     fn config_key(network_id: &str) -> String {
@@ -68,8 +89,10 @@ impl Cmdac {
 
     /// Validates `cert` against the recorded configuration of `network_id`:
     /// the claimed organization must exist there and the certificate must
-    /// chain to that organization's recorded root.
+    /// chain to that organization's recorded root. Successful chain
+    /// validations are served from the cache within a config epoch.
     fn validate_cert_against_config(
+        &self,
         config: &NetworkConfig,
         cert: &Certificate,
     ) -> Result<(), ChaincodeError> {
@@ -93,11 +116,13 @@ impl Cmdac {
             })?;
         let root = decode_certificate(&org.root_cert)
             .map_err(|e| ChaincodeError::Internal(format!("stored root cert corrupt: {e}")))?;
-        cert.verify(&root)
+        self.cert_cache
+            .verify_chain(cert, &root)
             .map_err(|e| ChaincodeError::AccessDenied(format!("certificate invalid: {e}")))
     }
 
     fn validate_proof(
+        &self,
         ctx: &mut TxContext<'_>,
         network_id: &str,
         expected_address: &str,
@@ -146,7 +171,7 @@ impl Cmdac {
                 ChaincodeError::BadRequest(format!("attestation {i} certificate malformed: {e}"))
             })?;
             // Authenticate the signer against the recorded source config.
-            Self::validate_cert_against_config(&config, &cert)?;
+            self.validate_cert_against_config(&config, &cert)?;
             if cert.subject().role != CertRole::Peer {
                 return Err(ChaincodeError::AccessDenied(format!(
                     "attestation {i} signer {:?} is not a peer",
@@ -248,6 +273,9 @@ impl Chaincode for Cmdac {
                     return Err(ChaincodeError::BadRequest("config missing network id".into()));
                 }
                 ctx.put_state(&Self::config_key(&config.network_id), config_bytes.clone());
+                // New trusted root set: chains validated under the old
+                // configuration must not be honored.
+                self.cert_cache.bump_epoch();
                 Ok(Vec::new())
             }
             "GetForeignConfig" => {
@@ -271,7 +299,7 @@ impl Chaincode for Cmdac {
                 let config = Self::load_config(ctx, &network_id)?;
                 let cert = decode_certificate(cert_bytes)
                     .map_err(|e| ChaincodeError::BadRequest(format!("cert malformed: {e}")))?;
-                Self::validate_cert_against_config(&config, &cert)?;
+                self.validate_cert_against_config(&config, &cert)?;
                 Ok(b"ok".to_vec())
             }
             "SetVerificationPolicy" => {
@@ -321,7 +349,7 @@ impl Chaincode for Cmdac {
                 let expected_address = String::from_utf8_lossy(expected_address).into_owned();
                 let proof = Proof::decode_from_slice(proof_bytes)
                     .map_err(|e| ChaincodeError::BadRequest(format!("proof malformed: {e}")))?;
-                Self::validate_proof(ctx, &network_id, &expected_address, &proof)?;
+                self.validate_proof(ctx, &network_id, &expected_address, &proof)?;
                 Ok(b"ok".to_vec())
             }
             other => Err(ChaincodeError::UnknownFunction(other.to_string())),

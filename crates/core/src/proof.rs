@@ -68,67 +68,15 @@ pub fn process_response(
             "response carries no attestations".into(),
         ));
     }
+    let verified = verify_attestations(identity, query, &expected_address, &result_hash, response);
     let mut plain_attestations = Vec::with_capacity(response.attestations.len());
     let mut endorsing_orgs: Vec<String> = Vec::new();
-    for (i, att) in response.attestations.iter().enumerate() {
-        // Decrypt the metadata when necessary.
-        let metadata_plain = if att.metadata_encrypted {
-            let dk = identity
-                .decryption_key()
-                .ok_or(InteropError::MissingDecryptionKey)?;
-            let ct = Ciphertext::from_bytes(&att.metadata).map_err(|e| {
-                InteropError::InvalidResponse(format!("attestation {i} ciphertext: {e}"))
-            })?;
-            dk.decrypt(&ct).map_err(|e| {
-                InteropError::InvalidResponse(format!("attestation {i} decryption: {e}"))
-            })?
-        } else {
-            att.metadata.clone()
-        };
-        // Verify the signature over the plaintext metadata.
-        let cert = decode_certificate(&att.signer_cert)
-            .map_err(|e| InteropError::InvalidResponse(format!("attestation {i} cert: {e}")))?;
-        let vk = cert
-            .verifying_key()
-            .map_err(|e| InteropError::InvalidResponse(format!("attestation {i} key: {e}")))?;
-        let signature = tdt_crypto::schnorr::Signature::from_bytes(&att.signature)
-            .map_err(|e| InteropError::InvalidResponse(format!("attestation {i} sig: {e}")))?;
-        vk.verify(&metadata_plain, &signature).map_err(|_| {
-            InteropError::InvalidResponse(format!("attestation {i} signature invalid"))
-        })?;
-        // Check the metadata answers *this* query, about *this* result.
-        let metadata = ResultMetadata::decode_from_slice(&metadata_plain)
-            .map_err(|e| InteropError::InvalidResponse(format!("attestation {i} metadata: {e}")))?;
-        if metadata.request_id != query.request_id {
-            return Err(InteropError::InvalidResponse(format!(
-                "attestation {i} answers a different request"
-            )));
+    for result in verified {
+        let (org_id, attestation) = result?;
+        if !endorsing_orgs.contains(&org_id) {
+            endorsing_orgs.push(org_id);
         }
-        if metadata.address != expected_address {
-            return Err(InteropError::InvalidResponse(format!(
-                "attestation {i} covers address {:?}, expected {expected_address:?}",
-                metadata.address
-            )));
-        }
-        if metadata.nonce != query.nonce {
-            return Err(InteropError::InvalidResponse(format!(
-                "attestation {i} nonce mismatch"
-            )));
-        }
-        if metadata.result_hash != result_hash {
-            return Err(InteropError::InvalidResponse(format!(
-                "attestation {i} attests a different result"
-            )));
-        }
-        if !endorsing_orgs.contains(&metadata.org_id) {
-            endorsing_orgs.push(metadata.org_id.clone());
-        }
-        plain_attestations.push(Attestation {
-            signer_cert: att.signer_cert.clone(),
-            signature: att.signature.clone(),
-            metadata: metadata_plain,
-            metadata_encrypted: false,
-        });
+        plain_attestations.push(attestation);
     }
     // Pre-check the verification policy locally.
     if !query.policy.expression.is_satisfied(&endorsing_orgs) {
@@ -143,6 +91,142 @@ pub fn process_response(
         result: result_plain,
         attestations: plain_attestations,
     })
+}
+
+/// Verifies every attestation, fanning the per-attestation work (metadata
+/// decryption + Schnorr signature check, the two modular-exponentiation
+/// hot spots) across threads when more than one attestation is present.
+///
+/// Results come back in attestation order, so callers that stop at the
+/// first `Err` observe exactly the error the old sequential loop produced
+/// regardless of thread scheduling.
+fn verify_attestations(
+    identity: &Identity,
+    query: &Query,
+    expected_address: &str,
+    result_hash: &[u8; 32],
+    response: &QueryResponse,
+) -> Vec<Result<(String, Attestation), InteropError>> {
+    let n = response.attestations.len();
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return response
+            .attestations
+            .iter()
+            .enumerate()
+            .map(|(i, att)| verify_attestation(identity, query, expected_address, result_hash, i, att))
+            .collect();
+    }
+    let mut results: Vec<Option<Result<(String, Attestation), InteropError>>> =
+        std::iter::repeat_with(|| None).take(n).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    response
+                        .attestations
+                        .iter()
+                        .enumerate()
+                        .skip(w)
+                        .step_by(workers)
+                        .map(|(i, att)| {
+                            (
+                                i,
+                                verify_attestation(
+                                    identity,
+                                    query,
+                                    expected_address,
+                                    result_hash,
+                                    i,
+                                    att,
+                                ),
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, result) in handle.join().expect("attestation verifier panicked") {
+                results[i] = Some(result);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every attestation index verified"))
+        .collect()
+}
+
+/// Verifies one attestation: decrypt metadata if needed, check the signer's
+/// signature over it, and check it answers this query about this result.
+/// Returns the endorsing org and the re-packaged plaintext attestation.
+fn verify_attestation(
+    identity: &Identity,
+    query: &Query,
+    expected_address: &str,
+    result_hash: &[u8; 32],
+    i: usize,
+    att: &Attestation,
+) -> Result<(String, Attestation), InteropError> {
+    // Decrypt the metadata when necessary.
+    let metadata_plain = if att.metadata_encrypted {
+        let dk = identity
+            .decryption_key()
+            .ok_or(InteropError::MissingDecryptionKey)?;
+        let ct = Ciphertext::from_bytes(&att.metadata)
+            .map_err(|e| InteropError::InvalidResponse(format!("attestation {i} ciphertext: {e}")))?;
+        dk.decrypt(&ct)
+            .map_err(|e| InteropError::InvalidResponse(format!("attestation {i} decryption: {e}")))?
+    } else {
+        att.metadata.clone()
+    };
+    // Verify the signature over the plaintext metadata.
+    let cert = decode_certificate(&att.signer_cert)
+        .map_err(|e| InteropError::InvalidResponse(format!("attestation {i} cert: {e}")))?;
+    let vk = cert
+        .verifying_key()
+        .map_err(|e| InteropError::InvalidResponse(format!("attestation {i} key: {e}")))?;
+    let signature = tdt_crypto::schnorr::Signature::from_bytes(&att.signature)
+        .map_err(|e| InteropError::InvalidResponse(format!("attestation {i} sig: {e}")))?;
+    vk.verify(&metadata_plain, &signature)
+        .map_err(|_| InteropError::InvalidResponse(format!("attestation {i} signature invalid")))?;
+    // Check the metadata answers *this* query, about *this* result.
+    let metadata = ResultMetadata::decode_from_slice(&metadata_plain)
+        .map_err(|e| InteropError::InvalidResponse(format!("attestation {i} metadata: {e}")))?;
+    if metadata.request_id != query.request_id {
+        return Err(InteropError::InvalidResponse(format!(
+            "attestation {i} answers a different request"
+        )));
+    }
+    if metadata.address != expected_address {
+        return Err(InteropError::InvalidResponse(format!(
+            "attestation {i} covers address {:?}, expected {expected_address:?}",
+            metadata.address
+        )));
+    }
+    if metadata.nonce != query.nonce {
+        return Err(InteropError::InvalidResponse(format!(
+            "attestation {i} nonce mismatch"
+        )));
+    }
+    if metadata.result_hash != *result_hash {
+        return Err(InteropError::InvalidResponse(format!(
+            "attestation {i} attests a different result"
+        )));
+    }
+    Ok((
+        metadata.org_id,
+        Attestation {
+            signer_cert: att.signer_cert.clone(),
+            signature: att.signature.clone(),
+            metadata: metadata_plain,
+            metadata_encrypted: false,
+        },
+    ))
 }
 
 #[cfg(test)]

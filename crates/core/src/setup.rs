@@ -12,6 +12,7 @@ use crate::config::{add_exposure_rule, record_foreign_config, set_verification_p
 use crate::driver::FabricDriver;
 use std::sync::Arc;
 use tdt_contracts::cmdac::Cmdac;
+use tdt_crypto::certcache::CertChainCache;
 use tdt_contracts::ecc::Ecc;
 use tdt_contracts::stl::StlChaincode;
 use tdt_contracts::swt::SwtChaincode;
@@ -32,6 +33,12 @@ pub const BL_ADDRESS: &str = "stl:trade-channel:TradeLensCC:GetBillOfLading";
 /// peer each, running `TradeLensCC` plus the ECC and CMDAC system
 /// contracts.
 pub fn stl_network() -> Arc<FabricNetwork> {
+    stl_network_with_cert_cache(Arc::new(CertChainCache::new()))
+}
+
+/// [`stl_network`] with the CMDAC using `cert_cache` for chain
+/// validation, so the cache can be shared with the network's relay.
+pub fn stl_network_with_cert_cache(cert_cache: Arc<CertChainCache>) -> Arc<FabricNetwork> {
     NetworkBuilder::new("stl")
         .channel("trade-channel")
         .org("seller-org", 1)
@@ -48,7 +55,7 @@ pub fn stl_network() -> Arc<FabricNetwork> {
         )
         .chaincode(
             CMDAC_NAME,
-            Arc::new(Cmdac::new()),
+            Arc::new(Cmdac::with_cert_cache(cert_cache)),
             EndorsementPolicy::all_of(["seller-org", "carrier-org"]),
         )
         .build()
@@ -58,6 +65,12 @@ pub fn stl_network() -> Arc<FabricNetwork> {
 /// orgs, two peers each, running `WeTradeCC` plus ECC and CMDAC. The
 /// `WeTradeCC` endorsement policy is the paper's: one peer from each bank.
 pub fn swt_network() -> Arc<FabricNetwork> {
+    swt_network_with_cert_cache(Arc::new(CertChainCache::new()))
+}
+
+/// [`swt_network`] with the CMDAC using `cert_cache` for chain
+/// validation, so the cache can be shared with the network's relay.
+pub fn swt_network_with_cert_cache(cert_cache: Arc<CertChainCache>) -> Arc<FabricNetwork> {
     NetworkBuilder::new("swt")
         .channel("finance-channel")
         .org("buyer-bank-org", 2)
@@ -79,7 +92,7 @@ pub fn swt_network() -> Arc<FabricNetwork> {
         )
         .chaincode(
             CMDAC_NAME,
-            Arc::new(Cmdac::new()),
+            Arc::new(Cmdac::with_cert_cache(cert_cache)),
             EndorsementPolicy::all_of(["buyer-bank-org", "seller-bank-org"]),
         )
         .build()
@@ -133,9 +146,15 @@ impl Testbed {
 }
 
 /// Builds and initializes the paper's full proof-of-concept deployment.
+///
+/// Each network's CMDAC shares its certificate-chain cache with that
+/// network's relay, so cross-network proof validation hit rates are
+/// observable through [`RelayService::stats`].
 pub fn stl_swt_testbed() -> Testbed {
-    let stl = stl_network();
-    let swt = swt_network();
+    let stl_cert_cache = Arc::new(CertChainCache::new());
+    let swt_cert_cache = Arc::new(CertChainCache::new());
+    let stl = stl_network_with_cert_cache(Arc::clone(&stl_cert_cache));
+    let swt = swt_network_with_cert_cache(Arc::clone(&swt_cert_cache));
 
     // Client identities (applications).
     let stl_seller = stl
@@ -178,19 +197,25 @@ pub fn stl_swt_testbed() -> Testbed {
     let registry = Arc::new(StaticRegistry::new());
     registry.register("stl", "inproc:stl-relay");
     registry.register("swt", "inproc:swt-relay");
-    let stl_relay = Arc::new(RelayService::new(
-        "stl-relay",
-        "stl",
-        Arc::clone(&registry) as Arc<dyn DiscoveryService>,
-        Arc::clone(&bus) as Arc<dyn RelayTransport>,
-    ));
+    let stl_relay = Arc::new(
+        RelayService::new(
+            "stl-relay",
+            "stl",
+            Arc::clone(&registry) as Arc<dyn DiscoveryService>,
+            Arc::clone(&bus) as Arc<dyn RelayTransport>,
+        )
+        .with_cert_cache(stl_cert_cache),
+    );
     stl_relay.register_driver(Arc::new(FabricDriver::new(Arc::clone(&stl))));
-    let swt_relay = Arc::new(RelayService::new(
-        "swt-relay",
-        "swt",
-        Arc::clone(&registry) as Arc<dyn DiscoveryService>,
-        Arc::clone(&bus) as Arc<dyn RelayTransport>,
-    ));
+    let swt_relay = Arc::new(
+        RelayService::new(
+            "swt-relay",
+            "swt",
+            Arc::clone(&registry) as Arc<dyn DiscoveryService>,
+            Arc::clone(&bus) as Arc<dyn RelayTransport>,
+        )
+        .with_cert_cache(swt_cert_cache),
+    );
     swt_relay.register_driver(Arc::new(FabricDriver::new(Arc::clone(&swt))));
     bus.register("stl-relay", Arc::clone(&stl_relay) as Arc<dyn EnvelopeHandler>);
     bus.register("swt-relay", Arc::clone(&swt_relay) as Arc<dyn EnvelopeHandler>);

@@ -1,0 +1,248 @@
+//! Thread-safe cache of verified certificate chains.
+//!
+//! Proof verification authenticates every attestation's signer
+//! certificate against the source network's recorded root (paper §4.3).
+//! The same few endorser certificates recur across proofs, so the full
+//! Schnorr chain validation — two modular exponentiations per check —
+//! is wasted work after the first success. A [`CertChainCache`] keyed by
+//! the digest of (certificate, signature, root) remembers successful
+//! validations until the next configuration epoch.
+//!
+//! Only *successful* validations are cached: a failure is cheap to
+//! reproduce and callers want the real error, not a cached stand-in.
+//! The cache key covers the certificate's canonical bytes, its CA
+//! signature, and the root's canonical bytes, so a forged signature over
+//! the same certificate body can never hit a legitimate entry.
+
+use crate::cert::Certificate;
+use crate::error::CryptoError;
+use crate::sha256::sha256;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Shared cache of certificate chains that have already validated.
+///
+/// Cheap to share via `Arc`; hit/miss counters make the cache's effect
+/// observable through monitoring endpoints (e.g. `RelayStats`).
+#[derive(Debug, Default)]
+pub struct CertChainCache {
+    verified: Mutex<HashSet<[u8; 32]>>,
+    epoch: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CertChainCache {
+    /// Creates an empty cache at epoch 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(cert: &Certificate, root: &Certificate) -> [u8; 32] {
+        let mut material = cert.canonical_bytes();
+        match cert.signature() {
+            Some(sig) => {
+                material.push(1);
+                material.extend_from_slice(&sig.to_bytes());
+            }
+            None => material.push(0),
+        }
+        material.extend_from_slice(&root.canonical_bytes());
+        sha256(&material)
+    }
+
+    /// Validates `cert` against `root`, consulting the cache first.
+    ///
+    /// On a miss the full [`Certificate::verify`] chain validation runs
+    /// and, on success, the chain is remembered for the current epoch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CryptoError::CertificateInvalid`] from the
+    /// underlying validation; failures are never cached.
+    pub fn verify_chain(&self, cert: &Certificate, root: &Certificate) -> Result<(), CryptoError> {
+        let key = Self::key(cert, root);
+        {
+            let verified = self
+                .verified
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if verified.contains(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        cert.verify(root)?;
+        self.verified
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key);
+        Ok(())
+    }
+
+    /// Invalidates every cached chain and advances the epoch. Called
+    /// when a foreign network configuration is (re)recorded: a new root
+    /// set must not honor chains validated under the old one.
+    pub fn bump_epoch(&self) -> u64 {
+        self.verified
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+        self.epoch.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The current configuration epoch (starts at 0).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Number of cache hits since creation.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of cache misses (full validations) since creation.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of chains currently cached.
+    pub fn len(&self) -> usize {
+        self.verified
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// True when no chains are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fraction of lookups answered from the cache (0.0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits() as f64;
+        let total = hits + self.misses() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            hits / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::{CertRole, CertificateAuthority};
+    use crate::group::Group;
+    use crate::schnorr::SigningKey;
+    use std::sync::Arc;
+
+    fn ca(seed: &[u8]) -> CertificateAuthority {
+        CertificateAuthority::new("stl", "seller-org", Group::test_group(), seed)
+    }
+
+    fn issue(authority: &mut CertificateAuthority, name: &str) -> Certificate {
+        let key = SigningKey::from_seed(Group::test_group(), name.as_bytes());
+        authority.issue(name, CertRole::Peer, &key.verifying_key(), None)
+    }
+
+    #[test]
+    fn second_validation_hits() {
+        let mut authority = ca(b"a");
+        let root = authority.root_certificate().clone();
+        let cert = issue(&mut authority, "peer0");
+        let cache = CertChainCache::new();
+        cache.verify_chain(&cert, &root).unwrap();
+        cache.verify_chain(&cert, &root).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn failures_not_cached() {
+        let mut good = ca(b"a");
+        let other = ca(b"b");
+        let root = good.root_certificate().clone();
+        let wrong_root = other.root_certificate().clone();
+        let cert = issue(&mut good, "peer0");
+        let cache = CertChainCache::new();
+        assert!(cache.verify_chain(&cert, &wrong_root).is_err());
+        assert!(cache.verify_chain(&cert, &wrong_root).is_err());
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 2);
+        assert!(cache.is_empty());
+        // The genuine chain still validates and caches normally.
+        cache.verify_chain(&cert, &root).unwrap();
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn forged_signature_misses_despite_cached_body() {
+        let mut authority = ca(b"a");
+        let root = authority.root_certificate().clone();
+        let cert = issue(&mut authority, "peer0");
+        let cache = CertChainCache::new();
+        cache.verify_chain(&cert, &root).unwrap();
+        // Same body, different (stripped) signature: distinct key, and
+        // the full validation rejects it.
+        let forged = Certificate::assemble(
+            cert.subject().clone(),
+            cert.serial(),
+            cert.group_name().to_string(),
+            cert.sign_key_bytes().to_vec(),
+            cert.enc_key_bytes().map(<[u8]>::to_vec),
+            cert.issuer().clone(),
+            None,
+        );
+        assert!(cache.verify_chain(&forged, &root).is_err());
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn epoch_bump_clears() {
+        let mut authority = ca(b"a");
+        let root = authority.root_certificate().clone();
+        let cert = issue(&mut authority, "peer0");
+        let cache = CertChainCache::new();
+        cache.verify_chain(&cert, &root).unwrap();
+        assert_eq!(cache.bump_epoch(), 1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.epoch(), 1);
+        // Next lookup re-validates.
+        cache.verify_chain(&cert, &root).unwrap();
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn concurrent_lookups_consistent() {
+        let mut authority = ca(b"a");
+        let root = Arc::new(authority.root_certificate().clone());
+        let certs: Vec<_> = (0..4)
+            .map(|i| Arc::new(issue(&mut authority, &format!("peer{i}"))))
+            .collect();
+        let cache = Arc::new(CertChainCache::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                let root = Arc::clone(&root);
+                let certs = certs.clone();
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        for cert in &certs {
+                            cache.verify_chain(cert, &root).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        // 4 threads x 8 rounds x 4 certs = 128 lookups, >= 4 misses.
+        assert_eq!(cache.hits() + cache.misses(), 128);
+        assert!(cache.misses() >= 4);
+        assert_eq!(cache.len(), 4);
+    }
+}

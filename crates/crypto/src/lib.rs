@@ -36,6 +36,7 @@
 
 pub mod bigint;
 pub mod cert;
+pub mod certcache;
 pub mod drbg;
 pub mod elgamal;
 pub mod error;

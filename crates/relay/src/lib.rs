@@ -20,6 +20,8 @@
 //!   deterministic tests and a length-prefixed TCP transport.
 //! * [`ratelimit`] — token-bucket DoS protection (paper §5, availability).
 //! * [`redundancy`] — redundant relay groups with failover (paper §5).
+//! * [`retry`] — bounded exponential backoff with jitter for transient
+//!   relay-to-relay faults.
 
 pub mod discovery;
 pub mod driver;
@@ -27,6 +29,7 @@ pub mod error;
 pub mod events;
 pub mod ratelimit;
 pub mod redundancy;
+pub mod retry;
 pub mod service;
 pub mod transport;
 

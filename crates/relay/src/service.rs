@@ -16,16 +16,32 @@ use crate::error::RelayError;
 use crate::events::{EventSink, EventSource};
 use crate::ratelimit::RateLimiter;
 use crate::transport::{EnvelopeHandler, RelayTransport};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock, Weak};
+use std::time::{Duration, Instant};
+use tdt_crypto::certcache::CertChainCache;
 use tdt_wire::codec::Message;
 use tdt_wire::messages::{
     AuthInfo, EnvelopeKind, EventNotice, EventSubscribeRequest, Query, QueryResponse,
     RelayEnvelope,
 };
+
+/// Upper bounds of the envelope-handling latency histogram buckets; the
+/// sixth bucket is the unbounded overflow.
+pub const LATENCY_BUCKET_BOUNDS: [Duration; 5] = [
+    Duration::from_micros(100),
+    Duration::from_millis(1),
+    Duration::from_millis(10),
+    Duration::from_millis(100),
+    Duration::from_secs(1),
+];
+
+/// How long an envelope may spend queued + processing before the relay
+/// answers with a deadline error instead.
+pub const DEFAULT_REQUEST_DEADLINE: Duration = Duration::from_secs(10);
 
 /// Counters exposed for monitoring and the availability experiments.
 #[derive(Debug, Default)]
@@ -36,6 +52,77 @@ pub struct RelayStats {
     pub served: AtomicU64,
     /// Requests shed by the rate limiter.
     pub shed: AtomicU64,
+    /// Envelopes handed to the worker pool.
+    pub enqueued: AtomicU64,
+    /// Envelopes answered with a deadline error.
+    pub deadline_exceeded: AtomicU64,
+    queue_depth: AtomicU64,
+    in_flight: AtomicU64,
+    latency_buckets: [AtomicU64; 6],
+    cert_cache: OnceLock<Arc<CertChainCache>>,
+}
+
+impl RelayStats {
+    /// Envelopes currently waiting in the worker-pool queue.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Envelopes currently being processed by workers.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Envelope-handling latency histogram. Bucket `i < 5` counts
+    /// envelopes completed within [`LATENCY_BUCKET_BOUNDS`]`[i]`; bucket 5
+    /// counts the rest.
+    pub fn latency_histogram(&self) -> [u64; 6] {
+        let mut out = [0; 6];
+        for (slot, bucket) in out.iter_mut().zip(&self.latency_buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Total envelopes measured by the latency histogram.
+    pub fn handled(&self) -> u64 {
+        self.latency_histogram().iter().sum()
+    }
+
+    fn record_latency(&self, elapsed: Duration) {
+        let i = LATENCY_BUCKET_BOUNDS
+            .iter()
+            .position(|bound| elapsed <= *bound)
+            .unwrap_or(LATENCY_BUCKET_BOUNDS.len());
+        self.latency_buckets[i].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Certificate-chain cache hits, when a cache is attached.
+    pub fn cache_hits(&self) -> u64 {
+        self.cert_cache.get().map_or(0, |c| c.hits())
+    }
+
+    /// Certificate-chain cache misses, when a cache is attached.
+    pub fn cache_misses(&self) -> u64 {
+        self.cert_cache.get().map_or(0, |c| c.misses())
+    }
+
+    /// Certificate-chain cache hit rate (0.0 without a cache or lookups).
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cert_cache.get().map_or(0.0, |c| c.hit_rate())
+    }
+}
+
+/// One unit of work for the relay's worker pool.
+struct Job {
+    envelope: RelayEnvelope,
+    deadline: Instant,
+    reply: Sender<RelayEnvelope>,
+}
+
+struct WorkerPool {
+    tx: Sender<Job>,
+    workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 /// A relay service instance.
@@ -49,6 +136,8 @@ pub struct RelayService {
     subscriptions: RwLock<HashMap<String, Sender<EventNotice>>>,
     subscription_counter: AtomicU64,
     rate_limiter: Option<RateLimiter>,
+    request_deadline: Duration,
+    pool: RwLock<Option<WorkerPool>>,
     down: AtomicBool,
     stats: RelayStats,
 }
@@ -82,6 +171,8 @@ impl RelayService {
             subscriptions: RwLock::new(HashMap::new()),
             subscription_counter: AtomicU64::new(0),
             rate_limiter: None,
+            request_deadline: DEFAULT_REQUEST_DEADLINE,
+            pool: RwLock::new(None),
             down: AtomicBool::new(false),
             stats: RelayStats::default(),
         }
@@ -91,6 +182,65 @@ impl RelayService {
     pub fn with_rate_limiter(mut self, limiter: RateLimiter) -> Self {
         self.rate_limiter = Some(limiter);
         self
+    }
+
+    /// Overrides the per-request deadline enforced by the worker pool
+    /// (builder style). Inline processing is not subject to deadlines.
+    pub fn with_request_deadline(mut self, deadline: Duration) -> Self {
+        self.request_deadline = deadline;
+        self
+    }
+
+    /// Attaches the certificate-chain cache shared with the CMDAC so its
+    /// hit rate shows up in [`RelayService::stats`] (builder style).
+    pub fn with_cert_cache(self, cache: Arc<CertChainCache>) -> Self {
+        self.stats.cert_cache.set(cache).ok();
+        self
+    }
+
+    /// Switches envelope handling from inline (caller's thread) to a pool
+    /// of `workers` threads fed through a crossbeam channel. Envelopes
+    /// arriving from the in-process bus and from TCP connections then
+    /// execute in parallel, each bounded by the request deadline. A pool
+    /// of one worker serializes all handling (the bench baseline).
+    ///
+    /// Calling again replaces the running pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers` is zero.
+    pub fn start_workers(self: &Arc<Self>, workers: usize) {
+        assert!(workers > 0, "worker pool needs at least one worker");
+        self.stop_workers();
+        let (tx, rx) = unbounded::<Job>();
+        let handles = (0..workers)
+            .map(|i| {
+                let service = Arc::downgrade(self);
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("{}-worker-{i}", self.id))
+                    .spawn(move || worker_loop(&service, &rx))
+                    .expect("spawn relay worker")
+            })
+            .collect();
+        *self.pool.write() = Some(WorkerPool { tx, workers: handles });
+    }
+
+    /// Stops the worker pool (reverting to inline handling) and joins the
+    /// worker threads. Must not be called from a worker thread.
+    pub fn stop_workers(&self) {
+        let pool = self.pool.write().take();
+        if let Some(pool) = pool {
+            drop(pool.tx);
+            for handle in pool.workers {
+                handle.join().ok();
+            }
+        }
+    }
+
+    /// Number of pool workers (0 when handling inline).
+    pub fn worker_count(&self) -> usize {
+        self.pool.read().as_ref().map_or(0, |p| p.workers.len())
     }
 
     /// The relay's identifier.
@@ -244,8 +394,52 @@ impl RelayService {
         }
     }
 
+    /// Dispatches an incoming envelope: straight to [`Self::process_envelope`]
+    /// when no pool is running, otherwise through the worker-pool channel
+    /// with the request deadline enforced on the reply.
+    fn dispatch(&self, envelope: RelayEnvelope, start: Instant) -> RelayEnvelope {
+        let tx = self.pool.read().as_ref().map(|p| p.tx.clone());
+        let Some(tx) = tx else {
+            return self.process_envelope(envelope);
+        };
+        let dest_network = envelope.dest_network.clone();
+        let (reply_tx, reply_rx) = bounded(1);
+        self.stats.enqueued.fetch_add(1, Ordering::Relaxed);
+        self.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+        let job = Job {
+            envelope,
+            deadline: start + self.request_deadline,
+            reply: reply_tx,
+        };
+        if tx.send(job).is_err() {
+            // Pool shut down concurrently; the job was never queued.
+            self.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            return RelayEnvelope::error(
+                self.id.clone(),
+                dest_network,
+                "relay worker pool unavailable".to_string(),
+            );
+        }
+        match reply_rx.recv_timeout(self.request_deadline) {
+            Ok(reply) => reply,
+            Err(RecvTimeoutError::Timeout) => {
+                self.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                RelayEnvelope::error(
+                    self.id.clone(),
+                    dest_network,
+                    format!("deadline of {:?} exceeded", self.request_deadline),
+                )
+            }
+            Err(RecvTimeoutError::Disconnected) => RelayEnvelope::error(
+                self.id.clone(),
+                dest_network,
+                "relay worker pool shut down mid-request".to_string(),
+            ),
+        }
+    }
+
     /// Source role: handles one incoming envelope (Fig. 2, Steps 4-8).
-    fn handle_envelope(&self, envelope: RelayEnvelope) -> RelayEnvelope {
+    fn process_envelope(&self, envelope: RelayEnvelope) -> RelayEnvelope {
         if self.is_down() {
             return RelayEnvelope::error(
                 self.id.clone(),
@@ -413,7 +607,38 @@ impl RelayService {
 
 impl EnvelopeHandler for RelayService {
     fn handle(&self, envelope: RelayEnvelope) -> RelayEnvelope {
-        self.handle_envelope(envelope)
+        let start = Instant::now();
+        let reply = self.dispatch(envelope, start);
+        self.stats.record_latency(start.elapsed());
+        reply
+    }
+}
+
+/// Worker-pool thread body: drain jobs until the pool's sender side is
+/// dropped or the relay itself is gone. Jobs whose deadline has already
+/// passed while queued are answered with an error without being run.
+fn worker_loop(service: &Weak<RelayService>, jobs: &Receiver<Job>) {
+    while let Ok(job) = jobs.recv() {
+        let Some(service) = service.upgrade() else {
+            break;
+        };
+        service.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        if Instant::now() >= job.deadline {
+            // The caller counts the deadline in its own timeout path;
+            // here we only avoid wasting work on an abandoned request.
+            let reply = RelayEnvelope::error(
+                service.id().to_string(),
+                job.envelope.dest_network,
+                "deadline exceeded while queued".to_string(),
+            );
+            job.reply.send(reply).ok();
+            continue;
+        }
+        service.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        let reply = service.process_envelope(job.envelope);
+        service.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+        // The caller may have timed out and gone away; that's fine.
+        job.reply.send(reply).ok();
     }
 }
 
@@ -576,6 +801,141 @@ mod tests {
         };
         let reply = f.stl_relay.handle(bad);
         assert_eq!(reply.kind, EnvelopeKind::Error);
+    }
+
+    #[test]
+    fn pooled_relay_serves_queries() {
+        let f = fixture();
+        f.stl_relay.start_workers(4);
+        assert_eq!(f.stl_relay.worker_count(), 4);
+        for i in 0..8 {
+            let mut query = bl_query();
+            query.request_id = format!("req-{i}");
+            let response = f.swt_relay.relay_query(&query).unwrap();
+            assert_eq!(response.request_id, format!("req-{i}"));
+        }
+        assert_eq!(f.stl_relay.stats().served.load(Ordering::Relaxed), 8);
+        assert_eq!(f.stl_relay.stats().enqueued.load(Ordering::Relaxed), 8);
+        assert_eq!(f.stl_relay.stats().handled(), 8);
+        assert_eq!(f.stl_relay.stats().queue_depth(), 0);
+        assert_eq!(f.stl_relay.stats().in_flight(), 0);
+        f.stl_relay.stop_workers();
+        assert_eq!(f.stl_relay.worker_count(), 0);
+        // Back to inline handling.
+        assert!(f.swt_relay.relay_query(&bl_query()).is_ok());
+    }
+
+    #[test]
+    fn pooled_relay_parallel_callers() {
+        let f = fixture();
+        f.stl_relay.start_workers(4);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let swt_relay = Arc::clone(&f.swt_relay);
+                scope.spawn(move || {
+                    for i in 0..4 {
+                        let mut query = bl_query();
+                        query.request_id = format!("req-{t}-{i}");
+                        assert!(swt_relay.relay_query(&query).is_ok());
+                    }
+                });
+            }
+        });
+        assert_eq!(f.stl_relay.stats().served.load(Ordering::Relaxed), 16);
+        assert_eq!(f.stl_relay.stats().enqueued.load(Ordering::Relaxed), 16);
+        f.stl_relay.stop_workers();
+    }
+
+    #[test]
+    fn slow_handler_hits_deadline() {
+        /// A driver that sleeps longer than the relay's deadline.
+        #[derive(Debug)]
+        struct SlowDriver;
+        impl crate::driver::NetworkDriver for SlowDriver {
+            fn network_id(&self) -> &str {
+                "stl"
+            }
+            fn execute_query(
+                &self,
+                query: &Query,
+            ) -> Result<tdt_wire::messages::QueryResponse, RelayError> {
+                std::thread::sleep(std::time::Duration::from_millis(100));
+                Ok(tdt_wire::messages::QueryResponse {
+                    request_id: query.request_id.clone(),
+                    ..Default::default()
+                })
+            }
+        }
+        let registry = Arc::new(StaticRegistry::new());
+        let bus = Arc::new(InProcessBus::new());
+        registry.register("stl", "inproc:stl-relay");
+        let stl_relay = Arc::new(
+            RelayService::new(
+                "stl-relay",
+                "stl",
+                Arc::clone(&registry) as Arc<dyn DiscoveryService>,
+                Arc::clone(&bus) as Arc<dyn RelayTransport>,
+            )
+            .with_request_deadline(std::time::Duration::from_millis(10)),
+        );
+        stl_relay.register_driver(Arc::new(SlowDriver));
+        bus.register("stl-relay", Arc::clone(&stl_relay) as Arc<dyn EnvelopeHandler>);
+        stl_relay.start_workers(1);
+        let swt_relay = Arc::new(RelayService::new(
+            "swt-relay",
+            "swt",
+            Arc::clone(&registry) as Arc<dyn DiscoveryService>,
+            Arc::clone(&bus) as Arc<dyn RelayTransport>,
+        ));
+        let err = swt_relay.relay_query(&bl_query()).unwrap_err();
+        assert!(
+            matches!(&err, RelayError::Remote(m) if m.contains("deadline")),
+            "expected deadline error, got {err:?}"
+        );
+        assert_eq!(
+            stl_relay.stats().deadline_exceeded.load(Ordering::Relaxed),
+            1
+        );
+        stl_relay.stop_workers();
+    }
+
+    #[test]
+    fn latency_histogram_counts_inline_handling() {
+        let f = fixture();
+        assert_eq!(f.stl_relay.stats().handled(), 0);
+        f.swt_relay.relay_query(&bl_query()).unwrap();
+        assert_eq!(f.stl_relay.stats().handled(), 1);
+        assert_eq!(f.stl_relay.stats().latency_histogram().iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn cert_cache_hit_rate_surfaces_in_stats() {
+        use tdt_crypto::certcache::CertChainCache;
+        let registry = Arc::new(StaticRegistry::new());
+        let bus = Arc::new(InProcessBus::new());
+        let cache = Arc::new(CertChainCache::new());
+        let relay = RelayService::new(
+            "r",
+            "stl",
+            Arc::clone(&registry) as Arc<dyn DiscoveryService>,
+            Arc::clone(&bus) as Arc<dyn RelayTransport>,
+        )
+        .with_cert_cache(Arc::clone(&cache));
+        assert_eq!(relay.stats().cache_hit_rate(), 0.0);
+        // Simulate the co-located CMDAC doing cached validations.
+        use tdt_crypto::cert::{CertRole, CertificateAuthority};
+        use tdt_crypto::group::Group;
+        use tdt_crypto::schnorr::SigningKey;
+        let mut authority = CertificateAuthority::new("stl", "seller-org", Group::test_group(), b"s");
+        let key = SigningKey::from_seed(Group::test_group(), b"peer0");
+        let cert = authority.issue("peer0", CertRole::Peer, &key.verifying_key(), None);
+        let root = authority.root_certificate().clone();
+        for _ in 0..4 {
+            cache.verify_chain(&cert, &root).unwrap();
+        }
+        assert_eq!(relay.stats().cache_hits(), 3);
+        assert_eq!(relay.stats().cache_misses(), 1);
+        assert!((relay.stats().cache_hit_rate() - 0.75).abs() < 1e-9);
     }
 
     #[test]

@@ -2,13 +2,15 @@
 //! threads in real deployments; these tests exercise parallel submissions,
 //! parallel cross-network queries, and mixed read/write contention.
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use tdt::contracts::CMDAC_NAME;
 use tdt::fabric::chaincode::{Chaincode, TxContext};
 use tdt::fabric::error::ChaincodeError;
 use tdt::fabric::gateway::Gateway;
 use tdt::fabric::network::NetworkBuilder;
 use tdt::fabric::policy::EndorsementPolicy;
-use tdt::interop::setup::{issue_sample_bl, stl_swt_testbed};
+use tdt::interop::setup::{issue_sample_bl, stl_swt_testbed, BL_ADDRESS};
 use tdt::interop::InteropClient;
 use tdt::wire::messages::{NetworkAddress, VerificationPolicy};
 
@@ -171,4 +173,99 @@ fn parallel_cross_network_queries() {
             .unwrap();
         assert_eq!(bl.po_ref, po);
     }
+}
+
+/// Stress the pooled relay: N client threads, M `query_remote` calls each,
+/// all through one worker-pool relay on the STL side. Every proof must
+/// validate (client-side and on-chain through the CMDAC, which exercises
+/// the shared certificate-chain cache), the relay counters must add up,
+/// and every replica in both networks must agree on its state hash.
+#[test]
+fn pooled_relay_stress_proofs_counters_replicas() {
+    const CLIENTS: usize = 4;
+    const QUERIES: usize = 3;
+    let t = stl_swt_testbed();
+    issue_sample_bl(&t, "PO-POOL");
+    t.stl_relay.start_workers(4);
+    let t = Arc::new(t);
+    let mut handles = Vec::new();
+    for c in 0..CLIENTS {
+        let t = Arc::clone(&t);
+        handles.push(std::thread::spawn(move || {
+            let identity = t
+                .swt
+                .register_client("seller-bank-org", &format!("stress-sc-{c}"), true)
+                .unwrap();
+            let gateway = Gateway::new(Arc::clone(&t.swt), identity);
+            let client = InteropClient::new(gateway, Arc::clone(&t.swt_relay));
+            for _ in 0..QUERIES {
+                let remote = client
+                    .query_remote(
+                        NetworkAddress::new(
+                            "stl",
+                            "trade-channel",
+                            "TradeLensCC",
+                            "GetBillOfLading",
+                        )
+                        .with_arg(b"PO-POOL".to_vec()),
+                        VerificationPolicy::all_of_orgs(["seller-org", "carrier-org"])
+                            .with_confidentiality(),
+                    )
+                    .unwrap();
+                assert_eq!(remote.proof.attestations.len(), 2);
+                // On-chain validation through the SWT CMDAC: hits the
+                // shared cert-chain cache on every endorsing peer.
+                let outcome = client
+                    .gateway()
+                    .submit(
+                        CMDAC_NAME,
+                        "ValidateProof",
+                        vec![
+                            b"stl".to_vec(),
+                            BL_ADDRESS.as_bytes().to_vec(),
+                            remote.proof_bytes(),
+                        ],
+                    )
+                    .unwrap();
+                assert!(outcome.code.is_valid());
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let total = (CLIENTS * QUERIES) as u64;
+    // The destination relay forwarded every query; the pooled source relay
+    // enqueued, handled, and served every envelope, and is now drained.
+    assert_eq!(t.swt_relay.stats().forwarded.load(Ordering::Relaxed), total);
+    let stl_stats = t.stl_relay.stats();
+    assert_eq!(stl_stats.served.load(Ordering::Relaxed), total);
+    assert_eq!(stl_stats.enqueued.load(Ordering::Relaxed), total);
+    assert_eq!(stl_stats.handled(), total);
+    assert_eq!(stl_stats.deadline_exceeded.load(Ordering::Relaxed), 0);
+    assert_eq!(stl_stats.queue_depth(), 0);
+    assert_eq!(stl_stats.in_flight(), 0);
+    // The SWT CMDAC validated the same two endorser certificates for every
+    // proof: after the first validations, the shared cache answers.
+    let swt_stats = t.swt_relay.stats();
+    assert!(
+        swt_stats.cache_hits() > 0,
+        "repeated endorser certs should hit the cache"
+    );
+    assert!(swt_stats.cache_misses() >= 2);
+    assert!(
+        swt_stats.cache_hit_rate() > 0.5,
+        "hit rate {} too low",
+        swt_stats.cache_hit_rate()
+    );
+    // Every replica in both networks agrees on the world state.
+    for net in [&t.stl, &t.swt] {
+        let hashes: Vec<[u8; 32]> = net.peers().map(|(_, p)| p.read().state_hash()).collect();
+        assert!(
+            hashes.windows(2).all(|w| w[0] == w[1]),
+            "replica state hashes diverged on {:?}",
+            net.name()
+        );
+    }
+    t.stl_relay.stop_workers();
 }

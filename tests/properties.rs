@@ -173,9 +173,57 @@ fn make_valid_proof() -> (Proof, tdt::fabric::msp::Identity, tdt::fabric::msp::M
     (proof, peer, msp)
 }
 
+/// Like [`make_valid_proof`] but with one attestation per enrolled peer,
+/// for properties over attestation orderings.
+fn make_valid_proof_multi(peers: usize) -> (Proof, tdt::fabric::msp::Msp) {
+    let mut msp = tdt::fabric::msp::Msp::new(
+        "src-net",
+        "org-a",
+        tdt::crypto::group::Group::test_group(),
+        b"prop-seed-multi",
+    );
+    let result = b"the genuine result".to_vec();
+    let attestations = (0..peers)
+        .map(|i| {
+            let peer = msp.enroll(&format!("peer{i}"), tdt::crypto::cert::CertRole::Peer, false);
+            let metadata = ResultMetadata {
+                request_id: "req".into(),
+                address: "src-net:l:CC:Get".into(),
+                result_hash: sha256(&result).to_vec(),
+                nonce: vec![1; 8],
+                peer_id: peer.qualified_name(),
+                org_id: "org-a".into(),
+                ledger_height: 3,
+                committed_block_plus_one: 0,
+                txid: String::new(),
+            };
+            let md = metadata.encode_to_vec();
+            Attestation {
+                signer_cert: tdt::wire::messages::encode_certificate(peer.certificate()),
+                signature: peer.sign(&md).to_bytes(),
+                metadata: md,
+                metadata_encrypted: false,
+            }
+        })
+        .collect();
+    let proof = Proof {
+        request_id: "req".into(),
+        address: "src-net:l:CC:Get".into(),
+        nonce: vec![1; 8],
+        result,
+        attestations,
+    };
+    (proof, msp)
+}
+
 /// CMDAC-equivalent standalone validation (root check + signature +
-/// metadata consistency).
-fn validates(proof: &Proof, root: &tdt::crypto::cert::Certificate) -> bool {
+/// metadata consistency). Chain validation optionally goes through a
+/// [`CertChainCache`], mirroring the CMDAC's cached hot path.
+fn validates_impl(
+    proof: &Proof,
+    root: &tdt::crypto::cert::Certificate,
+    cache: Option<&tdt::crypto::certcache::CertChainCache>,
+) -> bool {
     let result_hash = sha256(&proof.result);
     if proof.attestations.is_empty() {
         return false;
@@ -184,7 +232,11 @@ fn validates(proof: &Proof, root: &tdt::crypto::cert::Certificate) -> bool {
         let Ok(cert) = tdt::wire::messages::decode_certificate(&att.signer_cert) else {
             return false;
         };
-        if cert.verify(root).is_err() {
+        let chain_ok = match cache {
+            Some(cache) => cache.verify_chain(&cert, root).is_ok(),
+            None => cert.verify(root).is_ok(),
+        };
+        if !chain_ok {
             return false;
         }
         let Ok(vk) = cert.verifying_key() else {
@@ -210,6 +262,18 @@ fn validates(proof: &Proof, root: &tdt::crypto::cert::Certificate) -> bool {
     true
 }
 
+fn validates(proof: &Proof, root: &tdt::crypto::cert::Certificate) -> bool {
+    validates_impl(proof, root, None)
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -231,6 +295,64 @@ proptest! {
                     // Acceptable only if the mutation was semantically
                     // invisible (e.g. a skipped unknown field) — the
                     // accepted content must be identical to the original.
+                    prop_assert_eq!(mutated, proof);
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Verification verdicts with the cert-chain cache enabled.
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn prop_proof_verdict_invariant_under_attestation_reordering(
+        peers in 2usize..5,
+        perm_seed in any::<u64>(),
+        corrupt in any::<bool>(),
+        corrupt_seed in any::<usize>(),
+    ) {
+        let (mut proof, msp) = make_valid_proof_multi(peers);
+        let root = msp.root_certificate().clone();
+        let cache = tdt::crypto::certcache::CertChainCache::new();
+        if corrupt {
+            // Break one attestation's signature: the verdict must be
+            // "reject" in every ordering.
+            let idx = corrupt_seed % peers;
+            let last = proof.attestations[idx].signature.len() - 1;
+            proof.attestations[idx].signature[last] ^= 0x01;
+        }
+        let baseline = validates_impl(&proof, &root, Some(&cache));
+        prop_assert_eq!(baseline, !corrupt);
+        // Fisher-Yates with a proptest-drawn seed: verdict is order-blind,
+        // even with chains already cached from the baseline pass.
+        let mut shuffled = proof.clone();
+        let mut state = perm_seed;
+        for i in (1..shuffled.attestations.len()).rev() {
+            let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+            shuffled.attestations.swap(i, j);
+        }
+        prop_assert_eq!(validates_impl(&shuffled, &root, Some(&cache)), baseline);
+    }
+
+    #[test]
+    fn prop_proof_byte_flip_fails_closed_with_warm_cache(
+        byte_seed in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let (proof, _peer, msp) = make_valid_proof();
+        let root = msp.root_certificate().clone();
+        let cache = tdt::crypto::certcache::CertChainCache::new();
+        // Warm the cache with the genuine chain, then flip one bit: the
+        // cached entry must never vouch for altered bytes.
+        prop_assert!(validates_impl(&proof, &root, Some(&cache)));
+        let mut bytes = proof.encode_to_vec();
+        let idx = byte_seed % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        match Proof::decode_from_slice(&bytes) {
+            Err(_) => {}
+            Ok(mutated) => {
+                if validates_impl(&mutated, &root, Some(&cache)) {
                     prop_assert_eq!(mutated, proof);
                 }
             }

@@ -3,14 +3,16 @@
 //! fault/attack injection.
 
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tdt::contracts::swt::SwtChaincode;
 use tdt::interop::driver::FabricDriver;
 use tdt::interop::setup::{issue_sample_bl, stl_swt_testbed, Testbed};
 use tdt::interop::{InteropClient, InteropError};
-use tdt::relay::discovery::DiscoveryService;
+use tdt::relay::discovery::{DiscoveryService, StaticRegistry};
 use tdt::relay::ratelimit::RateLimiter;
 use tdt::relay::redundancy::RelayGroup;
+use tdt::relay::retry::{RetryPolicy, RetryingTransport};
 use tdt::relay::service::RelayService;
 use tdt::relay::transport::{EnvelopeHandler, InProcessBus, RelayTransport};
 use tdt::relay::RelayError;
@@ -313,6 +315,73 @@ fn availability_rate_limiter_sheds_floods_but_recovers() {
     // After the bucket refills, legitimate queries resume.
     std::thread::sleep(std::time::Duration::from_millis(80));
     assert!(client.query_remote(bl_address(), policy()).is_ok());
+}
+
+/// A link that drops the first `remaining` envelopes (a flapping network
+/// path) before delegating to the real bus.
+struct FlakyLink {
+    inner: Arc<InProcessBus>,
+    remaining: AtomicU64,
+}
+
+impl RelayTransport for FlakyLink {
+    fn send(&self, endpoint: &str, envelope: &RelayEnvelope) -> Result<RelayEnvelope, RelayError> {
+        if self
+            .remaining
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_ok()
+        {
+            return Err(RelayError::TransportFailed("link flapped".into()));
+        }
+        self.inner.send(endpoint, envelope)
+    }
+}
+
+#[test]
+fn availability_transient_faults_healed_by_retry() {
+    let t = prepared();
+    for k in [0u64, 1, 3] {
+        let retrying = Arc::new(RetryingTransport::new(
+            Arc::new(FlakyLink {
+                inner: Arc::clone(&t.bus),
+                remaining: AtomicU64::new(k),
+            }),
+            RetryPolicy::without_delay(5),
+        ));
+        let client = client_with_transport(&t, Arc::clone(&retrying) as Arc<dyn RelayTransport>);
+        let remote = client.query_remote(bl_address(), policy()).unwrap();
+        assert!(!remote.data.is_empty());
+        // k transient faults cost exactly k retries, no more.
+        assert_eq!(retrying.retries(), k, "k = {k}");
+        assert_eq!(retrying.attempts(), k + 1, "k = {k}");
+    }
+}
+
+#[test]
+fn availability_permanent_outage_exhausts_retries_then_fails_over() {
+    let t = prepared();
+    // Relay A's discovery points at an endpoint nobody serves: every
+    // attempt fails in transport, and retrying cannot heal it.
+    let dead_registry = Arc::new(StaticRegistry::new());
+    dead_registry.register("stl", "inproc:ghost-relay");
+    let retrying = Arc::new(RetryingTransport::new(
+        Arc::clone(&t.bus) as Arc<dyn RelayTransport>,
+        RetryPolicy::without_delay(2),
+    ));
+    let relay_a = Arc::new(RelayService::new(
+        "swt-relay-a",
+        "swt",
+        dead_registry as Arc<dyn DiscoveryService>,
+        Arc::clone(&retrying) as Arc<dyn RelayTransport>,
+    ));
+    // Relay B is the healthy testbed relay; the group fails over to it.
+    let group = Arc::new(RelayGroup::new(vec![relay_a, Arc::clone(&t.swt_relay)]));
+    let client = InteropClient::with_relay_group(t.swt_seller_gateway(), group);
+    let remote = client.query_remote(bl_address(), policy()).unwrap();
+    assert!(!remote.data.is_empty());
+    // The dead path burned its full retry budget before the failover.
+    assert_eq!(retrying.attempts(), 3);
+    assert_eq!(retrying.retries(), 2);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,322 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the slice of criterion it uses: `criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, `BatchSize`, and
+//! `Bencher::{iter, iter_batched}`. Measurement is a simple calibrated
+//! wall-clock loop reporting the median of a handful of samples — no
+//! statistical analysis, plotting, or baseline comparison.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one measurement sample. Iteration counts
+/// are calibrated so a sample takes at least this long (one iteration
+/// minimum), keeping slow end-to-end benches from ballooning.
+const SAMPLE_TARGET: Duration = Duration::from_millis(5);
+
+/// Upper bound on samples per benchmark, regardless of `sample_size`.
+const MAX_SAMPLES: usize = 15;
+
+/// Identifier for a parameterized benchmark, rendered `function/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Throughput annotation used to derive a rate from the measured time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup; accepted for API compatibility
+/// (every variant re-runs setup per iteration here).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Fresh input for every routine invocation.
+    PerIteration,
+    /// Small batches in real criterion; per-iteration here.
+    SmallInput,
+    /// Large batches in real criterion; per-iteration here.
+    LargeInput,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` for the calibrated number of iterations, timing
+    /// the whole batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Runs `setup` + `routine` per iteration, timing only `routine`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn format_time(per_iter: Duration) -> String {
+    let nanos = per_iter.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+fn format_rate(throughput: Throughput, per_iter: Duration) -> String {
+    let secs = per_iter.as_secs_f64().max(f64::MIN_POSITIVE);
+    match throughput {
+        Throughput::Bytes(bytes) => {
+            format!("  ({:.2} MiB/s)", bytes as f64 / secs / (1024.0 * 1024.0))
+        }
+        Throughput::Elements(elements) => {
+            format!("  ({:.0} elem/s)", elements as f64 / secs)
+        }
+    }
+}
+
+/// Runs one benchmark closure: calibrate the iteration count, take
+/// several samples, report the median per-iteration time.
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut routine: F,
+) {
+    // Calibration: grow the iteration count until one sample is long
+    // enough to time meaningfully.
+    let mut iters: u64 = 1;
+    loop {
+        let mut bencher = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        if bencher.elapsed >= SAMPLE_TARGET || iters >= 1 << 20 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    let samples = sample_size.clamp(1, MAX_SAMPLES);
+    let mut per_iter: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let mut bencher = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut bencher);
+            bencher.elapsed / u32::try_from(iters).unwrap_or(u32::MAX)
+        })
+        .collect();
+    per_iter.sort_unstable();
+    let median = per_iter[per_iter.len() / 2];
+
+    let rate = throughput.map(|t| format_rate(t, median)).unwrap_or_default();
+    println!(
+        "{label:<52} {:>12}/iter{rate}  [{} samples x {iters} iters]",
+        format_time(median),
+        per_iter.len(),
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput for rate
+    /// reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_benchmark(&label, self.sample_size, self.throughput, routine);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input under `group/id`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_benchmark(&label, self.sample_size, self.throughput, |bencher| {
+            routine(bencher, input);
+        });
+        self
+    }
+
+    /// Ends the group (output is already printed incrementally).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver with the same shape as criterion's.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Creates a driver with default settings.
+    pub fn new() -> Self {
+        Criterion {}
+    }
+
+    /// Accepted for API compatibility; command-line flags are ignored.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into().id, 10, None, routine);
+        self
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` invoking the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u64;
+        let mut criterion = Criterion::new();
+        let mut group = criterion.benchmark_group("unit");
+        group.sample_size(2);
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_times_only_routine() {
+        let mut criterion = Criterion::new();
+        let mut group = criterion.benchmark_group("unit");
+        group.sample_size(1);
+        group.bench_with_input(BenchmarkId::new("batched", 3), &3u64, |b, &n| {
+            b.iter_batched(|| vec![0u8; n as usize], |v| v.len(), BatchSize::PerIteration)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(format_time(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_time(Duration::from_micros(3)), "3.00 µs");
+        assert_eq!(format_time(Duration::from_millis(7)), "7.00 ms");
+    }
+}

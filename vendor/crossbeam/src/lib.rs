@@ -1,0 +1,11 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of crossbeam it uses: multi-producer multi-consumer
+//! channels (`crossbeam::channel`) with `unbounded`/`bounded`
+//! constructors, cloneable senders AND receivers, blocking/timed/non-
+//! blocking receives, and disconnect semantics. The implementation is a
+//! `Mutex<VecDeque>` + two `Condvar`s — not lock-free like the real
+//! crossbeam, but semantically equivalent for this workspace's traffic.
+
+pub mod channel;

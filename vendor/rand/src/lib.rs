@@ -1,0 +1,182 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the narrow slice of the `rand 0.8` API it actually uses: the
+//! [`RngCore`] trait, the opaque [`Error`] type, and [`thread_rng`].
+//!
+//! `thread_rng` returns a thread-local xoshiro256++ generator seeded from
+//! the system clock, a process-global counter, and the thread's id, which
+//! is plenty for nonces and key generation in tests and benches. It is NOT
+//! a cryptographically reviewed generator; production deployments would
+//! swap the real `rand`/`getrandom` back in.
+
+use std::cell::RefCell;
+use std::fmt;
+
+/// Error type mirroring `rand::Error` (never produced by this stub).
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core random-number-generator trait (mirrors `rand_core::RngCore`).
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        R::next_u32(self)
+    }
+    fn next_u64(&mut self) -> u64 {
+        R::next_u64(self)
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        R::fill_bytes(self, dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        R::try_fill_bytes(self, dest)
+    }
+}
+
+/// xoshiro256++ state.
+#[derive(Debug, Clone)]
+pub struct ThreadRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl ThreadRng {
+    fn from_entropy() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5eed);
+        let tid = {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            std::thread::current().id().hash(&mut h);
+            h.finish()
+        };
+        let mut seed = now
+            ^ tid.rotate_left(32)
+            ^ COUNTER.fetch_add(0x9e37_79b9, Ordering::Relaxed)
+            ^ (std::process::id() as u64).rotate_left(48);
+        let s = [
+            splitmix64(&mut seed),
+            splitmix64(&mut seed),
+            splitmix64(&mut seed),
+            splitmix64(&mut seed),
+        ];
+        ThreadRng { s }
+    }
+
+    #[inline]
+    fn next(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+impl RngCore for ThreadRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+thread_local! {
+    static THREAD_RNG: RefCell<ThreadRng> = RefCell::new(ThreadRng::from_entropy());
+}
+
+/// Returns a fresh handle to this thread's generator (mirrors
+/// `rand::thread_rng`, minus the shared-state optimization: each call
+/// clones the thread-local state forward, re-mixing a counter so separate
+/// handles do not repeat each other).
+pub fn thread_rng() -> ThreadRng {
+    THREAD_RNG.with(|cell| {
+        let mut rng = cell.borrow_mut();
+        // Advance the stored state so the next handle differs.
+        let fork = [rng.next(), rng.next(), rng.next(), rng.next()];
+        ThreadRng { s: fork }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = thread_rng();
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn handles_do_not_repeat() {
+        let a = thread_rng().next_u64();
+        let b = thread_rng().next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn trait_object_via_mut_ref() {
+        fn take<R: RngCore>(rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+        let mut rng = thread_rng();
+        take(&mut rng);
+        take(&mut &mut rng);
+    }
+}

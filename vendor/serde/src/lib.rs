@@ -1,0 +1,9 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace derives `Serialize`/`Deserialize` on wire types but
+//! never exercises serde serialization (all encoding goes through the
+//! custom varint codec in `tdt-wire`). The stand-in re-exports no-op
+//! derive macros so the annotations compile; there are no runtime
+//! traits because nothing in the workspace bounds on them.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace annotates wire/crypto types with
+//! `#[derive(Serialize, Deserialize)]` for downstream consumers, but no
+//! code path in this repository ever invokes serde serialization (the
+//! protocol uses its own varint codec in `tdt-wire`). The derives here
+//! therefore expand to nothing: the attribute parses and the names
+//! resolve, and no trait impls are emitted.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepts any item (and `#[serde(...)]`
+/// attributes) and emits no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepts any item (and `#[serde(...)]`
+/// attributes) and emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
