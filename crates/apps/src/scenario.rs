@@ -36,7 +36,8 @@ pub const ACRONYMS: &[(&str, &str)] = &[
 
 /// Renders Table 1 as text.
 pub fn acronym_table() -> String {
-    let mut out = String::from("Acronym | Expansion & Description\n--------|------------------------\n");
+    let mut out =
+        String::from("Acronym | Expansion & Description\n--------|------------------------\n");
     for (acronym, expansion) in ACRONYMS {
         out.push_str(&format!("{acronym:7} | {expansion}\n"));
     }
@@ -70,8 +71,9 @@ pub struct ScenarioReport {
 impl ScenarioReport {
     /// Renders the step table.
     pub fn table(&self) -> String {
-        let mut out =
-            String::from("step | network | description | latency\n-----|---------|-------------|--------\n");
+        let mut out = String::from(
+            "step | network | description | latency\n-----|---------|-------------|--------\n",
+        );
         for s in &self.steps {
             out.push_str(&format!(
                 "{:4} | {:7} | {:<60} | {:>9.1?}\n",
@@ -91,10 +93,7 @@ pub fn run_trade_scenario(testbed: &Testbed, po_ref: &str) -> Result<ScenarioRep
     let seller = SellerApp::new(testbed.stl_seller_gateway());
     let carrier = CarrierApp::new(testbed.stl_carrier_gateway());
     let buyer = BuyerApp::new(testbed.swt_buyer_gateway());
-    let swt_sc = SellerClientApp::new(
-        testbed.swt_seller_gateway(),
-        Arc::clone(&testbed.swt_relay),
-    );
+    let swt_sc = SellerClientApp::new(testbed.swt_seller_gateway(), Arc::clone(&testbed.swt_relay));
     let mut steps: Vec<ScenarioStep> = Vec::new();
     let mut run = |number: &'static str,
                    network: &'static str,
@@ -124,7 +123,15 @@ pub fn run_trade_scenario(testbed: &Testbed, po_ref: &str) -> Result<ScenarioRep
         "2",
         "SWT",
         "buyer applies for a letter of credit".into(),
-        &mut || Ok(buyer.request_lc(po_ref, &format!("LC-{po_ref}"), "buyer-gmbh", "tulip-exports", 100_000)?),
+        &mut || {
+            Ok(buyer.request_lc(
+                po_ref,
+                &format!("LC-{po_ref}"),
+                "buyer-gmbh",
+                "tulip-exports",
+                100_000,
+            )?)
+        },
     )?;
     run(
         "3-4",

@@ -62,7 +62,11 @@ impl BuyerApp {
     /// Returns a [`FabricError`] on submission failure or invalidation.
     pub fn issue_lc(&self, po_ref: &str) -> Result<(), FabricError> {
         self.gateway
-            .submit(SwtChaincode::NAME, "IssueLC", vec![po_ref.as_bytes().to_vec()])?
+            .submit(
+                SwtChaincode::NAME,
+                "IssueLC",
+                vec![po_ref.as_bytes().to_vec()],
+            )?
             .into_committed()?;
         Ok(())
     }
@@ -141,10 +145,10 @@ impl SellerClientApp {
         // interop-adaptation: response decryption and validation happen in
         // interop-adaptation: query_remote / process_response.
         let address = NetworkAddress::new(
-            self.source_network.clone(),        // interop-adaptation
-            self.source_ledger.clone(),         // interop-adaptation
-            "TradeLensCC",                      // interop-adaptation
-            "GetBillOfLading",                  // interop-adaptation
+            self.source_network.clone(), // interop-adaptation
+            self.source_ledger.clone(),  // interop-adaptation
+            "TradeLensCC",               // interop-adaptation
+            "GetBillOfLading",           // interop-adaptation
         )
         .with_arg(po_ref.as_bytes().to_vec()); // interop-adaptation
         self.client
@@ -164,10 +168,10 @@ impl SellerClientApp {
         // interop-adaptation: replace the B/L argument with the received
         // interop-adaptation: response and proof, then submit.
         let outcome = self.client.submit_with_remote_data(
-            SwtChaincode::NAME,                 // interop-adaptation
-            "UploadDispatchDocs",               // interop-adaptation
-            vec![po_ref.as_bytes().to_vec()],   // interop-adaptation
-            remote,                             // interop-adaptation
+            SwtChaincode::NAME,               // interop-adaptation
+            "UploadDispatchDocs",             // interop-adaptation
+            vec![po_ref.as_bytes().to_vec()], // interop-adaptation
+            remote,                           // interop-adaptation
         )?; // interop-adaptation
         outcome.into_committed()?;
         Ok(())

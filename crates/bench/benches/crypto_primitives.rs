@@ -42,7 +42,9 @@ fn bench_crypto(c: &mut Criterion) {
         let ek = dk.encryption_key();
         let ct = ek.encrypt_deterministic(b"a confidential bill of lading", b"seed");
         group.bench_function(BenchmarkId::new("elgamal_encrypt", name), |b| {
-            b.iter(|| black_box(ek.encrypt_deterministic(b"a confidential bill of lading", b"seed")))
+            b.iter(|| {
+                black_box(ek.encrypt_deterministic(b"a confidential bill of lading", b"seed"))
+            })
         });
         group.bench_function(BenchmarkId::new("elgamal_decrypt", name), |b| {
             b.iter(|| black_box(dk.decrypt(&ct).unwrap()))

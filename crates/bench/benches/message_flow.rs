@@ -62,9 +62,11 @@ fn bench_flow(c: &mut Criterion) {
             Arc::new(TcpTransport::new()) as Arc<dyn RelayTransport>,
         ));
         stl_relay.register_driver(Arc::new(FabricDriver::new(Arc::clone(&t.stl))));
-        let server =
-            TcpRelayServer::spawn("127.0.0.1:0", Arc::clone(&stl_relay) as Arc<dyn EnvelopeHandler>)
-                .unwrap();
+        let server = TcpRelayServer::spawn(
+            "127.0.0.1:0",
+            Arc::clone(&stl_relay) as Arc<dyn EnvelopeHandler>,
+        )
+        .unwrap();
         registry.register("stl", server.endpoint());
         let swt_relay = Arc::new(RelayService::new(
             "swt-relay-tcp",

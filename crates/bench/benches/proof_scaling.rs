@@ -17,7 +17,10 @@ const RESULT: &[u8] = b"a bill of lading sized payload: 600 tulip bulbs, carrier
 
 fn print_size_table() {
     println!("\n=== proof size vs verification-policy size (attestations = orgs) ===");
-    println!("{:>5} | {:>18} | {:>20} | {:>14}", "orgs", "proof bytes", "encrypted-md bytes", "result bytes");
+    println!(
+        "{:>5} | {:>18} | {:>20} | {:>14}",
+        "orgs", "proof bytes", "encrypted-md bytes", "result bytes"
+    );
     for &n in POLICY_SIZES {
         let source = SyntheticSource::new(n);
         let plain = source.generate_proof(RESULT, &[1; 16], false);
@@ -44,11 +47,10 @@ fn bench_block_proof_ablation(c: &mut Criterion) {
         let peer = peer.read();
         let number = peer.height() - 1;
         let block = peer.store().block(number).unwrap();
-        let txid = tdt_fabric::endorse::TransactionEnvelope::decode_from_slice(
-            &block.transactions[0],
-        )
-        .unwrap()
-        .txid;
+        let txid =
+            tdt_fabric::endorse::TransactionEnvelope::decode_from_slice(&block.transactions[0])
+                .unwrap()
+                .txid;
         (number, txid)
     };
     let orgs = vec!["seller-org".to_string(), "carrier-org".to_string()];

@@ -163,5 +163,84 @@ fn bench_serial_vs_pooled(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_relay, bench_serial_vs_pooled);
+/// Connect-per-request vs pooled/multiplexed TCP, four concurrent
+/// clients, against an echo handler: with the handler near-free, the
+/// measured difference is pure transport overhead (TCP handshakes and
+/// socket churn vs correlation-id multiplexing on warm connections).
+fn bench_tcp_transports(c: &mut Criterion) {
+    use tdt_relay::transport::{EnvelopeHandler, PooledTcpTransport, TcpRelayServer, TcpTransport};
+    use tdt_wire::messages::{EnvelopeKind, RelayEnvelope};
+    const CLIENTS: usize = 4;
+    const REQUESTS_PER_CLIENT: usize = 25;
+
+    struct Echo;
+    impl EnvelopeHandler for Echo {
+        fn handle(&self, envelope: RelayEnvelope) -> RelayEnvelope {
+            RelayEnvelope {
+                kind: EnvelopeKind::QueryResponse,
+                source_relay: "echo".into(),
+                dest_network: envelope.dest_network,
+                payload: envelope.payload,
+                correlation_id: 0,
+            }
+        }
+    }
+
+    let request = RelayEnvelope {
+        kind: EnvelopeKind::QueryRequest,
+        source_relay: "bench".into(),
+        dest_network: "target".into(),
+        payload: vec![0xAB; 64],
+        correlation_id: 0,
+    };
+    let server = TcpRelayServer::spawn("127.0.0.1:0", Arc::new(Echo)).unwrap();
+    let endpoint = server.endpoint();
+    let mut group = c.benchmark_group("tcp_transport");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((CLIENTS * REQUESTS_PER_CLIENT) as u64));
+
+    group.bench_function(format!("{CLIENTS}_clients_connect_per_request"), |b| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for _ in 0..CLIENTS {
+                    let endpoint = &endpoint;
+                    let request = &request;
+                    scope.spawn(move || {
+                        let transport = TcpTransport::new();
+                        for _ in 0..REQUESTS_PER_CLIENT {
+                            black_box(transport.send(endpoint, request).unwrap());
+                        }
+                    });
+                }
+            });
+        })
+    });
+
+    // One shared pool, warm across iterations — the steady-state shape.
+    let pooled = PooledTcpTransport::new();
+    group.bench_function(format!("{CLIENTS}_clients_pooled_multiplexed"), |b| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for _ in 0..CLIENTS {
+                    let endpoint = &endpoint;
+                    let request = &request;
+                    let pooled = &pooled;
+                    scope.spawn(move || {
+                        for _ in 0..REQUESTS_PER_CLIENT {
+                            black_box(pooled.send(endpoint, request).unwrap());
+                        }
+                    });
+                }
+            });
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_relay,
+    bench_serial_vs_pooled,
+    bench_tcp_transports
+);
 criterion_main!(benches);

@@ -54,14 +54,14 @@ fn bench_codec(c: &mut Criterion) {
             attestations: proof.attestations,
         };
         let bytes = response.encode_to_vec();
-        group.bench_with_input(
-            BenchmarkId::new("response/encode", n),
-            &response,
-            |b, r| b.iter(|| black_box(r.encode_to_vec())),
-        );
-        group.bench_with_input(BenchmarkId::new("response/decode", n), &bytes, |b, bytes| {
-            b.iter(|| black_box(QueryResponse::decode_from_slice(bytes).unwrap()))
+        group.bench_with_input(BenchmarkId::new("response/encode", n), &response, |b, r| {
+            b.iter(|| black_box(r.encode_to_vec()))
         });
+        group.bench_with_input(
+            BenchmarkId::new("response/decode", n),
+            &bytes,
+            |b, bytes| b.iter(|| black_box(QueryResponse::decode_from_slice(bytes).unwrap())),
+        );
     }
 
     // Envelope wrapping (the relay hop overhead).

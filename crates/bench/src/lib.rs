@@ -170,7 +170,9 @@ impl SyntheticSource {
                 let (metadata_out, encrypted) = if encrypt_metadata {
                     let seed = format!("bench:{}", peer.qualified_name());
                     (
-                        enc_key.encrypt_deterministic(&md, seed.as_bytes()).to_bytes(),
+                        enc_key
+                            .encrypt_deterministic(&md, seed.as_bytes())
+                            .to_bytes(),
                         true,
                     )
                 } else {

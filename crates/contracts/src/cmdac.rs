@@ -80,9 +80,13 @@ impl Cmdac {
         ctx: &mut TxContext<'_>,
         network_id: &str,
     ) -> Result<NetworkConfig, ChaincodeError> {
-        let bytes = ctx.get_state(&Self::config_key(network_id)).ok_or_else(|| {
-            ChaincodeError::NotFound(format!("no configuration recorded for network {network_id:?}"))
-        })?;
+        let bytes = ctx
+            .get_state(&Self::config_key(network_id))
+            .ok_or_else(|| {
+                ChaincodeError::NotFound(format!(
+                    "no configuration recorded for network {network_id:?}"
+                ))
+            })?;
         NetworkConfig::decode_from_slice(&bytes)
             .map_err(|e| ChaincodeError::Internal(format!("stored config corrupt: {e}")))
     }
@@ -155,7 +159,9 @@ impl Cmdac {
             )));
         }
         if proof.attestations.is_empty() {
-            return Err(ChaincodeError::BadRequest("proof has no attestations".into()));
+            return Err(ChaincodeError::BadRequest(
+                "proof has no attestations".into(),
+            ));
         }
 
         let result_hash = sha256(&proof.result);
@@ -270,7 +276,9 @@ impl Chaincode for Cmdac {
                 let config = NetworkConfig::decode_from_slice(config_bytes)
                     .map_err(|e| ChaincodeError::BadRequest(format!("config malformed: {e}")))?;
                 if config.network_id.is_empty() {
-                    return Err(ChaincodeError::BadRequest("config missing network id".into()));
+                    return Err(ChaincodeError::BadRequest(
+                        "config missing network id".into(),
+                    ));
                 }
                 ctx.put_state(&Self::config_key(&config.network_id), config_bytes.clone());
                 // New trusted root set: chains validated under the old
@@ -285,9 +293,10 @@ impl Chaincode for Cmdac {
                     ));
                 };
                 let network_id = String::from_utf8_lossy(network_id).into_owned();
-                ctx.get_state(&Self::config_key(&network_id)).ok_or_else(|| {
-                    ChaincodeError::NotFound(format!("no configuration for {network_id:?}"))
-                })
+                ctx.get_state(&Self::config_key(&network_id))
+                    .ok_or_else(|| {
+                        ChaincodeError::NotFound(format!("no configuration for {network_id:?}"))
+                    })
             }
             "ValidateForeignCert" => {
                 let [network_id, cert_bytes] = args else {
@@ -360,11 +369,11 @@ impl Chaincode for Cmdac {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use std::sync::Arc;
     use tdt_fabric::chaincode::{ChaincodeRegistry, PeerInfo, Proposal};
     use tdt_fabric::msp::{Identity, Msp};
-    
+
     use tdt_ledger::state::WorldState;
     use tdt_wire::messages::{encode_certificate, Attestation, OrgConfig};
 
@@ -455,8 +464,7 @@ mod tests {
         // Commit the writes so subsequent invocations observe them.
         let rwset = ctx.into_rwset();
         if result.is_ok() {
-            f.state
-                .apply(&rwset, tdt_ledger::rwset::Version::new(1, 0));
+            f.state.apply(&rwset, tdt_ledger::rwset::Version::new(1, 0));
         }
         result
     }
@@ -554,12 +562,7 @@ mod tests {
         record_config(&mut f);
         let good = encode_certificate(f.source_peers[0].1.certificate());
         assert_eq!(
-            invoke(
-                &mut f,
-                "ValidateForeignCert",
-                vec![b"stl".to_vec(), good]
-            )
-            .unwrap(),
+            invoke(&mut f, "ValidateForeignCert", vec![b"stl".to_vec(), good]).unwrap(),
             b"ok"
         );
         // A cert from an unrecorded network/org fails.
@@ -808,7 +811,11 @@ mod tests {
             Err(ChaincodeError::BadRequest(_))
         ));
         assert!(matches!(
-            invoke(&mut f, "RecordForeignConfig", vec![b"garbage".to_vec(), b"x".to_vec()]),
+            invoke(
+                &mut f,
+                "RecordForeignConfig",
+                vec![b"garbage".to_vec(), b"x".to_vec()]
+            ),
             Err(ChaincodeError::BadRequest(_))
         ));
     }

@@ -138,7 +138,9 @@ impl Ecc {
             .any(|key| ctx.get_state(key).is_some())
     }
 
-    fn parse_rule_args(args: &[Vec<u8>]) -> Result<(String, String, String, String), ChaincodeError> {
+    fn parse_rule_args(
+        args: &[Vec<u8>],
+    ) -> Result<(String, String, String, String), ChaincodeError> {
         let [network, org, chaincode, function] = args else {
             return Err(ChaincodeError::BadRequest(
                 "expected [network, org, chaincode, function]".into(),
@@ -169,9 +171,14 @@ impl Chaincode for Ecc {
                 }
                 let (network, org, chaincode, func) = Self::parse_rule_args(args)?;
                 if network.is_empty() || org.is_empty() || chaincode.is_empty() || func.is_empty() {
-                    return Err(ChaincodeError::BadRequest("rule fields must be non-empty".into()));
+                    return Err(ChaincodeError::BadRequest(
+                        "rule fields must be non-empty".into(),
+                    ));
                 }
-                ctx.put_state(&Self::rule_key(&network, &org, &chaincode, &func), b"allow".to_vec());
+                ctx.put_state(
+                    &Self::rule_key(&network, &org, &chaincode, &func),
+                    b"allow".to_vec(),
+                );
                 Ok(Vec::new())
             }
             "RemoveAccessRule" => {
@@ -200,10 +207,14 @@ impl Chaincode for Ecc {
                     .map(|a| String::from_utf8_lossy(a).into_owned())
                     .collect();
                 if fields.iter().any(String::is_empty) {
-                    return Err(ChaincodeError::BadRequest("rule fields must be non-empty".into()));
+                    return Err(ChaincodeError::BadRequest(
+                        "rule fields must be non-empty".into(),
+                    ));
                 }
                 ctx.put_state(
-                    &Self::entity_rule_key(&fields[0], &fields[1], &fields[2], &fields[3], &fields[4]),
+                    &Self::entity_rule_key(
+                        &fields[0], &fields[1], &fields[2], &fields[3], &fields[4],
+                    ),
                     b"allow".to_vec(),
                 );
                 Ok(Vec::new())
@@ -386,8 +397,7 @@ mod tests {
         let result = code.invoke(&mut ctx, function, &args);
         let rwset = ctx.into_rwset();
         if result.is_ok() {
-            f.state
-                .apply(&rwset, tdt_ledger::rwset::Version::new(1, 0));
+            f.state.apply(&rwset, tdt_ledger::rwset::Version::new(1, 0));
         }
         result
     }
@@ -518,12 +528,7 @@ mod tests {
             &mut f,
             "ECC",
             "AddAccessRule",
-            vec![
-                b"swt".to_vec(),
-                b"x".to_vec(),
-                b"y".to_vec(),
-                b"z".to_vec(),
-            ],
+            vec![b"swt".to_vec(), b"x".to_vec(), b"y".to_vec(), b"z".to_vec()],
             true,
         )
         .unwrap_err();
@@ -699,7 +704,10 @@ mod tests {
         )
         .unwrap();
         let wrapped = EncryptedResult::from_bytes(&wrapped_bytes).unwrap();
-        assert_eq!(wrapped.plaintext_hash, tdt_crypto::sha256(b"bill of lading"));
+        assert_eq!(
+            wrapped.plaintext_hash,
+            tdt_crypto::sha256(b"bill of lading")
+        );
         let ct = Ciphertext::from_bytes(&wrapped.ciphertext).unwrap();
         let dk = f.foreign_client.decryption_key().unwrap();
         assert_eq!(dk.decrypt(&ct).unwrap(), b"bill of lading");

@@ -214,7 +214,9 @@ impl Chaincode for StlChaincode {
                 let po_ref = Self::arg_str(args, 0, "po_ref")?;
                 let goods = Self::arg_str(args, 1, "goods")?;
                 if po_ref.is_empty() {
-                    return Err(ChaincodeError::BadRequest("po_ref must be non-empty".into()));
+                    return Err(ChaincodeError::BadRequest(
+                        "po_ref must be non-empty".into(),
+                    ));
                 }
                 if ctx.get_state(&Self::shipment_key(&po_ref)).is_some() {
                     return Err(ChaincodeError::BadRequest(format!(
@@ -302,7 +304,9 @@ impl Chaincode for StlChaincode {
                     // interop-adaptation
                     let network = ctx
                         .transient("requester-network") // interop-adaptation
-                        .ok_or_else(|| ChaincodeError::BadRequest("missing requester-network".into()))?
+                        .ok_or_else(|| {
+                            ChaincodeError::BadRequest("missing requester-network".into())
+                        })?
                         .to_vec(); // interop-adaptation
                     let org = ctx
                         .transient("requester-org") // interop-adaptation
@@ -317,25 +321,22 @@ impl Chaincode for StlChaincode {
                         crate::ECC_NAME, // interop-adaptation
                         "CheckAccess",   // interop-adaptation
                         &[
-                            network,                              // interop-adaptation
-                            org,                                  // interop-adaptation
-                            Self::NAME.as_bytes().to_vec(),       // interop-adaptation
-                            b"RecordFinancingStatus".to_vec(),    // interop-adaptation
-                            cert.clone(),                         // interop-adaptation
+                            network,                           // interop-adaptation
+                            org,                               // interop-adaptation
+                            Self::NAME.as_bytes().to_vec(),    // interop-adaptation
+                            b"RecordFinancingStatus".to_vec(), // interop-adaptation
+                            cert.clone(),                      // interop-adaptation
                         ],
                     )?; // interop-adaptation
-                    // The shipment must exist before financing is recorded.
+                        // The shipment must exist before financing is recorded.
                     Self::load_shipment(ctx, &po_ref)?;
-                    ctx.put_state(
-                        &format!("financing:{po_ref}"),
-                        status.clone().into_bytes(),
-                    );
+                    ctx.put_state(&format!("financing:{po_ref}"), status.clone().into_bytes());
                     // interop-adaptation: encrypt the acknowledgement so
                     // interop-adaptation: relays cannot read it.
                     return ctx.invoke_chaincode(
                         // interop-adaptation
-                        crate::ECC_NAME,     // interop-adaptation
-                        "EncryptResponse",   // interop-adaptation
+                        crate::ECC_NAME,   // interop-adaptation
+                        "EncryptResponse", // interop-adaptation
                         &[cert, format!("recorded:{status}").into_bytes()], // interop-adaptation
                     ); // interop-adaptation
                 }
@@ -404,11 +405,11 @@ impl Chaincode for StlChaincode {
                         crate::ECC_NAME, // interop-adaptation
                         "CheckAccess",   // interop-adaptation
                         &[
-                            network,                            // interop-adaptation
-                            org,                                // interop-adaptation
-                            Self::NAME.as_bytes().to_vec(),     // interop-adaptation
-                            b"GetBillOfLading".to_vec(),        // interop-adaptation
-                            cert,                               // interop-adaptation
+                            network,                        // interop-adaptation
+                            org,                            // interop-adaptation
+                            Self::NAME.as_bytes().to_vec(), // interop-adaptation
+                            b"GetBillOfLading".to_vec(),    // interop-adaptation
+                            cert,                           // interop-adaptation
                         ],
                     )?; // interop-adaptation
                 }
@@ -425,9 +426,9 @@ impl Chaincode for StlChaincode {
                         .to_vec(); // interop-adaptation
                     return ctx.invoke_chaincode(
                         // interop-adaptation
-                        crate::ECC_NAME,     // interop-adaptation
-                        "EncryptResponse",   // interop-adaptation
-                        &[cert, bl],         // interop-adaptation
+                        crate::ECC_NAME,   // interop-adaptation
+                        "EncryptResponse", // interop-adaptation
+                        &[cert, bl],       // interop-adaptation
                     ); // interop-adaptation
                 }
                 Ok(bl)
@@ -756,7 +757,16 @@ mod tests {
         // Record SWT config + exposure rule on STL.
         let admin = f.seller.clone();
         let cfg = f.foreign_config.encode_to_vec();
-        invoke_as(f, &admin, "CMDAC", "RecordForeignConfig", vec![cfg], false, vec![]).unwrap();
+        invoke_as(
+            f,
+            &admin,
+            "CMDAC",
+            "RecordForeignConfig",
+            vec![cfg],
+            false,
+            vec![],
+        )
+        .unwrap();
         invoke_as(
             f,
             &admin,
@@ -825,7 +835,16 @@ mod tests {
         // Record config but no exposure rule.
         let admin = f.seller.clone();
         let cfg = f.foreign_config.encode_to_vec();
-        invoke_as(&mut f, &admin, "CMDAC", "RecordForeignConfig", vec![cfg], false, vec![]).unwrap();
+        invoke_as(
+            &mut f,
+            &admin,
+            "CMDAC",
+            "RecordForeignConfig",
+            vec![cfg],
+            false,
+            vec![],
+        )
+        .unwrap();
         let foreign = f.foreign_client.clone();
         let cert_bytes = encode_certificate(foreign.certificate());
         let err = invoke_as(

@@ -268,7 +268,7 @@ impl Chaincode for SwtChaincode {
                         proof_bytes,                              // interop-adaptation
                     ],
                 )?; // interop-adaptation
-                // The verified B/L must actually cover this purchase order.
+                    // The verified B/L must actually cover this purchase order.
                 let bl = BillOfLading::decode_from_slice(&bl_bytes)
                     .map_err(|e| ChaincodeError::BadRequest(format!("B/L malformed: {e}")))?;
                 if bl.po_ref != po_ref {
@@ -726,7 +726,13 @@ mod tests {
         open_lc(&mut f, "PO-1");
         // Cannot issue twice.
         assert!(matches!(
-            invoke_as(&mut f, &bb, SwtChaincode::NAME, "IssueLC", vec![b"PO-1".to_vec()]),
+            invoke_as(
+                &mut f,
+                &bb,
+                SwtChaincode::NAME,
+                "IssueLC",
+                vec![b"PO-1".to_vec()]
+            ),
             Err(ChaincodeError::BadRequest(_))
         ));
         // Cannot pay before payment requested.
@@ -786,7 +792,13 @@ mod tests {
         let mut f = fixture();
         let bb = f.buyer_bank.clone();
         assert!(matches!(
-            invoke_as(&mut f, &bb, SwtChaincode::NAME, "GetLC", vec![b"PO-X".to_vec()]),
+            invoke_as(
+                &mut f,
+                &bb,
+                SwtChaincode::NAME,
+                "GetLC",
+                vec![b"PO-X".to_vec()]
+            ),
             Err(ChaincodeError::NotFound(_))
         ));
     }

@@ -65,9 +65,11 @@ pub fn generate_block_proof(
         .peers()
         .next()
         .map(|(n, p)| (n.to_string(), Arc::clone(p)))
-        .ok_or_else(|| InteropError::Fabric(tdt_fabric::FabricError::Internal(
-            "network has no peers".into(),
-        )))?;
+        .ok_or_else(|| {
+            InteropError::Fabric(tdt_fabric::FabricError::Internal(
+                "network has no peers".into(),
+            ))
+        })?;
     let (header_number, prev_hash, data_hash, transactions) = {
         let peer = reader.read();
         let block = peer
@@ -130,11 +132,10 @@ fn merkle_steps_to_wire(proof: &MerkleProof) -> Vec<MerkleStep> {
 fn merkle_steps_from_wire(steps: &[MerkleStep]) -> Result<MerkleProof, InteropError> {
     let mut out = Vec::with_capacity(steps.len());
     for s in steps {
-        let sibling: [u8; 32] = s
-            .sibling
-            .as_slice()
-            .try_into()
-            .map_err(|_| InteropError::InvalidResponse("merkle sibling must be 32 bytes".into()))?;
+        let sibling: [u8; 32] =
+            s.sibling.as_slice().try_into().map_err(|_| {
+                InteropError::InvalidResponse("merkle sibling must be 32 bytes".into())
+            })?;
         out.push(ProofStep {
             sibling,
             sibling_on_right: s.sibling_on_right,
@@ -166,8 +167,12 @@ pub fn verify_block_proof(
     let number = proof
         .block_number()
         .ok_or_else(|| InteropError::InvalidResponse("proof lacks a block number".into()))?;
-    let signing =
-        header_signing_bytes(&proof.network_id, number, &proof.prev_hash, &proof.data_hash);
+    let signing = header_signing_bytes(
+        &proof.network_id,
+        number,
+        &proof.prev_hash,
+        &proof.data_hash,
+    );
     let mut signing_orgs: Vec<String> = Vec::new();
     for (i, hs) in proof.header_sigs.iter().enumerate() {
         let cert = decode_certificate(&hs.signer_cert)
@@ -230,11 +235,10 @@ mod tests {
             let peer = peer.read();
             let number = peer.height() - 1;
             let block = peer.store().block(number).unwrap();
-            let txid = tdt_fabric::endorse::TransactionEnvelope::decode_from_slice(
-                &block.transactions[0],
-            )
-            .unwrap()
-            .txid;
+            let txid =
+                tdt_fabric::endorse::TransactionEnvelope::decode_from_slice(&block.transactions[0])
+                    .unwrap()
+                    .txid;
             (number, txid)
         };
         (t, block_number, txid)
@@ -266,8 +270,8 @@ mod tests {
     fn proven_tx_is_the_expected_one() {
         let (t, block_number, txid) = prepared();
         let proof = generate_block_proof(&t.stl, block_number, &txid, &orgs()).unwrap();
-        let envelope = tdt_fabric::endorse::TransactionEnvelope::decode_from_slice(&proof.tx_bytes)
-            .unwrap();
+        let envelope =
+            tdt_fabric::endorse::TransactionEnvelope::decode_from_slice(&proof.tx_bytes).unwrap();
         assert_eq!(envelope.txid, txid);
         assert_eq!(envelope.chaincode, "TradeLensCC");
     }
@@ -293,13 +297,8 @@ mod tests {
     #[test]
     fn insufficient_signers_rejected() {
         let (t, block_number, txid) = prepared();
-        let proof = generate_block_proof(
-            &t.stl,
-            block_number,
-            &txid,
-            &["seller-org".to_string()],
-        )
-        .unwrap();
+        let proof =
+            generate_block_proof(&t.stl, block_number, &txid, &["seller-org".to_string()]).unwrap();
         let err = verify_block_proof(&proof, &t.stl.network_config(), &policy()).unwrap_err();
         assert!(err.to_string().contains("policy"));
     }
@@ -316,8 +315,12 @@ mod tests {
         );
         let rogue = rogue_msp.enroll("peer0", tdt_crypto::cert::CertRole::Peer, false);
         let number = proof.block_number().unwrap();
-        let signing =
-            header_signing_bytes(&proof.network_id, number, &proof.prev_hash, &proof.data_hash);
+        let signing = header_signing_bytes(
+            &proof.network_id,
+            number,
+            &proof.prev_hash,
+            &proof.data_hash,
+        );
         proof.header_sigs[0] = HeaderSig {
             signer_cert: encode_certificate(rogue.certificate()),
             signature: rogue.sign(&signing).to_bytes(),

@@ -101,11 +101,7 @@ impl InteropClient {
     }
 
     /// Builds a signed query (exposed for the instrumented flow harness).
-    pub fn build_query(
-        &self,
-        address: NetworkAddress,
-        policy: VerificationPolicy,
-    ) -> Query {
+    pub fn build_query(&self, address: NetworkAddress, policy: VerificationPolicy) -> Query {
         self.build_request(address, policy, false)
     }
 
@@ -256,7 +252,9 @@ mod tests {
             .unwrap();
         // The SWT Seller Client fetches the B/L with proof (Step 9)...
         let client = InteropClient::new(t.swt_seller_gateway(), Arc::clone(&t.swt_relay));
-        let remote = client.query_remote(bl_address("PO-1001"), policy()).unwrap();
+        let remote = client
+            .query_remote(bl_address("PO-1001"), policy())
+            .unwrap();
         let bl = <BillOfLading as Message>::decode_from_slice(&remote.data).unwrap();
         assert_eq!(bl.po_ref, "PO-1001");
         // ...and runs UploadDispatchDocs with data + proof (Step 10).
@@ -343,10 +341,7 @@ mod tests {
             Arc::clone(&t.registry) as Arc<dyn DiscoveryService>,
             Arc::clone(&t.bus) as Arc<dyn RelayTransport>,
         ));
-        let group = Arc::new(RelayGroup::new(vec![
-            Arc::clone(&t.swt_relay),
-            relay_b,
-        ]));
+        let group = Arc::new(RelayGroup::new(vec![Arc::clone(&t.swt_relay), relay_b]));
         t.swt_relay.set_down(true);
         let client = InteropClient::with_relay_group(t.swt_seller_gateway(), group);
         let remote = client.query_remote(bl_address("PO-3"), policy()).unwrap();

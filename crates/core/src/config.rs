@@ -20,7 +20,10 @@ use tdt_wire::messages::{NetworkConfig, VerificationPolicy};
 ///
 /// Returns [`InteropError::Fabric`] when the transaction fails or is
 /// invalidated.
-pub fn record_foreign_config(gateway: &Gateway, config: &NetworkConfig) -> Result<(), InteropError> {
+pub fn record_foreign_config(
+    gateway: &Gateway,
+    config: &NetworkConfig,
+) -> Result<(), InteropError> {
     gateway
         .submit(
             CMDAC_NAME,
@@ -109,9 +112,7 @@ pub fn derive_and_record_policy(
     confidential: bool,
 ) -> Result<VerificationPolicy, InteropError> {
     let endorsement_policy = source_network.policy_of(chaincode).ok_or_else(|| {
-        InteropError::PolicyUnsatisfiable(format!(
-            "source network has no chaincode {chaincode:?}"
-        ))
+        InteropError::PolicyUnsatisfiable(format!("source network has no chaincode {chaincode:?}"))
     })?;
     let policy = VerificationPolicy {
         expression: crate::policy::from_endorsement_policy(endorsement_policy),
@@ -189,10 +190,7 @@ mod tests {
         .unwrap();
         // A query under the derived policy works end to end, and the
         // resulting proof passes the CMDAC with that recorded policy.
-        let client = crate::InteropClient::new(
-            t.swt_seller_gateway(),
-            Arc::clone(&t.swt_relay),
-        );
+        let client = crate::InteropClient::new(t.swt_seller_gateway(), Arc::clone(&t.swt_relay));
         let remote = client
             .query_remote(
                 tdt_wire::messages::NetworkAddress::new(
@@ -243,7 +241,10 @@ mod tests {
         let cfg = swt_gateway
             .query("CMDAC", "GetForeignConfig", vec![b"stl".to_vec()])
             .unwrap();
-        let cfg = <tdt_wire::messages::NetworkConfig as tdt_wire::codec::Message>::decode_from_slice(&cfg)
+        let cfg =
+            <tdt_wire::messages::NetworkConfig as tdt_wire::codec::Message>::decode_from_slice(
+                &cfg,
+            )
             .unwrap();
         assert_eq!(cfg.network_id, "stl");
         assert_eq!(cfg.orgs.len(), 2);

@@ -83,13 +83,7 @@ impl NotaryNetwork {
     }
 
     /// Records a fact in the vault.
-    pub fn record_fact(
-        &self,
-        contract: &str,
-        function: &str,
-        key: &str,
-        value: Vec<u8>,
-    ) {
+    pub fn record_fact(&self, contract: &str, function: &str, key: &str, value: Vec<u8>) {
         self.vault
             .write()
             .insert(format!("{contract}:{function}:{key}"), value);
@@ -292,15 +286,16 @@ mod tests {
             Arc::clone(&t.bus) as Arc<dyn RelayTransport>,
         ));
         relay.register_driver(Arc::new(CordaLikeDriver::new(Arc::clone(&notary_net))));
-        t.bus
-            .register("corda-relay", Arc::clone(&relay) as Arc<dyn EnvelopeHandler>);
+        t.bus.register(
+            "corda-relay",
+            Arc::clone(&relay) as Arc<dyn EnvelopeHandler>,
+        );
         t.registry.register("corda-net", "inproc:corda-relay");
         (t, notary_net)
     }
 
     fn fact_address() -> NetworkAddress {
-        NetworkAddress::new("corda-net", "vault", "VaultCC", "GetFact")
-            .with_arg(b"K-1".to_vec())
+        NetworkAddress::new("corda-net", "vault", "VaultCC", "GetFact").with_arg(b"K-1".to_vec())
     }
 
     fn notary_policy() -> VerificationPolicy {
@@ -311,7 +306,9 @@ mod tests {
     fn same_client_and_relay_reach_notary_network() {
         let (t, _net) = with_notary_net();
         let client = InteropClient::new(t.swt_seller_gateway(), Arc::clone(&t.swt_relay));
-        let remote = client.query_remote(fact_address(), notary_policy()).unwrap();
+        let remote = client
+            .query_remote(fact_address(), notary_policy())
+            .unwrap();
         assert_eq!(remote.data, b"attested fact");
         assert_eq!(remote.proof.attestations.len(), 2);
     }
@@ -333,7 +330,9 @@ mod tests {
         .unwrap();
         // Fetch data + proof, then have SWT's CMDAC validate it.
         let client = InteropClient::new(t.swt_seller_gateway(), Arc::clone(&t.swt_relay));
-        let remote = client.query_remote(fact_address(), notary_policy()).unwrap();
+        let remote = client
+            .query_remote(fact_address(), notary_policy())
+            .unwrap();
         let verdict = admin
             .submit(
                 "CMDAC",

@@ -106,8 +106,14 @@ impl FabricDriver {
             requester_cert,
         )
         .as_relay_query()
-        .with_transient(TRANSIENT_NETWORK, query.auth.network_id.clone().into_bytes())
-        .with_transient(TRANSIENT_ORG, query.auth.organization_id.clone().into_bytes())
+        .with_transient(
+            TRANSIENT_NETWORK,
+            query.auth.network_id.clone().into_bytes(),
+        )
+        .with_transient(
+            TRANSIENT_ORG,
+            query.auth.organization_id.clone().into_bytes(),
+        )
         .with_transient(TRANSIENT_CERT, query.auth.certificate.clone());
 
         if query.invocation {
@@ -197,12 +203,9 @@ impl FabricDriver {
         use tdt_fabric::endorse::TransactionEnvelope;
         let contract = &query.address.contract_id;
         // The local endorsement policy governs the write.
-        let endorsement_policy = self
-            .network
-            .policy_of(contract)
-            .ok_or_else(|| {
-                InteropError::Fabric(FabricError::ChaincodeNotDeployed(contract.clone()))
-            })?;
+        let endorsement_policy = self.network.policy_of(contract).ok_or_else(|| {
+            InteropError::Fabric(FabricError::ChaincodeNotDeployed(contract.clone()))
+        })?;
         let endorse_orgs = endorsement_policy.minimal_org_set().ok_or_else(|| {
             InteropError::PolicyUnsatisfiable("endorsement policy unsatisfiable".into())
         })?;
@@ -349,7 +352,11 @@ mod tests {
         // Drive the STL lifecycle so a B/L exists.
         crate::setup::issue_sample_bl(&testbed, "PO-1001");
         let driver = FabricDriver::new(Arc::clone(&testbed.stl));
-        (driver, testbed.swt_seller_client.clone(), Arc::clone(&testbed.stl))
+        (
+            driver,
+            testbed.swt_seller_client.clone(),
+            Arc::clone(&testbed.stl),
+        )
     }
 
     fn signed_query(client: &Identity, po: &str, confidential: bool) -> Query {
@@ -359,13 +366,8 @@ mod tests {
         }
         let mut query = Query {
             request_id: "req-0".into(),
-            address: NetworkAddress::new(
-                "stl",
-                "trade-channel",
-                "TradeLensCC",
-                "GetBillOfLading",
-            )
-            .with_arg(po.as_bytes().to_vec()),
+            address: NetworkAddress::new("stl", "trade-channel", "TradeLensCC", "GetBillOfLading")
+                .with_arg(po.as_bytes().to_vec()),
             policy,
             auth: AuthInfo {
                 network_id: "swt".into(),

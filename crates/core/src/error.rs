@@ -42,7 +42,10 @@ impl fmt::Display for InteropError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             InteropError::WrongNetwork { expected, got } => {
-                write!(f, "query addressed to {got:?} but this driver serves {expected:?}")
+                write!(
+                    f,
+                    "query addressed to {got:?} but this driver serves {expected:?}"
+                )
             }
             InteropError::PolicyUnsatisfiable(m) => {
                 write!(f, "verification policy unsatisfiable: {m}")
@@ -53,7 +56,10 @@ impl fmt::Display for InteropError {
             InteropError::DivergentResults(m) => write!(f, "peers returned divergent results: {m}"),
             InteropError::InvalidResponse(m) => write!(f, "invalid response: {m}"),
             InteropError::MissingDecryptionKey => {
-                write!(f, "client identity has no decryption key for confidential data")
+                write!(
+                    f,
+                    "client identity has no decryption key for confidential data"
+                )
             }
             InteropError::Relay(e) => write!(f, "relay error: {e}"),
             InteropError::Fabric(e) => write!(f, "fabric error: {e}"),

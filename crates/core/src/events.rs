@@ -85,7 +85,10 @@ impl EventSource for FabricEventSource {
 /// # Errors
 ///
 /// Returns [`InteropError::InvalidResponse`] on any verification failure.
-pub fn verify_event_notice(notice: &EventNotice, config: &NetworkConfig) -> Result<(), InteropError> {
+pub fn verify_event_notice(
+    notice: &EventNotice,
+    config: &NetworkConfig,
+) -> Result<(), InteropError> {
     if notice.network_id != config.network_id {
         return Err(InteropError::InvalidResponse(format!(
             "notice from {:?} checked against config for {:?}",
@@ -124,18 +127,14 @@ mod tests {
     use std::time::Duration;
     use tdt_wire::messages::AuthInfo;
 
-    fn subscribe(
-        t: &crate::setup::Testbed,
-    ) -> crossbeam::channel::Receiver<EventNotice> {
+    fn subscribe(t: &crate::setup::Testbed) -> crossbeam::channel::Receiver<EventNotice> {
         // Attach the event source to the STL relay (source side).
         t.stl_relay
             .register_event_source(Arc::new(FabricEventSource::new(Arc::clone(&t.stl))));
         let auth = AuthInfo {
             network_id: "swt".into(),
             organization_id: "seller-bank-org".into(),
-            certificate: tdt_wire::messages::encode_certificate(
-                t.swt_seller_client.certificate(),
-            ),
+            certificate: tdt_wire::messages::encode_certificate(t.swt_seller_client.certificate()),
             signature: Vec::new(),
         };
         t.swt_relay.subscribe_remote_events("stl", auth).unwrap()
@@ -216,7 +215,10 @@ mod tests {
         let t = stl_swt_testbed();
         // STL relay has no event source registered in this test.
         let auth = AuthInfo::default();
-        let err = t.swt_relay.subscribe_remote_events("stl", auth).unwrap_err();
+        let err = t
+            .swt_relay
+            .subscribe_remote_events("stl", auth)
+            .unwrap_err();
         assert!(matches!(err, tdt_relay::RelayError::Remote(m) if m.contains("no event source")));
         assert_eq!(t.swt_relay.subscription_count(), 0);
     }

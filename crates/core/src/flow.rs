@@ -26,9 +26,7 @@ use tdt_fabric::gateway::TxOutcome;
 use tdt_relay::discovery::DiscoveryService;
 use tdt_relay::driver::NetworkDriver;
 use tdt_wire::codec::Message;
-use tdt_wire::messages::{
-    NetworkAddress, Query, QueryResponse, RelayEnvelope, VerificationPolicy,
-};
+use tdt_wire::messages::{NetworkAddress, Query, QueryResponse, RelayEnvelope, VerificationPolicy};
 
 /// Timing of one protocol step.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -198,10 +196,7 @@ impl FlowHarness {
 /// Builds a [`FlowHarness`] over a standard STL/SWT testbed.
 pub fn harness_for_testbed(testbed: &crate::setup::Testbed) -> FlowHarness {
     FlowHarness {
-        client: InteropClient::new(
-            testbed.swt_seller_gateway(),
-            Arc::clone(&testbed.swt_relay),
-        ),
+        client: InteropClient::new(testbed.swt_seller_gateway(), Arc::clone(&testbed.swt_relay)),
         discovery: Arc::clone(&testbed.registry) as Arc<dyn DiscoveryService>,
         source_driver: Arc::new(FabricDriver::new(Arc::clone(&testbed.stl))),
         relay_id: "swt-relay".into(),

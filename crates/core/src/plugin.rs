@@ -119,10 +119,7 @@ mod tests {
             vec![],
             requester.certificate().clone(),
         )
-        .with_transient(
-            TRANSIENT_CERT,
-            encode_certificate(requester.certificate()),
-        )
+        .with_transient(TRANSIENT_CERT, encode_certificate(requester.certificate()))
         .as_relay_query()
     }
 
@@ -161,14 +158,7 @@ mod tests {
     fn missing_cert_fails_confidential() {
         let peer = peer_identity();
         let req = requester();
-        let proposal = Proposal::new(
-            "tx-1",
-            "ch",
-            "cc",
-            "f",
-            vec![],
-            req.certificate().clone(),
-        );
+        let proposal = Proposal::new("tx-1", "ch", "cc", "f", vec![], req.certificate().clone());
         let err = InteropEndorsement::confidential()
             .endorse(&peer, b"md", &proposal)
             .unwrap_err();

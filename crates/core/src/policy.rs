@@ -68,7 +68,9 @@ pub fn from_endorsement_policy(policy: &tdt_fabric::policy::EndorsementPolicy) -
     use tdt_fabric::policy::EndorsementPolicy as Ep;
     match policy {
         Ep::Org(org) => PolicyNode::Org(org.clone()),
-        Ep::And(children) => PolicyNode::And(children.iter().map(from_endorsement_policy).collect()),
+        Ep::And(children) => {
+            PolicyNode::And(children.iter().map(from_endorsement_policy).collect())
+        }
         Ep::Or(children) => PolicyNode::Or(children.iter().map(from_endorsement_policy).collect()),
         Ep::OutOf(k, children) => {
             PolicyNode::OutOf(*k, children.iter().map(from_endorsement_policy).collect())
@@ -102,7 +104,10 @@ mod tests {
     #[test]
     fn minimal_set_or_picks_smallest() {
         let node = PolicyNode::Or(vec![
-            PolicyNode::And(vec![PolicyNode::Org("a".into()), PolicyNode::Org("b".into())]),
+            PolicyNode::And(vec![
+                PolicyNode::Org("a".into()),
+                PolicyNode::Org("b".into()),
+            ]),
             PolicyNode::Org("c".into()),
         ]);
         assert_eq!(minimal_org_set(&node).unwrap(), vec!["c"]);

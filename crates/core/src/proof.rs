@@ -38,9 +38,7 @@ pub fn process_response(
         ResponseStatus::PolicyUnsatisfiable => {
             return Err(InteropError::PolicyUnsatisfiable(response.error.clone()))
         }
-        ResponseStatus::Error => {
-            return Err(InteropError::InvalidResponse(response.error.clone()))
-        }
+        ResponseStatus::Error => return Err(InteropError::InvalidResponse(response.error.clone())),
     }
     if response.request_id != query.request_id {
         return Err(InteropError::InvalidResponse(format!(
@@ -117,7 +115,9 @@ fn verify_attestations(
             .attestations
             .iter()
             .enumerate()
-            .map(|(i, att)| verify_attestation(identity, query, expected_address, result_hash, i, att))
+            .map(|(i, att)| {
+                verify_attestation(identity, query, expected_address, result_hash, i, att)
+            })
             .collect();
     }
     let mut results: Vec<Option<Result<(String, Attestation), InteropError>>> =
@@ -177,10 +177,12 @@ fn verify_attestation(
         let dk = identity
             .decryption_key()
             .ok_or(InteropError::MissingDecryptionKey)?;
-        let ct = Ciphertext::from_bytes(&att.metadata)
-            .map_err(|e| InteropError::InvalidResponse(format!("attestation {i} ciphertext: {e}")))?;
-        dk.decrypt(&ct)
-            .map_err(|e| InteropError::InvalidResponse(format!("attestation {i} decryption: {e}")))?
+        let ct = Ciphertext::from_bytes(&att.metadata).map_err(|e| {
+            InteropError::InvalidResponse(format!("attestation {i} ciphertext: {e}"))
+        })?;
+        dk.decrypt(&ct).map_err(|e| {
+            InteropError::InvalidResponse(format!("attestation {i} decryption: {e}"))
+        })?
     } else {
         att.metadata.clone()
     };
@@ -293,8 +295,7 @@ mod tests {
         let f = fixture();
         let (query, response) = query_and_response(&f);
         // The buyer has no decryption key at all.
-        let err =
-            process_response(&f.testbed.swt_buyer, &query, &response).unwrap_err();
+        let err = process_response(&f.testbed.swt_buyer, &query, &response).unwrap_err();
         assert_eq!(err, InteropError::MissingDecryptionKey);
         // An identity with a *different* decryption key fails the MAC.
         let other = f

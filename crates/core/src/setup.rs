@@ -12,11 +12,11 @@ use crate::config::{add_exposure_rule, record_foreign_config, set_verification_p
 use crate::driver::FabricDriver;
 use std::sync::Arc;
 use tdt_contracts::cmdac::Cmdac;
-use tdt_crypto::certcache::CertChainCache;
 use tdt_contracts::ecc::Ecc;
 use tdt_contracts::stl::StlChaincode;
 use tdt_contracts::swt::SwtChaincode;
 use tdt_contracts::{CMDAC_NAME, ECC_NAME};
+use tdt_crypto::certcache::CertChainCache;
 use tdt_fabric::gateway::Gateway;
 use tdt_fabric::msp::Identity;
 use tdt_fabric::network::{FabricNetwork, NetworkBuilder};
@@ -217,8 +217,14 @@ pub fn stl_swt_testbed() -> Testbed {
         .with_cert_cache(swt_cert_cache),
     );
     swt_relay.register_driver(Arc::new(FabricDriver::new(Arc::clone(&swt))));
-    bus.register("stl-relay", Arc::clone(&stl_relay) as Arc<dyn EnvelopeHandler>);
-    bus.register("swt-relay", Arc::clone(&swt_relay) as Arc<dyn EnvelopeHandler>);
+    bus.register(
+        "stl-relay",
+        Arc::clone(&stl_relay) as Arc<dyn EnvelopeHandler>,
+    );
+    bus.register(
+        "swt-relay",
+        Arc::clone(&swt_relay) as Arc<dyn EnvelopeHandler>,
+    );
 
     Testbed {
         stl,
@@ -306,10 +312,9 @@ mod tests {
                 vec![b"PO-42".to_vec()],
             )
             .unwrap();
-        let bl = <tdt_contracts::stl::BillOfLading as tdt_wire::codec::Message>::decode_from_slice(
-            &bl,
-        )
-        .unwrap();
+        let bl =
+            <tdt_contracts::stl::BillOfLading as tdt_wire::codec::Message>::decode_from_slice(&bl)
+                .unwrap();
         assert_eq!(bl.bl_id, "BL-PO-42");
     }
 

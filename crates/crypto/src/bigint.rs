@@ -564,10 +564,7 @@ mod tests {
 
     #[test]
     fn from_bytes_leading_zeros() {
-        assert_eq!(
-            BigUint::from_bytes_be(&[0, 0, 0, 5]),
-            BigUint::from_u64(5)
-        );
+        assert_eq!(BigUint::from_bytes_be(&[0, 0, 0, 5]), BigUint::from_u64(5));
     }
 
     #[test]

@@ -84,7 +84,10 @@ impl Subject {
 
     /// Fully-qualified name `network/organization/common_name`.
     pub fn qualified_name(&self) -> String {
-        format!("{}/{}/{}", self.network, self.organization, self.common_name)
+        format!(
+            "{}/{}/{}",
+            self.network, self.organization, self.common_name
+        )
     }
 }
 
@@ -220,9 +223,10 @@ impl Certificate {
                 "subject network differs from issuer network".into(),
             ));
         }
-        let signature = self.signature.as_ref().ok_or_else(|| {
-            CryptoError::CertificateInvalid("certificate is unsigned".into())
-        })?;
+        let signature = self
+            .signature
+            .as_ref()
+            .ok_or_else(|| CryptoError::CertificateInvalid("certificate is unsigned".into()))?;
         let root_key = root.verifying_key()?;
         root_key
             .verify(&self.canonical_bytes(), signature)
@@ -241,9 +245,10 @@ impl Certificate {
                 "not a self-signed root certificate".into(),
             ));
         }
-        let signature = self.signature.as_ref().ok_or_else(|| {
-            CryptoError::CertificateInvalid("certificate is unsigned".into())
-        })?;
+        let signature = self
+            .signature
+            .as_ref()
+            .ok_or_else(|| CryptoError::CertificateInvalid("certificate is unsigned".into()))?;
         let key = self.verifying_key()?;
         key.verify(&self.canonical_bytes(), signature)
             .map_err(|_| CryptoError::CertificateInvalid("bad self-signature".into()))

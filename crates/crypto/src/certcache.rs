@@ -64,10 +64,7 @@ impl CertChainCache {
     pub fn verify_chain(&self, cert: &Certificate, root: &Certificate) -> Result<(), CryptoError> {
         let key = Self::key(cert, root);
         {
-            let verified = self
-                .verified
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
+            let verified = self.verified.lock().unwrap_or_else(PoisonError::into_inner);
             if verified.contains(&key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(());

@@ -297,7 +297,10 @@ mod tests {
     fn from_bytes_rejects_truncation() {
         assert!(Ciphertext::from_bytes(&[1, 2]).is_err());
         let dk = keypair();
-        let full = dk.encryption_key().encrypt_deterministic(b"x", b"s").to_bytes();
+        let full = dk
+            .encryption_key()
+            .encrypt_deterministic(b"x", b"s")
+            .to_bytes();
         assert!(Ciphertext::from_bytes(&full[..20]).is_err());
     }
 

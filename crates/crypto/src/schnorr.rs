@@ -85,7 +85,10 @@ impl fmt::Debug for SigningKey {
         // Never print the secret scalar.
         f.debug_struct("SigningKey")
             .field("group", &self.group.name())
-            .field("public", &crate::hex_encode(&self.y.to_bytes_be()[..8.min(self.y.to_bytes_be().len())]))
+            .field(
+                "public",
+                &crate::hex_encode(&self.y.to_bytes_be()[..8.min(self.y.to_bytes_be().len())]),
+            )
             .finish()
     }
 }

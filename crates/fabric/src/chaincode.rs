@@ -272,8 +272,7 @@ impl<'a> TxContext<'a> {
             return w.value.clone();
         }
         let entry = self.state.get(&ns, key);
-        self.rwset
-            .record_read(&ns, key, entry.map(|e| e.version));
+        self.rwset.record_read(&ns, key, entry.map(|e| e.version));
         entry.map(|e| e.value.clone())
     }
 
@@ -417,8 +416,7 @@ mod tests {
                 "get" => {
                     let key = String::from_utf8(args[0].clone())
                         .map_err(|_| ChaincodeError::BadRequest("key not utf-8".into()))?;
-                    ctx.get_state(&key)
-                        .ok_or(ChaincodeError::NotFound(key))
+                    ctx.get_state(&key).ok_or(ChaincodeError::NotFound(key))
                 }
                 "del" => {
                     let key = String::from_utf8(args[0].clone()).unwrap();
@@ -480,10 +478,7 @@ mod tests {
         let v = ctx.get_state("k").unwrap();
         assert_eq!(v, 5u64.to_be_bytes());
         let rwset = ctx.into_rwset();
-        assert_eq!(
-            rwset.ns_sets[0].reads[0].version,
-            Some(Version::new(3, 2))
-        );
+        assert_eq!(rwset.ns_sets[0].reads[0].version, Some(Version::new(3, 2)));
     }
 
     #[test]

@@ -383,7 +383,10 @@ mod tests {
         let mut rw = TxRwSet::new();
         rw.record_read("cc", "k", Some(Version::new(0, 0)));
         let decoded = decode_rwset(&encode_rwset(&rw)).unwrap();
-        assert_eq!(decoded.ns_sets[0].reads[0].version, Some(Version::new(0, 0)));
+        assert_eq!(
+            decoded.ns_sets[0].reads[0].version,
+            Some(Version::new(0, 0))
+        );
     }
 
     #[test]

@@ -302,7 +302,9 @@ mod tests {
     #[test]
     fn chaincode_error_propagates() {
         let gw = gateway();
-        let err = gw.query("kv", "get", vec![b"missing".to_vec()]).unwrap_err();
+        let err = gw
+            .query("kv", "get", vec![b"missing".to_vec()])
+            .unwrap_err();
         assert!(matches!(
             err,
             FabricError::Chaincode(ChaincodeError::NotFound(_))

@@ -104,7 +104,10 @@ impl Msp {
             common_name,
             role,
             &signing_key.verifying_key(),
-            decryption_key.as_ref().map(DecryptionKey::encryption_key).as_ref(),
+            decryption_key
+                .as_ref()
+                .map(DecryptionKey::encryption_key)
+                .as_ref(),
         );
         self.issued.insert(cert.fingerprint(), cert.clone());
         Identity {

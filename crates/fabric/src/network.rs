@@ -271,7 +271,10 @@ impl FabricNetwork {
             .orgs
             .get(org_id)
             .ok_or_else(|| FabricError::UnknownOrganization(org_id.to_string()))?;
-        Ok(org.msp.write().enroll(name, CertRole::Client, with_encryption))
+        Ok(org
+            .msp
+            .write()
+            .enroll(name, CertRole::Client, with_encryption))
     }
 
     /// All peers (qualified name -> handle), sorted by name.
@@ -641,9 +644,7 @@ mod tests {
         .sign(client.signing_key());
         // Take down the only org-b peer.
         net.faults().take_down("testnet/org-b/peer0");
-        let err = net
-            .endorse(&proposal, &["org-b".to_string()])
-            .unwrap_err();
+        let err = net.endorse(&proposal, &["org-b".to_string()]).unwrap_err();
         assert!(matches!(err, FabricError::PeerUnavailable(_)));
         // org-a has a second peer, so taking down one still works.
         net.faults().take_down("testnet/org-a/peer0");
@@ -691,17 +692,18 @@ mod tests {
         net.order(&envelope).unwrap();
         let event = rx.recv().unwrap();
         assert_eq!(event.block_number, 1);
-        assert_eq!(
-            event.validation_of("my-tx"),
-            Some(TxValidationCode::Valid)
-        );
+        assert_eq!(event.validation_of("my-tx"), Some(TxValidationCode::Valid));
     }
 
     #[test]
     fn batching_defers_commit() {
         let net = NetworkBuilder::new("batched")
             .org("org-a", 1)
-            .chaincode("kv", Arc::new(KvStore), EndorsementPolicy::any_of(["org-a"]))
+            .chaincode(
+                "kv",
+                Arc::new(KvStore),
+                EndorsementPolicy::any_of(["org-a"]),
+            )
             .batch_size(3)
             .build();
         let client = net.register_client("org-a", "c", false).unwrap();
@@ -772,7 +774,7 @@ mod tests {
         assert!(net.check_replica_consistency().is_err());
         let lagging = net.peer("testnet/org-a/peer1").unwrap();
         assert_eq!(lagging.read().height(), 2); // genesis + k1 block only
-        // Sync re-validates and catches up.
+                                                // Sync re-validates and catches up.
         let synced = net.sync_peer("testnet/org-a/peer1").unwrap();
         assert_eq!(synced, 2);
         net.check_replica_consistency().unwrap();
@@ -810,7 +812,11 @@ mod tests {
         let net = NetworkBuilder::new("bignet")
             .group(Group::modp_1024())
             .org("org-a", 1)
-            .chaincode("kv", Arc::new(KvStore), EndorsementPolicy::any_of(["org-a"]))
+            .chaincode(
+                "kv",
+                Arc::new(KvStore),
+                EndorsementPolicy::any_of(["org-a"]),
+            )
             .build();
         assert_eq!(net.group().name(), "modp1024");
         let client = net.register_client("org-a", "c", false).unwrap();

@@ -154,7 +154,8 @@ impl Peer {
         sim: &SimulationResult,
     ) -> Result<Endorsement, FabricError> {
         let payload = ProposalResponsePayload::new(&proposal.txid, &proposal.chaincode, sim);
-        let out = DefaultEndorsement.endorse(&self.identity, &payload.canonical_bytes(), proposal)?;
+        let out =
+            DefaultEndorsement.endorse(&self.identity, &payload.canonical_bytes(), proposal)?;
         Ok(Endorsement {
             endorser_cert: self.identity.certificate().clone(),
             signature: out.signature,
@@ -182,7 +183,11 @@ impl Peer {
         let payload_bytes = envelope.response_payload().canonical_bytes();
         let mut endorsing_orgs: Vec<String> = Vec::new();
         for endorsement in &envelope.endorsements {
-            if self.msp_registry.validate(&endorsement.endorser_cert).is_err() {
+            if self
+                .msp_registry
+                .validate(&endorsement.endorser_cert)
+                .is_err()
+            {
                 return TxValidationCode::BadEndorsementSignature;
             }
             let Ok(vk) = endorsement.endorser_cert.verifying_key() else {
@@ -220,7 +225,10 @@ impl Peer {
     ///
     /// Returns a [`FabricError`] when the block itself does not extend the
     /// chain (wrong number, broken hash link, bad data hash).
-    pub fn validate_and_commit(&mut self, mut block: Block) -> Result<Vec<TxValidationCode>, FabricError> {
+    pub fn validate_and_commit(
+        &mut self,
+        mut block: Block,
+    ) -> Result<Vec<TxValidationCode>, FabricError> {
         // Genesis/config blocks carry raw config payloads, not envelopes.
         if block.header.number == 0 {
             let codes = vec![TxValidationCode::Valid; block.transactions.len()];
@@ -275,9 +283,7 @@ impl Peer {
             }
         }
         block.metadata.tx_validation = codes.clone();
-        self.store
-            .append(block)
-            .expect("chain link verified above");
+        self.store.append(block).expect("chain link verified above");
         for (i, txid) in committed {
             self.store.index_tx(txid, block_number, i);
         }
@@ -311,8 +317,7 @@ mod tests {
                 }
                 "get" => {
                     let key = String::from_utf8_lossy(&args[0]).into_owned();
-                    ctx.get_state(&key)
-                        .ok_or(ChaincodeError::NotFound(key))
+                    ctx.get_state(&key).ok_or(ChaincodeError::NotFound(key))
                 }
                 f => Err(ChaincodeError::UnknownFunction(f.into())),
             }
@@ -454,7 +459,11 @@ mod tests {
         let f = fixture();
         let mut p = proposal(&f, "tx", "put", vec![b"k".to_vec(), b"v".to_vec()]);
         p.chaincode = "missing".into();
-        let p = Proposal { signature: None, ..p }.sign(f.client.signing_key());
+        let p = Proposal {
+            signature: None,
+            ..p
+        }
+        .sign(f.client.signing_key());
         assert!(matches!(
             f.peer.simulate(&p),
             Err(FabricError::ChaincodeNotDeployed(_))

@@ -106,7 +106,10 @@ impl MerkleProof {
 /// # Errors
 ///
 /// Returns [`LedgerError::LeafOutOfRange`] if `index` is out of bounds.
-pub fn merkle_proof<T: AsRef<[u8]>>(leaves: &[T], index: usize) -> Result<MerkleProof, LedgerError> {
+pub fn merkle_proof<T: AsRef<[u8]>>(
+    leaves: &[T],
+    index: usize,
+) -> Result<MerkleProof, LedgerError> {
     if index >= leaves.len() {
         return Err(LedgerError::LeafOutOfRange {
             index,
@@ -117,7 +120,11 @@ pub fn merkle_proof<T: AsRef<[u8]>>(leaves: &[T], index: usize) -> Result<Merkle
     let mut idx = index;
     let mut steps = Vec::new();
     while level.len() > 1 {
-        let sibling_idx = if idx.is_multiple_of(2) { idx + 1 } else { idx - 1 };
+        let sibling_idx = if idx.is_multiple_of(2) {
+            idx + 1
+        } else {
+            idx - 1
+        };
         if sibling_idx < level.len() {
             steps.push(ProofStep {
                 sibling: level[sibling_idx],

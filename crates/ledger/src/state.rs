@@ -33,8 +33,7 @@ impl WorldState {
 
     /// Reads the current value of `key` in `namespace`.
     pub fn get(&self, namespace: &str, key: &str) -> Option<&VersionedValue> {
-        self.entries
-            .get(&(namespace.to_string(), key.to_string()))
+        self.entries.get(&(namespace.to_string(), key.to_string()))
     }
 
     /// Current version of `key`, or `None` if absent.

@@ -166,7 +166,10 @@ mod tests {
         block.header.number = 7;
         assert!(matches!(
             store.append(block),
-            Err(LedgerError::NonContiguousBlock { expected: 2, got: 7 })
+            Err(LedgerError::NonContiguousBlock {
+                expected: 2,
+                got: 7
+            })
         ));
     }
 
@@ -207,10 +210,7 @@ mod tests {
         let store = chain(3);
         assert_eq!(store.block(0).unwrap().header.number, 0);
         assert_eq!(store.block(2).unwrap().header.number, 2);
-        assert_eq!(
-            store.block(3).unwrap_err(),
-            LedgerError::BlockNotFound(3)
-        );
+        assert_eq!(store.block(3).unwrap_err(), LedgerError::BlockNotFound(3));
     }
 
     #[test]

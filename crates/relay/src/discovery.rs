@@ -38,7 +38,9 @@ impl StaticRegistry {
 
     /// Registers (or replaces) the endpoint for a network.
     pub fn register(&self, network_id: impl Into<String>, endpoint: impl Into<String>) {
-        self.entries.write().insert(network_id.into(), endpoint.into());
+        self.entries
+            .write()
+            .insert(network_id.into(), endpoint.into());
     }
 
     /// Removes a network's entry.
@@ -59,13 +61,9 @@ impl StaticRegistry {
 
 impl DiscoveryService for StaticRegistry {
     fn lookup(&self, network_id: &str) -> Result<String, RelayError> {
-        self.entries
-            .read()
-            .get(network_id)
-            .cloned()
-            .ok_or_else(|| {
-                RelayError::DiscoveryFailed(format!("network {network_id:?} not registered"))
-            })
+        self.entries.read().get(network_id).cloned().ok_or_else(|| {
+            RelayError::DiscoveryFailed(format!("network {network_id:?} not registered"))
+        })
     }
 }
 
@@ -252,9 +250,7 @@ mod tests {
         a.register("stl", "from-a");
         let b = StaticRegistry::new();
         b.register("swt", "from-b");
-        let chain = ChainedDiscovery::new()
-            .with(Box::new(a))
-            .with(Box::new(b));
+        let chain = ChainedDiscovery::new().with(Box::new(a)).with(Box::new(b));
         assert_eq!(chain.lookup("stl").unwrap(), "from-a");
         assert_eq!(chain.lookup("swt").unwrap(), "from-b");
         assert!(chain.lookup("other").is_err());

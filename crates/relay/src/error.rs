@@ -11,6 +11,10 @@ pub enum RelayError {
     DiscoveryFailed(String),
     /// The transport could not reach the remote relay.
     TransportFailed(String),
+    /// A pooled connection died while the request was in flight. The
+    /// request may never have reached the remote; a retry on a freshly
+    /// dialed connection is safe and usually succeeds.
+    StaleConnection(String),
     /// The local relay shed the request (token bucket empty).
     RateLimited,
     /// A relay instance is down (fault injection / outage).
@@ -30,6 +34,9 @@ impl fmt::Display for RelayError {
         match self {
             RelayError::DiscoveryFailed(m) => write!(f, "relay discovery failed: {m}"),
             RelayError::TransportFailed(m) => write!(f, "relay transport failed: {m}"),
+            RelayError::StaleConnection(m) => {
+                write!(f, "pooled relay connection died mid-request: {m}")
+            }
             RelayError::RateLimited => write!(f, "request rate limited by relay"),
             RelayError::RelayDown(id) => write!(f, "relay {id:?} is down"),
             RelayError::NoDriver(net) => write!(f, "no driver registered for network {net:?}"),
@@ -64,6 +71,7 @@ mod tests {
         let errs = [
             RelayError::DiscoveryFailed("x".into()),
             RelayError::TransportFailed("x".into()),
+            RelayError::StaleConnection("x".into()),
             RelayError::RateLimited,
             RelayError::RelayDown("r".into()),
             RelayError::NoDriver("n".into()),

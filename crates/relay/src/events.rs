@@ -45,7 +45,11 @@ mod tests {
             "test-net"
         }
 
-        fn start(&self, request: &EventSubscribeRequest, sink: EventSink) -> Result<(), RelayError> {
+        fn start(
+            &self,
+            request: &EventSubscribeRequest,
+            sink: EventSink,
+        ) -> Result<(), RelayError> {
             // Deliver three synthetic notices synchronously.
             for n in 0..3 {
                 let notice = EventNotice {

@@ -26,9 +26,16 @@ impl RateLimiter {
     ///
     /// # Panics
     ///
-    /// Panics if `capacity` is zero.
+    /// Panics if `capacity` is zero, or if `refill_per_sec` is not a
+    /// finite non-negative number. A negative rate would silently drain
+    /// the bucket below zero and a NaN rate poisons every refill
+    /// computation, wedging the limiter permanently open or shut.
     pub fn new(capacity: u32, refill_per_sec: f64) -> Self {
         assert!(capacity > 0, "capacity must be positive");
+        assert!(
+            refill_per_sec.is_finite() && refill_per_sec >= 0.0,
+            "refill_per_sec must be finite and non-negative, got {refill_per_sec}"
+        );
         RateLimiter {
             capacity: capacity as f64,
             refill_per_sec,
@@ -44,14 +51,21 @@ impl RateLimiter {
         self.try_acquire_n(1)
     }
 
-    /// Tries to take `n` tokens atomically.
-    pub fn try_acquire_n(&self, n: u32) -> bool {
-        let mut bucket = self.bucket.lock();
+    /// Advances the bucket to `now`, clamping the count into
+    /// `0.0..=capacity` so no arithmetic edge case can push it outside
+    /// the valid range.
+    fn refill(&self, bucket: &mut Bucket) {
         let now = Instant::now();
         let elapsed = now.duration_since(bucket.last_refill);
         bucket.tokens =
-            (bucket.tokens + elapsed.as_secs_f64() * self.refill_per_sec).min(self.capacity);
+            (bucket.tokens + elapsed.as_secs_f64() * self.refill_per_sec).clamp(0.0, self.capacity);
         bucket.last_refill = now;
+    }
+
+    /// Tries to take `n` tokens atomically.
+    pub fn try_acquire_n(&self, n: u32) -> bool {
+        let mut bucket = self.bucket.lock();
+        self.refill(&mut bucket);
         if bucket.tokens >= n as f64 {
             bucket.tokens -= n as f64;
             true
@@ -63,11 +77,7 @@ impl RateLimiter {
     /// Current token count (diagnostics).
     pub fn available(&self) -> f64 {
         let mut bucket = self.bucket.lock();
-        let now = Instant::now();
-        let elapsed = now.duration_since(bucket.last_refill);
-        bucket.tokens =
-            (bucket.tokens + elapsed.as_secs_f64() * self.refill_per_sec).min(self.capacity);
-        bucket.last_refill = now;
+        self.refill(&mut bucket);
         bucket.tokens
     }
 
@@ -131,6 +141,33 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         RateLimiter::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_refill_rejected() {
+        RateLimiter::new(5, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn nan_refill_rejected() {
+        RateLimiter::new(5, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn infinite_refill_rejected() {
+        RateLimiter::new(5, f64::INFINITY);
+    }
+
+    #[test]
+    fn tokens_never_go_negative() {
+        let rl = RateLimiter::new(3, 0.5);
+        while rl.try_acquire() {}
+        assert!(rl.available() >= 0.0);
+        assert!(!rl.try_acquire_n(3));
+        assert!(rl.available() >= 0.0);
     }
 
     #[test]

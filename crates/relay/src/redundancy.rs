@@ -20,7 +20,10 @@ pub struct RelayGroup {
 impl std::fmt::Debug for RelayGroup {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RelayGroup")
-            .field("relays", &self.relays.iter().map(|r| r.id()).collect::<Vec<_>>())
+            .field(
+                "relays",
+                &self.relays.iter().map(|r| r.id()).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -102,7 +105,10 @@ mod tests {
             Arc::clone(&bus) as Arc<dyn RelayTransport>,
         ));
         stl_relay.register_driver(Arc::new(EchoDriver::new("stl")));
-        bus.register("stl-relay", Arc::clone(&stl_relay) as Arc<dyn EnvelopeHandler>);
+        bus.register(
+            "stl-relay",
+            Arc::clone(&stl_relay) as Arc<dyn EnvelopeHandler>,
+        );
         let mut relays = Vec::new();
         for i in 0..n {
             let mut relay = RelayService::new(

@@ -61,14 +61,18 @@ impl RetryPolicy {
 
     /// Whether `error` is a transient fault worth retrying.
     ///
-    /// Transport failures, downed relays, and shed (rate-limited)
-    /// requests may heal on their own. Anything the remote actually
-    /// decided — protocol errors, unknown networks or drivers, malformed
-    /// frames — will fail identically on every attempt.
+    /// Transport failures, pooled connections that died mid-request (the
+    /// next attempt dials a fresh stream), downed relays, and shed
+    /// (rate-limited) requests may heal on their own. Anything the remote
+    /// actually decided — protocol errors, unknown networks or drivers,
+    /// malformed frames — will fail identically on every attempt.
     pub fn is_retryable(error: &RelayError) -> bool {
         matches!(
             error,
-            RelayError::TransportFailed(_) | RelayError::RelayDown(_) | RelayError::RateLimited
+            RelayError::TransportFailed(_)
+                | RelayError::StaleConnection(_)
+                | RelayError::RelayDown(_)
+                | RelayError::RateLimited
         )
     }
 
@@ -149,7 +153,9 @@ impl RelayTransport for RetryingTransport {
             self.attempts.fetch_add(1, Ordering::Relaxed);
             match self.inner.send(endpoint, envelope) {
                 Ok(reply) => return Ok(reply),
-                Err(error) if RetryPolicy::is_retryable(&error) && attempt < self.policy.max_retries => {
+                Err(error)
+                    if RetryPolicy::is_retryable(&error) && attempt < self.policy.max_retries =>
+                {
                     self.retries.fetch_add(1, Ordering::Relaxed);
                     let delay = self.policy.backoff_delay(attempt);
                     if !delay.is_zero() {
@@ -195,6 +201,7 @@ mod tests {
                     source_relay: "flaky".into(),
                     dest_network: envelope.dest_network.clone(),
                     payload: Vec::new(),
+                    correlation_id: 0,
                 })
             } else {
                 Err(failures.remove(0))
@@ -208,6 +215,7 @@ mod tests {
             source_relay: "test".into(),
             dest_network: "stl".into(),
             payload: Vec::new(),
+            correlation_id: 0,
         }
     }
 
@@ -277,12 +285,7 @@ mod tests {
 
     #[test]
     fn backoff_doubles_and_caps_without_jitter() {
-        let policy = RetryPolicy::new(
-            8,
-            Duration::from_millis(10),
-            Duration::from_millis(45),
-            0.0,
-        );
+        let policy = RetryPolicy::new(8, Duration::from_millis(10), Duration::from_millis(45), 0.0);
         assert_eq!(policy.backoff_delay(0), Duration::from_millis(10));
         assert_eq!(policy.backoff_delay(1), Duration::from_millis(20));
         assert_eq!(policy.backoff_delay(2), Duration::from_millis(40));
@@ -308,7 +311,12 @@ mod tests {
         assert!(RetryPolicy::is_retryable(&RelayError::TransportFailed(
             "x".into()
         )));
-        assert!(RetryPolicy::is_retryable(&RelayError::RelayDown("r".into())));
+        assert!(RetryPolicy::is_retryable(&RelayError::StaleConnection(
+            "conn closed".into()
+        )));
+        assert!(RetryPolicy::is_retryable(&RelayError::RelayDown(
+            "r".into()
+        )));
         assert!(RetryPolicy::is_retryable(&RelayError::RateLimited));
         assert!(!RetryPolicy::is_retryable(&RelayError::Remote("x".into())));
         assert!(!RetryPolicy::is_retryable(&RelayError::DiscoveryFailed(

@@ -15,7 +15,7 @@ use crate::driver::NetworkDriver;
 use crate::error::RelayError;
 use crate::events::{EventSink, EventSource};
 use crate::ratelimit::RateLimiter;
-use crate::transport::{EnvelopeHandler, RelayTransport};
+use crate::transport::{EnvelopeHandler, PoolStats, RelayTransport};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -25,8 +25,7 @@ use std::time::{Duration, Instant};
 use tdt_crypto::certcache::CertChainCache;
 use tdt_wire::codec::Message;
 use tdt_wire::messages::{
-    AuthInfo, EnvelopeKind, EventNotice, EventSubscribeRequest, Query, QueryResponse,
-    RelayEnvelope,
+    AuthInfo, EnvelopeKind, EventNotice, EventSubscribeRequest, Query, QueryResponse, RelayEnvelope,
 };
 
 /// Upper bounds of the envelope-handling latency histogram buckets; the
@@ -60,6 +59,7 @@ pub struct RelayStats {
     in_flight: AtomicU64,
     latency_buckets: [AtomicU64; 6],
     cert_cache: OnceLock<Arc<CertChainCache>>,
+    pool_stats: OnceLock<Arc<PoolStats>>,
 }
 
 impl RelayStats {
@@ -110,6 +110,36 @@ impl RelayStats {
     /// Certificate-chain cache hit rate (0.0 without a cache or lookups).
     pub fn cache_hit_rate(&self) -> f64 {
         self.cert_cache.get().map_or(0.0, |c| c.hit_rate())
+    }
+
+    /// Transport-pool connections currently open, when pool stats are
+    /// attached.
+    pub fn pool_connections_open(&self) -> u64 {
+        self.pool_stats.get().map_or(0, |p| p.connections_open())
+    }
+
+    /// Transport-pool connections dialed over the pool's lifetime, when
+    /// pool stats are attached.
+    pub fn pool_connections_dialed(&self) -> u64 {
+        self.pool_stats.get().map_or(0, |p| p.connections_dialed())
+    }
+
+    /// Requests that reused an already-open pooled connection, when pool
+    /// stats are attached.
+    pub fn pool_connections_reused(&self) -> u64 {
+        self.pool_stats.get().map_or(0, |p| p.connections_reused())
+    }
+
+    /// Requests currently in flight on pooled connections, when pool
+    /// stats are attached.
+    pub fn pool_requests_in_flight(&self) -> u64 {
+        self.pool_stats.get().map_or(0, |p| p.requests_in_flight())
+    }
+
+    /// Multiplexed replies dropped for lack of a matching waiter, when
+    /// pool stats are attached.
+    pub fn pool_orphaned_replies(&self) -> u64 {
+        self.pool_stats.get().map_or(0, |p| p.orphaned_replies())
     }
 }
 
@@ -198,6 +228,15 @@ impl RelayService {
         self
     }
 
+    /// Attaches the health counters of the pooled TCP transport carrying
+    /// this relay's outbound traffic, so pool behaviour shows up in
+    /// [`RelayService::stats`] (builder style). Obtain them from
+    /// [`crate::transport::PooledTcpTransport::stats`].
+    pub fn with_pool_stats(self, stats: Arc<PoolStats>) -> Self {
+        self.stats.pool_stats.set(stats).ok();
+        self
+    }
+
     /// Switches envelope handling from inline (caller's thread) to a pool
     /// of `workers` threads fed through a crossbeam channel. Envelopes
     /// arriving from the in-process bus and from TCP connections then
@@ -223,7 +262,10 @@ impl RelayService {
                     .expect("spawn relay worker")
             })
             .collect();
-        *self.pool.write() = Some(WorkerPool { tx, workers: handles });
+        *self.pool.write() = Some(WorkerPool {
+            tx,
+            workers: handles,
+        });
     }
 
     /// Stops the worker pool (reverting to inline handling) and joins the
@@ -311,6 +353,7 @@ impl RelayService {
             source_relay: self.id.clone(),
             dest_network: network_id.to_string(),
             payload: request.encode_to_vec(),
+            correlation_id: 0,
         };
         let reply = match self.transport.send(&endpoint, &envelope) {
             Ok(reply) => reply,
@@ -463,6 +506,7 @@ impl RelayService {
                 source_relay: self.id.clone(),
                 dest_network: envelope.dest_network,
                 payload: Vec::new(),
+                correlation_id: 0,
             },
             EnvelopeKind::QueryRequest => {
                 // Step 4: deserialize, determine the target network.
@@ -491,16 +535,12 @@ impl RelayService {
                 // collection against the network's peers.
                 self.stats.served.fetch_add(1, Ordering::Relaxed);
                 match driver.execute_query(&query) {
-                    Ok(response) => RelayEnvelope::response(
-                        self.id.clone(),
-                        envelope.source_relay,
-                        &response,
-                    ),
-                    Err(e) => RelayEnvelope::error(
-                        self.id.clone(),
-                        envelope.dest_network,
-                        e.to_string(),
-                    ),
+                    Ok(response) => {
+                        RelayEnvelope::response(self.id.clone(), envelope.source_relay, &response)
+                    }
+                    Err(e) => {
+                        RelayEnvelope::error(self.id.clone(), envelope.dest_network, e.to_string())
+                    }
                 }
             }
             // Source side: accept an event subscription and start the feed.
@@ -536,6 +576,7 @@ impl RelayService {
                         source_relay: relay_id.clone(),
                         dest_network: subscriber_network.clone(),
                         payload: notice.encode_to_vec(),
+                        correlation_id: 0,
                     };
                     match transport.send(&reply_endpoint, &push) {
                         Ok(reply) if reply.kind == EnvelopeKind::Ack => Ok(()),
@@ -552,12 +593,11 @@ impl RelayService {
                         source_relay: self.id.clone(),
                         dest_network: envelope.dest_network,
                         payload: Vec::new(),
+                        correlation_id: 0,
                     },
-                    Err(e) => RelayEnvelope::error(
-                        self.id.clone(),
-                        envelope.dest_network,
-                        e.to_string(),
-                    ),
+                    Err(e) => {
+                        RelayEnvelope::error(self.id.clone(), envelope.dest_network, e.to_string())
+                    }
                 }
             }
             // Destination side: route a pushed event to its subscriber.
@@ -585,6 +625,7 @@ impl RelayService {
                         source_relay: self.id.clone(),
                         dest_network: envelope.dest_network,
                         payload: Vec::new(),
+                        correlation_id: 0,
                     }
                 } else {
                     // Subscriber gone: drop it and tell the source to stop.
@@ -683,8 +724,14 @@ mod tests {
             Arc::clone(&registry) as Arc<dyn DiscoveryService>,
             Arc::clone(&bus) as Arc<dyn RelayTransport>,
         ));
-        bus.register("stl-relay", Arc::clone(&stl_relay) as Arc<dyn EnvelopeHandler>);
-        bus.register("swt-relay", Arc::clone(&swt_relay) as Arc<dyn EnvelopeHandler>);
+        bus.register(
+            "stl-relay",
+            Arc::clone(&stl_relay) as Arc<dyn EnvelopeHandler>,
+        );
+        bus.register(
+            "swt-relay",
+            Arc::clone(&swt_relay) as Arc<dyn EnvelopeHandler>,
+        );
         Fixture {
             swt_relay,
             stl_relay,
@@ -784,6 +831,7 @@ mod tests {
             source_relay: "tester".into(),
             dest_network: "stl".into(),
             payload: Vec::new(),
+            correlation_id: 0,
         };
         let pong = f.stl_relay.handle(ping);
         assert_eq!(pong.kind, EnvelopeKind::Pong);
@@ -798,6 +846,7 @@ mod tests {
             source_relay: "t".into(),
             dest_network: "stl".into(),
             payload: vec![0xff, 0xff, 0xff],
+            correlation_id: 0,
         };
         let reply = f.stl_relay.handle(bad);
         assert_eq!(reply.kind, EnvelopeKind::Error);
@@ -879,7 +928,10 @@ mod tests {
             .with_request_deadline(std::time::Duration::from_millis(10)),
         );
         stl_relay.register_driver(Arc::new(SlowDriver));
-        bus.register("stl-relay", Arc::clone(&stl_relay) as Arc<dyn EnvelopeHandler>);
+        bus.register(
+            "stl-relay",
+            Arc::clone(&stl_relay) as Arc<dyn EnvelopeHandler>,
+        );
         stl_relay.start_workers(1);
         let swt_relay = Arc::new(RelayService::new(
             "swt-relay",
@@ -905,7 +957,10 @@ mod tests {
         assert_eq!(f.stl_relay.stats().handled(), 0);
         f.swt_relay.relay_query(&bl_query()).unwrap();
         assert_eq!(f.stl_relay.stats().handled(), 1);
-        assert_eq!(f.stl_relay.stats().latency_histogram().iter().sum::<u64>(), 1);
+        assert_eq!(
+            f.stl_relay.stats().latency_histogram().iter().sum::<u64>(),
+            1
+        );
     }
 
     #[test]
@@ -926,7 +981,8 @@ mod tests {
         use tdt_crypto::cert::{CertRole, CertificateAuthority};
         use tdt_crypto::group::Group;
         use tdt_crypto::schnorr::SigningKey;
-        let mut authority = CertificateAuthority::new("stl", "seller-org", Group::test_group(), b"s");
+        let mut authority =
+            CertificateAuthority::new("stl", "seller-org", Group::test_group(), b"s");
         let key = SigningKey::from_seed(Group::test_group(), b"peer0");
         let cert = authority.issue("peer0", CertRole::Peer, &key.verifying_key(), None);
         let root = authority.root_certificate().clone();
@@ -939,6 +995,43 @@ mod tests {
     }
 
     #[test]
+    fn pool_stats_surface_in_relay_stats() {
+        use crate::transport::{PooledTcpTransport, TcpRelayServer};
+        let registry = Arc::new(StaticRegistry::new());
+        let bus = Arc::new(InProcessBus::new());
+        let stl_relay = Arc::new(RelayService::new(
+            "stl-relay",
+            "stl",
+            Arc::clone(&registry) as Arc<dyn DiscoveryService>,
+            Arc::clone(&bus) as Arc<dyn RelayTransport>,
+        ));
+        stl_relay.register_driver(Arc::new(EchoDriver::new("stl")));
+        let server = TcpRelayServer::spawn(
+            "127.0.0.1:0",
+            Arc::clone(&stl_relay) as Arc<dyn EnvelopeHandler>,
+        )
+        .unwrap();
+        registry.register("stl", server.endpoint());
+        let transport = Arc::new(PooledTcpTransport::new());
+        let relay = RelayService::new(
+            "swt-relay",
+            "swt",
+            Arc::clone(&registry) as Arc<dyn DiscoveryService>,
+            Arc::clone(&transport) as Arc<dyn RelayTransport>,
+        )
+        .with_pool_stats(transport.stats());
+        assert_eq!(relay.stats().pool_connections_open(), 0);
+        for _ in 0..3 {
+            relay.relay_query(&bl_query()).unwrap();
+        }
+        assert_eq!(relay.stats().pool_connections_dialed(), 1);
+        assert_eq!(relay.stats().pool_connections_reused(), 2);
+        assert_eq!(relay.stats().pool_connections_open(), 1);
+        assert_eq!(relay.stats().pool_requests_in_flight(), 0);
+        assert_eq!(relay.stats().pool_orphaned_replies(), 0);
+    }
+
+    #[test]
     fn unsupported_envelope_kind() {
         let f = fixture();
         let odd = RelayEnvelope {
@@ -946,6 +1039,7 @@ mod tests {
             source_relay: "t".into(),
             dest_network: "stl".into(),
             payload: Vec::new(),
+            correlation_id: 0,
         };
         let reply = f.stl_relay.handle(odd);
         assert_eq!(reply.kind, EnvelopeKind::Error);

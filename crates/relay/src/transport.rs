@@ -1,16 +1,27 @@
 //! Relay-to-relay transports.
 //!
-//! Two interchangeable transports carry [`RelayEnvelope`]s between relays:
-//! an in-process bus (deterministic, used by tests and benches) and a real
-//! TCP transport using length-prefixed frames. Endpoint strings select the
-//! transport: `inproc:<relay-id>` or `tcp:<host>:<port>`.
+//! Three interchangeable transports carry [`RelayEnvelope`]s between
+//! relays: an in-process bus (deterministic, used by tests and benches), a
+//! connect-per-request TCP transport using length-prefixed frames, and a
+//! pooled TCP transport that keeps long-lived connections per endpoint and
+//! multiplexes many in-flight requests over each of them, correlating
+//! replies by the envelope's `correlation_id`. Endpoint strings select the
+//! target: `inproc:<relay-id>` or `tcp:<host>:<port>`.
+//!
+//! [`TcpRelayServer`] serves either client style: frames are dispatched
+//! onto a bounded pool of dispatcher threads, so several requests from one
+//! connection complete concurrently and out of order, with each reply
+//! stamped with its request's correlation id. Peers that never set a
+//! correlation id (one request per connection in flight) see exactly the
+//! old serial behaviour.
 
 use crate::error::RelayError;
-use parking_lot::RwLock;
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::io::Write;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use tdt_wire::codec::Message;
@@ -30,7 +41,9 @@ pub trait RelayTransport: Send + Sync {
     /// # Errors
     ///
     /// Returns [`RelayError::TransportFailed`] when the endpoint is
-    /// unreachable or the exchange fails.
+    /// unreachable or the exchange fails, or
+    /// [`RelayError::StaleConnection`] when a pooled connection died with
+    /// the request in flight (retryable: the next attempt dials fresh).
     fn send(&self, endpoint: &str, envelope: &RelayEnvelope) -> Result<RelayEnvelope, RelayError>;
 }
 
@@ -72,20 +85,16 @@ impl RelayTransport for InProcessBus {
                 "in-process bus cannot serve endpoint {endpoint:?}"
             ))
         })?;
-        let handler = self
-            .handlers
-            .read()
-            .get(relay_id)
-            .cloned()
-            .ok_or_else(|| {
-                RelayError::TransportFailed(format!("no relay registered at {endpoint:?}"))
-            })?;
+        let handler = self.handlers.read().get(relay_id).cloned().ok_or_else(|| {
+            RelayError::TransportFailed(format!("no relay registered at {endpoint:?}"))
+        })?;
         Ok(handler.handle(envelope.clone()))
     }
 }
 
 /// TCP transport: connects per request, frames the envelope, reads the
-/// framed reply.
+/// framed reply. Kept as the compatibility baseline; use
+/// [`PooledTcpTransport`] for sustained traffic.
 #[derive(Debug, Clone)]
 pub struct TcpTransport {
     max_frame: usize,
@@ -119,89 +128,557 @@ impl RelayTransport for TcpTransport {
         let addr = endpoint.strip_prefix("tcp:").ok_or_else(|| {
             RelayError::TransportFailed(format!("tcp transport cannot serve endpoint {endpoint:?}"))
         })?;
-        let stream = TcpStream::connect(addr)
+        let mut stream = TcpStream::connect(addr)
             .map_err(|e| RelayError::TransportFailed(format!("connect {addr}: {e}")))?;
-        stream.set_read_timeout(Some(self.timeout)).ok();
-        stream.set_write_timeout(Some(self.timeout)).ok();
-        let mut stream = stream;
+        stream.set_nodelay(true).ok();
+        // A failed timeout set would leave the exchange free to block
+        // forever on a dead peer, so it must surface, not be swallowed.
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .map_err(|e| RelayError::TransportFailed(format!("set read timeout on {addr}: {e}")))?;
+        stream.set_write_timeout(Some(self.timeout)).map_err(|e| {
+            RelayError::TransportFailed(format!("set write timeout on {addr}: {e}"))
+        })?;
         write_frame(&mut stream, &envelope.encode_to_vec(), self.max_frame)
             .map_err(|e| RelayError::TransportFailed(format!("send to {addr}: {e}")))?;
-        stream.flush().ok();
+        stream
+            .flush()
+            .map_err(|e| RelayError::TransportFailed(format!("flush to {addr}: {e}")))?;
         let reply = read_frame(&mut stream, self.max_frame)
             .map_err(|e| RelayError::TransportFailed(format!("receive from {addr}: {e}")))?;
         Ok(RelayEnvelope::decode_from_slice(&reply)?)
     }
 }
 
+// ---------------------------------------------------------------------------
+// Pooled, multiplexed TCP transport
+// ---------------------------------------------------------------------------
+
+/// Health counters for a [`PooledTcpTransport`], shareable with
+/// [`crate::service::RelayStats`] so pool behaviour shows up in relay
+/// monitoring.
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    dialed: AtomicU64,
+    reused: AtomicU64,
+    open: AtomicU64,
+    in_flight: AtomicU64,
+    orphaned: AtomicU64,
+}
+
+impl PoolStats {
+    /// Connections dialed over the pool's lifetime.
+    pub fn connections_dialed(&self) -> u64 {
+        self.dialed.load(Ordering::Relaxed)
+    }
+
+    /// Requests served by an already-open connection.
+    pub fn connections_reused(&self) -> u64 {
+        self.reused.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently open.
+    pub fn connections_open(&self) -> u64 {
+        self.open.load(Ordering::Relaxed)
+    }
+
+    /// Requests currently awaiting a reply, across all connections.
+    pub fn requests_in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Replies that arrived with an unknown correlation id and were
+    /// dropped (fail closed): the waiter timed out first, or the peer is
+    /// confused.
+    pub fn orphaned_replies(&self) -> u64 {
+        self.orphaned.load(Ordering::Relaxed)
+    }
+}
+
+/// Routes multiplexed reply envelopes to the callers awaiting them, by
+/// correlation id.
+///
+/// The router fails closed: a reply whose correlation id matches no
+/// registered waiter is *not* delivered anywhere — [`Self::complete`]
+/// errors and the caller drops the frame. Duplicate registrations are
+/// refused for the same reason.
+#[derive(Default)]
+pub struct CorrelationRouter {
+    pending: Mutex<HashMap<u64, Sender<RelayEnvelope>>>,
+    closed: AtomicBool,
+}
+
+impl std::fmt::Debug for CorrelationRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CorrelationRouter")
+            .field("pending", &self.pending.lock().len())
+            .field("closed", &self.closed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl CorrelationRouter {
+    /// Creates an empty router.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a waiter for `correlation_id`; its reply arrives on the
+    /// returned receiver.
+    ///
+    /// # Errors
+    ///
+    /// * [`RelayError::StaleConnection`] when the router is closed.
+    /// * [`RelayError::TransportFailed`] when the id is already in flight.
+    pub fn register(&self, correlation_id: u64) -> Result<Receiver<RelayEnvelope>, RelayError> {
+        let mut pending = self.pending.lock();
+        if self.closed.load(Ordering::Acquire) {
+            return Err(RelayError::StaleConnection(
+                "connection already closed".into(),
+            ));
+        }
+        if pending.contains_key(&correlation_id) {
+            return Err(RelayError::TransportFailed(format!(
+                "correlation id {correlation_id} already in flight"
+            )));
+        }
+        let (tx, rx) = bounded(1);
+        pending.insert(correlation_id, tx);
+        Ok(rx)
+    }
+
+    /// Withdraws a waiter (after its reply arrived, or it gave up).
+    pub fn deregister(&self, correlation_id: u64) {
+        self.pending.lock().remove(&correlation_id);
+    }
+
+    /// Routes `reply` to the waiter registered under `correlation_id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelayError::TransportFailed`] when no waiter is
+    /// registered under that id; the reply is not delivered to anyone.
+    pub fn complete(&self, correlation_id: u64, reply: RelayEnvelope) -> Result<(), RelayError> {
+        let tx = self.pending.lock().remove(&correlation_id).ok_or_else(|| {
+            RelayError::TransportFailed(format!(
+                "no request awaiting correlation id {correlation_id}"
+            ))
+        })?;
+        // The waiter may have timed out between lookup and send; fine.
+        tx.send(reply).ok();
+        Ok(())
+    }
+
+    /// Closes the router: every waiter observes a disconnect immediately
+    /// and later registrations fail.
+    pub fn fail_all(&self) {
+        let mut pending = self.pending.lock();
+        self.closed.store(true, Ordering::Release);
+        // Dropping the senders wakes every waiting receiver.
+        pending.clear();
+    }
+
+    /// Number of requests currently awaiting replies.
+    pub fn pending_count(&self) -> usize {
+        self.pending.lock().len()
+    }
+}
+
+/// One long-lived connection plus its demultiplexing state.
+struct PooledConn {
+    /// The original stream, kept to force-close the connection.
+    stream: TcpStream,
+    /// Write half used by senders (a `try_clone` of `stream`).
+    writer: Mutex<TcpStream>,
+    router: Arc<CorrelationRouter>,
+    dead: Arc<AtomicBool>,
+    in_flight: AtomicU64,
+    reader: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Drop for PooledConn {
+    fn drop(&mut self) {
+        self.stream.shutdown(Shutdown::Both).ok();
+        if let Some(handle) = self.reader.lock().take() {
+            handle.join().ok();
+        }
+    }
+}
+
+/// TCP transport with persistent connections and frame multiplexing: each
+/// endpoint gets a small set of long-lived streams, every outbound frame
+/// carries a fresh correlation id, and a per-connection reader thread
+/// routes replies to the callers awaiting them — so many requests share
+/// one connection in flight instead of paying a TCP handshake each.
+///
+/// Requires a correlation-aware server ([`TcpRelayServer`]); a peer that
+/// does not echo correlation ids will only produce orphaned replies.
+/// Dead connections surface as [`RelayError::StaleConnection`] (retryable
+/// — see [`crate::retry::RetryPolicy::is_retryable`]) and are replaced by
+/// a fresh dial on the next request.
+pub struct PooledTcpTransport {
+    max_frame: usize,
+    timeout: Duration,
+    max_conns_per_endpoint: usize,
+    next_correlation: AtomicU64,
+    endpoints: RwLock<HashMap<String, Vec<Arc<PooledConn>>>>,
+    stats: Arc<PoolStats>,
+}
+
+impl std::fmt::Debug for PooledTcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PooledTcpTransport")
+            .field("timeout", &self.timeout)
+            .field("max_conns_per_endpoint", &self.max_conns_per_endpoint)
+            .field("endpoints", &self.endpoints.read().len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Default for PooledTcpTransport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PooledTcpTransport {
+    /// Creates a pool with one connection per endpoint, the default frame
+    /// cap, and a 5 s reply timeout.
+    pub fn new() -> Self {
+        PooledTcpTransport {
+            max_frame: DEFAULT_MAX_FRAME,
+            timeout: Duration::from_secs(5),
+            max_conns_per_endpoint: 1,
+            next_correlation: AtomicU64::new(1),
+            endpoints: RwLock::new(HashMap::new()),
+            stats: Arc::new(PoolStats::default()),
+        }
+    }
+
+    /// Overrides the per-request reply timeout (builder style).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Overrides how many connections the pool keeps per endpoint
+    /// (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `conns` is zero.
+    pub fn with_connections_per_endpoint(mut self, conns: usize) -> Self {
+        assert!(conns > 0, "pool needs at least one connection per endpoint");
+        self.max_conns_per_endpoint = conns;
+        self
+    }
+
+    /// The pool's health counters, shareable with
+    /// [`crate::service::RelayService::with_pool_stats`].
+    pub fn stats(&self) -> Arc<PoolStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// In-flight request count per live connection to `endpoint`
+    /// (`tcp:<addr>` form), for monitoring.
+    pub fn in_flight_per_connection(&self, endpoint: &str) -> Vec<u64> {
+        let addr = endpoint.strip_prefix("tcp:").unwrap_or(endpoint);
+        self.endpoints
+            .read()
+            .get(addr)
+            .map(|conns| {
+                conns
+                    .iter()
+                    .filter(|c| !c.dead.load(Ordering::Acquire))
+                    .map(|c| c.in_flight.load(Ordering::Relaxed))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Returns a live connection for `addr`, reusing the least-loaded
+    /// open one or dialing when below the per-endpoint cap.
+    fn checkout(&self, addr: &str) -> Result<Arc<PooledConn>, RelayError> {
+        let least_loaded = |conns: &[Arc<PooledConn>]| {
+            conns
+                .iter()
+                .filter(|c| !c.dead.load(Ordering::Acquire))
+                .min_by_key(|c| c.in_flight.load(Ordering::Relaxed))
+                .cloned()
+        };
+        {
+            let endpoints = self.endpoints.read();
+            if let Some(conns) = endpoints.get(addr) {
+                let live = conns
+                    .iter()
+                    .filter(|c| !c.dead.load(Ordering::Acquire))
+                    .count();
+                if live >= self.max_conns_per_endpoint {
+                    if let Some(conn) = least_loaded(conns) {
+                        self.stats.reused.fetch_add(1, Ordering::Relaxed);
+                        return Ok(conn);
+                    }
+                }
+            }
+        }
+        let mut endpoints = self.endpoints.write();
+        let conns = endpoints.entry(addr.to_string()).or_default();
+        // Prune connections whose reader died; their waiters were already
+        // failed over to StaleConnection.
+        conns.retain(|c| !c.dead.load(Ordering::Acquire));
+        if conns.len() >= self.max_conns_per_endpoint {
+            let conn = least_loaded(conns).expect("non-empty live connection list");
+            self.stats.reused.fetch_add(1, Ordering::Relaxed);
+            return Ok(conn);
+        }
+        let conn = self.dial(addr)?;
+        conns.push(Arc::clone(&conn));
+        Ok(conn)
+    }
+
+    /// Dials `addr` and starts the connection's reply-demultiplexing
+    /// reader thread.
+    fn dial(&self, addr: &str) -> Result<Arc<PooledConn>, RelayError> {
+        let fail = |what: &str, e: std::io::Error| {
+            RelayError::TransportFailed(format!("{what} {addr}: {e}"))
+        };
+        let stream = TcpStream::connect(addr).map_err(|e| fail("connect", e))?;
+        stream.set_nodelay(true).ok();
+        stream
+            .set_write_timeout(Some(self.timeout))
+            .map_err(|e| fail("set write timeout on", e))?;
+        let writer = stream.try_clone().map_err(|e| fail("clone stream to", e))?;
+        let mut reader_stream = stream.try_clone().map_err(|e| fail("clone stream to", e))?;
+        let router = Arc::new(CorrelationRouter::new());
+        let dead = Arc::new(AtomicBool::new(false));
+        self.stats.dialed.fetch_add(1, Ordering::Relaxed);
+        self.stats.open.fetch_add(1, Ordering::Relaxed);
+        let reader = {
+            let router = Arc::clone(&router);
+            let dead = Arc::clone(&dead);
+            let stats = Arc::clone(&self.stats);
+            let max_frame = self.max_frame;
+            std::thread::Builder::new()
+                .name(format!("pooled-tcp-reader-{addr}"))
+                .spawn(move || {
+                    while let Ok(frame) = read_frame(&mut reader_stream, max_frame) {
+                        match RelayEnvelope::decode_from_slice(&frame) {
+                            Ok(reply) => {
+                                if router.complete(reply.correlation_id, reply).is_err() {
+                                    // Unknown correlation id: fail closed.
+                                    // Never guess a recipient.
+                                    stats.orphaned.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            // Undecodable envelope inside a well-formed
+                            // frame: the peer is confused, kill the stream.
+                            Err(_) => break,
+                        }
+                    }
+                    dead.store(true, Ordering::Release);
+                    stats.open.fetch_sub(1, Ordering::Relaxed);
+                    router.fail_all();
+                })
+                .expect("spawn pooled tcp reader")
+        };
+        Ok(Arc::new(PooledConn {
+            stream,
+            writer: Mutex::new(writer),
+            router,
+            dead,
+            in_flight: AtomicU64::new(0),
+            reader: Mutex::new(Some(reader)),
+        }))
+    }
+
+    fn exchange(
+        &self,
+        conn: &PooledConn,
+        addr: &str,
+        envelope: &RelayEnvelope,
+        correlation_id: u64,
+        reply_rx: &Receiver<RelayEnvelope>,
+    ) -> Result<RelayEnvelope, RelayError> {
+        let tagged = envelope.clone().with_correlation_id(correlation_id);
+        {
+            let mut writer = conn.writer.lock();
+            if let Err(e) = write_frame(&mut *writer, &tagged.encode_to_vec(), self.max_frame) {
+                // Close the stream so the reader exits, marks the
+                // connection dead, and wakes the other waiters too.
+                conn.stream.shutdown(Shutdown::Both).ok();
+                return Err(RelayError::StaleConnection(format!("write to {addr}: {e}")));
+            }
+        }
+        match reply_rx.recv_timeout(self.timeout) {
+            Ok(reply) => Ok(reply),
+            Err(RecvTimeoutError::Timeout) => Err(RelayError::TransportFailed(format!(
+                "no reply from {addr} within {:?}",
+                self.timeout
+            ))),
+            Err(RecvTimeoutError::Disconnected) => Err(RelayError::StaleConnection(format!(
+                "connection to {addr} closed while awaiting reply"
+            ))),
+        }
+    }
+}
+
+impl RelayTransport for PooledTcpTransport {
+    fn send(&self, endpoint: &str, envelope: &RelayEnvelope) -> Result<RelayEnvelope, RelayError> {
+        let addr = endpoint.strip_prefix("tcp:").ok_or_else(|| {
+            RelayError::TransportFailed(format!(
+                "pooled tcp transport cannot serve endpoint {endpoint:?}"
+            ))
+        })?;
+        let conn = self.checkout(addr)?;
+        let correlation_id = self.next_correlation.fetch_add(1, Ordering::Relaxed);
+        let reply_rx = conn.router.register(correlation_id)?;
+        conn.in_flight.fetch_add(1, Ordering::Relaxed);
+        self.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        let result = self.exchange(&conn, addr, envelope, correlation_id, &reply_rx);
+        conn.router.deregister(correlation_id);
+        conn.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+        result
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP server
+// ---------------------------------------------------------------------------
+
+/// Tuning knobs for [`TcpRelayServer`].
+#[derive(Debug, Clone)]
+pub struct TcpServerConfig {
+    /// Maximum simultaneously connected clients; connections beyond this
+    /// are accepted and immediately closed (counted as refused).
+    pub max_connections: usize,
+    /// Dispatcher threads feeding decoded frames to the handler, which
+    /// bounds how many requests are processed concurrently across all
+    /// connections.
+    pub dispatchers: usize,
+    /// Maximum accepted frame size.
+    pub max_frame: usize,
+}
+
+impl Default for TcpServerConfig {
+    fn default() -> Self {
+        TcpServerConfig {
+            max_connections: 256,
+            dispatchers: std::thread::available_parallelism()
+                .map_or(4, |n| n.get())
+                .max(4),
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// A live server-side connection: the stream (kept to force-close it) and
+/// its reader thread.
+struct ServerConn {
+    stream: TcpStream,
+    reader: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Bounded registry of live connections, so shutdown can close and join
+/// every handler instead of leaking detached threads.
+#[derive(Default)]
+struct ConnectionRegistry {
+    conns: Mutex<HashMap<u64, ServerConn>>,
+    next_id: AtomicU64,
+    refused: AtomicU64,
+}
+
+/// One decoded request frame on its way to the handler.
+struct ServerJob {
+    envelope: RelayEnvelope,
+    correlation_id: u64,
+    writer: Arc<Mutex<TcpStream>>,
+    max_frame: usize,
+}
+
 /// A TCP server front-end for a relay: accepts framed envelopes and feeds
-/// them to an [`EnvelopeHandler`].
-#[derive(Debug)]
+/// them to an [`EnvelopeHandler`] through a bounded dispatcher pool, so
+/// requests multiplexed on one connection are answered concurrently and
+/// out of order. Live connections are tracked in a bounded registry that
+/// [`TcpRelayServer::shutdown`] closes and joins.
 pub struct TcpRelayServer {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    thread: Option<std::thread::JoinHandle<()>>,
+    registry: Arc<ConnectionRegistry>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    dispatchers: Vec<std::thread::JoinHandle<()>>,
+    job_tx: Option<Sender<ServerJob>>,
+}
+
+impl std::fmt::Debug for TcpRelayServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpRelayServer")
+            .field("local_addr", &self.local_addr)
+            .field("connections", &self.connection_count())
+            .field("dispatchers", &self.dispatchers.len())
+            .finish()
+    }
 }
 
 impl TcpRelayServer {
     /// Binds `bind_addr` (use port 0 for an ephemeral port) and starts
-    /// serving `handler` on a background thread.
+    /// serving `handler` with the default [`TcpServerConfig`].
     ///
     /// # Errors
     ///
     /// Returns [`RelayError::TransportFailed`] when binding fails.
     pub fn spawn(bind_addr: &str, handler: Arc<dyn EnvelopeHandler>) -> Result<Self, RelayError> {
+        Self::spawn_with(bind_addr, handler, TcpServerConfig::default())
+    }
+
+    /// Like [`TcpRelayServer::spawn`] with explicit tuning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelayError::TransportFailed`] when binding fails.
+    pub fn spawn_with(
+        bind_addr: &str,
+        handler: Arc<dyn EnvelopeHandler>,
+        config: TcpServerConfig,
+    ) -> Result<Self, RelayError> {
         let listener = TcpListener::bind(bind_addr)
             .map_err(|e| RelayError::TransportFailed(format!("bind {bind_addr}: {e}")))?;
         let local_addr = listener
             .local_addr()
             .map_err(|e| RelayError::TransportFailed(e.to_string()))?;
-        listener.set_nonblocking(true).ok();
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| RelayError::TransportFailed(format!("set nonblocking: {e}")))?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let shutdown_flag = Arc::clone(&shutdown);
-        let thread = std::thread::spawn(move || {
-            while !shutdown_flag.load(Ordering::Relaxed) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        stream.set_nonblocking(false).ok();
-                        let handler = Arc::clone(&handler);
-                        std::thread::spawn(move || {
-                            let mut stream = stream;
-                            stream
-                                .set_read_timeout(Some(Duration::from_secs(10)))
-                                .ok();
-                            // Serve framed requests until the peer closes.
-                            while let Ok(frame) = read_frame(&mut stream, DEFAULT_MAX_FRAME) {
-                                let reply = match RelayEnvelope::decode_from_slice(&frame) {
-                                    Ok(envelope) => handler.handle(envelope),
-                                    Err(e) => RelayEnvelope::error(
-                                        "tcp-server",
-                                        "",
-                                        format!("malformed envelope: {e}"),
-                                    ),
-                                };
-                                if write_frame(
-                                    &mut stream,
-                                    &reply.encode_to_vec(),
-                                    DEFAULT_MAX_FRAME,
-                                )
-                                .is_err()
-                                {
-                                    break;
-                                }
-                            }
-                        });
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
-                    Err(_) => break,
-                }
-            }
-        });
+        let registry = Arc::new(ConnectionRegistry::default());
+        let (job_tx, job_rx) = unbounded::<ServerJob>();
+        let dispatchers = (0..config.dispatchers.max(1))
+            .map(|i| {
+                let rx = job_rx.clone();
+                let handler = Arc::clone(&handler);
+                std::thread::Builder::new()
+                    .name(format!("tcp-relay-dispatch-{i}"))
+                    .spawn(move || dispatcher_loop(&rx, handler.as_ref()))
+                    .expect("spawn tcp relay dispatcher")
+            })
+            .collect();
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let registry = Arc::clone(&registry);
+            let job_tx = job_tx.clone();
+            std::thread::Builder::new()
+                .name("tcp-relay-accept".into())
+                .spawn(move || accept_loop(&listener, &shutdown, &registry, &job_tx, &config))
+                .expect("spawn tcp relay accept loop")
+        };
         Ok(TcpRelayServer {
             local_addr,
             shutdown,
-            thread: Some(thread),
+            registry,
+            accept_thread: Some(accept_thread),
+            dispatchers,
+            job_tx: Some(job_tx),
         })
     }
 
@@ -215,17 +692,169 @@ impl TcpRelayServer {
         format!("tcp:{}", self.local_addr)
     }
 
-    /// Signals the accept loop to stop (without blocking).
+    /// Live connections currently registered.
+    pub fn connection_count(&self) -> usize {
+        self.registry.conns.lock().len()
+    }
+
+    /// Connections refused because the registry was full.
+    pub fn refused_connections(&self) -> u64 {
+        self.registry.refused.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, closes every live connection, and joins their
+    /// reader threads. Dispatcher threads are joined on drop.
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::Relaxed);
+        let drained: Vec<ServerConn> = {
+            let mut conns = self.registry.conns.lock();
+            conns.drain().map(|(_, conn)| conn).collect()
+        };
+        for conn in &drained {
+            conn.stream.shutdown(Shutdown::Both).ok();
+        }
+        for mut conn in drained {
+            if let Some(handle) = conn.reader.take() {
+                handle.join().ok();
+            }
+        }
     }
 }
 
 impl Drop for TcpRelayServer {
     fn drop(&mut self) {
-        self.shutdown();
-        if let Some(thread) = self.thread.take() {
+        self.shutdown.store(true, Ordering::Relaxed);
+        // Join the accept loop first so no connection can register after
+        // the final drain below.
+        if let Some(thread) = self.accept_thread.take() {
             thread.join().ok();
+        }
+        self.shutdown();
+        // Closing the job channel stops the dispatchers once the queue
+        // drains (writes to closed connections fail fast).
+        self.job_tx.take();
+        for dispatcher in self.dispatchers.drain(..) {
+            dispatcher.join().ok();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shutdown: &AtomicBool,
+    registry: &Arc<ConnectionRegistry>,
+    job_tx: &Sender<ServerJob>,
+    config: &TcpServerConfig,
+) {
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if registry.conns.lock().len() >= config.max_connections {
+                    registry.refused.fetch_add(1, Ordering::Relaxed);
+                    drop(stream);
+                    continue;
+                }
+                serve_connection(stream, registry, job_tx, config).ok();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Registers `stream` and starts its frame-reader thread.
+fn serve_connection(
+    stream: TcpStream,
+    registry: &Arc<ConnectionRegistry>,
+    job_tx: &Sender<ServerJob>,
+    config: &TcpServerConfig,
+) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_nodelay(true).ok();
+    // Writes to a dead peer must not wedge a dispatcher forever.
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    let mut reader_stream = stream.try_clone()?;
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    let conn_id = registry.next_id.fetch_add(1, Ordering::Relaxed);
+    registry.conns.lock().insert(
+        conn_id,
+        ServerConn {
+            stream,
+            reader: None,
+        },
+    );
+    let reader = {
+        let registry = Arc::clone(registry);
+        let job_tx = job_tx.clone();
+        let max_frame = config.max_frame;
+        std::thread::Builder::new()
+            .name(format!("tcp-relay-conn-{conn_id}"))
+            .spawn(move || {
+                connection_loop(&mut reader_stream, &writer, &job_tx, max_frame);
+                // Deregister unless a shutdown drain already took the
+                // entry (in which case shutdown() joins this thread).
+                registry.conns.lock().remove(&conn_id);
+            })
+            .expect("spawn tcp relay connection reader")
+    };
+    if let Some(entry) = registry.conns.lock().get_mut(&conn_id) {
+        entry.reader = Some(reader);
+    }
+    Ok(())
+}
+
+/// Reads frames off one connection and hands them to the dispatcher pool
+/// until the peer closes, the stream errors, or the server shuts down.
+fn connection_loop(
+    stream: &mut TcpStream,
+    writer: &Arc<Mutex<TcpStream>>,
+    job_tx: &Sender<ServerJob>,
+    max_frame: usize,
+) {
+    while let Ok(frame) = read_frame(&mut *stream, max_frame) {
+        match RelayEnvelope::decode_from_slice(&frame) {
+            Ok(envelope) => {
+                let correlation_id = envelope.correlation_id;
+                let job = ServerJob {
+                    envelope,
+                    correlation_id,
+                    writer: Arc::clone(writer),
+                    max_frame,
+                };
+                if job_tx.send(job).is_err() {
+                    break; // server shutting down
+                }
+            }
+            Err(e) => {
+                // Framing is still aligned: answer the bad envelope and
+                // keep serving the connection.
+                let reply =
+                    RelayEnvelope::error("tcp-server", "", format!("malformed envelope: {e}"));
+                let mut w = writer.lock();
+                if write_frame(&mut *w, &reply.encode_to_vec(), max_frame).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    stream.shutdown(Shutdown::Both).ok();
+}
+
+/// Dispatcher thread body: run the handler and write the reply — stamped
+/// with the request's correlation id — back to the originating
+/// connection. Replies from slow requests simply land after faster ones.
+fn dispatcher_loop(jobs: &Receiver<ServerJob>, handler: &dyn EnvelopeHandler) {
+    while let Ok(job) = jobs.recv() {
+        let reply = handler
+            .handle(job.envelope)
+            .with_correlation_id(job.correlation_id);
+        let mut writer = job.writer.lock();
+        if write_frame(&mut *writer, &reply.encode_to_vec(), job.max_frame).is_err() {
+            // Dead peer: close so the connection reader exits and
+            // deregisters.
+            writer.shutdown(Shutdown::Both).ok();
         }
     }
 }
@@ -233,6 +862,8 @@ impl Drop for TcpRelayServer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::retry::RetryPolicy;
+    use std::time::Instant;
     use tdt_wire::messages::EnvelopeKind;
 
     /// Echoes the payload back as a response envelope.
@@ -245,7 +876,19 @@ mod tests {
                 source_relay: "echo".into(),
                 dest_network: envelope.dest_network,
                 payload: envelope.payload,
+                correlation_id: 0,
             }
+        }
+    }
+
+    /// Echoes after sleeping for `payload[0]` × 10 ms.
+    struct SleepyEchoHandler;
+
+    impl EnvelopeHandler for SleepyEchoHandler {
+        fn handle(&self, envelope: RelayEnvelope) -> RelayEnvelope {
+            let ticks = envelope.payload.first().copied().unwrap_or(0) as u64;
+            std::thread::sleep(Duration::from_millis(ticks * 10));
+            EchoHandler.handle(envelope)
         }
     }
 
@@ -255,6 +898,7 @@ mod tests {
             source_relay: "test".into(),
             dest_network: "target".into(),
             payload: payload.to_vec(),
+            correlation_id: 0,
         }
     }
 
@@ -303,12 +947,26 @@ mod tests {
     }
 
     #[test]
+    fn tcp_old_style_client_gets_uncorrelated_reply() {
+        // A legacy client never sets a correlation id; the new server
+        // must echo zero back so old decoders see the pre-field framing.
+        let server = TcpRelayServer::spawn("127.0.0.1:0", Arc::new(EchoHandler)).unwrap();
+        let reply = TcpTransport::new()
+            .send(&server.endpoint(), &request(b"legacy"))
+            .unwrap();
+        assert_eq!(reply.correlation_id, 0);
+        assert_eq!(reply.payload, b"legacy");
+    }
+
+    #[test]
     fn tcp_multiple_sequential_requests() {
         let server = TcpRelayServer::spawn("127.0.0.1:0", Arc::new(EchoHandler)).unwrap();
         let transport = TcpTransport::new();
         for i in 0..5 {
             let payload = format!("msg-{i}").into_bytes();
-            let reply = transport.send(&server.endpoint(), &request(&payload)).unwrap();
+            let reply = transport
+                .send(&server.endpoint(), &request(&payload))
+                .unwrap();
             assert_eq!(reply.payload, payload);
         }
     }
@@ -346,5 +1004,237 @@ mod tests {
     fn tcp_bad_scheme() {
         let transport = TcpTransport::new();
         assert!(transport.send("inproc:x", &request(b"x")).is_err());
+    }
+
+    #[test]
+    fn tcp_timeout_set_failure_surfaces_as_error() {
+        // A zero timeout is rejected by the OS; before the fix the
+        // failure was swallowed with `.ok()` and the exchange proceeded
+        // with no timeout at all.
+        let server = TcpRelayServer::spawn("127.0.0.1:0", Arc::new(EchoHandler)).unwrap();
+        let transport = TcpTransport::new().with_timeout(Duration::ZERO);
+        let err = transport
+            .send(&server.endpoint(), &request(b"x"))
+            .unwrap_err();
+        assert!(
+            matches!(&err, RelayError::TransportFailed(m) if m.contains("timeout")),
+            "expected timeout-set error, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn server_shutdown_closes_connections_and_joins() {
+        use std::io::Read;
+        let server = TcpRelayServer::spawn("127.0.0.1:0", Arc::new(EchoHandler)).unwrap();
+        let mut client = TcpStream::connect(server.local_addr()).unwrap();
+        // Wait for the accept loop to register the connection.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.connection_count() == 0 {
+            assert!(Instant::now() < deadline, "connection never registered");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        server.shutdown();
+        assert_eq!(server.connection_count(), 0);
+        // The handler closed our socket: the read observes EOF promptly
+        // instead of hanging on a leaked thread's open stream.
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut buf = [0u8; 16];
+        assert!(matches!(client.read(&mut buf), Ok(0) | Err(_)));
+    }
+
+    #[test]
+    fn server_bounds_connection_registry() {
+        use std::io::Read;
+        let server = TcpRelayServer::spawn_with(
+            "127.0.0.1:0",
+            Arc::new(EchoHandler),
+            TcpServerConfig {
+                max_connections: 2,
+                ..TcpServerConfig::default()
+            },
+        )
+        .unwrap();
+        let _c1 = TcpStream::connect(server.local_addr()).unwrap();
+        let _c2 = TcpStream::connect(server.local_addr()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.connection_count() < 2 {
+            assert!(Instant::now() < deadline, "connections never registered");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let mut c3 = TcpStream::connect(server.local_addr()).unwrap();
+        while server.refused_connections() == 0 {
+            assert!(Instant::now() < deadline, "third connection never refused");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(server.connection_count(), 2);
+        // The refused socket was closed immediately.
+        c3.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut buf = [0u8; 16];
+        assert!(matches!(c3.read(&mut buf), Ok(0) | Err(_)));
+    }
+
+    #[test]
+    fn pooled_roundtrip_reuses_connection() {
+        let server = TcpRelayServer::spawn("127.0.0.1:0", Arc::new(EchoHandler)).unwrap();
+        let transport = PooledTcpTransport::new();
+        for i in 0..6 {
+            let payload = format!("pooled-{i}").into_bytes();
+            let reply = transport
+                .send(&server.endpoint(), &request(&payload))
+                .unwrap();
+            assert_eq!(reply.payload, payload);
+            assert_eq!(reply.kind, EnvelopeKind::QueryResponse);
+        }
+        let stats = transport.stats();
+        assert_eq!(stats.connections_dialed(), 1);
+        assert_eq!(stats.connections_reused(), 5);
+        assert_eq!(stats.connections_open(), 1);
+        assert_eq!(stats.requests_in_flight(), 0);
+        assert_eq!(
+            transport.in_flight_per_connection(&server.endpoint()),
+            vec![0]
+        );
+    }
+
+    #[test]
+    fn pooled_multiplexes_one_connection_across_threads() {
+        let server = TcpRelayServer::spawn("127.0.0.1:0", Arc::new(SleepyEchoHandler)).unwrap();
+        let transport = Arc::new(PooledTcpTransport::new());
+        let endpoint = server.endpoint();
+        std::thread::scope(|scope| {
+            for t in 0u8..8 {
+                let transport = Arc::clone(&transport);
+                let endpoint = endpoint.clone();
+                scope.spawn(move || {
+                    for i in 0u8..3 {
+                        // First byte doubles as the handler's sleep ticks,
+                        // so replies complete out of order.
+                        let payload = [t % 3, t, i];
+                        let reply = transport.send(&endpoint, &request(&payload)).unwrap();
+                        assert_eq!(reply.payload, payload);
+                    }
+                });
+            }
+        });
+        let stats = transport.stats();
+        assert_eq!(
+            stats.connections_dialed(),
+            1,
+            "all threads share one stream"
+        );
+        assert_eq!(stats.requests_in_flight(), 0);
+        assert_eq!(stats.orphaned_replies(), 0);
+    }
+
+    #[test]
+    fn pooled_replies_complete_out_of_order_on_one_connection() {
+        let server = TcpRelayServer::spawn("127.0.0.1:0", Arc::new(SleepyEchoHandler)).unwrap();
+        let transport = Arc::new(PooledTcpTransport::new());
+        let endpoint = server.endpoint();
+        let (slow_done_tx, slow_done_rx) = bounded::<Instant>(1);
+        std::thread::scope(|scope| {
+            {
+                let transport = Arc::clone(&transport);
+                let endpoint = endpoint.clone();
+                scope.spawn(move || {
+                    // 20 ticks → 200 ms in the handler.
+                    let reply = transport.send(&endpoint, &request(&[20, 1])).unwrap();
+                    assert_eq!(reply.payload, [20, 1]);
+                    slow_done_tx.send(Instant::now()).unwrap();
+                });
+            }
+            // Give the slow request a head start on the shared stream.
+            std::thread::sleep(Duration::from_millis(50));
+            let reply = transport.send(&endpoint, &request(&[0, 2])).unwrap();
+            assert_eq!(reply.payload, [0, 2]);
+            let fast_done = Instant::now();
+            let slow_done = slow_done_rx.recv().unwrap();
+            assert!(
+                fast_done < slow_done,
+                "fast reply should overtake the slow one on the shared connection"
+            );
+        });
+        assert_eq!(transport.stats().connections_dialed(), 1);
+    }
+
+    #[test]
+    fn pooled_dead_connection_is_stale_and_redialed() {
+        let server = TcpRelayServer::spawn("127.0.0.1:0", Arc::new(EchoHandler)).unwrap();
+        let endpoint = server.endpoint();
+        let transport = PooledTcpTransport::new().with_timeout(Duration::from_millis(500));
+        assert!(transport.send(&endpoint, &request(b"warm")).is_ok());
+        drop(server); // closes the pooled connection server-side
+                      // The next send either notices the dead stream while awaiting the
+                      // reply (StaleConnection) or fails to redial the closed port
+                      // (TransportFailed) — both classified transient for retry.
+        let err = transport.send(&endpoint, &request(b"after")).unwrap_err();
+        assert!(
+            RetryPolicy::is_retryable(&err),
+            "dead pooled connection must be retryable, got {err:?}"
+        );
+        // A fresh endpoint heals the pool: new server, new dial.
+        let server2 = TcpRelayServer::spawn("127.0.0.1:0", Arc::new(EchoHandler)).unwrap();
+        let reply = transport
+            .send(&server2.endpoint(), &request(b"healed"))
+            .unwrap();
+        assert_eq!(reply.payload, b"healed");
+        assert!(transport.stats().connections_dialed() >= 2);
+    }
+
+    #[test]
+    fn pooled_bad_scheme() {
+        let transport = PooledTcpTransport::new();
+        assert!(transport.send("inproc:x", &request(b"x")).is_err());
+    }
+
+    #[test]
+    fn router_routes_by_correlation_id() {
+        let router = CorrelationRouter::new();
+        let rx7 = router.register(7).unwrap();
+        let rx9 = router.register(9).unwrap();
+        assert_eq!(router.pending_count(), 2);
+        router
+            .complete(9, request(b"nine").with_correlation_id(9))
+            .unwrap();
+        router
+            .complete(7, request(b"seven").with_correlation_id(7))
+            .unwrap();
+        assert_eq!(rx7.recv().unwrap().payload, b"seven");
+        assert_eq!(rx9.recv().unwrap().payload, b"nine");
+        assert_eq!(router.pending_count(), 0);
+    }
+
+    #[test]
+    fn router_unknown_correlation_id_fails_closed() {
+        let router = CorrelationRouter::new();
+        let rx = router.register(1).unwrap();
+        let err = router.complete(2, request(b"stray")).unwrap_err();
+        assert!(matches!(err, RelayError::TransportFailed(_)));
+        // The registered waiter is untouched by the stray reply.
+        assert_eq!(router.pending_count(), 1);
+        router.complete(1, request(b"mine")).unwrap();
+        assert_eq!(rx.recv().unwrap().payload, b"mine");
+    }
+
+    #[test]
+    fn router_duplicate_registration_refused() {
+        let router = CorrelationRouter::new();
+        let _rx = router.register(5).unwrap();
+        assert!(router.register(5).is_err());
+        assert_eq!(router.pending_count(), 1);
+    }
+
+    #[test]
+    fn router_fail_all_wakes_waiters_and_closes() {
+        let router = CorrelationRouter::new();
+        let rx = router.register(3).unwrap();
+        router.fail_all();
+        assert!(rx.recv().is_err(), "waiter must observe the disconnect");
+        assert!(matches!(
+            router.register(4),
+            Err(RelayError::StaleConnection(_))
+        ));
     }
 }

@@ -461,7 +461,12 @@ mod tests {
 
     #[test]
     fn wire_type_codes_roundtrip() {
-        for ty in [WireType::Varint, WireType::I64, WireType::Len, WireType::I32] {
+        for ty in [
+            WireType::Varint,
+            WireType::I64,
+            WireType::Len,
+            WireType::I32,
+        ] {
             assert_eq!(WireType::from_code(ty.code() as u8).unwrap(), ty);
         }
         assert!(WireType::from_code(3).is_err()); // deprecated group type

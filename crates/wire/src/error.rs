@@ -113,10 +113,7 @@ mod tests {
                 value: 99,
             },
             WireError::Invalid("oops".into()),
-            WireError::FrameTooLarge {
-                size: 100,
-                max: 10,
-            },
+            WireError::FrameTooLarge { size: 100, max: 10 },
             WireError::Io("broken pipe".into()),
         ];
         for e in errs {

@@ -11,6 +11,13 @@ use std::io::{Read, Write};
 /// Default maximum frame size: 16 MiB.
 pub const DEFAULT_MAX_FRAME: usize = 16 * 1024 * 1024;
 
+/// Upper bound on what [`read_frame`] allocates before any payload bytes
+/// have actually arrived. The length prefix is attacker-controlled: a
+/// 4-byte header claiming a 16 MiB payload must not cost the receiver a
+/// 16 MiB allocation up front. Buffers grow past this only as fast as
+/// real bytes are read.
+pub const MAX_EAGER_FRAME_ALLOC: usize = 64 * 1024;
+
 /// Writes one length-prefixed frame to `w`.
 ///
 /// A mutable reference to any `Write` can be passed as `w`.
@@ -51,8 +58,20 @@ pub fn read_frame<R: Read>(mut r: R, max_frame: usize) -> Result<Vec<u8>, WireEr
             max: max_frame,
         });
     }
-    let mut payload = vec![0u8; len];
-    read_exact_or_eof(&mut r, &mut payload)?;
+    // Read incrementally: allocate at most MAX_EAGER_FRAME_ALLOC ahead of
+    // the bytes that have really arrived, so the declared length alone
+    // cannot exhaust memory.
+    let mut payload = Vec::with_capacity(len.min(MAX_EAGER_FRAME_ALLOC));
+    let mut chunk = vec![0u8; len.min(MAX_EAGER_FRAME_ALLOC)];
+    while payload.len() < len {
+        let want = (len - payload.len()).min(chunk.len());
+        match r.read(&mut chunk[..want]) {
+            Ok(0) => return Err(WireError::UnexpectedEof),
+            Ok(n) => payload.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
     Ok(payload)
 }
 
@@ -84,7 +103,10 @@ mod tests {
         write_frame(&mut buf, b"", DEFAULT_MAX_FRAME).unwrap();
         write_frame(&mut buf, b"third frame", DEFAULT_MAX_FRAME).unwrap();
         let mut cursor = Cursor::new(&buf);
-        assert_eq!(read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap(), b"first");
+        assert_eq!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap(),
+            b"first"
+        );
         assert_eq!(read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap(), b"");
         assert_eq!(
             read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap(),
@@ -128,6 +150,72 @@ mod tests {
             read_frame(Cursor::new(&buf), DEFAULT_MAX_FRAME).unwrap_err(),
             WireError::UnexpectedEof
         );
+    }
+
+    /// Records the largest read buffer the frame reader asks for.
+    struct BufSizeProbe<R> {
+        inner: R,
+        max_requested: usize,
+    }
+
+    impl<R: Read> Read for BufSizeProbe<R> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.max_requested = self.max_requested.max(buf.len());
+            self.inner.read(buf)
+        }
+    }
+
+    #[test]
+    fn huge_declared_length_with_tiny_body_is_eof_not_alloc() {
+        // A 4-byte header claiming the full 16 MiB followed by nothing:
+        // must fail with EOF, and must never have asked the underlying
+        // reader to fill more than the eager-allocation cap at once.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(DEFAULT_MAX_FRAME as u32).to_be_bytes());
+        buf.extend_from_slice(&[0u8; 3]);
+        let mut probe = BufSizeProbe {
+            inner: Cursor::new(&buf),
+            max_requested: 0,
+        };
+        assert_eq!(
+            read_frame(&mut probe, DEFAULT_MAX_FRAME).unwrap_err(),
+            WireError::UnexpectedEof
+        );
+        assert!(
+            probe.max_requested <= MAX_EAGER_FRAME_ALLOC,
+            "reader asked for {} bytes at once",
+            probe.max_requested
+        );
+    }
+
+    #[test]
+    fn frame_larger_than_eager_cap_roundtrips() {
+        let payload: Vec<u8> = (0..3 * MAX_EAGER_FRAME_ALLOC).map(|i| i as u8).collect();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload, DEFAULT_MAX_FRAME).unwrap();
+        let frame = read_frame(Cursor::new(&buf), DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(frame, payload);
+    }
+
+    /// Dribbles bytes out one at a time, as a slow or adversarial peer
+    /// would.
+    struct OneByteReader<R>(R);
+
+    impl<R: Read> Read for OneByteReader<R> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if buf.is_empty() {
+                return Ok(0);
+            }
+            self.0.read(&mut buf[..1])
+        }
+    }
+
+    #[test]
+    fn short_reads_reassemble_frame() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"dribbled payload", DEFAULT_MAX_FRAME).unwrap();
+        let frame = read_frame(OneByteReader(Cursor::new(&buf)), DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(frame, b"dribbled payload");
     }
 
     #[test]

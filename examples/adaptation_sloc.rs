@@ -17,10 +17,7 @@ fn count_marked(path: &Path, region: Option<&str>) -> std::io::Result<usize> {
     let (from, to) = match region {
         None => (0, lines.len()),
         Some(anchor) => {
-            let start = lines
-                .iter()
-                .position(|l| l.contains(anchor))
-                .unwrap_or(0);
+            let start = lines.iter().position(|l| l.contains(anchor)).unwrap_or(0);
             // The region ends at the next top-level match arm (`"..." =>`).
             let end = lines[start + 1..]
                 .iter()

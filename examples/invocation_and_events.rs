@@ -51,10 +51,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "RecordFinancingStatus",
     )?;
     let client = InteropClient::new(t.swt_seller_gateway(), Arc::clone(&t.swt_relay));
-    let address =
-        NetworkAddress::new("stl", "trade-channel", "TradeLensCC", "RecordFinancingStatus")
-            .with_arg(b"PO-1001".to_vec())
-            .with_arg(b"lc-issued".to_vec());
+    let address = NetworkAddress::new(
+        "stl",
+        "trade-channel",
+        "TradeLensCC",
+        "RecordFinancingStatus",
+    )
+    .with_arg(b"PO-1001".to_vec())
+    .with_arg(b"lc-issued".to_vec());
     let policy =
         VerificationPolicy::all_of_orgs(["seller-org", "carrier-org"]).with_confidentiality();
     println!("invoking RecordFinancingStatus on STL from SWT...");

@@ -28,7 +28,10 @@ fn main() {
         ),
     ];
     println!("Fig. 1 — Layered Interaction Model for Blockchain Applications\n");
-    println!("{:<11} | {:<66} | implemented by", "layer", "responsibility");
+    println!(
+        "{:<11} | {:<66} | implemented by",
+        "layer", "responsibility"
+    );
     println!("{}", "-".repeat(140));
     for (layer, responsibility, component) in layers {
         println!("{layer:<11} | {responsibility:<66} | {component}");

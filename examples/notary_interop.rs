@@ -38,19 +38,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Arc::clone(&testbed.bus) as Arc<dyn RelayTransport>,
     ));
     relay.register_driver(Arc::new(CordaLikeDriver::new(Arc::clone(&notary_net))));
-    testbed
-        .bus
-        .register("corda-relay", Arc::clone(&relay) as Arc<dyn EnvelopeHandler>);
+    testbed.bus.register(
+        "corda-relay",
+        Arc::clone(&relay) as Arc<dyn EnvelopeHandler>,
+    );
     testbed.registry.register("corda-net", "inproc:corda-relay");
 
     // Record the notary network's config + a notary verification policy on
     // SWT — the exact admin path used for Fabric networks.
     let admin = testbed.swt_seller_gateway();
-    let policy = VerificationPolicy::all_of_orgs(["notary-org-a", "notary-org-b"])
-        .with_confidentiality();
+    let policy =
+        VerificationPolicy::all_of_orgs(["notary-org-a", "notary-org-b"]).with_confidentiality();
     tdt::interop::config::record_foreign_config(&admin, &notary_net.network_config())?;
     tdt::interop::config::set_verification_policy(
-        &admin, "corda-net", "VaultCC", "GetFact", &policy,
+        &admin,
+        "corda-net",
+        "VaultCC",
+        "GetFact",
+        &policy,
     )?;
 
     // Query the notary network through the unchanged client + relay.

@@ -58,10 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Cross-network query: the SWT Seller Client fetches the B/L with a
     //    proof satisfying "one peer from each STL organization",
     //    end-to-end encrypted so the relays never see the document.
-    let client = InteropClient::new(
-        testbed.swt_seller_gateway(),
-        Arc::clone(&testbed.swt_relay),
-    );
+    let client = InteropClient::new(testbed.swt_seller_gateway(), Arc::clone(&testbed.swt_relay));
     let address = NetworkAddress::new("stl", "trade-channel", "TradeLensCC", "GetBillOfLading")
         .with_arg(b"PO-1001".to_vec());
     let policy =

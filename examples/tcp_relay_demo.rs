@@ -11,7 +11,9 @@ use tdt::interop::setup::{issue_sample_bl, stl_swt_testbed};
 use tdt::interop::InteropClient;
 use tdt::relay::discovery::{DiscoveryService, FileRegistry};
 use tdt::relay::service::RelayService;
-use tdt::relay::transport::{EnvelopeHandler, RelayTransport, TcpRelayServer, TcpTransport};
+use tdt::relay::transport::{
+    EnvelopeHandler, PooledTcpTransport, RelayTransport, TcpRelayServer, TcpTransport,
+};
 use tdt::wire::codec::Message;
 use tdt::wire::messages::{NetworkAddress, VerificationPolicy};
 
@@ -21,7 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     issue_sample_bl(&testbed, "PO-1001");
 
     // Source-side relay served over TCP.
-    let registry_path = std::env::temp_dir().join(format!("tdt-registry-{}.txt", std::process::id()));
+    let registry_path =
+        std::env::temp_dir().join(format!("tdt-registry-{}.txt", std::process::id()));
     let stl_relay = Arc::new(RelayService::new(
         "stl-relay-tcp",
         "stl",
@@ -45,18 +48,64 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Arc::new(TcpTransport::new()) as Arc<dyn RelayTransport>,
     ));
 
+    // A second destination relay rides the pooled, multiplexed transport:
+    // one warm connection instead of a TCP handshake per query, with the
+    // pool's health surfaced through the relay's stats.
+    let pooled_transport = Arc::new(PooledTcpTransport::new());
+    let swt_relay_pooled = Arc::new(
+        RelayService::new(
+            "swt-relay-tcp-pooled",
+            "swt",
+            Arc::new(FileRegistry::new(&registry_path)) as Arc<dyn DiscoveryService>,
+            Arc::clone(&pooled_transport) as Arc<dyn RelayTransport>,
+        )
+        .with_pool_stats(pooled_transport.stats()),
+    );
+
     // The cross-network query now travels over a real socket.
     let client = InteropClient::new(testbed.swt_seller_gateway(), swt_relay);
     let address = NetworkAddress::new("stl", "trade-channel", "TradeLensCC", "GetBillOfLading")
         .with_arg(b"PO-1001".to_vec());
     let policy =
         VerificationPolicy::all_of_orgs(["seller-org", "carrier-org"]).with_confidentiality();
-    let remote = client.query_remote(address, policy)?;
+    let remote = client.query_remote(address.clone(), policy.clone())?;
     let bl = BillOfLading::decode_from_slice(&remote.data)?;
     println!(
         "\nfetched B/L {} over TCP with {} attestations",
         bl.bl_id,
         remote.proof.attestations.len()
+    );
+
+    // Same queries through both transports, timed: connect-per-request
+    // redials every time, the pool multiplexes one warm stream.
+    const ROUNDS: usize = 10;
+    let start = std::time::Instant::now();
+    for _ in 0..ROUNDS {
+        client.query_remote(address.clone(), policy.clone())?;
+    }
+    let per_request = start.elapsed();
+    let pooled_client =
+        InteropClient::new(testbed.swt_seller_gateway(), Arc::clone(&swt_relay_pooled));
+    let start = std::time::Instant::now();
+    for _ in 0..ROUNDS {
+        pooled_client.query_remote(address.clone(), policy.clone())?;
+    }
+    let pooled_elapsed = start.elapsed();
+    println!("\n{ROUNDS} queries, connect-per-request: {per_request:?}");
+    println!("{ROUNDS} queries, pooled/multiplexed:  {pooled_elapsed:?}");
+    let stats = swt_relay_pooled.stats();
+    println!(
+        "pool stats: {} dialed, {} reused, {} open, {} in flight, {} orphaned",
+        stats.pool_connections_dialed(),
+        stats.pool_connections_reused(),
+        stats.pool_connections_open(),
+        stats.pool_requests_in_flight(),
+        stats.pool_orphaned_replies(),
+    );
+    println!(
+        "server: {} live connection(s), {} refused",
+        server.connection_count(),
+        server.refused_connections()
     );
     std::fs::remove_file(&registry_path).ok();
     server.shutdown();

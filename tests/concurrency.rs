@@ -35,8 +35,7 @@ impl Chaincode for Counter {
             }
             "get" => {
                 let key = String::from_utf8_lossy(&args[0]).into_owned();
-                ctx.get_state(&key)
-                    .ok_or(ChaincodeError::NotFound(key))
+                ctx.get_state(&key).ok_or(ChaincodeError::NotFound(key))
             }
             f => Err(ChaincodeError::UnknownFunction(f.into())),
         }
@@ -47,7 +46,11 @@ impl Chaincode for Counter {
 fn parallel_submissions_commit_without_corruption() {
     let net = NetworkBuilder::new("concnet")
         .org("org-a", 2)
-        .chaincode("ctr", Arc::new(Counter), EndorsementPolicy::any_of(["org-a"]))
+        .chaincode(
+            "ctr",
+            Arc::new(Counter),
+            EndorsementPolicy::any_of(["org-a"]),
+        )
         .build();
     let mut handles = Vec::new();
     for thread in 0..4 {
@@ -97,7 +100,11 @@ fn contended_key_serializes_via_mvcc() {
     // serial increment (some submissions may invalidate, none may corrupt).
     let net = NetworkBuilder::new("hotkey")
         .org("org-a", 1)
-        .chaincode("ctr", Arc::new(Counter), EndorsementPolicy::any_of(["org-a"]))
+        .chaincode(
+            "ctr",
+            Arc::new(Counter),
+            EndorsementPolicy::any_of(["org-a"]),
+        )
         .build();
     let mut handles = Vec::new();
     for thread in 0..4 {
@@ -150,13 +157,8 @@ fn parallel_cross_network_queries() {
             // rule is per-organization, so all seller-bank clients pass.
             let remote = client
                 .query_remote(
-                    NetworkAddress::new(
-                        "stl",
-                        "trade-channel",
-                        "TradeLensCC",
-                        "GetBillOfLading",
-                    )
-                    .with_arg(po.as_bytes().to_vec()),
+                    NetworkAddress::new("stl", "trade-channel", "TradeLensCC", "GetBillOfLading")
+                        .with_arg(po.as_bytes().to_vec()),
                     VerificationPolicy::all_of_orgs(["seller-org", "carrier-org"])
                         .with_confidentiality(),
                 )
@@ -173,6 +175,78 @@ fn parallel_cross_network_queries() {
             .unwrap();
         assert_eq!(bl.po_ref, po);
     }
+}
+
+/// Stress the pooled, multiplexed TCP transport: many client threads share
+/// ONE `PooledTcpTransport` (capped at a single connection) against a
+/// server whose handler sleeps a payload-controlled jitter, so replies
+/// interleave out of order on the shared stream. Every reply must carry
+/// its own request's payload back, and the pool counters must balance.
+#[test]
+fn multiplexed_tcp_transport_stress() {
+    use tdt::relay::transport::{
+        EnvelopeHandler, PooledTcpTransport, RelayTransport, TcpRelayServer,
+    };
+    use tdt::wire::messages::{EnvelopeKind, RelayEnvelope};
+    const THREADS: u8 = 8;
+    const REQUESTS: u8 = 6;
+
+    struct JitteredEcho;
+    impl EnvelopeHandler for JitteredEcho {
+        fn handle(&self, envelope: RelayEnvelope) -> RelayEnvelope {
+            // First payload byte selects a 0-3 tick sleep so completion
+            // order scrambles relative to arrival order.
+            let jitter = envelope.payload.first().copied().unwrap_or(0) % 4;
+            std::thread::sleep(std::time::Duration::from_millis(jitter as u64 * 5));
+            RelayEnvelope {
+                kind: EnvelopeKind::QueryResponse,
+                source_relay: "jittered-echo".into(),
+                dest_network: envelope.dest_network,
+                payload: envelope.payload,
+                correlation_id: 0,
+            }
+        }
+    }
+
+    let server = TcpRelayServer::spawn("127.0.0.1:0", Arc::new(JitteredEcho)).unwrap();
+    let endpoint = server.endpoint();
+    let transport = Arc::new(PooledTcpTransport::new());
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let transport = Arc::clone(&transport);
+            let endpoint = endpoint.clone();
+            scope.spawn(move || {
+                for i in 0..REQUESTS {
+                    let payload = vec![t.wrapping_mul(7).wrapping_add(i), t, i];
+                    let request = RelayEnvelope {
+                        kind: EnvelopeKind::QueryRequest,
+                        source_relay: format!("client-{t}"),
+                        dest_network: "target".into(),
+                        payload: payload.clone(),
+                        correlation_id: 0,
+                    };
+                    let reply = transport.send(&endpoint, &request).unwrap();
+                    assert_eq!(reply.payload, payload, "reply crossed wires");
+                    assert_eq!(reply.kind, EnvelopeKind::QueryResponse);
+                }
+            });
+        }
+    });
+    let stats = transport.stats();
+    assert_eq!(
+        stats.connections_dialed(),
+        1,
+        "all threads must share the single pooled connection"
+    );
+    assert_eq!(
+        stats.connections_reused(),
+        (THREADS as u64 * REQUESTS as u64) - 1
+    );
+    assert_eq!(stats.requests_in_flight(), 0, "pool must drain");
+    assert_eq!(stats.orphaned_replies(), 0, "no reply may go unclaimed");
+    assert_eq!(server.connection_count(), 1);
+    server.shutdown();
+    assert_eq!(server.connection_count(), 0);
 }
 
 /// Stress the pooled relay: N client threads, M `query_remote` calls each,

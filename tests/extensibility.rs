@@ -31,11 +31,15 @@ fn fixture() -> NotaryFixture {
         Arc::clone(&testbed.bus) as Arc<dyn RelayTransport>,
     ));
     relay.register_driver(Arc::new(CordaLikeDriver::new(Arc::clone(&notary_net))));
-    testbed
-        .bus
-        .register("corda-relay", Arc::clone(&relay) as Arc<dyn EnvelopeHandler>);
+    testbed.bus.register(
+        "corda-relay",
+        Arc::clone(&relay) as Arc<dyn EnvelopeHandler>,
+    );
     testbed.registry.register("corda-net", "inproc:corda-relay");
-    NotaryFixture { testbed, notary_net }
+    NotaryFixture {
+        testbed,
+        notary_net,
+    }
 }
 
 fn fact_address() -> NetworkAddress {
@@ -101,10 +105,14 @@ fn cmdac_accepts_notary_configuration_schema() {
     let f = fixture();
     let admin = f.testbed.swt_seller_gateway();
     tdt::interop::config::record_foreign_config(&admin, &f.notary_net.network_config()).unwrap();
-    let policy = VerificationPolicy::all_of_orgs(["notary-org-a", "notary-org-b"])
-        .with_confidentiality();
+    let policy =
+        VerificationPolicy::all_of_orgs(["notary-org-a", "notary-org-b"]).with_confidentiality();
     tdt::interop::config::set_verification_policy(
-        &admin, "corda-net", "VaultCC", "GetFact", &policy,
+        &admin,
+        "corda-net",
+        "VaultCC",
+        "GetFact",
+        &policy,
     )
     .unwrap();
     let client = InteropClient::new(

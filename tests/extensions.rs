@@ -15,9 +15,14 @@ fn policy() -> VerificationPolicy {
 }
 
 fn financing_address(po: &str, status: &str) -> NetworkAddress {
-    NetworkAddress::new("stl", "trade-channel", "TradeLensCC", "RecordFinancingStatus")
-        .with_arg(po.as_bytes().to_vec())
-        .with_arg(status.as_bytes().to_vec())
+    NetworkAddress::new(
+        "stl",
+        "trade-channel",
+        "TradeLensCC",
+        "RecordFinancingStatus",
+    )
+    .with_arg(po.as_bytes().to_vec())
+    .with_arg(status.as_bytes().to_vec())
 }
 
 fn allow_invocation(t: &Testbed) {
@@ -133,9 +138,7 @@ fn event_subscription_across_networks() {
     let auth = AuthInfo {
         network_id: "swt".into(),
         organization_id: "seller-bank-org".into(),
-        certificate: tdt::wire::messages::encode_certificate(
-            t.swt_seller_client.certificate(),
-        ),
+        certificate: tdt::wire::messages::encode_certificate(t.swt_seller_client.certificate()),
         signature: Vec::new(),
     };
     let rx = t.swt_relay.subscribe_remote_events("stl", auth).unwrap();

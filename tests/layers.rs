@@ -28,6 +28,7 @@ fn technical_layer_transports() {
         source_relay: "a".into(),
         dest_network: "b".into(),
         payload: vec![1, 2, 3],
+        correlation_id: 0,
     };
     let reply = bus.send("inproc:x", &env).unwrap();
     assert_eq!(reply.payload, vec![1, 2, 3]);
@@ -80,18 +81,14 @@ fn governance_layer_protected_from_relays() {
     // Attempt to add a rule through the relay-query path.
     use tdt::interop::InteropClient;
     let client = InteropClient::new(t.swt_seller_gateway(), Arc::clone(&t.swt_relay));
-    let address = tdt::wire::messages::NetworkAddress::new(
-        "stl",
-        "trade-channel",
-        "ECC",
-        "AddAccessRule",
-    )
-    .with_arg(b"swt".to_vec())
-    .with_arg(b"seller-bank-org".to_vec())
-    .with_arg(b"TradeLensCC".to_vec())
-    .with_arg(b"GetShipment".to_vec());
-    let policy = tdt::wire::messages::VerificationPolicy::all_of_orgs(["seller-org"])
-        .with_confidentiality();
+    let address =
+        tdt::wire::messages::NetworkAddress::new("stl", "trade-channel", "ECC", "AddAccessRule")
+            .with_arg(b"swt".to_vec())
+            .with_arg(b"seller-bank-org".to_vec())
+            .with_arg(b"TradeLensCC".to_vec())
+            .with_arg(b"GetShipment".to_vec());
+    let policy =
+        tdt::wire::messages::VerificationPolicy::all_of_orgs(["seller-org"]).with_confidentiality();
     let err = client.query_remote(address, policy).unwrap_err();
     assert!(matches!(err, tdt::interop::InteropError::AccessDenied(_)));
     // The rule was NOT added.

@@ -48,17 +48,19 @@ fn arb_query() -> impl Strategy<Value = Query> {
         prop::collection::vec(any::<u8>(), 0..24),
         any::<bool>(),
     )
-        .prop_map(|(request_id, address, expression, confidential, nonce, invocation)| Query {
-            request_id,
-            address,
-            policy: VerificationPolicy {
-                expression,
-                confidential,
+        .prop_map(
+            |(request_id, address, expression, confidential, nonce, invocation)| Query {
+                request_id,
+                address,
+                policy: VerificationPolicy {
+                    expression,
+                    confidential,
+                },
+                auth: Default::default(),
+                nonce,
+                invocation,
             },
-            auth: Default::default(),
-            nonce,
-            invocation,
-        })
+        )
 }
 
 proptest! {
@@ -185,7 +187,11 @@ fn make_valid_proof_multi(peers: usize) -> (Proof, tdt::fabric::msp::Msp) {
     let result = b"the genuine result".to_vec();
     let attestations = (0..peers)
         .map(|i| {
-            let peer = msp.enroll(&format!("peer{i}"), tdt::crypto::cert::CertRole::Peer, false);
+            let peer = msp.enroll(
+                &format!("peer{i}"),
+                tdt::crypto::cert::CertRole::Peer,
+                false,
+            );
             let metadata = ResultMetadata {
                 request_id: "req".into(),
                 address: "src-net:l:CC:Get".into(),
@@ -356,6 +362,92 @@ proptest! {
                     prop_assert_eq!(mutated, proof);
                 }
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Correlation routing: multiplexed replies must reach exactly the caller
+// that sent the matching request, in any arrival order, and strays must
+// never be delivered at all.
+// ---------------------------------------------------------------------------
+
+fn reply_for(correlation_id: u64) -> tdt::wire::messages::RelayEnvelope {
+    tdt::wire::messages::RelayEnvelope {
+        kind: tdt::wire::messages::EnvelopeKind::QueryResponse,
+        source_relay: "remote".into(),
+        dest_network: "here".into(),
+        payload: correlation_id.to_be_bytes().to_vec(),
+        correlation_id,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_shuffled_correlated_replies_route_to_right_callers(
+        ids in prop::collection::vec(1u64..100_000, 1..24),
+        perm_seed in any::<u64>(),
+    ) {
+        use tdt::relay::transport::CorrelationRouter;
+        let router = CorrelationRouter::new();
+        let ids: Vec<u64> = ids
+            .into_iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let receivers: Vec<_> = ids
+            .iter()
+            .map(|&id| (id, router.register(id).unwrap()))
+            .collect();
+        // Deliver the replies in a shuffled order, as out-of-order
+        // completion on a multiplexed connection would.
+        let mut arrival = ids.clone();
+        let mut state = perm_seed;
+        for i in (1..arrival.len()).rev() {
+            let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+            arrival.swap(i, j);
+        }
+        for &id in &arrival {
+            router.complete(id, reply_for(id)).unwrap();
+        }
+        for (id, rx) in receivers {
+            let reply = rx.try_recv().expect("registered caller must get a reply");
+            prop_assert_eq!(reply.correlation_id, id);
+            prop_assert_eq!(reply.payload, id.to_be_bytes().to_vec());
+        }
+        prop_assert_eq!(router.pending_count(), 0);
+    }
+
+    #[test]
+    fn prop_unknown_correlation_id_fails_closed(
+        ids in prop::collection::vec(1u64..1000, 1..12),
+        stray_offset in 0u64..1000,
+    ) {
+        use tdt::relay::transport::CorrelationRouter;
+        let router = CorrelationRouter::new();
+        let ids: Vec<u64> = ids
+            .into_iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let receivers: Vec<_> = ids
+            .iter()
+            .map(|&id| (id, router.register(id).unwrap()))
+            .collect();
+        // A reply for an id nobody registered: must error and must not
+        // reach any waiting caller.
+        let stray = 1000 + stray_offset;
+        prop_assert!(router.complete(stray, reply_for(stray)).is_err());
+        prop_assert_eq!(router.pending_count(), ids.len());
+        for (_, rx) in &receivers {
+            prop_assert!(rx.try_recv().is_err(), "stray reply leaked to a caller");
+        }
+        // The legitimate waiters are unaffected.
+        for (id, rx) in receivers {
+            router.complete(id, reply_for(id)).unwrap();
+            prop_assert_eq!(rx.try_recv().unwrap().correlation_id, id);
         }
     }
 }

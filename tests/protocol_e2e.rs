@@ -59,7 +59,10 @@ fn proof_metadata_binds_query_and_result() {
     for att in &remote.proof.attestations {
         let metadata = ResultMetadata::decode_from_slice(&att.metadata).unwrap();
         assert_eq!(metadata.request_id, remote.proof.request_id);
-        assert_eq!(metadata.address, "stl:trade-channel:TradeLensCC:GetBillOfLading");
+        assert_eq!(
+            metadata.address,
+            "stl:trade-channel:TradeLensCC:GetBillOfLading"
+        );
         assert_eq!(metadata.nonce, remote.proof.nonce);
         assert_eq!(metadata.result_hash, result_hash.to_vec());
         assert!(metadata.ledger_height > 0);

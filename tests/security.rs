@@ -93,10 +93,7 @@ impl RelayTransport for TamperingTransport {
     }
 }
 
-fn client_with_transport(
-    t: &Testbed,
-    transport: Arc<dyn RelayTransport>,
-) -> InteropClient {
+fn client_with_transport(t: &Testbed, transport: Arc<dyn RelayTransport>) -> InteropClient {
     let relay = Arc::new(RelayService::new(
         "swt-relay-custom",
         "swt",
@@ -305,13 +302,17 @@ fn availability_rate_limiter_sheds_floods_but_recovers() {
             source_relay: "attacker".into(),
             dest_network: "stl".into(),
             payload: Vec::new(),
+            correlation_id: 0,
         };
         let reply = t.bus.send("inproc:stl-relay-limited", &ping).unwrap();
         if reply.kind == tdt::wire::messages::EnvelopeKind::Error {
             shed += 1;
         }
     }
-    assert!(shed > 30, "flood should have been mostly shed (shed {shed})");
+    assert!(
+        shed > 30,
+        "flood should have been mostly shed (shed {shed})"
+    );
     // After the bucket refills, legitimate queries resume.
     std::thread::sleep(std::time::Duration::from_millis(80));
     assert!(client.query_remote(bl_address(), policy()).is_ok());

@@ -1,5 +1,6 @@
 //! E3 — Fig. 3: the supply-chain / trade-finance interoperation use case.
 
+use std::sync::Arc;
 use tdt::apps::scenario::{acronym_table, run_trade_scenario, ACRONYMS};
 use tdt::apps::stl_app::{CarrierApp, SellerApp};
 use tdt::apps::swt_app::{BuyerApp, SellerClientApp};
@@ -7,7 +8,6 @@ use tdt::contracts::stl::ShipmentStatus;
 use tdt::contracts::swt::LcStatus;
 use tdt::interop::setup::stl_swt_testbed;
 use tdt::interop::InteropError;
-use std::sync::Arc;
 
 #[test]
 fn full_scenario_reaches_payment() {

@@ -165,7 +165,9 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     per_iter.sort_unstable();
     let median = per_iter[per_iter.len() / 2];
 
-    let rate = throughput.map(|t| format_rate(t, median)).unwrap_or_default();
+    let rate = throughput
+        .map(|t| format_rate(t, median))
+        .unwrap_or_default();
     println!(
         "{label:<52} {:>12}/iter{rate}  [{} samples x {iters} iters]",
         format_time(median),
@@ -308,7 +310,11 @@ mod tests {
         let mut group = criterion.benchmark_group("unit");
         group.sample_size(1);
         group.bench_with_input(BenchmarkId::new("batched", 3), &3u64, |b, &n| {
-            b.iter_batched(|| vec![0u8; n as usize], |v| v.len(), BatchSize::PerIteration)
+            b.iter_batched(
+                || vec![0u8; n as usize],
+                |v| v.len(),
+                BatchSize::PerIteration,
+            )
         });
         group.finish();
     }

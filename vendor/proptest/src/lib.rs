@@ -505,7 +505,9 @@ pub mod prelude {
     pub use crate::prop;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Defines `#[test]` functions that run a property over many random
@@ -592,7 +594,10 @@ macro_rules! prop_assert_ne {
         let (left, right) = (&$left, &$right);
         $crate::prop_assert!(
             *left != *right,
-            "assertion failed: {:?} != {:?}", left, right);
+            "assertion failed: {:?} != {:?}",
+            left,
+            right
+        );
     }};
 }
 
@@ -601,8 +606,9 @@ macro_rules! prop_assert_ne {
 macro_rules! prop_assume {
     ($cond:expr) => {
         if !$cond {
-            return ::std::result::Result::Err(
-                $crate::test_runner::TestCaseError::reject(stringify!($cond)));
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
         }
     };
 }
@@ -698,9 +704,11 @@ mod tests {
                 Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
             }
         }
-        let strat = "[a-c]{1,2}".prop_map(Tree::Leaf).prop_recursive(3, 16, 4, |inner| {
-            prop::collection::vec(inner, 1..4).prop_map(Tree::Node)
-        });
+        let strat = "[a-c]{1,2}"
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                prop::collection::vec(inner, 1..4).prop_map(Tree::Node)
+            });
         let mut rng = TestRng::new("tree");
         let mut seen_node = false;
         for _ in 0..100 {
