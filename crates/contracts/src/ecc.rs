@@ -73,16 +73,16 @@ impl EncryptedResult {
     ///
     /// Returns [`ChaincodeError::BadRequest`] on truncated input.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, ChaincodeError> {
-        if bytes.len() < 32 {
+        let Some(hash_bytes) = bytes.get(..32) else {
             return Err(ChaincodeError::BadRequest(
                 "encrypted result truncated".into(),
             ));
-        }
+        };
         let mut plaintext_hash = [0u8; 32];
-        plaintext_hash.copy_from_slice(&bytes[..32]);
+        plaintext_hash.copy_from_slice(hash_bytes);
         Ok(EncryptedResult {
             plaintext_hash,
-            ciphertext: bytes[32..].to_vec(),
+            ciphertext: bytes.get(32..).unwrap_or_default().to_vec(),
         })
     }
 }
@@ -202,19 +202,19 @@ impl Chaincode for Ecc {
                         "expected [network, org, common_name, chaincode, function]".into(),
                     ));
                 };
-                let fields: Vec<String> = [network, org, common_name, chaincode, func]
+                let [network, org, common_name, chaincode, func] =
+                    [network, org, common_name, chaincode, func]
+                        .map(|a| String::from_utf8_lossy(a).into_owned());
+                if [&network, &org, &common_name, &chaincode, &func]
                     .iter()
-                    .map(|a| String::from_utf8_lossy(a).into_owned())
-                    .collect();
-                if fields.iter().any(String::is_empty) {
+                    .any(|f| f.is_empty())
+                {
                     return Err(ChaincodeError::BadRequest(
                         "rule fields must be non-empty".into(),
                     ));
                 }
                 ctx.put_state(
-                    &Self::entity_rule_key(
-                        &fields[0], &fields[1], &fields[2], &fields[3], &fields[4],
-                    ),
+                    &Self::entity_rule_key(&network, &org, &common_name, &chaincode, &func),
                     b"allow".to_vec(),
                 );
                 Ok(Vec::new())
@@ -230,12 +230,15 @@ impl Chaincode for Ecc {
                         "expected [network, org, common_name, chaincode, function]".into(),
                     ));
                 };
-                let fields: Vec<String> = [network, org, common_name, chaincode, func]
-                    .iter()
-                    .map(|a| String::from_utf8_lossy(a).into_owned())
-                    .collect();
+                let [network, org, common_name, chaincode, func] =
+                    [network, org, common_name, chaincode, func]
+                        .map(|a| String::from_utf8_lossy(a).into_owned());
                 ctx.delete_state(&Self::entity_rule_key(
-                    &fields[0], &fields[1], &fields[2], &fields[3], &fields[4],
+                    &network,
+                    &org,
+                    &common_name,
+                    &chaincode,
+                    &func,
                 ));
                 Ok(Vec::new())
             }

@@ -422,7 +422,13 @@ impl Chaincode for StlChaincode {
                     // interop-adaptation
                     let cert = ctx
                         .transient("requester-cert") // interop-adaptation
-                        .expect("checked above")
+                        .ok_or_else(|| {
+                            // interop-adaptation
+                            ChaincodeError::BadRequest(
+                                // interop-adaptation
+                                "relay query lacks requester certificate".into(),
+                            ) // interop-adaptation
+                        })? // interop-adaptation
                         .to_vec(); // interop-adaptation
                     return ctx.invoke_chaincode(
                         // interop-adaptation

@@ -83,13 +83,15 @@ pub fn generate_block_proof(
             block.transactions.clone(),
         )
     };
-    let tx_index = transactions
+    let (tx_index, tx_bytes) = transactions
         .iter()
-        .position(|tx| {
+        .enumerate()
+        .find(|(_, tx)| {
             tdt_fabric::endorse::TransactionEnvelope::decode_from_slice(tx)
                 .map(|e| e.txid == txid)
                 .unwrap_or(false)
         })
+        .map(|(i, tx)| (i, tx.clone()))
         .ok_or_else(|| {
             InteropError::NotFound(format!("transaction {txid:?} not in block {block_number}"))
         })?;
@@ -113,7 +115,7 @@ pub fn generate_block_proof(
         prev_hash,
         data_hash,
         header_sigs,
-        tx_bytes: transactions[tx_index].clone(),
+        tx_bytes,
         merkle_steps: merkle_steps_to_wire(&merkle),
     })
 }

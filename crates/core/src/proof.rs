@@ -150,14 +150,27 @@ fn verify_attestations(
             })
             .collect();
         for handle in handles {
-            for (i, result) in handle.join().expect("attestation verifier panicked") {
-                results[i] = Some(result);
+            // A panicking verifier thread must not take the client down
+            // with it: leave its slots unfilled and fail them closed below.
+            if let Ok(items) = handle.join() {
+                for (i, result) in items {
+                    if let Some(slot) = results.get_mut(i) {
+                        *slot = Some(result);
+                    }
+                }
             }
         }
     });
     results
         .into_iter()
-        .map(|slot| slot.expect("every attestation index verified"))
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.unwrap_or_else(|| {
+                Err(InteropError::InvalidResponse(format!(
+                    "attestation {i} verification did not complete"
+                )))
+            })
+        })
         .collect()
 }
 

@@ -152,4 +152,32 @@ mod tests {
         assert!(!ct_eq(b"abc", b"abcd"));
         assert!(ct_eq(b"", b""));
     }
+
+    #[test]
+    fn ct_eq_rejects_every_single_bit_flip() {
+        let tag = hmac_sha256(b"key", b"message");
+        assert!(ct_eq(&tag, &tag));
+        for byte in 0..tag.len() {
+            for bit in 0..8 {
+                let mut flipped = tag;
+                flipped[byte] ^= 1 << bit;
+                assert!(
+                    !ct_eq(&tag, &flipped),
+                    "flip of byte {byte} bit {bit} compared equal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ct_eq_rejects_unequal_lengths() {
+        let tag = hmac_sha256(b"key", b"message");
+        assert!(!ct_eq(&tag, &tag[..31]));
+        assert!(!ct_eq(&tag[..31], &tag));
+        assert!(!ct_eq(&tag, b""));
+        // A shared prefix must not make truncated tags acceptable.
+        let mut extended = tag.to_vec();
+        extended.push(0);
+        assert!(!ct_eq(&tag, &extended));
+    }
 }

@@ -235,7 +235,9 @@ impl VerifyingKey {
             &self.group.element_to_bytes(&self.y),
             message,
         ]);
-        if e_prime == e {
+        // Compare big-endian encodings with ct_eq so rejection timing does
+        // not leak how many bytes of the recomputed challenge match.
+        if crate::hmac::ct_eq(&e_prime.to_bytes_be(), &e.to_bytes_be()) {
             Ok(())
         } else {
             Err(CryptoError::InvalidSignature)

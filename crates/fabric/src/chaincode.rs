@@ -261,6 +261,7 @@ impl<'a> TxContext<'a> {
     }
 
     fn namespace(&self) -> &str {
+        // lint:allow(panic: "stack invariant: constructed non-empty and only pushed/popped in balanced pairs by invoke_chaincode")
         self.namespace_stack.last().expect("stack never empty")
     }
 

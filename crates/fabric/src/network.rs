@@ -157,6 +157,7 @@ impl NetworkBuilder {
                 Arc::clone(&policies),
             );
             peer.validate_and_commit(genesis.clone())
+                // lint:allow(panic: "network construction at startup; a locally built genesis block always links")
                 .expect("genesis commit cannot fail");
             peers.insert(peer.qualified_name(), Arc::new(RwLock::new(peer)));
         }

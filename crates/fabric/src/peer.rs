@@ -283,7 +283,7 @@ impl Peer {
             }
         }
         block.metadata.tx_validation = codes.clone();
-        self.store.append(block).expect("chain link verified above");
+        self.store.append(block)?;
         for (i, txid) in committed {
             self.store.index_tx(txid, block_number, i);
         }

@@ -1,0 +1,352 @@
+//! Constant-time pass: in `crates/crypto`, flag `==`/`!=` on values that
+//! name digest/MAC/signature material, and early returns branching on
+//! secret-derived booleans.
+//!
+//! A variable-time comparison on a MAC tag or signature challenge leaks,
+//! byte by byte, how much of a forgery is correct (paper §4's trust model
+//! assumes relays are *untrusted*, so remote attackers get a timing
+//! oracle). The blessed helper is `ct_eq` in `crypto::hmac`; its own body
+//! is exempt, as are length comparisons (lengths are public).
+
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, strip_test_items, Lexed, Tok, Token};
+use crate::workspace::SourceFile;
+
+const PASS: &str = "ct";
+
+/// Identifier fragments that mark a value as secret/verification material.
+const SECRET_FRAGMENTS: &[&str] = &[
+    "mac",
+    "tag",
+    "digest",
+    "sig",
+    "hmac",
+    "secret",
+    "challenge",
+    "e_prime",
+];
+
+/// Functions allowed to compare secret material non-constant-time: the
+/// blessed helper itself.
+const BLESSED_FNS: &[&str] = &["ct_eq"];
+
+pub fn check_file(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let lexed = lex(&file.text);
+    let tokens = strip_test_items(&lexed.tokens);
+    for f in functions(&tokens) {
+        if BLESSED_FNS.contains(&f.name.as_str()) {
+            continue;
+        }
+        check_function(
+            &tokens[f.body_start..f.body_end],
+            &lexed,
+            &file.rel_path,
+            out,
+        );
+    }
+}
+
+struct FnSpan {
+    name: String,
+    body_start: usize,
+    body_end: usize,
+}
+
+/// Finds every `fn name ... { body }` span (including methods).
+fn functions(tokens: &[Token]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].tok.is_ident("fn") {
+            let Some(name) = tokens.get(i + 1).and_then(|t| t.tok.ident()) else {
+                i += 1;
+                continue;
+            };
+            let name = name.to_owned();
+            // Find the body `{`, skipping the signature (`;` = no body).
+            let mut j = i + 2;
+            let mut body = None;
+            while j < tokens.len() {
+                match &tokens[j].tok {
+                    Tok::Punct(";") => break,
+                    Tok::Punct("{") => {
+                        body = Some(j);
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            if let Some(start) = body {
+                let mut depth = 0;
+                let mut k = start;
+                while k < tokens.len() {
+                    match &tokens[k].tok {
+                        Tok::Punct("{") => depth += 1,
+                        Tok::Punct("}") => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                out.push(FnSpan {
+                    name,
+                    body_start: start,
+                    body_end: (k + 1).min(tokens.len()),
+                });
+                i = start + 1; // nested fns re-found by the scan; fine
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn check_function(body: &[Token], lexed: &Lexed, path: &str, out: &mut Vec<Diagnostic>) {
+    // Track local bools derived from secret comparisons so that
+    // `let ok = tag == expected; if ok { ... }` is caught at the branch.
+    let mut secret_bools: Vec<String> = Vec::new();
+
+    for (i, t) in body.iter().enumerate() {
+        match &t.tok {
+            Tok::Punct(op @ ("==" | "!=")) => {
+                let lhs = operand_left(body, i);
+                let rhs = operand_right(body, i);
+                if !is_secret_operand(&lhs) && !is_secret_operand(&rhs) {
+                    continue;
+                }
+                if is_len_call(&lhs) && is_len_call(&rhs) {
+                    continue; // lengths are public
+                }
+                if lexed.allowed(PASS, t.line).is_some() {
+                    continue;
+                }
+                // Remember a derived bool: `let name = <secret> == ...;`
+                if let Some(name) = binding_target(body, i) {
+                    secret_bools.push(name);
+                }
+                out.push(Diagnostic::new(
+                    PASS,
+                    path,
+                    t.line,
+                    format!(
+                        "variable-time `{op}` on secret material (`{}` {op} `{}`); \
+                         use `crypto::hmac::ct_eq` on canonical encodings",
+                        lhs.join(""),
+                        rhs.join("")
+                    ),
+                ));
+            }
+            Tok::Ident(kw) if kw == "if" || kw == "return" => {
+                // `if secret_ok { return ... }` / `return secret_ok;`
+                let mut j = i + 1;
+                if body.get(j).is_some_and(|t| t.tok.is_punct("!")) {
+                    j += 1;
+                }
+                let Some(name) = body.get(j).and_then(|t| t.tok.ident()) else {
+                    continue;
+                };
+                let terminated = body
+                    .get(j + 1)
+                    .is_some_and(|t| t.tok.is_punct("{") || t.tok.is_punct(";"));
+                if terminated
+                    && secret_bools.iter().any(|b| b == name)
+                    && lexed.allowed(PASS, t.line).is_none()
+                {
+                    out.push(Diagnostic::new(
+                        PASS,
+                        path,
+                        t.line,
+                        format!(
+                            "early branch on secret-derived bool `{name}`; \
+                             fold the comparison into `ct_eq` and branch once on its result"
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Walks left from the operator at `i`, collecting the operand expression
+/// (identifiers, field paths, balanced call/index groups).
+fn operand_left(body: &[Token], i: usize) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut j = i;
+    let mut depth = 0;
+    while j > 0 {
+        j -= 1;
+        match &body[j].tok {
+            Tok::Punct(")") | Tok::Punct("]") => depth += 1,
+            Tok::Punct("(") | Tok::Punct("[") => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            Tok::Punct(".") | Tok::Punct("::") | Tok::Punct("&") | Tok::Punct("*") => {}
+            Tok::Ident(kw) if depth == 0 && is_stmt_keyword(kw) => break,
+            Tok::Ident(_) | Tok::Num(_) => {}
+            _ => {
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+        parts.push(render(&body[j].tok));
+    }
+    parts.reverse();
+    parts
+}
+
+fn is_stmt_keyword(kw: &str) -> bool {
+    matches!(
+        kw,
+        "if" | "let" | "return" | "else" | "match" | "while" | "mut"
+    )
+}
+
+/// Walks right from the operator at `i`, collecting the operand.
+fn operand_right(body: &[Token], i: usize) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut j = i + 1;
+    let mut depth = 0;
+    while j < body.len() {
+        match &body[j].tok {
+            Tok::Punct("(") | Tok::Punct("[") => depth += 1,
+            Tok::Punct(")") | Tok::Punct("]") => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            Tok::Punct(".") | Tok::Punct("::") | Tok::Punct("&") | Tok::Punct("*") => {}
+            Tok::Ident(kw) if depth == 0 && is_stmt_keyword(kw) => break,
+            Tok::Ident(_) | Tok::Num(_) => {}
+            _ => {
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+        parts.push(render(&body[j].tok));
+        j += 1;
+    }
+    parts
+}
+
+fn render(t: &Tok) -> String {
+    match t {
+        Tok::Ident(s) | Tok::Num(s) => s.clone(),
+        Tok::Punct(p) => (*p).to_owned(),
+        _ => String::new(),
+    }
+}
+
+/// True when any identifier in the operand matches a secret fragment.
+fn is_secret_operand(parts: &[String]) -> bool {
+    parts.iter().any(|p| {
+        let lower = p.to_lowercase();
+        SECRET_FRAGMENTS.iter().any(|frag| {
+            // `sig` must match `sig`/`signature`/`sig_bytes` but not
+            // `design`: require the fragment at a word boundary.
+            lower == *frag
+                || lower.starts_with(&format!("{frag}_"))
+                || lower.ends_with(&format!("_{frag}"))
+                || lower.contains(&format!("_{frag}_"))
+                || (*frag == "sig" && lower.starts_with("signature"))
+                || (*frag == "hmac" && lower.contains("hmac"))
+        })
+    })
+}
+
+fn is_len_call(parts: &[String]) -> bool {
+    parts.len() >= 3 && parts[parts.len() - 3..] == ["len".to_owned(), "(".into(), ")".into()][..]
+        || parts.last().is_some_and(|p| p == ")") && parts.iter().any(|p| p == "len")
+}
+
+/// If the comparison at `i` is the RHS of `let NAME = ...`, returns NAME.
+fn binding_target(body: &[Token], i: usize) -> Option<String> {
+    // Scan back to the statement start and look for `let NAME =`.
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        match &body[j].tok {
+            Tok::Punct(";") | Tok::Punct("{") | Tok::Punct("}") => return None,
+            Tok::Ident(kw) if kw == "let" => {
+                return body
+                    .get(j + 1)
+                    .and_then(|t| t.tok.ident())
+                    .map(str::to_owned);
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile {
+            rel_path: "mem.rs".into(),
+            crate_name: "crypto".into(),
+            text: src.into(),
+        };
+        let mut out = Vec::new();
+        check_file(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_direct_secret_compare() {
+        let d = run("fn verify(tag: &[u8], expected_tag: &[u8]) -> bool { tag == expected_tag }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("ct_eq"));
+    }
+
+    #[test]
+    fn flags_challenge_compare() {
+        let d = run("fn verify() { if e_prime == e { return; } }");
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn length_comparison_is_public() {
+        let d = run("fn f(sig: &[u8], other_sig: &[u8]) { if sig.len() != other_sig.len() {} }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn blessed_helper_is_exempt() {
+        let d = run("pub fn ct_eq(a: &[u8], b: &[u8]) -> bool { let mut diff = 0; diff == 0 }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn non_secret_compares_are_fine() {
+        let d = run("fn f(a: usize) { if a == 0 {} if self.issuer != root.subject {} }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn early_return_on_derived_bool() {
+        let src = "fn verify(tag: &[u8], want: &[u8]) { let tags_equal = tag == want; if tags_equal { return; } }";
+        let d = run(src);
+        assert_eq!(d.len(), 2, "{d:?}"); // the compare and the branch
+        assert!(d[1].message.contains("secret-derived bool"));
+    }
+
+    #[test]
+    fn allow_suppresses() {
+        let src = "fn f(tag: &[u8], w: &[u8]) { // lint:allow(ct: \"public commitment\")\n let _ = tag == w; }";
+        assert!(run(src).is_empty());
+    }
+}

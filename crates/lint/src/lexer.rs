@@ -1,0 +1,607 @@
+//! A small Rust lexer: just enough tokenization for the lint passes.
+//!
+//! The lexer understands line/block comments (including nesting), string,
+//! raw-string, byte-string and char literals, lifetimes, identifiers,
+//! numbers and multi-character operators, and records the 1-based source
+//! line of every token. It also collects `// lint:allow(...)` directives
+//! from comments so passes can honour suppressions.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Lifetime such as `'a` (without the quote).
+    Lifetime(String),
+    /// Numeric literal, verbatim.
+    Num(String),
+    /// String literal (any flavour); payload is the raw content.
+    Str(String),
+    /// Char or byte literal.
+    Char,
+    /// Punctuation; multi-character operators are joined (`::`, `==`, ...).
+    Punct(&'static str),
+}
+
+impl Tok {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when the token is the given punctuation.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(self, Tok::Punct(q) if *q == p)
+    }
+
+    /// True when the token is the given identifier/keyword.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(self, Tok::Ident(s) if s == name)
+    }
+}
+
+/// A token plus its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// A `// lint:allow(pass)` or `// lint:allow(pass: "why")` directive.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub line: u32,
+    pub pass: String,
+    pub justification: Option<String>,
+}
+
+/// Lexer output: the token stream and any allow directives found.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub allows: Vec<Allow>,
+}
+
+impl Lexed {
+    /// True when `line` (or the line directly above it) carries an allow
+    /// directive for `pass`. Directives therefore work both trailing the
+    /// flagged expression and as a comment on the preceding line.
+    pub fn allowed(&self, pass: &str, line: u32) -> Option<&Allow> {
+        self.allows
+            .iter()
+            .find(|a| a.pass == pass && (a.line == line || a.line + 1 == line))
+    }
+}
+
+const MULTI_OPS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+const SINGLE_OPS: &str = "{}()[]<>;,.:=#!?&|+-*/%^@$~";
+
+fn punct_str(op: &str) -> Option<&'static str> {
+    MULTI_OPS.iter().find(|m| **m == op).copied().or_else(|| {
+        SINGLE_OPS
+            .find(op.chars().next()?)
+            .map(|i| &SINGLE_OPS[i..i + 1])
+    })
+}
+
+/// Tokenizes `src`, collecting `lint:allow` directives along the way.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                scan_allow(&text, line, &mut out.allows);
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                let start = i;
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                let text: String = b[start..i.min(b.len())].iter().collect();
+                scan_allow(&text, line, &mut out.allows);
+            }
+            '"' => {
+                let (content, consumed, newlines) = lex_string(&b[i..]);
+                out.tokens.push(Token {
+                    tok: Tok::Str(content),
+                    line,
+                });
+                line += newlines;
+                i += consumed;
+            }
+            'r' | 'b' if is_raw_or_byte_string(&b, i) => {
+                let (content, consumed, newlines) = lex_prefixed_string(&b[i..]);
+                out.tokens.push(Token {
+                    tok: Tok::Str(content),
+                    line,
+                });
+                line += newlines;
+                i += consumed;
+            }
+            '\'' => {
+                // Lifetime or char literal.
+                if is_lifetime(&b, i) {
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Lifetime(b[start..j].iter().collect()),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    let mut j = i + 1;
+                    if b.get(j) == Some(&'\\') {
+                        j += 2; // skip the escaped char
+                        while j < b.len() && b[j] != '\'' {
+                            j += 1; // \u{...} and friends
+                        }
+                    } else if j < b.len() {
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&'\'') {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Char,
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Ident(b[start..i].iter().collect()),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_alphanumeric() || b[i] == '_' || b[i] == '.')
+                    && !(b[i] == '.' && b.get(i + 1) == Some(&'.'))
+                {
+                    // Stop the dot-greed at `..` so ranges stay operators.
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Num(b[start..i].iter().collect()),
+                    line,
+                });
+            }
+            _ => {
+                // Longest-match multi-char operator, else single char.
+                let mut matched = false;
+                for len in [3usize, 2] {
+                    if i + len <= b.len() {
+                        let op: String = b[i..i + len].iter().collect();
+                        if let Some(p) = punct_str(&op) {
+                            if p.len() == len {
+                                out.tokens.push(Token {
+                                    tok: Tok::Punct(p),
+                                    line,
+                                });
+                                i += len;
+                                matched = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if !matched {
+                    let op: String = b[i..i + 1].iter().collect();
+                    if let Some(p) = punct_str(&op) {
+                        out.tokens.push(Token {
+                            tok: Tok::Punct(p),
+                            line,
+                        });
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn is_lifetime(b: &[char], i: usize) -> bool {
+    // 'ident not followed by a closing quote (otherwise it's 'x' the char).
+    let mut j = i + 1;
+    if j >= b.len() || !(b[j].is_alphabetic() || b[j] == '_') {
+        return false;
+    }
+    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+        j += 1;
+    }
+    b.get(j) != Some(&'\'')
+}
+
+fn is_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    // r"..."  r#"..."#  b"..."  br"..."  br#"..."#  rb variants don't exist.
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    if b.get(j) == Some(&'r') {
+        j += 1;
+        while b.get(j) == Some(&'#') {
+            j += 1;
+        }
+    }
+    b.get(j) == Some(&'"') && j > i
+}
+
+/// Lexes a plain `"..."` starting at `b[0]`. Returns (content, consumed, newlines).
+fn lex_string(b: &[char]) -> (String, usize, u32) {
+    let mut i = 1;
+    let mut newlines = 0;
+    let mut content = String::new();
+    while i < b.len() {
+        match b[i] {
+            '\\' => {
+                if let Some(c) = b.get(i + 1) {
+                    content.push(*c);
+                }
+                i += 2;
+            }
+            '"' => {
+                i += 1;
+                break;
+            }
+            c => {
+                if c == '\n' {
+                    newlines += 1;
+                }
+                content.push(c);
+                i += 1;
+            }
+        }
+    }
+    (content, i, newlines)
+}
+
+/// Lexes `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#` starting at `b[0]`.
+fn lex_prefixed_string(b: &[char]) -> (String, usize, u32) {
+    let mut i = 0;
+    let mut raw = false;
+    if b[i] == 'b' {
+        i += 1;
+    }
+    if b.get(i) == Some(&'r') {
+        raw = true;
+        i += 1;
+    }
+    let mut hashes = 0;
+    while b.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert_eq!(b.get(i), Some(&'"'));
+    if !raw {
+        let (content, consumed, newlines) = lex_string(&b[i..]);
+        return (content, i + consumed, newlines);
+    }
+    i += 1;
+    let start = i;
+    let mut newlines = 0;
+    while i < b.len() {
+        if b[i] == '"'
+            && b[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|c| **c == '#')
+                .count()
+                == hashes
+        {
+            let content: String = b[start..i].iter().collect();
+            return (content, i + 1 + hashes, newlines);
+        }
+        if b[i] == '\n' {
+            newlines += 1;
+        }
+        i += 1;
+    }
+    (b[start..].iter().collect(), b.len(), newlines)
+}
+
+/// Extracts `lint:allow(pass)` / `lint:allow(pass: "why")` from a comment.
+fn scan_allow(comment: &str, line: u32, out: &mut Vec<Allow>) {
+    let Some(pos) = comment.find("lint:allow(") else {
+        return;
+    };
+    let rest = &comment[pos + "lint:allow(".len()..];
+    let Some(end) = rest.find(')') else {
+        return;
+    };
+    let inner = &rest[..end];
+    let (pass, justification) = match inner.split_once(':') {
+        Some((p, j)) => {
+            let j = j.trim();
+            let j = j.strip_prefix('"').and_then(|s| s.strip_suffix('"'));
+            (p.trim(), j.map(str::to_owned))
+        }
+        None => (inner.trim(), None),
+    };
+    out.push(Allow {
+        line,
+        pass: pass.to_owned(),
+        justification,
+    });
+}
+
+/// Strips test-only items from a token stream: any item annotated
+/// `#[cfg(test)]` or `#[test]` is removed wholesale (attributes included),
+/// by skipping to the end of the annotated item's balanced braces (or
+/// trailing semicolon for brace-less items).
+pub fn strip_test_items(tokens: &[Token]) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].tok.is_punct("#") && is_test_attr(tokens, i) {
+            // Back out any attributes already copied for this item: they
+            // belong to the skipped item only if directly adjacent, which
+            // copy order already handles (attributes before this one were
+            // copied; fine — they are inert without their item? They are
+            // not: conservatively also strip directly preceding attribute
+            // groups from `out`.)
+            strip_trailing_attrs(&mut out);
+            i = skip_item(tokens, i);
+        } else {
+            out.push(tokens[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// True when the `#` at `i` begins `#[test]`, `#[cfg(test)]`, or
+/// `#[cfg(any(test, ...))]`-style attributes mentioning a bare `test`.
+fn is_test_attr(tokens: &[Token], i: usize) -> bool {
+    if !tokens.get(i + 1).is_some_and(|t| t.tok.is_punct("[")) {
+        return false;
+    }
+    // Find the matching `]` and look for the `test` / `cfg(test)` shape.
+    let mut depth = 0;
+    let mut j = i + 1;
+    let mut idents: Vec<&str> = Vec::new();
+    while j < tokens.len() {
+        match &tokens[j].tok {
+            Tok::Punct("[") => depth += 1,
+            Tok::Punct("]") => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            Tok::Ident(s) => idents.push(s),
+            _ => {}
+        }
+        j += 1;
+    }
+    match idents.as_slice() {
+        ["test"] => true,
+        ["cfg", rest @ ..] => rest.contains(&"test"),
+        _ => false,
+    }
+}
+
+/// Removes attribute groups (`# [ ... ]`) sitting at the end of `out`.
+fn strip_trailing_attrs(out: &mut Vec<Token>) {
+    loop {
+        // Find a trailing `# [ ... ]` group.
+        let Some(last) = out.last() else { return };
+        if !last.tok.is_punct("]") {
+            return;
+        }
+        let mut depth = 0;
+        let mut k = out.len();
+        while k > 0 {
+            k -= 1;
+            match &out[k].tok {
+                Tok::Punct("]") => depth += 1,
+                Tok::Punct("[") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if k > 0 && out[k - 1].tok.is_punct("#") {
+            out.truncate(k - 1);
+        } else {
+            return;
+        }
+    }
+}
+
+/// Skips one attributed item starting at the `#` of its first attribute.
+/// Returns the index just past the item.
+fn skip_item(tokens: &[Token], mut i: usize) -> usize {
+    // Skip attribute groups.
+    while i < tokens.len() && tokens[i].tok.is_punct("#") {
+        let mut depth = 0;
+        i += 1; // at `[`
+        while i < tokens.len() {
+            match &tokens[i].tok {
+                Tok::Punct("[") => depth += 1,
+                Tok::Punct("]") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    // Scan to the item body `{...}` or a `;` at depth 0 (whichever first).
+    while i < tokens.len() {
+        match &tokens[i].tok {
+            Tok::Punct(";") => return i + 1,
+            Tok::Punct("{") => {
+                let mut depth = 0;
+                while i < tokens.len() {
+                    match &tokens[i].tok {
+                        Tok::Punct("{") => depth += 1,
+                        Tok::Punct("}") => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return i + 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                return i;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(l: &Lexed) -> Vec<String> {
+        l.tokens
+            .iter()
+            .filter_map(|t| t.tok.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn lexes_idents_and_ops() {
+        let l = lex("fn foo(a: &str) -> bool { a == \"x\" }");
+        assert_eq!(idents(&l), ["fn", "foo", "a", "str", "bool", "a"]);
+        assert!(l.tokens.iter().any(|t| t.tok.is_punct("==")));
+        assert!(l.tokens.iter().any(|t| t.tok.is_punct("->")));
+    }
+
+    #[test]
+    fn tracks_lines_through_comments_and_strings() {
+        let src = "a\n/* multi\nline */\nb\n\"str\nwith newline\"\nc";
+        let l = lex(src);
+        let lines: Vec<(String, u32)> = l
+            .tokens
+            .iter()
+            .filter_map(|t| t.tok.ident().map(|s| (s.to_owned(), t.line)))
+            .collect();
+        assert_eq!(
+            lines,
+            [("a".into(), 1), ("b".into(), 4), ("c".into(), 7)],
+            "{lines:?}"
+        );
+    }
+
+    #[test]
+    fn distinguishes_lifetimes_from_chars() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'y'; let n = '\\n'; }");
+        let lifetimes = l
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Lifetime(_)))
+            .count();
+        let chars = l
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Char))
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn raw_strings_and_nested_comments() {
+        let l = lex("let s = r#\"quote \" inside\"#; /* outer /* inner */ still */ x");
+        assert!(l.tokens.iter().any(|t| t.tok.is_ident("x")));
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Str(s) if s.contains("quote"))));
+    }
+
+    #[test]
+    fn collects_allow_directives() {
+        let src = "x // lint:allow(panic: \"startup only\")\ny // lint:allow(ct)\n";
+        let l = lex(src);
+        assert_eq!(l.allows.len(), 2);
+        assert_eq!(l.allows[0].pass, "panic");
+        assert_eq!(l.allows[0].justification.as_deref(), Some("startup only"));
+        assert_eq!(l.allows[1].pass, "ct");
+        assert!(l.allows[1].justification.is_none());
+        assert!(l.allowed("panic", 1).is_some());
+        assert!(l.allowed("panic", 2).is_some(), "applies to next line too");
+        assert!(l.allowed("panic", 3).is_none());
+    }
+
+    #[test]
+    fn strips_cfg_test_modules_and_test_fns() {
+        let src = r#"
+            fn keep() { a.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { b.unwrap(); }
+            }
+            #[test]
+            fn solo() { c.unwrap(); }
+            fn also_keep() {}
+        "#;
+        let l = lex(src);
+        let stripped = strip_test_items(&l.tokens);
+        let names: Vec<&str> = stripped.iter().filter_map(|t| t.tok.ident()).collect();
+        assert!(names.contains(&"keep"));
+        assert!(names.contains(&"also_keep"));
+        assert!(!names.contains(&"tests"));
+        assert!(!names.contains(&"solo"));
+        assert!(!names.contains(&"b"));
+        assert!(!names.contains(&"c"));
+    }
+}

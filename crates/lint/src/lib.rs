@@ -1,0 +1,73 @@
+//! `lint` — the workspace's own static analyzer.
+//!
+//! Four passes guard invariants the compiler cannot see (ISSUE 3; paper
+//! §4–5 trust model):
+//!
+//! | pass         | scope                              | invariant                         |
+//! |--------------|------------------------------------|-----------------------------------|
+//! | `lock-order` | relay, crypto, core, fabric        | no lock-graph cycles (deadlocks)  |
+//! | `panic`      | relay, core, fabric, contracts     | fail closed, never panic          |
+//! | `ct`         | crypto                             | constant-time secret comparisons  |
+//! | `wire`       | wire message schema                | append-only field-tag evolution   |
+//!
+//! Run as `cargo run -p lint --release -- check`; CI fails on any
+//! diagnostic. Opt-outs are per-site comments: `// lint:allow(<pass>)`,
+//! with a mandatory justification for `panic`
+//! (`// lint:allow(panic: "why this cannot fire")`).
+//!
+//! The analyzer is deliberately dependency-free: a small hand-written
+//! lexer ([`lexer`]) feeds token-level passes; no rustc internals, no
+//! syn. That keeps it consistent with the workspace's vendored-stub
+//! policy and fast enough to run on every PR.
+
+pub mod ct;
+pub mod diag;
+pub mod lexer;
+pub mod locks;
+pub mod panics;
+pub mod wire;
+pub mod workspace;
+
+use diag::Diagnostic;
+use std::path::Path;
+
+/// Crates scanned by the lock-order pass.
+pub const LOCK_ORDER_CRATES: &[&str] = &["relay", "crypto", "core", "fabric"];
+/// Crates where panicking is forbidden outside tests.
+pub const PANIC_CRATES: &[&str] = &["relay", "core", "fabric", "contracts"];
+/// Crates scanned for non-constant-time comparisons.
+pub const CT_CRATES: &[&str] = &["crypto"];
+/// The wire schema source, relative to the workspace root.
+pub const MESSAGES_PATH: &str = "crates/wire/src/messages.rs";
+/// The blessed tag snapshot, relative to the workspace root.
+pub const SNAPSHOT_PATH: &str = "crates/lint/schema/wire.snapshot";
+
+/// Runs all four passes against the workspace at `root`.
+pub fn run_all(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+
+    let lock_files = workspace::load_crates(root, LOCK_ORDER_CRATES)?;
+    locks::check(&lock_files, &mut out);
+
+    for file in workspace::load_crates(root, PANIC_CRATES)? {
+        panics::check_file(&file, &mut out);
+    }
+
+    for file in workspace::load_crates(root, CT_CRATES)? {
+        ct::check_file(&file, &mut out);
+    }
+
+    let messages = std::fs::read_to_string(root.join(MESSAGES_PATH))?;
+    let rows = wire::extract_rows(&messages);
+    let snapshot = std::fs::read_to_string(root.join(SNAPSHOT_PATH)).unwrap_or_default();
+    wire::check_against_snapshot(&rows, &snapshot, MESSAGES_PATH, SNAPSHOT_PATH, &mut out);
+
+    Ok(out)
+}
+
+/// Regenerates the wire snapshot from the current schema.
+pub fn bless(root: &Path) -> std::io::Result<()> {
+    let messages = std::fs::read_to_string(root.join(MESSAGES_PATH))?;
+    let rows = wire::extract_rows(&messages);
+    std::fs::write(root.join(SNAPSHOT_PATH), wire::render_snapshot(&rows))
+}

@@ -1,0 +1,937 @@
+//! Lock-order pass: builds an inter-procedural lock graph and fails on
+//! cycles.
+//!
+//! Model:
+//! * A *lock* is a struct field whose type mentions `Mutex<` or
+//!   `RwLock<`, identified type-wide as `Struct::field` (instances are
+//!   not distinguished — the analysis is conservative).
+//! * An *acquisition* is `.lock()`, `.read()` or `.write()` whose
+//!   receiver ends in a known lock field. `let g = ...lock();` guards
+//!   live until `drop(g)` or the end of their block; temporary guards
+//!   live to the end of the statement (or to the `{` of the block they
+//!   head, matching temporary-drop semantics in `if` conditions).
+//! * While a guard is held, every further acquisition adds an ordering
+//!   edge, and every call adds edges to all locks the callee acquires
+//!   transitively (computed by fixpoint over a name-resolved call graph).
+//! * A cycle in the resulting graph is a potential deadlock; the
+//!   diagnostic lists one file:line witness per edge.
+//!
+//! `// lint:allow(lock-order)` on an acquisition or call line suppresses
+//! the edges created at that line.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, strip_test_items, Lexed, Tok, Token};
+use crate::workspace::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+const PASS: &str = "lock-order";
+
+/// One ordering edge witness.
+#[derive(Debug, Clone)]
+struct Witness {
+    file: String,
+    line: u32,
+    note: String,
+}
+
+#[derive(Debug, Default)]
+struct FnInfo {
+    /// Locks acquired directly in this function body.
+    direct: BTreeSet<String>,
+    /// (held, acquired) edges observed directly, with witnesses.
+    edges: Vec<(String, String, Witness)>,
+    /// Calls made while holding locks: (held set, callee candidates, witness).
+    held_calls: Vec<(Vec<String>, Vec<String>, Witness)>,
+    /// Callee candidate names for the transitive-acquire fixpoint.
+    calls: Vec<Vec<String>>,
+}
+
+/// Runs the pass over the whole file set at once (it is inter-procedural).
+pub fn check(files: &[SourceFile], out: &mut Vec<Diagnostic>) {
+    // Phase 1: lock fields per struct.
+    let mut lexed_files: Vec<(Lexed, Vec<Token>)> = Vec::new();
+    for f in files {
+        let lexed = lex(&f.text);
+        let tokens = strip_test_items(&lexed.tokens);
+        lexed_files.push((lexed, tokens));
+    }
+    let mut field_owners: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for (_, tokens) in &lexed_files {
+        collect_lock_fields(tokens, &mut field_owners);
+    }
+    if field_owners.is_empty() {
+        return;
+    }
+
+    // Phase 2: per-function acquisition sequences and calls.
+    let mut fns: BTreeMap<String, FnInfo> = BTreeMap::new();
+    for (i, f) in files.iter().enumerate() {
+        let (lexed, tokens) = &lexed_files[i];
+        collect_functions(tokens, lexed, &f.rel_path, &field_owners, &mut fns);
+    }
+
+    // Phase 3: transitive acquire sets by fixpoint.
+    let resolver = Resolver::new(&fns);
+    let mut trans: BTreeMap<String, BTreeSet<String>> = fns
+        .iter()
+        .map(|(name, info)| (name.clone(), info.direct.clone()))
+        .collect();
+    loop {
+        let mut changed = false;
+        let names: Vec<String> = trans.keys().cloned().collect();
+        for name in &names {
+            let mut add = BTreeSet::new();
+            for candidates in &fns[name].calls {
+                if let Some(callee) = resolver.resolve(candidates) {
+                    if callee != *name {
+                        add.extend(trans[&callee].iter().cloned());
+                    }
+                }
+            }
+            let set = trans.get_mut(name).expect("seeded above");
+            let before = set.len();
+            set.extend(add);
+            changed |= set.len() != before;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Phase 4: assemble the global edge set.
+    let mut edges: BTreeMap<(String, String), Witness> = BTreeMap::new();
+    for info in fns.values() {
+        for (held, acq, w) in &info.edges {
+            edges
+                .entry((held.clone(), acq.clone()))
+                .or_insert_with(|| w.clone());
+        }
+        for (held, candidates, w) in &info.held_calls {
+            let Some(callee) = resolver.resolve(candidates) else {
+                continue;
+            };
+            for acq in &trans[&callee] {
+                for h in held {
+                    edges
+                        .entry((h.clone(), acq.clone()))
+                        .or_insert_with(|| Witness {
+                            file: w.file.clone(),
+                            line: w.line,
+                            note: format!("{} (via call to `{callee}`)", w.note),
+                        });
+                }
+            }
+        }
+    }
+
+    // Phase 5: cycle detection over the lock graph.
+    report_cycles(&edges, out);
+}
+
+/// Resolves callee candidate names against the collected function set.
+struct Resolver {
+    known: BTreeSet<String>,
+    /// method name -> qualified names having that method.
+    by_method: BTreeMap<String, Vec<String>>,
+}
+
+impl Resolver {
+    fn new(fns: &BTreeMap<String, FnInfo>) -> Self {
+        let mut by_method: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for name in fns.keys() {
+            let method = name.rsplit("::").next().unwrap_or(name).to_owned();
+            by_method.entry(method).or_default().push(name.clone());
+        }
+        Resolver {
+            known: fns.keys().cloned().collect(),
+            by_method,
+        }
+    }
+
+    /// Candidates are tried in order; a bare method name resolves only
+    /// when unambiguous across the workspace.
+    fn resolve(&self, candidates: &[String]) -> Option<String> {
+        for c in candidates {
+            if self.known.contains(c) {
+                return Some(c.clone());
+            }
+        }
+        for c in candidates {
+            if let Some(owners) = self.by_method.get(c.as_str()) {
+                if owners.len() == 1 {
+                    return Some(owners[0].clone());
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Scans `struct Name { ... }` bodies for Mutex/RwLock fields.
+fn collect_lock_fields(tokens: &[Token], out: &mut BTreeMap<String, BTreeSet<String>>) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].tok.is_ident("struct") {
+            let Some(name) = tokens.get(i + 1).and_then(|t| t.tok.ident()) else {
+                i += 1;
+                continue;
+            };
+            let name = name.to_owned();
+            // Find the body `{` (skip tuple/unit structs).
+            let mut j = i + 2;
+            while j < tokens.len()
+                && !tokens[j].tok.is_punct("{")
+                && !tokens[j].tok.is_punct(";")
+                && !tokens[j].tok.is_punct("(")
+            {
+                j += 1;
+            }
+            if j >= tokens.len() || !tokens[j].tok.is_punct("{") {
+                i = j + 1;
+                continue;
+            }
+            // Fields: `ident :` at depth 1 inside the body.
+            let mut depth = 0;
+            let mut field: Option<String> = None;
+            let mut field_is_lock = false;
+            while j < tokens.len() {
+                match &tokens[j].tok {
+                    Tok::Punct("{") => depth += 1,
+                    Tok::Punct("}") => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    Tok::Punct(",") if depth == 1 => {
+                        if let (Some(f), true) = (field.take(), field_is_lock) {
+                            out.entry(f).or_default().insert(name.clone());
+                        }
+                        field = None;
+                        field_is_lock = false;
+                    }
+                    Tok::Punct(":") if depth == 1 => {
+                        // The ident just before the colon is the field name
+                        // (path colons `::` are a distinct token).
+                        if let Some(prev) = tokens.get(j - 1).and_then(|t| t.tok.ident()) {
+                            field = Some(prev.to_owned());
+                            field_is_lock = false;
+                        }
+                    }
+                    Tok::Ident(id) if field.is_some() && (id == "Mutex" || id == "RwLock") => {
+                        field_is_lock = true;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let (Some(f), true) = (field.take(), field_is_lock) {
+                out.entry(f).or_default().insert(name.clone());
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// An active guard while scanning a function body.
+struct Guard {
+    lock: String,
+    binding: Option<String>,
+    /// Brace depth at which the guard scope ends (guard dies when depth
+    /// drops below this).
+    depth: i32,
+    /// Temporary guards die at the next `;` (or block `{`) at `depth`.
+    temporary: bool,
+    line: u32,
+}
+
+/// Extracts impl blocks + free fns and analyzes each body.
+fn collect_functions(
+    tokens: &[Token],
+    lexed: &Lexed,
+    path: &str,
+    fields: &BTreeMap<String, BTreeSet<String>>,
+    out: &mut BTreeMap<String, FnInfo>,
+) {
+    let mut i = 0;
+    while i < tokens.len() {
+        match tokens[i].tok.ident() {
+            Some("impl") => {
+                let (self_ty, body_start) = parse_impl_header(tokens, i);
+                let Some(body_start) = body_start else {
+                    i += 1;
+                    continue;
+                };
+                let body_end = match_brace(tokens, body_start);
+                // Functions at depth 1 of the impl body.
+                let mut j = body_start + 1;
+                let mut depth = 1;
+                while j < body_end {
+                    match &tokens[j].tok {
+                        Tok::Punct("{") => depth += 1,
+                        Tok::Punct("}") => depth -= 1,
+                        Tok::Ident(kw) if kw == "fn" && depth == 1 => {
+                            if let Some((name, fstart, fend)) = fn_span(tokens, j) {
+                                let qual = match &self_ty {
+                                    Some(t) => format!("{t}::{name}"),
+                                    None => name.clone(),
+                                };
+                                let info = analyze_body(
+                                    &tokens[fstart..fend],
+                                    lexed,
+                                    path,
+                                    self_ty.as_deref(),
+                                    fields,
+                                );
+                                merge_fn(out, qual, info);
+                                // Skip the whole balanced body: depth is
+                                // unchanged across it.
+                                j = fend;
+                                continue;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                i = body_end;
+            }
+            Some("fn") => {
+                if let Some((name, fstart, fend)) = fn_span(tokens, i) {
+                    let info = analyze_body(&tokens[fstart..fend], lexed, path, None, fields);
+                    merge_fn(out, name, info);
+                    i = fend;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+fn merge_fn(out: &mut BTreeMap<String, FnInfo>, name: String, info: FnInfo) {
+    let entry = out.entry(name).or_default();
+    entry.direct.extend(info.direct);
+    entry.edges.extend(info.edges);
+    entry.held_calls.extend(info.held_calls);
+    entry.calls.extend(info.calls);
+}
+
+/// Parses `impl<...> Type` / `impl<...> Trait for Type`, returning the
+/// self type name and the index of the body `{`.
+fn parse_impl_header(tokens: &[Token], i: usize) -> (Option<String>, Option<usize>) {
+    let mut j = i + 1;
+    let mut last_ident: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    while j < tokens.len() {
+        match &tokens[j].tok {
+            Tok::Punct("<") => {
+                // Skip a balanced generic group (`>>` closes two).
+                let mut angle = 1i32;
+                j += 1;
+                while j < tokens.len() && angle > 0 {
+                    match &tokens[j].tok {
+                        Tok::Punct("<") | Tok::Punct("<<") => angle += 1,
+                        Tok::Punct(">") => angle -= 1,
+                        Tok::Punct(">>") => angle -= 2,
+                        Tok::Punct("{") | Tok::Punct(";") => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                continue;
+            }
+            Tok::Punct("{") => {
+                let ty = if saw_for { after_for } else { last_ident };
+                return (ty, Some(j));
+            }
+            Tok::Punct(";") => return (None, None),
+            Tok::Ident(kw) if kw == "for" => saw_for = true,
+            Tok::Ident(kw) if kw == "where" => {
+                // Type already seen; scan on to `{`.
+                let ty = if saw_for {
+                    after_for.clone()
+                } else {
+                    last_ident.clone()
+                };
+                while j < tokens.len() && !tokens[j].tok.is_punct("{") {
+                    if tokens[j].tok.is_punct(";") {
+                        return (None, None);
+                    }
+                    j += 1;
+                }
+                return (ty, (j < tokens.len()).then_some(j));
+            }
+            Tok::Ident(id) => {
+                if saw_for {
+                    after_for = Some(id.clone());
+                    // keep updating: path segments — last one wins
+                } else {
+                    last_ident = Some(id.clone());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (None, None)
+}
+
+/// From the `fn` keyword at `i`, returns (name, body_start, body_end_excl).
+fn fn_span(tokens: &[Token], i: usize) -> Option<(String, usize, usize)> {
+    let name = tokens.get(i + 1)?.tok.ident()?.to_owned();
+    let mut j = i + 2;
+    while j < tokens.len() {
+        match &tokens[j].tok {
+            Tok::Punct(";") => return None, // trait method signature
+            Tok::Punct("{") => {
+                let end = match_brace(tokens, j);
+                return Some((name, j, end));
+            }
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+/// Index just past the brace group opening at `open`.
+fn match_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0;
+    let mut j = open;
+    while j < tokens.len() {
+        match &tokens[j].tok {
+            Tok::Punct("{") => depth += 1,
+            Tok::Punct("}") => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Scans one function body for acquisitions, guard lifetimes and calls.
+fn analyze_body(
+    body: &[Token],
+    lexed: &Lexed,
+    path: &str,
+    self_ty: Option<&str>,
+    fields: &BTreeMap<String, BTreeSet<String>>,
+) -> FnInfo {
+    let mut info = FnInfo::default();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth: i32 = 0;
+    let mut i = 0;
+    while i < body.len() {
+        match &body[i].tok {
+            Tok::Punct("{") => {
+                depth += 1;
+                // Condition-position temporaries die at the block brace.
+                guards.retain(|g| !(g.temporary && g.depth == depth - 1));
+            }
+            Tok::Punct("}") => {
+                depth -= 1;
+                guards.retain(|g| g.depth <= depth);
+            }
+            Tok::Punct(";") => {
+                guards.retain(|g| !(g.temporary && g.depth == depth));
+            }
+            Tok::Ident(kw)
+                if kw == "drop"
+                    && body.get(i + 1).is_some_and(|t| t.tok.is_punct("("))
+                    && body.get(i + 3).is_some_and(|t| t.tok.is_punct(")")) =>
+            {
+                if let Some(name) = body.get(i + 2).and_then(|t| t.tok.ident()) {
+                    guards.retain(|g| g.binding.as_deref() != Some(name));
+                }
+            }
+            Tok::Ident(method)
+                if matches!(method.as_str(), "lock" | "read" | "write")
+                    && body.get(i + 1).is_some_and(|t| t.tok.is_punct("("))
+                    && i > 0
+                    && body[i - 1].tok.is_punct(".") =>
+            {
+                if let Some(lock) = resolve_lock(body, i, self_ty, fields) {
+                    let line = body[i].line;
+                    if lexed.allowed(PASS, line).is_none() {
+                        for g in &guards {
+                            info.edges.push((
+                                g.lock.clone(),
+                                lock.clone(),
+                                Witness {
+                                    file: path.to_owned(),
+                                    line,
+                                    note: format!(
+                                        "`{}` acquired (line {line}) while `{}` held since line {}",
+                                        lock, g.lock, g.line
+                                    ),
+                                },
+                            ));
+                        }
+                        info.direct.insert(lock.clone());
+                    }
+                    let (binding, temporary) = guard_binding(body, i);
+                    guards.push(Guard {
+                        lock,
+                        binding,
+                        depth,
+                        temporary,
+                        line,
+                    });
+                }
+            }
+            Tok::Ident(name)
+                if body.get(i + 1).is_some_and(|t| t.tok.is_punct("("))
+                    && !is_expr_keyword(name)
+                    && !receiver_is_guard(body, i, &guards) =>
+            {
+                let candidates = call_candidates(body, i, self_ty);
+                if !candidates.is_empty() {
+                    let line = body[i].line;
+                    if !guards.is_empty() && lexed.allowed(PASS, line).is_none() {
+                        let held: Vec<String> = guards.iter().map(|g| g.lock.clone()).collect();
+                        info.held_calls.push((
+                            held.clone(),
+                            candidates.clone(),
+                            Witness {
+                                file: path.to_owned(),
+                                line,
+                                note: format!(
+                                    "call to `{name}` at line {line} while `{}` held",
+                                    held.join("`, `")
+                                ),
+                            },
+                        ));
+                    }
+                    info.calls.push(candidates);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    info
+}
+
+/// Resolves the receiver of `.lock()/.read()/.write()` at `i` to a lock id.
+///
+/// The receiver's final field must be a known Mutex/RwLock field. `self.x`
+/// binds to the impl type when it declares `x`; otherwise the owning
+/// struct is used when unique, `?::x` when ambiguous.
+fn resolve_lock(
+    body: &[Token],
+    i: usize,
+    self_ty: Option<&str>,
+    fields: &BTreeMap<String, BTreeSet<String>>,
+) -> Option<String> {
+    // Walk back over `.` to collect the receiver chain idents.
+    let mut chain: Vec<&str> = Vec::new();
+    let mut j = i - 1; // at the `.`
+    loop {
+        if !body.get(j)?.tok.is_punct(".") {
+            break;
+        }
+        let Some(prev) = j.checked_sub(1) else { break };
+        match &body[prev].tok {
+            Tok::Ident(id) => {
+                chain.push(id);
+                match prev.checked_sub(1) {
+                    Some(p) => j = p,
+                    None => break,
+                }
+            }
+            _ => break,
+        }
+    }
+    let field = *chain.first()?;
+    let owners = fields.get(field)?;
+    let ty = match (chain.last(), self_ty) {
+        (Some(&"self"), Some(t)) if owners.contains(t) => t.to_owned(),
+        _ if owners.len() == 1 => owners.iter().next()?.clone(),
+        (Some(&"self"), Some(t)) => t.to_owned(),
+        _ => "?".to_owned(),
+    };
+    Some(format!("{ty}::{field}"))
+}
+
+/// Chained calls after `.lock()` that still yield the guard (std Mutex
+/// poison handling), so `let g = m.lock().unwrap();` stays a bound guard.
+const GUARD_PRESERVING: &[&str] = &["unwrap", "expect", "unwrap_or_else"];
+
+/// Classifies the acquisition at `i` as let-bound (guard lives in the
+/// block) or temporary (dies at statement end). Bound only when the
+/// `let NAME = ...;` initializer ends with the lock call, optionally
+/// chained through poison-handling calls that return the guard.
+fn guard_binding(body: &[Token], i: usize) -> (Option<String>, bool) {
+    // The call is `method ( )` — check what follows the closing paren.
+    let mut after = i + 2; // index of `)` when the call has no args
+    if !body.get(after).is_some_and(|t| t.tok.is_punct(")")) {
+        return (None, true);
+    }
+    // Skip `.unwrap()` / `.expect(..)` / `.unwrap_or_else(..)` chains.
+    while body.get(after + 1).is_some_and(|t| t.tok.is_punct(".")) {
+        let is_preserving = body
+            .get(after + 2)
+            .and_then(|t| t.tok.ident())
+            .is_some_and(|m| GUARD_PRESERVING.contains(&m));
+        if !is_preserving || !body.get(after + 3).is_some_and(|t| t.tok.is_punct("(")) {
+            return (None, true);
+        }
+        // Jump past the balanced argument list.
+        let mut depth = 0;
+        let mut k = after + 3;
+        while k < body.len() {
+            match &body[k].tok {
+                Tok::Punct("(") => depth += 1,
+                Tok::Punct(")") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        after = k;
+    }
+    if !body.get(after + 1).is_some_and(|t| t.tok.is_punct(";")) {
+        return (None, true);
+    }
+    // Scan back to statement start for `let [mut] NAME =`.
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        match &body[j].tok {
+            Tok::Punct(";") | Tok::Punct("{") | Tok::Punct("}") => break,
+            Tok::Ident(kw) if kw == "let" => {
+                let mut k = j + 1;
+                if body.get(k).is_some_and(|t| t.tok.is_ident("mut")) {
+                    k += 1;
+                }
+                let name = body.get(k).and_then(|t| t.tok.ident()).map(str::to_owned);
+                return (name, false);
+            }
+            _ => {}
+        }
+    }
+    (None, true)
+}
+
+/// True when the method call at `i` is invoked on (data behind) an active
+/// guard binding: `guard.field.clear()` is a call on the locked value,
+/// not on a lock-owning struct, so name-based resolution must not fire.
+fn receiver_is_guard(body: &[Token], i: usize, guards: &[Guard]) -> bool {
+    if i == 0 || !body[i - 1].tok.is_punct(".") {
+        return false;
+    }
+    // Walk back over `ident . ident . ... .` to the chain root.
+    let mut j = i - 1;
+    let mut root: Option<&str> = None;
+    loop {
+        if !body[j].tok.is_punct(".") {
+            break;
+        }
+        let Some(prev) = j.checked_sub(1) else { break };
+        match &body[prev].tok {
+            Tok::Ident(id) => {
+                root = Some(id);
+                match prev.checked_sub(1) {
+                    Some(p) => j = p,
+                    None => break,
+                }
+            }
+            _ => break,
+        }
+    }
+    let Some(root) = root else { return false };
+    guards.iter().any(|g| g.binding.as_deref() == Some(root))
+}
+
+/// Callee candidates for the call at `i`, most-specific first.
+fn call_candidates(body: &[Token], i: usize, self_ty: Option<&str>) -> Vec<String> {
+    let name = match body[i].tok.ident() {
+        Some(n) => n.to_owned(),
+        None => return Vec::new(),
+    };
+    let mut out = Vec::new();
+    if i >= 2 && body[i - 1].tok.is_punct(".") {
+        // Method call: `self.name(...)` / `expr.name(...)`.
+        if body[i - 2].tok.is_ident("self") {
+            if let Some(t) = self_ty {
+                out.push(format!("{t}::{name}"));
+            }
+        }
+        out.push(name);
+    } else if i >= 2 && body[i - 1].tok.is_punct("::") {
+        if let Some(seg) = body[i - 2].tok.ident() {
+            let seg = if seg == "Self" {
+                self_ty.unwrap_or(seg)
+            } else {
+                seg
+            };
+            out.push(format!("{seg}::{name}"));
+        }
+        out.push(name);
+    } else {
+        out.push(name);
+    }
+    out
+}
+
+fn is_expr_keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "if" | "match"
+            | "while"
+            | "for"
+            | "loop"
+            | "return"
+            | "let"
+            | "fn"
+            | "move"
+            | "else"
+            | "Some"
+            | "Ok"
+            | "Err"
+            | "None"
+            | "Box"
+            | "Vec"
+            | "Arc"
+            | "Rc"
+            | "String"
+    )
+}
+
+/// DFS cycle detection; one diagnostic per distinct cycle found.
+fn report_cycles(edges: &BTreeMap<(String, String), Witness>, out: &mut Vec<Diagnostic>) {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from).or_default().push(to);
+    }
+    // Self-cycles first: same type-level lock re-acquired while held.
+    for ((from, to), w) in edges {
+        if from == to {
+            out.push(Diagnostic::new(
+                PASS,
+                w.file.clone(),
+                w.line,
+                format!("lock `{from}` re-acquired while already held: {}", w.note),
+            ));
+        }
+    }
+    // Proper cycles via DFS with a path stack.
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    let mut done: BTreeSet<&str> = BTreeSet::new();
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for &start in &nodes {
+        if done.contains(start) {
+            continue;
+        }
+        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        let mut path: Vec<&str> = vec![start];
+        let mut on_path: BTreeSet<&str> = [start].into();
+        while let Some((node, next_idx)) = stack.last_mut() {
+            let succs = adj.get(*node).map(|v| v.as_slice()).unwrap_or(&[]);
+            if *next_idx < succs.len() {
+                let succ = succs[*next_idx];
+                *next_idx += 1;
+                if succ == *node {
+                    continue; // self-cycles already reported
+                }
+                if on_path.contains(succ) {
+                    // Found a cycle: path from succ..end + back-edge.
+                    let pos = path.iter().position(|n| *n == succ).unwrap_or(0);
+                    let cycle: Vec<String> = path[pos..].iter().map(|s| (*s).to_owned()).collect();
+                    let mut canon = cycle.clone();
+                    canon.sort();
+                    if reported.insert(canon) {
+                        report_one_cycle(&cycle, edges, out);
+                    }
+                } else if !done.contains(succ) {
+                    stack.push((succ, 0));
+                    path.push(succ);
+                    on_path.insert(succ);
+                }
+            } else {
+                done.insert(node);
+                on_path.remove(*node);
+                stack.pop();
+                path.pop();
+            }
+        }
+    }
+}
+
+fn report_one_cycle(
+    cycle: &[String],
+    edges: &BTreeMap<(String, String), Witness>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut lines = Vec::new();
+    let mut anchor: Option<(&str, u32)> = None;
+    for k in 0..cycle.len() {
+        let from = &cycle[k];
+        let to = &cycle[(k + 1) % cycle.len()];
+        if let Some(w) = edges.get(&(from.clone(), to.clone())) {
+            lines.push(format!(
+                "  {from} -> {to}: {}:{} ({})",
+                w.file, w.line, w.note
+            ));
+            if anchor.is_none() {
+                anchor = Some((w.file.as_str(), w.line));
+            }
+        }
+    }
+    let (file, line) = anchor.unwrap_or(("", 0));
+    out.push(Diagnostic::new(
+        PASS,
+        file,
+        line,
+        format!(
+            "lock-order cycle {} -> {} (potential deadlock):\n{}",
+            cycle.join(" -> "),
+            cycle[0],
+            lines.join("\n")
+        ),
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(srcs: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let files: Vec<SourceFile> = srcs
+            .iter()
+            .map(|(p, t)| SourceFile {
+                rel_path: (*p).to_owned(),
+                crate_name: "mem".into(),
+                text: (*t).to_owned(),
+            })
+            .collect();
+        let mut out = Vec::new();
+        check(&files, &mut out);
+        out
+    }
+
+    const TWO_LOCKS: &str = r#"
+        pub struct A { x: Mutex<u32>, y: Mutex<u32> }
+        impl A {
+            fn ab(&self) {
+                let gx = self.x.lock();
+                let gy = self.y.lock();
+                drop(gy);
+                drop(gx);
+            }
+        }
+    "#;
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let d = run(&[("a.rs", TWO_LOCKS)]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn direct_cycle_detected() {
+        let src = r#"
+            pub struct A { x: Mutex<u32>, y: Mutex<u32> }
+            impl A {
+                fn ab(&self) { let g = self.x.lock(); self.y.lock().clone(); }
+                fn ba(&self) { let g = self.y.lock(); self.x.lock().clone(); }
+            }
+        "#;
+        let d = run(&[("a.rs", src)]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("cycle"), "{}", d[0].message);
+        assert!(d[0].message.contains("A::x"));
+        assert!(d[0].message.contains("A::y"));
+    }
+
+    #[test]
+    fn interprocedural_cycle_detected() {
+        let src = r#"
+            pub struct A { x: Mutex<u32> }
+            pub struct B { y: Mutex<u32> }
+            impl A {
+                fn outer(&self, b: &B) { let g = self.x.lock(); b.locked(); }
+            }
+            impl B {
+                fn locked(&self) { let g = self.y.lock(); }
+                fn other(&self, a: &A) { let g = self.y.lock(); a.grab(); }
+            }
+            impl A {
+                fn grab(&self) { let g = self.x.lock(); }
+            }
+        "#;
+        let d = run(&[("a.rs", src)]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("A::x"));
+        assert!(d[0].message.contains("B::y"));
+    }
+
+    #[test]
+    fn drop_releases_guard() {
+        let src = r#"
+            pub struct A { x: Mutex<u32>, y: Mutex<u32> }
+            impl A {
+                fn ab(&self) { let g = self.x.lock(); drop(g); let h = self.y.lock(); }
+                fn ba(&self) { let g = self.y.lock(); drop(g); let h = self.x.lock(); }
+            }
+        "#;
+        let d = run(&[("a.rs", src)]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_statement_end() {
+        let src = r#"
+            pub struct A { x: Mutex<u32>, y: Mutex<u32> }
+            impl A {
+                fn ab(&self) { self.x.lock().clone(); self.y.lock().clone(); }
+                fn ba(&self) { self.y.lock().clone(); self.x.lock().clone(); }
+            }
+        "#;
+        let d = run(&[("a.rs", src)]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn self_deadlock_reported() {
+        let src = r#"
+            pub struct A { x: Mutex<u32> }
+            impl A {
+                fn re(&self) { let g = self.x.lock(); let h = self.x.lock(); }
+            }
+        "#;
+        let d = run(&[("a.rs", src)]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("re-acquired"));
+    }
+
+    #[test]
+    fn allow_suppresses_edge() {
+        let src = r#"
+            pub struct A { x: Mutex<u32>, y: Mutex<u32> }
+            impl A {
+                fn ab(&self) { let g = self.x.lock(); self.y.lock().clone(); }
+                fn ba(&self) {
+                    let g = self.y.lock();
+                    // lint:allow(lock-order: "x is only tried, never blocked on")
+                    self.x.lock().clone();
+                }
+            }
+        "#;
+        let d = run(&[("a.rs", src)]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

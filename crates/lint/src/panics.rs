@@ -1,0 +1,189 @@
+//! Panic-path pass: forbids `unwrap()`, `expect(...)`, panicking macros
+//! and slice/array indexing in non-test code of the crates that sit on a
+//! network-reachable or endorsement path.
+//!
+//! Rationale (paper §4–5): system contracts and the relay must *fail
+//! closed* — a panic mid-endorsement aborts the peer's chaincode
+//! container, a panic in the relay drops every multiplexed request on the
+//! connection. Code that has a genuine invariant (or is demo fixture
+//! wiring) opts out per-site with `// lint:allow(panic: "why")`; the
+//! justification string is mandatory.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, strip_test_items, Lexed, Tok, Token};
+use crate::workspace::SourceFile;
+
+const PASS: &str = "panic";
+
+/// Macros that panic unconditionally when reached.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs the pass over one file, appending findings.
+pub fn check_file(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let lexed = lex(&file.text);
+    let tokens = strip_test_items(&lexed.tokens);
+    check_tokens(&tokens, &lexed, &file.rel_path, out);
+}
+
+fn check_tokens(tokens: &[Token], lexed: &Lexed, path: &str, out: &mut Vec<Diagnostic>) {
+    for (i, t) in tokens.iter().enumerate() {
+        let finding = match &t.tok {
+            Tok::Ident(name) if name == "unwrap" || name == "expect" => {
+                let after_dot = i > 0 && tokens[i - 1].tok.is_punct(".");
+                let called = tokens.get(i + 1).is_some_and(|n| n.tok.is_punct("("));
+                if after_dot && called {
+                    Some(format!(
+                        "`.{name}()` can panic; return a typed error instead"
+                    ))
+                } else {
+                    None
+                }
+            }
+            Tok::Ident(name) if PANIC_MACROS.contains(&name.as_str()) => {
+                if tokens.get(i + 1).is_some_and(|n| n.tok.is_punct("!")) {
+                    Some(format!("`{name}!` aborts instead of failing closed"))
+                } else {
+                    None
+                }
+            }
+            Tok::Punct("[") if is_index_expr(tokens, i) => {
+                if full_range_index(tokens, i) {
+                    None // `[..]` can never be out of bounds
+                } else {
+                    Some(
+                        "slice/array index can panic; use `get`, `split_at` checks or iterators"
+                            .to_owned(),
+                    )
+                }
+            }
+            _ => None,
+        };
+        let Some(message) = finding else { continue };
+        match lexed.allowed(PASS, t.line) {
+            Some(allow)
+                if allow
+                    .justification
+                    .as_deref()
+                    .is_some_and(|j| !j.is_empty()) => {}
+            Some(_) => out.push(Diagnostic::new(
+                PASS,
+                path,
+                t.line,
+                "lint:allow(panic) requires a justification string: \
+                 `// lint:allow(panic: \"why this cannot fire\")`",
+            )),
+            None => out.push(Diagnostic::new(PASS, path, t.line, message)),
+        }
+    }
+}
+
+/// True when the `[` at `i` indexes an expression (previous token is an
+/// identifier, `)`, or `]`) rather than opening an array/slice literal,
+/// attribute, or pattern.
+fn is_index_expr(tokens: &[Token], i: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).and_then(|p| tokens.get(p)) else {
+        return false;
+    };
+    match &prev.tok {
+        Tok::Ident(name) => !is_keyword(name),
+        Tok::Punct(")") | Tok::Punct("]") => true,
+        _ => false,
+    }
+}
+
+/// True when the bracket group starting at `i` is exactly `[..]`.
+fn full_range_index(tokens: &[Token], i: usize) -> bool {
+    tokens.get(i + 1).is_some_and(|t| t.tok.is_punct(".."))
+        && tokens.get(i + 2).is_some_and(|t| t.tok.is_punct("]"))
+}
+
+fn is_keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "let"
+            | "mut"
+            | "in"
+            | "return"
+            | "if"
+            | "else"
+            | "match"
+            | "ref"
+            | "move"
+            | "as"
+            | "break"
+            | "continue"
+            | "where"
+            | "impl"
+            | "dyn"
+            | "for"
+            | "while"
+            | "loop"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile {
+            rel_path: "mem.rs".into(),
+            crate_name: "mem".into(),
+            text: src.into(),
+        };
+        let mut out = Vec::new();
+        check_file(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let d = run("fn f() { a.unwrap(); b.expect(\"x\"); panic!(\"y\"); unreachable!(); }");
+        assert_eq!(d.len(), 4, "{d:?}");
+    }
+
+    #[test]
+    fn ignores_unwrap_or_family() {
+        let d = run("fn f() { a.unwrap_or(0); b.unwrap_or_else(|| 1); c.unwrap_or_default(); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn flags_indexing_but_not_literals_attrs_or_full_range() {
+        let src = r#"
+            #[derive(Debug)]
+            fn f(v: &[u8]) {
+                let a = [0u8; 4];
+                let b = v[0];
+                let c = &v[..];
+                let d = &v[..4];
+                let e = g()[1];
+            }
+        "#;
+        let d = run(src);
+        assert_eq!(d.len(), 3, "{d:?}"); // v[0], v[..4], g()[1]
+    }
+
+    #[test]
+    fn allow_requires_justification() {
+        let justified = "fn f() { // lint:allow(panic: \"startup only\")\n a.unwrap(); }";
+        assert!(run(justified).is_empty());
+        let bare = "fn f() { // lint:allow(panic)\n a.unwrap(); }";
+        let d = run(bare);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("justification"));
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = r#"
+            fn keep() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { x.unwrap(); y[0]; panic!(); }
+            }
+        "#;
+        assert!(run(src).is_empty());
+    }
+}

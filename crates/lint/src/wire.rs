@@ -1,0 +1,362 @@
+//! Wire-compat pass: append-only evolution of the relay message schema.
+//!
+//! The encode bodies in `crates/wire/src/messages.rs` are the source of
+//! truth for field tags: every `impl Message for X` writes fields as
+//! `w.<method>(<tag>, <value>)`. This pass snapshots those (struct, tag,
+//! method, descriptor) rows into `crates/lint/schema/wire.snapshot` and
+//! fails when a snapshotted row disappears — which is what renumbering,
+//! retyping or removing a tag looks like — or when one struct uses the
+//! same tag with two different wire methods (tag reuse). Adding new rows
+//! is allowed: that is the append-only guarantee PR 2's old-client test
+//! relies on (proto3 zero-elision keeps legacy frames byte-identical).
+//!
+//! `cargo run -p lint -- bless` regenerates the snapshot after an
+//! intentional, reviewed schema change.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, Tok, Token};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+const PASS: &str = "wire";
+
+/// One encoded field: `w.method(tag, descriptor)` inside a struct's
+/// `encode`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FieldRow {
+    pub strukt: String,
+    pub tag: u64,
+    pub method: String,
+    /// Normalized second-argument text (field path or literal); struct
+    /// field renames therefore require a bless, tag changes always fail.
+    pub descriptor: String,
+}
+
+impl fmt::Display for FieldRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} {}",
+            self.strukt, self.tag, self.method, self.descriptor
+        )
+    }
+}
+
+/// Extracts every `impl Message for X { fn encode { w.m(tag, d); ... } }`
+/// row from the messages source text.
+pub fn extract_rows(messages_src: &str) -> Vec<FieldRow> {
+    let lexed = lex(messages_src);
+    let tokens = &lexed.tokens;
+    let mut rows = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // `impl Message for X {`
+        if tokens[i].tok.is_ident("impl")
+            && tokens.get(i + 1).is_some_and(|t| t.tok.is_ident("Message"))
+            && tokens.get(i + 2).is_some_and(|t| t.tok.is_ident("for"))
+        {
+            let Some(name) = tokens.get(i + 3).and_then(|t| t.tok.ident()) else {
+                i += 1;
+                continue;
+            };
+            let strukt = name.to_owned();
+            let Some(open) = (i + 4..tokens.len()).find(|&j| tokens[j].tok.is_punct("{")) else {
+                break;
+            };
+            let end = match_brace(tokens, open);
+            extract_encode_rows(&tokens[open..end], &strukt, &mut rows);
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    rows
+}
+
+fn match_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0;
+    let mut j = open;
+    while j < tokens.len() {
+        match &tokens[j].tok {
+            Tok::Punct("{") => depth += 1,
+            Tok::Punct("}") => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Finds the `fn encode` body within an impl block and parses its
+/// `<writer>.<method>(<tag>, <rest>)` statements.
+fn extract_encode_rows(impl_body: &[Token], strukt: &str, rows: &mut Vec<FieldRow>) {
+    let Some(fn_idx) = impl_body
+        .windows(2)
+        .position(|w| w[0].tok.is_ident("fn") && w[1].tok.is_ident("encode"))
+    else {
+        return;
+    };
+    let Some(open) = (fn_idx..impl_body.len()).find(|&j| impl_body[j].tok.is_punct("{")) else {
+        return;
+    };
+    let end = match_brace(impl_body, open);
+    let body = &impl_body[open..end];
+    let mut i = 0;
+    while i + 4 < body.len() {
+        // ident `.` method `(` Num ...
+        let shape = body[i].tok.ident().is_some()
+            && body[i + 1].tok.is_punct(".")
+            && body[i + 2].tok.ident().is_some()
+            && body[i + 3].tok.is_punct("(");
+        if shape {
+            if let Tok::Num(tag) = &body[i + 4].tok {
+                if let Ok(tag) = tag.replace('_', "").parse::<u64>() {
+                    let method = body[i + 2].tok.ident().unwrap_or_default().to_owned();
+                    // Descriptor: tokens after the comma up to the
+                    // balanced closing paren, normalized.
+                    let mut depth = 1;
+                    let mut j = i + 5;
+                    let mut desc = String::new();
+                    if body.get(j).is_some_and(|t| t.tok.is_punct(",")) {
+                        j += 1;
+                    }
+                    while j < body.len() && depth > 0 {
+                        match &body[j].tok {
+                            Tok::Punct("(") => {
+                                depth += 1;
+                                desc.push('(');
+                            }
+                            Tok::Punct(")") => {
+                                depth -= 1;
+                                if depth > 0 {
+                                    desc.push(')');
+                                }
+                            }
+                            Tok::Punct("&") | Tok::Punct("*") => {}
+                            Tok::Ident(s) if s == "self" => {}
+                            Tok::Punct(".") if desc.is_empty() => {}
+                            Tok::Ident(s) | Tok::Num(s) => {
+                                desc.push_str(s);
+                            }
+                            Tok::Punct(p) => desc.push_str(p),
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    rows.push(FieldRow {
+                        strukt: strukt.to_owned(),
+                        tag,
+                        method,
+                        descriptor: desc,
+                    });
+                    i = j;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Renders rows in the snapshot file format (deduplicated and sorted).
+pub fn render_snapshot(rows: &[FieldRow]) -> String {
+    let set: BTreeSet<String> = rows.iter().map(|r| r.to_string()).collect();
+    let mut out = String::from(
+        "# Wire-format field-tag snapshot (append-only schema evolution).\n\
+         # One row per encoded field: <struct> <tag> <method> <descriptor>.\n\
+         # Regenerate after an intentional schema change with:\n\
+         #   cargo run -p lint --release -- bless\n",
+    );
+    for line in set {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+fn parse_snapshot(text: &str) -> Vec<FieldRow> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.len() >= 3 {
+            if let Ok(tag) = parts[1].parse::<u64>() {
+                out.push(FieldRow {
+                    strukt: parts[0].to_owned(),
+                    tag,
+                    method: parts[2].to_owned(),
+                    descriptor: parts.get(3).copied().unwrap_or("").to_owned(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Compares current encode rows against the snapshot.
+pub fn check_against_snapshot(
+    rows: &[FieldRow],
+    snapshot_text: &str,
+    messages_path: &str,
+    snapshot_path: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    let current: BTreeSet<String> = rows.iter().map(|r| r.to_string()).collect();
+    let snapshot = parse_snapshot(snapshot_text);
+    if snapshot.is_empty() {
+        out.push(Diagnostic::new(
+            PASS,
+            snapshot_path,
+            0,
+            "wire snapshot is missing or empty; run `cargo run -p lint --release -- bless`",
+        ));
+        return;
+    }
+    // Tag reuse within a struct: one tag, two wire methods.
+    let mut tag_methods: BTreeMap<(String, u64), BTreeSet<String>> = BTreeMap::new();
+    for r in rows {
+        tag_methods
+            .entry((r.strukt.clone(), r.tag))
+            .or_default()
+            .insert(r.method.clone());
+    }
+    for ((strukt, tag), methods) in &tag_methods {
+        if methods.len() > 1 {
+            let list: Vec<&str> = methods.iter().map(String::as_str).collect();
+            out.push(Diagnostic::new(
+                PASS,
+                messages_path,
+                0,
+                format!(
+                    "`{strukt}` tag {tag} is reused with different wire methods ({}); \
+                     a reader cannot distinguish the encodings",
+                    list.join(", ")
+                ),
+            ));
+        }
+    }
+    // Append-only: every snapshotted row must still exist verbatim.
+    for row in &snapshot {
+        if !current.contains(&row.to_string()) {
+            let hint = rows
+                .iter()
+                .find(|r| r.strukt == row.strukt && r.descriptor == row.descriptor)
+                .map(|r| {
+                    format!(
+                        " (found `{}` at tag {} via `{}` — tags are immutable once released)",
+                        r.descriptor, r.tag, r.method
+                    )
+                })
+                .unwrap_or_default();
+            out.push(Diagnostic::new(
+                PASS,
+                messages_path,
+                0,
+                format!(
+                    "`{}` no longer encodes tag {} as `{}({})`{hint}; wire evolution is \
+                     append-only — restore the field or, for an intentional pre-release \
+                     change, re-bless the snapshot",
+                    row.strukt, row.tag, row.method, row.descriptor
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+        impl Message for Ping {
+            fn encode(&self, w: &mut Writer) {
+                w.string(1, &self.id);
+                w.bytes(2, &self.payload);
+                w.u64(3, self.seq);
+            }
+            fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> { todo!() }
+        }
+    "#;
+
+    #[test]
+    fn extracts_rows() {
+        let rows = extract_rows(SRC);
+        assert_eq!(rows.len(), 3, "{rows:?}");
+        assert_eq!(rows[0].strukt, "Ping");
+        assert_eq!(rows[0].tag, 1);
+        assert_eq!(rows[0].method, "string");
+        assert_eq!(rows[0].descriptor, "id");
+        assert_eq!(rows[2].descriptor, "seq");
+    }
+
+    #[test]
+    fn clean_tree_matches_snapshot() {
+        let rows = extract_rows(SRC);
+        let snap = render_snapshot(&rows);
+        let mut out = Vec::new();
+        check_against_snapshot(&rows, &snap, "m.rs", "s", &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn renumbered_tag_rejected() {
+        let rows = extract_rows(SRC);
+        let snap = render_snapshot(&rows);
+        let renumbered = SRC.replace("w.bytes(2, &self.payload)", "w.bytes(7, &self.payload)");
+        let new_rows = extract_rows(&renumbered);
+        let mut out = Vec::new();
+        check_against_snapshot(&new_rows, &snap, "m.rs", "s", &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("tag 2"), "{}", out[0].message);
+        assert!(out[0].message.contains("tag 7"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn removed_field_rejected_added_field_ok() {
+        let rows = extract_rows(SRC);
+        let snap = render_snapshot(&rows);
+        let removed = SRC.replace("w.u64(3, self.seq);", "");
+        let mut out = Vec::new();
+        check_against_snapshot(&extract_rows(&removed), &snap, "m.rs", "s", &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+
+        let appended = SRC.replace(
+            "w.u64(3, self.seq);",
+            "w.u64(3, self.seq); w.u64(4, self.extra);",
+        );
+        let mut out = Vec::new();
+        check_against_snapshot(&extract_rows(&appended), &snap, "m.rs", "s", &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn tag_reuse_with_conflicting_methods_rejected() {
+        let reused = SRC.replace(
+            "w.u64(3, self.seq);",
+            "w.u64(3, self.seq); w.string(3, &self.name);",
+        );
+        let rows = extract_rows(&reused);
+        let snap = render_snapshot(&extract_rows(SRC));
+        let mut out = Vec::new();
+        check_against_snapshot(&rows, &snap, "m.rs", "s", &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("reused"));
+    }
+
+    #[test]
+    fn missing_snapshot_is_a_diagnostic() {
+        let rows = extract_rows(SRC);
+        let mut out = Vec::new();
+        check_against_snapshot(&rows, "", "m.rs", "s", &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("bless"));
+    }
+}

@@ -1,0 +1,27 @@
+//! Seeded lock-order violation: `transfer` acquires `accounts` before
+//! `audit`, while `reconcile` acquires them in the opposite order. The
+//! lock-order pass must report the `Ledger::accounts` / `Ledger::audit`
+//! cycle with a witness for each edge.
+
+use std::sync::Mutex;
+
+pub struct Ledger {
+    accounts: Mutex<Vec<u64>>,
+    audit: Mutex<Vec<String>>,
+}
+
+impl Ledger {
+    pub fn transfer(&self) {
+        let accounts = self.accounts.lock().unwrap();
+        let audit = self.audit.lock().unwrap();
+        drop(audit);
+        drop(accounts);
+    }
+
+    pub fn reconcile(&self) {
+        let audit = self.audit.lock().unwrap();
+        let accounts = self.accounts.lock().unwrap();
+        drop(accounts);
+        drop(audit);
+    }
+}

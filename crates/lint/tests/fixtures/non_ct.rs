@@ -1,0 +1,14 @@
+//! Seeded constant-time violations: a direct `==` on MAC material, and an
+//! early branch on a secret-derived bool.
+
+pub fn verify_tag(expected_tag: &[u8], received_tag: &[u8]) -> bool {
+    expected_tag == received_tag
+}
+
+pub fn accept(mac: &[u8], candidate: &[u8]) -> bool {
+    let mac_ok = mac == candidate;
+    if mac_ok {
+        return true;
+    }
+    false
+}

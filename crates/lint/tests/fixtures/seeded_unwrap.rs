@@ -1,0 +1,19 @@
+//! Seeded panic-path violations: an `unwrap()` and a slice index, both
+//! reachable from untrusted input. The identical constructs inside the
+//! `#[cfg(test)]` module must stay exempt.
+
+pub fn parse_frame(input: &[u8]) -> u64 {
+    let header: [u8; 8] = input[..8].try_into().unwrap();
+    u64::from_be_bytes(header)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v = vec![0u8; 8];
+        let _ = v[0];
+        let _ = super::parse_frame(&v);
+        std::str::from_utf8(&v).unwrap();
+    }
+}

@@ -1,0 +1,11 @@
+//! Baseline wire schema for the wire-compat fixture pair: `Handshake`
+//! with tags 1..=3. `wire_renumbered.rs` is the same struct with the
+//! `nonce` tag moved from 2 to 4, which the pass must reject.
+
+impl Message for Handshake {
+    fn encode(&self, w: &mut Writer) {
+        w.string(1, &self.peer_id);
+        w.bytes(2, &self.nonce);
+        w.u64(3, self.version);
+    }
+}

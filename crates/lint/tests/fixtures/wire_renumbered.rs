@@ -1,0 +1,10 @@
+//! `wire_baseline.rs` with the `nonce` field renumbered from tag 2 to
+//! tag 4 — a wire-compat break the pass must flag.
+
+impl Message for Handshake {
+    fn encode(&self, w: &mut Writer) {
+        w.string(1, &self.peer_id);
+        w.bytes(4, &self.nonce);
+        w.u64(3, self.version);
+    }
+}

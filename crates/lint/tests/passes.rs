@@ -1,0 +1,140 @@
+//! End-to-end checks for the analyzer: every pass must flag its seeded
+//! fixture under `tests/fixtures/`, and the real workspace tree must be
+//! clean (the fixtures live outside `src/` so `run_all` never sees them).
+
+use lint::workspace::SourceFile;
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str, crate_name: &str) -> SourceFile {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    SourceFile {
+        rel_path: format!("crates/lint/tests/fixtures/{name}"),
+        crate_name: crate_name.to_owned(),
+        text: std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}")),
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    lint::workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("lint crate lives inside the workspace")
+}
+
+#[test]
+fn lock_order_flags_seeded_deadlock() {
+    let mut out = Vec::new();
+    lint::locks::check(&[fixture("deadlock.rs", "relay")], &mut out);
+    assert_eq!(out.len(), 1, "expected exactly one cycle report: {out:?}");
+    let d = &out[0];
+    assert_eq!(d.pass, "lock-order");
+    assert!(d.message.contains("cycle"), "{}", d.message);
+    assert!(d.message.contains("Ledger::accounts"), "{}", d.message);
+    assert!(d.message.contains("Ledger::audit"), "{}", d.message);
+    // Witnesses must carry file:line for both edges.
+    assert!(
+        d.message.contains("fixtures/deadlock.rs:"),
+        "cycle report lacks file:line witnesses: {}",
+        d.message
+    );
+}
+
+#[test]
+fn panic_pass_flags_seeded_unwrap_but_not_test_code() {
+    let mut out = Vec::new();
+    lint::panics::check_file(&fixture("seeded_unwrap.rs", "relay"), &mut out);
+    // One line carries both seeds: the slice index and the unwrap. The
+    // identical constructs inside #[cfg(test)] must not be reported.
+    assert_eq!(out.len(), 2, "{out:?}");
+    assert!(out.iter().all(|d| d.pass == "panic"));
+    assert!(out.iter().any(|d| d.message.contains("unwrap")), "{out:?}");
+    assert!(out.iter().any(|d| d.message.contains("index")), "{out:?}");
+    assert!(out.iter().all(|d| d.line == out[0].line), "{out:?}");
+}
+
+#[test]
+fn ct_pass_flags_seeded_compare_and_secret_branch() {
+    let mut out = Vec::new();
+    lint::ct::check_file(&fixture("non_ct.rs", "crypto"), &mut out);
+    assert_eq!(out.len(), 3, "{out:?}");
+    assert!(out.iter().all(|d| d.pass == "ct"));
+    assert!(
+        out.iter()
+            .filter(|d| d.message.contains("variable-time `==`"))
+            .count()
+            == 2,
+        "{out:?}"
+    );
+    assert!(
+        out.iter()
+            .any(|d| d.message.contains("secret-derived bool `mac_ok`")),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn wire_pass_rejects_renumbered_fixture_tag() {
+    let baseline = lint::wire::extract_rows(&fixture("wire_baseline.rs", "wire").text);
+    assert_eq!(baseline.len(), 3, "{baseline:?}");
+    let snapshot = lint::wire::render_snapshot(&baseline);
+
+    // The baseline is clean against its own snapshot.
+    let mut out = Vec::new();
+    lint::wire::check_against_snapshot(&baseline, &snapshot, "wire_baseline.rs", "snap", &mut out);
+    assert!(out.is_empty(), "{out:?}");
+
+    // The renumbered variant (nonce: tag 2 -> 4) is rejected.
+    let renumbered = lint::wire::extract_rows(&fixture("wire_renumbered.rs", "wire").text);
+    let mut out = Vec::new();
+    lint::wire::check_against_snapshot(
+        &renumbered,
+        &snapshot,
+        "wire_renumbered.rs",
+        "snap",
+        &mut out,
+    );
+    assert!(!out.is_empty(), "renumbered tag not flagged");
+    assert!(
+        out.iter()
+            .any(|d| d.pass == "wire" && d.message.contains("nonce")),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn real_wire_schema_rejects_deliberate_renumber() {
+    let root = workspace_root();
+    let messages = std::fs::read_to_string(root.join(lint::MESSAGES_PATH)).expect("messages.rs");
+    let snapshot = std::fs::read_to_string(root.join(lint::SNAPSHOT_PATH)).expect("snapshot");
+
+    // Renumber AuthInfo.network_id (tag 1) to an unused tag.
+    let tampered = messages.replacen(
+        "w.string(1, &self.network_id);",
+        "w.string(31, &self.network_id);",
+        1,
+    );
+    assert_ne!(tampered, messages, "renumber target not found");
+
+    let rows = lint::wire::extract_rows(&tampered);
+    let mut out = Vec::new();
+    lint::wire::check_against_snapshot(
+        &rows,
+        &snapshot,
+        lint::MESSAGES_PATH,
+        lint::SNAPSHOT_PATH,
+        &mut out,
+    );
+    assert!(!out.is_empty(), "deliberate renumber not rejected");
+    assert!(
+        out.iter()
+            .any(|d| d.pass == "wire" && d.message.contains("network_id")),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn clean_tree_produces_no_diagnostics() {
+    let out = lint::run_all(&workspace_root()).expect("workspace readable");
+    assert!(out.is_empty(), "real tree must be lint-clean: {out:#?}");
+}

@@ -69,8 +69,13 @@ impl RelayGroup {
     pub fn relay_query(&self, query: &Query) -> Result<QueryResponse, RelayError> {
         let start = self.next.fetch_add(1, Ordering::Relaxed);
         let mut last_err = None;
-        for offset in 0..self.relays.len() {
-            let relay = &self.relays[(start + offset) % self.relays.len()];
+        let rotation = self
+            .relays
+            .iter()
+            .cycle()
+            .skip(start % self.relays.len().max(1))
+            .take(self.relays.len());
+        for relay in rotation {
             match relay.relay_query(query) {
                 Ok(response) => return Ok(response),
                 Err(

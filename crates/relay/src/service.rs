@@ -94,7 +94,35 @@ impl RelayStats {
             .iter()
             .position(|bound| elapsed <= *bound)
             .unwrap_or(LATENCY_BUCKET_BOUNDS.len());
-        self.latency_buckets[i].fetch_add(1, Ordering::Relaxed);
+        // `i` is at most the overflow-bucket index, but never index: a
+        // histogram must not be able to take the relay down.
+        if let Some(bucket) = self.latency_buckets.get(i) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Takes a point-in-time copy of every counter, suitable for merging
+    /// across relays with [`RelayStatsSnapshot::merge`]. Each atomic is
+    /// read independently: the snapshot is not a consistent cut, but it
+    /// is always safe to take while workers mutate the counters.
+    pub fn snapshot(&self) -> RelayStatsSnapshot {
+        RelayStatsSnapshot {
+            forwarded: self.forwarded.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            latency_buckets: self.latency_histogram(),
+            cache_hits: self.cache_hits(),
+            cache_misses: self.cache_misses(),
+            pool_connections_open: self.pool_connections_open(),
+            pool_connections_dialed: self.pool_connections_dialed(),
+            pool_connections_reused: self.pool_connections_reused(),
+            pool_requests_in_flight: self.pool_requests_in_flight(),
+            pool_orphaned_replies: self.pool_orphaned_replies(),
+        }
     }
 
     /// Certificate-chain cache hits, when a cache is attached.
@@ -140,6 +168,88 @@ impl RelayStats {
     /// pool stats are attached.
     pub fn pool_orphaned_replies(&self) -> u64 {
         self.pool_stats.get().map_or(0, |p| p.orphaned_replies())
+    }
+}
+
+/// A point-in-time copy of [`RelayStats`], mergeable across relays —
+/// e.g. to aggregate the members of a [`crate::redundancy::RelayGroup`]
+/// into one dashboard row.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RelayStatsSnapshot {
+    /// Queries forwarded to remote relays (destination role).
+    pub forwarded: u64,
+    /// Queries served for remote relays (source role).
+    pub served: u64,
+    /// Requests shed by the rate limiter.
+    pub shed: u64,
+    /// Envelopes handed to the worker pool.
+    pub enqueued: u64,
+    /// Envelopes answered with a deadline error.
+    pub deadline_exceeded: u64,
+    /// Envelopes waiting in the worker-pool queue at snapshot time.
+    pub queue_depth: u64,
+    /// Envelopes being processed at snapshot time.
+    pub in_flight: u64,
+    /// Envelope-handling latency histogram (see [`LATENCY_BUCKET_BOUNDS`]).
+    pub latency_buckets: [u64; 6],
+    /// Certificate-chain cache hits.
+    pub cache_hits: u64,
+    /// Certificate-chain cache misses.
+    pub cache_misses: u64,
+    /// Transport-pool connections open at snapshot time.
+    pub pool_connections_open: u64,
+    /// Transport-pool connections dialed over the pool's lifetime.
+    pub pool_connections_dialed: u64,
+    /// Requests that reused an already-open pooled connection.
+    pub pool_connections_reused: u64,
+    /// Requests in flight on pooled connections at snapshot time.
+    pub pool_requests_in_flight: u64,
+    /// Multiplexed replies dropped for lack of a matching waiter.
+    pub pool_orphaned_replies: u64,
+}
+
+impl RelayStatsSnapshot {
+    /// Adds `other`'s counters into `self`. Bucket-wise histogram merge
+    /// is positional (both histograms share [`LATENCY_BUCKET_BOUNDS`]);
+    /// all arithmetic saturates, so merging can never panic — not on
+    /// overflow, and not on any histogram the other side hands us.
+    pub fn merge(&mut self, other: &RelayStatsSnapshot) {
+        self.forwarded = self.forwarded.saturating_add(other.forwarded);
+        self.served = self.served.saturating_add(other.served);
+        self.shed = self.shed.saturating_add(other.shed);
+        self.enqueued = self.enqueued.saturating_add(other.enqueued);
+        self.deadline_exceeded = self
+            .deadline_exceeded
+            .saturating_add(other.deadline_exceeded);
+        self.queue_depth = self.queue_depth.saturating_add(other.queue_depth);
+        self.in_flight = self.in_flight.saturating_add(other.in_flight);
+        for (mine, theirs) in self.latency_buckets.iter_mut().zip(&other.latency_buckets) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.cache_hits = self.cache_hits.saturating_add(other.cache_hits);
+        self.cache_misses = self.cache_misses.saturating_add(other.cache_misses);
+        self.pool_connections_open = self
+            .pool_connections_open
+            .saturating_add(other.pool_connections_open);
+        self.pool_connections_dialed = self
+            .pool_connections_dialed
+            .saturating_add(other.pool_connections_dialed);
+        self.pool_connections_reused = self
+            .pool_connections_reused
+            .saturating_add(other.pool_connections_reused);
+        self.pool_requests_in_flight = self
+            .pool_requests_in_flight
+            .saturating_add(other.pool_requests_in_flight);
+        self.pool_orphaned_replies = self
+            .pool_orphaned_replies
+            .saturating_add(other.pool_orphaned_replies);
+    }
+
+    /// Total envelopes measured by the merged latency histogram.
+    pub fn handled(&self) -> u64 {
+        self.latency_buckets
+            .iter()
+            .fold(0u64, |acc, b| acc.saturating_add(*b))
     }
 }
 
@@ -259,6 +369,7 @@ impl RelayService {
                 std::thread::Builder::new()
                     .name(format!("{}-worker-{i}", self.id))
                     .spawn(move || worker_loop(&service, &rx))
+                    // lint:allow(panic: "local pool sizing at startup, not reachable from network input; a host that cannot spawn threads cannot run a relay")
                     .expect("spawn relay worker")
             })
             .collect();
@@ -1029,6 +1140,85 @@ mod tests {
         assert_eq!(relay.stats().pool_connections_open(), 1);
         assert_eq!(relay.stats().pool_requests_in_flight(), 0);
         assert_eq!(relay.stats().pool_orphaned_replies(), 0);
+    }
+
+    #[test]
+    fn snapshot_and_merge_aggregate_counters() {
+        let f = fixture();
+        f.swt_relay.relay_query(&bl_query()).unwrap();
+        let source = f.stl_relay.stats().snapshot();
+        let dest = f.swt_relay.stats().snapshot();
+        assert_eq!(source.served, 1);
+        assert_eq!(dest.forwarded, 1);
+        let mut group = source.clone();
+        group.merge(&dest);
+        assert_eq!(group.served, 1);
+        assert_eq!(group.forwarded, 1);
+        assert_eq!(group.handled(), source.handled() + dest.handled());
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_overflowing() {
+        let mut a = RelayStatsSnapshot {
+            forwarded: u64::MAX - 1,
+            latency_buckets: [u64::MAX, 1, 0, 0, 0, 0],
+            ..Default::default()
+        };
+        let b = RelayStatsSnapshot {
+            forwarded: 5,
+            latency_buckets: [7, u64::MAX, 0, 0, 0, 0],
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.forwarded, u64::MAX);
+        assert_eq!(a.latency_buckets[0], u64::MAX);
+        assert_eq!(a.latency_buckets[1], u64::MAX);
+        // `handled` over saturated buckets must not panic either.
+        assert_eq!(a.handled(), u64::MAX);
+    }
+
+    /// Regression: snapshotting + merging while workers hammer the
+    /// latency histogram and queue counters must never panic and must
+    /// never observe more handled envelopes than were recorded so far.
+    #[test]
+    fn snapshot_merge_under_concurrent_mutation() {
+        let stats = Arc::new(RelayStats::default());
+        let done = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..4)
+            .map(|w| {
+                let stats = Arc::clone(&stats);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    let mut n = 0u64;
+                    while !done.load(Ordering::Relaxed) {
+                        // Spread records across every bucket, including
+                        // the overflow bucket.
+                        let micros = 10u64 << ((n + w) % 10);
+                        stats.record_latency(Duration::from_micros(micros));
+                        stats.record_latency(Duration::from_secs(2));
+                        stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+                        stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        n += 2;
+                    }
+                    n
+                })
+            })
+            .collect();
+        let mut last_total = 0u64;
+        for _ in 0..200 {
+            let total = stats.snapshot().handled();
+            let mut merged = stats.snapshot();
+            merged.merge(&stats.snapshot());
+            assert!(
+                total >= last_total,
+                "histogram total went backwards: {last_total} -> {total}"
+            );
+            assert!(merged.handled() >= total, "merge lost counts");
+            last_total = total;
+        }
+        done.store(true, Ordering::Relaxed);
+        let recorded: u64 = writers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert_eq!(stats.snapshot().handled(), recorded);
     }
 
     #[test]

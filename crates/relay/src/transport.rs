@@ -428,9 +428,14 @@ impl PooledTcpTransport {
         // failed over to StaleConnection.
         conns.retain(|c| !c.dead.load(Ordering::Acquire));
         if conns.len() >= self.max_conns_per_endpoint {
-            let conn = least_loaded(conns).expect("non-empty live connection list");
-            self.stats.reused.fetch_add(1, Ordering::Relaxed);
-            return Ok(conn);
+            if let Some(conn) = least_loaded(conns) {
+                self.stats.reused.fetch_add(1, Ordering::Relaxed);
+                return Ok(conn);
+            }
+            // Every surviving connection was marked dead by its reader
+            // between the prune above and the load scan: drop them all
+            // and fall through to a fresh dial instead of panicking.
+            conns.retain(|c| !c.dead.load(Ordering::Acquire));
         }
         let conn = self.dial(addr)?;
         conns.push(Arc::clone(&conn));
@@ -454,7 +459,7 @@ impl PooledTcpTransport {
         let dead = Arc::new(AtomicBool::new(false));
         self.stats.dialed.fetch_add(1, Ordering::Relaxed);
         self.stats.open.fetch_add(1, Ordering::Relaxed);
-        let reader = {
+        let spawned = {
             let router = Arc::clone(&router);
             let dead = Arc::clone(&dead);
             let stats = Arc::clone(&self.stats);
@@ -480,7 +485,15 @@ impl PooledTcpTransport {
                     stats.open.fetch_sub(1, Ordering::Relaxed);
                     router.fail_all();
                 })
-                .expect("spawn pooled tcp reader")
+        };
+        let reader = match spawned {
+            Ok(handle) => handle,
+            Err(e) => {
+                // Roll back the open-connection gauge the reader thread
+                // would have decremented on exit.
+                self.stats.open.fetch_sub(1, Ordering::Relaxed);
+                return Err(fail("spawn reader thread for", e));
+            }
         };
         Ok(Arc::new(PooledConn {
             stream,
@@ -653,6 +666,11 @@ impl TcpRelayServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let registry = Arc::new(ConnectionRegistry::default());
         let (job_tx, job_rx) = unbounded::<ServerJob>();
+        // A failed spawn aborts the whole server start: dropping `job_tx`
+        // disconnects the channel, so dispatchers already running drain
+        // and exit instead of leaking.
+        let spawn_failed =
+            |what: &str, e: std::io::Error| RelayError::TransportFailed(format!("{what}: {e}"));
         let dispatchers = (0..config.dispatchers.max(1))
             .map(|i| {
                 let rx = job_rx.clone();
@@ -660,9 +678,9 @@ impl TcpRelayServer {
                 std::thread::Builder::new()
                     .name(format!("tcp-relay-dispatch-{i}"))
                     .spawn(move || dispatcher_loop(&rx, handler.as_ref()))
-                    .expect("spawn tcp relay dispatcher")
+                    .map_err(|e| spawn_failed("spawn tcp relay dispatcher", e))
             })
-            .collect();
+            .collect::<Result<Vec<_>, RelayError>>()?;
         let accept_thread = {
             let shutdown = Arc::clone(&shutdown);
             let registry = Arc::clone(&registry);
@@ -670,7 +688,7 @@ impl TcpRelayServer {
             std::thread::Builder::new()
                 .name("tcp-relay-accept".into())
                 .spawn(move || accept_loop(&listener, &shutdown, &registry, &job_tx, &config))
-                .expect("spawn tcp relay accept loop")
+                .map_err(|e| spawn_failed("spawn tcp relay accept loop", e))?
         };
         Ok(TcpRelayServer {
             local_addr,
@@ -785,7 +803,7 @@ fn serve_connection(
             reader: None,
         },
     );
-    let reader = {
+    let spawned = {
         let registry = Arc::clone(registry);
         let job_tx = job_tx.clone();
         let max_frame = config.max_frame;
@@ -797,7 +815,15 @@ fn serve_connection(
                 // entry (in which case shutdown() joins this thread).
                 registry.conns.lock().remove(&conn_id);
             })
-            .expect("spawn tcp relay connection reader")
+    };
+    let reader = match spawned {
+        Ok(handle) => handle,
+        Err(e) => {
+            // No reader thread means no one will ever serve or deregister
+            // this connection: drop it (closing the stream) and refuse.
+            registry.conns.lock().remove(&conn_id);
+            return Err(e);
+        }
     };
     if let Some(entry) = registry.conns.lock().get_mut(&conn_id) {
         entry.reader = Some(reader);
