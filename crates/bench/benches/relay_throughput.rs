@@ -79,7 +79,7 @@ fn bench_relay(c: &mut Criterion) {
         relays[1].set_down(true);
         let client = InteropClient::with_relay_group(
             t.swt_seller_gateway(),
-            Arc::new(RelayGroup::new(relays)),
+            Arc::new(RelayGroup::new(relays).expect("non-empty relay group")),
         );
         group.bench_function("relay_group_3_with_2_down", |b| {
             b.iter(|| {

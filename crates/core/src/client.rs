@@ -341,7 +341,7 @@ mod tests {
             Arc::clone(&t.registry) as Arc<dyn DiscoveryService>,
             Arc::clone(&t.bus) as Arc<dyn RelayTransport>,
         ));
-        let group = Arc::new(RelayGroup::new(vec![Arc::clone(&t.swt_relay), relay_b]));
+        let group = Arc::new(RelayGroup::new(vec![Arc::clone(&t.swt_relay), relay_b]).unwrap());
         t.swt_relay.set_down(true);
         let client = InteropClient::with_relay_group(t.swt_seller_gateway(), group);
         let remote = client.query_remote(bl_address("PO-3"), policy()).unwrap();

@@ -4,75 +4,22 @@
 //! and mitigation through redundancy. [`FaultInjector`] lets tests and
 //! benches take peers down, add latency, and partition components without
 //! touching the protocol logic.
+//!
+//! The injector *is* the relay layer's
+//! [`SharedFaults`](tdt_relay::chaos::SharedFaults): fabric-level and
+//! relay-level fault injection share one vocabulary, so a chaos scenario
+//! can drive peers and relays from the same handle. Beyond the methods
+//! used here (`take_down` / `restore` / `is_down` / `set_latency` /
+//! `apply_latency` / `clear` / `down_count`), the shared type also
+//! supports directional endpoint-pair partitions (`partition` / `heal` /
+//! `is_partitioned`).
 
-use parking_lot::RwLock;
-use std::collections::HashSet;
-use std::sync::Arc;
-use std::time::Duration;
-
-#[derive(Debug, Default)]
-struct Faults {
-    down: HashSet<String>,
-    latency: Duration,
-}
-
-/// Shared, cheaply clonable fault configuration.
-#[derive(Debug, Clone, Default)]
-pub struct FaultInjector {
-    inner: Arc<RwLock<Faults>>,
-}
-
-impl FaultInjector {
-    /// Creates an injector with no faults.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Marks a component (peer, relay) as down.
-    pub fn take_down(&self, component: impl Into<String>) {
-        self.inner.write().down.insert(component.into());
-    }
-
-    /// Restores a component.
-    pub fn restore(&self, component: &str) {
-        self.inner.write().down.remove(component);
-    }
-
-    /// True when the component is currently down.
-    pub fn is_down(&self, component: &str) -> bool {
-        self.inner.read().down.contains(component)
-    }
-
-    /// Sets a per-message artificial latency.
-    pub fn set_latency(&self, latency: Duration) {
-        self.inner.write().latency = latency;
-    }
-
-    /// Sleeps for the configured latency (no-op when zero).
-    pub fn apply_latency(&self) {
-        let latency = self.inner.read().latency;
-        if !latency.is_zero() {
-            std::thread::sleep(latency);
-        }
-    }
-
-    /// Clears every fault.
-    pub fn clear(&self) {
-        let mut inner = self.inner.write();
-        inner.down.clear();
-        inner.latency = Duration::ZERO;
-    }
-
-    /// Number of components currently down.
-    pub fn down_count(&self) -> usize {
-        self.inner.read().down.len()
-    }
-}
+pub use tdt_relay::chaos::SharedFaults as FaultInjector;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Instant;
+    use std::time::{Duration, Instant};
 
     #[test]
     fn take_down_and_restore() {
@@ -120,5 +67,16 @@ mod tests {
         assert_eq!(f.down_count(), 2);
         f.clear();
         assert_eq!(f.down_count(), 0);
+    }
+
+    #[test]
+    fn relay_level_partitions_available_to_fabric() {
+        // The shared vocabulary gives fabric directional partitions too.
+        let f = FaultInjector::new();
+        f.partition("orderer", "peer0");
+        assert!(f.is_partitioned("orderer", "peer0"));
+        assert!(!f.is_partitioned("peer0", "orderer"));
+        f.heal("orderer", "peer0");
+        assert_eq!(f.partition_count(), 0);
     }
 }

@@ -1,0 +1,425 @@
+//! Per-endpoint three-state circuit breaker.
+//!
+//! A relay that keeps hammering a black-holed peer pays the peer's
+//! timeout on every request — exactly the amplification a DoS'd relay
+//! group cannot afford (paper §5). The breaker converts repeated
+//! transport failures into a fast local reject:
+//!
+//! ```text
+//!            consecutive failures ≥ N
+//!            or failure rate ≥ r over window
+//!   CLOSED ──────────────────────────────────▶ OPEN
+//!     ▲                                         │
+//!     │ probe succeeds                cooldown  │
+//!     │ (× required)                  elapsed   │
+//!     │                                         ▼
+//!     └──────────────────────────────────── HALF-OPEN
+//!                     probe fails ▲───────────────┘
+//!                     (back to OPEN)
+//! ```
+//!
+//! While OPEN, [`CircuitBreaker::try_acquire`] fails instantly with
+//! [`RelayError::CircuitOpen`]; after the cooldown one probe request at a
+//! time is let through (HALF-OPEN). Enough probe successes close the
+//! circuit; any probe failure re-opens it and restarts the cooldown.
+
+use crate::error::RelayError;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Trip and recovery thresholds for a [`CircuitBreaker`].
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker.
+    pub consecutive_failures: u32,
+    /// Failure rate over the rolling window that trips the breaker.
+    pub failure_rate: f64,
+    /// Rolling outcome-window size for the rate threshold.
+    pub window: usize,
+    /// Minimum outcomes in the window before the rate threshold applies.
+    pub min_samples: usize,
+    /// How long the breaker stays open before allowing a probe.
+    pub cooldown: Duration,
+    /// Probe successes required to close again from half-open.
+    pub required_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            consecutive_failures: 3,
+            failure_rate: 0.6,
+            window: 16,
+            min_samples: 8,
+            cooldown: Duration::from_millis(500),
+            required_probes: 1,
+        }
+    }
+}
+
+/// The three breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow; failures are being counted.
+    Closed,
+    /// Requests are rejected instantly until the cooldown elapses.
+    Open,
+    /// One probe at a time is allowed through to test recovery.
+    HalfOpen,
+}
+
+/// Per-endpoint tracking state.
+#[derive(Debug)]
+struct EndpointState {
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// Rolling window of outcomes, `true` = failure, bounded by
+    /// `config.window`.
+    window: std::collections::VecDeque<bool>,
+    opened_at: Instant,
+    probe_in_flight: bool,
+    probe_successes: u32,
+}
+
+impl EndpointState {
+    fn new() -> Self {
+        EndpointState {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            window: std::collections::VecDeque::new(),
+            opened_at: Instant::now(),
+            probe_in_flight: false,
+            probe_successes: 0,
+        }
+    }
+
+    fn push_outcome(&mut self, failed: bool, window: usize) {
+        self.window.push_back(failed);
+        while self.window.len() > window.max(1) {
+            self.window.pop_front();
+        }
+    }
+
+    fn failure_rate(&self) -> f64 {
+        if self.window.is_empty() {
+            return 0.0;
+        }
+        let failures = self.window.iter().filter(|f| **f).count();
+        failures as f64 / self.window.len() as f64
+    }
+}
+
+/// A per-endpoint circuit breaker shared by transports and relay groups.
+///
+/// Endpoints are arbitrary strings: transport endpoints (`tcp:…`,
+/// `inproc:…`) or relay ids when used by
+/// [`crate::redundancy::RelayGroup`]. All methods are thread-safe; the
+/// breaker takes one short internal lock and never calls out while
+/// holding it.
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    endpoints: Mutex<HashMap<String, EndpointState>>,
+    trips: AtomicU64,
+    probes: AtomicU64,
+    fast_rejects: AtomicU64,
+}
+
+impl std::fmt::Debug for CircuitBreaker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CircuitBreaker")
+            .field("config", &self.config)
+            .field("endpoints", &self.endpoints.lock().len())
+            .field("trips", &self.trips)
+            .field("probes", &self.probes)
+            .finish()
+    }
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        Self::new(BreakerConfig::default())
+    }
+}
+
+impl CircuitBreaker {
+    /// Creates a breaker with `config`.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            endpoints: Mutex::new(HashMap::new()),
+            trips: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+            fast_rejects: AtomicU64::new(0),
+        }
+    }
+
+    /// The active thresholds.
+    pub fn config(&self) -> &BreakerConfig {
+        &self.config
+    }
+
+    /// Asks permission to send to `endpoint`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelayError::CircuitOpen`] while the endpoint's circuit is
+    /// open (or half-open with a probe already in flight). A successful
+    /// acquire during half-open marks this call as the probe; the caller
+    /// must report the outcome via [`CircuitBreaker::record_success`] or
+    /// [`CircuitBreaker::record_failure`].
+    pub fn try_acquire(&self, endpoint: &str) -> Result<(), RelayError> {
+        let mut endpoints = self.endpoints.lock();
+        let Some(state) = endpoints.get_mut(endpoint) else {
+            return Ok(()); // unknown endpoint: closed by definition
+        };
+        match state.state {
+            BreakerState::Closed => Ok(()),
+            BreakerState::Open => {
+                if state.opened_at.elapsed() >= self.config.cooldown {
+                    state.state = BreakerState::HalfOpen;
+                    state.probe_in_flight = true;
+                    state.probe_successes = 0;
+                    self.probes.fetch_add(1, Ordering::Relaxed);
+                    Ok(())
+                } else {
+                    self.fast_rejects.fetch_add(1, Ordering::Relaxed);
+                    Err(RelayError::CircuitOpen(endpoint.to_string()))
+                }
+            }
+            BreakerState::HalfOpen => {
+                if state.probe_in_flight {
+                    self.fast_rejects.fetch_add(1, Ordering::Relaxed);
+                    Err(RelayError::CircuitOpen(endpoint.to_string()))
+                } else {
+                    state.probe_in_flight = true;
+                    self.probes.fetch_add(1, Ordering::Relaxed);
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Records a successful exchange with `endpoint`.
+    pub fn record_success(&self, endpoint: &str) {
+        let mut endpoints = self.endpoints.lock();
+        let state = endpoints
+            .entry(endpoint.to_string())
+            .or_insert_with(EndpointState::new);
+        state.consecutive_failures = 0;
+        state.push_outcome(false, self.config.window);
+        if state.state == BreakerState::HalfOpen {
+            state.probe_in_flight = false;
+            state.probe_successes += 1;
+            if state.probe_successes >= self.config.required_probes.max(1) {
+                state.state = BreakerState::Closed;
+                state.window.clear();
+            }
+        }
+    }
+
+    /// Records a failed exchange with `endpoint`, tripping the breaker
+    /// when a threshold is crossed.
+    pub fn record_failure(&self, endpoint: &str) {
+        let mut endpoints = self.endpoints.lock();
+        let state = endpoints
+            .entry(endpoint.to_string())
+            .or_insert_with(EndpointState::new);
+        state.consecutive_failures = state.consecutive_failures.saturating_add(1);
+        state.push_outcome(true, self.config.window);
+        let trip = match state.state {
+            // A failed probe re-opens immediately.
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => {
+                state.consecutive_failures >= self.config.consecutive_failures.max(1)
+                    || (state.window.len() >= self.config.min_samples.max(1)
+                        && state.failure_rate() >= self.config.failure_rate)
+            }
+            BreakerState::Open => false,
+        };
+        if trip {
+            state.state = BreakerState::Open;
+            state.opened_at = Instant::now();
+            state.probe_in_flight = false;
+            state.probe_successes = 0;
+            self.trips.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The current state for `endpoint` (closed when never seen).
+    pub fn state(&self, endpoint: &str) -> BreakerState {
+        self.endpoints
+            .lock()
+            .get(endpoint)
+            .map_or(BreakerState::Closed, |s| s.state)
+    }
+
+    /// True when `endpoint` would be fast-rejected right now (open and
+    /// still cooling down, or half-open with a probe in flight).
+    pub fn is_blocking(&self, endpoint: &str) -> bool {
+        self.endpoints
+            .lock()
+            .get(endpoint)
+            .is_some_and(|s| match s.state {
+                BreakerState::Closed => false,
+                BreakerState::Open => s.opened_at.elapsed() < self.config.cooldown,
+                BreakerState::HalfOpen => s.probe_in_flight,
+            })
+    }
+
+    /// Times the breaker tripped closed → open (or re-opened on a failed
+    /// probe).
+    pub fn trips(&self) -> u64 {
+        self.trips.load(Ordering::Relaxed)
+    }
+
+    /// Probe requests admitted while half-open.
+    pub fn probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+
+    /// Requests rejected instantly by an open circuit.
+    pub fn fast_rejects(&self) -> u64 {
+        self.fast_rejects.load(Ordering::Relaxed)
+    }
+
+    /// Endpoints whose circuit is currently open or half-open.
+    pub fn open_endpoints(&self) -> u64 {
+        self.endpoints
+            .lock()
+            .values()
+            .filter(|s| s.state != BreakerState::Closed)
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> BreakerConfig {
+        BreakerConfig {
+            consecutive_failures: 3,
+            cooldown: Duration::from_millis(20),
+            ..BreakerConfig::default()
+        }
+    }
+
+    #[test]
+    fn closed_until_consecutive_threshold() {
+        let b = CircuitBreaker::new(fast_config());
+        for _ in 0..2 {
+            b.try_acquire("e").unwrap();
+            b.record_failure("e");
+        }
+        assert_eq!(b.state("e"), BreakerState::Closed);
+        assert_eq!(b.trips(), 0);
+        b.record_failure("e");
+        assert_eq!(b.state("e"), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        assert!(matches!(
+            b.try_acquire("e"),
+            Err(RelayError::CircuitOpen(_))
+        ));
+        assert_eq!(b.fast_rejects(), 1);
+        assert_eq!(b.open_endpoints(), 1);
+    }
+
+    #[test]
+    fn success_resets_consecutive_count() {
+        // Alternating F S never reaches 3 consecutive failures and the
+        // window rate stays at 0.5 < 0.6, so the breaker stays closed.
+        let b = CircuitBreaker::new(fast_config());
+        for _ in 0..10 {
+            b.record_failure("e");
+            b.record_success("e");
+        }
+        assert_eq!(b.state("e"), BreakerState::Closed);
+        assert_eq!(b.trips(), 0);
+    }
+
+    #[test]
+    fn failure_rate_trips_without_consecutive_run() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            consecutive_failures: 100, // out of reach
+            failure_rate: 0.5,
+            window: 8,
+            min_samples: 8,
+            ..fast_config()
+        });
+        // Alternate F S F S … then pile on failures: rate crosses 0.5.
+        for _ in 0..4 {
+            b.record_failure("e");
+            b.record_success("e");
+        }
+        assert_eq!(b.state("e"), BreakerState::Closed);
+        b.record_failure("e");
+        // The bounded window is now 4 failures / 8 outcomes ≥ 0.5.
+        assert_eq!(b.state("e"), BreakerState::Open);
+    }
+
+    #[test]
+    fn open_to_half_open_probe_to_closed() {
+        let b = CircuitBreaker::new(fast_config());
+        for _ in 0..3 {
+            b.record_failure("e");
+        }
+        assert_eq!(b.state("e"), BreakerState::Open);
+        assert!(b.try_acquire("e").is_err());
+        std::thread::sleep(Duration::from_millis(25));
+        // Cooldown elapsed: exactly one probe gets through.
+        b.try_acquire("e").unwrap();
+        assert_eq!(b.state("e"), BreakerState::HalfOpen);
+        assert!(b.try_acquire("e").is_err(), "second probe must wait");
+        assert_eq!(b.probes(), 1);
+        b.record_success("e");
+        assert_eq!(b.state("e"), BreakerState::Closed);
+        b.try_acquire("e").unwrap();
+    }
+
+    #[test]
+    fn failed_probe_reopens_and_restarts_cooldown() {
+        let b = CircuitBreaker::new(fast_config());
+        for _ in 0..3 {
+            b.record_failure("e");
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        b.try_acquire("e").unwrap();
+        assert_eq!(b.state("e"), BreakerState::HalfOpen);
+        b.record_failure("e");
+        assert_eq!(b.state("e"), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        assert!(b.try_acquire("e").is_err(), "cooldown restarted");
+    }
+
+    #[test]
+    fn multiple_probes_required_when_configured() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            required_probes: 2,
+            ..fast_config()
+        });
+        for _ in 0..3 {
+            b.record_failure("e");
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        b.try_acquire("e").unwrap();
+        b.record_success("e");
+        assert_eq!(b.state("e"), BreakerState::HalfOpen, "one probe not enough");
+        b.try_acquire("e").unwrap();
+        b.record_success("e");
+        assert_eq!(b.state("e"), BreakerState::Closed);
+        assert_eq!(b.probes(), 2);
+    }
+
+    #[test]
+    fn endpoints_are_independent() {
+        let b = CircuitBreaker::new(fast_config());
+        for _ in 0..3 {
+            b.record_failure("dead");
+        }
+        assert_eq!(b.state("dead"), BreakerState::Open);
+        assert_eq!(b.state("healthy"), BreakerState::Closed);
+        b.try_acquire("healthy").unwrap();
+    }
+}

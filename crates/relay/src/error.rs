@@ -27,6 +27,16 @@ pub enum RelayError {
     Remote(String),
     /// Wire encoding/decoding failed.
     Wire(WireError),
+    /// The circuit breaker for an endpoint is open: the endpoint has
+    /// been failing and requests are rejected locally without touching
+    /// the network until a half-open probe succeeds.
+    CircuitOpen(String),
+    /// The caller's deadline budget was exhausted before a reply (or a
+    /// terminal error) was obtained.
+    DeadlineExceeded(String),
+    /// A relay component was constructed with invalid configuration
+    /// (e.g. an empty relay group).
+    InvalidConfig(String),
 }
 
 impl fmt::Display for RelayError {
@@ -43,6 +53,9 @@ impl fmt::Display for RelayError {
             RelayError::DriverFailed(m) => write!(f, "network driver failed: {m}"),
             RelayError::Remote(m) => write!(f, "remote relay error: {m}"),
             RelayError::Wire(e) => write!(f, "wire error: {e}"),
+            RelayError::CircuitOpen(ep) => write!(f, "circuit breaker open for {ep:?}"),
+            RelayError::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
+            RelayError::InvalidConfig(m) => write!(f, "invalid relay configuration: {m}"),
         }
     }
 }
@@ -78,6 +91,9 @@ mod tests {
             RelayError::DriverFailed("d".into()),
             RelayError::Remote("m".into()),
             RelayError::Wire(WireError::UnexpectedEof),
+            RelayError::CircuitOpen("e".into()),
+            RelayError::DeadlineExceeded("t".into()),
+            RelayError::InvalidConfig("c".into()),
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -19,10 +19,19 @@
 //! * [`transport`] — relay-to-relay transports: an in-process bus for
 //!   deterministic tests and a length-prefixed TCP transport.
 //! * [`ratelimit`] — token-bucket DoS protection (paper §5, availability).
-//! * [`redundancy`] — redundant relay groups with failover (paper §5).
+//! * [`redundancy`] — redundant relay groups with health-weighted,
+//!   breaker-aware selection, hedged requests, and deadline budgets
+//!   (paper §5).
 //! * [`retry`] — bounded exponential backoff with jitter for transient
-//!   relay-to-relay faults.
+//!   relay-to-relay faults, optionally breaker- and deadline-aware.
+//! * [`breaker`] — per-endpoint three-state circuit breaker that turns
+//!   repeated transport failures into fast local rejects.
+//! * [`chaos`] — deterministic, seed-replayable fault injection at the
+//!   transport layer (drops, delays, corruption, duplication, reorder,
+//!   partitions) for chaos testing the above.
 
+pub mod breaker;
+pub mod chaos;
 pub mod discovery;
 pub mod driver;
 pub mod error;

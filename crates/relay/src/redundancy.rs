@@ -1,20 +1,92 @@
-//! Redundant relay groups.
+//! Redundant relay groups with degradation-aware member selection.
 //!
 //! "The effects of DoS attacks can be mitigated by adding redundant
 //! relays" (paper §5). A [`RelayGroup`] fronts several relay instances of
-//! the same network and fails over between them.
+//! the same network and fails over between them. Selection is not blind
+//! round-robin: each member carries an EWMA health score, members whose
+//! circuit breaker is open are skipped without touching the network, and
+//! an optional latency-threshold *hedge* races the next-healthiest member
+//! when the primary is slow. An optional end-to-end deadline bounds the
+//! whole attempt sequence — failover and hedging never exceed the
+//! caller's budget.
 
+use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::error::RelayError;
 use crate::service::RelayService;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use tdt_wire::messages::{Query, QueryResponse};
 
-/// A set of interchangeable relays for one network, with round-robin
-/// selection and failover.
+/// Tunables for a [`RelayGroup`].
+#[derive(Debug, Clone, Default)]
+pub struct GroupConfig {
+    /// When the in-flight attempt has not answered after this long,
+    /// launch a concurrent hedged attempt against the next candidate.
+    /// `None` (the default) keeps attempts strictly sequential.
+    pub hedge_after: Option<Duration>,
+    /// Default end-to-end deadline for [`RelayGroup::relay_query`]
+    /// covering every failover and hedge. `None` means unbounded.
+    pub deadline: Option<Duration>,
+    /// Thresholds for the group's per-member circuit breaker.
+    pub breaker: BreakerConfig,
+}
+
+/// EWMA weight: each outcome moves a member's health 10 % of the way
+/// toward 1.0 (success) or 0.0 (failure).
+const HEALTH_ALPHA: f64 = 0.1;
+
+/// One relay instance plus its rolling health score.
+struct Member {
+    relay: Arc<RelayService>,
+    /// EWMA success rate in `0.0..=1.0`, stored as `f64` bits.
+    health: AtomicU64,
+}
+
+impl Member {
+    fn new(relay: Arc<RelayService>) -> Self {
+        Member {
+            relay,
+            health: AtomicU64::new(1.0f64.to_bits()),
+        }
+    }
+
+    fn health(&self) -> f64 {
+        f64::from_bits(self.health.load(Ordering::Relaxed))
+    }
+
+    fn record(&self, success: bool) {
+        let target = if success { 1.0 } else { 0.0 };
+        let _ = self
+            .health
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                let h = f64::from_bits(bits);
+                Some((h + HEALTH_ALPHA * (target - h)).to_bits())
+            });
+    }
+
+    /// Coarse bucket so that members with *equal* health keep their
+    /// round-robin rotation order (the sort below is stable), while a
+    /// clearly degraded member sinks behind healthy peers.
+    fn health_bucket(&self) -> u8 {
+        (self.health() * 8.0).clamp(0.0, 8.0) as u8
+    }
+}
+
+/// A set of interchangeable relays for one network, with health-weighted
+/// selection, breaker-aware skip, optional hedging, and deadline budgets.
 pub struct RelayGroup {
-    relays: Vec<Arc<RelayService>>,
+    members: Vec<Arc<Member>>,
     next: AtomicUsize,
+    config: GroupConfig,
+    breaker: Arc<CircuitBreaker>,
+    hedges: AtomicU64,
+    /// Shared with detached hedge worker threads, which outlive the
+    /// query call when they lose the race.
+    discarded_replies: Arc<AtomicU64>,
+    breaker_skips: AtomicU64,
+    deadline_failures: AtomicU64,
+    degraded_queries: AtomicU64,
 }
 
 impl std::fmt::Debug for RelayGroup {
@@ -22,71 +94,430 @@ impl std::fmt::Debug for RelayGroup {
         f.debug_struct("RelayGroup")
             .field(
                 "relays",
-                &self.relays.iter().map(|r| r.id()).collect::<Vec<_>>(),
+                &self
+                    .members
+                    .iter()
+                    .map(|m| m.relay.id())
+                    .collect::<Vec<_>>(),
             )
+            .field("config", &self.config)
             .finish()
     }
 }
 
 impl RelayGroup {
-    /// Creates a group from relay instances.
+    /// Creates a group from relay instances with default tunables.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `relays` is empty.
-    pub fn new(relays: Vec<Arc<RelayService>>) -> Self {
-        assert!(!relays.is_empty(), "a relay group needs at least one relay");
-        RelayGroup {
-            relays,
-            next: AtomicUsize::new(0),
+    /// Returns [`RelayError::InvalidConfig`] when `relays` is empty.
+    pub fn new(relays: Vec<Arc<RelayService>>) -> Result<Self, RelayError> {
+        Self::with_config(relays, GroupConfig::default())
+    }
+
+    /// Creates a group with explicit [`GroupConfig`] tunables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelayError::InvalidConfig`] when `relays` is empty.
+    pub fn with_config(
+        relays: Vec<Arc<RelayService>>,
+        config: GroupConfig,
+    ) -> Result<Self, RelayError> {
+        if relays.is_empty() {
+            return Err(RelayError::InvalidConfig(
+                "a relay group needs at least one relay".into(),
+            ));
         }
+        let breaker = Arc::new(CircuitBreaker::new(config.breaker.clone()));
+        Ok(RelayGroup {
+            members: relays
+                .into_iter()
+                .map(|r| Arc::new(Member::new(r)))
+                .collect(),
+            next: AtomicUsize::new(0),
+            config,
+            breaker,
+            hedges: AtomicU64::new(0),
+            discarded_replies: Arc::new(AtomicU64::new(0)),
+            breaker_skips: AtomicU64::new(0),
+            deadline_failures: AtomicU64::new(0),
+            degraded_queries: AtomicU64::new(0),
+        })
     }
 
     /// Number of member relays.
     pub fn len(&self) -> usize {
-        self.relays.len()
+        self.members.len()
     }
 
-    /// Always false: groups cannot be empty.
+    /// Always false: construction rejects empty groups.
     pub fn is_empty(&self) -> bool {
         false
     }
 
-    /// Number of members currently marked down.
-    pub fn down_count(&self) -> usize {
-        self.relays.iter().filter(|r| r.is_down()).count()
+    /// The member relay at `index` (rotation position at construction).
+    pub fn relay(&self, index: usize) -> Option<&Arc<RelayService>> {
+        self.members.get(index).map(|m| &m.relay)
     }
 
-    /// Relays a query, starting from the next relay in round-robin order
-    /// and failing over on relay-local errors (down, rate limited,
-    /// transport failure). Errors reported by the *remote* side are
-    /// returned immediately — retrying a different local relay cannot fix
-    /// them.
+    /// The EWMA health score of the member at `index` (`1.0` = perfect).
+    pub fn member_health(&self, index: usize) -> Option<f64> {
+        self.members.get(index).map(|m| m.health())
+    }
+
+    /// The group's per-member circuit breaker (keyed by relay id).
+    pub fn breaker(&self) -> &Arc<CircuitBreaker> {
+        &self.breaker
+    }
+
+    /// Number of members currently marked down.
+    pub fn down_count(&self) -> usize {
+        self.members.iter().filter(|m| m.relay.is_down()).count()
+    }
+
+    /// Hedged attempts launched because the primary was slow.
+    pub fn hedges(&self) -> u64 {
+        self.hedges.load(Ordering::Relaxed)
+    }
+
+    /// Replies that arrived after another attempt already won the race
+    /// and were therefore discarded (never delivered to the caller).
+    pub fn discarded_replies(&self) -> u64 {
+        self.discarded_replies.load(Ordering::Relaxed)
+    }
+
+    /// Attempts skipped without touching the network because the
+    /// member's circuit was open.
+    pub fn breaker_skips(&self) -> u64 {
+        self.breaker_skips.load(Ordering::Relaxed)
+    }
+
+    /// Queries that failed because the deadline budget ran out.
+    pub fn deadline_failures(&self) -> u64 {
+        self.deadline_failures.load(Ordering::Relaxed)
+    }
+
+    /// Queries that ran in degraded mode: every candidate's circuit was
+    /// open, so the group forced an attempt anyway rather than fail the
+    /// caller on [`RelayError::CircuitOpen`] alone.
+    pub fn degraded_queries(&self) -> u64 {
+        self.degraded_queries.load(Ordering::Relaxed)
+    }
+
+    /// Whether a relay-local error should trigger failover to another
+    /// member. Errors the *remote* side decided (protocol, unknown
+    /// network/driver) fail identically everywhere and surface
+    /// immediately. A [`RelayError::Wire`] decode failure means *this*
+    /// member returned a reply that does not parse — a path-integrity
+    /// fault another member may not share — so it fails over too.
+    fn is_failover(error: &RelayError) -> bool {
+        matches!(
+            error,
+            RelayError::RelayDown(_)
+                | RelayError::RateLimited
+                | RelayError::TransportFailed(_)
+                | RelayError::StaleConnection(_)
+                | RelayError::CircuitOpen(_)
+                | RelayError::DeadlineExceeded(_)
+                | RelayError::Wire(_)
+        )
+    }
+
+    /// Candidate order for one query: rotation for fairness, then a
+    /// stable sort by health bucket so degraded members are tried last
+    /// while equally healthy members preserve round-robin order.
+    fn selection_order(&self) -> Vec<usize> {
+        let n = self.members.len();
+        let start = self.next.fetch_add(1, Ordering::Relaxed) % n.max(1);
+        let mut order: Vec<usize> = (0..n).map(|i| (start + i) % n).collect();
+        order.sort_by_key(|&i| {
+            std::cmp::Reverse(self.members.get(i).map_or(0, |m| m.health_bucket()))
+        });
+        order
+    }
+
+    /// Records one member outcome in both the health EWMA and the
+    /// group breaker.
+    fn record_outcome(&self, index: usize, outcome: &Result<QueryResponse, RelayError>) {
+        let Some(member) = self.members.get(index) else {
+            return;
+        };
+        let id = member.relay.id();
+        match outcome {
+            Ok(_) => {
+                member.record(true);
+                self.breaker.record_success(id);
+            }
+            Err(e) if Self::is_failover(e) => {
+                member.record(false);
+                self.breaker.record_failure(id);
+            }
+            // Terminal errors mean the member is alive and answering.
+            Err(_) => {
+                member.record(true);
+                self.breaker.record_success(id);
+            }
+        }
+    }
+
+    /// Relays a query under the group's configured deadline (if any),
+    /// starting from the healthiest candidate in rotation order and
+    /// failing over — or hedging, when configured — on relay-local
+    /// errors and slowness.
     ///
     /// # Errors
     ///
-    /// Returns the last failure when every member relay failed.
+    /// Returns the last failure when every member relay failed,
+    /// [`RelayError::DeadlineExceeded`] when the budget ran out first,
+    /// or a terminal error from the first member that produced one.
     pub fn relay_query(&self, query: &Query) -> Result<QueryResponse, RelayError> {
-        let start = self.next.fetch_add(1, Ordering::Relaxed);
+        self.relay_query_with_deadline(query, self.config.deadline)
+    }
+
+    /// Like [`RelayGroup::relay_query`] with an explicit end-to-end
+    /// deadline covering every failover attempt and hedge.
+    ///
+    /// # Errors
+    ///
+    /// As [`RelayGroup::relay_query`].
+    pub fn relay_query_with_deadline(
+        &self,
+        query: &Query,
+        deadline: Option<Duration>,
+    ) -> Result<QueryResponse, RelayError> {
+        let started = Instant::now();
+        let order = self.selection_order();
+        match self.config.hedge_after {
+            None => self.run_sequential(query, &order, started, deadline),
+            Some(hedge_after) => self.run_hedged(query, &order, started, deadline, hedge_after),
+        }
+    }
+
+    fn deadline_error(&self, started: Instant, deadline: Duration) -> RelayError {
+        self.deadline_failures.fetch_add(1, Ordering::Relaxed);
+        RelayError::DeadlineExceeded(format!(
+            "relay group budget {deadline:?} spent after {:?}",
+            started.elapsed()
+        ))
+    }
+
+    fn run_sequential(
+        &self,
+        query: &Query,
+        order: &[usize],
+        started: Instant,
+        deadline: Option<Duration>,
+    ) -> Result<QueryResponse, RelayError> {
         let mut last_err = None;
-        let rotation = self
-            .relays
-            .iter()
-            .cycle()
-            .skip(start % self.relays.len().max(1))
-            .take(self.relays.len());
-        for relay in rotation {
-            match relay.relay_query(query) {
+        let mut skipped = Vec::new();
+        for &index in order {
+            if let Some(budget) = deadline {
+                if started.elapsed() >= budget {
+                    return Err(self.deadline_error(started, budget));
+                }
+            }
+            let Some(member) = self.members.get(index) else {
+                continue;
+            };
+            if let Err(open) = self.breaker.try_acquire(member.relay.id()) {
+                self.breaker_skips.fetch_add(1, Ordering::Relaxed);
+                skipped.push(index);
+                last_err.get_or_insert(open);
+                continue;
+            }
+            let outcome = member.relay.relay_query(query);
+            self.record_outcome(index, &outcome);
+            match outcome {
                 Ok(response) => return Ok(response),
-                Err(
-                    e @ (RelayError::RelayDown(_)
-                    | RelayError::RateLimited
-                    | RelayError::TransportFailed(_)),
-                ) => last_err = Some(e),
-                Err(other) => return Err(other),
+                Err(e) if Self::is_failover(&e) => last_err = Some(e),
+                Err(terminal) => return Err(terminal),
+            }
+        }
+        // Degraded mode: every attempt was a breaker skip. Failing the
+        // caller on open circuits alone would turn a cooldown window into
+        // an outage, so force attempts at the skipped members instead —
+        // each doubles as recovery evidence for its breaker.
+        if skipped.len() == order.len() {
+            self.degraded_queries.fetch_add(1, Ordering::Relaxed);
+            for index in skipped {
+                if let Some(budget) = deadline {
+                    if started.elapsed() >= budget {
+                        return Err(self.deadline_error(started, budget));
+                    }
+                }
+                let Some(member) = self.members.get(index) else {
+                    continue;
+                };
+                let outcome = member.relay.relay_query(query);
+                self.record_outcome(index, &outcome);
+                match outcome {
+                    Ok(response) => return Ok(response),
+                    Err(e) if Self::is_failover(&e) => last_err = Some(e),
+                    Err(terminal) => return Err(terminal),
+                }
             }
         }
         Err(last_err.unwrap_or_else(|| RelayError::RelayDown("all relays".into())))
+    }
+
+    /// Races member attempts: the first one launched normally, further
+    /// ones either on failure (failover) or after `hedge_after` without
+    /// an answer (hedge). The first success wins; late replies are
+    /// counted in [`RelayGroup::discarded_replies`] and dropped, so a
+    /// caller can never observe two replies for one query.
+    fn run_hedged(
+        &self,
+        query: &Query,
+        order: &[usize],
+        started: Instant,
+        deadline: Option<Duration>,
+        hedge_after: Duration,
+    ) -> Result<QueryResponse, RelayError> {
+        let (tx, rx) =
+            crossbeam::channel::unbounded::<(usize, Result<QueryResponse, RelayError>)>();
+        let won = Arc::new(AtomicBool::new(false));
+        let mut pending = order
+            .iter()
+            .copied()
+            .collect::<std::collections::VecDeque<_>>();
+        // Members skipped on an open circuit, kept for degraded mode:
+        // when nothing can be attempted normally, they are re-queued and
+        // attempted with the breaker bypassed.
+        let mut skipped = std::collections::VecDeque::new();
+        let mut outstanding = 0usize;
+        let mut last_err = None;
+        let launch = |hedged: bool,
+                      force: bool,
+                      pending: &mut std::collections::VecDeque<usize>,
+                      skipped: &mut std::collections::VecDeque<usize>,
+                      outstanding: &mut usize,
+                      last_err: &mut Option<RelayError>| {
+            while let Some(index) = pending.pop_front() {
+                let Some(member) = self.members.get(index) else {
+                    continue;
+                };
+                if !force {
+                    if let Err(open) = self.breaker.try_acquire(member.relay.id()) {
+                        self.breaker_skips.fetch_add(1, Ordering::Relaxed);
+                        skipped.push_back(index);
+                        last_err.get_or_insert(open);
+                        continue;
+                    }
+                }
+                if hedged {
+                    self.hedges.fetch_add(1, Ordering::Relaxed);
+                }
+                let member = Arc::clone(member);
+                let query = query.clone();
+                let tx = tx.clone();
+                let won = Arc::clone(&won);
+                let discarded = Arc::clone(&self.discarded_replies);
+                // Detached worker: a slow loser finishes in the
+                // background; its reply is counted and dropped, never
+                // delivered.
+                std::thread::spawn(move || {
+                    let outcome = member.relay.relay_query(&query);
+                    if outcome.is_ok() && won.swap(true, Ordering::SeqCst) {
+                        // Another attempt already delivered first.
+                        discarded.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    let _ = tx.send((index, outcome));
+                });
+                *outstanding += 1;
+                return true;
+            }
+            false
+        };
+        launch(
+            false,
+            false,
+            &mut pending,
+            &mut skipped,
+            &mut outstanding,
+            &mut last_err,
+        );
+        loop {
+            if outstanding == 0 && pending.is_empty() {
+                if skipped.is_empty() {
+                    return Err(
+                        last_err.unwrap_or_else(|| RelayError::RelayDown("all relays".into()))
+                    );
+                }
+                // Degraded mode: nothing in flight and every remaining
+                // candidate's circuit is open. Re-queue the skipped
+                // members and force an attempt rather than fail the
+                // caller on cooldown alone.
+                self.degraded_queries.fetch_add(1, Ordering::Relaxed);
+                std::mem::swap(&mut pending, &mut skipped);
+                launch(
+                    false,
+                    true,
+                    &mut pending,
+                    &mut skipped,
+                    &mut outstanding,
+                    &mut last_err,
+                );
+                continue;
+            }
+            let remaining = match deadline {
+                None => None,
+                Some(budget) => match budget.checked_sub(started.elapsed()) {
+                    Some(r) => Some(r),
+                    None => return Err(self.deadline_error(started, budget)),
+                },
+            };
+            let wait = if pending.is_empty() {
+                remaining.unwrap_or(Duration::from_secs(3600))
+            } else {
+                remaining.map_or(hedge_after, |r| r.min(hedge_after))
+            };
+            match rx.recv_timeout(wait) {
+                Ok((index, outcome)) => {
+                    self.record_outcome(index, &outcome);
+                    match outcome {
+                        Ok(response) => return Ok(response),
+                        Err(e) if Self::is_failover(&e) => {
+                            outstanding -= 1;
+                            last_err = Some(e);
+                            launch(
+                                false,
+                                false,
+                                &mut pending,
+                                &mut skipped,
+                                &mut outstanding,
+                                &mut last_err,
+                            );
+                        }
+                        Err(terminal) => return Err(terminal),
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    if let Some(budget) = deadline {
+                        if started.elapsed() >= budget {
+                            return Err(self.deadline_error(started, budget));
+                        }
+                    }
+                    // The in-flight attempt is slow: hedge with the next
+                    // candidate if one is available. When nothing can be
+                    // launched and nothing is in flight, the loop top
+                    // handles degraded mode or gives up.
+                    launch(
+                        true,
+                        false,
+                        &mut pending,
+                        &mut skipped,
+                        &mut outstanding,
+                        &mut last_err,
+                    );
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    return Err(last_err
+                        .unwrap_or_else(|| RelayError::TransportFailed("hedge race lost".into())));
+                }
+            }
+        }
     }
 }
 
@@ -99,7 +530,7 @@ mod tests {
     use crate::transport::{EnvelopeHandler, InProcessBus, RelayTransport};
     use tdt_wire::messages::NetworkAddress;
 
-    fn setup(n: usize, limited: bool) -> (RelayGroup, Arc<RelayService>) {
+    fn setup_with(n: usize, limited: bool, config: GroupConfig) -> (RelayGroup, Arc<RelayService>) {
         let registry = Arc::new(StaticRegistry::new());
         let bus = Arc::new(InProcessBus::new());
         registry.register("stl", "inproc:stl-relay");
@@ -127,7 +558,11 @@ mod tests {
             }
             relays.push(Arc::new(relay));
         }
-        (RelayGroup::new(relays), stl_relay)
+        (RelayGroup::with_config(relays, config).unwrap(), stl_relay)
+    }
+
+    fn setup(n: usize, limited: bool) -> (RelayGroup, Arc<RelayService>) {
+        setup_with(n, limited, GroupConfig::default())
     }
 
     fn query() -> Query {
@@ -149,8 +584,8 @@ mod tests {
     #[test]
     fn failover_past_down_relays() {
         let (group, _stl) = setup(3, false);
-        group.relays[0].set_down(true);
-        group.relays[1].set_down(true);
+        group.relay(0).unwrap().set_down(true);
+        group.relay(1).unwrap().set_down(true);
         assert_eq!(group.down_count(), 2);
         // Should still succeed on the remaining relay, for many requests.
         for _ in 0..5 {
@@ -161,13 +596,10 @@ mod tests {
     #[test]
     fn all_down_fails() {
         let (group, _stl) = setup(2, false);
-        for relay in &group.relays {
-            relay.set_down(true);
+        for i in 0..group.len() {
+            group.relay(i).unwrap().set_down(true);
         }
-        assert!(matches!(
-            group.relay_query(&query()),
-            Err(RelayError::RelayDown(_))
-        ));
+        assert!(group.relay_query(&query()).is_err());
     }
 
     #[test]
@@ -196,8 +628,112 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one relay")]
-    fn empty_group_panics() {
-        RelayGroup::new(Vec::new());
+    fn empty_group_is_rejected() {
+        let err = RelayGroup::new(Vec::new()).unwrap_err();
+        assert!(matches!(err, RelayError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn health_tracks_failures_and_selection_prefers_healthy() {
+        let (group, _stl) = setup(2, false);
+        group.relay(0).unwrap().set_down(true);
+        for _ in 0..8 {
+            assert!(group.relay_query(&query()).is_ok());
+        }
+        let unhealthy = group.member_health(0).unwrap();
+        let healthy = group.member_health(1).unwrap();
+        assert!(
+            unhealthy < healthy,
+            "failing member must degrade: {unhealthy} vs {healthy}"
+        );
+        // Once buckets diverge, the healthy member is tried first even on
+        // rotations that would have started at the degraded one, so
+        // queries keep succeeding on the first attempt.
+        assert!(group.member_health(1).unwrap() > 0.99);
+    }
+
+    #[test]
+    fn breaker_isolates_repeatedly_failing_member() {
+        let config = GroupConfig {
+            breaker: BreakerConfig {
+                consecutive_failures: 2,
+                cooldown: Duration::from_secs(60),
+                ..BreakerConfig::default()
+            },
+            ..GroupConfig::default()
+        };
+        let (group, _stl) = setup_with(2, false, config);
+        // With every member down, failover keeps re-trying both, so the
+        // failure count accumulates until the circuits trip.
+        for i in 0..group.len() {
+            group.relay(i).unwrap().set_down(true);
+        }
+        for _ in 0..2 {
+            assert!(group.relay_query(&query()).is_err());
+        }
+        assert_eq!(
+            group.breaker().state(group.relay(0).unwrap().id()),
+            crate::breaker::BreakerState::Open
+        );
+        // With every circuit open the group degrades to forced attempts
+        // instead of failing on CircuitOpen alone; the members are still
+        // down, so the forced attempts report that.
+        assert!(matches!(
+            group.relay_query(&query()),
+            Err(RelayError::RelayDown(_))
+        ));
+        assert!(group.breaker_skips() >= 2, "open circuits must be skipped");
+        assert!(group.breaker().trips() >= 2);
+        assert!(group.degraded_queries() >= 1);
+        // Degraded mode keeps serving once the members recover, even
+        // while the circuits are still cooling down.
+        group.relay(0).unwrap().set_down(false);
+        assert!(group.relay_query(&query()).is_ok());
+    }
+
+    #[test]
+    fn zero_deadline_fails_with_classified_error() {
+        let config = GroupConfig {
+            deadline: Some(Duration::ZERO),
+            ..GroupConfig::default()
+        };
+        let (group, _stl) = setup_with(2, false, config);
+        let err = group.relay_query(&query()).unwrap_err();
+        assert!(matches!(err, RelayError::DeadlineExceeded(_)), "{err}");
+        assert_eq!(group.deadline_failures(), 1);
+    }
+
+    #[test]
+    fn explicit_deadline_overrides_config() {
+        let (group, _stl) = setup(2, false);
+        let err = group
+            .relay_query_with_deadline(&query(), Some(Duration::ZERO))
+            .unwrap_err();
+        assert!(matches!(err, RelayError::DeadlineExceeded(_)));
+        // And an ample explicit deadline succeeds.
+        let ok = group.relay_query_with_deadline(&query(), Some(Duration::from_secs(5)));
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn hedged_mode_serves_queries_and_fails_over() {
+        let config = GroupConfig {
+            hedge_after: Some(Duration::from_millis(5)),
+            ..GroupConfig::default()
+        };
+        let (group, _stl) = setup_with(3, false, config);
+        for _ in 0..5 {
+            let response = group.relay_query(&query()).unwrap();
+            assert_eq!(response.result, b"data");
+        }
+        group.relay(0).unwrap().set_down(true);
+        group.relay(1).unwrap().set_down(true);
+        for _ in 0..5 {
+            assert!(group.relay_query(&query()).is_ok());
+        }
+        for i in 0..group.len() {
+            group.relay(i).unwrap().set_down(true);
+        }
+        assert!(group.relay_query(&query()).is_err());
     }
 }

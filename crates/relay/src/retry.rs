@@ -9,12 +9,13 @@
 //! backoff and jitter, so a thundering herd of retries from many relays
 //! decorrelates instead of synchronizing.
 
+use crate::breaker::CircuitBreaker;
 use crate::error::RelayError;
 use crate::transport::RelayTransport;
 use rand::RngCore;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tdt_wire::messages::RelayEnvelope;
 
 /// When and how long to back off between send attempts.
@@ -92,6 +93,13 @@ impl RetryPolicy {
         let jittered = (capped as f64 * factor) as u128;
         nanos_to_duration(jittered.min(self.max_delay.as_nanos()))
     }
+
+    /// Like [`RetryPolicy::backoff_delay`], additionally clamped to the
+    /// remaining deadline budget — a retry sleep must never outlive the
+    /// caller's deadline.
+    pub fn backoff_delay_within(&self, attempt: u32, remaining: Duration) -> Duration {
+        self.backoff_delay(attempt).min(remaining)
+    }
 }
 
 fn nanos_to_duration(nanos: u128) -> Duration {
@@ -107,6 +115,8 @@ pub struct RetryingTransport {
     policy: RetryPolicy,
     attempts: AtomicU64,
     retries: AtomicU64,
+    breaker: Option<Arc<CircuitBreaker>>,
+    deadline_budget: Option<Duration>,
 }
 
 impl std::fmt::Debug for RetryingTransport {
@@ -115,6 +125,8 @@ impl std::fmt::Debug for RetryingTransport {
             .field("policy", &self.policy)
             .field("attempts", &self.attempts)
             .field("retries", &self.retries)
+            .field("breaker", &self.breaker.is_some())
+            .field("deadline_budget", &self.deadline_budget)
             .finish()
     }
 }
@@ -127,12 +139,38 @@ impl RetryingTransport {
             policy,
             attempts: AtomicU64::new(0),
             retries: AtomicU64::new(0),
+            breaker: None,
+            deadline_budget: None,
         }
+    }
+
+    /// Consults `breaker` before every attempt and reports transient
+    /// outcomes back to it. While the endpoint's circuit is open, sends
+    /// fail instantly with [`RelayError::CircuitOpen`] — which is *not*
+    /// retryable here; a [`crate::redundancy::RelayGroup`] is expected to
+    /// fail over to another member instead.
+    pub fn with_breaker(mut self, breaker: Arc<CircuitBreaker>) -> Self {
+        self.breaker = Some(breaker);
+        self
+    }
+
+    /// Bounds the whole send — attempts plus backoff sleeps — to
+    /// `budget`. Backoff sleeps are clamped to the remaining budget and
+    /// retries stop with [`RelayError::DeadlineExceeded`] once it runs
+    /// out.
+    pub fn with_deadline_budget(mut self, budget: Duration) -> Self {
+        self.deadline_budget = Some(budget);
+        self
     }
 
     /// The active policy.
     pub fn policy(&self) -> &RetryPolicy {
         &self.policy
+    }
+
+    /// The breaker consulted before each attempt, if any.
+    pub fn breaker(&self) -> Option<&Arc<CircuitBreaker>> {
+        self.breaker.as_ref()
     }
 
     /// Total send attempts (including first tries).
@@ -148,16 +186,41 @@ impl RetryingTransport {
 
 impl RelayTransport for RetryingTransport {
     fn send(&self, endpoint: &str, envelope: &RelayEnvelope) -> Result<RelayEnvelope, RelayError> {
+        let started = Instant::now();
         let mut attempt = 0;
         loop {
+            if let Some(breaker) = &self.breaker {
+                breaker.try_acquire(endpoint)?;
+            }
             self.attempts.fetch_add(1, Ordering::Relaxed);
-            match self.inner.send(endpoint, envelope) {
+            let outcome = self.inner.send(endpoint, envelope);
+            if let Some(breaker) = &self.breaker {
+                match &outcome {
+                    Ok(_) => breaker.record_success(endpoint),
+                    // Terminal errors mean the endpoint answered — only
+                    // transient faults count against its health.
+                    Err(e) if RetryPolicy::is_retryable(e) => breaker.record_failure(endpoint),
+                    Err(_) => breaker.record_success(endpoint),
+                }
+            }
+            match outcome {
                 Ok(reply) => return Ok(reply),
                 Err(error)
                     if RetryPolicy::is_retryable(&error) && attempt < self.policy.max_retries =>
                 {
+                    let delay = match self.deadline_budget {
+                        None => self.policy.backoff_delay(attempt),
+                        Some(budget) => {
+                            let Some(remaining) = budget.checked_sub(started.elapsed()) else {
+                                return Err(RelayError::DeadlineExceeded(format!(
+                                    "retry budget {budget:?} spent after {} attempts; last: {error}",
+                                    attempt + 1
+                                )));
+                            };
+                            self.policy.backoff_delay_within(attempt, remaining)
+                        }
+                    };
                     self.retries.fetch_add(1, Ordering::Relaxed);
-                    let delay = self.policy.backoff_delay(attempt);
                     if !delay.is_zero() {
                         std::thread::sleep(delay);
                     }
@@ -304,6 +367,98 @@ mod tests {
                 "delay {d:?} outside jitter band"
             );
         }
+    }
+
+    #[test]
+    fn jittered_backoff_never_exceeds_cap_or_deadline_budget() {
+        // Large base + max jitter: the nominal delay would overshoot both
+        // bounds, so this pins the clamping itself, not a lucky draw.
+        let policy = RetryPolicy::new(
+            8,
+            Duration::from_millis(100),
+            Duration::from_millis(60),
+            1.0,
+        );
+        for attempt in 0..8 {
+            for _ in 0..64 {
+                assert!(
+                    policy.backoff_delay(attempt) <= Duration::from_millis(60),
+                    "attempt {attempt}: jittered delay exceeded max_delay"
+                );
+                let remaining = Duration::from_millis(7);
+                assert!(
+                    policy.backoff_delay_within(attempt, remaining) <= remaining,
+                    "attempt {attempt}: delay exceeded remaining deadline budget"
+                );
+            }
+        }
+        // Growth stays pinned with jitter disabled.
+        let exact = RetryPolicy::new(8, Duration::from_millis(10), Duration::from_secs(10), 0.0);
+        let growth: Vec<Duration> = (0..5).map(|a| exact.backoff_delay(a)).collect();
+        assert_eq!(
+            growth,
+            [10, 20, 40, 80, 160].map(Duration::from_millis).to_vec()
+        );
+    }
+
+    #[test]
+    fn deadline_budget_stops_retries_with_classified_error() {
+        let transport = RetryingTransport::new(
+            Arc::new(FlakyTransport::failing(transient(50))),
+            RetryPolicy::new(50, Duration::from_millis(5), Duration::from_millis(5), 0.0),
+        )
+        .with_deadline_budget(Duration::from_millis(30));
+        let started = std::time::Instant::now();
+        let err = transport.send("inproc:x", &envelope()).unwrap_err();
+        assert!(matches!(err, RelayError::DeadlineExceeded(_)), "{err}");
+        // Sleeps were clamped to the remaining budget: well under the
+        // 50 × 5 ms the policy alone would have allowed.
+        assert!(started.elapsed() < Duration::from_millis(200));
+    }
+
+    #[test]
+    fn breaker_opens_after_repeated_transport_failures() {
+        use crate::breaker::{BreakerConfig, BreakerState};
+        let breaker = Arc::new(CircuitBreaker::new(BreakerConfig {
+            consecutive_failures: 3,
+            ..BreakerConfig::default()
+        }));
+        let transport = RetryingTransport::new(
+            Arc::new(FlakyTransport::failing(transient(10))),
+            RetryPolicy::without_delay(2),
+        )
+        .with_breaker(Arc::clone(&breaker));
+        // 3 attempts = 3 transient failures: the circuit trips.
+        assert!(transport.send("inproc:x", &envelope()).is_err());
+        assert_eq!(breaker.state("inproc:x"), BreakerState::Open);
+        // Next send is rejected locally without an attempt.
+        let before = transport.attempts();
+        let err = transport.send("inproc:x", &envelope()).unwrap_err();
+        assert!(matches!(err, RelayError::CircuitOpen(_)));
+        assert_eq!(transport.attempts(), before);
+    }
+
+    #[test]
+    fn terminal_errors_do_not_trip_breaker() {
+        use crate::breaker::BreakerState;
+        let breaker = Arc::new(CircuitBreaker::default());
+        let transport = RetryingTransport::new(
+            Arc::new(FlakyTransport::failing(vec![
+                RelayError::Remote("no".into()),
+                RelayError::Remote("no".into()),
+                RelayError::Remote("no".into()),
+                RelayError::Remote("no".into()),
+            ])),
+            RetryPolicy::without_delay(0),
+        )
+        .with_breaker(Arc::clone(&breaker));
+        for _ in 0..4 {
+            assert!(matches!(
+                transport.send("inproc:x", &envelope()),
+                Err(RelayError::Remote(_))
+            ));
+        }
+        assert_eq!(breaker.state("inproc:x"), BreakerState::Closed);
     }
 
     #[test]

@@ -10,11 +10,13 @@
 //!   deserialize the incoming request, pick the driver for the addressed
 //!   network, orchestrate proof collection, and reply.
 
+use crate::breaker::CircuitBreaker;
 use crate::discovery::DiscoveryService;
 use crate::driver::NetworkDriver;
 use crate::error::RelayError;
 use crate::events::{EventSink, EventSource};
 use crate::ratelimit::RateLimiter;
+use crate::retry::RetryPolicy;
 use crate::transport::{EnvelopeHandler, PoolStats, RelayTransport};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::RwLock;
@@ -60,6 +62,7 @@ pub struct RelayStats {
     latency_buckets: [AtomicU64; 6],
     cert_cache: OnceLock<Arc<CertChainCache>>,
     pool_stats: OnceLock<Arc<PoolStats>>,
+    breaker: OnceLock<Arc<CircuitBreaker>>,
 }
 
 impl RelayStats {
@@ -122,6 +125,11 @@ impl RelayStats {
             pool_connections_reused: self.pool_connections_reused(),
             pool_requests_in_flight: self.pool_requests_in_flight(),
             pool_orphaned_replies: self.pool_orphaned_replies(),
+            pool_connections_culled: self.pool_connections_culled(),
+            breaker_trips: self.breaker_trips(),
+            breaker_probes: self.breaker_probes(),
+            breaker_fast_rejects: self.breaker_fast_rejects(),
+            breaker_open_endpoints: self.breaker_open_endpoints(),
         }
     }
 
@@ -169,6 +177,32 @@ impl RelayStats {
     pub fn pool_orphaned_replies(&self) -> u64 {
         self.pool_stats.get().map_or(0, |p| p.orphaned_replies())
     }
+
+    /// Pooled connections pruned as dead at checkout time, when pool
+    /// stats are attached.
+    pub fn pool_connections_culled(&self) -> u64 {
+        self.pool_stats.get().map_or(0, |p| p.connections_culled())
+    }
+
+    /// Times the attached circuit breaker tripped open.
+    pub fn breaker_trips(&self) -> u64 {
+        self.breaker.get().map_or(0, |b| b.trips())
+    }
+
+    /// Half-open probe requests admitted by the attached breaker.
+    pub fn breaker_probes(&self) -> u64 {
+        self.breaker.get().map_or(0, |b| b.probes())
+    }
+
+    /// Requests rejected instantly by an open circuit.
+    pub fn breaker_fast_rejects(&self) -> u64 {
+        self.breaker.get().map_or(0, |b| b.fast_rejects())
+    }
+
+    /// Endpoints whose circuit is currently open or half-open.
+    pub fn breaker_open_endpoints(&self) -> u64 {
+        self.breaker.get().map_or(0, |b| b.open_endpoints())
+    }
 }
 
 /// A point-in-time copy of [`RelayStats`], mergeable across relays —
@@ -206,6 +240,16 @@ pub struct RelayStatsSnapshot {
     pub pool_requests_in_flight: u64,
     /// Multiplexed replies dropped for lack of a matching waiter.
     pub pool_orphaned_replies: u64,
+    /// Pooled connections pruned as dead at checkout time.
+    pub pool_connections_culled: u64,
+    /// Times the circuit breaker tripped open.
+    pub breaker_trips: u64,
+    /// Half-open probe requests admitted by the breaker.
+    pub breaker_probes: u64,
+    /// Requests rejected instantly by an open circuit.
+    pub breaker_fast_rejects: u64,
+    /// Endpoints open or half-open at snapshot time.
+    pub breaker_open_endpoints: u64,
 }
 
 impl RelayStatsSnapshot {
@@ -243,6 +287,17 @@ impl RelayStatsSnapshot {
         self.pool_orphaned_replies = self
             .pool_orphaned_replies
             .saturating_add(other.pool_orphaned_replies);
+        self.pool_connections_culled = self
+            .pool_connections_culled
+            .saturating_add(other.pool_connections_culled);
+        self.breaker_trips = self.breaker_trips.saturating_add(other.breaker_trips);
+        self.breaker_probes = self.breaker_probes.saturating_add(other.breaker_probes);
+        self.breaker_fast_rejects = self
+            .breaker_fast_rejects
+            .saturating_add(other.breaker_fast_rejects);
+        self.breaker_open_endpoints = self
+            .breaker_open_endpoints
+            .saturating_add(other.breaker_open_endpoints);
     }
 
     /// Total envelopes measured by the merged latency histogram.
@@ -279,6 +334,7 @@ pub struct RelayService {
     request_deadline: Duration,
     pool: RwLock<Option<WorkerPool>>,
     down: AtomicBool,
+    breaker: Option<Arc<CircuitBreaker>>,
     stats: RelayStats,
 }
 
@@ -314,6 +370,7 @@ impl RelayService {
             request_deadline: DEFAULT_REQUEST_DEADLINE,
             pool: RwLock::new(None),
             down: AtomicBool::new(false),
+            breaker: None,
             stats: RelayStats::default(),
         }
     }
@@ -328,6 +385,17 @@ impl RelayService {
     /// (builder style). Inline processing is not subject to deadlines.
     pub fn with_request_deadline(mut self, deadline: Duration) -> Self {
         self.request_deadline = deadline;
+        self
+    }
+
+    /// Consults `breaker` before forwarding to a remote relay endpoint
+    /// and reports transport outcomes back to it (builder style). While
+    /// an endpoint's circuit is open, [`RelayService::relay_query`] fails
+    /// fast with [`RelayError::CircuitOpen`]. The breaker's counters are
+    /// surfaced through [`RelayService::stats`].
+    pub fn with_breaker(mut self, breaker: Arc<CircuitBreaker>) -> Self {
+        self.stats.breaker.set(Arc::clone(&breaker)).ok();
+        self.breaker = Some(breaker);
         self
     }
 
@@ -518,6 +586,7 @@ impl RelayService {
     /// * [`RelayError::RelayDown`] when this relay is down.
     /// * [`RelayError::RateLimited`] when the local limiter sheds the call.
     /// * [`RelayError::DiscoveryFailed`] when the remote network is unknown.
+    /// * [`RelayError::CircuitOpen`] when the endpoint's breaker is open.
     /// * [`RelayError::TransportFailed`] when the remote relay is unreachable.
     /// * [`RelayError::Remote`] when the remote relay reports an error.
     pub fn relay_query(&self, query: &Query) -> Result<QueryResponse, RelayError> {
@@ -533,9 +602,31 @@ impl RelayService {
         let target_network = &query.address.network_id;
         // Step 2: discovery.
         let endpoint = self.discovery.lookup(target_network)?;
+        if let Some(breaker) = &self.breaker {
+            breaker.try_acquire(&endpoint)?;
+        }
         // Step 3: serialize and forward.
         let envelope = RelayEnvelope::query(self.id.clone(), target_network.clone(), query);
-        let reply = self.transport.send(&endpoint, &envelope)?;
+        let reply = match self.transport.send(&endpoint, &envelope) {
+            Ok(reply) => {
+                if let Some(breaker) = &self.breaker {
+                    breaker.record_success(&endpoint);
+                }
+                reply
+            }
+            Err(error) => {
+                if let Some(breaker) = &self.breaker {
+                    // Terminal errors mean the endpoint answered — only
+                    // transient faults count against its health.
+                    if RetryPolicy::is_retryable(&error) {
+                        breaker.record_failure(&endpoint);
+                    } else {
+                        breaker.record_success(&endpoint);
+                    }
+                }
+                return Err(error);
+            }
+        };
         self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
         match reply.kind {
             EnvelopeKind::QueryResponse => Ok(QueryResponse::decode_from_slice(&reply.payload)?),
@@ -1140,6 +1231,50 @@ mod tests {
         assert_eq!(relay.stats().pool_connections_open(), 1);
         assert_eq!(relay.stats().pool_requests_in_flight(), 0);
         assert_eq!(relay.stats().pool_orphaned_replies(), 0);
+    }
+
+    #[test]
+    fn breaker_trips_on_unreachable_endpoint_and_surfaces_in_stats() {
+        use crate::breaker::{BreakerConfig, BreakerState};
+        let registry = Arc::new(StaticRegistry::new());
+        let bus = Arc::new(InProcessBus::new());
+        // "stl" resolves, but nothing is registered on the bus, so every
+        // forward dies in the transport.
+        registry.register("stl", "inproc:stl-relay");
+        let breaker = Arc::new(crate::breaker::CircuitBreaker::new(BreakerConfig {
+            consecutive_failures: 3,
+            cooldown: Duration::from_secs(60),
+            ..BreakerConfig::default()
+        }));
+        let relay = RelayService::new(
+            "swt-relay",
+            "swt",
+            Arc::clone(&registry) as Arc<dyn DiscoveryService>,
+            Arc::clone(&bus) as Arc<dyn RelayTransport>,
+        )
+        .with_breaker(Arc::clone(&breaker));
+        for _ in 0..3 {
+            assert!(matches!(
+                relay.relay_query(&bl_query()),
+                Err(RelayError::TransportFailed(_))
+            ));
+        }
+        assert_eq!(breaker.state("inproc:stl-relay"), BreakerState::Open);
+        // The next query is rejected locally, before the transport.
+        assert!(matches!(
+            relay.relay_query(&bl_query()),
+            Err(RelayError::CircuitOpen(_))
+        ));
+        assert_eq!(relay.stats().breaker_trips(), 1);
+        assert_eq!(relay.stats().breaker_open_endpoints(), 1);
+        assert_eq!(relay.stats().breaker_fast_rejects(), 1);
+        let snapshot = relay.stats().snapshot();
+        assert_eq!(snapshot.breaker_trips, 1);
+        assert_eq!(snapshot.breaker_open_endpoints, 1);
+        assert_eq!(snapshot.breaker_fast_rejects, 1);
+        let mut merged = snapshot.clone();
+        merged.merge(&snapshot);
+        assert_eq!(merged.breaker_trips, 2);
     }
 
     #[test]

@@ -164,6 +164,7 @@ pub struct PoolStats {
     open: AtomicU64,
     in_flight: AtomicU64,
     orphaned: AtomicU64,
+    culled: AtomicU64,
 }
 
 impl PoolStats {
@@ -192,6 +193,13 @@ impl PoolStats {
     /// confused.
     pub fn orphaned_replies(&self) -> u64 {
         self.orphaned.load(Ordering::Relaxed)
+    }
+
+    /// Connections pruned as dead at checkout time (their reader thread
+    /// had already failed the in-flight waiters over to
+    /// [`crate::error::RelayError::StaleConnection`]).
+    pub fn connections_culled(&self) -> u64 {
+        self.culled.load(Ordering::Relaxed)
     }
 }
 
@@ -426,7 +434,11 @@ impl PooledTcpTransport {
         let conns = endpoints.entry(addr.to_string()).or_default();
         // Prune connections whose reader died; their waiters were already
         // failed over to StaleConnection.
+        let before = conns.len();
         conns.retain(|c| !c.dead.load(Ordering::Acquire));
+        self.stats
+            .culled
+            .fetch_add((before - conns.len()) as u64, Ordering::Relaxed);
         if conns.len() >= self.max_conns_per_endpoint {
             if let Some(conn) = least_loaded(conns) {
                 self.stats.reused.fetch_add(1, Ordering::Relaxed);
@@ -435,7 +447,11 @@ impl PooledTcpTransport {
             // Every surviving connection was marked dead by its reader
             // between the prune above and the load scan: drop them all
             // and fall through to a fresh dial instead of panicking.
+            let before = conns.len();
             conns.retain(|c| !c.dead.load(Ordering::Acquire));
+            self.stats
+                .culled
+                .fetch_add((before - conns.len()) as u64, Ordering::Relaxed);
         }
         let conn = self.dial(addr)?;
         conns.push(Arc::clone(&conn));
@@ -1199,6 +1215,13 @@ mod tests {
         assert!(
             RetryPolicy::is_retryable(&err),
             "dead pooled connection must be retryable, got {err:?}"
+        );
+        // Whichever way the death was noticed, the next checkout prunes
+        // the dead connection and counts the cull.
+        let _ = transport.send(&endpoint, &request(b"again"));
+        assert!(
+            transport.stats().connections_culled() >= 1,
+            "checkout must count pruned dead connections"
         );
         // A fresh endpoint heals the pool: new server, new dial.
         let server2 = TcpRelayServer::spawn("127.0.0.1:0", Arc::new(EchoHandler)).unwrap();

@@ -260,7 +260,7 @@ fn availability_redundant_relays_mask_outage() {
             Arc::clone(&t.bus) as Arc<dyn RelayTransport>,
         )));
     }
-    let group = Arc::new(RelayGroup::new(relays.clone()));
+    let group = Arc::new(RelayGroup::new(relays.clone()).unwrap());
     let client = InteropClient::with_relay_group(t.swt_seller_gateway(), group);
     // Take down two of three relays: queries still succeed.
     relays[0].set_down(true);
@@ -376,7 +376,7 @@ fn availability_permanent_outage_exhausts_retries_then_fails_over() {
         Arc::clone(&retrying) as Arc<dyn RelayTransport>,
     ));
     // Relay B is the healthy testbed relay; the group fails over to it.
-    let group = Arc::new(RelayGroup::new(vec![relay_a, Arc::clone(&t.swt_relay)]));
+    let group = Arc::new(RelayGroup::new(vec![relay_a, Arc::clone(&t.swt_relay)]).unwrap());
     let client = InteropClient::with_relay_group(t.swt_seller_gateway(), group);
     let remote = client.query_remote(bl_address(), policy()).unwrap();
     assert!(!remote.data.is_empty());
