@@ -182,6 +182,7 @@ fn bench_tcp_transports(c: &mut Criterion) {
                 dest_network: envelope.dest_network,
                 payload: envelope.payload,
                 correlation_id: 0,
+                trace: Default::default(),
             }
         }
     }
@@ -192,6 +193,7 @@ fn bench_tcp_transports(c: &mut Criterion) {
         dest_network: "target".into(),
         payload: vec![0xAB; 64],
         correlation_id: 0,
+        trace: Default::default(),
     };
     let server = TcpRelayServer::spawn("127.0.0.1:0", Arc::new(Echo)).unwrap();
     let endpoint = server.endpoint();

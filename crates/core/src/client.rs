@@ -17,6 +17,8 @@ use rand::RngCore;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tdt_fabric::gateway::{Gateway, TxOutcome};
+use tdt_obs::span::{self as obs_span, RecordErr, Span};
+use tdt_obs::{ContextGuard, TraceContext};
 use tdt_relay::redundancy::RelayGroup;
 use tdt_relay::service::RelayService;
 use tdt_relay::RelayError;
@@ -64,6 +66,20 @@ impl RelayHandle {
         match self {
             RelayHandle::Single(relay) => relay.relay_query(query),
             RelayHandle::Group(group) => group.relay_query(query),
+        }
+    }
+}
+
+/// Starts the client-side span of a cross-network operation: joins the
+/// caller's trace when one is installed on this thread, otherwise roots a
+/// fresh sampled trace — the query path's head-based sampling decision.
+fn root_span(name: &'static str) -> (Span, ContextGuard) {
+    match TraceContext::current() {
+        Some(_) => obs_span::enter(name),
+        None => {
+            let root = TraceContext::root();
+            let guard = root.install();
+            (Span::start(name, &root), guard)
         }
     }
 }
@@ -153,13 +169,9 @@ impl InteropClient {
         address: NetworkAddress,
         policy: VerificationPolicy,
     ) -> Result<RemoteData, InteropError> {
-        let query = self.build_query(address, policy);
-        let response = self.relay.relay_query(&query)?;
-        let proof = process_response(self.gateway.identity(), &query, &response)?;
-        Ok(RemoteData {
-            data: proof.result.clone(),
-            proof,
-        })
+        let (mut span, _obs_guard) = root_span("client.query_remote");
+        self.fetch_remote(address, policy, false)
+            .record_err(&mut span)
     }
 
     /// Executes a cross-network *invocation*: a ledger update on the
@@ -178,9 +190,27 @@ impl InteropClient {
         address: NetworkAddress,
         policy: VerificationPolicy,
     ) -> Result<RemoteData, InteropError> {
-        let query = self.build_request(address, policy, true);
+        let (mut span, _obs_guard) = root_span("client.invoke_remote");
+        self.fetch_remote(address, policy, true)
+            .record_err(&mut span)
+    }
+
+    /// Shared body of the two remote operations: build the signed query,
+    /// relay it, and verify the returned proof — each stage under its own
+    /// span of the trace rooted (or joined) by the caller.
+    fn fetch_remote(
+        &self,
+        address: NetworkAddress,
+        policy: VerificationPolicy,
+        invocation: bool,
+    ) -> Result<RemoteData, InteropError> {
+        let query = self.build_request(address, policy, invocation);
         let response = self.relay.relay_query(&query)?;
-        let proof = process_response(self.gateway.identity(), &query, &response)?;
+        let proof = {
+            let (mut verify_span, _verify_guard) = obs_span::enter("proof.verify");
+            process_response(self.gateway.identity(), &query, &response)
+                .record_err(&mut verify_span)?
+        };
         Ok(RemoteData {
             data: proof.result.clone(),
             proof,

@@ -21,6 +21,7 @@ use tdt_ledger::history::HistoryIndex;
 use tdt_ledger::rwset::Version;
 use tdt_ledger::state::WorldState;
 use tdt_ledger::store::BlockStore;
+use tdt_obs::span::{self as obs_span, RecordErr};
 use tdt_wire::codec::Message;
 
 /// A peer node: endorser + committer with its own ledger replica.
@@ -125,6 +126,11 @@ impl Peer {
     /// Returns a [`FabricError`] on authentication failure, unknown
     /// chaincode, or chaincode business errors.
     pub fn simulate(&self, proposal: &Proposal) -> Result<SimulationResult, FabricError> {
+        let (mut span, _obs_guard) = obs_span::enter("contract.execute");
+        self.simulate_inner(proposal).record_err(&mut span)
+    }
+
+    fn simulate_inner(&self, proposal: &Proposal) -> Result<SimulationResult, FabricError> {
         if !proposal.relay_query {
             proposal.verify_signature()?;
             self.msp_registry.validate(&proposal.creator)?;
@@ -174,7 +180,10 @@ impl Peer {
         payload: &[u8],
         plugin: &dyn EndorsementPlugin,
     ) -> Result<crate::endorse::PluginOutput, FabricError> {
-        plugin.endorse(&self.identity, payload, proposal)
+        let (mut span, _obs_guard) = obs_span::enter("peer.endorse");
+        plugin
+            .endorse(&self.identity, payload, proposal)
+            .record_err(&mut span)
     }
 
     /// Validates one transaction envelope against this peer's state.

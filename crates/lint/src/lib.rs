@@ -1,7 +1,7 @@
 //! `lint` — the workspace's own static analyzer.
 //!
-//! Four passes guard invariants the compiler cannot see (ISSUE 3; paper
-//! §4–5 trust model):
+//! Five passes guard invariants the compiler cannot see (ISSUE 3 and 5;
+//! paper §4–5 trust model):
 //!
 //! | pass         | scope                              | invariant                         |
 //! |--------------|------------------------------------|-----------------------------------|
@@ -9,6 +9,7 @@
 //! | `panic`      | relay, core, fabric, contracts     | fail closed, never panic          |
 //! | `ct`         | crypto                             | constant-time secret comparisons  |
 //! | `wire`       | wire message schema                | append-only field-tag evolution   |
+//! | `obs`        | relay request path                 | fallible entry points record span errors |
 //!
 //! Run as `cargo run -p lint --release -- check`; CI fails on any
 //! diagnostic. Opt-outs are per-site comments: `// lint:allow(<pass>)`,
@@ -24,6 +25,7 @@ pub mod ct;
 pub mod diag;
 pub mod lexer;
 pub mod locks;
+pub mod obs;
 pub mod panics;
 pub mod wire;
 pub mod workspace;
@@ -55,6 +57,10 @@ pub fn run_all(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
 
     for file in workspace::load_crates(root, CT_CRATES)? {
         ct::check_file(&file, &mut out);
+    }
+
+    for file in workspace::load_crates(root, &["relay"])? {
+        obs::check_file(&file, &mut out);
     }
 
     let messages = std::fs::read_to_string(root.join(MESSAGES_PATH))?;

@@ -1,0 +1,305 @@
+//! Observability pass: fallible relay entry points must record span errors.
+//!
+//! Rationale (ISSUE 5): the span tree is the primary debugging artifact for
+//! cross-network queries. A `pub fn` on the relay request path that returns
+//! `Result<_, RelayError>` but never calls `record_err` produces spans that
+//! look healthy while the query failed — worse than no span at all. Functions
+//! that genuinely have nothing to record (constructors, thin delegates whose
+//! callee records) opt out per-site with `// lint:allow(obs: "why")`; the
+//! justification string is mandatory.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, strip_test_items, Lexed, Tok, Token};
+use crate::workspace::SourceFile;
+
+const PASS: &str = "obs";
+
+/// Files on the relay request path that the pass inspects.
+pub const OBS_FILES: &[&str] = &[
+    "crates/relay/src/service.rs",
+    "crates/relay/src/redundancy.rs",
+    "crates/relay/src/transport.rs",
+];
+
+/// Runs the pass over one file, appending findings. Files outside
+/// [`OBS_FILES`] are skipped.
+pub fn check_file(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !OBS_FILES.contains(&file.rel_path.as_str()) {
+        return;
+    }
+    let lexed = lex(&file.text);
+    let tokens = strip_test_items(&lexed.tokens);
+    check_tokens(&tokens, &lexed, &file.rel_path, out);
+}
+
+fn check_tokens(tokens: &[Token], lexed: &Lexed, path: &str, out: &mut Vec<Diagnostic>) {
+    let mut i = 0;
+    while i < tokens.len() {
+        let Some((fn_idx, next)) = pub_fn_at(tokens, i) else {
+            i += 1;
+            continue;
+        };
+        i = next;
+        let fn_line = tokens[fn_idx].line;
+        let name = tokens
+            .get(fn_idx + 1)
+            .and_then(|t| t.tok.ident())
+            .unwrap_or("?")
+            .to_owned();
+        // Locate the body's opening brace: the first `{` at paren depth 0
+        // after the fn keyword (return types and where clauses carry no
+        // braces in this codebase).
+        let Some(open) = body_open(tokens, fn_idx) else {
+            continue;
+        };
+        if !returns_relay_result(&tokens[fn_idx..open]) {
+            i = open;
+            continue;
+        }
+        let close = matching_brace(tokens, open);
+        let records = tokens[open..close]
+            .iter()
+            .any(|t| t.tok.is_ident("record_err"));
+        if records {
+            i = close;
+            continue;
+        }
+        // Allow directives may sit on the line above the signature, on the
+        // signature itself, or on the first line of the body.
+        let first_body_line = tokens
+            .get(open)
+            .map(|t| t.line.saturating_add(1))
+            .unwrap_or(fn_line);
+        match allow_in_range(lexed, fn_line.saturating_sub(1), first_body_line) {
+            AllowState::Justified => {}
+            AllowState::Unjustified => out.push(Diagnostic::new(
+                PASS,
+                path,
+                fn_line,
+                "lint:allow(obs) requires a justification string: \
+                 `// lint:allow(obs: \"why no span error is recorded\")`",
+            )),
+            AllowState::Absent => out.push(Diagnostic::new(
+                PASS,
+                path,
+                fn_line,
+                format!(
+                    "`pub fn {name}` returns Result<_, RelayError> but never \
+                     records an error status on its span (`record_err`)"
+                ),
+            )),
+        }
+        i = close;
+    }
+}
+
+enum AllowState {
+    Justified,
+    Unjustified,
+    Absent,
+}
+
+fn allow_in_range(lexed: &Lexed, lo: u32, hi: u32) -> AllowState {
+    let mut found = false;
+    for allow in &lexed.allows {
+        if allow.pass != PASS || allow.line < lo || allow.line > hi {
+            continue;
+        }
+        found = true;
+        if allow
+            .justification
+            .as_deref()
+            .is_some_and(|j| !j.is_empty())
+        {
+            return AllowState::Justified;
+        }
+    }
+    if found {
+        AllowState::Unjustified
+    } else {
+        AllowState::Absent
+    }
+}
+
+/// When `i` starts a `pub fn` (or `pub(crate) fn` etc.), returns the index
+/// of the `fn` keyword and the index to resume scanning from.
+fn pub_fn_at(tokens: &[Token], i: usize) -> Option<(usize, usize)> {
+    if !tokens[i].tok.is_ident("pub") {
+        return None;
+    }
+    let mut j = i + 1;
+    // Skip a visibility qualifier `(crate)` / `(super)` / `(in path)`.
+    if tokens.get(j).is_some_and(|t| t.tok.is_punct("(")) {
+        let mut depth = 0;
+        while j < tokens.len() {
+            match &tokens[j].tok {
+                Tok::Punct("(") => depth += 1,
+                Tok::Punct(")") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    // Skip qualifiers between visibility and `fn`.
+    while tokens.get(j).is_some_and(|t| {
+        ["const", "unsafe", "async", "extern"]
+            .iter()
+            .any(|q| t.tok.is_ident(q))
+    }) {
+        j += 1;
+    }
+    if tokens.get(j).is_some_and(|t| t.tok.is_ident("fn")) {
+        Some((j, j + 1))
+    } else {
+        None
+    }
+}
+
+/// Index of the body's opening `{`: first `{` at paren/bracket depth 0
+/// after the fn keyword at `fn_idx`. `None` for brace-less items (trait
+/// method declarations).
+fn body_open(tokens: &[Token], fn_idx: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = fn_idx;
+    while j < tokens.len() {
+        match &tokens[j].tok {
+            Tok::Punct("(") | Tok::Punct("[") => depth += 1,
+            Tok::Punct(")") | Tok::Punct("]") => depth -= 1,
+            Tok::Punct("{") if depth == 0 => return Some(j),
+            Tok::Punct(";") if depth == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Index just past the `}` matching the `{` at `open`.
+fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0;
+    let mut j = open;
+    while j < tokens.len() {
+        match &tokens[j].tok {
+            Tok::Punct("{") => depth += 1,
+            Tok::Punct("}") => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// True when the signature slice (fn keyword up to the body brace) declares
+/// a `Result<..., RelayError>` return type.
+fn returns_relay_result(sig: &[Token]) -> bool {
+    let Some(arrow) = sig.iter().position(|t| t.tok.is_punct("->")) else {
+        return false;
+    };
+    let ret = &sig[arrow..];
+    ret.iter().any(|t| t.tok.is_ident("Result")) && ret.iter().any(|t| t.tok.is_ident("RelayError"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile {
+            rel_path: "crates/relay/src/service.rs".into(),
+            crate_name: "relay".into(),
+            text: src.into(),
+        };
+        let mut out = Vec::new();
+        check_file(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_fallible_pub_fn_without_record_err() {
+        let src = r#"
+            impl RelayService {
+                pub fn relay_query(&self, q: &Q) -> Result<R, RelayError> {
+                    self.inner(q)
+                }
+            }
+        "#;
+        let d = run(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("relay_query"));
+    }
+
+    #[test]
+    fn record_err_in_body_satisfies_the_pass() {
+        let src = r#"
+            pub fn relay_query(&self, q: &Q) -> Result<R, RelayError> {
+                let (mut span, _g) = obs_span::enter("relay.query");
+                self.inner(q).record_err(&mut span)
+            }
+        "#;
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn allow_with_justification_on_first_body_line() {
+        let src = r#"
+            pub fn relay_query(&self, q: &Q) -> Result<R, RelayError> {
+                // lint:allow(obs: "delegates to a recording callee")
+                self.inner(q)
+            }
+        "#;
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_justification_is_rejected() {
+        let src = r#"
+            pub fn relay_query(&self, q: &Q) -> Result<R, RelayError> {
+                // lint:allow(obs)
+                self.inner(q)
+            }
+        "#;
+        let d = run(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("justification"));
+    }
+
+    #[test]
+    fn other_result_types_private_fns_and_other_files_are_exempt() {
+        let src = r#"
+            pub fn infallible(&self) -> u64 { 0 }
+            pub fn other_error(&self) -> Result<R, WireError> { self.x() }
+            fn private_fallible(&self) -> Result<R, RelayError> { self.x() }
+        "#;
+        assert!(run(src).is_empty());
+        let elsewhere = SourceFile {
+            rel_path: "crates/relay/src/retry.rs".into(),
+            crate_name: "relay".into(),
+            text: "pub fn f() -> Result<(), RelayError> { g() }".into(),
+        };
+        let mut out = Vec::new();
+        check_file(&elsewhere, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn test_items_are_stripped() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                pub fn helper() -> Result<(), RelayError> { boom() }
+            }
+        "#;
+        assert!(run(src).is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! A process-wide monotonic clock.
+//!
+//! All span timestamps are nanoseconds since the first observation in this
+//! process, so records from different threads share one timeline and can be
+//! compared without wall-clock skew.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds elapsed on the monotonic clock since the process first
+/// called into this module. The first caller reads `0`.
+pub fn now_nanos() -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    // u64 nanoseconds cover ~584 years of process uptime.
+    Instant::now().saturating_duration_since(epoch).as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone() {
+        let a = now_nanos();
+        let b = now_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn advances() {
+        let a = now_nanos();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(now_nanos() > a);
+    }
+}

@@ -1,0 +1,277 @@
+//! Snapshot exporters: Prometheus text exposition and JSON.
+//!
+//! Both exporters render a [`RegistrySnapshot`]; they never touch live
+//! metrics, so a scrape observes one consistent point in time per metric.
+//! [`parse_exposition`] is the inverse used by the golden-file CI check:
+//! it extracts `(name, type)` pairs and validates the exposition's shape
+//! so accidental renames are caught deliberately.
+
+use crate::metrics::{HistogramSnapshot, MetricValue, RegistrySnapshot};
+use std::fmt::Write as _;
+
+/// Renders the snapshot in the Prometheus text exposition format
+/// (`# HELP` / `# TYPE` comments, `_bucket`/`_sum`/`_count`/`_max`
+/// series for histograms, cumulative `le` buckets ending at `+Inf`).
+pub fn prometheus_text(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for metric in &snapshot.metrics {
+        let _ = writeln!(out, "# HELP {} {}", metric.name, escape_help(&metric.help));
+        let _ = writeln!(out, "# TYPE {} {}", metric.name, metric.kind.as_str());
+        match &metric.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "{} {}", metric.name, v);
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "{} {}", metric.name, v);
+            }
+            MetricValue::Histogram(h) => {
+                let mut cumulative = 0u64;
+                for (i, bound) in h.bounds.iter().enumerate() {
+                    cumulative = cumulative.saturating_add(h.buckets.get(i).copied().unwrap_or(0));
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{{le=\"{}\"}} {}",
+                        metric.name, bound, cumulative
+                    );
+                }
+                let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", metric.name, h.count);
+                let _ = writeln!(out, "{}_sum {}", metric.name, h.sum);
+                let _ = writeln!(out, "{}_count {}", metric.name, h.count);
+                let _ = writeln!(out, "{}_max {}", metric.name, h.max);
+            }
+        }
+    }
+    out
+}
+
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_histogram(out: &mut String, h: &HistogramSnapshot) {
+    out.push_str("{\"bounds\":[");
+    for (i, b) in h.bounds.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{b}");
+    }
+    out.push_str("],\"buckets\":[");
+    for (i, b) in h.buckets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{b}");
+    }
+    let _ = write!(
+        out,
+        "],\"count\":{},\"sum\":{},\"max\":{}}}",
+        h.count, h.sum, h.max
+    );
+}
+
+/// Renders the snapshot as a JSON object:
+/// `{"metrics":[{"name":...,"kind":...,"help":...,"value":...},...]}`.
+/// Histogram values are objects with `bounds`/`buckets`/`count`/`sum`/`max`.
+pub fn json_text(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::from("{\"metrics\":[");
+    for (i, metric) in snapshot.metrics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"kind\":\"{}\",\"help\":\"{}\",\"value\":",
+            escape_json(&metric.name),
+            metric.kind.as_str(),
+            escape_json(&metric.help)
+        );
+        match &metric.value {
+            MetricValue::Counter(v) => {
+                let _ = write!(out, "{v}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = write!(out, "{v}");
+            }
+            MetricValue::Histogram(h) => json_histogram(&mut out, h),
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parses a Prometheus text exposition into `(metric name, type)` pairs,
+/// in order of appearance.
+///
+/// Validates the shape strictly enough for CI: every `# TYPE` names a
+/// known kind, every sample line belongs to the most recent `# TYPE`
+/// family (allowing `_bucket`/`_sum`/`_count`/`_max` suffixes for
+/// histograms) and carries a numeric value.
+///
+/// # Errors
+///
+/// Returns a line-numbered message on the first malformed line.
+pub fn parse_exposition(text: &str) -> Result<Vec<(String, String)>, String> {
+    let mut families = Vec::new();
+    let mut current: Option<(String, String)> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts
+                .next()
+                .ok_or_else(|| format!("line {n}: TYPE without a metric name"))?;
+            let kind = parts
+                .next()
+                .ok_or_else(|| format!("line {n}: TYPE without a kind"))?;
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("line {n}: unknown metric kind {kind:?}"));
+            }
+            families.push((name.to_string(), kind.to_string()));
+            current = Some((name.to_string(), kind.to_string()));
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        // A sample line: `name[{labels}] value`.
+        let series = line
+            .split_whitespace()
+            .next()
+            .ok_or_else(|| format!("line {n}: empty sample"))?;
+        let value = line
+            .split_whitespace()
+            .nth(1)
+            .ok_or_else(|| format!("line {n}: sample without a value"))?;
+        if value.parse::<f64>().is_err() {
+            return Err(format!("line {n}: non-numeric sample value {value:?}"));
+        }
+        let series_name = series.split('{').next().unwrap_or(series);
+        let (family, kind) = current
+            .as_ref()
+            .ok_or_else(|| format!("line {n}: sample before any # TYPE"))?;
+        let valid = if kind == "histogram" {
+            series_name
+                .strip_prefix(family.as_str())
+                .map(|suffix| matches!(suffix, "_bucket" | "_sum" | "_count" | "_max"))
+                .unwrap_or(false)
+        } else {
+            series_name == family
+        };
+        if !valid {
+            return Err(format!(
+                "line {n}: sample {series_name:?} does not match family {family:?}"
+            ));
+        }
+    }
+    Ok(families)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Histogram, Registry};
+
+    fn sample_registry() -> Registry {
+        let reg = Registry::new();
+        reg.counter("tdt_demo_total", "demo counter").add(3);
+        reg.gauge("tdt_demo_depth", "demo gauge").set(-2);
+        let h = Histogram::with_bounds(vec![10, 100]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(500);
+        reg.register_histogram("tdt_demo_ns", "demo histogram", &h);
+        reg
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let text = prometheus_text(&sample_registry().snapshot());
+        assert!(text.contains("# TYPE tdt_demo_total counter"));
+        assert!(text.contains("tdt_demo_total 3"));
+        assert!(text.contains("# TYPE tdt_demo_depth gauge"));
+        assert!(text.contains("tdt_demo_depth -2"));
+        assert!(text.contains("tdt_demo_ns_bucket{le=\"10\"} 1"));
+        assert!(text.contains("tdt_demo_ns_bucket{le=\"100\"} 2"));
+        assert!(text.contains("tdt_demo_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("tdt_demo_ns_sum 555"));
+        assert!(text.contains("tdt_demo_ns_count 3"));
+        assert!(text.contains("tdt_demo_ns_max 500"));
+    }
+
+    #[test]
+    fn exposition_parses_back() {
+        let text = prometheus_text(&sample_registry().snapshot());
+        let families = parse_exposition(&text).expect("parse");
+        assert_eq!(
+            families,
+            vec![
+                ("tdt_demo_depth".to_string(), "gauge".to_string()),
+                ("tdt_demo_ns".to_string(), "histogram".to_string()),
+                ("tdt_demo_total".to_string(), "counter".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_mismatched_sample() {
+        let bad = "# TYPE a counter\nb 1\n";
+        assert!(parse_exposition(bad).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_non_numeric_value() {
+        let bad = "# TYPE a counter\na x\n";
+        assert!(parse_exposition(bad).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_kind() {
+        let bad = "# TYPE a summary\na 1\n";
+        assert!(parse_exposition(bad).is_err());
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let json = json_text(&sample_registry().snapshot());
+        assert!(json.starts_with("{\"metrics\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"name\":\"tdt_demo_total\""));
+        assert!(json.contains("\"kind\":\"histogram\""));
+        assert!(json.contains("\"max\":500"));
+        // Balanced braces/brackets (no string values contain either).
+        assert_eq!(json.matches('{').count(), json.matches('}').count(),);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let reg = Registry::new();
+        reg.counter("c", "say \"hi\"\n").inc();
+        let json = json_text(&reg.snapshot());
+        assert!(json.contains("say \\\"hi\\\"\\n"));
+    }
+}

@@ -1,0 +1,115 @@
+//! The in-process observability handle.
+//!
+//! An [`ObsHandle`] owns a [`Registry`] plus a list of [`MetricSource`]s
+//! — bridges that, at scrape time, copy an existing component's counters
+//! (relay stats, pool stats, breaker, relay group) into registry metrics.
+//! Scrape-time bridging keeps the hot paths on their existing atomics and
+//! still presents one unified export.
+
+use crate::export;
+use crate::metrics::{Registry, RegistrySnapshot};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A component that can publish its current state into a [`Registry`].
+///
+/// Implementations run on every scrape; they should only read their own
+/// atomics and `set` absolute values on registry handles.
+pub trait MetricSource: Send + Sync {
+    /// Copies current values into `registry`.
+    fn collect(&self, registry: &Registry);
+}
+
+/// Owner of the unified registry and its scrape-time sources.
+#[derive(Default)]
+pub struct ObsHandle {
+    registry: Registry,
+    sources: Mutex<Vec<Arc<dyn MetricSource>>>,
+}
+
+impl std::fmt::Debug for ObsHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sources = self
+            .sources
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len();
+        f.debug_struct("ObsHandle")
+            .field("sources", &sources)
+            .finish()
+    }
+}
+
+impl ObsHandle {
+    /// A handle with an empty registry and no sources.
+    pub fn new() -> ObsHandle {
+        ObsHandle::default()
+    }
+
+    /// The underlying registry (clone to register metrics directly).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Adds a scrape-time source.
+    pub fn add_source(&self, source: Arc<dyn MetricSource>) {
+        self.sources
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(source);
+    }
+
+    /// Runs every source, then snapshots the registry.
+    pub fn scrape(&self) -> RegistrySnapshot {
+        let sources: Vec<Arc<dyn MetricSource>> = self
+            .sources
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(Arc::clone)
+            .collect();
+        for source in sources {
+            source.collect(&self.registry);
+        }
+        self.registry.snapshot()
+    }
+
+    /// Scrapes and renders the Prometheus text exposition.
+    pub fn prometheus_text(&self) -> String {
+        export::prometheus_text(&self.scrape())
+    }
+
+    /// Scrapes and renders the JSON snapshot.
+    pub fn json_text(&self) -> String {
+        export::json_text(&self.scrape())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FixedSource;
+
+    impl MetricSource for FixedSource {
+        fn collect(&self, registry: &Registry) {
+            registry.counter("bridged_total", "bridged").set(42);
+        }
+    }
+
+    #[test]
+    fn scrape_runs_sources() {
+        let handle = ObsHandle::new();
+        handle.add_source(Arc::new(FixedSource));
+        let snap = handle.scrape();
+        assert_eq!(snap.counter("bridged_total"), Some(42));
+        assert!(handle.prometheus_text().contains("bridged_total 42"));
+        assert!(handle.json_text().contains("\"bridged_total\""));
+    }
+
+    #[test]
+    fn direct_registry_metrics_survive_scrape() {
+        let handle = ObsHandle::new();
+        handle.registry().counter("direct_total", "d").add(7);
+        assert_eq!(handle.scrape().counter("direct_total"), Some(7));
+    }
+}

@@ -1,0 +1,357 @@
+//! Spans and the per-thread ring buffers that record them.
+//!
+//! A [`Span`] measures one hop of the query path. Starting one against a
+//! non-recording context costs nothing (the span is inert); a recording
+//! span captures start/end timestamps from [`crate::clock`], a list of
+//! named events (`retry.attempt`, `breaker.fast_reject`, `hedge.fired`,
+//! `chaos.fault`, ...) and an error status, and lands in a bounded
+//! per-thread ring on drop. Rings overwrite their oldest record when full
+//! and count the overwrites, so recording never blocks or allocates
+//! unboundedly on the hot path.
+//!
+//! Snapshots are **non-destructive**: [`snapshot_spans`] clones every
+//! ring, and [`spans_for_trace`] filters to one trace id, so concurrent
+//! tests can each inspect their own tree without racing on a shared drain.
+
+use crate::clock::now_nanos;
+use crate::trace::{ContextGuard, TraceContext};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Capacity of each per-thread span ring.
+const RING_CAPACITY: usize = 4096;
+
+/// Maximum named events retained per span (excess increments a counter on
+/// the final event instead of growing without bound).
+const MAX_EVENTS_PER_SPAN: usize = 64;
+
+/// Terminal status of a finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpanStatus {
+    /// The hop completed without a recorded error.
+    Ok,
+    /// The hop failed; the payload is the error's display form.
+    Error(String),
+}
+
+/// A named point-in-time marker inside a span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Event name, e.g. `retry.attempt`.
+    pub name: &'static str,
+    /// Nanoseconds on the process clock when the event fired.
+    pub at_nanos: u64,
+}
+
+/// A finished span as stored in the ring buffers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Hop name, e.g. `relay.query`.
+    pub name: &'static str,
+    /// High 64 bits of the owning trace id.
+    pub trace_hi: u64,
+    /// Low 64 bits of the owning trace id.
+    pub trace_lo: u64,
+    /// This span's id.
+    pub span_id: u64,
+    /// Parent span id (zero for the root).
+    pub parent_span_id: u64,
+    /// Start timestamp on the process monotonic clock.
+    pub start_nanos: u64,
+    /// End timestamp on the process monotonic clock.
+    pub end_nanos: u64,
+    /// Named events recorded while the span was active.
+    pub events: Vec<SpanEvent>,
+    /// Terminal status.
+    pub status: SpanStatus,
+}
+
+impl SpanRecord {
+    /// Span duration in nanoseconds.
+    pub fn duration_nanos(&self) -> u64 {
+        self.end_nanos.saturating_sub(self.start_nanos)
+    }
+
+    /// True when the span ended in [`SpanStatus::Error`].
+    pub fn is_error(&self) -> bool {
+        matches!(self.status, SpanStatus::Error(_))
+    }
+}
+
+struct Ring {
+    records: VecDeque<SpanRecord>,
+}
+
+static RINGS: Mutex<Vec<Arc<Mutex<Ring>>>> = Mutex::new(Vec::new());
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static LOCAL_RING: Arc<Mutex<Ring>> = {
+        let ring = Arc::new(Mutex::new(Ring {
+            records: VecDeque::with_capacity(RING_CAPACITY),
+        }));
+        RINGS
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Arc::clone(&ring));
+        ring
+    };
+}
+
+fn record(rec: SpanRecord) {
+    LOCAL_RING.with(|ring| {
+        let mut ring = ring.lock().unwrap_or_else(PoisonError::into_inner);
+        if ring.records.len() >= RING_CAPACITY {
+            ring.records.pop_front();
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.records.push_back(rec);
+    });
+}
+
+/// Total spans overwritten before anyone snapshotted them (process-wide).
+pub fn spans_dropped() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Clones every span currently held in any thread's ring.
+pub fn snapshot_spans() -> Vec<SpanRecord> {
+    let rings: Vec<Arc<Mutex<Ring>>> = RINGS
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .map(Arc::clone)
+        .collect();
+    let mut out = Vec::new();
+    for ring in rings {
+        let ring = ring.lock().unwrap_or_else(PoisonError::into_inner);
+        out.extend(ring.records.iter().cloned());
+    }
+    out
+}
+
+/// Clones every recorded span belonging to the given 128-bit trace id.
+pub fn spans_for_trace(trace_hi: u64, trace_lo: u64) -> Vec<SpanRecord> {
+    snapshot_spans()
+        .into_iter()
+        .filter(|s| s.trace_hi == trace_hi && s.trace_lo == trace_lo)
+        .collect()
+}
+
+/// An in-flight measurement of one hop.
+///
+/// Inert (all methods are no-ops) when started from a non-recording
+/// context. A live span records itself into the thread-local ring when
+/// dropped; [`Span::fail`] or [`RecordErr::record_err`] set the error
+/// status first.
+#[derive(Debug)]
+pub struct Span {
+    inner: Option<SpanRecord>,
+}
+
+impl Span {
+    /// Starts a span for `ctx`. Inert unless `ctx.is_recording()`.
+    pub fn start(name: &'static str, ctx: &TraceContext) -> Span {
+        if !ctx.is_recording() {
+            return Span::inert();
+        }
+        Span {
+            inner: Some(SpanRecord {
+                name,
+                trace_hi: ctx.trace_hi,
+                trace_lo: ctx.trace_lo,
+                span_id: ctx.span_id,
+                parent_span_id: ctx.parent_span_id,
+                start_nanos: now_nanos(),
+                end_nanos: 0,
+                events: Vec::new(),
+                status: SpanStatus::Ok,
+            }),
+        }
+    }
+
+    /// A span that records nothing.
+    pub fn inert() -> Span {
+        Span { inner: None }
+    }
+
+    /// True when this span will actually be recorded.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records a named point-in-time event on this span.
+    pub fn event(&mut self, name: &'static str) {
+        if let Some(rec) = self.inner.as_mut() {
+            if rec.events.len() < MAX_EVENTS_PER_SPAN {
+                rec.events.push(SpanEvent {
+                    name,
+                    at_nanos: now_nanos(),
+                });
+            }
+        }
+    }
+
+    /// Marks the span as failed with the error's display form.
+    pub fn fail(&mut self, message: &str) {
+        if let Some(rec) = self.inner.as_mut() {
+            rec.status = SpanStatus::Error(message.to_string());
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(mut rec) = self.inner.take() {
+            rec.end_nanos = now_nanos();
+            record(rec);
+        }
+    }
+}
+
+/// Starts a child span of the context currently installed on this thread.
+///
+/// Returns the span plus a guard holding the child context installed, so
+/// anything called while the guard lives nests under this span. With no
+/// recording context installed, both are no-ops.
+pub fn enter(name: &'static str) -> (Span, ContextGuard) {
+    match TraceContext::current() {
+        Some(parent) if parent.is_recording() => {
+            let ctx = parent.child();
+            let guard = ctx.install();
+            (Span::start(name, &ctx), guard)
+        }
+        _ => (Span::inert(), ContextGuard::noop()),
+    }
+}
+
+/// Starts a child span of an explicit remote parent context (one carried
+/// in from the wire), installing the child context on this thread.
+pub fn enter_remote(name: &'static str, remote: &TraceContext) -> (Span, ContextGuard) {
+    if !remote.is_recording() {
+        return (Span::inert(), ContextGuard::noop());
+    }
+    let ctx = remote.child();
+    let guard = ctx.install();
+    (Span::start(name, &ctx), guard)
+}
+
+/// Extension trait recording `Err` outcomes onto the active span.
+///
+/// `result.record_err(&mut span)` is the idiom the `lint` `obs` pass
+/// checks for in relay entry points: it sets the span's error status on
+/// the `Err` arm and hands the result back unchanged either way.
+pub trait RecordErr {
+    /// Sets the error status on `span` when `self` is `Err`.
+    #[must_use]
+    fn record_err(self, span: &mut Span) -> Self;
+}
+
+impl<T, E: std::fmt::Display> RecordErr for Result<T, E> {
+    fn record_err(self, span: &mut Span) -> Self {
+        if let Err(e) = &self {
+            span.fail(&e.to_string());
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let ctx = TraceContext::root();
+        {
+            let mut span = Span::start("test.hop", &ctx);
+            span.event("test.event");
+        }
+        let spans = spans_for_trace(ctx.trace_hi, ctx.trace_lo);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "test.hop");
+        assert_eq!(spans[0].span_id, ctx.span_id);
+        assert_eq!(spans[0].events.len(), 1);
+        assert_eq!(spans[0].status, SpanStatus::Ok);
+        assert!(spans[0].end_nanos >= spans[0].start_nanos);
+    }
+
+    #[test]
+    fn unsampled_span_is_inert() {
+        let ctx = TraceContext::unsampled_root();
+        {
+            let mut span = Span::start("test.quiet", &ctx);
+            span.event("ignored");
+            span.fail("ignored");
+            assert!(!span.is_recording());
+        }
+        assert!(spans_for_trace(ctx.trace_hi, ctx.trace_lo).is_empty());
+    }
+
+    #[test]
+    fn record_err_sets_error_status() {
+        let ctx = TraceContext::root();
+        {
+            let mut span = Span::start("test.err", &ctx);
+            let out: Result<(), String> = Err("boom".to_string()).record_err(&mut span);
+            assert!(out.is_err());
+        }
+        let spans = spans_for_trace(ctx.trace_hi, ctx.trace_lo);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].status, SpanStatus::Error("boom".into()));
+        assert!(spans[0].is_error());
+    }
+
+    #[test]
+    fn enter_nests_under_current() {
+        let root = TraceContext::root();
+        let _g = root.install();
+        {
+            let _root_span = Span::start("test.root", &root);
+            let (_child, _cg) = enter("test.child");
+            assert_eq!(
+                TraceContext::current().map(|c| c.parent_span_id),
+                Some(root.span_id)
+            );
+        }
+        let spans = spans_for_trace(root.trace_hi, root.trace_lo);
+        assert_eq!(spans.len(), 2);
+        let child = spans
+            .iter()
+            .find(|s| s.name == "test.child")
+            .expect("child span");
+        assert_eq!(child.parent_span_id, root.span_id);
+    }
+
+    #[test]
+    fn enter_without_context_is_inert() {
+        let (span, _guard) = enter("test.orphan");
+        assert!(!span.is_recording());
+    }
+
+    #[test]
+    fn enter_remote_links_wire_parent() {
+        let remote = TraceContext::root();
+        {
+            let (span, _g) = enter_remote("test.remote", &remote);
+            assert!(span.is_recording());
+        }
+        let spans = spans_for_trace(remote.trace_hi, remote.trace_lo);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].parent_span_id, remote.span_id);
+    }
+
+    #[test]
+    fn event_cap_holds() {
+        let ctx = TraceContext::root();
+        {
+            let mut span = Span::start("test.cap", &ctx);
+            for _ in 0..(MAX_EVENTS_PER_SPAN + 10) {
+                span.event("e");
+            }
+        }
+        let spans = spans_for_trace(ctx.trace_hi, ctx.trace_lo);
+        assert_eq!(spans[0].events.len(), MAX_EVENTS_PER_SPAN);
+    }
+}

@@ -26,6 +26,8 @@ use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use tdt_obs::span::{self as obs_span};
+use tdt_obs::TraceContext;
 use tdt_wire::codec::Message;
 use tdt_wire::messages::RelayEnvelope;
 
@@ -566,6 +568,24 @@ impl RelayTransport for ChaosTransport {
         let op = self.op.fetch_add(1, Ordering::Relaxed);
         self.heal_expired(op);
         let decision = self.schedule.decision(op);
+        // One "chaos.fault" span per operation that injects anything,
+        // joined to the active trace (or, on a bare transport with no
+        // installed context, to the envelope's wire trace) so injected
+        // faults appear inside the span tree of the query they disturbed.
+        let faulty = decision.start_partition
+            || !decision.is_quiet()
+            || self.faults.is_down(endpoint)
+            || self.faults.is_partitioned(&self.local, endpoint);
+        let mut obs = faulty.then(|| match TraceContext::current() {
+            Some(_) => obs_span::enter("chaos.fault"),
+            None => obs_span::enter_remote(
+                "chaos.fault",
+                &crate::telemetry::context_from_envelope(envelope),
+            ),
+        });
+        if let Some((span, _)) = obs.as_mut() {
+            span.event("chaos.fault");
+        }
         if decision.start_partition && !self.faults.is_partitioned(&self.local, endpoint) {
             self.faults.partition(self.local.clone(), endpoint);
             self.scheduled.lock().push(ScheduledPartition {
@@ -584,29 +604,54 @@ impl RelayTransport for ChaosTransport {
                 std::thread::sleep(timeout);
             }
             self.stats.partitioned_sends.fetch_add(1, Ordering::Relaxed);
-            return Err(RelayError::TransportFailed(format!(
-                "chaos: partitioned from {endpoint} (op {op})"
-            )));
+            let message = format!("chaos: partitioned from {endpoint} (op {op})");
+            if let Some((span, _)) = obs.as_mut() {
+                span.event("chaos.partitioned");
+                span.fail(&message);
+            }
+            return Err(RelayError::TransportFailed(message));
         }
         self.faults.apply_latency();
         if decision.drop {
             self.stats.dropped.fetch_add(1, Ordering::Relaxed);
-            return Err(RelayError::TransportFailed(format!(
-                "chaos: dropped request to {endpoint} (op {op})"
-            )));
+            let message = format!("chaos: dropped request to {endpoint} (op {op})");
+            if let Some((span, _)) = obs.as_mut() {
+                span.event("chaos.drop");
+                span.fail(&message);
+            }
+            return Err(RelayError::TransportFailed(message));
         }
         if let Some(delay) = decision.delay {
             self.stats.delayed.fetch_add(1, Ordering::Relaxed);
+            if let Some((span, _)) = obs.as_mut() {
+                span.event("chaos.delay");
+            }
             std::thread::sleep(delay);
         }
         if decision.reorder {
             // Holding this request back lets operations issued after it
             // complete first — reordering at the request level.
             self.stats.reordered.fetch_add(1, Ordering::Relaxed);
+            if let Some((span, _)) = obs.as_mut() {
+                span.event("chaos.reorder");
+            }
             std::thread::sleep(self.schedule.config().reorder_delay);
         }
         let request = match decision.corrupt {
-            Some(true) => self.corrupt(envelope, decision.corrupt_at)?,
+            Some(true) => {
+                if let Some((span, _)) = obs.as_mut() {
+                    span.event("chaos.corrupt");
+                }
+                match self.corrupt(envelope, decision.corrupt_at) {
+                    Ok(corrupted) => corrupted,
+                    Err(e) => {
+                        if let Some((span, _)) = obs.as_mut() {
+                            span.fail(&e.to_string());
+                        }
+                        return Err(e);
+                    }
+                }
+            }
             _ => envelope.clone(),
         };
         let reply = self.inner.send(endpoint, &request)?;
@@ -614,10 +659,18 @@ impl RelayTransport for ChaosTransport {
             // Deliver the request a second time; the duplicate's reply is
             // discarded here and must never reach the caller.
             self.stats.duplicated.fetch_add(1, Ordering::Relaxed);
+            if let Some((span, _)) = obs.as_mut() {
+                span.event("chaos.duplicate");
+            }
             let _ = self.inner.send(endpoint, &request);
         }
         match decision.corrupt {
-            Some(false) => self.corrupt(&reply, decision.corrupt_at),
+            Some(false) => {
+                if let Some((span, _)) = obs.as_mut() {
+                    span.event("chaos.corrupt");
+                }
+                self.corrupt(&reply, decision.corrupt_at)
+            }
             _ => Ok(reply),
         }
     }
@@ -639,6 +692,7 @@ mod tests {
                 dest_network: envelope.dest_network,
                 payload: envelope.payload,
                 correlation_id: 0,
+                trace: Default::default(),
             }
         }
     }
@@ -656,6 +710,7 @@ mod tests {
             dest_network: "target".into(),
             payload: payload.to_vec(),
             correlation_id: 0,
+            trace: Default::default(),
         }
     }
 
@@ -733,6 +788,7 @@ mod tests {
             dest_network: "target".into(),
             payload: b"payload".to_vec(),
             correlation_id: 0,
+            trace: Default::default(),
         };
         let mut corrupt_seen = 0;
         for i in 0..32 {

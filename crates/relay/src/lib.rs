@@ -29,6 +29,9 @@
 //! * [`chaos`] — deterministic, seed-replayable fault injection at the
 //!   transport layer (drops, delays, corruption, duplication, reorder,
 //!   partitions) for chaos testing the above.
+//! * [`telemetry`] — observability glue: trace-context propagation on the
+//!   relay envelope and scrape-time bridges that export relay, pool,
+//!   breaker and group counters through one unified metrics registry.
 
 pub mod breaker;
 pub mod chaos;
@@ -40,6 +43,7 @@ pub mod ratelimit;
 pub mod redundancy;
 pub mod retry;
 pub mod service;
+pub mod telemetry;
 pub mod transport;
 
 pub use error::RelayError;

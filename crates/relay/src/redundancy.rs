@@ -16,6 +16,8 @@ use crate::service::RelayService;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use tdt_obs::span::{self as obs_span, RecordErr, Span};
+use tdt_obs::{ContextGuard, TraceContext};
 use tdt_wire::messages::{Query, QueryResponse};
 
 /// Tunables for a [`RelayGroup`].
@@ -112,6 +114,7 @@ impl RelayGroup {
     ///
     /// Returns [`RelayError::InvalidConfig`] when `relays` is empty.
     pub fn new(relays: Vec<Arc<RelayService>>) -> Result<Self, RelayError> {
+        // lint:allow(obs: "constructor, no request in flight to trace")
         Self::with_config(relays, GroupConfig::default())
     }
 
@@ -124,6 +127,7 @@ impl RelayGroup {
         relays: Vec<Arc<RelayService>>,
         config: GroupConfig,
     ) -> Result<Self, RelayError> {
+        // lint:allow(obs: "constructor, no request in flight to trace")
         if relays.is_empty() {
             return Err(RelayError::InvalidConfig(
                 "a relay group needs at least one relay".into(),
@@ -272,6 +276,7 @@ impl RelayGroup {
     /// [`RelayError::DeadlineExceeded`] when the budget ran out first,
     /// or a terminal error from the first member that produced one.
     pub fn relay_query(&self, query: &Query) -> Result<QueryResponse, RelayError> {
+        // lint:allow(obs: "delegates to relay_query_with_deadline, which records")
         self.relay_query_with_deadline(query, self.config.deadline)
     }
 
@@ -286,12 +291,16 @@ impl RelayGroup {
         query: &Query,
         deadline: Option<Duration>,
     ) -> Result<QueryResponse, RelayError> {
+        let (mut span, _obs_guard) = obs_span::enter("group.query");
         let started = Instant::now();
         let order = self.selection_order();
-        match self.config.hedge_after {
-            None => self.run_sequential(query, &order, started, deadline),
-            Some(hedge_after) => self.run_hedged(query, &order, started, deadline, hedge_after),
-        }
+        let result = match self.config.hedge_after {
+            None => self.run_sequential(query, &order, started, deadline, &mut span),
+            Some(hedge_after) => {
+                self.run_hedged(query, &order, started, deadline, hedge_after, &mut span)
+            }
+        };
+        result.record_err(&mut span)
     }
 
     fn deadline_error(&self, started: Instant, deadline: Duration) -> RelayError {
@@ -308,6 +317,7 @@ impl RelayGroup {
         order: &[usize],
         started: Instant,
         deadline: Option<Duration>,
+        span: &mut Span,
     ) -> Result<QueryResponse, RelayError> {
         let mut last_err = None;
         let mut skipped = Vec::new();
@@ -322,6 +332,7 @@ impl RelayGroup {
             };
             if let Err(open) = self.breaker.try_acquire(member.relay.id()) {
                 self.breaker_skips.fetch_add(1, Ordering::Relaxed);
+                span.event("breaker.fast_reject");
                 skipped.push(index);
                 last_err.get_or_insert(open);
                 continue;
@@ -340,6 +351,7 @@ impl RelayGroup {
         // each doubles as recovery evidence for its breaker.
         if skipped.len() == order.len() {
             self.degraded_queries.fetch_add(1, Ordering::Relaxed);
+            span.event("group.degraded");
             for index in skipped {
                 if let Some(budget) = deadline {
                     if started.elapsed() >= budget {
@@ -373,6 +385,7 @@ impl RelayGroup {
         started: Instant,
         deadline: Option<Duration>,
         hedge_after: Duration,
+        span: &mut Span,
     ) -> Result<QueryResponse, RelayError> {
         let (tx, rx) =
             crossbeam::channel::unbounded::<(usize, Result<QueryResponse, RelayError>)>();
@@ -387,12 +400,17 @@ impl RelayGroup {
         let mut skipped = std::collections::VecDeque::new();
         let mut outstanding = 0usize;
         let mut last_err = None;
+        // The worker threads must join the caller's trace even though the
+        // thread-local slot does not cross `thread::spawn`: capture the
+        // context here and re-install it inside each worker.
+        let trace_ctx = TraceContext::current();
         let launch = |hedged: bool,
                       force: bool,
                       pending: &mut std::collections::VecDeque<usize>,
                       skipped: &mut std::collections::VecDeque<usize>,
                       outstanding: &mut usize,
-                      last_err: &mut Option<RelayError>| {
+                      last_err: &mut Option<RelayError>,
+                      span: &mut Span| {
             while let Some(index) = pending.pop_front() {
                 let Some(member) = self.members.get(index) else {
                     continue;
@@ -400,6 +418,7 @@ impl RelayGroup {
                 if !force {
                     if let Err(open) = self.breaker.try_acquire(member.relay.id()) {
                         self.breaker_skips.fetch_add(1, Ordering::Relaxed);
+                        span.event("breaker.fast_reject");
                         skipped.push_back(index);
                         last_err.get_or_insert(open);
                         continue;
@@ -407,6 +426,7 @@ impl RelayGroup {
                 }
                 if hedged {
                     self.hedges.fetch_add(1, Ordering::Relaxed);
+                    span.event("hedge.fired");
                 }
                 let member = Arc::clone(member);
                 let query = query.clone();
@@ -417,10 +437,19 @@ impl RelayGroup {
                 // background; its reply is counted and dropped, never
                 // delivered.
                 std::thread::spawn(move || {
+                    let _trace_guard = match trace_ctx {
+                        Some(ctx) => ctx.install(),
+                        None => ContextGuard::noop(),
+                    };
                     let outcome = member.relay.relay_query(&query);
                     if outcome.is_ok() && won.swap(true, Ordering::SeqCst) {
-                        // Another attempt already delivered first.
+                        // Another attempt already delivered first. The
+                        // loser is marked as discarded in its own span so
+                        // the trace shows the duplicate was dropped, not
+                        // delivered twice.
                         discarded.fetch_add(1, Ordering::Relaxed);
+                        let (mut loser, _loser_guard) = obs_span::enter("hedge.discarded");
+                        loser.event("hedge.discarded");
                         return;
                     }
                     let _ = tx.send((index, outcome));
@@ -437,6 +466,7 @@ impl RelayGroup {
             &mut skipped,
             &mut outstanding,
             &mut last_err,
+            span,
         );
         loop {
             if outstanding == 0 && pending.is_empty() {
@@ -450,6 +480,7 @@ impl RelayGroup {
                 // members and force an attempt rather than fail the
                 // caller on cooldown alone.
                 self.degraded_queries.fetch_add(1, Ordering::Relaxed);
+                span.event("group.degraded");
                 std::mem::swap(&mut pending, &mut skipped);
                 launch(
                     false,
@@ -458,6 +489,7 @@ impl RelayGroup {
                     &mut skipped,
                     &mut outstanding,
                     &mut last_err,
+                    span,
                 );
                 continue;
             }
@@ -488,6 +520,7 @@ impl RelayGroup {
                                 &mut skipped,
                                 &mut outstanding,
                                 &mut last_err,
+                                span,
                             );
                         }
                         Err(terminal) => return Err(terminal),
@@ -510,6 +543,7 @@ impl RelayGroup {
                         &mut skipped,
                         &mut outstanding,
                         &mut last_err,
+                        span,
                     );
                 }
                 Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {

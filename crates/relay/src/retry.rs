@@ -16,6 +16,7 @@ use rand::RngCore;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use tdt_obs::span::{self as obs_span, RecordErr, Span};
 use tdt_wire::messages::RelayEnvelope;
 
 /// When and how long to back off between send attempts.
@@ -186,11 +187,27 @@ impl RetryingTransport {
 
 impl RelayTransport for RetryingTransport {
     fn send(&self, endpoint: &str, envelope: &RelayEnvelope) -> Result<RelayEnvelope, RelayError> {
+        let (mut span, _obs_guard) = obs_span::enter("transport.retry");
+        self.send_with_span(endpoint, envelope, &mut span)
+            .record_err(&mut span)
+    }
+}
+
+impl RetryingTransport {
+    fn send_with_span(
+        &self,
+        endpoint: &str,
+        envelope: &RelayEnvelope,
+        span: &mut Span,
+    ) -> Result<RelayEnvelope, RelayError> {
         let started = Instant::now();
         let mut attempt = 0;
         loop {
             if let Some(breaker) = &self.breaker {
-                breaker.try_acquire(endpoint)?;
+                if let Err(e) = breaker.try_acquire(endpoint) {
+                    span.event("breaker.fast_reject");
+                    return Err(e);
+                }
             }
             self.attempts.fetch_add(1, Ordering::Relaxed);
             let outcome = self.inner.send(endpoint, envelope);
@@ -221,6 +238,7 @@ impl RelayTransport for RetryingTransport {
                         }
                     };
                     self.retries.fetch_add(1, Ordering::Relaxed);
+                    span.event("retry.attempt");
                     if !delay.is_zero() {
                         std::thread::sleep(delay);
                     }
@@ -265,6 +283,7 @@ mod tests {
                     dest_network: envelope.dest_network.clone(),
                     payload: Vec::new(),
                     correlation_id: 0,
+                    trace: Default::default(),
                 })
             } else {
                 Err(failures.remove(0))
@@ -279,6 +298,7 @@ mod tests {
             dest_network: "stl".into(),
             payload: Vec::new(),
             correlation_id: 0,
+            trace: Default::default(),
         }
     }
 

@@ -18,13 +18,15 @@ use crate::events::{EventSink, EventSource};
 use crate::ratelimit::RateLimiter;
 use crate::retry::RetryPolicy;
 use crate::transport::{EnvelopeHandler, PoolStats, RelayTransport};
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, Weak};
 use std::time::{Duration, Instant};
 use tdt_crypto::certcache::CertChainCache;
+use tdt_obs::metrics::Histogram;
+use tdt_obs::span::{self as obs_span, RecordErr, Span};
 use tdt_wire::codec::Message;
 use tdt_wire::messages::{
     AuthInfo, EnvelopeKind, EventNotice, EventSubscribeRequest, Query, QueryResponse, RelayEnvelope,
@@ -44,6 +46,12 @@ pub const LATENCY_BUCKET_BOUNDS: [Duration; 5] = [
 /// answers with a deadline error instead.
 pub const DEFAULT_REQUEST_DEADLINE: Duration = Duration::from_secs(10);
 
+/// Bounded depth of each event-subscription delivery queue. A subscriber
+/// that falls further behind than this loses notices (counted in
+/// [`RelayStats::events_dropped`]) instead of blocking the source-side
+/// push path.
+pub const EVENT_QUEUE_CAPACITY: usize = 64;
+
 /// Counters exposed for monitoring and the availability experiments.
 #[derive(Debug, Default)]
 pub struct RelayStats {
@@ -57,9 +65,14 @@ pub struct RelayStats {
     pub enqueued: AtomicU64,
     /// Envelopes answered with a deadline error.
     pub deadline_exceeded: AtomicU64,
+    /// Event notices delivered to local subscribers.
+    pub events_delivered: AtomicU64,
+    /// Event notices dropped because a subscriber's queue was full.
+    pub events_dropped: AtomicU64,
     queue_depth: AtomicU64,
     in_flight: AtomicU64,
     latency_buckets: [AtomicU64; 6],
+    latency_ns: OnceLock<Histogram>,
     cert_cache: OnceLock<Arc<CertChainCache>>,
     pool_stats: OnceLock<Arc<PoolStats>>,
     breaker: OnceLock<Arc<CircuitBreaker>>,
@@ -102,6 +115,27 @@ impl RelayStats {
         if let Some(bucket) = self.latency_buckets.get(i) {
             bucket.fetch_add(1, Ordering::Relaxed);
         }
+        // The exponential histogram keeps sum/count/max, so mean and tail
+        // latency stay recoverable where the fixed buckets saturate.
+        self.latency_ns()
+            .observe(elapsed.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// The exponential envelope-handling latency histogram (nanoseconds).
+    /// Tracks `sum`, `count` and `max` alongside the buckets; adopt it
+    /// into a metrics registry to export it.
+    pub fn latency_ns(&self) -> &Histogram {
+        self.latency_ns.get_or_init(Histogram::latency_nanos)
+    }
+
+    /// Largest envelope-handling latency observed, in nanoseconds.
+    pub fn latency_max_nanos(&self) -> u64 {
+        self.latency_ns().snapshot().max
+    }
+
+    /// Sum of all envelope-handling latencies, in nanoseconds.
+    pub fn latency_sum_nanos(&self) -> u64 {
+        self.latency_ns().snapshot().sum
     }
 
     /// Takes a point-in-time copy of every counter, suitable for merging
@@ -109,15 +143,20 @@ impl RelayStats {
     /// read independently: the snapshot is not a consistent cut, but it
     /// is always safe to take while workers mutate the counters.
     pub fn snapshot(&self) -> RelayStatsSnapshot {
+        let latency = self.latency_ns().snapshot();
         RelayStatsSnapshot {
             forwarded: self.forwarded.load(Ordering::Relaxed),
             served: self.served.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             enqueued: self.enqueued.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            events_delivered: self.events_delivered.load(Ordering::Relaxed),
+            events_dropped: self.events_dropped.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
             latency_buckets: self.latency_histogram(),
+            latency_sum_nanos: latency.sum,
+            latency_max_nanos: latency.max,
             cache_hits: self.cache_hits(),
             cache_misses: self.cache_misses(),
             pool_connections_open: self.pool_connections_open(),
@@ -220,12 +259,21 @@ pub struct RelayStatsSnapshot {
     pub enqueued: u64,
     /// Envelopes answered with a deadline error.
     pub deadline_exceeded: u64,
+    /// Event notices delivered to local subscribers.
+    pub events_delivered: u64,
+    /// Event notices dropped because a subscriber's queue was full.
+    pub events_dropped: u64,
     /// Envelopes waiting in the worker-pool queue at snapshot time.
     pub queue_depth: u64,
     /// Envelopes being processed at snapshot time.
     pub in_flight: u64,
     /// Envelope-handling latency histogram (see [`LATENCY_BUCKET_BOUNDS`]).
     pub latency_buckets: [u64; 6],
+    /// Sum of all handling latencies in nanoseconds (mean = sum / handled).
+    pub latency_sum_nanos: u64,
+    /// Largest handling latency observed, in nanoseconds — the fixed
+    /// buckets saturate silently at the top bucket; this does not.
+    pub latency_max_nanos: u64,
     /// Certificate-chain cache hits.
     pub cache_hits: u64,
     /// Certificate-chain cache misses.
@@ -265,11 +313,17 @@ impl RelayStatsSnapshot {
         self.deadline_exceeded = self
             .deadline_exceeded
             .saturating_add(other.deadline_exceeded);
+        self.events_delivered = self.events_delivered.saturating_add(other.events_delivered);
+        self.events_dropped = self.events_dropped.saturating_add(other.events_dropped);
         self.queue_depth = self.queue_depth.saturating_add(other.queue_depth);
         self.in_flight = self.in_flight.saturating_add(other.in_flight);
         for (mine, theirs) in self.latency_buckets.iter_mut().zip(&other.latency_buckets) {
             *mine = mine.saturating_add(*theirs);
         }
+        self.latency_sum_nanos = self
+            .latency_sum_nanos
+            .saturating_add(other.latency_sum_nanos);
+        self.latency_max_nanos = self.latency_max_nanos.max(other.latency_max_nanos);
         self.cache_hits = self.cache_hits.saturating_add(other.cache_hits);
         self.cache_misses = self.cache_misses.saturating_add(other.cache_misses);
         self.pool_connections_open = self
@@ -511,13 +565,25 @@ impl RelayService {
         network_id: &str,
         auth: AuthInfo,
     ) -> Result<Receiver<EventNotice>, RelayError> {
+        let (mut span, _obs_guard) = obs_span::enter("relay.subscribe");
+        self.subscribe_remote_events_inner(network_id, auth)
+            .record_err(&mut span)
+    }
+
+    fn subscribe_remote_events_inner(
+        &self,
+        network_id: &str,
+        auth: AuthInfo,
+    ) -> Result<Receiver<EventNotice>, RelayError> {
         if self.is_down() {
             return Err(RelayError::RelayDown(self.id.clone()));
         }
         let endpoint = self.discovery.lookup(network_id)?;
         let seq = self.subscription_counter.fetch_add(1, Ordering::Relaxed);
         let subscription_id = format!("{}-sub-{seq}", self.id);
-        let (tx, rx) = unbounded();
+        // Bounded: a slow subscriber loses notices (counted) instead of
+        // growing an unbounded queue or blocking the pushing source.
+        let (tx, rx) = bounded(EVENT_QUEUE_CAPACITY);
         self.subscriptions
             .write()
             .insert(subscription_id.clone(), tx);
@@ -533,6 +599,7 @@ impl RelayService {
             dest_network: network_id.to_string(),
             payload: request.encode_to_vec(),
             correlation_id: 0,
+            trace: Default::default(),
         };
         let reply = match self.transport.send(&endpoint, &envelope) {
             Ok(reply) => reply,
@@ -590,6 +657,16 @@ impl RelayService {
     /// * [`RelayError::TransportFailed`] when the remote relay is unreachable.
     /// * [`RelayError::Remote`] when the remote relay reports an error.
     pub fn relay_query(&self, query: &Query) -> Result<QueryResponse, RelayError> {
+        let (mut span, _obs_guard) = obs_span::enter("relay.query");
+        self.relay_query_inner(query, &mut span)
+            .record_err(&mut span)
+    }
+
+    fn relay_query_inner(
+        &self,
+        query: &Query,
+        span: &mut Span,
+    ) -> Result<QueryResponse, RelayError> {
         if self.is_down() {
             return Err(RelayError::RelayDown(self.id.clone()));
         }
@@ -603,28 +680,38 @@ impl RelayService {
         // Step 2: discovery.
         let endpoint = self.discovery.lookup(target_network)?;
         if let Some(breaker) = &self.breaker {
-            breaker.try_acquire(&endpoint)?;
-        }
-        // Step 3: serialize and forward.
-        let envelope = RelayEnvelope::query(self.id.clone(), target_network.clone(), query);
-        let reply = match self.transport.send(&endpoint, &envelope) {
-            Ok(reply) => {
-                if let Some(breaker) = &self.breaker {
-                    breaker.record_success(&endpoint);
-                }
-                reply
+            if let Err(e) = breaker.try_acquire(&endpoint) {
+                span.event("breaker.fast_reject");
+                return Err(e);
             }
-            Err(error) => {
-                if let Some(breaker) = &self.breaker {
-                    // Terminal errors mean the endpoint answered — only
-                    // transient faults count against its health.
-                    if RetryPolicy::is_retryable(&error) {
-                        breaker.record_failure(&endpoint);
-                    } else {
+        }
+        // Step 3: serialize and forward. The transport hop gets its own
+        // span; the envelope carries that span's context so the remote
+        // relay parents its work under this hop.
+        let envelope = RelayEnvelope::query(self.id.clone(), target_network.clone(), query);
+        let reply = {
+            let (mut send_span, _send_guard) = obs_span::enter("transport.send");
+            let envelope = envelope.with_trace(crate::telemetry::current_trace_header());
+            let sent = self.transport.send(&endpoint, &envelope);
+            match sent.record_err(&mut send_span) {
+                Ok(reply) => {
+                    if let Some(breaker) = &self.breaker {
                         breaker.record_success(&endpoint);
                     }
+                    reply
                 }
-                return Err(error);
+                Err(error) => {
+                    if let Some(breaker) = &self.breaker {
+                        // Terminal errors mean the endpoint answered — only
+                        // transient faults count against its health.
+                        if RetryPolicy::is_retryable(&error) {
+                            breaker.record_failure(&endpoint);
+                        } else {
+                            breaker.record_success(&endpoint);
+                        }
+                    }
+                    return Err(error);
+                }
             }
         };
         self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
@@ -683,22 +770,31 @@ impl RelayService {
         }
     }
 
+    /// Builds an error reply, recording the failure on the active span.
+    fn error_reply(&self, span: &mut Span, dest_network: String, message: String) -> RelayEnvelope {
+        span.fail(&message);
+        RelayEnvelope::error(self.id.clone(), dest_network, message)
+    }
+
     /// Source role: handles one incoming envelope (Fig. 2, Steps 4-8).
+    ///
+    /// Runs on a worker thread when the pool is active, so the trace
+    /// context is re-installed here from the envelope's wire header
+    /// rather than inherited from the dispatching thread.
     fn process_envelope(&self, envelope: RelayEnvelope) -> RelayEnvelope {
+        let remote = crate::telemetry::context_from_envelope(&envelope);
+        let (mut span, _obs_guard) = obs_span::enter_remote("relay.handle", &remote);
         if self.is_down() {
-            return RelayEnvelope::error(
-                self.id.clone(),
-                envelope.dest_network,
-                format!("relay {} is down", self.id),
-            );
+            let message = format!("relay {} is down", self.id);
+            return self.error_reply(&mut span, envelope.dest_network, message);
         }
         if let Some(limiter) = &self.rate_limiter {
             if !limiter.try_acquire() {
                 self.stats.shed.fetch_add(1, Ordering::Relaxed);
-                return RelayEnvelope::error(
-                    self.id.clone(),
+                return self.error_reply(
+                    &mut span,
                     envelope.dest_network,
-                    "rate limited",
+                    "rate limited".to_string(),
                 );
             }
         }
@@ -709,40 +805,37 @@ impl RelayService {
                 dest_network: envelope.dest_network,
                 payload: Vec::new(),
                 correlation_id: 0,
+                trace: Default::default(),
             },
             EnvelopeKind::QueryRequest => {
                 // Step 4: deserialize, determine the target network.
                 let query = match Query::decode_from_slice(&envelope.payload) {
                     Ok(q) => q,
                     Err(e) => {
-                        return RelayEnvelope::error(
-                            self.id.clone(),
-                            envelope.dest_network,
-                            format!("malformed query: {e}"),
-                        )
+                        let message = format!("malformed query: {e}");
+                        return self.error_reply(&mut span, envelope.dest_network, message);
                     }
                 };
                 let network = &query.address.network_id;
                 let driver = match self.drivers.read().get(network).cloned() {
                     Some(d) => d,
                     None => {
-                        return RelayEnvelope::error(
-                            self.id.clone(),
-                            envelope.dest_network,
-                            format!("no driver for network {network:?}"),
-                        )
+                        let message = format!("no driver for network {network:?}");
+                        return self.error_reply(&mut span, envelope.dest_network, message);
                     }
                 };
                 // Steps 5-7: the driver orchestrates the query and proof
                 // collection against the network's peers.
                 self.stats.served.fetch_add(1, Ordering::Relaxed);
-                match driver.execute_query(&query) {
+                let outcome = {
+                    let (mut driver_span, _driver_guard) = obs_span::enter("driver.execute");
+                    driver.execute_query(&query).record_err(&mut driver_span)
+                };
+                match outcome {
                     Ok(response) => {
                         RelayEnvelope::response(self.id.clone(), envelope.source_relay, &response)
                     }
-                    Err(e) => {
-                        RelayEnvelope::error(self.id.clone(), envelope.dest_network, e.to_string())
-                    }
+                    Err(e) => self.error_reply(&mut span, envelope.dest_network, e.to_string()),
                 }
             }
             // Source side: accept an event subscription and start the feed.
@@ -750,21 +843,16 @@ impl RelayService {
                 let request = match EventSubscribeRequest::decode_from_slice(&envelope.payload) {
                     Ok(r) => r,
                     Err(e) => {
-                        return RelayEnvelope::error(
-                            self.id.clone(),
-                            envelope.dest_network,
-                            format!("malformed subscription: {e}"),
-                        )
+                        let message = format!("malformed subscription: {e}");
+                        return self.error_reply(&mut span, envelope.dest_network, message);
                     }
                 };
                 let source = match self.event_sources.read().get(&request.network_id).cloned() {
                     Some(s) => s,
                     None => {
-                        return RelayEnvelope::error(
-                            self.id.clone(),
-                            envelope.dest_network,
-                            format!("no event source for network {:?}", request.network_id),
-                        )
+                        let message =
+                            format!("no event source for network {:?}", request.network_id);
+                        return self.error_reply(&mut span, envelope.dest_network, message);
                     }
                 };
                 // The sink pushes each notice back over the transport.
@@ -779,6 +867,7 @@ impl RelayService {
                         dest_network: subscriber_network.clone(),
                         payload: notice.encode_to_vec(),
                         correlation_id: 0,
+                        trace: Default::default(),
                     };
                     match transport.send(&reply_endpoint, &push) {
                         Ok(reply) if reply.kind == EnvelopeKind::Ack => Ok(()),
@@ -796,10 +885,9 @@ impl RelayService {
                         dest_network: envelope.dest_network,
                         payload: Vec::new(),
                         correlation_id: 0,
+                        trace: Default::default(),
                     },
-                    Err(e) => {
-                        RelayEnvelope::error(self.id.clone(), envelope.dest_network, e.to_string())
-                    }
+                    Err(e) => self.error_reply(&mut span, envelope.dest_network, e.to_string()),
                 }
             }
             // Destination side: route a pushed event to its subscriber.
@@ -807,44 +895,78 @@ impl RelayService {
                 let notice = match EventNotice::decode_from_slice(&envelope.payload) {
                     Ok(n) => n,
                     Err(e) => {
-                        return RelayEnvelope::error(
-                            self.id.clone(),
-                            envelope.dest_network,
-                            format!("malformed event: {e}"),
-                        )
+                        let message = format!("malformed event: {e}");
+                        return self.error_reply(&mut span, envelope.dest_network, message);
                     }
                 };
                 let subscription_id = notice.subscription_id.clone();
-                let delivered = {
+                // Non-blocking delivery: a full queue drops the notice
+                // (and counts it) instead of stalling the pushing source.
+                enum Delivery {
+                    Sent,
+                    Full,
+                    Gone,
+                }
+                let delivery = {
                     let subs = self.subscriptions.read();
-                    subs.get(&subscription_id)
-                        .map(|tx| tx.send(notice).is_ok())
-                        .unwrap_or(false)
-                };
-                if delivered {
-                    RelayEnvelope {
-                        kind: EnvelopeKind::Ack,
-                        source_relay: self.id.clone(),
-                        dest_network: envelope.dest_network,
-                        payload: Vec::new(),
-                        correlation_id: 0,
+                    match subs.get(&subscription_id) {
+                        Some(tx) => match tx.try_send(notice) {
+                            Ok(()) => Delivery::Sent,
+                            Err(TrySendError::Full(_)) => Delivery::Full,
+                            Err(TrySendError::Disconnected(_)) => Delivery::Gone,
+                        },
+                        None => Delivery::Gone,
                     }
-                } else {
-                    // Subscriber gone: drop it and tell the source to stop.
-                    self.subscriptions.write().remove(&subscription_id);
-                    RelayEnvelope::error(
-                        self.id.clone(),
-                        envelope.dest_network,
-                        format!("no live subscription {subscription_id:?}"),
-                    )
+                };
+                match delivery {
+                    Delivery::Sent => {
+                        self.stats.events_delivered.fetch_add(1, Ordering::Relaxed);
+                        RelayEnvelope {
+                            kind: EnvelopeKind::Ack,
+                            source_relay: self.id.clone(),
+                            dest_network: envelope.dest_network,
+                            payload: Vec::new(),
+                            correlation_id: 0,
+                            trace: Default::default(),
+                        }
+                    }
+                    Delivery::Full => {
+                        // Lagging subscriber: the notice is lost, the
+                        // subscription stays live, the source keeps going.
+                        self.stats.events_dropped.fetch_add(1, Ordering::Relaxed);
+                        span.event("event.dropped");
+                        RelayEnvelope {
+                            kind: EnvelopeKind::Ack,
+                            source_relay: self.id.clone(),
+                            dest_network: envelope.dest_network,
+                            payload: Vec::new(),
+                            correlation_id: 0,
+                            trace: Default::default(),
+                        }
+                    }
+                    Delivery::Gone => {
+                        // Subscriber gone: drop it and tell the source to stop.
+                        self.subscriptions.write().remove(&subscription_id);
+                        let message = format!("no live subscription {subscription_id:?}");
+                        self.error_reply(&mut span, envelope.dest_network, message)
+                    }
                 }
             }
-            other => RelayEnvelope::error(
-                self.id.clone(),
-                envelope.dest_network,
-                format!("unsupported envelope kind {other:?}"),
-            ),
+            other => {
+                let message = format!("unsupported envelope kind {other:?}");
+                self.error_reply(&mut span, envelope.dest_network, message)
+            }
         }
+    }
+
+    /// Number of live subscriptions whose delivery queue is currently
+    /// full — i.e. subscribers lagging far enough to be losing notices.
+    pub fn lagging_subscriptions(&self) -> u64 {
+        self.subscriptions
+            .read()
+            .values()
+            .filter(|tx| tx.is_full())
+            .count() as u64
     }
 }
 
@@ -1034,6 +1156,7 @@ mod tests {
             dest_network: "stl".into(),
             payload: Vec::new(),
             correlation_id: 0,
+            trace: Default::default(),
         };
         let pong = f.stl_relay.handle(ping);
         assert_eq!(pong.kind, EnvelopeKind::Pong);
@@ -1049,6 +1172,7 @@ mod tests {
             dest_network: "stl".into(),
             payload: vec![0xff, 0xff, 0xff],
             correlation_id: 0,
+            trace: Default::default(),
         };
         let reply = f.stl_relay.handle(bad);
         assert_eq!(reply.kind, EnvelopeKind::Error);
@@ -1365,6 +1489,7 @@ mod tests {
             dest_network: "stl".into(),
             payload: Vec::new(),
             correlation_id: 0,
+            trace: Default::default(),
         };
         let reply = f.stl_relay.handle(odd);
         assert_eq!(reply.kind, EnvelopeKind::Error);

@@ -1,0 +1,301 @@
+//! Observability glue for the relay: trace-context ⇄ wire conversion and
+//! scrape-time metric bridges.
+//!
+//! Two concerns live here:
+//!
+//! * **Context propagation.** [`current_trace_header`] stamps the active
+//!   thread-local [`TraceContext`] onto an outgoing [`RelayEnvelope`] as a
+//!   zero-elided [`TraceHeader`]; [`context_from_envelope`] recovers it on
+//!   the receiving side so the destination relay's spans join the same
+//!   trace tree even across worker threads and real TCP hops.
+//! * **Unified metrics.** [`register_relay`] / [`register_group`] attach
+//!   scrape-time [`MetricSource`] bridges to an [`ObsHandle`], copying the
+//!   relay's existing atomic counters ([`RelayStats`], pool, breaker,
+//!   cert cache, relay-group hedging) into one registry under stable
+//!   `tdt_relay_*` names. Hot paths keep their plain atomics; the bridge
+//!   only runs on scrape.
+
+use crate::redundancy::RelayGroup;
+use crate::service::{RelayService, RelayStats};
+use std::sync::{Arc, Weak};
+use tdt_obs::metrics::Registry;
+use tdt_obs::{MetricSource, ObsHandle, TraceContext};
+use tdt_wire::messages::{RelayEnvelope, TraceHeader};
+
+/// Converts an in-process context into its wire representation. The unset
+/// context maps to the all-zero header, which the codec elides entirely.
+pub fn trace_header(ctx: &TraceContext) -> TraceHeader {
+    TraceHeader {
+        trace_hi: ctx.trace_hi,
+        trace_lo: ctx.trace_lo,
+        span_id: ctx.span_id,
+        parent_span_id: ctx.parent_span_id,
+        sampled: ctx.sampled,
+    }
+}
+
+/// The wire header for the context installed on this thread, or the
+/// zero-elided header when no trace is in progress.
+pub fn current_trace_header() -> TraceHeader {
+    match TraceContext::current() {
+        Some(ctx) => trace_header(&ctx),
+        None => TraceHeader::default(),
+    }
+}
+
+/// Recovers the sender's context from a wire header.
+pub fn context_from_header(header: &TraceHeader) -> TraceContext {
+    if header.is_unset() {
+        return TraceContext::unset();
+    }
+    TraceContext {
+        trace_hi: header.trace_hi,
+        trace_lo: header.trace_lo,
+        span_id: header.span_id,
+        parent_span_id: header.parent_span_id,
+        sampled: header.sampled,
+    }
+}
+
+/// Recovers the sender's context from an incoming envelope.
+pub fn context_from_envelope(envelope: &RelayEnvelope) -> TraceContext {
+    context_from_header(&envelope.trace)
+}
+
+/// Scrape-time bridge from one relay's stats into the registry.
+struct RelayMetricSource {
+    relay: Weak<RelayService>,
+}
+
+impl MetricSource for RelayMetricSource {
+    fn collect(&self, registry: &Registry) {
+        let Some(relay) = self.relay.upgrade() else {
+            return;
+        };
+        let snap = relay.stats().snapshot();
+        let c = |name: &str, help: &str, value: u64| {
+            registry.counter(name, help).set(value);
+        };
+        let g = |name: &str, help: &str, value: u64| {
+            registry
+                .gauge(name, help)
+                .set(value.min(i64::MAX as u64) as i64);
+        };
+        c(
+            "tdt_relay_forwarded_total",
+            "Queries forwarded to remote relays (destination role)",
+            snap.forwarded,
+        );
+        c(
+            "tdt_relay_served_total",
+            "Queries served for remote relays (source role)",
+            snap.served,
+        );
+        c(
+            "tdt_relay_shed_total",
+            "Requests shed by the rate limiter",
+            snap.shed,
+        );
+        c(
+            "tdt_relay_enqueued_total",
+            "Envelopes handed to the worker pool",
+            snap.enqueued,
+        );
+        c(
+            "tdt_relay_deadline_exceeded_total",
+            "Envelopes answered with a deadline error",
+            snap.deadline_exceeded,
+        );
+        g(
+            "tdt_relay_queue_depth",
+            "Envelopes waiting in the worker-pool queue",
+            snap.queue_depth,
+        );
+        g(
+            "tdt_relay_in_flight",
+            "Envelopes currently being processed by workers",
+            snap.in_flight,
+        );
+        c(
+            "tdt_relay_events_delivered_total",
+            "Event notices delivered to local subscribers",
+            snap.events_delivered,
+        );
+        c(
+            "tdt_relay_events_dropped_total",
+            "Event notices dropped because a subscriber's queue was full",
+            snap.events_dropped,
+        );
+        g(
+            "tdt_relay_events_lagging",
+            "Subscriptions whose delivery queue is currently full",
+            relay.lagging_subscriptions(),
+        );
+        c(
+            "tdt_relay_cache_hits_total",
+            "Certificate-chain cache hits",
+            snap.cache_hits,
+        );
+        c(
+            "tdt_relay_cache_misses_total",
+            "Certificate-chain cache misses",
+            snap.cache_misses,
+        );
+        g(
+            "tdt_relay_pool_open",
+            "Transport-pool connections currently open",
+            snap.pool_connections_open,
+        );
+        c(
+            "tdt_relay_pool_dialed_total",
+            "Transport-pool connections dialed",
+            snap.pool_connections_dialed,
+        );
+        c(
+            "tdt_relay_pool_reused_total",
+            "Requests that reused an already-open pooled connection",
+            snap.pool_connections_reused,
+        );
+        g(
+            "tdt_relay_pool_in_flight",
+            "Requests in flight on pooled connections",
+            snap.pool_requests_in_flight,
+        );
+        c(
+            "tdt_relay_pool_orphaned_total",
+            "Multiplexed replies dropped for lack of a matching waiter",
+            snap.pool_orphaned_replies,
+        );
+        c(
+            "tdt_relay_pool_culled_total",
+            "Pooled connections pruned as dead at checkout time",
+            snap.pool_connections_culled,
+        );
+        c(
+            "tdt_relay_breaker_trips_total",
+            "Times the circuit breaker tripped open",
+            snap.breaker_trips,
+        );
+        c(
+            "tdt_relay_breaker_probes_total",
+            "Half-open probe requests admitted by the breaker",
+            snap.breaker_probes,
+        );
+        c(
+            "tdt_relay_breaker_fast_rejects_total",
+            "Requests rejected instantly by an open circuit",
+            snap.breaker_fast_rejects,
+        );
+        g(
+            "tdt_relay_breaker_open_endpoints",
+            "Endpoints whose circuit is currently open or half-open",
+            snap.breaker_open_endpoints,
+        );
+        c(
+            "tdt_obs_spans_dropped_total",
+            "Span records overwritten in full ring buffers before snapshot",
+            tdt_obs::span::spans_dropped(),
+        );
+    }
+}
+
+/// Scrape-time bridge from a redundant relay group's counters.
+struct GroupMetricSource {
+    group: Weak<RelayGroup>,
+}
+
+impl MetricSource for GroupMetricSource {
+    fn collect(&self, registry: &Registry) {
+        let Some(group) = self.group.upgrade() else {
+            return;
+        };
+        let c = |name: &str, help: &str, value: u64| {
+            registry.counter(name, help).set(value);
+        };
+        c(
+            "tdt_relay_group_hedges_total",
+            "Hedged backup requests fired after the hedge delay",
+            group.hedges(),
+        );
+        c(
+            "tdt_relay_group_discarded_replies_total",
+            "Hedged replies discarded because the other leg won",
+            group.discarded_replies(),
+        );
+        c(
+            "tdt_relay_group_breaker_skips_total",
+            "Members skipped during selection because their circuit was open",
+            group.breaker_skips(),
+        );
+        c(
+            "tdt_relay_group_deadline_failures_total",
+            "Group queries failed because the deadline budget ran out",
+            group.deadline_failures(),
+        );
+        c(
+            "tdt_relay_group_degraded_queries_total",
+            "Group queries that succeeded only after at least one failover",
+            group.degraded_queries(),
+        );
+    }
+}
+
+/// Wires one relay into an [`ObsHandle`]: adopts its exponential latency
+/// histogram under `tdt_relay_latency_ns` and attaches the scrape-time
+/// stats bridge. The handle holds only a weak reference to the relay.
+pub fn register_relay(handle: &ObsHandle, relay: &Arc<RelayService>) {
+    register_latency(handle, relay.stats());
+    handle.add_source(Arc::new(RelayMetricSource {
+        relay: Arc::downgrade(relay),
+    }));
+}
+
+/// Adopts a relay's latency histogram into the handle's registry without
+/// attaching the counter bridge (useful when only latency is wanted).
+pub fn register_latency(handle: &ObsHandle, stats: &RelayStats) {
+    handle.registry().register_histogram(
+        "tdt_relay_latency_ns",
+        "Envelope-handling latency in nanoseconds",
+        stats.latency_ns(),
+    );
+}
+
+/// Wires a redundant relay group's hedging/failover counters into an
+/// [`ObsHandle`] via a weak reference.
+pub fn register_group(handle: &ObsHandle, group: &Arc<RelayGroup>) {
+    handle.add_source(Arc::new(GroupMetricSource {
+        group: Arc::downgrade(group),
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_context_elides_header() {
+        assert!(current_trace_header().is_unset());
+        let ctx = context_from_header(&TraceHeader::default());
+        assert!(ctx.is_unset());
+        assert!(!ctx.is_recording());
+    }
+
+    #[test]
+    fn header_roundtrip_preserves_context() {
+        let ctx = TraceContext::root();
+        let header = trace_header(&ctx);
+        assert_eq!(context_from_header(&header), ctx);
+    }
+
+    #[test]
+    fn installed_context_reaches_the_wire() {
+        let ctx = TraceContext::root();
+        let guard = ctx.install();
+        let header = current_trace_header();
+        assert_eq!(header.trace_hi, ctx.trace_hi);
+        assert_eq!(header.span_id, ctx.span_id);
+        assert!(header.sampled);
+        drop(guard);
+        assert!(current_trace_header().is_unset());
+    }
+}

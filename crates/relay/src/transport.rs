@@ -19,11 +19,12 @@ use crate::error::RelayError;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::io::Write;
+use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use tdt_obs::ObsHandle;
 use tdt_wire::codec::Message;
 use tdt_wire::framing::{read_frame, write_frame, DEFAULT_MAX_FRAME};
 use tdt_wire::messages::RelayEnvelope;
@@ -239,6 +240,7 @@ impl CorrelationRouter {
     /// * [`RelayError::StaleConnection`] when the router is closed.
     /// * [`RelayError::TransportFailed`] when the id is already in flight.
     pub fn register(&self, correlation_id: u64) -> Result<Receiver<RelayEnvelope>, RelayError> {
+        // lint:allow(obs: "correlation bookkeeping; the transport send span records")
         let mut pending = self.pending.lock();
         if self.closed.load(Ordering::Acquire) {
             return Err(RelayError::StaleConnection(
@@ -267,6 +269,7 @@ impl CorrelationRouter {
     /// Returns [`RelayError::TransportFailed`] when no waiter is
     /// registered under that id; the reply is not delivered to anyone.
     pub fn complete(&self, correlation_id: u64, reply: RelayEnvelope) -> Result<(), RelayError> {
+        // lint:allow(obs: "correlation bookkeeping; the transport send span records")
         let tx = self.pending.lock().remove(&correlation_id).ok_or_else(|| {
             RelayError::TransportFailed(format!(
                 "no request awaiting correlation id {correlation_id}"
@@ -588,6 +591,11 @@ pub struct TcpServerConfig {
     pub dispatchers: usize,
     /// Maximum accepted frame size.
     pub max_frame: usize,
+    /// When set, the server also binds a loopback admin listener serving
+    /// this handle's unified metrics: Prometheus text at `GET /metrics`,
+    /// a JSON snapshot at `GET /metrics.json`. See
+    /// [`TcpRelayServer::admin_endpoint`].
+    pub obs: Option<Arc<ObsHandle>>,
 }
 
 impl Default for TcpServerConfig {
@@ -598,6 +606,7 @@ impl Default for TcpServerConfig {
                 .map_or(4, |n| n.get())
                 .max(4),
             max_frame: DEFAULT_MAX_FRAME,
+            obs: None,
         }
     }
 }
@@ -633,9 +642,11 @@ struct ServerJob {
 /// [`TcpRelayServer::shutdown`] closes and joins.
 pub struct TcpRelayServer {
     local_addr: SocketAddr,
+    admin_addr: Option<SocketAddr>,
     shutdown: Arc<AtomicBool>,
     registry: Arc<ConnectionRegistry>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    admin_thread: Option<std::thread::JoinHandle<()>>,
     dispatchers: Vec<std::thread::JoinHandle<()>>,
     job_tx: Option<Sender<ServerJob>>,
 }
@@ -658,6 +669,7 @@ impl TcpRelayServer {
     ///
     /// Returns [`RelayError::TransportFailed`] when binding fails.
     pub fn spawn(bind_addr: &str, handler: Arc<dyn EnvelopeHandler>) -> Result<Self, RelayError> {
+        // lint:allow(obs: "server startup, no request in flight to trace")
         Self::spawn_with(bind_addr, handler, TcpServerConfig::default())
     }
 
@@ -671,6 +683,7 @@ impl TcpRelayServer {
         handler: Arc<dyn EnvelopeHandler>,
         config: TcpServerConfig,
     ) -> Result<Self, RelayError> {
+        // lint:allow(obs: "server startup, no request in flight to trace")
         let listener = TcpListener::bind(bind_addr)
             .map_err(|e| RelayError::TransportFailed(format!("bind {bind_addr}: {e}")))?;
         let local_addr = listener
@@ -697,6 +710,27 @@ impl TcpRelayServer {
                     .map_err(|e| spawn_failed("spawn tcp relay dispatcher", e))
             })
             .collect::<Result<Vec<_>, RelayError>>()?;
+        let (admin_addr, admin_thread) = match config.obs.clone() {
+            Some(obs) => {
+                // Loopback only: the admin surface is for local scraping
+                // and tests, never for remote peers.
+                let admin_listener = TcpListener::bind("127.0.0.1:0")
+                    .map_err(|e| RelayError::TransportFailed(format!("bind admin: {e}")))?;
+                let admin_addr = admin_listener
+                    .local_addr()
+                    .map_err(|e| RelayError::TransportFailed(e.to_string()))?;
+                admin_listener
+                    .set_nonblocking(true)
+                    .map_err(|e| RelayError::TransportFailed(format!("set nonblocking: {e}")))?;
+                let shutdown = Arc::clone(&shutdown);
+                let thread = std::thread::Builder::new()
+                    .name("tcp-relay-admin".into())
+                    .spawn(move || admin_loop(&admin_listener, &shutdown, &obs))
+                    .map_err(|e| spawn_failed("spawn tcp relay admin loop", e))?;
+                (Some(admin_addr), Some(thread))
+            }
+            None => (None, None),
+        };
         let accept_thread = {
             let shutdown = Arc::clone(&shutdown);
             let registry = Arc::clone(&registry);
@@ -708,9 +742,11 @@ impl TcpRelayServer {
         };
         Ok(TcpRelayServer {
             local_addr,
+            admin_addr,
             shutdown,
             registry,
             accept_thread: Some(accept_thread),
+            admin_thread,
             dispatchers,
             job_tx: Some(job_tx),
         })
@@ -724,6 +760,14 @@ impl TcpRelayServer {
     /// The endpoint string clients should use.
     pub fn endpoint(&self) -> String {
         format!("tcp:{}", self.local_addr)
+    }
+
+    /// Base URL of the loopback admin listener (`http://127.0.0.1:<port>`)
+    /// when the server was configured with [`TcpServerConfig::obs`]. Scrape
+    /// `<base>/metrics` for the Prometheus exposition or
+    /// `<base>/metrics.json` for the JSON snapshot.
+    pub fn admin_endpoint(&self) -> Option<String> {
+        self.admin_addr.map(|addr| format!("http://{addr}"))
     }
 
     /// Live connections currently registered.
@@ -763,6 +807,9 @@ impl Drop for TcpRelayServer {
         if let Some(thread) = self.accept_thread.take() {
             thread.join().ok();
         }
+        if let Some(thread) = self.admin_thread.take() {
+            thread.join().ok();
+        }
         self.shutdown();
         // Closing the job channel stops the dispatchers once the queue
         // drains (writes to closed connections fail fast).
@@ -771,6 +818,66 @@ impl Drop for TcpRelayServer {
             dispatcher.join().ok();
         }
     }
+}
+
+/// Accept loop of the loopback admin listener: one short-lived HTTP
+/// exchange per connection, served inline (metrics scrapes are rare and
+/// cheap, so no thread pool).
+fn admin_loop(listener: &TcpListener, shutdown: &AtomicBool, obs: &ObsHandle) {
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                serve_admin_request(stream, obs).ok();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Answers one admin HTTP request. Only the request line matters; any
+/// headers the client sent are read and discarded.
+fn serve_admin_request(mut stream: TcpStream, obs: &ObsHandle) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut head = Vec::new();
+    let mut buf = [0u8; 512];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 8192 {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(buf.get(..n).unwrap_or_default());
+    }
+    let request_line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or(&[]);
+    let request_line = String::from_utf8_lossy(request_line);
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = match (method, path) {
+        ("GET", "/metrics") => ("200 OK", "text/plain; version=0.0.4", obs.prometheus_text()),
+        ("GET", "/metrics.json") => ("200 OK", "application/json", obs.json_text()),
+        ("GET", _) => ("404 Not Found", "text/plain", "not found\n".to_string()),
+        _ => (
+            "405 Method Not Allowed",
+            "text/plain",
+            "method not allowed\n".to_string(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()?;
+    stream.shutdown(Shutdown::Both).ok();
+    Ok(())
 }
 
 fn accept_loop(
@@ -919,6 +1026,7 @@ mod tests {
                 dest_network: envelope.dest_network,
                 payload: envelope.payload,
                 correlation_id: 0,
+                trace: Default::default(),
             }
         }
     }
@@ -941,6 +1049,7 @@ mod tests {
             dest_network: "target".into(),
             payload: payload.to_vec(),
             correlation_id: 0,
+            trace: Default::default(),
         }
     }
 
@@ -1236,6 +1345,52 @@ mod tests {
     fn pooled_bad_scheme() {
         let transport = PooledTcpTransport::new();
         assert!(transport.send("inproc:x", &request(b"x")).is_err());
+    }
+
+    /// Minimal HTTP/1.1 GET against the admin listener.
+    fn http_get(base: &str, path: &str) -> String {
+        let addr = base.strip_prefix("http://").unwrap();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(
+                format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+                    .as_bytes(),
+            )
+            .unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn admin_endpoint_serves_metrics_expositions() {
+        let obs = Arc::new(ObsHandle::new());
+        obs.registry()
+            .counter("tdt_test_scrapes_total", "test counter")
+            .add(3);
+        let server = TcpRelayServer::spawn_with(
+            "127.0.0.1:0",
+            Arc::new(EchoHandler),
+            TcpServerConfig {
+                obs: Some(Arc::clone(&obs)),
+                ..TcpServerConfig::default()
+            },
+        )
+        .unwrap();
+        let base = server.admin_endpoint().expect("admin listener configured");
+        let text = http_get(&base, "/metrics");
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "got: {text}");
+        assert!(text.contains("tdt_test_scrapes_total 3"), "got: {text}");
+        let json = http_get(&base, "/metrics.json");
+        assert!(json.contains("\"tdt_test_scrapes_total\""), "got: {json}");
+        let missing = http_get(&base, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "got: {missing}");
+    }
+
+    #[test]
+    fn admin_endpoint_absent_without_obs_config() {
+        let server = TcpRelayServer::spawn("127.0.0.1:0", Arc::new(EchoHandler)).unwrap();
+        assert!(server.admin_endpoint().is_none());
     }
 
     #[test]

@@ -609,6 +609,61 @@ impl EnvelopeKind {
     }
 }
 
+/// Distributed-trace position carried between relays (an embedded,
+/// zero-elided message — the same backward-compat trick as
+/// [`RelayEnvelope::correlation_id`]).
+///
+/// The all-default header means "no trace": every field is proto3
+/// zero-elided, so a default header encodes to zero bytes, the embedded
+/// field itself is elided, and frames from peers that do not trace stay
+/// byte-identical to the pre-field encoding. Old decoders skip the field
+/// as unknown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceHeader {
+    /// High 64 bits of the 128-bit trace id (zero when untraced).
+    pub trace_hi: u64,
+    /// Low 64 bits of the 128-bit trace id (zero when untraced).
+    pub trace_lo: u64,
+    /// Sending span's id — the receiver parents its span under this.
+    pub span_id: u64,
+    /// Parent of the sending span (zero for a root span).
+    pub parent_span_id: u64,
+    /// Head-based sampling decision, propagated unchanged.
+    pub sampled: bool,
+}
+
+impl TraceHeader {
+    /// True when no trace is in progress (the header would be elided).
+    pub fn is_unset(&self) -> bool {
+        self.trace_hi == 0 && self.trace_lo == 0
+    }
+}
+
+impl Message for TraceHeader {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(1, self.trace_hi);
+        w.u64(2, self.trace_lo);
+        w.u64(3, self.span_id);
+        w.u64(4, self.parent_span_id);
+        w.bool(5, self.sampled);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let mut out = TraceHeader::default();
+        while let Some((field, value)) = r.next_field()? {
+            match field {
+                1 => out.trace_hi = value.as_u64(1)?,
+                2 => out.trace_lo = value.as_u64(2)?,
+                3 => out.span_id = value.as_u64(3)?,
+                4 => out.parent_span_id = value.as_u64(4)?,
+                5 => out.sampled = value.as_bool(5)?,
+                _ => {}
+            }
+        }
+        Ok(out)
+    }
+}
+
 /// The unit of relay-to-relay communication (Steps 3-4 and 8-9 of Fig. 2).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RelayEnvelope {
@@ -626,6 +681,10 @@ pub struct RelayEnvelope {
     /// elision), so their frames are byte-identical to the pre-field
     /// encoding and old decoders skip it as an unknown field.
     pub correlation_id: u64,
+    /// Distributed-trace position of the sender. The all-default header
+    /// means "untraced" and is elided from the wire entirely, preserving
+    /// byte-identical frames for peers without tracing.
+    pub trace: TraceHeader,
 }
 
 impl RelayEnvelope {
@@ -641,6 +700,7 @@ impl RelayEnvelope {
             dest_network: dest_network.into(),
             payload: q.encode_to_vec(),
             correlation_id: 0,
+            trace: TraceHeader::default(),
         }
     }
 
@@ -656,6 +716,7 @@ impl RelayEnvelope {
             dest_network: dest_network.into(),
             payload: resp.encode_to_vec(),
             correlation_id: 0,
+            trace: TraceHeader::default(),
         }
     }
 
@@ -671,6 +732,7 @@ impl RelayEnvelope {
             dest_network: dest_network.into(),
             payload: message.into().into_bytes(),
             correlation_id: 0,
+            trace: TraceHeader::default(),
         }
     }
 
@@ -678,6 +740,13 @@ impl RelayEnvelope {
     /// multiplexing stream transports to route replies to callers.
     pub fn with_correlation_id(mut self, correlation_id: u64) -> Self {
         self.correlation_id = correlation_id;
+        self
+    }
+
+    /// Tags the envelope with the sender's trace position (builder
+    /// style); an unset header leaves the frame byte-identical.
+    pub fn with_trace(mut self, trace: TraceHeader) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -689,6 +758,7 @@ impl Message for RelayEnvelope {
         w.string(3, &self.dest_network);
         w.bytes(4, &self.payload);
         w.u64(5, self.correlation_id);
+        w.message(6, &self.trace);
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
@@ -700,6 +770,7 @@ impl Message for RelayEnvelope {
                 3 => out.dest_network = value.as_string(3, "dest_network")?,
                 4 => out.payload = value.as_bytes(4)?.to_vec(),
                 5 => out.correlation_id = value.as_u64(5)?,
+                6 => out.trace = value.as_message(6)?,
                 _ => {}
             }
         }
@@ -1359,6 +1430,52 @@ mod tests {
         // And legacy bytes decode with correlation_id defaulting to zero.
         let decoded = RelayEnvelope::decode_from_slice(&env.encode_to_vec()).unwrap();
         assert_eq!(decoded.correlation_id, 0);
+    }
+
+    #[test]
+    fn envelope_without_trace_is_wire_compatible() {
+        // An unset trace header must encode to the exact bytes an old
+        // peer (without the field) would produce: the embedded message
+        // encodes empty and is elided entirely.
+        let env = RelayEnvelope::query("swt-relay-0", "stl", &sample_query());
+        assert!(env.trace.is_unset());
+        let mut w = Writer::new();
+        w.u64(1, 0);
+        w.string(2, "swt-relay-0");
+        w.string(3, "stl");
+        w.bytes(4, &sample_query().encode_to_vec());
+        assert_eq!(env.encode_to_vec(), w.into_bytes());
+        // And legacy bytes decode with an unset trace header.
+        let decoded = RelayEnvelope::decode_from_slice(&env.encode_to_vec()).unwrap();
+        assert!(decoded.trace.is_unset());
+        assert!(!decoded.trace.sampled);
+    }
+
+    #[test]
+    fn envelope_trace_roundtrip() {
+        let trace = TraceHeader {
+            trace_hi: u64::MAX,
+            trace_lo: 7,
+            span_id: 42,
+            parent_span_id: 41,
+            sampled: true,
+        };
+        let env = RelayEnvelope::query("swt-relay-0", "stl", &sample_query()).with_trace(trace);
+        let decoded = RelayEnvelope::decode_from_slice(&env.encode_to_vec()).unwrap();
+        assert_eq!(decoded.trace, trace);
+        assert!(!decoded.trace.is_unset());
+        // A traced frame is a strict superset of the legacy frame: old
+        // decoders skip field 6 and still read every legacy field.
+        let legacy = RelayEnvelope::query("swt-relay-0", "stl", &sample_query());
+        assert!(env.encode_to_vec().len() > legacy.encode_to_vec().len());
+        assert_eq!(decoded.payload, legacy.payload);
+    }
+
+    #[test]
+    fn trace_header_zero_elides_to_empty() {
+        assert!(TraceHeader::default().encode_to_vec().is_empty());
+        let decoded = TraceHeader::decode_from_slice(&[]).unwrap();
+        assert_eq!(decoded, TraceHeader::default());
     }
 
     #[test]

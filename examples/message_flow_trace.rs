@@ -3,9 +3,13 @@
 //!
 //! Run with: `cargo run --example message_flow_trace`
 
+use std::sync::Arc;
 use tdt::contracts::swt::SwtChaincode;
 use tdt::interop::flow::harness_for_testbed;
 use tdt::interop::setup::{issue_sample_bl, stl_swt_testbed};
+use tdt::interop::InteropClient;
+use tdt::obs::span as obs_span;
+use tdt::obs::{waterfall, TraceContext};
 use tdt::wire::messages::{NetworkAddress, VerificationPolicy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -37,8 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let policy =
         VerificationPolicy::all_of_orgs(["seller-org", "carrier-org"]).with_confidentiality();
     let traced = harness.run_traced(
-        address,
-        policy,
+        address.clone(),
+        policy.clone(),
         SwtChaincode::NAME,
         "UploadDispatchDocs",
         vec![b"PO-1001".to_vec()],
@@ -51,5 +55,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         traced.remote.proof.attestations.len(),
         traced.remote.data.len()
     );
+
+    // The same cross-network query again, this time observed end to end:
+    // one trace context travels from the client across both relays into
+    // the source network's contracts, and every hop lands in one tree.
+    println!("\ndistributed trace of the cross-network query (real timestamps):\n");
+    let client = InteropClient::new(testbed.swt_seller_gateway(), Arc::clone(&testbed.swt_relay));
+    let root = TraceContext::root();
+    {
+        let _guard = root.install();
+        client.query_remote(address, policy)?;
+    }
+    let spans = obs_span::spans_for_trace(root.trace_hi, root.trace_lo);
+    print!("{}", waterfall::render(&spans));
+    let hops: std::collections::BTreeSet<&str> = spans.iter().map(|s| s.name).collect();
+    println!(
+        "\n{} spans across {} distinct hops",
+        spans.len(),
+        hops.len()
+    );
+    if hops.len() < 6 {
+        return Err(format!("expected >= 6 distinct hops, got {hops:?}").into());
+    }
     Ok(())
 }

@@ -4,15 +4,21 @@
 //!
 //! Run with: `cargo run --example tcp_relay_demo`
 
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
 use tdt::contracts::stl::BillOfLading;
 use tdt::interop::driver::FabricDriver;
 use tdt::interop::setup::{issue_sample_bl, stl_swt_testbed};
 use tdt::interop::InteropClient;
+use tdt::obs::export::parse_exposition;
+use tdt::obs::ObsHandle;
 use tdt::relay::discovery::{DiscoveryService, FileRegistry};
 use tdt::relay::service::RelayService;
+use tdt::relay::telemetry::register_relay;
 use tdt::relay::transport::{
-    EnvelopeHandler, PooledTcpTransport, RelayTransport, TcpRelayServer, TcpTransport,
+    EnvelopeHandler, PooledTcpTransport, RelayTransport, TcpRelayServer, TcpServerConfig,
+    TcpTransport,
 };
 use tdt::wire::codec::Message;
 use tdt::wire::messages::{NetworkAddress, VerificationPolicy};
@@ -32,9 +38,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Arc::new(TcpTransport::new()) as Arc<dyn RelayTransport>,
     ));
     stl_relay.register_driver(Arc::new(FabricDriver::new(Arc::clone(&testbed.stl))));
-    let server = TcpRelayServer::spawn(
+    // Unified observability: the server exposes the relay's counters,
+    // gauges and the latency histogram on a loopback admin endpoint.
+    let obs = Arc::new(ObsHandle::new());
+    register_relay(&obs, &stl_relay);
+    let server = TcpRelayServer::spawn_with(
         "127.0.0.1:0",
         Arc::clone(&stl_relay) as Arc<dyn EnvelopeHandler>,
+        TcpServerConfig {
+            obs: Some(Arc::clone(&obs)),
+            ..TcpServerConfig::default()
+        },
     )?;
     println!("STL relay listening on {}", server.local_addr());
 
@@ -107,6 +121,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         server.connection_count(),
         server.refused_connections()
     );
+
+    // Scrape the admin endpoint exactly like a Prometheus agent would and
+    // check the exposition parses.
+    let admin = server
+        .admin_endpoint()
+        .ok_or("admin endpoint not configured")?;
+    let host = admin.trim_start_matches("http://");
+    let mut stream = TcpStream::connect(host)?;
+    write!(
+        stream,
+        "GET /metrics HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or_default();
+    let inventory = parse_exposition(body).map_err(|e| format!("bad exposition: {e}"))?;
+    println!(
+        "\nscraped {admin}/metrics: {} metrics, all parse",
+        inventory.len()
+    );
+    for line in body.lines().filter(|l| {
+        l.starts_with("tdt_relay_served_total")
+            || l.starts_with("tdt_relay_forwarded_total")
+            || l.starts_with("tdt_relay_latency_ns_count")
+            || l.starts_with("tdt_relay_latency_ns_max")
+    }) {
+        println!("  {line}");
+    }
     std::fs::remove_file(&registry_path).ok();
     server.shutdown();
     println!("done.");

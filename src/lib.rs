@@ -14,5 +14,6 @@ pub use tdt_contracts as contracts;
 pub use tdt_crypto as crypto;
 pub use tdt_fabric as fabric;
 pub use tdt_ledger as ledger;
+pub use tdt_obs as obs;
 pub use tdt_relay as relay;
 pub use tdt_wire as wire;

@@ -204,6 +204,7 @@ fn multiplexed_tcp_transport_stress() {
                 dest_network: envelope.dest_network,
                 payload: envelope.payload,
                 correlation_id: 0,
+                trace: Default::default(),
             }
         }
     }
@@ -224,6 +225,7 @@ fn multiplexed_tcp_transport_stress() {
                         dest_network: "target".into(),
                         payload: payload.clone(),
                         correlation_id: 0,
+                        trace: Default::default(),
                     };
                     let reply = transport.send(&endpoint, &request).unwrap();
                     assert_eq!(reply.payload, payload, "reply crossed wires");

@@ -29,6 +29,7 @@ fn technical_layer_transports() {
         dest_network: "b".into(),
         payload: vec![1, 2, 3],
         correlation_id: 0,
+        trace: Default::default(),
     };
     let reply = bus.send("inproc:x", &env).unwrap();
     assert_eq!(reply.payload, vec![1, 2, 3]);

@@ -1,0 +1,104 @@
+//! Golden test for the unified metrics exposition (ISSUE 5).
+//!
+//! A full relay + group harness is scraped once; the Prometheus text must
+//! parse cleanly and the (metric name, type) inventory must match
+//! `tests/golden/metrics.txt`. Regenerate after intentional changes with
+//! `OBS_BLESS=1 cargo test --test obs_metrics`.
+
+use std::sync::Arc;
+use tdt::obs::export::parse_exposition;
+use tdt::obs::ObsHandle;
+use tdt::relay::discovery::{DiscoveryService, StaticRegistry};
+use tdt::relay::driver::EchoDriver;
+use tdt::relay::redundancy::RelayGroup;
+use tdt::relay::service::RelayService;
+use tdt::relay::telemetry::{register_group, register_relay};
+use tdt::relay::transport::{EnvelopeHandler, InProcessBus, RelayTransport};
+use tdt::wire::messages::{NetworkAddress, Query};
+
+const GOLDEN_PATH: &str = "tests/golden/metrics.txt";
+
+/// Builds a one-member relay group, runs one query through it so counters
+/// and the latency histogram are live, and scrapes the unified handle.
+fn harness_exposition() -> String {
+    let registry = Arc::new(StaticRegistry::new());
+    let bus = Arc::new(InProcessBus::new());
+    registry.register("stl", "inproc:stl-relay");
+    let stl = Arc::new(RelayService::new(
+        "stl-relay",
+        "stl",
+        Arc::clone(&registry) as Arc<dyn DiscoveryService>,
+        Arc::clone(&bus) as Arc<dyn RelayTransport>,
+    ));
+    stl.register_driver(Arc::new(EchoDriver::new("stl")));
+    bus.register("stl-relay", Arc::clone(&stl) as Arc<dyn EnvelopeHandler>);
+    let swt = Arc::new(RelayService::new(
+        "swt-relay",
+        "swt",
+        Arc::clone(&registry) as Arc<dyn DiscoveryService>,
+        Arc::clone(&bus) as Arc<dyn RelayTransport>,
+    ));
+    let group = Arc::new(RelayGroup::new(vec![Arc::clone(&swt)]).expect("non-empty group"));
+    let query = Query {
+        request_id: "golden".into(),
+        address: NetworkAddress::new("stl", "l", "c", "f"),
+        ..Default::default()
+    };
+    group.relay_query(&query).expect("query through harness");
+
+    let handle = ObsHandle::new();
+    register_relay(&handle, &swt);
+    register_group(&handle, &group);
+    handle.prometheus_text()
+}
+
+#[test]
+fn exposition_parses_and_matches_golden_inventory() {
+    let text = harness_exposition();
+    let inventory = parse_exposition(&text).expect("exposition must parse");
+    let mut lines: Vec<String> = inventory
+        .iter()
+        .map(|(name, kind)| format!("{name} {kind}"))
+        .collect();
+    lines.sort();
+    lines.dedup();
+    let rendered = format!("{}\n", lines.join("\n"));
+
+    if std::env::var_os("OBS_BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden");
+        println!("blessed {GOLDEN_PATH}");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing — run OBS_BLESS=1 cargo test --test obs_metrics");
+    assert_eq!(
+        rendered, golden,
+        "metric inventory drifted from {GOLDEN_PATH}; \
+         regenerate with OBS_BLESS=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn json_snapshot_covers_the_same_metrics() {
+    // The JSON exporter must name every metric the Prometheus exposition
+    // names (it is the machine-readable twin, not a subset).
+    let registry = Arc::new(StaticRegistry::new());
+    let bus = Arc::new(InProcessBus::new());
+    registry.register("stl", "inproc:stl-relay");
+    let stl = Arc::new(RelayService::new(
+        "stl-relay",
+        "stl",
+        Arc::clone(&registry) as Arc<dyn DiscoveryService>,
+        Arc::clone(&bus) as Arc<dyn RelayTransport>,
+    ));
+    let handle = ObsHandle::new();
+    register_relay(&handle, &stl);
+    let text = handle.prometheus_text();
+    let json = handle.json_text();
+    for (name, _) in parse_exposition(&text).expect("parse") {
+        assert!(
+            json.contains(&format!("\"{name}\"")),
+            "JSON snapshot missing {name}"
+        );
+    }
+}

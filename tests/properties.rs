@@ -379,6 +379,7 @@ fn reply_for(correlation_id: u64) -> tdt::wire::messages::RelayEnvelope {
         dest_network: "here".into(),
         payload: correlation_id.to_be_bytes().to_vec(),
         correlation_id,
+        trace: Default::default(),
     }
 }
 

@@ -303,6 +303,7 @@ fn availability_rate_limiter_sheds_floods_but_recovers() {
             dest_network: "stl".into(),
             payload: Vec::new(),
             correlation_id: 0,
+            trace: Default::default(),
         };
         let reply = t.bus.send("inproc:stl-relay-limited", &ping).unwrap();
         if reply.kind == tdt::wire::messages::EnvelopeKind::Error {

@@ -38,6 +38,26 @@ impl<T> fmt::Display for SendError<T> {
 
 impl<T: fmt::Debug> std::error::Error for SendError<T> {}
 
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded channel is full; the message is handed back.
+    Full(T),
+    /// Every receiver has been dropped; the message is handed back.
+    Disconnected(T),
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("sending on a full channel"),
+            TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for TrySendError<T> {}
+
 /// Error returned by [`Receiver::recv`] when the channel is empty and
 /// every sender is gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -219,6 +239,31 @@ impl<T> Sender<T> {
         }
     }
 
+    /// Sends `value` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySendError::Full`] when a bounded channel is at capacity,
+    /// [`TrySendError::Disconnected`] when every receiver is gone. Both
+    /// hand `value` back.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.shared.lock();
+        if state.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        let full = state
+            .capacity
+            .map(|cap| state.queue.len() >= cap)
+            .unwrap_or(false);
+        if full {
+            return Err(TrySendError::Full(value));
+        }
+        state.queue.push_back(value);
+        drop(state);
+        self.shared.recv_ready.notify_one();
+        Ok(())
+    }
+
     /// Number of messages currently buffered.
     pub fn len(&self) -> usize {
         self.shared.lock().queue.len()
@@ -227,6 +272,16 @@ impl<T> Sender<T> {
     /// True when no messages are buffered.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// True when a bounded channel is at capacity (always false for
+    /// unbounded channels).
+    pub fn is_full(&self) -> bool {
+        let state = self.shared.lock();
+        state
+            .capacity
+            .map(|cap| state.queue.len() >= cap)
+            .unwrap_or(false)
     }
 }
 
