@@ -6,38 +6,56 @@
 //! it extracts `(name, type)` pairs and validates the exposition's shape
 //! so accidental renames are caught deliberately.
 
-use crate::metrics::{HistogramSnapshot, MetricValue, RegistrySnapshot};
+use crate::metrics::{split_series_name, HistogramSnapshot, MetricValue, RegistrySnapshot};
 use std::fmt::Write as _;
 
 /// Renders the snapshot in the Prometheus text exposition format
 /// (`# HELP` / `# TYPE` comments, `_bucket`/`_sum`/`_count`/`_max`
 /// series for histograms, cumulative `le` buckets ending at `+Inf`).
+///
+/// Series names may embed a label block (`family{relay="stl"}`, built
+/// with [`crate::metrics::labeled_name`]): labeled series of one family
+/// share a single `# HELP`/`# TYPE` header (the snapshot's name-sorted
+/// order keeps them adjacent), and histogram suffixes are spliced as
+/// `family_bucket{labels,le="…"}` the way Prometheus expects.
 pub fn prometheus_text(snapshot: &RegistrySnapshot) -> String {
     let mut out = String::new();
+    let mut last_family: Option<(&str, &str)> = None;
     for metric in &snapshot.metrics {
-        let _ = writeln!(out, "# HELP {} {}", metric.name, escape_help(&metric.help));
-        let _ = writeln!(out, "# TYPE {} {}", metric.name, metric.kind.as_str());
+        let (family, labels) = split_series_name(&metric.name);
+        let block = labels.map(|l| format!("{{{l}}}")).unwrap_or_default();
+        if last_family != Some((family, metric.kind.as_str())) {
+            let _ = writeln!(out, "# HELP {} {}", family, escape_help(&metric.help));
+            let _ = writeln!(out, "# TYPE {} {}", family, metric.kind.as_str());
+            last_family = Some((family, metric.kind.as_str()));
+        }
         match &metric.value {
             MetricValue::Counter(v) => {
-                let _ = writeln!(out, "{} {}", metric.name, v);
+                let _ = writeln!(out, "{family}{block} {v}");
             }
             MetricValue::Gauge(v) => {
-                let _ = writeln!(out, "{} {}", metric.name, v);
+                let _ = writeln!(out, "{family}{block} {v}");
             }
             MetricValue::Histogram(h) => {
+                let le = |bound: &str| match labels {
+                    Some(l) => format!("{{{l},le=\"{bound}\"}}"),
+                    None => format!("{{le=\"{bound}\"}}"),
+                };
                 let mut cumulative = 0u64;
                 for (i, bound) in h.bounds.iter().enumerate() {
                     cumulative = cumulative.saturating_add(h.buckets.get(i).copied().unwrap_or(0));
                     let _ = writeln!(
                         out,
-                        "{}_bucket{{le=\"{}\"}} {}",
-                        metric.name, bound, cumulative
+                        "{}_bucket{} {}",
+                        family,
+                        le(&bound.to_string()),
+                        cumulative
                     );
                 }
-                let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", metric.name, h.count);
-                let _ = writeln!(out, "{}_sum {}", metric.name, h.sum);
-                let _ = writeln!(out, "{}_count {}", metric.name, h.count);
-                let _ = writeln!(out, "{}_max {}", metric.name, h.max);
+                let _ = writeln!(out, "{}_bucket{} {}", family, le("+Inf"), h.count);
+                let _ = writeln!(out, "{}_sum{} {}", family, block, h.sum);
+                let _ = writeln!(out, "{}_count{} {}", family, block, h.count);
+                let _ = writeln!(out, "{}_max{} {}", family, block, h.max);
             }
         }
     }
@@ -232,6 +250,37 @@ mod tests {
                 ("tdt_demo_depth".to_string(), "gauge".to_string()),
                 ("tdt_demo_ns".to_string(), "histogram".to_string()),
                 ("tdt_demo_total".to_string(), "counter".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn labeled_series_share_one_family_header() {
+        let reg = Registry::new();
+        use crate::metrics::labeled_name;
+        reg.counter(&labeled_name("tdt_l_total", &[("relay", "a")]), "h")
+            .set(1);
+        reg.counter(&labeled_name("tdt_l_total", &[("relay", "b")]), "h")
+            .set(2);
+        let h = Histogram::with_bounds(vec![10]);
+        h.observe(5);
+        h.observe(50);
+        reg.register_histogram(&labeled_name("tdt_l_ns", &[("relay", "a")]), "h", &h);
+        let text = prometheus_text(&reg.snapshot());
+        assert_eq!(text.matches("# TYPE tdt_l_total counter").count(), 1);
+        assert!(text.contains("tdt_l_total{relay=\"a\"} 1"));
+        assert!(text.contains("tdt_l_total{relay=\"b\"} 2"));
+        assert!(text.contains("tdt_l_ns_bucket{relay=\"a\",le=\"10\"} 1"));
+        assert!(text.contains("tdt_l_ns_bucket{relay=\"a\",le=\"+Inf\"} 2"));
+        assert!(text.contains("tdt_l_ns_sum{relay=\"a\"} 55"));
+        assert!(text.contains("tdt_l_ns_count{relay=\"a\"} 2"));
+        assert!(text.contains("tdt_l_ns_max{relay=\"a\"} 50"));
+        let families = parse_exposition(&text).expect("labeled exposition parses");
+        assert_eq!(
+            families,
+            vec![
+                ("tdt_l_ns".to_string(), "histogram".to_string()),
+                ("tdt_l_total".to_string(), "counter".to_string()),
             ]
         );
     }

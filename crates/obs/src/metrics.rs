@@ -286,13 +286,87 @@ impl RegistrySnapshot {
     }
 }
 
+/// Name of the self-registered counter that counts kind clashes (see
+/// [`Registry::counter`]): its presence in an export means some call site
+/// re-registered an existing name under a different kind and is recording
+/// into a detached handle.
+pub const KIND_CLASH_COUNTER: &str = "tdt_obs_metric_kind_clashes_total";
+
+/// Formats a labeled series name, `family{k="v",...}`; with no labels the
+/// plain family name is returned. Label values are escaped for the
+/// Prometheus exposition (backslash, double quote, newline).
+pub fn labeled_name(family: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return family.to_string();
+    }
+    let mut out = String::with_capacity(family.len() + 16 * labels.len());
+    out.push_str(family);
+    out.push('{');
+    for (i, (key, value)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(key);
+        out.push_str("=\"");
+        for c in value.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Splits a series name into `(family, label block)` where the label
+/// block excludes the braces: `a_total{relay="x"}` → `("a_total",
+/// Some("relay=\"x\""))`, `a_total` → `("a_total", None)`.
+pub fn split_series_name(name: &str) -> (&str, Option<&str>) {
+    match name.split_once('{') {
+        Some((family, rest)) => (family, Some(rest.trim_end_matches('}'))),
+        None => (name, None),
+    }
+}
+
 /// A registry of named metrics. Cloning shares the underlying map.
 ///
 /// The lock guards only registration and snapshotting; handles returned
 /// from the accessors touch atomics directly.
+///
+/// Names may carry a Prometheus label block (built with [`labeled_name`])
+/// to keep per-instance series distinct — e.g. two relays bridged into
+/// one registry export `tdt_relay_served_total{relay="stl-relay"}` and
+/// `{relay="swt-relay"}` instead of overwriting each other.
 #[derive(Debug, Clone, Default)]
 pub struct Registry {
     inner: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+/// Bumps the self-registered clash counter and warns (once per registry)
+/// that `name` was re-registered under a different kind.
+fn note_kind_clash(map: &mut BTreeMap<String, Metric>, name: &str, wanted: &str) {
+    let metric = map
+        .entry(KIND_CLASH_COUNTER.to_string())
+        .or_insert_with(|| Metric::Counter {
+            help: "Metric registrations that clashed with an existing name of a \
+                   different kind and got a detached handle"
+                .to_string(),
+            value: Counter::new(),
+        });
+    if let Metric::Counter { value, .. } = metric {
+        value.inc();
+        if value.get() == 1 {
+            eprintln!(
+                "tdt-obs: metric {name:?} re-registered as a {wanted} under an \
+                 existing name of a different kind; values recorded on the \
+                 returned handle will not be exported"
+            );
+        }
+    }
 }
 
 impl Registry {
@@ -308,8 +382,10 @@ impl Registry {
 
     /// Gets or creates the counter `name`. On a kind clash with an
     /// existing metric, returns a fresh **detached** handle (recorded
-    /// values are then invisible to exports) rather than panicking —
-    /// name/kind discipline is checked by the golden exposition test.
+    /// values are then invisible to exports) rather than panicking; the
+    /// clash increments the self-registered [`KIND_CLASH_COUNTER`] and
+    /// warns on stderr once, so typo'd re-registrations are discoverable
+    /// at runtime, not only by the golden exposition test.
     pub fn counter(&self, name: &str, help: &str) -> Counter {
         self.with_map(|map| {
             match map
@@ -318,9 +394,11 @@ impl Registry {
                     help: help.to_string(),
                     value: Counter::new(),
                 }) {
-                Metric::Counter { value, .. } => value.clone(),
-                _ => Counter::new(),
+                Metric::Counter { value, .. } => return value.clone(),
+                _ => {}
             }
+            note_kind_clash(map, name, "counter");
+            Counter::new()
         })
     }
 
@@ -334,9 +412,11 @@ impl Registry {
                     help: help.to_string(),
                     value: Gauge::new(),
                 }) {
-                Metric::Gauge { value, .. } => value.clone(),
-                _ => Gauge::new(),
+                Metric::Gauge { value, .. } => return value.clone(),
+                _ => {}
             }
+            note_kind_clash(map, name, "gauge");
+            Gauge::new()
         })
     }
 
@@ -351,9 +431,11 @@ impl Registry {
                     help: help.to_string(),
                     value: make(),
                 }) {
-                Metric::Histogram { value, .. } => value.clone(),
-                _ => Histogram::with_bounds(Vec::new()),
+                Metric::Histogram { value, .. } => return value.clone(),
+                _ => {}
             }
+            note_kind_clash(map, name, "histogram");
+            Histogram::with_bounds(Vec::new())
         })
     }
 
@@ -452,13 +534,46 @@ mod tests {
     }
 
     #[test]
-    fn kind_clash_returns_detached_handle() {
+    fn kind_clash_returns_detached_handle_and_is_counted() {
         let reg = Registry::new();
         reg.counter("mixed", "h").inc();
         let g = reg.gauge("mixed", "h");
         g.set(99);
-        // The registered metric is untouched; the gauge was detached.
-        assert_eq!(reg.snapshot().counter("mixed"), Some(1));
+        // The registered metric is untouched; the gauge was detached and
+        // the clash is visible in the export as a self-registered counter.
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("mixed"), Some(1));
+        assert_eq!(snap.counter(KIND_CLASH_COUNTER), Some(1));
+        // A clean registry never exports the clash counter.
+        assert!(Registry::new().snapshot().get(KIND_CLASH_COUNTER).is_none());
+    }
+
+    #[test]
+    fn labeled_name_formats_and_splits() {
+        assert_eq!(labeled_name("a_total", &[]), "a_total");
+        let name = labeled_name("a_total", &[("relay", "stl"), ("role", "src")]);
+        assert_eq!(name, "a_total{relay=\"stl\",role=\"src\"}");
+        assert_eq!(
+            split_series_name(&name),
+            ("a_total", Some("relay=\"stl\",role=\"src\""))
+        );
+        assert_eq!(split_series_name("plain"), ("plain", None));
+        assert_eq!(
+            labeled_name("a", &[("k", "q\"\\\n")]),
+            "a{k=\"q\\\"\\\\\\n\"}"
+        );
+    }
+
+    #[test]
+    fn labeled_series_stay_distinct() {
+        let reg = Registry::new();
+        reg.counter(&labeled_name("x_total", &[("relay", "a")]), "h")
+            .set(3);
+        reg.counter(&labeled_name("x_total", &[("relay", "b")]), "h")
+            .set(5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("x_total{relay=\"a\"}"), Some(3));
+        assert_eq!(snap.counter("x_total{relay=\"b\"}"), Some(5));
     }
 
     #[test]

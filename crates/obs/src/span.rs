@@ -12,12 +12,19 @@
 //! Snapshots are **non-destructive**: [`snapshot_spans`] clones every
 //! ring, and [`spans_for_trace`] filters to one trace id, so concurrent
 //! tests can each inspect their own tree without racing on a shared drain.
+//!
+//! Rings are **reclaimed with their threads**: the process-wide registry
+//! holds only weak references, a dying thread flushes its unsnapshotted
+//! records into a bounded shared orphan ring, and dead registrations are
+//! pruned on every registration and snapshot — a relay that churns
+//! short-lived worker threads (hedged attempts, failover probes) holds a
+//! bounded number of rings no matter how long it runs.
 
 use crate::clock::now_nanos;
 use crate::trace::{ContextGuard, TraceContext};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError, Weak};
 
 /// Capacity of each per-thread span ring.
 const RING_CAPACITY: usize = 4096;
@@ -83,31 +90,74 @@ struct Ring {
     records: VecDeque<SpanRecord>,
 }
 
-static RINGS: Mutex<Vec<Arc<Mutex<Ring>>>> = Mutex::new(Vec::new());
+/// Weak registrations only: a ring is owned by its thread's [`RingHandle`]
+/// and dies with the thread, so short-lived workers (hedged attempts,
+/// pool threads) cannot grow this list without bound. Dead entries are
+/// pruned on every registration and snapshot.
+static RINGS: Mutex<Vec<Weak<Mutex<Ring>>>> = Mutex::new(Vec::new());
+/// Spans flushed from exiting threads' rings, bounded like any ring.
+static ORPHANS: Mutex<VecDeque<SpanRecord>> = Mutex::new(VecDeque::new());
 static DROPPED: AtomicU64 = AtomicU64::new(0);
 
+/// Owns one thread's ring; flushing on drop moves any still-unsnapshotted
+/// records into the shared orphan ring so spans recorded on short-lived
+/// threads stay visible after the thread exits.
+struct RingHandle(Arc<Mutex<Ring>>);
+
+impl Drop for RingHandle {
+    fn drop(&mut self) {
+        let records =
+            std::mem::take(&mut self.0.lock().unwrap_or_else(PoisonError::into_inner).records);
+        let mut orphans = ORPHANS.lock().unwrap_or_else(PoisonError::into_inner);
+        for rec in records {
+            push_bounded(&mut orphans, rec);
+        }
+        drop(orphans);
+        prune_dead_rings();
+    }
+}
+
 thread_local! {
-    static LOCAL_RING: Arc<Mutex<Ring>> = {
+    // The VecDeque starts empty and grows on demand: an idle thread that
+    // never records costs a pointer, not a full pre-sized ring.
+    static LOCAL_RING: RingHandle = {
         let ring = Arc::new(Mutex::new(Ring {
-            records: VecDeque::with_capacity(RING_CAPACITY),
+            records: VecDeque::new(),
         }));
-        RINGS
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .push(Arc::clone(&ring));
-        ring
+        let mut rings = RINGS.lock().unwrap_or_else(PoisonError::into_inner);
+        rings.retain(|w| w.strong_count() > 0);
+        rings.push(Arc::downgrade(&ring));
+        RingHandle(ring)
     };
 }
 
+fn prune_dead_rings() {
+    RINGS
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .retain(|w| w.strong_count() > 0);
+}
+
+fn push_bounded(records: &mut VecDeque<SpanRecord>, rec: SpanRecord) {
+    if records.len() >= RING_CAPACITY {
+        records.pop_front();
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+    }
+    records.push_back(rec);
+}
+
 fn record(rec: SpanRecord) {
-    LOCAL_RING.with(|ring| {
-        let mut ring = ring.lock().unwrap_or_else(PoisonError::into_inner);
-        if ring.records.len() >= RING_CAPACITY {
-            ring.records.pop_front();
-            DROPPED.fetch_add(1, Ordering::Relaxed);
-        }
-        ring.records.push_back(rec);
+    let mut rec = Some(rec);
+    let _ = LOCAL_RING.try_with(|handle| {
+        let mut ring = handle.0.lock().unwrap_or_else(PoisonError::into_inner);
+        push_bounded(&mut ring.records, rec.take().expect("record consumed once"));
     });
+    // Thread-local already destroyed (span dropped during thread
+    // teardown): record straight into the orphan ring.
+    if let Some(rec) = rec {
+        let mut orphans = ORPHANS.lock().unwrap_or_else(PoisonError::into_inner);
+        push_bounded(&mut orphans, rec);
+    }
 }
 
 /// Total spans overwritten before anyone snapshotted them (process-wide).
@@ -115,15 +165,29 @@ pub fn spans_dropped() -> u64 {
     DROPPED.load(Ordering::Relaxed)
 }
 
-/// Clones every span currently held in any thread's ring.
+/// Number of per-thread rings currently alive (exported as the
+/// `tdt_obs_span_rings` gauge; a value that tracks thread churn instead
+/// of plateauing at the worker count indicates a ring leak).
+pub fn live_rings() -> u64 {
+    let mut rings = RINGS.lock().unwrap_or_else(PoisonError::into_inner);
+    rings.retain(|w| w.strong_count() > 0);
+    rings.len() as u64
+}
+
+/// Clones every span currently held in any thread's ring, plus spans
+/// flushed from rings of threads that have since exited.
 pub fn snapshot_spans() -> Vec<SpanRecord> {
-    let rings: Vec<Arc<Mutex<Ring>>> = RINGS
+    let rings: Vec<Arc<Mutex<Ring>>> = {
+        let mut rings = RINGS.lock().unwrap_or_else(PoisonError::into_inner);
+        rings.retain(|w| w.strong_count() > 0);
+        rings.iter().filter_map(Weak::upgrade).collect()
+    };
+    let mut out: Vec<SpanRecord> = ORPHANS
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
         .iter()
-        .map(Arc::clone)
+        .cloned()
         .collect();
-    let mut out = Vec::new();
     for ring in rings {
         let ring = ring.lock().unwrap_or_else(PoisonError::into_inner);
         out.extend(ring.records.iter().cloned());
@@ -340,6 +404,35 @@ mod tests {
         let spans = spans_for_trace(remote.trace_hi, remote.trace_lo);
         assert_eq!(spans.len(), 1);
         assert_eq!(spans[0].parent_span_id, remote.span_id);
+    }
+
+    #[test]
+    fn dead_thread_rings_are_reclaimed_and_spans_flushed() {
+        let ctx = TraceContext::root();
+        let before = live_rings();
+        const THREADS: u64 = 32;
+        for _ in 0..THREADS {
+            let ctx = ctx.child();
+            std::thread::spawn(move || {
+                let _span = Span::start("test.worker", &ctx);
+            })
+            .join()
+            .expect("worker");
+        }
+        // Every worker's span survived its thread (flushed to orphans)...
+        assert_eq!(
+            spans_for_trace(ctx.trace_hi, ctx.trace_lo).len(),
+            THREADS as usize
+        );
+        // ...but the dead workers' rings did not accumulate (slack for
+        // rings other concurrently running tests legitimately create).
+        assert!(
+            live_rings() < before + THREADS / 2,
+            "dead rings not reclaimed: {} live before, {} after {} short-lived threads",
+            before,
+            live_rings(),
+            THREADS
+        );
     }
 
     #[test]

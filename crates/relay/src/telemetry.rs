@@ -12,13 +12,15 @@
 //!   scrape-time [`MetricSource`] bridges to an [`ObsHandle`], copying the
 //!   relay's existing atomic counters ([`RelayStats`], pool, breaker,
 //!   cert cache, relay-group hedging) into one registry under stable
-//!   `tdt_relay_*` names. Hot paths keep their plain atomics; the bridge
-//!   only runs on scrape.
+//!   `tdt_relay_*` names. Each relay's series carry a `relay="<id>"`
+//!   label (groups a `group="<member ids>"` label), so several relays can
+//!   share one handle without their scrapes overwriting each other. Hot
+//!   paths keep their plain atomics; the bridge only runs on scrape.
 
 use crate::redundancy::RelayGroup;
 use crate::service::{RelayService, RelayStats};
 use std::sync::{Arc, Weak};
-use tdt_obs::metrics::Registry;
+use tdt_obs::metrics::{labeled_name, Registry};
 use tdt_obs::{MetricSource, ObsHandle, TraceContext};
 use tdt_wire::messages::{RelayEnvelope, TraceHeader};
 
@@ -62,9 +64,12 @@ pub fn context_from_envelope(envelope: &RelayEnvelope) -> TraceContext {
     context_from_header(&envelope.trace)
 }
 
-/// Scrape-time bridge from one relay's stats into the registry.
+/// Scrape-time bridge from one relay's stats into the registry. Every
+/// series is labeled with the relay's id so multiple relays bridged into
+/// one registry stay distinct.
 struct RelayMetricSource {
     relay: Weak<RelayService>,
+    id: String,
 }
 
 impl MetricSource for RelayMetricSource {
@@ -73,12 +78,13 @@ impl MetricSource for RelayMetricSource {
             return;
         };
         let snap = relay.stats().snapshot();
+        let labels = [("relay", self.id.as_str())];
         let c = |name: &str, help: &str, value: u64| {
-            registry.counter(name, help).set(value);
+            registry.counter(&labeled_name(name, &labels), help).set(value);
         };
         let g = |name: &str, help: &str, value: u64| {
             registry
-                .gauge(name, help)
+                .gauge(&labeled_name(name, &labels), help)
                 .set(value.min(i64::MAX as u64) as i64);
         };
         c(
@@ -191,17 +197,30 @@ impl MetricSource for RelayMetricSource {
             "Endpoints whose circuit is currently open or half-open",
             snap.breaker_open_endpoints,
         );
-        c(
-            "tdt_obs_spans_dropped_total",
-            "Span records overwritten in full ring buffers before snapshot",
-            tdt_obs::span::spans_dropped(),
-        );
+        // Process-global span-plane health: deliberately unlabeled (every
+        // bridged relay writes the same process-wide value).
+        registry
+            .counter(
+                "tdt_obs_spans_dropped_total",
+                "Span records overwritten in full ring buffers before snapshot",
+            )
+            .set(tdt_obs::span::spans_dropped());
+        registry
+            .gauge(
+                "tdt_obs_span_rings",
+                "Per-thread span rings currently alive (growth past the worker \
+                 count indicates leaked rings)",
+            )
+            .set(tdt_obs::span::live_rings().min(i64::MAX as u64) as i64);
     }
 }
 
-/// Scrape-time bridge from a redundant relay group's counters.
+/// Scrape-time bridge from a redundant relay group's counters. Series are
+/// labeled with the group's member ids so several groups can share one
+/// registry.
 struct GroupMetricSource {
     group: Weak<RelayGroup>,
+    label: String,
 }
 
 impl MetricSource for GroupMetricSource {
@@ -209,8 +228,9 @@ impl MetricSource for GroupMetricSource {
         let Some(group) = self.group.upgrade() else {
             return;
         };
+        let labels = [("group", self.label.as_str())];
         let c = |name: &str, help: &str, value: u64| {
-            registry.counter(name, help).set(value);
+            registry.counter(&labeled_name(name, &labels), help).set(value);
         };
         c(
             "tdt_relay_group_hedges_total",
@@ -241,30 +261,42 @@ impl MetricSource for GroupMetricSource {
 }
 
 /// Wires one relay into an [`ObsHandle`]: adopts its exponential latency
-/// histogram under `tdt_relay_latency_ns` and attaches the scrape-time
-/// stats bridge. The handle holds only a weak reference to the relay.
+/// histogram under `tdt_relay_latency_ns{relay="<id>"}` and attaches the
+/// scrape-time stats bridge, with every series labeled by the relay's id
+/// so a handle can host any number of relays. The handle holds only a
+/// weak reference to the relay.
 pub fn register_relay(handle: &ObsHandle, relay: &Arc<RelayService>) {
-    register_latency(handle, relay.stats());
+    register_latency(handle, relay.id(), relay.stats());
     handle.add_source(Arc::new(RelayMetricSource {
         relay: Arc::downgrade(relay),
+        id: relay.id().to_string(),
     }));
 }
 
 /// Adopts a relay's latency histogram into the handle's registry without
 /// attaching the counter bridge (useful when only latency is wanted).
-pub fn register_latency(handle: &ObsHandle, stats: &RelayStats) {
+/// The series is labeled `relay="<relay_id>"` so one handle can carry a
+/// histogram per relay.
+pub fn register_latency(handle: &ObsHandle, relay_id: &str, stats: &RelayStats) {
     handle.registry().register_histogram(
-        "tdt_relay_latency_ns",
+        &labeled_name("tdt_relay_latency_ns", &[("relay", relay_id)]),
         "Envelope-handling latency in nanoseconds",
         stats.latency_ns(),
     );
 }
 
 /// Wires a redundant relay group's hedging/failover counters into an
-/// [`ObsHandle`] via a weak reference.
+/// [`ObsHandle`] via a weak reference. Series are labeled
+/// `group="<member ids joined with +>"`.
 pub fn register_group(handle: &ObsHandle, group: &Arc<RelayGroup>) {
+    let label = (0..group.len())
+        .filter_map(|i| group.relay(i))
+        .map(|r| r.id().to_string())
+        .collect::<Vec<_>>()
+        .join("+");
     handle.add_source(Arc::new(GroupMetricSource {
         group: Arc::downgrade(group),
+        label,
     }));
 }
 

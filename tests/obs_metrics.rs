@@ -96,9 +96,59 @@ fn json_snapshot_covers_the_same_metrics() {
     let text = handle.prometheus_text();
     let json = handle.json_text();
     for (name, _) in parse_exposition(&text).expect("parse") {
+        // Families may carry a label block in the JSON series name, so
+        // match on the name prefix rather than the exact quoted string.
         assert!(
-            json.contains(&format!("\"{name}\"")),
+            json.contains(&format!("\"name\":\"{name}")),
             "JSON snapshot missing {name}"
         );
     }
+}
+
+#[test]
+fn two_relays_on_one_handle_stay_distinct() {
+    // Regression: relay series are labeled by relay id, so two relays
+    // bridged into one handle must not overwrite each other's values.
+    let registry = Arc::new(StaticRegistry::new());
+    let bus = Arc::new(InProcessBus::new());
+    registry.register("stl", "inproc:stl-relay");
+    let stl = Arc::new(RelayService::new(
+        "stl-relay",
+        "stl",
+        Arc::clone(&registry) as Arc<dyn DiscoveryService>,
+        Arc::clone(&bus) as Arc<dyn RelayTransport>,
+    ));
+    stl.register_driver(Arc::new(EchoDriver::new("stl")));
+    bus.register("stl-relay", Arc::clone(&stl) as Arc<dyn EnvelopeHandler>);
+    let swt = Arc::new(RelayService::new(
+        "swt-relay",
+        "swt",
+        Arc::clone(&registry) as Arc<dyn DiscoveryService>,
+        Arc::clone(&bus) as Arc<dyn RelayTransport>,
+    ));
+    let query = Query {
+        request_id: "labels".into(),
+        address: NetworkAddress::new("stl", "l", "c", "f"),
+        ..Default::default()
+    };
+    swt.relay_query(&query).expect("first query");
+    swt.relay_query(&query).expect("second query");
+
+    let handle = ObsHandle::new();
+    register_relay(&handle, &stl);
+    register_relay(&handle, &swt);
+    let text = handle.prometheus_text();
+    parse_exposition(&text).expect("labeled exposition parses");
+    // The forwarding side and the serving side each keep their own count.
+    assert!(
+        text.contains("tdt_relay_forwarded_total{relay=\"swt-relay\"} 2"),
+        "missing swt forwarded series in:\n{text}"
+    );
+    assert!(
+        text.contains("tdt_relay_served_total{relay=\"stl-relay\"} 2"),
+        "missing stl served series in:\n{text}"
+    );
+    // Both latency histograms are exported, not first-registration-wins.
+    assert!(text.contains("tdt_relay_latency_ns_count{relay=\"stl-relay\"}"));
+    assert!(text.contains("tdt_relay_latency_ns_count{relay=\"swt-relay\"}"));
 }
