@@ -183,6 +183,7 @@ fn bench_tcp_transports(c: &mut Criterion) {
                 payload: envelope.payload,
                 correlation_id: 0,
                 trace: Default::default(),
+                batch: Vec::new(),
             }
         }
     }
@@ -194,6 +195,7 @@ fn bench_tcp_transports(c: &mut Criterion) {
         payload: vec![0xAB; 64],
         correlation_id: 0,
         trace: Default::default(),
+        batch: Vec::new(),
     };
     let server = TcpRelayServer::spawn("127.0.0.1:0", Arc::new(Echo)).unwrap();
     let endpoint = server.endpoint();

@@ -388,14 +388,14 @@ impl Registry {
     /// at runtime, not only by the golden exposition test.
     pub fn counter(&self, name: &str, help: &str) -> Counter {
         self.with_map(|map| {
-            match map
-                .entry(name.to_string())
-                .or_insert_with(|| Metric::Counter {
-                    help: help.to_string(),
-                    value: Counter::new(),
-                }) {
-                Metric::Counter { value, .. } => return value.clone(),
-                _ => {}
+            if let Metric::Counter { value, .. } =
+                map.entry(name.to_string())
+                    .or_insert_with(|| Metric::Counter {
+                        help: help.to_string(),
+                        value: Counter::new(),
+                    })
+            {
+                return value.clone();
             }
             note_kind_clash(map, name, "counter");
             Counter::new()
@@ -406,14 +406,14 @@ impl Registry {
     /// kind-clash contract).
     pub fn gauge(&self, name: &str, help: &str) -> Gauge {
         self.with_map(|map| {
-            match map
-                .entry(name.to_string())
-                .or_insert_with(|| Metric::Gauge {
-                    help: help.to_string(),
-                    value: Gauge::new(),
-                }) {
-                Metric::Gauge { value, .. } => return value.clone(),
-                _ => {}
+            if let Metric::Gauge { value, .. } =
+                map.entry(name.to_string())
+                    .or_insert_with(|| Metric::Gauge {
+                        help: help.to_string(),
+                        value: Gauge::new(),
+                    })
+            {
+                return value.clone();
             }
             note_kind_clash(map, name, "gauge");
             Gauge::new()
@@ -425,14 +425,14 @@ impl Registry {
     /// contract).
     pub fn histogram(&self, name: &str, help: &str, make: impl FnOnce() -> Histogram) -> Histogram {
         self.with_map(|map| {
-            match map
-                .entry(name.to_string())
-                .or_insert_with(|| Metric::Histogram {
-                    help: help.to_string(),
-                    value: make(),
-                }) {
-                Metric::Histogram { value, .. } => return value.clone(),
-                _ => {}
+            if let Metric::Histogram { value, .. } =
+                map.entry(name.to_string())
+                    .or_insert_with(|| Metric::Histogram {
+                        help: help.to_string(),
+                        value: make(),
+                    })
+            {
+                return value.clone();
             }
             note_kind_clash(map, name, "histogram");
             Histogram::with_bounds(Vec::new())

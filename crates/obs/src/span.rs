@@ -106,8 +106,13 @@ struct RingHandle(Arc<Mutex<Ring>>);
 
 impl Drop for RingHandle {
     fn drop(&mut self) {
-        let records =
-            std::mem::take(&mut self.0.lock().unwrap_or_else(PoisonError::into_inner).records);
+        let records = std::mem::take(
+            &mut self
+                .0
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .records,
+        );
         let mut orphans = ORPHANS.lock().unwrap_or_else(PoisonError::into_inner);
         for rec in records {
             push_bounded(&mut orphans, rec);

@@ -693,6 +693,7 @@ mod tests {
                 payload: envelope.payload,
                 correlation_id: 0,
                 trace: Default::default(),
+                batch: Vec::new(),
             }
         }
     }
@@ -711,6 +712,7 @@ mod tests {
             payload: payload.to_vec(),
             correlation_id: 0,
             trace: Default::default(),
+            batch: Vec::new(),
         }
     }
 
@@ -789,6 +791,7 @@ mod tests {
             payload: b"payload".to_vec(),
             correlation_id: 0,
             trace: Default::default(),
+            batch: Vec::new(),
         };
         let mut corrupt_seen = 0;
         for i in 0..32 {

@@ -37,6 +37,11 @@ pub enum RelayError {
     /// A relay component was constructed with invalid configuration
     /// (e.g. an empty relay group).
     InvalidConfig(String),
+    /// The remote relay's admission controller shed the request before
+    /// queuing it: at current queue depth the deadline budget could not
+    /// plausibly be met. The endpoint is alive and answering — this is
+    /// a fast, retryable rejection, not a failure of the relay itself.
+    Overloaded(String),
 }
 
 impl fmt::Display for RelayError {
@@ -56,6 +61,7 @@ impl fmt::Display for RelayError {
             RelayError::CircuitOpen(ep) => write!(f, "circuit breaker open for {ep:?}"),
             RelayError::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
             RelayError::InvalidConfig(m) => write!(f, "invalid relay configuration: {m}"),
+            RelayError::Overloaded(m) => write!(f, "relay overloaded, request shed: {m}"),
         }
     }
 }
@@ -94,6 +100,7 @@ mod tests {
             RelayError::CircuitOpen("e".into()),
             RelayError::DeadlineExceeded("t".into()),
             RelayError::InvalidConfig("c".into()),
+            RelayError::Overloaded("q".into()),
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

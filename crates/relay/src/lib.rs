@@ -19,6 +19,12 @@
 //! * [`transport`] — relay-to-relay transports: an in-process bus for
 //!   deterministic tests and a length-prefixed TCP transport.
 //! * [`ratelimit`] — token-bucket DoS protection (paper §5, availability).
+//! * [`admission`] — deadline-aware admission control: fast-rejects
+//!   requests whose deadline budget cannot plausibly be met at the
+//!   current queue depth, so overload degrades into cheap sheds instead
+//!   of queue collapse.
+//! * [`batch`] — client-side envelope batching (size + linger): many
+//!   queries ride one frame, amortizing framing and syscalls.
 //! * [`redundancy`] — redundant relay groups with health-weighted,
 //!   breaker-aware selection, hedged requests, and deadline budgets
 //!   (paper §5).
@@ -33,6 +39,8 @@
 //!   relay envelope and scrape-time bridges that export relay, pool,
 //!   breaker and group counters through one unified metrics registry.
 
+pub mod admission;
+pub mod batch;
 pub mod breaker;
 pub mod chaos;
 pub mod discovery;

@@ -225,6 +225,7 @@ impl RelayGroup {
                 | RelayError::CircuitOpen(_)
                 | RelayError::DeadlineExceeded(_)
                 | RelayError::Wire(_)
+                | RelayError::Overloaded(_)
         )
     }
 
@@ -251,6 +252,17 @@ impl RelayGroup {
         match outcome {
             Ok(_) => {
                 member.record(true);
+                self.breaker.record_success(id);
+            }
+            // An admission shed is a fast answer from a live member
+            // protecting its queue: fail over (and bias selection away
+            // via the health EWMA), but do NOT count it against the
+            // member's circuit — with hedging, one overloaded member
+            // would otherwise land its sheds in its peers' failure
+            // windows faster than real traffic could amortize them,
+            // tripping circuits on relays that are merely busy.
+            Err(RelayError::Overloaded(_)) => {
+                member.record(false);
                 self.breaker.record_success(id);
             }
             Err(e) if Self::is_failover(e) => {
@@ -647,6 +659,119 @@ mod tests {
             group.relay_query(&query()),
             Err(RelayError::RateLimited)
         ));
+    }
+
+    /// A group whose one upstream source relay sheds *every* request at
+    /// the admission gate: burst floor zero and an hour-long seed
+    /// service-time estimate make the wait estimate always exceed the
+    /// 50 ms deadline budget.
+    fn overloaded_upstream_setup(config: GroupConfig) -> (RelayGroup, Arc<RelayService>) {
+        use crate::admission::AdmissionConfig;
+        let registry = Arc::new(StaticRegistry::new());
+        let bus = Arc::new(InProcessBus::new());
+        registry.register("stl", "inproc:stl-relay");
+        let stl_relay = Arc::new(
+            RelayService::new(
+                "stl-relay",
+                "stl",
+                Arc::clone(&registry) as Arc<dyn DiscoveryService>,
+                Arc::clone(&bus) as Arc<dyn RelayTransport>,
+            )
+            .with_request_deadline(Duration::from_millis(50))
+            .with_admission_control(AdmissionConfig {
+                burst_floor: 0,
+                alpha: 0.2,
+                initial_service_time: Duration::from_secs(3600),
+                headroom: 1.0,
+            }),
+        );
+        stl_relay.register_driver(Arc::new(EchoDriver::new("stl")));
+        stl_relay.start_workers(1);
+        bus.register(
+            "stl-relay",
+            Arc::clone(&stl_relay) as Arc<dyn EnvelopeHandler>,
+        );
+        let relays = (0..2)
+            .map(|i| {
+                Arc::new(RelayService::new(
+                    format!("swt-relay-{i}"),
+                    "swt",
+                    Arc::clone(&registry) as Arc<dyn DiscoveryService>,
+                    Arc::clone(&bus) as Arc<dyn RelayTransport>,
+                ))
+            })
+            .collect();
+        (RelayGroup::with_config(relays, config).unwrap(), stl_relay)
+    }
+
+    #[test]
+    fn sheds_fail_over_without_tripping_member_breakers() {
+        use crate::breaker::{BreakerConfig, BreakerState};
+        let config = GroupConfig {
+            hedge_after: None,
+            deadline: None,
+            breaker: BreakerConfig {
+                consecutive_failures: 2,
+                cooldown: Duration::from_secs(60),
+                ..BreakerConfig::default()
+            },
+        };
+        let (group, stl) = overloaded_upstream_setup(config);
+        // Far more sheds per member than the trip threshold.
+        for _ in 0..10 {
+            assert!(matches!(
+                group.relay_query(&query()),
+                Err(RelayError::Overloaded(_))
+            ));
+        }
+        assert!(stl.stats().admission_shed() >= 10, "upstream must shed");
+        // The members answered every time (with a shed): their circuits
+        // must stay closed — the overload is upstream, not member death.
+        let breaker = group.breaker();
+        assert_eq!(breaker.trips(), 0, "sheds must not trip circuits");
+        for i in 0..group.len() {
+            assert_eq!(
+                breaker.state(group.relay(i).unwrap().id()),
+                BreakerState::Closed
+            );
+        }
+        stl.stop_workers();
+    }
+
+    #[test]
+    fn hedged_sheds_do_not_trip_peer_circuits() {
+        use crate::breaker::{BreakerConfig, BreakerState};
+        // Hedging doubles the shed traffic per query: without the
+        // shed-aware outcome recording, each query would land failures
+        // in *two* members' windows and trip both circuits within a
+        // handful of queries.
+        let config = GroupConfig {
+            hedge_after: Some(Duration::from_millis(1)),
+            deadline: Some(Duration::from_secs(2)),
+            breaker: BreakerConfig {
+                consecutive_failures: 2,
+                cooldown: Duration::from_secs(60),
+                ..BreakerConfig::default()
+            },
+        };
+        let (group, stl) = overloaded_upstream_setup(config);
+        for _ in 0..10 {
+            assert!(group.relay_query(&query()).is_err());
+        }
+        assert!(stl.stats().admission_shed() >= 10, "upstream must shed");
+        let breaker = group.breaker();
+        assert_eq!(
+            breaker.trips(),
+            0,
+            "a fast-reject from an overloaded upstream must not trip a peer's circuit"
+        );
+        for i in 0..group.len() {
+            assert_eq!(
+                breaker.state(group.relay(i).unwrap().id()),
+                BreakerState::Closed
+            );
+        }
+        stl.stop_workers();
     }
 
     #[test]

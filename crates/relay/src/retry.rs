@@ -75,7 +75,19 @@ impl RetryPolicy {
                 | RelayError::StaleConnection(_)
                 | RelayError::RelayDown(_)
                 | RelayError::RateLimited
+                | RelayError::Overloaded(_)
         )
+    }
+
+    /// Whether a retryable `error` should count against the endpoint's
+    /// circuit-breaker health.
+    ///
+    /// An admission shed ([`RelayError::Overloaded`]) is an *answer*
+    /// from a live endpoint protecting its queue: worth retrying
+    /// (ideally elsewhere), but tripping the breaker on it would turn a
+    /// transient load spike into minutes of self-inflicted unavailability.
+    pub fn counts_against_breaker(error: &RelayError) -> bool {
+        Self::is_retryable(error) && !matches!(error, RelayError::Overloaded(_))
     }
 
     /// The backoff before retry number `attempt` (0-based), jittered.
@@ -214,9 +226,12 @@ impl RetryingTransport {
             if let Some(breaker) = &self.breaker {
                 match &outcome {
                     Ok(_) => breaker.record_success(endpoint),
-                    // Terminal errors mean the endpoint answered — only
-                    // transient faults count against its health.
-                    Err(e) if RetryPolicy::is_retryable(e) => breaker.record_failure(endpoint),
+                    // Terminal errors and admission sheds mean the
+                    // endpoint answered — only transient faults count
+                    // against its health.
+                    Err(e) if RetryPolicy::counts_against_breaker(e) => {
+                        breaker.record_failure(endpoint)
+                    }
                     Err(_) => breaker.record_success(endpoint),
                 }
             }
@@ -284,6 +299,7 @@ mod tests {
                     payload: Vec::new(),
                     correlation_id: 0,
                     trace: Default::default(),
+                    batch: Vec::new(),
                 })
             } else {
                 Err(failures.remove(0))
@@ -299,6 +315,7 @@ mod tests {
             payload: Vec::new(),
             correlation_id: 0,
             trace: Default::default(),
+            batch: Vec::new(),
         }
     }
 
@@ -493,12 +510,35 @@ mod tests {
             "r".into()
         )));
         assert!(RetryPolicy::is_retryable(&RelayError::RateLimited));
+        assert!(RetryPolicy::is_retryable(&RelayError::Overloaded(
+            "queue full".into()
+        )));
         assert!(!RetryPolicy::is_retryable(&RelayError::Remote("x".into())));
         assert!(!RetryPolicy::is_retryable(&RelayError::DiscoveryFailed(
             "x".into()
         )));
         assert!(!RetryPolicy::is_retryable(&RelayError::Wire(
             tdt_wire::error::WireError::UnexpectedEof
+        )));
+    }
+
+    #[test]
+    fn sheds_are_retryable_but_not_breaker_failures() {
+        let shed = RelayError::Overloaded("queue full".into());
+        assert!(RetryPolicy::is_retryable(&shed));
+        assert!(!RetryPolicy::counts_against_breaker(&shed));
+        // Genuine transient faults still count against the endpoint.
+        for e in [
+            RelayError::TransportFailed("x".into()),
+            RelayError::StaleConnection("x".into()),
+            RelayError::RelayDown("r".into()),
+            RelayError::RateLimited,
+        ] {
+            assert!(RetryPolicy::counts_against_breaker(&e));
+        }
+        // Terminal errors never did.
+        assert!(!RetryPolicy::counts_against_breaker(&RelayError::Remote(
+            "x".into()
         )));
     }
 }

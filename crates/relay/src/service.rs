@@ -10,6 +10,7 @@
 //!   deserialize the incoming request, pick the driver for the addressed
 //!   network, orchestrate proof collection, and reply.
 
+use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::breaker::CircuitBreaker;
 use crate::discovery::DiscoveryService;
 use crate::driver::NetworkDriver;
@@ -46,6 +47,13 @@ pub const LATENCY_BUCKET_BOUNDS: [Duration; 5] = [
 /// answers with a deadline error instead.
 pub const DEFAULT_REQUEST_DEADLINE: Duration = Duration::from_secs(10);
 
+/// Prefix of the error-envelope payload a relay sends when its admission
+/// controller sheds a request. Clients match on it to map the reply to
+/// the retryable [`RelayError::Overloaded`] instead of the terminal
+/// [`RelayError::Remote`]; the prefix is part of the wire contract, so
+/// peers running older code simply see a remote error string.
+pub const OVERLOADED_PREFIX: &str = "overloaded: ";
+
 /// Bounded depth of each event-subscription delivery queue. A subscriber
 /// that falls further behind than this loses notices (counted in
 /// [`RelayStats::events_dropped`]) instead of blocking the source-side
@@ -76,6 +84,7 @@ pub struct RelayStats {
     cert_cache: OnceLock<Arc<CertChainCache>>,
     pool_stats: OnceLock<Arc<PoolStats>>,
     breaker: OnceLock<Arc<CircuitBreaker>>,
+    admission: OnceLock<Arc<AdmissionController>>,
 }
 
 impl RelayStats {
@@ -169,6 +178,8 @@ impl RelayStats {
             breaker_probes: self.breaker_probes(),
             breaker_fast_rejects: self.breaker_fast_rejects(),
             breaker_open_endpoints: self.breaker_open_endpoints(),
+            admission_admitted: self.admission_admitted(),
+            admission_shed: self.admission_shed(),
         }
     }
 
@@ -242,6 +253,25 @@ impl RelayStats {
     pub fn breaker_open_endpoints(&self) -> u64 {
         self.breaker.get().map_or(0, |b| b.open_endpoints())
     }
+
+    /// Requests admitted to the worker-pool queue by the attached
+    /// admission controller.
+    pub fn admission_admitted(&self) -> u64 {
+        self.admission.get().map_or(0, |a| a.admitted())
+    }
+
+    /// Requests shed at the admission gate before queuing.
+    pub fn admission_shed(&self) -> u64 {
+        self.admission.get().map_or(0, |a| a.shed())
+    }
+
+    /// The admission controller's smoothed per-job service-time
+    /// estimate, in nanoseconds (0 without a controller).
+    pub fn admission_service_estimate_ns(&self) -> u64 {
+        self.admission.get().map_or(0, |a| {
+            a.service_time_estimate().as_nanos().min(u64::MAX as u128) as u64
+        })
+    }
 }
 
 /// A point-in-time copy of [`RelayStats`], mergeable across relays —
@@ -298,6 +328,10 @@ pub struct RelayStatsSnapshot {
     pub breaker_fast_rejects: u64,
     /// Endpoints open or half-open at snapshot time.
     pub breaker_open_endpoints: u64,
+    /// Requests admitted to the queue by the admission controller.
+    pub admission_admitted: u64,
+    /// Requests shed at the admission gate before queuing.
+    pub admission_shed: u64,
 }
 
 impl RelayStatsSnapshot {
@@ -352,6 +386,10 @@ impl RelayStatsSnapshot {
         self.breaker_open_endpoints = self
             .breaker_open_endpoints
             .saturating_add(other.breaker_open_endpoints);
+        self.admission_admitted = self
+            .admission_admitted
+            .saturating_add(other.admission_admitted);
+        self.admission_shed = self.admission_shed.saturating_add(other.admission_shed);
     }
 
     /// Total envelopes measured by the merged latency histogram.
@@ -389,6 +427,7 @@ pub struct RelayService {
     pool: RwLock<Option<WorkerPool>>,
     down: AtomicBool,
     breaker: Option<Arc<CircuitBreaker>>,
+    admission: Option<Arc<AdmissionController>>,
     stats: RelayStats,
 }
 
@@ -425,6 +464,7 @@ impl RelayService {
             pool: RwLock::new(None),
             down: AtomicBool::new(false),
             breaker: None,
+            admission: None,
             stats: RelayStats::default(),
         }
     }
@@ -450,6 +490,21 @@ impl RelayService {
     pub fn with_breaker(mut self, breaker: Arc<CircuitBreaker>) -> Self {
         self.stats.breaker.set(Arc::clone(&breaker)).ok();
         self.breaker = Some(breaker);
+        self
+    }
+
+    /// Installs deadline-aware admission control in front of the worker
+    /// pool (builder style). Requests whose deadline budget cannot
+    /// plausibly be met at the current queue depth are shed *before*
+    /// queuing, with an error envelope that clients map to the retryable
+    /// [`RelayError::Overloaded`]. Sheds and admits are surfaced through
+    /// [`RelayService::stats`]. Inline handling (no worker pool) never
+    /// queues, so the gate only engages once
+    /// [`RelayService::start_workers`] has run.
+    pub fn with_admission_control(mut self, config: AdmissionConfig) -> Self {
+        let admission = Arc::new(AdmissionController::new(config));
+        self.stats.admission.set(Arc::clone(&admission)).ok();
+        self.admission = Some(admission);
         self
     }
 
@@ -499,6 +554,9 @@ impl RelayService {
             tx,
             workers: handles,
         });
+        if let Some(admission) = &self.admission {
+            admission.set_workers(workers);
+        }
     }
 
     /// Stops the worker pool (reverting to inline handling) and joins the
@@ -600,6 +658,7 @@ impl RelayService {
             payload: request.encode_to_vec(),
             correlation_id: 0,
             trace: Default::default(),
+            batch: Vec::new(),
         };
         let reply = match self.transport.send(&endpoint, &envelope) {
             Ok(reply) => reply,
@@ -702,9 +761,10 @@ impl RelayService {
                 }
                 Err(error) => {
                     if let Some(breaker) = &self.breaker {
-                        // Terminal errors mean the endpoint answered — only
-                        // transient faults count against its health.
-                        if RetryPolicy::is_retryable(&error) {
+                        // Terminal errors and admission sheds mean the
+                        // endpoint answered — only transient faults
+                        // count against its health.
+                        if RetryPolicy::counts_against_breaker(&error) {
                             breaker.record_failure(&endpoint);
                         } else {
                             breaker.record_success(&endpoint);
@@ -717,9 +777,16 @@ impl RelayService {
         self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
         match reply.kind {
             EnvelopeKind::QueryResponse => Ok(QueryResponse::decode_from_slice(&reply.payload)?),
-            EnvelopeKind::Error => Err(RelayError::Remote(
-                String::from_utf8_lossy(&reply.payload).into_owned(),
-            )),
+            EnvelopeKind::Error => {
+                let message = String::from_utf8_lossy(&reply.payload).into_owned();
+                // An admission shed is a liveness signal, not a remote
+                // fault: map it to the retryable error so callers (and
+                // relay groups) fail over instead of giving up.
+                match message.strip_prefix(OVERLOADED_PREFIX) {
+                    Some(detail) => Err(RelayError::Overloaded(detail.to_string())),
+                    None => Err(RelayError::Remote(message)),
+                }
+            }
             other => Err(RelayError::Remote(format!(
                 "unexpected reply envelope {other:?}"
             ))),
@@ -735,6 +802,25 @@ impl RelayService {
             return self.process_envelope(envelope);
         };
         let dest_network = envelope.dest_network.clone();
+        // Deadline-aware admission: shed *before* the queue when the
+        // backlog makes meeting the deadline implausible. A shed costs
+        // microseconds and is retryable; queuing it would cost the whole
+        // deadline and a worker's time on a request nobody awaits.
+        if let Some(admission) = &self.admission {
+            let depth = self.stats.queue_depth.load(Ordering::Relaxed);
+            let budget = self.request_deadline.saturating_sub(start.elapsed());
+            if let Err(estimated) = admission.admit(depth, budget) {
+                let remote = crate::telemetry::context_from_envelope(&envelope);
+                let (mut span, _obs_guard) = obs_span::enter_remote("relay.admission", &remote);
+                span.event("admission.shed");
+                let message = format!(
+                    "{OVERLOADED_PREFIX}queue depth {depth} implies ~{estimated:?} wait \
+                     against a {budget:?} deadline budget"
+                );
+                span.fail(&message);
+                return RelayEnvelope::error(self.id.clone(), dest_network, message);
+            }
+        }
         let (reply_tx, reply_rx) = bounded(1);
         self.stats.enqueued.fetch_add(1, Ordering::Relaxed);
         self.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
@@ -788,6 +874,13 @@ impl RelayService {
             let message = format!("relay {} is down", self.id);
             return self.error_reply(&mut span, envelope.dest_network, message);
         }
+        // Batched frames expand here, before the rate limiter, so each
+        // sub-request pays for exactly one token on its own recursive
+        // pass instead of the frame being double-charged.
+        if envelope.is_batch() {
+            span.event("batch.expand");
+            return self.process_batch(envelope);
+        }
         if let Some(limiter) = &self.rate_limiter {
             if !limiter.try_acquire() {
                 self.stats.shed.fetch_add(1, Ordering::Relaxed);
@@ -806,6 +899,7 @@ impl RelayService {
                 payload: Vec::new(),
                 correlation_id: 0,
                 trace: Default::default(),
+                batch: Vec::new(),
             },
             EnvelopeKind::QueryRequest => {
                 // Step 4: deserialize, determine the target network.
@@ -868,6 +962,7 @@ impl RelayService {
                         payload: notice.encode_to_vec(),
                         correlation_id: 0,
                         trace: Default::default(),
+                        batch: Vec::new(),
                     };
                     match transport.send(&reply_endpoint, &push) {
                         Ok(reply) if reply.kind == EnvelopeKind::Ack => Ok(()),
@@ -886,6 +981,7 @@ impl RelayService {
                         payload: Vec::new(),
                         correlation_id: 0,
                         trace: Default::default(),
+                        batch: Vec::new(),
                     },
                     Err(e) => self.error_reply(&mut span, envelope.dest_network, e.to_string()),
                 }
@@ -928,6 +1024,7 @@ impl RelayService {
                             payload: Vec::new(),
                             correlation_id: 0,
                             trace: Default::default(),
+                            batch: Vec::new(),
                         }
                     }
                     Delivery::Full => {
@@ -942,6 +1039,7 @@ impl RelayService {
                             payload: Vec::new(),
                             correlation_id: 0,
                             trace: Default::default(),
+                            batch: Vec::new(),
                         }
                     }
                     Delivery::Gone => {
@@ -957,6 +1055,36 @@ impl RelayService {
                 self.error_reply(&mut span, envelope.dest_network, message)
             }
         }
+    }
+
+    /// Expands a batched frame: each item is a complete encoded
+    /// [`RelayEnvelope`] handled through the normal single-envelope path,
+    /// and each per-item reply envelope (success *or* error — items fail
+    /// independently) is re-encoded into the reply batch at the same
+    /// position. Correlation inside a batch is positional; the outer
+    /// reply's `correlation_id` is stamped by the transport server as
+    /// for any other frame.
+    fn process_batch(&self, envelope: RelayEnvelope) -> RelayEnvelope {
+        let mut replies = Vec::with_capacity(envelope.batch.len());
+        for item in &envelope.batch {
+            let reply = match RelayEnvelope::decode_from_slice(item) {
+                // One level of batching only: a nested batch would let a
+                // single frame amplify itself arbitrarily.
+                Ok(sub) if sub.is_batch() => RelayEnvelope::error(
+                    self.id.clone(),
+                    envelope.dest_network.clone(),
+                    "nested batch rejected".to_string(),
+                ),
+                Ok(sub) => self.process_envelope(sub),
+                Err(e) => RelayEnvelope::error(
+                    self.id.clone(),
+                    envelope.dest_network.clone(),
+                    format!("malformed batch item: {e}"),
+                ),
+            };
+            replies.push(reply.encode_to_vec());
+        }
+        RelayEnvelope::response_batch(self.id.clone(), envelope.dest_network, replies)
     }
 
     /// Number of live subscriptions whose delivery queue is currently
@@ -1000,7 +1128,11 @@ fn worker_loop(service: &Weak<RelayService>, jobs: &Receiver<Job>) {
             continue;
         }
         service.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
         let reply = service.process_envelope(job.envelope);
+        if let Some(admission) = &service.admission {
+            admission.observe_service_time(started.elapsed());
+        }
         service.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
         // The caller may have timed out and gone away; that's fine.
         job.reply.send(reply).ok();
@@ -1157,6 +1289,7 @@ mod tests {
             payload: Vec::new(),
             correlation_id: 0,
             trace: Default::default(),
+            batch: Vec::new(),
         };
         let pong = f.stl_relay.handle(ping);
         assert_eq!(pong.kind, EnvelopeKind::Pong);
@@ -1173,6 +1306,7 @@ mod tests {
             payload: vec![0xff, 0xff, 0xff],
             correlation_id: 0,
             trace: Default::default(),
+            batch: Vec::new(),
         };
         let reply = f.stl_relay.handle(bad);
         assert_eq!(reply.kind, EnvelopeKind::Error);
@@ -1490,6 +1624,7 @@ mod tests {
             payload: Vec::new(),
             correlation_id: 0,
             trace: Default::default(),
+            batch: Vec::new(),
         };
         let reply = f.stl_relay.handle(odd);
         assert_eq!(reply.kind, EnvelopeKind::Error);

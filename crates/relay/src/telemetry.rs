@@ -80,7 +80,9 @@ impl MetricSource for RelayMetricSource {
         let snap = relay.stats().snapshot();
         let labels = [("relay", self.id.as_str())];
         let c = |name: &str, help: &str, value: u64| {
-            registry.counter(&labeled_name(name, &labels), help).set(value);
+            registry
+                .counter(&labeled_name(name, &labels), help)
+                .set(value);
         };
         let g = |name: &str, help: &str, value: u64| {
             registry
@@ -106,6 +108,21 @@ impl MetricSource for RelayMetricSource {
             "tdt_relay_enqueued_total",
             "Envelopes handed to the worker pool",
             snap.enqueued,
+        );
+        c(
+            "tdt_relay_admission_admitted_total",
+            "Requests admitted to the queue by the admission controller",
+            snap.admission_admitted,
+        );
+        c(
+            "tdt_relay_admission_shed_total",
+            "Requests shed at the admission gate before queuing",
+            snap.admission_shed,
+        );
+        g(
+            "tdt_relay_admission_service_estimate_ns",
+            "Admission controller's smoothed per-job service-time estimate",
+            relay.stats().admission_service_estimate_ns(),
         );
         c(
             "tdt_relay_deadline_exceeded_total",
@@ -230,7 +247,9 @@ impl MetricSource for GroupMetricSource {
         };
         let labels = [("group", self.label.as_str())];
         let c = |name: &str, help: &str, value: u64| {
-            registry.counter(&labeled_name(name, &labels), help).set(value);
+            registry
+                .counter(&labeled_name(name, &labels), help)
+                .set(value);
         };
         c(
             "tdt_relay_group_hedges_total",

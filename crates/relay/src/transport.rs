@@ -1027,6 +1027,7 @@ mod tests {
                 payload: envelope.payload,
                 correlation_id: 0,
                 trace: Default::default(),
+                batch: Vec::new(),
             }
         }
     }
@@ -1050,6 +1051,7 @@ mod tests {
             payload: payload.to_vec(),
             correlation_id: 0,
             trace: Default::default(),
+            batch: Vec::new(),
         }
     }
 

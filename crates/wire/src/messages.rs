@@ -685,6 +685,13 @@ pub struct RelayEnvelope {
     /// means "untraced" and is elided from the wire entirely, preserving
     /// byte-identical frames for peers without tracing.
     pub trace: TraceHeader,
+    /// Batched sub-frames: each element is a complete encoded
+    /// [`RelayEnvelope`] riding inside this one, amortizing framing over
+    /// many queries per TCP frame. Empty means "unbatched": a repeated
+    /// field with no elements writes zero bytes (proto3 elision), so
+    /// frames from peers that never batch stay byte-identical to the
+    /// pre-field encoding and old decoders skip the field as unknown.
+    pub batch: Vec<Vec<u8>>,
 }
 
 impl RelayEnvelope {
@@ -701,6 +708,7 @@ impl RelayEnvelope {
             payload: q.encode_to_vec(),
             correlation_id: 0,
             trace: TraceHeader::default(),
+            batch: Vec::new(),
         }
     }
 
@@ -717,6 +725,25 @@ impl RelayEnvelope {
             payload: resp.encode_to_vec(),
             correlation_id: 0,
             trace: TraceHeader::default(),
+            batch: Vec::new(),
+        }
+    }
+
+    /// Wraps a batch of per-item reply frames (each a complete encoded
+    /// [`RelayEnvelope`], positionally matching the request batch).
+    pub fn response_batch(
+        source_relay: impl Into<String>,
+        dest_network: impl Into<String>,
+        batch: Vec<Vec<u8>>,
+    ) -> Self {
+        RelayEnvelope {
+            kind: EnvelopeKind::QueryResponse,
+            source_relay: source_relay.into(),
+            dest_network: dest_network.into(),
+            payload: Vec::new(),
+            correlation_id: 0,
+            trace: TraceHeader::default(),
+            batch,
         }
     }
 
@@ -733,6 +760,7 @@ impl RelayEnvelope {
             payload: message.into().into_bytes(),
             correlation_id: 0,
             trace: TraceHeader::default(),
+            batch: Vec::new(),
         }
     }
 
@@ -749,6 +777,18 @@ impl RelayEnvelope {
         self.trace = trace;
         self
     }
+
+    /// Attaches batched sub-frames (builder style); an empty batch
+    /// leaves the frame byte-identical to the pre-field encoding.
+    pub fn with_batch(mut self, batch: Vec<Vec<u8>>) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// True when the envelope carries batched sub-frames.
+    pub fn is_batch(&self) -> bool {
+        !self.batch.is_empty()
+    }
 }
 
 impl Message for RelayEnvelope {
@@ -759,6 +799,7 @@ impl Message for RelayEnvelope {
         w.bytes(4, &self.payload);
         w.u64(5, self.correlation_id);
         w.message(6, &self.trace);
+        w.repeated_bytes(7, &self.batch);
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
@@ -771,6 +812,7 @@ impl Message for RelayEnvelope {
                 4 => out.payload = value.as_bytes(4)?.to_vec(),
                 5 => out.correlation_id = value.as_u64(5)?,
                 6 => out.trace = value.as_message(6)?,
+                7 => out.batch.push(value.as_bytes(7)?.to_vec()),
                 _ => {}
             }
         }
@@ -1466,6 +1508,48 @@ mod tests {
         assert!(!decoded.trace.is_unset());
         // A traced frame is a strict superset of the legacy frame: old
         // decoders skip field 6 and still read every legacy field.
+        let legacy = RelayEnvelope::query("swt-relay-0", "stl", &sample_query());
+        assert!(env.encode_to_vec().len() > legacy.encode_to_vec().len());
+        assert_eq!(decoded.payload, legacy.payload);
+    }
+
+    #[test]
+    fn envelope_without_batch_is_wire_compatible() {
+        // An empty batch must encode to the exact bytes an old peer
+        // (without the field) would produce: a repeated field with no
+        // elements writes nothing.
+        let env = RelayEnvelope::query("swt-relay-0", "stl", &sample_query());
+        assert!(!env.is_batch());
+        let mut w = Writer::new();
+        w.u64(1, 0);
+        w.string(2, "swt-relay-0");
+        w.string(3, "stl");
+        w.bytes(4, &sample_query().encode_to_vec());
+        assert_eq!(env.encode_to_vec(), w.into_bytes());
+        // And legacy bytes decode with an empty batch.
+        let decoded = RelayEnvelope::decode_from_slice(&env.encode_to_vec()).unwrap();
+        assert!(decoded.batch.is_empty());
+    }
+
+    #[test]
+    fn envelope_batch_roundtrip() {
+        let items: Vec<Vec<u8>> = (0..3)
+            .map(|i| RelayEnvelope::query(format!("r{i}"), "stl", &sample_query()).encode_to_vec())
+            .collect();
+        let env =
+            RelayEnvelope::query("swt-relay-0", "stl", &sample_query()).with_batch(items.clone());
+        assert!(env.is_batch());
+        let decoded = RelayEnvelope::decode_from_slice(&env.encode_to_vec()).unwrap();
+        assert_eq!(decoded, env);
+        assert_eq!(decoded.batch, items);
+        // Order is preserved: reply correlation inside a batch is
+        // positional.
+        for (i, item) in decoded.batch.iter().enumerate() {
+            let sub = RelayEnvelope::decode_from_slice(item).unwrap();
+            assert_eq!(sub.source_relay, format!("r{i}"));
+        }
+        // A batched frame is a strict superset of the legacy frame: old
+        // decoders skip field 7 and still read every legacy field.
         let legacy = RelayEnvelope::query("swt-relay-0", "stl", &sample_query());
         assert!(env.encode_to_vec().len() > legacy.encode_to_vec().len());
         assert_eq!(decoded.payload, legacy.payload);

@@ -205,6 +205,7 @@ fn multiplexed_tcp_transport_stress() {
                 payload: envelope.payload,
                 correlation_id: 0,
                 trace: Default::default(),
+                batch: Vec::new(),
             }
         }
     }
@@ -226,6 +227,7 @@ fn multiplexed_tcp_transport_stress() {
                         payload: payload.clone(),
                         correlation_id: 0,
                         trace: Default::default(),
+                        batch: Vec::new(),
                     };
                     let reply = transport.send(&endpoint, &request).unwrap();
                     assert_eq!(reply.payload, payload, "reply crossed wires");

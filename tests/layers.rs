@@ -30,6 +30,7 @@ fn technical_layer_transports() {
         payload: vec![1, 2, 3],
         correlation_id: 0,
         trace: Default::default(),
+        batch: Vec::new(),
     };
     let reply = bus.send("inproc:x", &env).unwrap();
     assert_eq!(reply.payload, vec![1, 2, 3]);

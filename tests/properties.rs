@@ -5,7 +5,8 @@ use proptest::prelude::*;
 use tdt::crypto::sha256::sha256;
 use tdt::wire::codec::Message;
 use tdt::wire::messages::{
-    Attestation, NetworkAddress, PolicyNode, Proof, Query, ResultMetadata, VerificationPolicy,
+    Attestation, EnvelopeKind, NetworkAddress, PolicyNode, Proof, Query, RelayEnvelope,
+    ResultMetadata, TraceHeader, VerificationPolicy,
 };
 
 // ---------------------------------------------------------------------------
@@ -63,6 +64,46 @@ fn arb_query() -> impl Strategy<Value = Query> {
         )
 }
 
+fn arb_envelope() -> impl Strategy<Value = RelayEnvelope> {
+    (
+        prop_oneof![
+            Just(EnvelopeKind::QueryRequest),
+            Just(EnvelopeKind::QueryResponse),
+            Just(EnvelopeKind::Error),
+            Just(EnvelopeKind::Ping),
+            Just(EnvelopeKind::Pong),
+        ],
+        "[a-z0-9-]{1,12}",
+        "[a-z]{1,8}",
+        prop::collection::vec(any::<u8>(), 0..32),
+        any::<u64>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(kind, source_relay, dest_network, payload, correlation_id, traced)| RelayEnvelope {
+                kind,
+                source_relay,
+                dest_network,
+                payload,
+                correlation_id,
+                // Either no trace (zero-elided) or a fully populated one,
+                // derived from the correlation id to stay shrinkable.
+                trace: if traced {
+                    TraceHeader {
+                        trace_hi: correlation_id | 1,
+                        trace_lo: correlation_id.rotate_left(17) | 1,
+                        span_id: correlation_id.rotate_left(31) | 1,
+                        parent_span_id: correlation_id.rotate_left(43),
+                        sampled: true,
+                    }
+                } else {
+                    TraceHeader::default()
+                },
+                batch: Vec::new(),
+            },
+        )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -88,6 +129,55 @@ proptest! {
         let _ = Query::decode_from_slice(&bytes);
         let _ = Proof::decode_from_slice(&bytes);
         let _ = PolicyNode::decode_from_slice(&bytes);
+    }
+
+    // -----------------------------------------------------------------------
+    // Envelope batching (ISSUE 6): the repeated batch field is
+    // append-only, zero-elided, and positionally faithful.
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn prop_envelope_batch_roundtrip_is_positional(
+        outer in arb_envelope(),
+        members in prop::collection::vec(arb_envelope(), 1..6),
+    ) {
+        let encoded_members: Vec<Vec<u8>> =
+            members.iter().map(|m| m.encode_to_vec()).collect();
+        let batched = outer.clone().with_batch(encoded_members);
+        prop_assert!(batched.is_batch());
+        let decoded =
+            RelayEnvelope::decode_from_slice(&batched.encode_to_vec()).unwrap();
+        prop_assert_eq!(&decoded, &batched);
+        // Every sub-frame decodes back to its member, in order —
+        // positional correlation is what the client's reply fan-out
+        // relies on.
+        prop_assert_eq!(decoded.batch.len(), members.len());
+        for (frame, member) in decoded.batch.iter().zip(&members) {
+            prop_assert_eq!(&RelayEnvelope::decode_from_slice(frame).unwrap(), member);
+        }
+    }
+
+    #[test]
+    fn prop_empty_batch_is_wire_invisible(
+        envelope in arb_envelope(),
+        members in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..16), 1..4),
+    ) {
+        // Zero elision: an envelope without a batch encodes not one byte
+        // differently from the pre-batching schema, so batch-of-1 client
+        // flushes (which send the original envelope) and legacy peers
+        // stay byte-for-byte interchangeable.
+        let legacy = envelope.encode_to_vec();
+        prop_assert!(!envelope.is_batch());
+        let reencoded = RelayEnvelope::decode_from_slice(&legacy)
+            .unwrap()
+            .encode_to_vec();
+        prop_assert_eq!(&reencoded, &legacy);
+        // Append-only evolution: adding the batch strictly appends to
+        // the legacy frame (tag 7 sorts after every legacy field), so an
+        // old decoder that skips unknown fields still reads the prefix.
+        let batched = envelope.with_batch(members).encode_to_vec();
+        prop_assert!(batched.len() > legacy.len());
+        prop_assert!(batched.starts_with(&legacy));
     }
 
     // -----------------------------------------------------------------------
@@ -380,6 +470,7 @@ fn reply_for(correlation_id: u64) -> tdt::wire::messages::RelayEnvelope {
         payload: correlation_id.to_be_bytes().to_vec(),
         correlation_id,
         trace: Default::default(),
+        batch: Vec::new(),
     }
 }
 

@@ -304,6 +304,7 @@ fn availability_rate_limiter_sheds_floods_but_recovers() {
             payload: Vec::new(),
             correlation_id: 0,
             trace: Default::default(),
+            batch: Vec::new(),
         };
         let reply = t.bus.send("inproc:stl-relay-limited", &ping).unwrap();
         if reply.kind == tdt::wire::messages::EnvelopeKind::Error {
