@@ -4,9 +4,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use std::sync::Arc;
 use tdt_crypto::elgamal::DecryptionKey;
 use tdt_crypto::group::Group;
-use tdt_crypto::schnorr::SigningKey;
+use tdt_crypto::schnorr::{batch_verify, BatchItem, SigningKey};
 use tdt_crypto::sha256::sha256;
 
 fn bench_crypto(c: &mut Criterion) {
@@ -38,6 +39,42 @@ fn bench_crypto(c: &mut Criterion) {
                 black_box(())
             })
         });
+        // Steady state when the cert cache already holds this key's
+        // fixed-base table.
+        let table = Arc::new(vk.precompute_table());
+        group.bench_function(BenchmarkId::new("schnorr_verify_cached", name), |b| {
+            b.iter(|| {
+                vk.verify_with_table(b"metadata bytes", &sig, &table)
+                    .unwrap();
+                black_box(())
+            })
+        });
+        // Amortized per-signature cost of the batched path (one RLC
+        // aggregate check over 16 signatures, cached tables).
+        let batch: Vec<(Vec<u8>, _)> = (0..16)
+            .map(|i| {
+                let msg = format!("metadata bytes {i}").into_bytes();
+                let s = sk.sign(&msg);
+                (msg, s)
+            })
+            .collect();
+        let items: Vec<BatchItem<'_>> = batch
+            .iter()
+            .map(|(msg, s)| BatchItem {
+                key: &vk,
+                message: msg,
+                signature: s,
+                table: Some(Arc::clone(&table)),
+            })
+            .collect();
+        group.throughput(Throughput::Elements(items.len() as u64));
+        group.bench_function(BenchmarkId::new("schnorr_batch_verify_16", name), |b| {
+            b.iter(|| {
+                batch_verify(&items).unwrap();
+                black_box(())
+            })
+        });
+        group.throughput(Throughput::Elements(1));
         let dk = DecryptionKey::from_seed(g.clone(), b"bench-enc");
         let ek = dk.encryption_key();
         let ct = ek.encrypt_deterministic(b"a confidential bill of lading", b"seed");

@@ -1,0 +1,184 @@
+//! Before/after microbenchmark for the Schnorr verify hot path
+//! (`BENCH_crypto_smoke`): the committed Barrett baseline vs. the
+//! Montgomery + fixed-base-table + batch-RLC path.
+//!
+//! The "before" column re-runs the pre-overhaul verify equation through
+//! the still-public Barrett APIs: two `BarrettContext::modexp` calls
+//! (`g^s`, `y^(q-e)`), a `modmul` join, and the challenge re-hash. The
+//! "after" column runs `schnorr::batch_verify` over the same signatures
+//! with cached per-key fixed-base tables — the steady state the cert
+//! cache maintains (`CertChainCache::key_table`).
+//!
+//! Usage: `cargo run -p tdt-bench --release --bin crypto_smoke -- [--check]`
+//!
+//! `--check` exits non-zero unless the amortized speedup at modp2048 is
+//! at least [`REQUIRED_SPEEDUP_2048`]× — the CI regression guard for the
+//! crypto hot-path overhaul.
+
+use std::sync::Arc;
+use std::time::Instant;
+use tdt_crypto::bigint::BarrettContext;
+use tdt_crypto::group::Group;
+use tdt_crypto::schnorr::{batch_verify, BatchItem, Signature, SigningKey, VerifyingKey};
+
+/// Hard floor enforced by `--check` at modp2048.
+const REQUIRED_SPEEDUP_2048: f64 = 5.0;
+
+/// Signatures per batch. Small enough for a CI smoke run, large enough
+/// that the batch aggregate and challenge striping amortize.
+const BATCH: usize = 16;
+
+/// Distinct signing keys the batch round-robins over, mirroring a proof
+/// whose attestations come from a handful of orgs.
+const KEYS: usize = 4;
+
+/// Timed repetitions per measurement; the minimum is reported so a
+/// scheduler hiccup in one round cannot fake a regression.
+const ROUNDS: usize = 3;
+
+struct Fixture {
+    keys: Vec<VerifyingKey>,
+    tables: Vec<Arc<tdt_crypto::group::FixedBaseTable>>,
+    messages: Vec<Vec<u8>>,
+    sigs: Vec<Signature>,
+    /// keys/tables index for each batch slot.
+    owner: Vec<usize>,
+}
+
+fn fixture(group: &Group) -> Fixture {
+    let signers: Vec<SigningKey> = (0..KEYS)
+        .map(|i| SigningKey::from_seed(group.clone(), format!("smoke-key-{i}").as_bytes()))
+        .collect();
+    let keys: Vec<VerifyingKey> = signers.iter().map(SigningKey::verifying_key).collect();
+    let tables: Vec<_> = keys
+        .iter()
+        .map(|vk| Arc::new(vk.precompute_table()))
+        .collect();
+    let mut messages = Vec::with_capacity(BATCH);
+    let mut sigs = Vec::with_capacity(BATCH);
+    let mut owner = Vec::with_capacity(BATCH);
+    for i in 0..BATCH {
+        let msg = format!("attestation metadata {i}").into_bytes();
+        let k = i % KEYS;
+        sigs.push(signers[k].sign(&msg));
+        messages.push(msg);
+        owner.push(k);
+    }
+    Fixture {
+        keys,
+        tables,
+        messages,
+        sigs,
+        owner,
+    }
+}
+
+/// The pre-overhaul verify: Barrett `modexp` twice, `modmul`, re-hash.
+/// Byte-for-byte the old equation, driven through the public Barrett API
+/// that one-shot reductions still use.
+fn verify_barrett_baseline(
+    barrett: &BarrettContext,
+    group: &Group,
+    vk: &VerifyingKey,
+    message: &[u8],
+    sig: &Signature,
+) {
+    let (e, s) = sig.scalars(group).expect("smoke signature decodes");
+    let gs = barrett.modexp(group.generator(), &s);
+    let ye = barrett.modexp(vk.element(), &group.q().sub(&e));
+    let r_prime = barrett.modmul(&gs, &ye);
+    let e_prime = group.hash_to_scalar(&[
+        b"tdt-schnorr",
+        &group.element_to_bytes(&r_prime),
+        &group.element_to_bytes(vk.element()),
+        message,
+    ]);
+    assert!(e_prime == e, "baseline verify must accept the fixture");
+}
+
+/// Minimum wall time over [`ROUNDS`] runs of `f`, in seconds.
+fn time_min<F: FnMut()>(mut f: F) -> f64 {
+    // Warm-up run outside the measurement.
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct Row {
+    name: &'static str,
+    before_us: f64,
+    after_us: f64,
+    speedup: f64,
+}
+
+fn measure(group: &Group) -> Row {
+    let fx = fixture(group);
+    let barrett = BarrettContext::new(group.p().clone());
+
+    let before = time_min(|| {
+        for i in 0..BATCH {
+            verify_barrett_baseline(
+                &barrett,
+                group,
+                &fx.keys[fx.owner[i]],
+                &fx.messages[i],
+                &fx.sigs[i],
+            );
+        }
+    });
+
+    let items: Vec<BatchItem<'_>> = (0..BATCH)
+        .map(|i| BatchItem {
+            key: &fx.keys[fx.owner[i]],
+            message: &fx.messages[i],
+            signature: &fx.sigs[i],
+            table: Some(Arc::clone(&fx.tables[fx.owner[i]])),
+        })
+        .collect();
+    let after = time_min(|| {
+        batch_verify(&items).expect("smoke batch must verify");
+    });
+
+    Row {
+        name: group.name(),
+        before_us: before / BATCH as f64 * 1e6,
+        after_us: after / BATCH as f64 * 1e6,
+        speedup: before / after,
+    }
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+
+    println!("crypto_smoke: {BATCH} signatures, {KEYS} keys, best of {ROUNDS} rounds");
+    println!("| group | barrett verify (us/sig) | batch+tables (us/sig) | speedup |");
+    println!("|---|---|---|---|");
+    let mut speedup_2048 = None;
+    for group in [Group::modp_768(), Group::modp_1024(), Group::modp_2048()] {
+        let row = measure(&group);
+        println!(
+            "| {} | {:.1} | {:.1} | {:.2}x |",
+            row.name, row.before_us, row.after_us, row.speedup
+        );
+        if row.name == "modp2048" {
+            speedup_2048 = Some(row.speedup);
+        }
+    }
+
+    if check {
+        let got = speedup_2048.expect("modp2048 row measured");
+        if got < REQUIRED_SPEEDUP_2048 {
+            eprintln!(
+                "FAIL: modp2048 speedup {got:.2}x is below the required \
+                 {REQUIRED_SPEEDUP_2048}x floor"
+            );
+            std::process::exit(1);
+        }
+        println!("check passed: modp2048 speedup {got:.2}x >= {REQUIRED_SPEEDUP_2048}x");
+    }
+}

@@ -167,6 +167,11 @@ impl Cmdac {
         let result_hash = sha256(&proof.result);
         let mut endorsing_orgs: Vec<String> = Vec::new();
         let mut seen_peers: Vec<String> = Vec::new();
+        // Signature checks are deferred into one batch verification after
+        // the structural pass; each key rides with its cached fixed-base
+        // table (same epoch lifetime as the cert-chain cache).
+        let mut batch_keys = Vec::with_capacity(proof.attestations.len());
+        let mut batch_sigs = Vec::with_capacity(proof.attestations.len());
         for (i, att) in proof.attestations.iter().enumerate() {
             if att.metadata_encrypted {
                 return Err(ChaincodeError::BadRequest(format!(
@@ -184,7 +189,8 @@ impl Cmdac {
                     cert.subject().qualified_name()
                 )));
             }
-            // Verify the signature over the plaintext metadata.
+            // Decode the signer key and signature; verification happens in
+            // the batch below.
             let vk = cert.verifying_key().map_err(|e| {
                 ChaincodeError::BadRequest(format!("attestation {i} key invalid: {e}"))
             })?;
@@ -192,9 +198,9 @@ impl Cmdac {
                 tdt_crypto::schnorr::Signature::from_bytes(&att.signature).map_err(|e| {
                     ChaincodeError::BadRequest(format!("attestation {i} signature malformed: {e}"))
                 })?;
-            vk.verify(&att.metadata, &signature).map_err(|_| {
-                ChaincodeError::AccessDenied(format!("attestation {i} signature invalid"))
-            })?;
+            let table = self.cert_cache.key_table(&vk);
+            batch_keys.push((vk, table));
+            batch_sigs.push(signature);
             // Check metadata consistency with the proof envelope.
             let metadata = ResultMetadata::decode_from_slice(&att.metadata).map_err(|e| {
                 ChaincodeError::BadRequest(format!("attestation {i} metadata malformed: {e}"))
@@ -234,6 +240,37 @@ impl Cmdac {
             seen_peers.push(peer_name);
             if !endorsing_orgs.contains(&metadata.org_id) {
                 endorsing_orgs.push(metadata.org_id);
+            }
+        }
+        // One randomized batch verification over every attestation
+        // signature; on failure, bisection names the offending index.
+        let items: Vec<tdt_crypto::schnorr::BatchItem<'_>> = batch_keys
+            .iter()
+            .zip(&batch_sigs)
+            .zip(&proof.attestations)
+            .map(|(((vk, table), sig), att)| tdt_crypto::schnorr::BatchItem {
+                key: vk,
+                message: &att.metadata,
+                signature: sig,
+                table: Some(Arc::clone(table)),
+            })
+            .collect();
+        match tdt_crypto::schnorr::batch_verify(&items) {
+            Ok(()) => {}
+            Err(tdt_crypto::schnorr::BatchVerifyError::Invalid { index }) => {
+                return Err(ChaincodeError::AccessDenied(format!(
+                    "attestation {index} signature invalid"
+                )))
+            }
+            Err(tdt_crypto::schnorr::BatchVerifyError::GroupMismatch { index }) => {
+                return Err(ChaincodeError::AccessDenied(format!(
+                    "attestation {index} signer key uses a mismatched group"
+                )))
+            }
+            Err(tdt_crypto::schnorr::BatchVerifyError::Empty) => {
+                return Err(ChaincodeError::BadRequest(
+                    "proof has no attestations".into(),
+                ))
             }
         }
         if !policy.expression.is_satisfied(&endorsing_orgs) {

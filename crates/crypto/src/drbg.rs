@@ -77,6 +77,20 @@ impl HmacDrbg {
         out
     }
 
+    /// Produces `len` pseudorandom bytes that are not all zero, drawing
+    /// again until they aren't. Used for batch-verification randomizers,
+    /// where a zero coefficient would drop its item from the aggregate
+    /// check entirely.
+    pub fn generate_nonzero(&mut self, len: usize) -> Vec<u8> {
+        assert!(len > 0, "cannot generate a nonzero empty string");
+        loop {
+            let out = self.generate(len);
+            if out.iter().any(|&b| b != 0) {
+                return out;
+            }
+        }
+    }
+
     /// Fills `buf` with pseudorandom bytes.
     pub fn fill(&mut self, buf: &mut [u8]) {
         let bytes = self.generate(buf.len());
@@ -164,6 +178,15 @@ mod tests {
         let mut buf = [0u8; 16];
         d.fill_bytes(&mut buf);
         assert_ne!(buf, [0u8; 16]);
+    }
+
+    #[test]
+    fn generate_nonzero_is_nonzero_and_deterministic() {
+        let mut a = HmacDrbg::new(b"nz");
+        let mut b = HmacDrbg::new(b"nz");
+        let x = a.generate_nonzero(16);
+        assert!(x.iter().any(|&v| v != 0));
+        assert_eq!(x, b.generate_nonzero(16));
     }
 
     #[test]

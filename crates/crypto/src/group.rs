@@ -14,9 +14,9 @@
 //! The unit tests verify the subgroup structure (`g^q == 1 mod p`), which
 //! guards against transcription errors in the constants.
 
-use crate::bigint::{BarrettContext, BigUint};
+use crate::bigint::{BarrettContext, BigUint, MontElem, MontgomeryCtx};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// Oakley Group 1 prime (768-bit safe prime, RFC 2409 §6.1).
 const MODP_768_HEX: &str = "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74\
@@ -52,9 +52,23 @@ struct GroupInner {
     name: &'static str,
     p_ctx: BarrettContext,
     q_ctx: BarrettContext,
+    p_mont: MontgomeryCtx,
     generator: BigUint,
     element_len: usize,
+    scalar_len: usize,
+    /// Lazily-bound fixed-base table for the generator, shared process-wide
+    /// per prime via [`GENERATOR_TABLES`].
+    gen_table: OnceLock<Arc<FixedBaseTable>>,
 }
+
+/// One registry slot: (prime bytes, that prime's generator table).
+type TableSlot = (Vec<u8>, Arc<FixedBaseTable>);
+
+/// Process-wide registry of generator tables, keyed by the prime's bytes.
+/// Groups are rebuilt freely (`Group::by_name` allocates a fresh inner), so
+/// the expensive table must outlive any single `Group` instance. Only the
+/// three builtin primes ever land here.
+static GENERATOR_TABLES: OnceLock<Mutex<Vec<TableSlot>>> = OnceLock::new();
 
 impl fmt::Debug for Group {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -78,13 +92,18 @@ impl Group {
         let p = BigUint::from_hex(p_hex).expect("builtin prime constant is valid hex");
         let q = p.sub(&BigUint::one()).shr(1);
         let element_len = p.bits().div_ceil(8);
+        let scalar_len = q.bits().div_ceil(8);
+        let p_mont = MontgomeryCtx::new(p.clone()).expect("builtin prime is odd and > 1");
         Group {
             inner: Arc::new(GroupInner {
                 name,
                 p_ctx: BarrettContext::new(p),
                 q_ctx: BarrettContext::new(q),
+                p_mont,
                 generator: BigUint::from_u64(4),
                 element_len,
+                scalar_len,
+                gen_table: OnceLock::new(),
             }),
         }
     }
@@ -144,14 +163,144 @@ impl Group {
         self.inner.element_len
     }
 
-    /// `base^exp mod p`.
-    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
-        self.inner.p_ctx.modexp(base, exp)
+    /// Byte length of a canonically-encoded scalar mod `q`.
+    pub fn scalar_len(&self) -> usize {
+        self.inner.scalar_len
     }
 
-    /// `g^exp mod p`.
+    /// `base^exp mod p` (Montgomery-form exponentiation).
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        self.inner.p_mont.modexp(base, exp)
+    }
+
+    /// `g^exp mod p` via the cached fixed-base generator table: one
+    /// Montgomery multiplication per 4-bit window of the exponent, no
+    /// squarings at all.
     pub fn pow_g(&self, exp: &BigUint) -> BigUint {
-        self.pow(&self.inner.generator, exp)
+        let ctx = &self.inner.p_mont;
+        match self.generator_table().pow_mont(ctx, exp) {
+            Some(acc) => ctx.from_mont(&acc),
+            None => ctx.modexp(&self.inner.generator, exp),
+        }
+    }
+
+    /// The process-shared fixed-base table for this group's generator,
+    /// built on first use and reused by every `Group` handle over the same
+    /// prime.
+    pub fn generator_table(&self) -> Arc<FixedBaseTable> {
+        self.inner
+            .gen_table
+            .get_or_init(|| {
+                let key = self.p().to_bytes_be();
+                let registry = GENERATOR_TABLES.get_or_init(|| Mutex::new(Vec::new()));
+                {
+                    let guard = registry.lock().unwrap_or_else(PoisonError::into_inner);
+                    if let Some((_, t)) = guard.iter().find(|(k, _)| *k == key) {
+                        return t.clone();
+                    }
+                }
+                // Build outside the lock (seconds at modp2048); a racing
+                // builder's duplicate is dropped below.
+                let built = Arc::new(self.precompute_table(&self.inner.generator));
+                let mut guard = registry.lock().unwrap_or_else(PoisonError::into_inner);
+                if let Some((_, t)) = guard.iter().find(|(k, _)| *k == key) {
+                    t.clone()
+                } else {
+                    guard.push((key, built.clone()));
+                    built
+                }
+            })
+            .clone()
+    }
+
+    /// Builds a fixed-base window table for `base`, sized for exponents up
+    /// to the subgroup order `q`. Cost ≈ 15 Montgomery multiplications per
+    /// 4-bit window — a few plain modexps — amortized over every later
+    /// [`Self::mul_exp_g`] call that uses it.
+    pub fn precompute_table(&self, base: &BigUint) -> FixedBaseTable {
+        FixedBaseTable::build(&self.inner.p_mont, base, self.q().bits())
+    }
+
+    /// Simultaneous multi-exponentiation `Π base_i^exp_i mod p`
+    /// (Straus/Shamir, 4-bit windows): the squarings of the accumulator are
+    /// shared across all bases instead of being paid once per base.
+    ///
+    /// Exponents here are public values (signature scalars being verified,
+    /// protocol constants), so zero windows may be skipped.
+    pub fn multi_exp(&self, pairs: &[(&BigUint, &BigUint)]) -> BigUint {
+        let ctx = &self.inner.p_mont;
+        if pairs.is_empty() {
+            return BigUint::one();
+        }
+        let mut scratch = ctx.scratch();
+        // Per-base tables of base^0..=15 in Montgomery form.
+        let tables: Vec<Vec<MontElem>> = pairs
+            .iter()
+            .map(|(base, _)| {
+                let mut t = Vec::with_capacity(16);
+                t.push(ctx.one());
+                let base_m = ctx.to_mont(base);
+                t.push(base_m.clone());
+                for i in 2..16 {
+                    t.push(ctx.mont_mul(&t[i - 1], &base_m));
+                }
+                t
+            })
+            .collect();
+        let nbits = pairs
+            .iter()
+            .map(|(_, e)| e.bits())
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let nwindows = nbits.div_ceil(4);
+        let mut acc = ctx.one();
+        for w in (0..nwindows).rev() {
+            if w + 1 != nwindows {
+                for _ in 0..4 {
+                    ctx.mont_sqr_assign(&mut acc, &mut scratch);
+                }
+            }
+            for (i, (_, e)) in pairs.iter().enumerate() {
+                let mut digit = 0usize;
+                for b in 0..4 {
+                    if e.bit(w * 4 + b) {
+                        digit |= 1 << b;
+                    }
+                }
+                if digit != 0 {
+                    // lint:allow(ct: "multi_exp exponents are public signature scalars; window digits do not carry secrets — see DESIGN.md crypto hot path")
+                    ctx.mont_mul_assign(&mut acc, &tables[i][digit], &mut scratch);
+                }
+            }
+        }
+        ctx.from_mont(&acc)
+    }
+
+    /// The Schnorr verify equation's heavy step: `g^s · y^e mod p`.
+    ///
+    /// The generator contribution always uses the shared fixed-base table;
+    /// the `y` contribution uses `y_table` when the caller has one cached
+    /// (per-verifying-key tables live in `certcache`), else a plain
+    /// Montgomery exponentiation — the single `mont_mul` joining the halves
+    /// replaces a full extra exponentiation.
+    pub fn mul_exp_g(
+        &self,
+        s: &BigUint,
+        y: &BigUint,
+        e: &BigUint,
+        y_table: Option<&FixedBaseTable>,
+    ) -> BigUint {
+        let ctx = &self.inner.p_mont;
+        let g_part = match self.generator_table().pow_mont(ctx, s) {
+            Some(v) => v,
+            None => ctx.modexp_mont(&ctx.to_mont(&self.inner.generator), s),
+        };
+        let y_part = match y_table.and_then(|t| t.pow_mont(ctx, e)) {
+            Some(v) => v,
+            None => ctx.modexp_mont(&ctx.to_mont(y), e),
+        };
+        ctx.from_mont(&ctx.mont_mul(&g_part, &y_part))
     }
 
     /// `(a * b) mod p`.
@@ -260,6 +409,78 @@ impl ScalarMul<'_> {
     }
 }
 
+/// Fixed-base windowed precomputation: `table[w][d] = base^(d·16^w)` in
+/// Montgomery form for every 4-bit window `w` of the exponent range and
+/// digit `d ∈ 0..16`.
+///
+/// A fixed-base exponentiation then costs one Montgomery multiplication per
+/// window — no squarings — versus four squarings plus a multiplication per
+/// window for a plain windowed modexp. Entry `d = 0` stores the Montgomery
+/// `1`, so the multiply loop does uniform work for every digit.
+///
+/// A table is bound to the [`MontgomeryCtx`] (i.e. the prime) it was built
+/// with; `pow_mont` is only called through the owning [`Group`].
+#[derive(Debug)]
+pub struct FixedBaseTable {
+    /// Flat `windows × 16` entry array, `table[w * 16 + d]`.
+    table: Vec<MontElem>,
+    windows: usize,
+}
+
+impl FixedBaseTable {
+    /// Precomputes the table for exponents of up to `exp_bits` bits.
+    pub fn build(ctx: &MontgomeryCtx, base: &BigUint, exp_bits: usize) -> Self {
+        let windows = exp_bits.max(1).div_ceil(4);
+        let mut table = Vec::with_capacity(windows * 16);
+        let mut scratch = ctx.scratch();
+        // base_w = base^(16^w); after pushing d = 1..15 the accumulator has
+        // been multiplied 15 times and sits at base_w^16 = base^(16^(w+1)),
+        // which seeds the next window for free.
+        let mut base_w = ctx.to_mont(base);
+        for _w in 0..windows {
+            table.push(ctx.one());
+            let mut acc = base_w.clone();
+            for _d in 1..=15 {
+                table.push(acc.clone());
+                ctx.mont_mul_assign(&mut acc, &base_w, &mut scratch);
+            }
+            base_w = acc;
+        }
+        FixedBaseTable { table, windows }
+    }
+
+    /// Largest exponent bit-length this table covers.
+    pub fn capacity_bits(&self) -> usize {
+        self.windows * 4
+    }
+
+    /// Approximate heap footprint, for cache accounting.
+    pub fn approx_bytes(&self) -> usize {
+        self.table.len() * self.table.first().map_or(0, |e| e.limb_count() * 8)
+    }
+
+    /// `base^exp` in Montgomery form, or `None` when `exp` exceeds the
+    /// precomputed range (callers fall back to a plain modexp).
+    pub fn pow_mont(&self, ctx: &MontgomeryCtx, exp: &BigUint) -> Option<MontElem> {
+        if exp.bits() > self.capacity_bits() {
+            return None;
+        }
+        let mut acc = ctx.one();
+        let mut scratch = ctx.scratch();
+        for w in 0..self.windows {
+            let mut digit = 0usize;
+            for b in 0..4 {
+                if exp.bit(w * 4 + b) {
+                    digit |= 1 << b;
+                }
+            }
+            // lint:allow(ct: "fixed-base exponents are public verify-side scalars; digit-indexed lookups here do not touch signing secrets — see DESIGN.md crypto hot path")
+            ctx.mont_mul_assign(&mut acc, &self.table[w * 16 + digit], &mut scratch);
+        }
+        Some(acc)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,5 +583,74 @@ mod tests {
         let a = BigUint::from_u64(u64::MAX);
         let b = BigUint::from_u64(u64::MAX - 1);
         assert_eq!(g.scalar_mul(&a).by(&b), a.mul(&b).rem(g.q()));
+    }
+
+    #[test]
+    fn scalar_len_matches_q_width() {
+        let g = Group::modp_768();
+        assert_eq!(g.scalar_len(), g.q().bits().div_ceil(8));
+        assert_eq!(g.scalar_len(), 96);
+    }
+
+    #[test]
+    fn pow_g_matches_pow_of_generator() {
+        let g = Group::test_group();
+        let mut rng = rand::thread_rng();
+        for _ in 0..8 {
+            let e = random_below(g.q(), &mut rng);
+            assert_eq!(g.pow_g(&e), g.pow(g.generator(), &e));
+        }
+        assert_eq!(g.pow_g(&BigUint::zero()), BigUint::one());
+        // Full-width exponent (q itself) stays inside the table range.
+        assert_eq!(g.pow_g(g.q()), BigUint::one());
+    }
+
+    #[test]
+    fn fixed_base_table_matches_pow() {
+        let g = Group::test_group();
+        let mut rng = rand::thread_rng();
+        let base = g.pow_g(&random_below(g.q(), &mut rng));
+        let table = g.precompute_table(&base);
+        assert!(table.capacity_bits() >= g.q().bits());
+        assert!(table.approx_bytes() > 0);
+        for _ in 0..4 {
+            let e = random_below(g.q(), &mut rng);
+            let got = g.mul_exp_g(&BigUint::zero(), &base, &e, Some(&table));
+            assert_eq!(got, g.pow(&base, &e));
+        }
+    }
+
+    #[test]
+    fn multi_exp_matches_naive() {
+        let g = Group::test_group();
+        let mut rng = rand::thread_rng();
+        let b1 = g.pow_g(&random_below(g.q(), &mut rng));
+        let b2 = g.pow_g(&random_below(g.q(), &mut rng));
+        let e1 = random_below(g.q(), &mut rng);
+        let e2 = random_below(g.q(), &mut rng);
+        let got = g.multi_exp(&[(&b1, &e1), (&b2, &e2)]);
+        let want = g.mul(&g.pow(&b1, &e1), &g.pow(&b2, &e2));
+        assert_eq!(got, want);
+        assert_eq!(g.multi_exp(&[]), BigUint::one());
+    }
+
+    #[test]
+    fn mul_exp_g_matches_naive_with_and_without_table() {
+        let g = Group::test_group();
+        let mut rng = rand::thread_rng();
+        let y = g.pow_g(&random_below(g.q(), &mut rng));
+        let s = random_below(g.q(), &mut rng);
+        let e = random_below(g.q(), &mut rng);
+        let want = g.mul(&g.pow_g(&s), &g.pow(&y, &e));
+        assert_eq!(g.mul_exp_g(&s, &y, &e, None), want);
+        let table = g.precompute_table(&y);
+        assert_eq!(g.mul_exp_g(&s, &y, &e, Some(&table)), want);
+    }
+
+    #[test]
+    fn generator_table_is_shared_across_group_handles() {
+        let a = Group::modp_768().generator_table();
+        let b = Group::modp_768().generator_table();
+        assert!(Arc::ptr_eq(&a, &b));
     }
 }

@@ -16,9 +16,10 @@
 use crate::bigint::{random_below, BigUint};
 use crate::drbg::HmacDrbg;
 use crate::error::CryptoError;
-use crate::group::Group;
+use crate::group::{FixedBaseTable, Group};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// A Schnorr signature `(e, s)`.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -69,6 +70,33 @@ impl Signature {
             e: bytes[4..4 + e_len].to_vec(),
             s: bytes[4 + e_len..].to_vec(),
         })
+    }
+
+    /// Decodes both scalars canonically: the single place that defines what
+    /// an acceptable wire encoding is, for `e` and `s` symmetrically.
+    ///
+    /// Canonical means exactly what [`SigningKey::sign`] emits — minimal
+    /// big-endian (no leading zero bytes), nonzero, and `< q`. Without the
+    /// leading-zero rule the same scalar has many encodings and a signature
+    /// becomes malleable on the wire; without the `s != 0` rule rejection
+    /// is asymmetric with the `e != 0` check.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidSignature`] for any non-canonical
+    /// component.
+    pub fn scalars(&self, group: &Group) -> Result<(BigUint, BigUint), CryptoError> {
+        let decode = |bytes: &[u8]| -> Result<BigUint, CryptoError> {
+            if bytes.is_empty() || bytes.len() > group.scalar_len() || bytes[0] == 0 {
+                return Err(CryptoError::InvalidSignature);
+            }
+            let v = BigUint::from_bytes_be(bytes);
+            if v.is_zero() || &v >= group.q() {
+                return Err(CryptoError::InvalidSignature);
+            }
+            Ok(v)
+        };
+        Ok((decode(&self.e)?, decode(&self.s)?))
     }
 }
 
@@ -220,28 +248,68 @@ impl VerifyingKey {
     ///
     /// Returns [`CryptoError::InvalidSignature`] when verification fails.
     pub fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), CryptoError> {
-        let e = BigUint::from_bytes_be(&signature.e);
-        let s = BigUint::from_bytes_be(&signature.s);
-        if e.is_zero() || &e >= self.group.q() || &s >= self.group.q() {
-            return Err(CryptoError::InvalidSignature);
-        }
-        // r' = g^s * y^(q - e)  (y has order q, so y^(q-e) = y^(-e))
-        let gs = self.group.pow_g(&s);
-        let y_neg_e = self.group.pow(&self.y, &self.group.q().sub(&e));
-        let r_prime = self.group.mul(&gs, &y_neg_e);
-        let e_prime = self.group.hash_to_scalar(&[
-            b"tdt-schnorr",
-            &self.group.element_to_bytes(&r_prime),
-            &self.group.element_to_bytes(&self.y),
-            message,
-        ]);
-        // Compare big-endian encodings with ct_eq so rejection timing does
-        // not leak how many bytes of the recomputed challenge match.
-        if crate::hmac::ct_eq(&e_prime.to_bytes_be(), &e.to_bytes_be()) {
+        self.verify_inner(message, signature, None)
+    }
+
+    /// Like [`Self::verify`] but uses a cached fixed-base table for this
+    /// key's element `y` (see [`Self::precompute_table`]), turning the
+    /// `y^(q-e)` half of the verify equation into one multiplication per
+    /// exponent window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidSignature`] when verification fails.
+    pub fn verify_with_table(
+        &self,
+        message: &[u8],
+        signature: &Signature,
+        table: &FixedBaseTable,
+    ) -> Result<(), CryptoError> {
+        self.verify_inner(message, signature, Some(table))
+    }
+
+    /// Builds the fixed-base window table for this key's element, for use
+    /// with [`Self::verify_with_table`] / [`batch_verify`]. Costs a few
+    /// plain verifications to build; callers cache it (see
+    /// `certcache::CertChainCache::key_table`).
+    pub fn precompute_table(&self) -> FixedBaseTable {
+        self.group.precompute_table(&self.y)
+    }
+
+    fn verify_inner(
+        &self,
+        message: &[u8],
+        signature: &Signature,
+        table: Option<&FixedBaseTable>,
+    ) -> Result<(), CryptoError> {
+        let (e, s) = signature.scalars(&self.group)?;
+        // r' = g^s * y^(q - e)  (y has order q, so y^(q-e) = y^(-e)),
+        // fused into a single fixed-base + windowed multi-exponentiation.
+        let r_prime = self
+            .group
+            .mul_exp_g(&s, &self.y, &self.group.q().sub(&e), table);
+        let e_prime = self.challenge(&r_prime, message);
+        // Compare *fixed-width* encodings with ct_eq: `to_bytes_be` strips
+        // leading zeros, and a length mismatch takes ct_eq's early exit —
+        // which would leak the leading-zero structure of the challenge.
+        let width = self.group.scalar_len();
+        if crate::hmac::ct_eq(
+            &e_prime.to_bytes_be_padded(width),
+            &e.to_bytes_be_padded(width),
+        ) {
             Ok(())
         } else {
             Err(CryptoError::InvalidSignature)
         }
+    }
+
+    fn challenge(&self, r: &BigUint, message: &[u8]) -> BigUint {
+        self.group.hash_to_scalar(&[
+            b"tdt-schnorr",
+            &self.group.element_to_bytes(r),
+            &self.group.element_to_bytes(&self.y),
+            message,
+        ])
     }
 
     /// Stable short identifier for this key (first 16 hex chars of the
@@ -249,6 +317,205 @@ impl VerifyingKey {
     pub fn key_id(&self) -> String {
         let digest = crate::sha256(&self.to_bytes());
         crate::hex_encode(&digest[..8])
+    }
+}
+
+/// One signature in a [`batch_verify`] call.
+#[derive(Debug, Clone)]
+pub struct BatchItem<'a> {
+    /// Key to verify against.
+    pub key: &'a VerifyingKey,
+    /// Message the signature covers.
+    pub message: &'a [u8],
+    /// The signature itself.
+    pub signature: &'a Signature,
+    /// Optional cached fixed-base table for `key`'s element (see
+    /// `certcache::CertChainCache::key_table`).
+    pub table: Option<Arc<FixedBaseTable>>,
+}
+
+/// Failure modes of [`batch_verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchVerifyError {
+    /// An empty batch is a caller bug, not a vacuous success.
+    Empty,
+    /// Item `index` is keyed in a different group than item 0.
+    GroupMismatch {
+        /// Index of the mismatched item.
+        index: usize,
+    },
+    /// The batch does not verify; `index` names an offending signature
+    /// (pinpointed by bisection — with several bad signatures, one of them).
+    Invalid {
+        /// Index of an offending item.
+        index: usize,
+    },
+}
+
+impl fmt::Display for BatchVerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchVerifyError::Empty => write!(f, "empty signature batch"),
+            BatchVerifyError::GroupMismatch { index } => {
+                write!(f, "batch item {index} uses a different group")
+            }
+            BatchVerifyError::Invalid { index } => {
+                write!(f, "batch item {index} signature invalid")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchVerifyError {}
+
+/// Verifies a batch of Schnorr signatures with one randomized aggregate
+/// check, pinpointing the offender by bisection on failure.
+///
+/// For `(e, s)`-form Schnorr the commitment `r'_i = g^{s_i}·y_i^{q-e_i}`
+/// must be recomputed per signature (each feeds its own challenge hash),
+/// so that part runs as fused multi-exponentiations in parallel across
+/// available cores. What *is* aggregated is the challenge comparison: with
+/// random 128-bit `z_i`, accept iff `Σ z_i·e'_i ≡ Σ z_i·e_i (mod q)` —
+/// a forged item survives only if the attacker predicts `z` (probability
+/// ≈ 2⁻¹²⁸). The `z_i` are drawn from an HMAC-DRBG seeded over the whole
+/// batch transcript (keys, message digests, signatures), Fiat–Shamir
+/// style, so they are fixed only after every item is committed; a counter
+/// or other predictable sequence would let an attacker craft offsetting
+/// forgeries (Wagner-style) that cancel in the sum.
+///
+/// # Errors
+///
+/// [`BatchVerifyError::Empty`] for an empty batch,
+/// [`BatchVerifyError::GroupMismatch`] if items span groups, and
+/// [`BatchVerifyError::Invalid`] naming an offending index otherwise.
+pub fn batch_verify(items: &[BatchItem<'_>]) -> Result<(), BatchVerifyError> {
+    if items.is_empty() {
+        return Err(BatchVerifyError::Empty);
+    }
+    let group = items[0].key.group();
+    for (index, it) in items.iter().enumerate() {
+        if it.key.group() != group {
+            return Err(BatchVerifyError::GroupMismatch { index });
+        }
+    }
+    // Canonical decode up front; a malformed encoding names its index
+    // immediately without costing a group operation.
+    let mut scalars = Vec::with_capacity(items.len());
+    for (index, it) in items.iter().enumerate() {
+        match it.signature.scalars(group) {
+            Ok(pair) => scalars.push(pair),
+            Err(_) => return Err(BatchVerifyError::Invalid { index }),
+        }
+    }
+    let e_primes = compute_challenges(group, items, &scalars);
+
+    // Randomizers from the batch transcript: reseeding over every key,
+    // message and signature means no z_i is known before the whole batch
+    // is fixed.
+    let mut seed_parts: Vec<Vec<u8>> = vec![b"tdt-batch-verify".to_vec()];
+    for it in items {
+        seed_parts.push(it.key.to_bytes());
+        seed_parts.push(crate::sha256(it.message).to_vec());
+        seed_parts.push(it.signature.e_bytes().to_vec());
+        seed_parts.push(it.signature.s_bytes().to_vec());
+    }
+    let part_refs: Vec<&[u8]> = seed_parts.iter().map(Vec::as_slice).collect();
+    let mut drbg = HmacDrbg::from_parts(&part_refs);
+    let z: Vec<BigUint> = (0..items.len())
+        .map(|_| BigUint::from_bytes_be(&drbg.generate_nonzero(16)))
+        .collect();
+
+    let width = group.scalar_len();
+    if aggregates_match(group, &z, &e_primes, &scalars, 0, items.len(), width) {
+        return Ok(());
+    }
+    let index = bisect(group, &z, &e_primes, &scalars, 0, items.len(), width);
+    Err(BatchVerifyError::Invalid { index })
+}
+
+/// Recomputes `e'_i = H(g^{s_i}·y_i^{q-e_i} ‖ y_i ‖ m_i)` for every item,
+/// striping the multi-exponentiations across available cores.
+fn compute_challenges(
+    group: &Group,
+    items: &[BatchItem<'_>],
+    scalars: &[(BigUint, BigUint)],
+) -> Vec<BigUint> {
+    let n = items.len();
+    let challenge_of = |i: usize| -> BigUint {
+        let it = &items[i];
+        let (e, s) = &scalars[i];
+        let r_prime = group.mul_exp_g(s, it.key.element(), &group.q().sub(e), it.table.as_deref());
+        it.key.challenge(&r_prime, it.message)
+    };
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return (0..n).map(challenge_of).collect();
+    }
+    let mut slots: Vec<Option<BigUint>> = vec![None; n];
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (ci, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
+            let challenge_of = &challenge_of;
+            scope.spawn(move || {
+                for (j, slot) in slot_chunk.iter_mut().enumerate() {
+                    *slot = Some(challenge_of(ci * chunk + j));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("batch challenge worker completed"))
+        .collect()
+}
+
+/// `Σ z_i·e'_i ≟ Σ z_i·e_i (mod q)` over `lo..hi`, compared on fixed-width
+/// encodings.
+fn aggregates_match(
+    group: &Group,
+    z: &[BigUint],
+    e_primes: &[BigUint],
+    scalars: &[(BigUint, BigUint)],
+    lo: usize,
+    hi: usize,
+    width: usize,
+) -> bool {
+    let mut lhs = BigUint::zero();
+    let mut rhs = BigUint::zero();
+    for i in lo..hi {
+        lhs = group.scalar_add(&lhs, &group.scalar_mul(&z[i]).by(&e_primes[i]));
+        rhs = group.scalar_add(&rhs, &group.scalar_mul(&z[i]).by(&scalars[i].0));
+    }
+    crate::hmac::ct_eq(
+        &lhs.to_bytes_be_padded(width),
+        &rhs.to_bytes_be_padded(width),
+    )
+}
+
+/// Pinpoints an offending index inside a mismatching range: the range sum
+/// splits as `left + right (mod q)`, so if the left half matches, the right
+/// half must carry a mismatch. Only scalar arithmetic — the expensive
+/// exponentiations are already done.
+fn bisect(
+    group: &Group,
+    z: &[BigUint],
+    e_primes: &[BigUint],
+    scalars: &[(BigUint, BigUint)],
+    lo: usize,
+    hi: usize,
+    width: usize,
+) -> usize {
+    if hi - lo == 1 {
+        return lo;
+    }
+    let mid = lo + (hi - lo) / 2;
+    if !aggregates_match(group, z, e_primes, scalars, lo, mid, width) {
+        bisect(group, z, e_primes, scalars, lo, mid, width)
+    } else {
+        bisect(group, z, e_primes, scalars, mid, hi, width)
     }
 }
 
@@ -369,5 +636,224 @@ mod tests {
         let sk = key();
         let sig = sk.sign(b"");
         assert!(sk.verifying_key().verify(b"", &sig).is_ok());
+    }
+
+    /// Regression: a challenge whose top byte is zero encodes *shorter*
+    /// than `scalar_len` on the wire. The old comparison fed the stripped
+    /// encodings to `ct_eq`, whose length check rejected... nothing here —
+    /// both sides strip — but leaked the length; the fixed-width compare
+    /// must keep such signatures verifying.
+    #[test]
+    fn verify_accepts_challenge_with_leading_zero_bytes() {
+        let sk = key();
+        let vk = sk.verifying_key();
+        let scalar_len = vk.group().scalar_len();
+        let mut found = false;
+        for i in 0u32..4096 {
+            let msg = format!("leading-zero-search-{i}").into_bytes();
+            let sig = sk.sign(&msg);
+            if sig.e_bytes().len() < scalar_len {
+                assert!(
+                    vk.verify(&msg, &sig).is_ok(),
+                    "short-challenge signature must verify"
+                );
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no challenge with leading zero byte in 4096 tries");
+    }
+
+    #[test]
+    fn verify_rejects_zero_s() {
+        let sk = key();
+        let vk = sk.verifying_key();
+        let sig = sk.sign(b"m");
+        for zero_s in [vec![], vec![0u8]] {
+            let forged = Signature::from_scalars(sig.e_bytes().to_vec(), zero_s);
+            assert_eq!(vk.verify(b"m", &forged), Err(CryptoError::InvalidSignature));
+        }
+    }
+
+    #[test]
+    fn verify_rejects_zero_e() {
+        let sk = key();
+        let sig = sk.sign(b"m");
+        let forged = Signature::from_scalars(vec![0u8], sig.s_bytes().to_vec());
+        assert_eq!(
+            sk.verifying_key().verify(b"m", &forged),
+            Err(CryptoError::InvalidSignature)
+        );
+    }
+
+    /// A valid signature re-encoded with a leading zero byte (same scalar
+    /// value, different bytes) must be rejected: one scalar, one encoding.
+    #[test]
+    fn verify_rejects_non_canonical_encodings() {
+        let sk = key();
+        let vk = sk.verifying_key();
+        let sig = sk.sign(b"m");
+
+        let mut padded_e = vec![0u8];
+        padded_e.extend_from_slice(sig.e_bytes());
+        let forged = Signature::from_scalars(padded_e, sig.s_bytes().to_vec());
+        assert_eq!(vk.verify(b"m", &forged), Err(CryptoError::InvalidSignature));
+
+        let mut padded_s = vec![0u8];
+        padded_s.extend_from_slice(sig.s_bytes());
+        let forged = Signature::from_scalars(sig.e_bytes().to_vec(), padded_s);
+        assert_eq!(vk.verify(b"m", &forged), Err(CryptoError::InvalidSignature));
+
+        // Oversized: wider than a scalar can canonically be.
+        let oversized = vec![1u8; vk.group().scalar_len() + 1];
+        let forged = Signature::from_scalars(oversized, sig.s_bytes().to_vec());
+        assert_eq!(vk.verify(b"m", &forged), Err(CryptoError::InvalidSignature));
+    }
+
+    #[test]
+    fn verify_with_table_matches_verify() {
+        let sk = key();
+        let vk = sk.verifying_key();
+        let table = vk.precompute_table();
+        let sig = sk.sign(b"tabled");
+        assert!(vk.verify_with_table(b"tabled", &sig, &table).is_ok());
+        let mut s = sig.s_bytes().to_vec();
+        s[1] ^= 1;
+        let forged = Signature::from_scalars(sig.e_bytes().to_vec(), s);
+        assert!(vk.verify_with_table(b"tabled", &forged, &table).is_err());
+    }
+
+    fn batch_fixture(n: usize) -> Vec<(VerifyingKey, Vec<u8>, Signature)> {
+        (0..n)
+            .map(|i| {
+                let sk =
+                    SigningKey::from_seed(Group::test_group(), format!("batch-key-{i}").as_bytes());
+                let msg = format!("batch-message-{i}").into_bytes();
+                let sig = sk.sign(&msg);
+                (sk.verifying_key(), msg, sig)
+            })
+            .collect()
+    }
+
+    fn as_items(fixture: &[(VerifyingKey, Vec<u8>, Signature)]) -> Vec<BatchItem<'_>> {
+        fixture
+            .iter()
+            .map(|(vk, msg, sig)| BatchItem {
+                key: vk,
+                message: msg,
+                signature: sig,
+                table: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_verify_accepts_valid_batch() {
+        let fixture = batch_fixture(5);
+        assert_eq!(batch_verify(&as_items(&fixture)), Ok(()));
+    }
+
+    #[test]
+    fn batch_verify_empty_batch_is_error() {
+        assert_eq!(batch_verify(&[]), Err(BatchVerifyError::Empty));
+    }
+
+    #[test]
+    fn batch_verify_accepts_duplicate_signatures() {
+        let sk = key();
+        let vk = sk.verifying_key();
+        let sig = sk.sign(b"dup");
+        let items: Vec<BatchItem<'_>> = (0..3)
+            .map(|_| BatchItem {
+                key: &vk,
+                message: b"dup",
+                signature: &sig,
+                table: None,
+            })
+            .collect();
+        assert_eq!(batch_verify(&items), Ok(()));
+    }
+
+    #[test]
+    fn batch_verify_single_item() {
+        let fixture = batch_fixture(1);
+        assert_eq!(batch_verify(&as_items(&fixture)), Ok(()));
+    }
+
+    #[test]
+    fn batch_verify_names_forged_index() {
+        for forged_at in [0usize, 2, 4] {
+            let mut fixture = batch_fixture(5);
+            let mut s = fixture[forged_at].2.s_bytes().to_vec();
+            s[3] ^= 0x40;
+            fixture[forged_at].2 =
+                Signature::from_scalars(fixture[forged_at].2.e_bytes().to_vec(), s);
+            assert_eq!(
+                batch_verify(&as_items(&fixture)),
+                Err(BatchVerifyError::Invalid { index: forged_at })
+            );
+        }
+    }
+
+    #[test]
+    fn batch_verify_rejects_group_mismatch() {
+        let fixture_768 = batch_fixture(1);
+        let sk_1024 = SigningKey::from_seed(Group::modp_1024(), b"other-group");
+        let vk_1024 = sk_1024.verifying_key();
+        let msg = b"cross-group".to_vec();
+        let sig_1024 = sk_1024.sign(&msg);
+        let mut items = as_items(&fixture_768);
+        items.push(BatchItem {
+            key: &vk_1024,
+            message: &msg,
+            signature: &sig_1024,
+            table: None,
+        });
+        assert_eq!(
+            batch_verify(&items),
+            Err(BatchVerifyError::GroupMismatch { index: 1 })
+        );
+    }
+
+    #[test]
+    fn batch_verify_with_tables() {
+        let fixture = batch_fixture(3);
+        let items: Vec<BatchItem<'_>> = fixture
+            .iter()
+            .map(|(vk, msg, sig)| BatchItem {
+                key: vk,
+                message: msg,
+                signature: sig,
+                table: Some(Arc::new(vk.precompute_table())),
+            })
+            .collect();
+        assert_eq!(batch_verify(&items), Ok(()));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+
+        // Soundness: a batch with exactly one mutated signature is
+        // rejected, and bisection names precisely that index.
+        #[test]
+        fn prop_batch_rejects_single_forgery(
+            n in 2usize..6,
+            forged in 0usize..6,
+            byte in 1usize..64,
+            bit in 0u8..7,
+        ) {
+            let forged = forged % n;
+            let mut fixture = batch_fixture(n);
+            let mut s = fixture[forged].2.s_bytes().to_vec();
+            let byte = byte % s.len();
+            s[byte] ^= 1 << bit;
+            let mutated = Signature::from_scalars(fixture[forged].2.e_bytes().to_vec(), s);
+            proptest::prop_assume!(mutated != fixture[forged].2);
+            fixture[forged].2 = mutated;
+            proptest::prop_assert_eq!(
+                batch_verify(&as_items(&fixture)),
+                Err(BatchVerifyError::Invalid { index: forged })
+            );
+        }
     }
 }

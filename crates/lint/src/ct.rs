@@ -1,12 +1,18 @@
 //! Constant-time pass: in `crates/crypto`, flag `==`/`!=` on values that
-//! name digest/MAC/signature material, and early returns branching on
-//! secret-derived booleans.
+//! name digest/MAC/signature material, early returns branching on
+//! secret-derived booleans, and exponent-window table lookups.
 //!
 //! A variable-time comparison on a MAC tag or signature challenge leaks,
 //! byte by byte, how much of a forgery is correct (paper §4's trust model
 //! assumes relays are *untrusted*, so remote attackers get a timing
 //! oracle). The blessed helper is `ct_eq` in `crypto::hmac`; its own body
 //! is exempt, as are length comparisons (lengths are public).
+//!
+//! The table-lookup rule covers the Montgomery / fixed-base / multi-exp
+//! hot paths: indexing a precomputed table by an exponent window digit
+//! (`table[window]`, `tables[i][digit]`) has a cache footprint that
+//! depends on the exponent. Every such site must carry a
+//! `lint:allow(ct: ...)` justifying why its exponents are public.
 
 use crate::diag::Diagnostic;
 use crate::lexer::{lex, strip_test_items, Lexed, Tok, Token};
@@ -29,6 +35,10 @@ const SECRET_FRAGMENTS: &[&str] = &[
 /// Functions allowed to compare secret material non-constant-time: the
 /// blessed helper itself.
 const BLESSED_FNS: &[&str] = &["ct_eq"];
+
+/// Identifier fragments that mark an index expression as derived from an
+/// exponent window (the data-dependent part of a windowed exponentiation).
+const WINDOW_FRAGMENTS: &[&str] = &["window", "digit"];
 
 pub fn check_file(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     let lexed = lex(&file.text);
@@ -141,6 +151,46 @@ fn check_function(body: &[Token], lexed: &Lexed, path: &str, out: &mut Vec<Diagn
                     ),
                 ));
             }
+            Tok::Punct("[") if i > 0 => {
+                // `table[window]` / `tables[i][digit]`: a precomputed-table
+                // lookup indexed by an exponent window digit. Walk left over
+                // chained `[...]` groups to find the indexed identifier.
+                let Some(name) = indexed_base_ident(body, i) else {
+                    continue;
+                };
+                if !name.to_lowercase().contains("table") {
+                    continue;
+                }
+                let mut depth = 1;
+                let mut j = i + 1;
+                let mut window_indexed = false;
+                while j < body.len() && depth > 0 {
+                    match &body[j].tok {
+                        Tok::Punct("[") => depth += 1,
+                        Tok::Punct("]") => depth -= 1,
+                        Tok::Ident(id) => {
+                            let lower = id.to_lowercase();
+                            if WINDOW_FRAGMENTS.iter().any(|frag| lower.contains(frag)) {
+                                window_indexed = true;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if window_indexed && lexed.allowed(PASS, t.line).is_none() {
+                    out.push(Diagnostic::new(
+                        PASS,
+                        path,
+                        t.line,
+                        format!(
+                            "table lookup `{name}[...]` indexed by an exponent window digit; \
+                             the access pattern leaks the exponent through the cache — \
+                             justify with lint:allow(ct: ...) if the exponent is public"
+                        ),
+                    ));
+                }
+            }
             Tok::Ident(kw) if kw == "if" || kw == "return" => {
                 // `if secret_ok { return ... }` / `return secret_ok;`
                 let mut j = i + 1;
@@ -169,6 +219,35 @@ fn check_function(body: &[Token], lexed: &Lexed, path: &str, out: &mut Vec<Diagn
                 }
             }
             _ => {}
+        }
+    }
+}
+
+/// For a `[` at `i`, finds the identifier being indexed, skipping back over
+/// chained `[...]` groups so `tables[i][digit]` resolves to `tables`.
+fn indexed_base_ident(body: &[Token], i: usize) -> Option<String> {
+    let mut p = i;
+    loop {
+        let prev = p.checked_sub(1)?;
+        match &body[prev].tok {
+            Tok::Punct("]") => {
+                let mut depth = 1;
+                let mut q = prev;
+                while q > 0 && depth > 0 {
+                    q -= 1;
+                    match &body[q].tok {
+                        Tok::Punct("]") => depth += 1,
+                        Tok::Punct("[") => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if depth > 0 {
+                    return None;
+                }
+                p = q;
+            }
+            Tok::Ident(id) => return Some(id.clone()),
+            _ => return None,
         }
     }
 }
@@ -348,5 +427,38 @@ mod tests {
     fn allow_suppresses() {
         let src = "fn f(tag: &[u8], w: &[u8]) { // lint:allow(ct: \"public commitment\")\n let _ = tag == w; }";
         assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn flags_window_indexed_table() {
+        let d = run("fn modexp(&self) { let x = self.mont_mul(&acc, &table[window]); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("exponent window"));
+    }
+
+    #[test]
+    fn flags_chained_table_index_by_digit() {
+        let d = run("fn multi_exp(&self) { acc = mul(&acc, &tables[i][digit]); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("tables"));
+    }
+
+    #[test]
+    fn table_index_allow_suppresses() {
+        let src =
+            "fn modexp(&self) { // lint:allow(ct: \"public exponent\")\n let x = &table[window]; }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn loop_counter_table_index_is_fine() {
+        let d = run("fn build(&self) { for i in 2..16 { table.push(mul(&table[i - 1], base)); } }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn non_table_window_index_is_fine() {
+        let d = run("fn f(&self) { let x = bits[window]; }");
+        assert!(d.is_empty(), "{d:?}");
     }
 }

@@ -1,5 +1,6 @@
-//! Seeded constant-time violations: a direct `==` on MAC material, and an
-//! early branch on a secret-derived bool.
+//! Seeded constant-time violations: a direct `==` on MAC material, an
+//! early branch on a secret-derived bool, and a table lookup indexed by
+//! an exponent window digit.
 
 pub fn verify_tag(expected_tag: &[u8], received_tag: &[u8]) -> bool {
     expected_tag == received_tag
@@ -11,4 +12,8 @@ pub fn accept(mac: &[u8], candidate: &[u8]) -> bool {
         return true;
     }
     false
+}
+
+pub fn window_lookup(table: &[u64], window: usize) -> u64 {
+    table[window]
 }

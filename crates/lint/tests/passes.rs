@@ -57,7 +57,7 @@ fn panic_pass_flags_seeded_unwrap_but_not_test_code() {
 fn ct_pass_flags_seeded_compare_and_secret_branch() {
     let mut out = Vec::new();
     lint::ct::check_file(&fixture("non_ct.rs", "crypto"), &mut out);
-    assert_eq!(out.len(), 3, "{out:?}");
+    assert_eq!(out.len(), 4, "{out:?}");
     assert!(out.iter().all(|d| d.pass == "ct"));
     assert!(
         out.iter()
@@ -69,6 +69,11 @@ fn ct_pass_flags_seeded_compare_and_secret_branch() {
     assert!(
         out.iter()
             .any(|d| d.message.contains("secret-derived bool `mac_ok`")),
+        "{out:?}"
+    );
+    assert!(
+        out.iter()
+            .any(|d| d.message.contains("table lookup `table[...]`")),
         "{out:?}"
     );
 }
