@@ -60,7 +60,7 @@ fn fixture(group: &Group) -> Fixture {
     for i in 0..BATCH {
         let msg = format!("attestation metadata {i}").into_bytes();
         let k = i % KEYS;
-        sigs.push(signers[k].sign(&msg));
+        sigs.push(signers[k].sign(&msg)); // lint:allow(panic: "smoke fixture: indices are i % KEYS / i < BATCH by construction")
         messages.push(msg);
         owner.push(k);
     }
@@ -83,7 +83,7 @@ fn verify_barrett_baseline(
     message: &[u8],
     sig: &Signature,
 ) {
-    let (e, s) = sig.scalars(group).expect("smoke signature decodes");
+    let (e, s) = sig.scalars(group).expect("smoke signature decodes"); // lint:allow(panic: "smoke fixture: signatures were just produced by sign")
     let gs = barrett.modexp(group.generator(), &s);
     let ye = barrett.modexp(vk.element(), &group.q().sub(&e));
     let r_prime = barrett.modmul(&gs, &ye);
@@ -125,23 +125,23 @@ fn measure(group: &Group) -> Row {
             verify_barrett_baseline(
                 &barrett,
                 group,
-                &fx.keys[fx.owner[i]],
+                &fx.keys[fx.owner[i]], // lint:allow(panic: "smoke fixture: indices are i % KEYS / i < BATCH by construction")
                 &fx.messages[i],
-                &fx.sigs[i],
+                &fx.sigs[i], // lint:allow(panic: "smoke fixture: indices are i % KEYS / i < BATCH by construction")
             );
         }
     });
 
     let items: Vec<BatchItem<'_>> = (0..BATCH)
         .map(|i| BatchItem {
-            key: &fx.keys[fx.owner[i]],
+            key: &fx.keys[fx.owner[i]], // lint:allow(panic: "smoke fixture: indices are i % KEYS / i < BATCH by construction")
             message: &fx.messages[i],
-            signature: &fx.sigs[i],
+            signature: &fx.sigs[i], // lint:allow(panic: "smoke fixture: indices are i % KEYS / i < BATCH by construction")
             table: Some(Arc::clone(&fx.tables[fx.owner[i]])),
         })
         .collect();
     let after = time_min(|| {
-        batch_verify(&items).expect("smoke batch must verify");
+        batch_verify(&items).expect("smoke batch must verify"); // lint:allow(panic: "smoke guard: a failed batch verify must fail the CI job")
     });
 
     Row {
@@ -171,7 +171,7 @@ fn main() {
     }
 
     if check {
-        let got = speedup_2048.expect("modp2048 row measured");
+        let got = speedup_2048.expect("modp2048 row measured"); // lint:allow(panic: "smoke guard: --check requires the modp2048 row")
         if got < REQUIRED_SPEEDUP_2048 {
             eprintln!(
                 "FAIL: modp2048 speedup {got:.2}x is below the required \

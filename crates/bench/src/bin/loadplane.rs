@@ -146,7 +146,7 @@ impl Testbed {
                 ..TcpServerConfig::default()
             },
         )
-        .expect("bind bench relay server");
+        .expect("bind bench relay server"); // lint:allow(panic: "bench harness: cannot run without a listening socket")
         Testbed { relay, server }
     }
 
@@ -273,7 +273,7 @@ fn open_loop_run(
             })
             .collect();
         for handle in handles {
-            all.extend(handle.join().expect("load thread panicked"));
+            all.extend(handle.join().expect("load thread panicked")); // lint:allow(panic: "bench harness: a panicked load thread invalidates the whole run")
         }
     });
     // Goodput is divided by wall time through the last completion, not the
@@ -298,7 +298,7 @@ fn percentile_ms(sorted: &[Duration], q: f64) -> f64 {
         return 0.0;
     }
     let index = ((sorted.len() as f64 * q) as usize).min(sorted.len() - 1);
-    sorted[index].as_secs_f64() * 1e3
+    sorted.get(index).map_or(0.0, |d| d.as_secs_f64() * 1e3)
 }
 
 fn summarize(samples: &[Sample], elapsed_secs: f64) -> RunStats {
@@ -492,6 +492,6 @@ fn main() {
         profile.overload_window_secs,
         stats_json(&overload_stats)
     );
-    std::fs::write(&out_path, &json).expect("write bench output");
+    std::fs::write(&out_path, &json).expect("write bench output"); // lint:allow(panic: "bench harness: losing the result file must abort the run")
     eprintln!("wrote {out_path}");
 }

@@ -36,14 +36,14 @@ pub fn prepared_testbed(po: &str) -> Testbed {
                 b"100000".to_vec(),
             ],
         )
-        .unwrap()
+        .unwrap() // lint:allow(panic: "bench fixture: abort loudly on broken setup")
         .into_committed()
-        .unwrap();
+        .unwrap(); // lint:allow(panic: "bench fixture: abort loudly on broken setup")
     buyer
         .submit(SwtChaincode::NAME, "IssueLC", vec![po.as_bytes().to_vec()])
-        .unwrap()
+        .unwrap() // lint:allow(panic: "bench fixture: abort loudly on broken setup")
         .into_committed()
-        .unwrap();
+        .unwrap(); // lint:allow(panic: "bench fixture: abort loudly on broken setup")
     t
 }
 
@@ -148,7 +148,7 @@ impl SyntheticSource {
             .requester
             .certificate()
             .encryption_key()
-            .unwrap()
+            .unwrap() // lint:allow(panic: "bench fixture: abort loudly on broken setup")
             .unwrap();
         let attestations = self
             .peers
@@ -207,19 +207,19 @@ impl SyntheticSource {
         let result_hash = sha256(&proof.result);
         let mut count = 0;
         for att in &proof.attestations {
-            let cert = tdt_wire::messages::decode_certificate(&att.signer_cert).unwrap();
+            let cert = tdt_wire::messages::decode_certificate(&att.signer_cert).unwrap(); // lint:allow(panic: "bench validates the happy path; a failed attestation must abort the run")
             let org = self
                 .config
                 .orgs
                 .iter()
                 .find(|o| o.org_id == cert.subject().organization)
-                .unwrap();
-            let root = tdt_wire::messages::decode_certificate(&org.root_cert).unwrap();
-            cert.verify(&root).unwrap();
-            let vk = cert.verifying_key().unwrap();
-            let sig = tdt_crypto::schnorr::Signature::from_bytes(&att.signature).unwrap();
-            vk.verify(&att.metadata, &sig).unwrap();
-            let md = ResultMetadata::decode_from_slice(&att.metadata).unwrap();
+                .unwrap(); // lint:allow(panic: "bench validates the happy path; a failed attestation must abort the run")
+            let root = tdt_wire::messages::decode_certificate(&org.root_cert).unwrap(); // lint:allow(panic: "bench validates the happy path; a failed attestation must abort the run")
+            cert.verify(&root).unwrap(); // covered by the allow above
+            let vk = cert.verifying_key().unwrap(); // lint:allow(panic: "bench validates the happy path; a failed attestation must abort the run")
+            let sig = tdt_crypto::schnorr::Signature::from_bytes(&att.signature).unwrap(); // covered by the allow above
+            vk.verify(&att.metadata, &sig).unwrap(); // lint:allow(panic: "bench validates the happy path; a failed attestation must abort the run")
+            let md = ResultMetadata::decode_from_slice(&att.metadata).unwrap(); // covered by the allow above
             assert_eq!(md.result_hash, result_hash.to_vec());
             count += 1;
         }

@@ -82,6 +82,15 @@ impl CertChainCache {
     /// underlying validation; failures are never cached.
     pub fn verify_chain(&self, cert: &Certificate, root: &Certificate) -> Result<(), CryptoError> {
         let key = Self::key(cert, root);
+        // Capture the epoch before validating. Chain validation runs
+        // outside any lock (it is two modular exponentiations), so a
+        // configuration change can land mid-validation: without the
+        // epoch re-check below, a chain validated under the *old* root
+        // set could be inserted *after* `bump_epoch` cleared the table,
+        // poisoning the new epoch with a stale trust decision. Acquire
+        // pairs with the AcqRel bump so an unchanged epoch also means we
+        // observed the matching table state.
+        let epoch_at_start = self.epoch.load(Ordering::Acquire);
         {
             let verified = self.verified.lock().unwrap_or_else(PoisonError::into_inner);
             if verified.contains(&key) {
@@ -91,10 +100,10 @@ impl CertChainCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         cert.verify(root)?;
-        self.verified
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .insert(key);
+        let mut verified = self.verified.lock().unwrap_or_else(PoisonError::into_inner);
+        if self.epoch.load(Ordering::Acquire) == epoch_at_start {
+            verified.insert(key);
+        }
         Ok(())
     }
 
@@ -158,6 +167,15 @@ impl CertChainCache {
     /// (re)recorded: a new root set must not honor chains validated — or
     /// reuse signer tables precomputed — under the old one.
     pub fn bump_epoch(&self) -> u64 {
+        // Advance the epoch *before* clearing: any validation that began
+        // under the old epoch then fails its insert-time re-check in
+        // `verify_chain`, so a stale chain can never land after the
+        // clear. The reverse order (clear, then bump) leaves a window
+        // where old-root validations repopulate the fresh table. An
+        // insert under the *new* epoch that slips in before the clear is
+        // wiped along with the old entries — a lost cache hit, not a
+        // trust violation.
+        let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
         self.verified
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -166,12 +184,12 @@ impl CertChainCache {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .clear();
-        self.epoch.fetch_add(1, Ordering::Relaxed) + 1
+        epoch
     }
 
     /// The current configuration epoch (starts at 0).
     pub fn epoch(&self) -> u64 {
-        self.epoch.load(Ordering::Relaxed)
+        self.epoch.load(Ordering::Acquire)
     }
 
     /// Number of cache hits since creation.

@@ -1,0 +1,32 @@
+//! Deterministic interleaving checker for the workspace's concurrent
+//! structures.
+//!
+//! The `lint` crate's sync pass finds *shapes* that are wrong (blind
+//! load/store windows, Relaxed on synchronization edges, lock
+//! bypasses); this crate proves the *fixes* right, in the spirit of
+//! loom/shuttle but dependency-free: model replicas of the real
+//! structures run on a cooperative scheduler that explores thread
+//! interleavings — exhaustively within a preemption bound, or randomly
+//! from a printed seed — and checks exact invariants after every
+//! schedule.
+//!
+//! Three guarantees the harness gives:
+//! 1. **Determinism** — a schedule is a recorded sequence of decisions
+//!    `(choice, width)`; replaying the sequence reproduces the run
+//!    exactly. Violations ship with their schedule and (for random
+//!    exploration) the master seed.
+//! 2. **Exhaustiveness** — small models are explored completely within
+//!    the preemption bound; [`Report::complete`] says so.
+//! 3. **Sensitivity** — each model has a pre-fix variant reproducing
+//!    the bug this PR fixed; CI asserts the checker still catches it,
+//!    so a regressed checker cannot silently pass the fixed code.
+//!
+//! See `crates/lint/src/sync.rs` for the static side and DESIGN.md
+//! ("Memory-model analysis") for how the two fit together.
+
+pub mod models;
+pub mod sched;
+
+pub use sched::{
+    explore, Config, Decision, Report, Sim, Strategy, VCell, VGuard, VMutex, Violation, Vt,
+};

@@ -33,13 +33,14 @@ pub fn merkle_root<T: AsRef<[u8]>>(leaves: &[T]) -> Hash {
         for pair in level.chunks(2) {
             match pair {
                 [l, r] => next.push(node_hash(l, r)),
-                [single] => next.push(*single),
-                _ => unreachable!(),
+                // chunks(2) yields 1- or 2-element slices only; carry an
+                // odd tail up unchanged.
+                _ => next.extend(pair.first().copied()),
             }
         }
         level = next;
     }
-    level[0]
+    level.first().copied().unwrap_or([0u8; 32])
 }
 
 /// One step of a Merkle inclusion proof.
@@ -125,9 +126,9 @@ pub fn merkle_proof<T: AsRef<[u8]>>(
         } else {
             idx - 1
         };
-        if sibling_idx < level.len() {
+        if let Some(sibling) = level.get(sibling_idx) {
             steps.push(ProofStep {
-                sibling: level[sibling_idx],
+                sibling: *sibling,
                 sibling_on_right: sibling_idx > idx,
             });
         }
@@ -135,8 +136,7 @@ pub fn merkle_proof<T: AsRef<[u8]>>(
         for pair in level.chunks(2) {
             match pair {
                 [l, r] => next.push(node_hash(l, r)),
-                [single] => next.push(*single),
-                _ => unreachable!(),
+                _ => next.extend(pair.first().copied()),
             }
         }
         idx /= 2;

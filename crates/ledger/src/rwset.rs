@@ -88,12 +88,15 @@ impl TxRwSet {
 
     /// Returns the set for `namespace`, creating it if needed.
     pub fn namespace_mut(&mut self, namespace: &str) -> &mut NsRwSet {
-        if let Some(pos) = self.ns_sets.iter().position(|s| s.namespace == namespace) {
-            &mut self.ns_sets[pos]
-        } else {
-            self.ns_sets.push(NsRwSet::new(namespace));
-            self.ns_sets.last_mut().expect("just pushed")
-        }
+        let pos = match self.ns_sets.iter().position(|s| s.namespace == namespace) {
+            Some(pos) => pos,
+            None => {
+                self.ns_sets.push(NsRwSet::new(namespace));
+                self.ns_sets.len() - 1
+            }
+        };
+        // lint:allow(panic: "pos was just found by position, or is len-1 after the push; get_mut cannot miss")
+        self.ns_sets.get_mut(pos).expect("namespace entry exists")
     }
 
     /// Records a read of `key` at `version`, deduplicating repeat reads.

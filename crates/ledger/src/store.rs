@@ -90,7 +90,11 @@ impl BlockStore {
             .get(txid)
             .ok_or_else(|| LedgerError::TxNotFound(txid.to_string()))?;
         let block = self.block(*block)?;
-        Ok(&block.transactions[*idx])
+        block
+            .transactions
+            .get(*idx)
+            .map(Vec::as_slice)
+            .ok_or_else(|| LedgerError::TxNotFound(txid.to_string()))
     }
 
     /// Iterates blocks in order.

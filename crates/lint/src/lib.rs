@@ -1,20 +1,23 @@
 //! `lint` — the workspace's own static analyzer.
 //!
-//! Five passes guard invariants the compiler cannot see (ISSUE 3 and 5;
-//! paper §4–5 trust model):
+//! Six passes guard invariants the compiler cannot see (ISSUE 3, 5,
+//! and 8; paper §4–5 trust model):
 //!
 //! | pass         | scope                              | invariant                         |
 //! |--------------|------------------------------------|-----------------------------------|
 //! | `lock-order` | relay, crypto, core, fabric        | no lock-graph cycles (deadlocks)  |
-//! | `panic`      | relay, core, fabric, contracts     | fail closed, never panic          |
+//! | `panic`      | relay, core, fabric, contracts, ledger, obs, bench | fail closed, never panic |
 //! | `ct`         | crypto                             | constant-time secret comparisons  |
 //! | `wire`       | wire message schema                | append-only field-tag evolution   |
 //! | `obs`        | relay request path                 | fallible entry points record span errors |
+//! | `sync`       | relay, obs, crypto, core, fabric   | atomics: no racy RMW, no Relaxed sync edges, no lock bypass |
 //!
 //! Run as `cargo run -p lint --release -- check`; CI fails on any
 //! diagnostic. Opt-outs are per-site comments: `// lint:allow(<pass>)`,
-//! with a mandatory justification for `panic`
-//! (`// lint:allow(panic: "why this cannot fire")`).
+//! with a mandatory justification for `panic` and `sync`
+//! (`// lint:allow(panic: "why this cannot fire")`). The shared-state
+//! inventory behind the `sync` pass is browsable via
+//! `cargo run -p lint --release -- sync-inventory`.
 //!
 //! The analyzer is deliberately dependency-free: a small hand-written
 //! lexer ([`lexer`]) feeds token-level passes; no rustc internals, no
@@ -27,6 +30,7 @@ pub mod lexer;
 pub mod locks;
 pub mod obs;
 pub mod panics;
+pub mod sync;
 pub mod wire;
 pub mod workspace;
 
@@ -36,15 +40,25 @@ use std::path::Path;
 /// Crates scanned by the lock-order pass.
 pub const LOCK_ORDER_CRATES: &[&str] = &["relay", "crypto", "core", "fabric"];
 /// Crates where panicking is forbidden outside tests.
-pub const PANIC_CRATES: &[&str] = &["relay", "core", "fabric", "contracts"];
+pub const PANIC_CRATES: &[&str] = &[
+    "relay",
+    "core",
+    "fabric",
+    "contracts",
+    "ledger",
+    "obs",
+    "bench",
+];
 /// Crates scanned for non-constant-time comparisons.
 pub const CT_CRATES: &[&str] = &["crypto"];
+/// Crates scanned by the memory-model (`sync`) pass.
+pub const SYNC_CRATES: &[&str] = &["relay", "obs", "crypto", "core", "fabric"];
 /// The wire schema source, relative to the workspace root.
 pub const MESSAGES_PATH: &str = "crates/wire/src/messages.rs";
 /// The blessed tag snapshot, relative to the workspace root.
 pub const SNAPSHOT_PATH: &str = "crates/lint/schema/wire.snapshot";
 
-/// Runs all four passes against the workspace at `root`.
+/// Runs all six passes against the workspace at `root`.
 pub fn run_all(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
     let mut out = Vec::new();
 
@@ -63,12 +77,22 @@ pub fn run_all(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
         obs::check_file(&file, &mut out);
     }
 
+    for file in workspace::load_crates(root, SYNC_CRATES)? {
+        sync::check_file(&file, &mut out);
+    }
+
     let messages = std::fs::read_to_string(root.join(MESSAGES_PATH))?;
     let rows = wire::extract_rows(&messages);
     let snapshot = std::fs::read_to_string(root.join(SNAPSHOT_PATH)).unwrap_or_default();
     wire::check_against_snapshot(&rows, &snapshot, MESSAGES_PATH, SNAPSHOT_PATH, &mut out);
 
     Ok(out)
+}
+
+/// Builds the shared-state inventory the `sync` pass analyzes.
+pub fn sync_inventory(root: &Path) -> std::io::Result<sync::Inventory> {
+    let files = workspace::load_crates(root, SYNC_CRATES)?;
+    Ok(sync::inventory(&files))
 }
 
 /// Regenerates the wire snapshot from the current schema.

@@ -1,4 +1,4 @@
-//! CLI entry point: `cargo run -p lint --release -- check|bless`.
+//! CLI entry point: `cargo run -p lint --release -- check|bless|sync-inventory`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -16,7 +16,7 @@ fn main() -> ExitCode {
     match cmd {
         "check" => match lint::run_all(&root) {
             Ok(diags) if diags.is_empty() => {
-                println!("lint: clean (lock-order, panic, ct, wire, obs)");
+                println!("lint: clean (lock-order, panic, ct, wire, obs, sync)");
                 ExitCode::SUCCESS
             }
             Ok(diags) => {
@@ -41,8 +41,20 @@ fn main() -> ExitCode {
                 ExitCode::from(2)
             }
         },
+        "sync-inventory" => match lint::sync_inventory(&root) {
+            Ok(inv) => {
+                print!("{}", inv.render());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("lint: i/o error: {e}");
+                ExitCode::from(2)
+            }
+        },
         other => {
-            eprintln!("lint: unknown command `{other}` (expected `check` or `bless`)");
+            eprintln!(
+                "lint: unknown command `{other}` (expected `check`, `bless`, or `sync-inventory`)"
+            );
             ExitCode::from(2)
         }
     }

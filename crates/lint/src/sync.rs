@@ -1,0 +1,943 @@
+//! Memory-model pass: atomics, orderings, and lock discipline.
+//!
+//! The relay's hot paths went aggressively concurrent across PRs 1–7
+//! (worker pools, circuit breakers, EWMA admission, lock-free stat
+//! bags, epoch-invalidated caches), leaving ~190 `Ordering::Relaxed`
+//! sites that no pass examined. Relaxed is correct for a *pure
+//! statistic* — a counter nobody synchronizes on — and subtly wrong the
+//! moment the atomic becomes a **synchronization edge**: a publication
+//! flag, an epoch, a state word whose readers go on to touch data the
+//! writer prepared. This pass separates the two mechanically:
+//!
+//! 1. **Inventory** ([`inventory`]): every atomic field/static and every
+//!    `Mutex`/`RwLock`-guarded field, per crate, with declaration sites.
+//! 2. **Non-atomic read-modify-write**: `x.load(); … x.store(…)` on the
+//!    same atomic inside one function loses updates under contention;
+//!    `fetch_*`, `compare_exchange`, or `fetch_update` is required.
+//! 3. **Relaxed on synchronization edges**: an atomic that is stored in
+//!    one function and loaded in another is a cross-thread edge unless
+//!    inference proves it a pure statistic. Inference rules:
+//!    * *counter/accumulator*: every write is a `fetch_*` /
+//!      `compare_exchange` / `fetch_update` RMW and the field name does
+//!      not mark it as an epoch/generation — value-consistent by
+//!      construction, Relaxed allowed;
+//!    * *gauge*: plain stores are allowed when every load is
+//!      reporting-only (a getter-shaped function or a `fmt` impl) —
+//!      last-write-wins values nobody branches on;
+//!    * everything else — every `AtomicBool`, every `epoch`/
+//!      `generation`/`version`-named field, every stored-and-decided
+//!      value — must use Release/Acquire (or an `AcqRel` fetch-op), or
+//!      carry a justified `// lint:allow(sync: "why Relaxed is safe")`.
+//! 4. **Lock bypass**: `get_mut()` / `into_inner()` on a lock-guarded
+//!    field sidesteps the acquisition the rest of the code relies on;
+//!    each use must justify its exclusive access.
+//!
+//! The pass is token-level like its siblings: receivers are matched by
+//! field *name* within a file, so two same-named fields in one file
+//! share a classification, and accesses through rebound locals
+//! (`let b = &self.buckets[i]; b.fetch_add(…)`) are not attributed.
+//! Both are documented trade-offs of the dependency-free lexer design;
+//! the interleaving checker in `crates/interleave` covers the semantic
+//! gap for the structures that matter most.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, strip_test_items, Lexed, Tok, Token};
+use crate::workspace::SourceFile;
+use std::collections::BTreeMap;
+
+const PASS: &str = "sync";
+
+/// Atomic method names the pass recognizes, split by write shape.
+const LOAD_OPS: &[&str] = &["load"];
+const STORE_OPS: &[&str] = &["store", "swap"];
+const RMW_OPS: &[&str] = &[
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "compare_and_swap",
+];
+const BYPASS_OPS: &[&str] = &["get_mut", "into_inner"];
+
+/// Field names that are synchronization edges regardless of write shape:
+/// an epoch/generation counter orders *other* data (cache contents, table
+/// versions), so even a fetch-op on it publishes.
+const EPOCH_NAMES: &[&str] = &["epoch", "generation", "version", "gen"];
+
+/// What kind of shared state a declaration introduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SharedKind {
+    /// `AtomicBool` — a flag by construction.
+    AtomicBool,
+    /// Any other `Atomic*` integer/pointer.
+    AtomicInt,
+    /// `Mutex<…>` or `RwLock<…>`-guarded data.
+    Guarded,
+}
+
+/// One inventoried shared field or static.
+#[derive(Debug, Clone)]
+pub struct SharedDecl {
+    /// Field or static name (`"0"`, `"1"`, … for tuple fields).
+    pub name: String,
+    pub kind: SharedKind,
+    /// Workspace-relative declaring file.
+    pub file: String,
+    pub line: u32,
+    /// True for a `static`, false for a struct field.
+    pub is_static: bool,
+}
+
+/// Per-crate inventory of shared state, the substrate for the checks and
+/// for `cargo run -p lint -- sync-inventory`.
+#[derive(Debug, Default)]
+pub struct Inventory {
+    /// crate name → declarations, in file/line order.
+    pub by_crate: BTreeMap<String, Vec<SharedDecl>>,
+}
+
+impl Inventory {
+    /// Renders the inventory as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (crate_name, decls) in &self.by_crate {
+            let atomics = decls
+                .iter()
+                .filter(|d| d.kind != SharedKind::Guarded)
+                .count();
+            let guarded = decls.len() - atomics;
+            out.push_str(&format!(
+                "crate {crate_name}: {atomics} atomic, {guarded} lock-guarded\n"
+            ));
+            for d in decls {
+                let kind = match d.kind {
+                    SharedKind::AtomicBool => "atomic-bool",
+                    SharedKind::AtomicInt => "atomic",
+                    SharedKind::Guarded => "guarded",
+                };
+                let scope = if d.is_static { "static" } else { "field" };
+                out.push_str(&format!(
+                    "  {kind:<11} {scope:<6} {:<28} {}:{}\n",
+                    d.name, d.file, d.line
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Builds the shared-state inventory over `files`.
+pub fn inventory(files: &[SourceFile]) -> Inventory {
+    let mut inv = Inventory::default();
+    for file in files {
+        let lexed = lex(&file.text);
+        let tokens = strip_test_items(&lexed.tokens);
+        let decls = collect_decls(&tokens, &file.rel_path);
+        inv.by_crate
+            .entry(file.crate_name.clone())
+            .or_default()
+            .extend(decls);
+    }
+    inv
+}
+
+/// Runs the sync checks over one file, appending findings.
+pub fn check_file(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let lexed = lex(&file.text);
+    let tokens = strip_test_items(&lexed.tokens);
+    let decls = collect_decls(&tokens, &file.rel_path);
+    let fns = collect_fns(&tokens);
+    let sites = collect_sites(&tokens, &decls, &fns);
+    check_rmw(&sites, &lexed, &file.rel_path, out);
+    check_relaxed_edges(&decls, &sites, &fns, &tokens, &lexed, &file.rel_path, out);
+    check_lock_bypass(&sites, &lexed, &file.rel_path, out);
+}
+
+/// A span of tokens forming one `fn` body, with its name.
+#[derive(Debug)]
+struct FnSpan {
+    name: String,
+    /// Token index of the body `{` (exclusive) and its matching `}`.
+    body: (usize, usize),
+}
+
+/// The shape of one atomic/guard access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AccessOp {
+    Load,
+    Store,
+    Rmw,
+    Bypass,
+}
+
+/// One attributed access site.
+#[derive(Debug)]
+struct Site {
+    field: String,
+    op: AccessOp,
+    /// The first (success) ordering named in the call, if any.
+    relaxed: bool,
+    line: u32,
+    /// Index into the fn table, if inside a function body.
+    fn_idx: Option<usize>,
+    /// True when the access targets a lock-guarded (not atomic) field.
+    guarded: bool,
+}
+
+fn collect_decls(tokens: &[Token], rel_path: &str) -> Vec<SharedDecl> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i].tok {
+            Tok::Ident(kw) if kw == "struct" => {
+                i = collect_struct_fields(tokens, i, rel_path, &mut out);
+            }
+            Tok::Ident(kw) if kw == "static" => {
+                // `static NAME: AtomicU64 = …;`
+                let name = tokens.get(i + 1).and_then(|t| t.tok.ident());
+                let ty = tokens.get(i + 3).and_then(|t| t.tok.ident());
+                if let (Some(name), Some(ty)) = (name, ty) {
+                    if let Some(kind) = atomic_kind(ty) {
+                        out.push(SharedDecl {
+                            name: name.to_owned(),
+                            kind,
+                            file: rel_path.to_owned(),
+                            line: tokens[i].line,
+                            is_static: true,
+                        });
+                    }
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Parses the fields of the struct whose `struct` keyword sits at `i`.
+/// Returns the index just past the struct item.
+fn collect_struct_fields(
+    tokens: &[Token],
+    i: usize,
+    rel_path: &str,
+    out: &mut Vec<SharedDecl>,
+) -> usize {
+    // Find the body start: `{` (named fields), `(` (tuple), or `;`.
+    // `>>` lexes as one shift token, so closing nested generics costs 2.
+    let mut j = i + 1;
+    let mut angle = 0i32;
+    while j < tokens.len() {
+        match &tokens[j].tok {
+            Tok::Punct("<") => angle += 1,
+            Tok::Punct(">") => angle -= 1,
+            Tok::Punct(">>") => angle -= 2,
+            Tok::Punct("{") if angle <= 0 => break,
+            Tok::Punct("(") if angle <= 0 => break,
+            Tok::Punct(";") if angle <= 0 => return j + 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    let Some(open) = tokens.get(j) else {
+        return j;
+    };
+    let tuple = open.tok.is_punct("(");
+    let (open_p, close_p) = if tuple { ("(", ")") } else { ("{", "}") };
+    let mut depth = 0usize;
+    let mut angle = 0i32;
+    let mut field_start = j + 1;
+    let mut tuple_index = 0usize;
+    let mut k = j;
+    while k < tokens.len() {
+        match &tokens[k].tok {
+            Tok::Punct("<") => angle += 1,
+            Tok::Punct(">") => angle -= 1,
+            Tok::Punct(">>") => angle -= 2,
+            Tok::Punct(p) if *p == open_p => depth += 1,
+            Tok::Punct(p) if *p == close_p => {
+                depth -= 1;
+                if depth == 0 {
+                    scan_field(
+                        &tokens[field_start..k],
+                        tuple.then_some(tuple_index),
+                        rel_path,
+                        out,
+                    );
+                    return k + 1;
+                }
+            }
+            // Commas inside generic args (`HashMap<K, V>`) are not field
+            // separators.
+            Tok::Punct(",") if depth == 1 && angle <= 0 => {
+                scan_field(
+                    &tokens[field_start..k],
+                    tuple.then_some(tuple_index),
+                    rel_path,
+                    out,
+                );
+                tuple_index += 1;
+                field_start = k + 1;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    k
+}
+
+/// Inspects one field's token run (`[pub] name : Type…` or a tuple
+/// field's bare type) and records it when the type is shared state.
+fn scan_field(
+    field: &[Token],
+    tuple_index: Option<usize>,
+    rel_path: &str,
+    out: &mut Vec<SharedDecl>,
+) {
+    if field.is_empty() {
+        return;
+    }
+    let kind = field.iter().find_map(|t| match &t.tok {
+        Tok::Ident(name) => atomic_kind(name)
+            .or_else(|| (name == "Mutex" || name == "RwLock").then_some(SharedKind::Guarded)),
+        _ => None,
+    });
+    let Some(kind) = kind else { return };
+    let (name, line) = match tuple_index {
+        Some(idx) => (idx.to_string(), field[0].line),
+        None => {
+            // Named field: the identifier directly before the first `:`.
+            let colon = field.iter().position(|t| t.tok.is_punct(":"));
+            let Some(colon) = colon else { return };
+            let Some(name) = colon
+                .checked_sub(1)
+                .and_then(|p| field.get(p))
+                .and_then(|t| t.tok.ident())
+            else {
+                return;
+            };
+            (name.to_owned(), field[colon].line)
+        }
+    };
+    out.push(SharedDecl {
+        name,
+        kind,
+        file: rel_path.to_owned(),
+        line,
+        is_static: false,
+    });
+}
+
+fn atomic_kind(ty: &str) -> Option<SharedKind> {
+    match ty {
+        "AtomicBool" => Some(SharedKind::AtomicBool),
+        "AtomicU8" | "AtomicU16" | "AtomicU32" | "AtomicU64" | "AtomicUsize" | "AtomicI8"
+        | "AtomicI16" | "AtomicI32" | "AtomicI64" | "AtomicIsize" | "AtomicPtr" => {
+            Some(SharedKind::AtomicInt)
+        }
+        _ => None,
+    }
+}
+
+/// Finds every `fn` body span with its name.
+fn collect_fns(tokens: &[Token]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].tok.is_ident("fn") {
+            let Some(name) = tokens.get(i + 1).and_then(|t| t.tok.ident()) else {
+                i += 1;
+                continue;
+            };
+            // Scan to the body `{` or a trait-decl `;` at bracket depth 0.
+            let mut j = i + 2;
+            let mut paren = 0i32;
+            let mut angle_guard = 0i32;
+            let mut body = None;
+            while j < tokens.len() {
+                match &tokens[j].tok {
+                    Tok::Punct("(") | Tok::Punct("[") => paren += 1,
+                    Tok::Punct(")") | Tok::Punct("]") => paren -= 1,
+                    Tok::Punct("<") => angle_guard += 1,
+                    Tok::Punct(">") => angle_guard -= 1,
+                    Tok::Punct(">>") => angle_guard -= 2,
+                    Tok::Punct(";") if paren == 0 => break,
+                    Tok::Punct("{") if paren == 0 && angle_guard <= 0 => {
+                        body = Some(j);
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(open) = body {
+                let close = matching_brace(tokens, open);
+                out.push(FnSpan {
+                    name: name.to_owned(),
+                    body: (open, close),
+                });
+                // Do not skip the body: nested fns get their own spans
+                // (innermost span wins at attribution time).
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        match &tokens[i].tok {
+            Tok::Punct("{") => depth += 1,
+            Tok::Punct("}") => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// The innermost fn span containing token index `at`.
+fn enclosing_fn(fns: &[FnSpan], at: usize) -> Option<usize> {
+    fns.iter()
+        .enumerate()
+        .filter(|(_, f)| f.body.0 < at && at < f.body.1)
+        .min_by_key(|(_, f)| f.body.1 - f.body.0)
+        .map(|(idx, _)| idx)
+}
+
+/// Collects every attributed access to an inventoried field or static.
+fn collect_sites(tokens: &[Token], decls: &[SharedDecl], fns: &[FnSpan]) -> Vec<Site> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        // `recv.op(` — op and any tuple-field receiver may be glued into
+        // one numeric token by the lexer (`self.0.load` → Num("0.load")).
+        let (op_name, field_override) = match &t.tok {
+            Tok::Ident(name) => (name.as_str(), None),
+            Tok::Num(text) if text.contains('.') => {
+                let mut parts = text.split('.');
+                let first = parts.next().unwrap_or_default();
+                let last = text.rsplit('.').next().unwrap_or_default();
+                (last, Some(first.to_owned()))
+            }
+            _ => continue,
+        };
+        let op = if LOAD_OPS.contains(&op_name) {
+            AccessOp::Load
+        } else if STORE_OPS.contains(&op_name) {
+            AccessOp::Store
+        } else if RMW_OPS.contains(&op_name) {
+            AccessOp::Rmw
+        } else if BYPASS_OPS.contains(&op_name) {
+            AccessOp::Bypass
+        } else {
+            continue;
+        };
+        if !tokens.get(i + 1).is_some_and(|n| n.tok.is_punct("(")) {
+            continue;
+        }
+        // Resolve the receiver's final field segment.
+        let field = match field_override {
+            Some(f) => {
+                // Glued form: require a `.` before the Num token.
+                if !i
+                    .checked_sub(1)
+                    .and_then(|p| tokens.get(p))
+                    .is_some_and(|t| t.tok.is_punct("."))
+                {
+                    continue;
+                }
+                f
+            }
+            None => {
+                if !i
+                    .checked_sub(1)
+                    .and_then(|p| tokens.get(p))
+                    .is_some_and(|t| t.tok.is_punct("."))
+                {
+                    continue;
+                }
+                match i.checked_sub(2).and_then(|p| tokens.get(p)).map(|t| &t.tok) {
+                    Some(Tok::Ident(name)) => name.clone(),
+                    Some(Tok::Num(text)) => text.rsplit('.').next().unwrap_or_default().to_owned(),
+                    _ => continue,
+                }
+            }
+        };
+        let Some(decl) = decls.iter().find(|d| d.name == field) else {
+            continue;
+        };
+        if decl.kind == SharedKind::Guarded && op != AccessOp::Bypass {
+            continue; // lock()/read()/write() are the sanctioned paths
+        }
+        if op == AccessOp::Bypass {
+            // A bypass reaches the guarded field through its owner
+            // (`self.field.get_mut()`); a same-named *guard local*
+            // (`let mut field = self.field.lock(); field.get_mut(…)`) is
+            // the sanctioned path, not a bypass.
+            let owner_is_self = match field_is_glued(&tokens[i].tok) {
+                // `self . 0.get_mut` — owner two tokens back.
+                true => i >= 2 && tokens[i - 2].tok.is_ident("self"),
+                // `self . field . get_mut` — owner four tokens back.
+                false => {
+                    i >= 4 && tokens[i - 3].tok.is_punct(".") && tokens[i - 4].tok.is_ident("self")
+                }
+            };
+            if !owner_is_self && !decl.is_static {
+                continue;
+            }
+        }
+        if decl.kind != SharedKind::Guarded && op == AccessOp::Bypass {
+            // Atomics have get_mut too; exclusive access to an atomic is
+            // unremarkable.
+            continue;
+        }
+        out.push(Site {
+            field,
+            op,
+            relaxed: first_ordering_is_relaxed(tokens, i + 1),
+            line: t.line,
+            fn_idx: enclosing_fn(fns, i),
+            guarded: decl.kind == SharedKind::Guarded,
+        });
+    }
+    out
+}
+
+/// True when the access token glues receiver and method into one numeric
+/// token (`self.0.load` lexes as `Num("0.load")`).
+fn field_is_glued(tok: &Tok) -> bool {
+    matches!(tok, Tok::Num(_))
+}
+
+/// True when the first `Ordering::X` inside the call parens is `Relaxed`.
+fn first_ordering_is_relaxed(tokens: &[Token], open: usize) -> bool {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < tokens.len() {
+        match &tokens[i].tok {
+            Tok::Punct("(") => depth += 1,
+            Tok::Punct(")") => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            Tok::Ident(name)
+                if name == "Ordering"
+                    && tokens.get(i + 1).is_some_and(|t| t.tok.is_punct("::")) =>
+            {
+                return tokens.get(i + 2).is_some_and(|t| t.tok.is_ident("Relaxed"));
+            }
+            Tok::Ident(name) if name == "Relaxed" => return true,
+            Tok::Ident(name)
+                if matches!(name.as_str(), "Acquire" | "Release" | "AcqRel" | "SeqCst") =>
+            {
+                return false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Check 2: a `load` followed by a plain `store` of the same field in the
+/// same function is a lost-update window.
+fn check_rmw(sites: &[Site], lexed: &Lexed, path: &str, out: &mut Vec<Diagnostic>) {
+    for store in sites.iter().filter(|s| s.op == AccessOp::Store) {
+        let Some(fn_idx) = store.fn_idx else { continue };
+        let Some(load) = sites.iter().find(|s| {
+            s.op == AccessOp::Load
+                && s.fn_idx == Some(fn_idx)
+                && s.field == store.field
+                && s.line <= store.line
+        }) else {
+            continue;
+        };
+        let message = format!(
+            "non-atomic read-modify-write on `{}`: load at line {} feeds the store at line {}; \
+             a concurrent writer between them is silently lost — use `fetch_*`, \
+             `compare_exchange`, or `fetch_update`",
+            store.field, load.line, store.line
+        );
+        push_unless_allowed(lexed, path, store.line, message, out);
+    }
+}
+
+/// Check 3: Relaxed orderings on fields that act as synchronization edges.
+#[allow(clippy::too_many_arguments)]
+fn check_relaxed_edges(
+    decls: &[SharedDecl],
+    sites: &[Site],
+    fns: &[FnSpan],
+    tokens: &[Token],
+    lexed: &Lexed,
+    path: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Lines already reported as RMW races: don't double-report.
+    let rmw_lines: Vec<u32> = out
+        .iter()
+        .filter(|d| d.pass == PASS && d.message.contains("read-modify-write"))
+        .map(|d| d.line)
+        .collect();
+    // Two tuple structs in one file both declare a field `0`; merge
+    // same-named declarations and keep the strictest kind so each name is
+    // classified (and reported) once.
+    let mut merged: Vec<&SharedDecl> = Vec::new();
+    for decl in decls {
+        match merged.iter_mut().find(|d| d.name == decl.name) {
+            Some(prev) => {
+                if decl.kind == SharedKind::AtomicBool {
+                    *prev = decl;
+                }
+            }
+            None => merged.push(decl),
+        }
+    }
+    for decl in merged {
+        if decl.kind == SharedKind::Guarded {
+            continue;
+        }
+        let field_sites: Vec<&Site> = sites.iter().filter(|s| s.field == decl.name).collect();
+        let has_write = field_sites
+            .iter()
+            .any(|s| matches!(s.op, AccessOp::Store | AccessOp::Rmw));
+        let has_load = field_sites.iter().any(|s| s.op == AccessOp::Load);
+        if !has_write || !has_load {
+            continue; // no observable cross-thread edge in this file
+        }
+        let has_plain_store = field_sites.iter().any(|s| s.op == AccessOp::Store);
+        let epoch_named = EPOCH_NAMES
+            .iter()
+            .any(|n| decl.name == *n || decl.name.to_lowercase().contains(n));
+        let is_sync_edge = match decl.kind {
+            SharedKind::AtomicBool => true,
+            _ if epoch_named => true,
+            _ if has_plain_store => {
+                // Gauge inference: stores are fine when nobody does more
+                // than report the value.
+                !field_sites
+                    .iter()
+                    .filter(|s| s.op == AccessOp::Load)
+                    .all(|s| is_reporting_load(s, fns, tokens))
+            }
+            // Pure counter/accumulator: RMW-only writes.
+            _ => false,
+        };
+        if !is_sync_edge {
+            continue;
+        }
+        for site in field_sites {
+            if !site.relaxed || rmw_lines.contains(&site.line) {
+                continue;
+            }
+            // Getter-shaped loads are exempt only for gauge-like fields;
+            // a flag or epoch load is the decision even when it is the
+            // whole function body.
+            if is_reporting_load(site, fns, tokens)
+                && decl.kind != SharedKind::AtomicBool
+                && !epoch_named
+            {
+                continue;
+            }
+            if site.op == AccessOp::Load && in_fmt_fn(site, fns) {
+                continue; // Debug/Display rendering observes, never decides
+            }
+            let role = match site.op {
+                AccessOp::Load => "load wants Ordering::Acquire",
+                AccessOp::Store => "store wants Ordering::Release",
+                AccessOp::Rmw => "read-modify-write wants Ordering::AcqRel",
+                AccessOp::Bypass => continue,
+            };
+            let why = if decl.kind == SharedKind::AtomicBool {
+                "an AtomicBool is a flag other threads act on"
+            } else if epoch_named {
+                "an epoch/generation orders the data it versions"
+            } else {
+                "it is stored in one function and decided on in another"
+            };
+            let message = format!(
+                "`Ordering::Relaxed` on synchronization field `{}` ({why}): {role}, \
+                 or justify with `// lint:allow(sync: \"…\")`",
+                decl.name
+            );
+            push_unless_allowed(lexed, path, site.line, message, out);
+        }
+    }
+}
+
+/// Check 4: lock bypasses on guarded fields.
+fn check_lock_bypass(sites: &[Site], lexed: &Lexed, path: &str, out: &mut Vec<Diagnostic>) {
+    for site in sites
+        .iter()
+        .filter(|s| s.guarded && s.op == AccessOp::Bypass)
+    {
+        let message = format!(
+            "`{}` is accessed both under its lock and directly: `get_mut()`/`into_inner()` \
+             bypass the acquisition other threads rely on — justify the exclusive access \
+             with `// lint:allow(sync: \"…\")`",
+            site.field
+        );
+        push_unless_allowed(lexed, path, site.line, message, out);
+    }
+}
+
+/// True when the load sits in a getter-shaped function or a `fmt` impl:
+/// the value is reported, not decided on.
+fn is_reporting_load(site: &Site, fns: &[FnSpan], tokens: &[Token]) -> bool {
+    if site.op != AccessOp::Load {
+        return false;
+    }
+    let Some(f) = site.fn_idx.and_then(|i| fns.get(i)) else {
+        return false;
+    };
+    if f.name == "fmt" {
+        return true;
+    }
+    let body = &tokens[f.body.0 + 1..f.body.1];
+    let branches = body.iter().any(|t| {
+        matches!(&t.tok, Tok::Ident(k) if matches!(k.as_str(), "if" | "while" | "match" | "for" | "loop"))
+    });
+    !branches && body.len() <= 24
+}
+
+fn in_fmt_fn(site: &Site, fns: &[FnSpan]) -> bool {
+    site.fn_idx
+        .and_then(|i| fns.get(i))
+        .is_some_and(|f| f.name == "fmt")
+}
+
+fn push_unless_allowed(
+    lexed: &Lexed,
+    path: &str,
+    line: u32,
+    message: String,
+    out: &mut Vec<Diagnostic>,
+) {
+    match lexed.allowed(PASS, line) {
+        Some(allow)
+            if allow
+                .justification
+                .as_deref()
+                .is_some_and(|j| !j.is_empty()) => {}
+        Some(_) => out.push(Diagnostic::new(
+            PASS,
+            path,
+            line,
+            "lint:allow(sync) requires a justification string: \
+             `// lint:allow(sync: \"why Relaxed/bypass is safe here\")`",
+        )),
+        None => out.push(Diagnostic::new(PASS, path, line, message)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile {
+            rel_path: "mem.rs".into(),
+            crate_name: "mem".into(),
+            text: src.into(),
+        };
+        let mut out = Vec::new();
+        check_file(&file, &mut out);
+        out
+    }
+
+    const EWMA: &str = r#"
+        struct G { est: AtomicU64 }
+        impl G {
+            fn observe(&self, sample: u64) {
+                let cur = self.est.load(Ordering::Relaxed);
+                self.est.store((cur + sample) / 2, Ordering::Relaxed);
+            }
+            fn read(&self) -> u64 { self.est.load(Ordering::Relaxed) }
+        }
+    "#;
+
+    #[test]
+    fn flags_load_then_store_rmw() {
+        let d = run(EWMA);
+        assert!(
+            d.iter().any(|d| d.message.contains("read-modify-write")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn rmw_allow_needs_justification() {
+        let allowed = EWMA.replace(
+            "self.est.store(",
+            "// lint:allow(sync: \"single-writer estimator\")\n self.est.store(",
+        );
+        let d = run(&allowed);
+        assert!(
+            !d.iter().any(|d| d.message.contains("read-modify-write")),
+            "{d:?}"
+        );
+        let bare = EWMA.replace("self.est.store(", "// lint:allow(sync)\n self.est.store(");
+        let d = run(&bare);
+        assert!(
+            d.iter().any(|d| d.message.contains("justification")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn flags_relaxed_bool_flag_but_not_counter() {
+        let src = r#"
+            struct S { ready: AtomicBool, hits: AtomicU64 }
+            impl S {
+                fn publish(&self) { self.ready.store(true, Ordering::Relaxed); }
+                fn consume(&self) -> bool {
+                    if self.ready.load(Ordering::Relaxed) { return true; }
+                    false
+                }
+                fn hit(&self) { self.hits.fetch_add(1, Ordering::Relaxed); }
+                fn hits(&self) -> u64 { self.hits.load(Ordering::Relaxed) }
+            }
+        "#;
+        let d = run(src);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|d| d.message.contains("`ready`")), "{d:?}");
+    }
+
+    #[test]
+    fn epoch_named_counter_is_a_sync_edge() {
+        let src = r#"
+            struct C { epoch: AtomicU64, misses: AtomicU64 }
+            impl C {
+                fn bump(&self) -> u64 { self.epoch.fetch_add(1, Ordering::Relaxed) }
+                fn check(&self, seen: u64) -> bool {
+                    self.epoch.load(Ordering::Relaxed) == seen
+                }
+                fn miss(&self) { self.misses.fetch_add(1, Ordering::Relaxed); }
+                fn misses(&self) -> u64 { self.misses.load(Ordering::Relaxed) }
+            }
+        "#;
+        let d = run(src);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|d| d.message.contains("`epoch`")), "{d:?}");
+    }
+
+    #[test]
+    fn gauge_with_reporting_loads_is_allowed() {
+        let src = r#"
+            struct Gauge(AtomicU64);
+            impl Gauge {
+                fn set(&self, v: u64) { self.0.store(v, Ordering::Relaxed); }
+                fn get(&self) -> u64 { self.0.load(Ordering::Relaxed) }
+            }
+        "#;
+        let d = run(src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn stored_and_decided_value_is_flagged() {
+        let src = r#"
+            struct S { limit: AtomicU64 }
+            impl S {
+                fn set(&self, v: u64) { self.limit.store(v, Ordering::Relaxed); }
+                fn over(&self, used: u64) -> bool {
+                    if used > self.limit.load(Ordering::Relaxed) { return true; }
+                    false
+                }
+            }
+        "#;
+        let d = run(src);
+        assert_eq!(d.len(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn flags_lock_bypass_on_guarded_field() {
+        let src = r#"
+            struct S { items: Mutex<Vec<u8>> }
+            impl S {
+                fn push(&self, v: u8) { self.items.lock().push(v); }
+                fn drain(&mut self) -> Vec<u8> {
+                    std::mem::take(self.items.get_mut())
+                }
+            }
+        "#;
+        let d = run(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("bypass"), "{d:?}");
+    }
+
+    #[test]
+    fn release_acquire_pairs_are_clean() {
+        let src = r#"
+            struct S { ready: AtomicBool }
+            impl S {
+                fn publish(&self) { self.ready.store(true, Ordering::Release); }
+                fn consume(&self) -> bool {
+                    if self.ready.load(Ordering::Acquire) { return true; }
+                    false
+                }
+            }
+        "#;
+        let d = run(src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = r#"
+            struct S { ready: AtomicBool }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() {
+                    let s = S { ready: AtomicBool::new(false) };
+                    s.ready.store(true, Ordering::Relaxed);
+                    assert!(s.ready.load(Ordering::Relaxed));
+                }
+            }
+        "#;
+        let d = run(src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn inventory_lists_atomics_and_guards() {
+        let file = SourceFile {
+            rel_path: "mem.rs".into(),
+            crate_name: "mem".into(),
+            text: r#"
+                static TOTAL: AtomicU64 = AtomicU64::new(0);
+                struct S { flag: AtomicBool, table: Mutex<Vec<u8>>, n: usize }
+                struct T(AtomicUsize);
+            "#
+            .into(),
+        };
+        let inv = inventory(&[file]);
+        let decls = &inv.by_crate["mem"];
+        let names: Vec<&str> = decls.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, ["TOTAL", "flag", "table", "0"], "{decls:?}");
+        assert!(decls[0].is_static);
+        assert_eq!(decls[1].kind, SharedKind::AtomicBool);
+        assert_eq!(decls[2].kind, SharedKind::Guarded);
+        assert_eq!(decls[3].kind, SharedKind::AtomicInt);
+        assert!(inv.render().contains("crate mem"));
+    }
+}

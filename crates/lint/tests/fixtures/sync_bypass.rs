@@ -1,0 +1,32 @@
+//! Seeded fixture: lock bypass on a guarded field.
+//!
+//! `drain` reaches the Mutex-guarded `pending` through `get_mut()`,
+//! sidestepping the acquisition `push` relies on. `requeue` shows the
+//! sanctioned pattern: `get_mut` on a *guard local* obtained via
+//! `lock()` is not a bypass.
+
+use parking_lot::Mutex;
+
+pub struct Outbox {
+    pending: Mutex<Vec<u64>>,
+}
+
+impl Outbox {
+    pub fn push(&self, v: u64) {
+        self.pending.lock().push(v);
+    }
+
+    /// Sanctioned: `pending` here is the guard local, not the field.
+    pub fn requeue(&self, v: u64) {
+        let mut pending = self.pending.lock();
+        pending.push(v);
+        if let Some(first) = pending.get_mut(0) {
+            *first += v;
+        }
+    }
+
+    /// Bypass: exclusive access that skips the lock.
+    pub fn drain(&mut self) -> Vec<u64> {
+        std::mem::take(self.pending.get_mut())
+    }
+}

@@ -1,0 +1,43 @@
+//! Seeded fixture: `Ordering::Relaxed` on synchronization edges.
+//!
+//! `ready` is an AtomicBool publication flag and `epoch` versions other
+//! data — both must be flagged at every Relaxed site. `hits` is a pure
+//! statistic (RMW-only writes, reporting-only reads) that the
+//! inference must leave alone.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct Publisher {
+    ready: AtomicBool,
+    epoch: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl Publisher {
+    pub fn publish(&self) {
+        self.ready.store(true, Ordering::Relaxed);
+    }
+
+    pub fn consume(&self) -> bool {
+        if self.ready.load(Ordering::Relaxed) {
+            return true;
+        }
+        false
+    }
+
+    pub fn bump_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    pub fn epoch_current(&self, seen: u64) -> bool {
+        self.epoch.load(Ordering::Relaxed) == seen
+    }
+
+    pub fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,36 @@
+//! Seeded fixture: non-atomic read-modify-write windows.
+//!
+//! `observe` carries the lost-update window the sync pass must flag;
+//! `observe_single_writer` carries the same shape with a justified
+//! allow; `observe_bare_allow` shows an allow without a justification,
+//! which is itself a finding. Orderings are Acquire/Release so the
+//! RMW check is exercised in isolation from the Relaxed-edge check.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Ewma {
+    estimate: AtomicU64,
+}
+
+impl Ewma {
+    /// Lost-update window: the load feeds the store, so a concurrent
+    /// observer between the two is silently discarded.
+    pub fn observe(&self, sample: u64) {
+        let current = self.estimate.load(Ordering::Acquire);
+        self.estimate.store((current + sample) / 2, Ordering::Release);
+    }
+
+    /// Same shape, justified per-site: not reported.
+    pub fn observe_single_writer(&self, sample: u64) {
+        let current = self.estimate.load(Ordering::Acquire);
+        // lint:allow(sync: "single-writer estimator owned by the collector thread")
+        self.estimate.store(current + sample, Ordering::Release);
+    }
+
+    /// Bare allow without a justification string: reported as such.
+    pub fn observe_bare_allow(&self, sample: u64) {
+        let current = self.estimate.load(Ordering::Acquire);
+        // lint:allow(sync)
+        self.estimate.store(current ^ sample, Ordering::Release);
+    }
+}

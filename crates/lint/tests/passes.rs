@@ -139,6 +139,79 @@ fn real_wire_schema_rejects_deliberate_renumber() {
 }
 
 #[test]
+fn sync_pass_flags_seeded_rmw_and_bare_allow() {
+    let mut out = Vec::new();
+    lint::sync::check_file(&fixture("sync_rmw.rs", "relay"), &mut out);
+    assert_eq!(out.len(), 2, "{out:?}");
+    assert!(out.iter().all(|d| d.pass == "sync"));
+    assert!(
+        out.iter()
+            .any(|d| d.message.contains("read-modify-write") && d.message.contains("`estimate`")),
+        "{out:?}"
+    );
+    // The justified allow suppresses its site; the bare allow is itself
+    // a finding.
+    assert!(
+        out.iter().any(|d| d.message.contains("justification")),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn sync_pass_flags_relaxed_flag_and_epoch_but_not_counter() {
+    let mut out = Vec::new();
+    lint::sync::check_file(&fixture("sync_flag.rs", "relay"), &mut out);
+    assert_eq!(out.len(), 4, "{out:?}");
+    assert!(out.iter().all(|d| d.pass == "sync"));
+    assert_eq!(
+        out.iter().filter(|d| d.message.contains("`ready`")).count(),
+        2,
+        "flag store + load: {out:?}"
+    );
+    assert_eq!(
+        out.iter().filter(|d| d.message.contains("`epoch`")).count(),
+        2,
+        "epoch RMW + load: {out:?}"
+    );
+    assert!(
+        !out.iter().any(|d| d.message.contains("`hits`")),
+        "pure counter must pass inference: {out:?}"
+    );
+}
+
+#[test]
+fn sync_pass_flags_lock_bypass_but_not_guard_local() {
+    let mut out = Vec::new();
+    lint::sync::check_file(&fixture("sync_bypass.rs", "relay"), &mut out);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert_eq!(out[0].pass, "sync");
+    assert!(out[0].message.contains("bypass"), "{out:?}");
+    assert!(out[0].message.contains("`pending`"), "{out:?}");
+}
+
+#[test]
+fn sync_inventory_covers_real_tree() {
+    let inv = lint::sync_inventory(&workspace_root()).expect("workspace readable");
+    let relay = inv
+        .by_crate
+        .get("relay")
+        .expect("relay crate inventoried: {inv:?}");
+    // The breaker's trip counter and the service shutdown flag are
+    // long-lived shared state the inventory must surface.
+    assert!(
+        relay.iter().any(|d| d.name == "trips"),
+        "breaker counters missing: {relay:?}"
+    );
+    assert!(
+        relay
+            .iter()
+            .any(|d| d.kind == lint::sync::SharedKind::Guarded),
+        "lock-guarded fields missing: {relay:?}"
+    );
+    assert!(inv.render().contains("crate relay"));
+}
+
+#[test]
 fn clean_tree_produces_no_diagnostics() {
     let out = lint::run_all(&workspace_root()).expect("workspace readable");
     assert!(out.is_empty(), "real tree must be lint-clean: {out:#?}");

@@ -154,8 +154,10 @@ fn push_bounded(records: &mut VecDeque<SpanRecord>, rec: SpanRecord) {
 fn record(rec: SpanRecord) {
     let mut rec = Some(rec);
     let _ = LOCAL_RING.try_with(|handle| {
-        let mut ring = handle.0.lock().unwrap_or_else(PoisonError::into_inner);
-        push_bounded(&mut ring.records, rec.take().expect("record consumed once"));
+        if let Some(rec) = rec.take() {
+            let mut ring = handle.0.lock().unwrap_or_else(PoisonError::into_inner);
+            push_bounded(&mut ring.records, rec);
+        }
     });
     // Thread-local already destroyed (span dropped during thread
     // teardown): record straight into the orphan ring.

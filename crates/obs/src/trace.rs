@@ -65,6 +65,7 @@ fn ratio_to_ppm(ratio: f64) -> u64 {
 }
 
 fn sample_ppm() -> u64 {
+    // lint:allow(sync: "freestanding config word: the ppm value is the entire payload, no other data is published through it")
     match SAMPLE_PPM.load(Ordering::Relaxed) {
         PPM_UNSET => {
             let ppm = std::env::var("TDT_TRACE_SAMPLE_RATE")
@@ -73,6 +74,7 @@ fn sample_ppm() -> u64 {
                 .map(ratio_to_ppm)
                 .unwrap_or(PPM_SCALE);
             // First initialiser wins so concurrent callers agree.
+            // lint:allow(sync: "CAS decides only which identical-meaning ppm wins; losers adopt the stored value")
             match SAMPLE_PPM.compare_exchange(PPM_UNSET, ppm, Ordering::Relaxed, Ordering::Relaxed)
             {
                 Ok(_) => ppm,
@@ -86,6 +88,7 @@ fn sample_ppm() -> u64 {
 /// Sets the global head-sampling ratio (clamped to `0..=1`) consulted by
 /// [`TraceContext::root_sampled`]. Overrides `TDT_TRACE_SAMPLE_RATE`.
 pub fn set_sample_ratio(ratio: f64) {
+    // lint:allow(sync: "samplers may apply the new ratio a beat late; no dependent data rides on the flip")
     SAMPLE_PPM.store(ratio_to_ppm(ratio), Ordering::Relaxed);
 }
 

@@ -20,9 +20,9 @@ const BAR_WIDTH: usize = 48;
 ///
 /// Returns a placeholder line when `spans` is empty.
 pub fn render(spans: &[SpanRecord]) -> String {
-    if spans.is_empty() {
+    let Some(first) = spans.first() else {
         return "(no spans recorded)\n".to_string();
-    }
+    };
     let t0 = spans.iter().map(|s| s.start_nanos).min().unwrap_or(0);
     let t1 = spans.iter().map(|s| s.end_nanos).max().unwrap_or(t0);
     let total = (t1.saturating_sub(t0)).max(1);
@@ -59,8 +59,8 @@ pub fn render(spans: &[SpanRecord]) -> String {
     let _ = writeln!(
         out,
         "trace {:016x}{:016x}  total {}",
-        spans[0].trace_hi,
-        spans[0].trace_lo,
+        first.trace_hi,
+        first.trace_lo,
         fmt_nanos(total)
     );
     for (depth, span) in &order {

@@ -82,7 +82,10 @@ impl AdmissionController {
 
     /// Records how many workers drain the queue.
     pub fn set_workers(&self, workers: usize) {
-        self.workers.store(workers.max(1) as u64, Ordering::Relaxed);
+        // Release pairs with the Acquire in `estimated_wait`: a gate that
+        // observes the new worker count also observes everything the pool
+        // set up before publishing it.
+        self.workers.store(workers.max(1) as u64, Ordering::Release);
     }
 
     /// Admits or sheds a request arriving at `queue_depth` with `budget`
@@ -108,7 +111,7 @@ impl AdmissionController {
     /// would *finish*: every queued job plus the new one, spread across
     /// the workers, at the smoothed per-job service time.
     pub fn estimated_wait(&self, queue_depth: u64) -> Duration {
-        let workers = self.workers.load(Ordering::Relaxed).max(1);
+        let workers = self.workers.load(Ordering::Acquire).max(1);
         let service = self.service_ns.load(Ordering::Relaxed).max(1);
         let jobs = queue_depth.saturating_add(1);
         let ns = (jobs as u128).saturating_mul(service as u128) / workers as u128;
@@ -118,13 +121,21 @@ impl AdmissionController {
     /// Folds one completed job's service time into the EWMA estimate.
     pub fn observe_service_time(&self, elapsed: Duration) {
         let sample = elapsed.as_nanos().min(u64::MAX as u128) as f64;
-        // Serialized read-modify-write is unnecessary: a lost update
-        // under contention just weighs one sample slightly differently,
-        // and the estimate only has to be roughly right.
-        let current = self.service_ns.load(Ordering::Relaxed) as f64;
         let alpha = self.config.alpha.clamp(0.0, 1.0);
-        let next = (current + alpha * (sample - current)).max(1.0);
-        self.service_ns.store(next as u64, Ordering::Relaxed);
+        // A separate load-then-store here silently drops concurrent
+        // samples: with W workers completing jobs at once, up to W−1
+        // observations vanish per window, and a burst of slow-job
+        // reports can be erased by one stale fast-job writer — exactly
+        // when the gate most needs to believe the queue got slower. The
+        // CAS loop folds every sample in; Relaxed suffices because the
+        // estimate is a freestanding statistic (no other data is
+        // published through it).
+        let _ = self
+            .service_ns
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |current| {
+                let next = (current as f64 + alpha * (sample - current as f64)).max(1.0);
+                Some(next as u64)
+            });
     }
 
     /// The smoothed per-job service-time estimate.

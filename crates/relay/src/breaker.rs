@@ -70,6 +70,31 @@ pub enum BreakerState {
     HalfOpen,
 }
 
+/// Token returned by a successful [`CircuitBreaker::try_acquire`],
+/// attributing the admitted request.
+///
+/// While half-open, exactly one admission per endpoint is *the probe*.
+/// Handing the token back through [`CircuitBreaker::record_outcome`]
+/// lets the breaker credit (or blame) the probe itself, rather than
+/// whichever outcome happens to arrive first: a straggler success from
+/// a request admitted before the trip must not close the circuit while
+/// the real probe is still deciding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[must_use = "pass the admission back via record_outcome so probe outcomes are attributed"]
+pub struct Admission {
+    probe: bool,
+    /// Per-endpoint probe serial at admission time; an outcome from a
+    /// probe superseded by a later trip is demoted to ordinary evidence.
+    serial: u64,
+}
+
+impl Admission {
+    /// True when this admission was the half-open probe.
+    pub fn is_probe(&self) -> bool {
+        self.probe
+    }
+}
+
 /// Per-endpoint tracking state.
 #[derive(Debug)]
 struct EndpointState {
@@ -81,6 +106,9 @@ struct EndpointState {
     opened_at: Instant,
     probe_in_flight: bool,
     probe_successes: u32,
+    /// Incremented each time a probe is admitted; pairs an in-flight
+    /// probe with its [`Admission`] token.
+    probe_serial: u64,
 }
 
 impl EndpointState {
@@ -92,6 +120,17 @@ impl EndpointState {
             opened_at: Instant::now(),
             probe_in_flight: false,
             probe_successes: 0,
+            probe_serial: 0,
+        }
+    }
+
+    /// Marks the next probe admission and returns its token.
+    fn admit_probe(&mut self) -> Admission {
+        self.probe_in_flight = true;
+        self.probe_serial += 1;
+        Admission {
+            probe: true,
+            serial: self.probe_serial,
         }
     }
 
@@ -167,22 +206,25 @@ impl CircuitBreaker {
     /// Returns [`RelayError::CircuitOpen`] while the endpoint's circuit is
     /// open (or half-open with a probe already in flight). A successful
     /// acquire during half-open marks this call as the probe; the caller
-    /// must report the outcome via [`CircuitBreaker::record_success`] or
-    /// [`CircuitBreaker::record_failure`].
-    pub fn try_acquire(&self, endpoint: &str) -> Result<(), RelayError> {
+    /// must report the outcome via [`CircuitBreaker::record_outcome`]
+    /// with the returned [`Admission`] so probe outcomes are attributed
+    /// to the probe (the attribution-free
+    /// [`CircuitBreaker::record_success`] / `record_failure` remain for
+    /// outcomes that never held an admission).
+    pub fn try_acquire(&self, endpoint: &str) -> Result<Admission, RelayError> {
         let mut endpoints = self.endpoints.lock();
         let Some(state) = endpoints.get_mut(endpoint) else {
-            return Ok(()); // unknown endpoint: closed by definition
+            return Ok(Admission::default()); // unknown endpoint: closed by definition
         };
         match state.state {
-            BreakerState::Closed => Ok(()),
+            BreakerState::Closed => Ok(Admission::default()),
             BreakerState::Open => {
                 if state.opened_at.elapsed() >= self.config.cooldown {
                     state.state = BreakerState::HalfOpen;
-                    state.probe_in_flight = true;
                     state.probe_successes = 0;
+                    let admission = state.admit_probe();
                     self.probes.fetch_add(1, Ordering::Relaxed);
-                    Ok(())
+                    Ok(admission)
                 } else {
                     self.fast_rejects.fetch_add(1, Ordering::Relaxed);
                     Err(RelayError::CircuitOpen(endpoint.to_string()))
@@ -193,58 +235,85 @@ impl CircuitBreaker {
                     self.fast_rejects.fetch_add(1, Ordering::Relaxed);
                     Err(RelayError::CircuitOpen(endpoint.to_string()))
                 } else {
-                    state.probe_in_flight = true;
+                    let admission = state.admit_probe();
                     self.probes.fetch_add(1, Ordering::Relaxed);
-                    Ok(())
+                    Ok(admission)
                 }
             }
         }
     }
 
-    /// Records a successful exchange with `endpoint`.
-    pub fn record_success(&self, endpoint: &str) {
+    /// Records the outcome of an exchange admitted by
+    /// [`CircuitBreaker::try_acquire`].
+    ///
+    /// Only the outcome of the *current* probe admission can close the
+    /// circuit (or re-open it as a failed probe): a straggler success
+    /// from a request admitted while the circuit was still closed says
+    /// nothing about recovery, and previously could close the circuit
+    /// while the real probe was outstanding — letting a second probe
+    /// through and closing on stale evidence.
+    pub fn record_outcome(&self, endpoint: &str, admission: Admission, success: bool) {
         let mut endpoints = self.endpoints.lock();
         let state = endpoints
             .entry(endpoint.to_string())
             .or_insert_with(EndpointState::new);
-        state.consecutive_failures = 0;
-        state.push_outcome(false, self.config.window);
-        if state.state == BreakerState::HalfOpen {
-            state.probe_in_flight = false;
-            state.probe_successes += 1;
-            if state.probe_successes >= self.config.required_probes.max(1) {
-                state.state = BreakerState::Closed;
-                state.window.clear();
+        // The admission is the live probe only if no trip superseded it.
+        let is_current_probe = admission.probe
+            && state.state == BreakerState::HalfOpen
+            && state.probe_in_flight
+            && admission.serial == state.probe_serial;
+        if success {
+            state.consecutive_failures = 0;
+            state.push_outcome(false, self.config.window);
+            if is_current_probe {
+                state.probe_in_flight = false;
+                state.probe_successes += 1;
+                if state.probe_successes >= self.config.required_probes.max(1) {
+                    state.state = BreakerState::Closed;
+                    state.window.clear();
+                }
+            }
+        } else {
+            state.consecutive_failures = state.consecutive_failures.saturating_add(1);
+            state.push_outcome(true, self.config.window);
+            let trip = match state.state {
+                // Any failure seen while half-open re-opens: a failed
+                // probe by attribution, a straggler as conservative
+                // evidence that the endpoint is still unhealthy.
+                BreakerState::HalfOpen => {
+                    if is_current_probe {
+                        state.probe_in_flight = false;
+                    }
+                    true
+                }
+                BreakerState::Closed => {
+                    state.consecutive_failures >= self.config.consecutive_failures.max(1)
+                        || (state.window.len() >= self.config.min_samples.max(1)
+                            && state.failure_rate() >= self.config.failure_rate)
+                }
+                BreakerState::Open => false,
+            };
+            if trip {
+                state.state = BreakerState::Open;
+                state.opened_at = Instant::now();
+                state.probe_in_flight = false;
+                state.probe_successes = 0;
+                self.trips.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
 
-    /// Records a failed exchange with `endpoint`, tripping the breaker
-    /// when a threshold is crossed.
+    /// Records a successful exchange that never held an [`Admission`]
+    /// (e.g. health signals from outside the acquire path). Never closes
+    /// a half-open circuit.
+    pub fn record_success(&self, endpoint: &str) {
+        self.record_outcome(endpoint, Admission::default(), true);
+    }
+
+    /// Records a failed exchange that never held an [`Admission`],
+    /// tripping the breaker when a threshold is crossed.
     pub fn record_failure(&self, endpoint: &str) {
-        let mut endpoints = self.endpoints.lock();
-        let state = endpoints
-            .entry(endpoint.to_string())
-            .or_insert_with(EndpointState::new);
-        state.consecutive_failures = state.consecutive_failures.saturating_add(1);
-        state.push_outcome(true, self.config.window);
-        let trip = match state.state {
-            // A failed probe re-opens immediately.
-            BreakerState::HalfOpen => true,
-            BreakerState::Closed => {
-                state.consecutive_failures >= self.config.consecutive_failures.max(1)
-                    || (state.window.len() >= self.config.min_samples.max(1)
-                        && state.failure_rate() >= self.config.failure_rate)
-            }
-            BreakerState::Open => false,
-        };
-        if trip {
-            state.state = BreakerState::Open;
-            state.opened_at = Instant::now();
-            state.probe_in_flight = false;
-            state.probe_successes = 0;
-            self.trips.fetch_add(1, Ordering::Relaxed);
-        }
+        self.record_outcome(endpoint, Admission::default(), false);
     }
 
     /// The current state for `endpoint` (closed when never seen).
@@ -310,7 +379,7 @@ mod tests {
     fn closed_until_consecutive_threshold() {
         let b = CircuitBreaker::new(fast_config());
         for _ in 0..2 {
-            b.try_acquire("e").unwrap();
+            assert!(b.try_acquire("e").is_ok());
             b.record_failure("e");
         }
         assert_eq!(b.state("e"), BreakerState::Closed);
@@ -369,13 +438,14 @@ mod tests {
         assert!(b.try_acquire("e").is_err());
         std::thread::sleep(Duration::from_millis(25));
         // Cooldown elapsed: exactly one probe gets through.
-        b.try_acquire("e").unwrap();
+        let probe = b.try_acquire("e").unwrap();
+        assert!(probe.is_probe());
         assert_eq!(b.state("e"), BreakerState::HalfOpen);
         assert!(b.try_acquire("e").is_err(), "second probe must wait");
         assert_eq!(b.probes(), 1);
-        b.record_success("e");
+        b.record_outcome("e", probe, true);
         assert_eq!(b.state("e"), BreakerState::Closed);
-        b.try_acquire("e").unwrap();
+        assert!(b.try_acquire("e").is_ok());
     }
 
     #[test]
@@ -385,9 +455,9 @@ mod tests {
             b.record_failure("e");
         }
         std::thread::sleep(Duration::from_millis(25));
-        b.try_acquire("e").unwrap();
+        let probe = b.try_acquire("e").unwrap();
         assert_eq!(b.state("e"), BreakerState::HalfOpen);
-        b.record_failure("e");
+        b.record_outcome("e", probe, false);
         assert_eq!(b.state("e"), BreakerState::Open);
         assert_eq!(b.trips(), 2);
         assert!(b.try_acquire("e").is_err(), "cooldown restarted");
@@ -403,11 +473,11 @@ mod tests {
             b.record_failure("e");
         }
         std::thread::sleep(Duration::from_millis(25));
-        b.try_acquire("e").unwrap();
-        b.record_success("e");
+        let first = b.try_acquire("e").unwrap();
+        b.record_outcome("e", first, true);
         assert_eq!(b.state("e"), BreakerState::HalfOpen, "one probe not enough");
-        b.try_acquire("e").unwrap();
-        b.record_success("e");
+        let second = b.try_acquire("e").unwrap();
+        b.record_outcome("e", second, true);
         assert_eq!(b.state("e"), BreakerState::Closed);
         assert_eq!(b.probes(), 2);
     }
@@ -420,6 +490,59 @@ mod tests {
         }
         assert_eq!(b.state("dead"), BreakerState::Open);
         assert_eq!(b.state("healthy"), BreakerState::Closed);
-        b.try_acquire("healthy").unwrap();
+        assert!(b.try_acquire("healthy").is_ok());
+    }
+
+    #[test]
+    fn straggler_success_does_not_close_half_open() {
+        let b = CircuitBreaker::new(fast_config());
+        // A slow request is admitted while the circuit is still closed…
+        let straggler = b.try_acquire("e").unwrap();
+        assert!(!straggler.is_probe());
+        // …then the endpoint degrades and the circuit trips and probes.
+        for _ in 0..3 {
+            b.record_failure("e");
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        let probe = b.try_acquire("e").unwrap();
+        assert_eq!(b.state("e"), BreakerState::HalfOpen);
+        // The straggler finally succeeds. Before attribution this closed
+        // the circuit on stale evidence and let a second probe through.
+        b.record_outcome("e", straggler, true);
+        assert_eq!(
+            b.state("e"),
+            BreakerState::HalfOpen,
+            "stale success must not close"
+        );
+        assert!(b.try_acquire("e").is_err(), "the real probe is still out");
+        // Only the probe's own outcome decides.
+        b.record_outcome("e", probe, true);
+        assert_eq!(b.state("e"), BreakerState::Closed);
+    }
+
+    #[test]
+    fn superseded_probe_outcome_is_demoted_to_evidence() {
+        let b = CircuitBreaker::new(fast_config());
+        for _ in 0..3 {
+            b.record_failure("e");
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        // First probe goes out, then a straggler failure re-trips the
+        // circuit underneath it.
+        let stale_probe = b.try_acquire("e").unwrap();
+        b.record_failure("e");
+        assert_eq!(b.state("e"), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(25));
+        // A fresh probe is admitted; the stale probe's late success must
+        // not be credited to it.
+        let fresh_probe = b.try_acquire("e").unwrap();
+        b.record_outcome("e", stale_probe, true);
+        assert_eq!(
+            b.state("e"),
+            BreakerState::HalfOpen,
+            "stale probe cannot close"
+        );
+        b.record_outcome("e", fresh_probe, true);
+        assert_eq!(b.state("e"), BreakerState::Closed);
     }
 }

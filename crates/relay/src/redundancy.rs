@@ -10,7 +10,7 @@
 //! whole attempt sequence — failover and hedging never exceed the
 //! caller's budget.
 
-use crate::breaker::{BreakerConfig, CircuitBreaker};
+use crate::breaker::{Admission, BreakerConfig, CircuitBreaker};
 use crate::error::RelayError;
 use crate::service::RelayService;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -243,8 +243,15 @@ impl RelayGroup {
     }
 
     /// Records one member outcome in both the health EWMA and the
-    /// group breaker.
-    fn record_outcome(&self, index: usize, outcome: &Result<QueryResponse, RelayError>) {
+    /// group breaker, attributed to the breaker [`Admission`] the
+    /// attempt was launched under (so half-open probe credit goes to
+    /// the probe itself, never to a straggler).
+    fn record_outcome(
+        &self,
+        index: usize,
+        admission: Admission,
+        outcome: &Result<QueryResponse, RelayError>,
+    ) {
         let Some(member) = self.members.get(index) else {
             return;
         };
@@ -252,7 +259,7 @@ impl RelayGroup {
         match outcome {
             Ok(_) => {
                 member.record(true);
-                self.breaker.record_success(id);
+                self.breaker.record_outcome(id, admission, true);
             }
             // An admission shed is a fast answer from a live member
             // protecting its queue: fail over (and bias selection away
@@ -263,16 +270,16 @@ impl RelayGroup {
             // tripping circuits on relays that are merely busy.
             Err(RelayError::Overloaded(_)) => {
                 member.record(false);
-                self.breaker.record_success(id);
+                self.breaker.record_outcome(id, admission, true);
             }
             Err(e) if Self::is_failover(e) => {
                 member.record(false);
-                self.breaker.record_failure(id);
+                self.breaker.record_outcome(id, admission, false);
             }
             // Terminal errors mean the member is alive and answering.
             Err(_) => {
                 member.record(true);
-                self.breaker.record_success(id);
+                self.breaker.record_outcome(id, admission, true);
             }
         }
     }
@@ -342,15 +349,18 @@ impl RelayGroup {
             let Some(member) = self.members.get(index) else {
                 continue;
             };
-            if let Err(open) = self.breaker.try_acquire(member.relay.id()) {
-                self.breaker_skips.fetch_add(1, Ordering::Relaxed);
-                span.event("breaker.fast_reject");
-                skipped.push(index);
-                last_err.get_or_insert(open);
-                continue;
-            }
+            let admission = match self.breaker.try_acquire(member.relay.id()) {
+                Ok(admission) => admission,
+                Err(open) => {
+                    self.breaker_skips.fetch_add(1, Ordering::Relaxed);
+                    span.event("breaker.fast_reject");
+                    skipped.push(index);
+                    last_err.get_or_insert(open);
+                    continue;
+                }
+            };
             let outcome = member.relay.relay_query(query);
-            self.record_outcome(index, &outcome);
+            self.record_outcome(index, admission, &outcome);
             match outcome {
                 Ok(response) => return Ok(response),
                 Err(e) if Self::is_failover(&e) => last_err = Some(e),
@@ -373,8 +383,10 @@ impl RelayGroup {
                 let Some(member) = self.members.get(index) else {
                     continue;
                 };
+                // Forced attempt: the circuit was open, so there is no
+                // admission — the outcome is ordinary window evidence.
                 let outcome = member.relay.relay_query(query);
-                self.record_outcome(index, &outcome);
+                self.record_outcome(index, Admission::default(), &outcome);
                 match outcome {
                     Ok(response) => return Ok(response),
                     Err(e) if Self::is_failover(&e) => last_err = Some(e),
@@ -400,7 +412,8 @@ impl RelayGroup {
         span: &mut Span,
     ) -> Result<QueryResponse, RelayError> {
         let (tx, rx) =
-            crossbeam::channel::unbounded::<(usize, Result<QueryResponse, RelayError>)>();
+            crossbeam::channel::unbounded::<(usize, Admission, Result<QueryResponse, RelayError>)>(
+            );
         let won = Arc::new(AtomicBool::new(false));
         let mut pending = order
             .iter()
@@ -427,13 +440,19 @@ impl RelayGroup {
                 let Some(member) = self.members.get(index) else {
                     continue;
                 };
+                // Forced attempts carry no admission: their outcomes are
+                // ordinary window evidence for an open circuit.
+                let mut admission = Admission::default();
                 if !force {
-                    if let Err(open) = self.breaker.try_acquire(member.relay.id()) {
-                        self.breaker_skips.fetch_add(1, Ordering::Relaxed);
-                        span.event("breaker.fast_reject");
-                        skipped.push_back(index);
-                        last_err.get_or_insert(open);
-                        continue;
+                    match self.breaker.try_acquire(member.relay.id()) {
+                        Ok(a) => admission = a,
+                        Err(open) => {
+                            self.breaker_skips.fetch_add(1, Ordering::Relaxed);
+                            span.event("breaker.fast_reject");
+                            skipped.push_back(index);
+                            last_err.get_or_insert(open);
+                            continue;
+                        }
                     }
                 }
                 if hedged {
@@ -464,7 +483,7 @@ impl RelayGroup {
                         loser.event("hedge.discarded");
                         return;
                     }
-                    let _ = tx.send((index, outcome));
+                    let _ = tx.send((index, admission, outcome));
                 });
                 *outstanding += 1;
                 return true;
@@ -518,8 +537,8 @@ impl RelayGroup {
                 remaining.map_or(hedge_after, |r| r.min(hedge_after))
             };
             match rx.recv_timeout(wait) {
-                Ok((index, outcome)) => {
-                    self.record_outcome(index, &outcome);
+                Ok((index, admission, outcome)) => {
+                    self.record_outcome(index, admission, &outcome);
                     match outcome {
                         Ok(response) => return Ok(response),
                         Err(e) if Self::is_failover(&e) => {

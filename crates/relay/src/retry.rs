@@ -9,7 +9,7 @@
 //! backoff and jitter, so a thundering herd of retries from many relays
 //! decorrelates instead of synchronizing.
 
-use crate::breaker::CircuitBreaker;
+use crate::breaker::{Admission, CircuitBreaker};
 use crate::error::RelayError;
 use crate::transport::RelayTransport;
 use rand::RngCore;
@@ -215,25 +215,27 @@ impl RetryingTransport {
         let started = Instant::now();
         let mut attempt = 0;
         loop {
+            let mut admission = Admission::default();
             if let Some(breaker) = &self.breaker {
-                if let Err(e) = breaker.try_acquire(endpoint) {
-                    span.event("breaker.fast_reject");
-                    return Err(e);
+                match breaker.try_acquire(endpoint) {
+                    Ok(a) => admission = a,
+                    Err(e) => {
+                        span.event("breaker.fast_reject");
+                        return Err(e);
+                    }
                 }
             }
             self.attempts.fetch_add(1, Ordering::Relaxed);
             let outcome = self.inner.send(endpoint, envelope);
             if let Some(breaker) = &self.breaker {
-                match &outcome {
-                    Ok(_) => breaker.record_success(endpoint),
-                    // Terminal errors and admission sheds mean the
-                    // endpoint answered — only transient faults count
-                    // against its health.
-                    Err(e) if RetryPolicy::counts_against_breaker(e) => {
-                        breaker.record_failure(endpoint)
-                    }
-                    Err(_) => breaker.record_success(endpoint),
-                }
+                // Terminal errors and admission sheds mean the endpoint
+                // answered — only transient faults count against its
+                // health.
+                let healthy = match &outcome {
+                    Ok(_) => true,
+                    Err(e) => !RetryPolicy::counts_against_breaker(e),
+                };
+                breaker.record_outcome(endpoint, admission, healthy);
             }
             match outcome {
                 Ok(reply) => return Ok(reply),

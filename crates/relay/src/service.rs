@@ -696,12 +696,14 @@ impl RelayService {
 
     /// Simulates an outage (availability experiments).
     pub fn set_down(&self, down: bool) {
-        self.down.store(down, Ordering::Relaxed);
+        // Release/Acquire so a requester that observes the flag flip also
+        // observes any state the experiment mutated before flipping it.
+        self.down.store(down, Ordering::Release);
     }
 
     /// True when the relay is simulating an outage.
     pub fn is_down(&self) -> bool {
-        self.down.load(Ordering::Relaxed)
+        self.down.load(Ordering::Acquire)
     }
 
     /// Destination role: forwards `query` to the source network's relay
@@ -738,10 +740,14 @@ impl RelayService {
         let target_network = &query.address.network_id;
         // Step 2: discovery.
         let endpoint = self.discovery.lookup(target_network)?;
+        let mut admission = crate::breaker::Admission::default();
         if let Some(breaker) = &self.breaker {
-            if let Err(e) = breaker.try_acquire(&endpoint) {
-                span.event("breaker.fast_reject");
-                return Err(e);
+            match breaker.try_acquire(&endpoint) {
+                Ok(a) => admission = a,
+                Err(e) => {
+                    span.event("breaker.fast_reject");
+                    return Err(e);
+                }
             }
         }
         // Step 3: serialize and forward. The transport hop gets its own
@@ -755,7 +761,7 @@ impl RelayService {
             match sent.record_err(&mut send_span) {
                 Ok(reply) => {
                     if let Some(breaker) = &self.breaker {
-                        breaker.record_success(&endpoint);
+                        breaker.record_outcome(&endpoint, admission, true);
                     }
                     reply
                 }
@@ -764,11 +770,8 @@ impl RelayService {
                         // Terminal errors and admission sheds mean the
                         // endpoint answered — only transient faults
                         // count against its health.
-                        if RetryPolicy::counts_against_breaker(&error) {
-                            breaker.record_failure(&endpoint);
-                        } else {
-                            breaker.record_success(&endpoint);
-                        }
+                        let healthy = !RetryPolicy::counts_against_breaker(&error);
+                        breaker.record_outcome(&endpoint, admission, healthy);
                     }
                     return Err(error);
                 }

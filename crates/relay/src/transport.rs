@@ -783,7 +783,10 @@ impl TcpRelayServer {
     /// Stops accepting, closes every live connection, and joins their
     /// reader threads. Dispatcher threads are joined on drop.
     pub fn shutdown(&self) {
-        self.shutdown.store(true, Ordering::Relaxed);
+        // Release pairs with the Acquire loads in the accept/admin loops:
+        // a loop that sees the flag also sees every teardown step that
+        // preceded it.
+        self.shutdown.store(true, Ordering::Release);
         let drained: Vec<ServerConn> = {
             let mut conns = self.registry.conns.lock();
             conns.drain().map(|(_, conn)| conn).collect()
@@ -801,7 +804,7 @@ impl TcpRelayServer {
 
 impl Drop for TcpRelayServer {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
+        self.shutdown.store(true, Ordering::Release);
         // Join the accept loop first so no connection can register after
         // the final drain below.
         if let Some(thread) = self.accept_thread.take() {
@@ -824,7 +827,7 @@ impl Drop for TcpRelayServer {
 /// exchange per connection, served inline (metrics scrapes are rare and
 /// cheap, so no thread pool).
 fn admin_loop(listener: &TcpListener, shutdown: &AtomicBool, obs: &ObsHandle) {
-    while !shutdown.load(Ordering::Relaxed) {
+    while !shutdown.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _)) => {
                 serve_admin_request(stream, obs).ok();
@@ -887,7 +890,7 @@ fn accept_loop(
     job_tx: &Sender<ServerJob>,
     config: &TcpServerConfig,
 ) {
-    while !shutdown.load(Ordering::Relaxed) {
+    while !shutdown.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _)) => {
                 if registry.conns.lock().len() >= config.max_connections {
