@@ -107,6 +107,12 @@ impl From<tdt_ledger::LedgerError> for FabricError {
     }
 }
 
+impl From<tdt_ledger::storage::StorageError> for FabricError {
+    fn from(e: tdt_ledger::storage::StorageError) -> Self {
+        FabricError::Ledger(tdt_ledger::LedgerError::Storage(e))
+    }
+}
+
 impl From<tdt_wire::WireError> for FabricError {
     fn from(e: tdt_wire::WireError) -> Self {
         FabricError::Wire(e)

@@ -19,7 +19,10 @@ use std::sync::Arc;
 use tdt_ledger::block::{Block, TxValidationCode};
 use tdt_ledger::history::HistoryIndex;
 use tdt_ledger::rwset::Version;
-use tdt_ledger::state::WorldState;
+use tdt_ledger::state::{StagedState, WorldState};
+use tdt_ledger::storage::{
+    InMemoryBackend, RecoveryReport, Snapshot, StorageBackend, StorageStats,
+};
 use tdt_ledger::store::BlockStore;
 use tdt_obs::span::{self as obs_span, RecordErr};
 use tdt_wire::codec::Message;
@@ -37,10 +40,13 @@ pub struct Peer {
     store: BlockStore,
     state: WorldState,
     history: HistoryIndex,
+    backend: Box<dyn StorageBackend>,
+    last_recovery: Option<RecoveryReport>,
 }
 
 impl Peer {
-    /// Creates a peer with an empty ledger.
+    /// Creates a peer with an empty, volatile ledger (the in-memory
+    /// storage backend — nothing survives a restart).
     pub fn new(
         network_id: impl Into<String>,
         org_id: impl Into<String>,
@@ -61,7 +67,99 @@ impl Peer {
             store: BlockStore::new(),
             state: WorldState::new(),
             history: HistoryIndex::new(),
+            backend: Box::new(InMemoryBackend::new()),
+            last_recovery: None,
         }
+    }
+
+    /// Opens a peer over a durable storage backend, running recovery
+    /// before serving: the backend returns its verified chain (WAL scan,
+    /// tail truncation, Merkle + link verification) plus the newest
+    /// state-hash-verified snapshot; the peer then rebuilds **all**
+    /// derived state — `tx_index` from every block (first write wins),
+    /// world state and history by replaying valid transactions above the
+    /// snapshot height. Derived state is never persisted separately, so
+    /// no crash point can desync lookup structures from the chain.
+    ///
+    /// # Errors
+    ///
+    /// Environmental storage failures, or a chain the backend handed
+    /// back that fails re-verification (a backend bug, surfaced rather
+    /// than served).
+    #[allow(clippy::too_many_arguments)] // Peer::new's seven identity/config handles, plus the backend.
+    pub fn with_backend(
+        network_id: impl Into<String>,
+        org_id: impl Into<String>,
+        name: impl Into<String>,
+        identity: Identity,
+        registry: Arc<ChaincodeRegistry>,
+        msp_registry: Arc<MspRegistry>,
+        policies: Arc<HashMap<String, EndorsementPolicy>>,
+        mut backend: Box<dyn StorageBackend>,
+    ) -> Result<Self, FabricError> {
+        let recovered = backend.load()?;
+        let stats = backend.stats();
+        let (snapshot_height, mut state, mut history) = match recovered.snapshot {
+            Some(snapshot) => (snapshot.height, snapshot.state, snapshot.history),
+            None => (0, WorldState::new(), HistoryIndex::new()),
+        };
+        let mut store = BlockStore::new();
+        for block in recovered.blocks {
+            let number = block.header.number;
+            // Genesis carries raw config payloads, not envelopes.
+            if number > 0 {
+                for (i, tx_bytes) in block.transactions.iter().enumerate() {
+                    let valid = block
+                        .metadata
+                        .tx_validation
+                        .get(i)
+                        .is_some_and(|c| c.is_valid());
+                    if !valid {
+                        continue;
+                    }
+                    let Ok(envelope) = TransactionEnvelope::decode_from_slice(tx_bytes) else {
+                        // A tx the committer validated must decode; treat
+                        // decode failure as an invalid tx, not a crash.
+                        continue;
+                    };
+                    let version = Version::new(number, i as u64);
+                    if number >= snapshot_height {
+                        state.apply(&envelope.rwset, version);
+                        history.record(&envelope.rwset, version);
+                    }
+                    if store.index_tx(envelope.txid, number, i).is_err() {
+                        stats.note_duplicate_txid();
+                    }
+                }
+            }
+            // Re-verifies number, hash link, and Merkle data hash.
+            store.append(block)?;
+        }
+        Ok(Peer {
+            network_id: network_id.into(),
+            org_id: org_id.into(),
+            name: name.into(),
+            identity,
+            registry,
+            msp_registry,
+            policies,
+            store,
+            state,
+            history,
+            last_recovery: Some(recovered.report),
+            backend,
+        })
+    }
+
+    /// The storage stats bag (metrics bridges, soak assertions).
+    pub fn storage_stats(&self) -> Arc<StorageStats> {
+        self.backend.stats()
+    }
+
+    /// What the last recovery pass found, when this peer was opened via
+    /// [`Peer::with_backend`].
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.last_recovery.as_ref()
     }
 
     /// Qualified peer id `network/org/name`.
@@ -186,8 +284,14 @@ impl Peer {
             .record_err(&mut span)
     }
 
-    /// Validates one transaction envelope against this peer's state.
-    fn validate_tx(&self, envelope: &TransactionEnvelope) -> TxValidationCode {
+    /// Validates one transaction envelope against a staged view of this
+    /// peer's state (committed state + writes of earlier valid
+    /// transactions in the block being validated).
+    fn validate_tx(
+        &self,
+        staged: &StagedState<'_>,
+        envelope: &TransactionEnvelope,
+    ) -> TxValidationCode {
         // 1. Endorsement signatures + certificates.
         let payload_bytes = envelope.response_payload().canonical_bytes();
         let mut endorsing_orgs: Vec<String> = Vec::new();
@@ -218,7 +322,7 @@ impl Peer {
             return TxValidationCode::EndorsementPolicyFailure;
         }
         // 3. MVCC.
-        if !self.state.mvcc_check(&envelope.rwset) {
+        if !staged.mvcc_check(&envelope.rwset) {
             return TxValidationCode::MvccConflict;
         }
         TxValidationCode::Valid
@@ -230,10 +334,17 @@ impl Peer {
     /// are recorded in block metadata but their writes are not applied —
     /// Fabric's "validate" phase.
     ///
+    /// Commit ordering is WAL-first: the block (with validation metadata)
+    /// is durably appended to the storage backend *before* any in-memory
+    /// structure mutates. Validation runs against a [`StagedState`]
+    /// overlay, so a durable-append failure leaves the peer exactly as it
+    /// was; once the append returns `Ok`, the commit survives any crash.
+    ///
     /// # Errors
     ///
     /// Returns a [`FabricError`] when the block itself does not extend the
-    /// chain (wrong number, broken hash link, bad data hash).
+    /// chain (wrong number, broken hash link, bad data hash) or when the
+    /// storage backend cannot durably append it.
     pub fn validate_and_commit(
         &mut self,
         mut block: Block,
@@ -242,6 +353,7 @@ impl Peer {
         if block.header.number == 0 {
             let codes = vec![TxValidationCode::Valid; block.transactions.len()];
             block.metadata.tx_validation = codes.clone();
+            self.backend.append_block(&block)?;
             self.store.append(block)?;
             return Ok(codes);
         }
@@ -269,32 +381,50 @@ impl Peer {
             }
             .into());
         }
-        // Validate transactions *serially*: a transaction's MVCC check sees
-        // the writes of earlier valid transactions in the same block
-        // (Fabric semantics — two same-block conflicting writes cannot both
-        // commit).
+        // Validate transactions *serially* against a staged overlay: a
+        // transaction's MVCC check sees the writes of earlier valid
+        // transactions in the same block (Fabric semantics — two
+        // same-block conflicting writes cannot both commit), but the live
+        // world state stays untouched until the block is durable.
         let block_number = block.header.number;
         let mut codes = Vec::with_capacity(block.transactions.len());
-        let mut committed: Vec<(usize, String)> = Vec::new();
-        for (i, tx_bytes) in block.transactions.iter().enumerate() {
-            match TransactionEnvelope::decode_from_slice(tx_bytes) {
-                Ok(envelope) => {
-                    let code = self.validate_tx(&envelope);
-                    if code.is_valid() {
-                        let version = Version::new(block_number, i as u64);
-                        self.state.apply(&envelope.rwset, version);
-                        self.history.record(&envelope.rwset, version);
-                        committed.push((i, envelope.txid.clone()));
+        let mut valid: Vec<(usize, TransactionEnvelope)> = Vec::new();
+        {
+            let mut staged = StagedState::new(&self.state);
+            for (i, tx_bytes) in block.transactions.iter().enumerate() {
+                match TransactionEnvelope::decode_from_slice(tx_bytes) {
+                    Ok(envelope) => {
+                        let code = self.validate_tx(&staged, &envelope);
+                        if code.is_valid() {
+                            let version = Version::new(block_number, i as u64);
+                            staged.stage(&envelope.rwset, version);
+                            valid.push((i, envelope));
+                        }
+                        codes.push(code);
                     }
-                    codes.push(code);
+                    Err(_) => codes.push(TxValidationCode::BadPayload),
                 }
-                Err(_) => codes.push(TxValidationCode::BadPayload),
             }
         }
         block.metadata.tx_validation = codes.clone();
+        // Durability point: after this returns Ok the block is on disk
+        // (or in the volatile backend, by choice) and must survive any
+        // crash. Nothing has mutated yet, so a failure here is clean.
+        self.backend.append_block(&block)?;
+        for (i, envelope) in valid {
+            let version = Version::new(block_number, i as u64);
+            self.state.apply(&envelope.rwset, version);
+            self.history.record(&envelope.rwset, version);
+            if self.store.index_tx(envelope.txid, block_number, i).is_err() {
+                self.backend.stats().note_duplicate_txid();
+            }
+        }
         self.store.append(block)?;
-        for (i, txid) in committed {
-            self.store.index_tx(txid, block_number, i);
+        if self.backend.snapshot_due(block_number + 1) {
+            let snapshot = Snapshot::capture(block_number + 1, &self.state, &self.history);
+            // Snapshot failure is non-fatal (counted in stats): the WAL
+            // already holds the commit; only recovery time is affected.
+            let _ = self.backend.write_snapshot(&snapshot);
         }
         Ok(codes)
     }
@@ -338,7 +468,15 @@ mod tests {
         client: Identity,
     }
 
-    fn fixture() -> Fixture {
+    struct Parts {
+        peer_id: Identity,
+        client: Identity,
+        registry: Arc<ChaincodeRegistry>,
+        msp_registry: Arc<MspRegistry>,
+        policies: Arc<HashMap<String, EndorsementPolicy>>,
+    }
+
+    fn parts() -> Parts {
         let mut msp = Msp::new("net", "org1", Group::test_group(), b"s");
         let peer_id = msp.enroll("peer0", CertRole::Peer, false);
         let client = msp.enroll("alice", CertRole::Client, false);
@@ -348,18 +486,51 @@ mod tests {
         msp_registry.register("org1", msp.root_certificate().clone());
         let mut policies = HashMap::new();
         policies.insert("kv".to_string(), EndorsementPolicy::any_of(["org1"]));
+        Parts {
+            peer_id,
+            client,
+            registry: Arc::new(registry),
+            msp_registry: Arc::new(msp_registry),
+            policies: Arc::new(policies),
+        }
+    }
+
+    fn fixture() -> Fixture {
+        let p = parts();
         let mut peer = Peer::new(
             "net",
             "org1",
             "peer0",
-            peer_id,
-            Arc::new(registry),
-            Arc::new(msp_registry),
-            Arc::new(policies),
+            p.peer_id,
+            p.registry,
+            p.msp_registry,
+            p.policies,
         );
         peer.validate_and_commit(Block::genesis(vec![b"config".to_vec()]))
             .unwrap();
-        Fixture { peer, client }
+        Fixture {
+            peer,
+            client: p.client,
+        }
+    }
+
+    fn reopen(backend: Box<dyn tdt_ledger::storage::StorageBackend>) -> Fixture {
+        let p = parts();
+        let peer = Peer::with_backend(
+            "net",
+            "org1",
+            "peer0",
+            p.peer_id,
+            p.registry,
+            p.msp_registry,
+            p.policies,
+            backend,
+        )
+        .unwrap();
+        Fixture {
+            peer,
+            client: p.client,
+        }
     }
 
     fn proposal(f: &Fixture, txid: &str, function: &str, args: Vec<Vec<u8>>) -> Proposal {
@@ -587,5 +758,88 @@ mod tests {
         let env = envelope(&f, &p, &sim);
         commit(&mut f, &env);
         assert!(f.peer.store().find_tx("tx-indexed").is_ok());
+    }
+
+    #[test]
+    fn durable_commit_survives_reopen() {
+        use tdt_ledger::storage::file::{FileBackend, FileConfig};
+        use tdt_ledger::storage::vfs::MemVfs;
+
+        let disk = Arc::new(MemVfs::new());
+        let config = FileConfig {
+            snapshot_interval: 3,
+            ..FileConfig::default()
+        };
+        let mut backend = Box::new(FileBackend::new(
+            Arc::clone(&disk) as Arc<dyn tdt_ledger::storage::vfs::Vfs>,
+            config.clone(),
+        ));
+        backend.load().unwrap();
+        let mut f = reopen(backend);
+        f.peer
+            .validate_and_commit(Block::genesis(vec![b"config".to_vec()]))
+            .unwrap();
+        for i in 0..5 {
+            let p = proposal(
+                &f,
+                &format!("tx{i}"),
+                "put",
+                vec![format!("k{i}").into_bytes(), format!("v{i}").into_bytes()],
+            );
+            let sim = f.peer.simulate(&p).unwrap();
+            let env = envelope(&f, &p, &sim);
+            commit(&mut f, &env);
+        }
+        let height = f.peer.height();
+        let state_hash = f.peer.state_hash();
+        assert!(f.peer.storage_stats().snapshots_written() > 0);
+        drop(f);
+
+        // "Restart": fresh backend over the same disk image.
+        let backend = Box::new(FileBackend::new(
+            Arc::clone(&disk) as Arc<dyn tdt_ledger::storage::vfs::Vfs>,
+            config,
+        ));
+        let f = reopen(backend);
+        assert_eq!(f.peer.height(), height);
+        assert_eq!(f.peer.state_hash(), state_hash);
+        assert!(f.peer.store().find_tx("tx4").is_ok());
+        assert_eq!(f.peer.history().history("kv", "k0").len(), 1);
+        let report = f.peer.recovery_report().unwrap();
+        assert_eq!(report.chain_height, height);
+        assert!(report.snapshot_height.is_some());
+        // Query path works against recovered state.
+        let q = proposal(&f, "txq", "get", vec![b"k2".to_vec()]);
+        assert_eq!(f.peer.simulate(&q).unwrap().result, b"v2");
+    }
+
+    #[test]
+    fn failed_durable_append_leaves_state_untouched() {
+        use tdt_ledger::storage::fault::{FaultConfig, FaultVfs};
+        use tdt_ledger::storage::file::{FileBackend, FileConfig};
+        use tdt_ledger::storage::vfs::MemVfs;
+
+        // A config that crashes on (roughly) every write: first commit
+        // after load dies at the WAL append.
+        let config = FaultConfig {
+            crash_per_mille: 1000,
+            ..FaultConfig::quiet()
+        };
+        let disk = Arc::new(FaultVfs::new(Arc::new(MemVfs::new()), 7, config));
+        let mut backend = Box::new(FileBackend::new(
+            Arc::clone(&disk) as Arc<dyn tdt_ledger::storage::vfs::Vfs>,
+            FileConfig::default(),
+        ));
+        backend.load().unwrap();
+        let mut f = reopen(backend);
+        let err = f
+            .peer
+            .validate_and_commit(Block::genesis(vec![b"config".to_vec()]))
+            .unwrap_err();
+        assert!(matches!(err, FabricError::Ledger(_)));
+        // Nothing mutated: no block, no state, and the backend is poisoned
+        // until the next recovery pass.
+        assert_eq!(f.peer.height(), 0);
+        assert_eq!(f.peer.state_hash(), WorldState::new().state_hash());
     }
 }

@@ -36,6 +36,17 @@ pub enum LedgerError {
         /// How many leaves the tree has.
         leaves: usize,
     },
+    /// A transaction id was already indexed (first write wins; the
+    /// existing mapping is authoritative).
+    DuplicateTxId(String),
+    /// The durable storage backend failed.
+    Storage(crate::storage::StorageError),
+}
+
+impl From<crate::storage::StorageError> for LedgerError {
+    fn from(e: crate::storage::StorageError) -> Self {
+        LedgerError::Storage(e)
+    }
 }
 
 impl fmt::Display for LedgerError {
@@ -56,6 +67,13 @@ impl fmt::Display for LedgerError {
             LedgerError::LeafOutOfRange { index, leaves } => {
                 write!(f, "leaf index {index} out of range for {leaves} leaves")
             }
+            LedgerError::DuplicateTxId(id) => {
+                write!(
+                    f,
+                    "transaction id {id:?} already indexed (first write wins)"
+                )
+            }
+            LedgerError::Storage(e) => write!(f, "storage backend: {e}"),
         }
     }
 }

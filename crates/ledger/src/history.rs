@@ -52,6 +52,18 @@ impl HistoryIndex {
     pub fn key_count(&self) -> usize {
         self.entries.len()
     }
+
+    /// Iterates every per-key history list (snapshot encoding; the caller
+    /// sorts — this is a `HashMap` walk).
+    pub fn iter_entries(&self) -> impl Iterator<Item = (&(String, String), &Vec<HistoryEntry>)> {
+        self.entries.iter()
+    }
+
+    /// Re-inserts one key's full history decoded from a snapshot
+    /// (recovery-only; replaces whatever is there).
+    pub fn insert_recovered(&mut self, namespace: String, key: String, entries: Vec<HistoryEntry>) {
+        self.entries.insert((namespace, key), entries);
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,9 @@
 //! * [`state`] — a versioned key-value world state with MVCC validation.
 //! * [`store`] — the append-only block store with integrity checking.
 //! * [`history`] — per-key value history for provenance queries.
+//! * [`storage`] — durable persistence: a pluggable backend seam with a
+//!   WAL + snapshot file backend, crash recovery, and seeded disk-fault
+//!   injection.
 //!
 //! # Example
 //!
@@ -30,6 +33,7 @@ pub mod history;
 pub mod merkle;
 pub mod rwset;
 pub mod state;
+pub mod storage;
 pub mod store;
 
 pub use error::LedgerError;

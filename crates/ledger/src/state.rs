@@ -6,7 +6,7 @@
 //! writes — the "validate" half of execute-order-validate.
 
 use crate::rwset::{TxRwSet, Version};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::ops::Bound;
 
 /// A committed value and the version that wrote it.
@@ -98,6 +98,20 @@ impl WorldState {
         hasher.finalize()
     }
 
+    /// Iterates every `(namespace, key) -> value` entry in sorted order —
+    /// the deterministic walk the snapshot encoder and `state_hash` rely
+    /// on.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (&(String, String), &VersionedValue)> {
+        self.entries.iter()
+    }
+
+    /// Re-inserts one entry decoded from a snapshot. Recovery-only:
+    /// bypasses rw-set application because the snapshot already holds the
+    /// final value and version for the key.
+    pub fn insert_recovered(&mut self, namespace: String, key: String, value: VersionedValue) {
+        self.entries.insert((namespace, key), value);
+    }
+
     /// MVCC check: every read version in `rwset` must match current state.
     ///
     /// Read-only transactions are exempt in Fabric (they are not ordered);
@@ -133,6 +147,65 @@ impl WorldState {
                         self.entries.remove(&full_key);
                     }
                 }
+            }
+        }
+    }
+}
+
+/// A validation overlay over a [`WorldState`] that *stages* the writes of
+/// a block being validated without mutating the base.
+///
+/// The durable commit pipeline needs validate → WAL-append → apply as
+/// three separate steps: intra-block MVCC (tx *i* must see the staged
+/// writes of valid txs `0..i` of the same block) previously forced the
+/// validator to mutate the live state mid-loop, which is unrecoverable if
+/// the WAL append then fails. `StagedState` keeps the staged versions in
+/// a side map so nothing touches the base until the block is durable.
+#[derive(Debug)]
+pub struct StagedState<'a> {
+    base: &'a WorldState,
+    // (namespace, key) -> staged version; `None` records a staged delete.
+    pending: HashMap<(String, String), Option<Version>>,
+}
+
+impl<'a> StagedState<'a> {
+    /// A fresh overlay with nothing staged.
+    pub fn new(base: &'a WorldState) -> StagedState<'a> {
+        StagedState {
+            base,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Current version of `key` as seen through the overlay.
+    pub fn version(&self, namespace: &str, key: &str) -> Option<Version> {
+        match self.pending.get(&(namespace.to_string(), key.to_string())) {
+            Some(staged) => *staged,
+            None => self.base.version(namespace, key),
+        }
+    }
+
+    /// MVCC check against base state plus staged writes — the overlay
+    /// twin of [`WorldState::mvcc_check`].
+    pub fn mvcc_check(&self, rwset: &TxRwSet) -> bool {
+        for ns in &rwset.ns_sets {
+            for read in &ns.reads {
+                if self.version(&ns.namespace, &read.key) != read.version {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Stages the writes of a validated transaction at `version` without
+    /// touching the base state.
+    pub fn stage(&mut self, rwset: &TxRwSet, version: Version) {
+        for ns in &rwset.ns_sets {
+            for write in &ns.writes {
+                let staged = write.value.as_ref().map(|_| version);
+                self.pending
+                    .insert((ns.namespace.clone(), write.key.clone()), staged);
             }
         }
     }
@@ -284,6 +357,53 @@ mod tests {
         c.apply(&write_tx("cc", "k", b"v"), Version::new(2, 0));
         assert_ne!(a.state_hash(), c.state_hash());
         assert_ne!(a.state_hash(), WorldState::new().state_hash());
+    }
+
+    #[test]
+    fn staged_state_does_not_mutate_base() {
+        let mut ws = WorldState::new();
+        ws.apply(&write_tx("cc", "k", b"v"), Version::new(1, 0));
+        let mut staged = StagedState::new(&ws);
+        staged.stage(&write_tx("cc", "k", b"v2"), Version::new(2, 0));
+        assert_eq!(staged.version("cc", "k"), Some(Version::new(2, 0)));
+        assert_eq!(ws.version("cc", "k"), Some(Version::new(1, 0)));
+    }
+
+    #[test]
+    fn staged_write_visible_to_later_mvcc_check() {
+        let ws = WorldState::new();
+        let mut staged = StagedState::new(&ws);
+        staged.stage(&write_tx("cc", "k", b"v"), Version::new(1, 0));
+        // A tx that read the staged version passes; a stale read fails.
+        let mut fresh = TxRwSet::new();
+        fresh.record_read("cc", "k", Some(Version::new(1, 0)));
+        assert!(staged.mvcc_check(&fresh));
+        let mut stale = TxRwSet::new();
+        stale.record_read("cc", "k", None);
+        assert!(!staged.mvcc_check(&stale));
+    }
+
+    #[test]
+    fn staged_delete_reads_as_absent() {
+        let mut ws = WorldState::new();
+        ws.apply(&write_tx("cc", "k", b"v"), Version::new(1, 0));
+        let mut staged = StagedState::new(&ws);
+        let mut del = TxRwSet::new();
+        del.record_write("cc", "k", None);
+        staged.stage(&del, Version::new(2, 0));
+        assert_eq!(staged.version("cc", "k"), None);
+    }
+
+    #[test]
+    fn recovered_entries_hash_identically() {
+        let mut ws = WorldState::new();
+        ws.apply(&write_tx("cc", "k1", b"v1"), Version::new(1, 0));
+        ws.apply(&write_tx("cc", "k2", b"v2"), Version::new(1, 1));
+        let mut recovered = WorldState::new();
+        for ((ns, key), vv) in ws.iter_entries() {
+            recovered.insert_recovered(ns.clone(), key.clone(), vv.clone());
+        }
+        assert_eq!(recovered.state_hash(), ws.state_hash());
     }
 
     #[test]

@@ -1,0 +1,556 @@
+//! Seeded disk-fault injection: a [`Vfs`] decorator in the spirit of the
+//! relay's `ChaosTransport`.
+//!
+//! [`FaultVfs`] wraps any inner [`Vfs`] and, per operation, consults a
+//! pure SplitMix64-derived schedule (a function of `seed` and the
+//! operation counter — nothing else) to decide whether to inject one of:
+//!
+//! * **crash-point abort** — the simulated process dies at this exact
+//!   operation (before, after-write-before-sync, or after-sync);
+//! * **torn write** — a prefix of the appended bytes reaches the platter
+//!   before the crash (page-granularity tearing);
+//! * **short write** — fewer bytes than requested are written and the
+//!   operation reports failure (no crash; the caller must fail stop);
+//! * **lost fsync** — the kernel drops the dirty pages and reports the
+//!   fsync failure once (the post-fsyncgate contract);
+//! * **bit rot** — a durable byte of an existing file is silently
+//!   flipped, to be caught by CRC framing at recovery.
+//!
+//! After a crash fault fires, *every* subsequent operation fails with
+//! [`VfsError::Crashed`] until the test harness calls
+//! [`FaultVfs::reboot`], which drops the inner disk's unsynced data
+//! (power-cut semantics) and lets recovery begin. The whole schedule is
+//! replayable: the same seed over the same operation sequence produces
+//! byte-identical fault decisions.
+
+use super::vfs::{MemVfs, Vfs, VfsError};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// SplitMix64: the same tiny deterministic generator the chaos plane and
+/// the interleaving checker use; decisions are pure functions of
+/// `seed + op index`.
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Which fault (if any) the schedule chose for one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// No fault; the operation passes through.
+    None,
+    /// Die before the operation touches the inner VFS.
+    CrashBefore,
+    /// (Appends) write everything, then die before the matching sync.
+    CrashAfterWrite,
+    /// (Appends) a durable prefix of `kept` bytes out of the full write
+    /// survives; then die.
+    TornWrite,
+    /// Write a prefix, report an I/O error, keep running.
+    ShortWrite,
+    /// Drop the unsynced bytes and report the fsync failure.
+    LostFsync,
+    /// Flip one durable bit somewhere on the disk.
+    BitRot,
+}
+
+/// Per-mille rates for each fault class. Rates are small by design: the
+/// soak wants long healthy stretches punctuated by failures.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Crash-point aborts (before-op and after-write variants) ‰.
+    pub crash_per_mille: u32,
+    /// Torn writes ‰ (appends only).
+    pub torn_write_per_mille: u32,
+    /// Short writes ‰ (appends only).
+    pub short_write_per_mille: u32,
+    /// Lost fsyncs ‰ (syncs only).
+    pub lost_fsync_per_mille: u32,
+    /// Bit rot ‰ (any op; corrupts a random durable byte).
+    pub bit_rot_per_mille: u32,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            crash_per_mille: 8,
+            torn_write_per_mille: 4,
+            short_write_per_mille: 4,
+            lost_fsync_per_mille: 4,
+            bit_rot_per_mille: 0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A schedule with no faults at all (pass-through).
+    pub fn quiet() -> FaultConfig {
+        FaultConfig {
+            crash_per_mille: 0,
+            torn_write_per_mille: 0,
+            short_write_per_mille: 0,
+            lost_fsync_per_mille: 0,
+            bit_rot_per_mille: 0,
+        }
+    }
+
+    /// The durability soak mix: crashes, torn/short writes and lost
+    /// fsyncs, but **no bit rot** — rot destroys durable bytes, so the
+    /// "no committed block is ever lost" property only holds without it.
+    pub fn crashy() -> FaultConfig {
+        FaultConfig::default()
+    }
+
+    /// Everything including bit rot: recovery must still produce a
+    /// verified prefix, but durability of individual commits may be
+    /// sacrificed to the platter.
+    pub fn rotten() -> FaultConfig {
+        FaultConfig {
+            bit_rot_per_mille: 3,
+            ..FaultConfig::default()
+        }
+    }
+}
+
+/// The fault-injecting decorator. Clone the `Arc` and hand it to the
+/// backend; keep a handle in the harness for [`FaultVfs::reboot`].
+pub struct FaultVfs {
+    inner: Arc<MemVfs>,
+    seed: u64,
+    config: FaultConfig,
+    ops: AtomicU64,
+    crashed: AtomicBool,
+    injected: AtomicU64,
+    crashes: AtomicU64,
+}
+
+impl fmt::Debug for FaultVfs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultVfs")
+            .field("seed", &self.seed)
+            .field("ops", &self.ops.load(Ordering::Relaxed))
+            .field("crashed", &self.is_crashed())
+            .finish()
+    }
+}
+
+impl FaultVfs {
+    /// Wraps `inner` with the seeded schedule. The inner VFS is the
+    /// explicit-durability [`MemVfs`] because crash semantics (dropping
+    /// unsynced bytes on reboot) are part of the model.
+    pub fn new(inner: Arc<MemVfs>, seed: u64, config: FaultConfig) -> FaultVfs {
+        FaultVfs {
+            inner,
+            seed,
+            config,
+            ops: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+            injected: AtomicU64::new(0),
+            crashes: AtomicU64::new(0),
+        }
+    }
+
+    /// The replay seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True once a crash fault has fired and the simulated process is
+    /// dead; every VFS op fails until [`FaultVfs::reboot`].
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Acquire)
+    }
+
+    /// Total injected faults so far (all classes).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Total crash faults so far.
+    pub fn crashes(&self) -> u64 {
+        self.crashes.load(Ordering::Relaxed)
+    }
+
+    /// Acknowledges a crash: applies power-cut semantics to the inner
+    /// disk (unsynced bytes vanish) and clears the dead flag so the
+    /// harness can reopen the backend. Also usable after a non-crash
+    /// failure to model an operator restart.
+    pub fn reboot(&self) {
+        self.inner.crash();
+        self.crashed.store(false, Ordering::Release);
+    }
+
+    /// Direct access to the inner disk (corruption helpers in tests).
+    pub fn disk(&self) -> &Arc<MemVfs> {
+        &self.inner
+    }
+
+    /// Draws the schedule decision for the next operation. `class` keys
+    /// the stream so appends/syncs/reads of the same index differ.
+    fn draw(&self, class: u64) -> (u64, u64) {
+        let op = self.ops.fetch_add(1, Ordering::Relaxed);
+        let roll =
+            splitmix64(self.seed ^ op.wrapping_mul(0x0001_0000_0000_01b3).wrapping_add(class));
+        (roll, op)
+    }
+
+    fn note_fault(&self) {
+        self.injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn die(&self, op: &str, path: &str) -> VfsError {
+        self.note_fault();
+        self.crashes.fetch_add(1, Ordering::Relaxed);
+        self.crashed.store(true, Ordering::Release);
+        VfsError::Crashed {
+            op: op.to_string(),
+            path: path.to_string(),
+        }
+    }
+
+    fn dead(&self, op: &str, path: &str) -> Option<VfsError> {
+        self.is_crashed().then(|| VfsError::Crashed {
+            op: op.to_string(),
+            path: path.to_string(),
+        })
+    }
+
+    /// Decides the fault for a write-shaped op from one roll.
+    fn write_fault(&self, roll: u64) -> Fault {
+        let m = roll % 1000;
+        let c = &self.config;
+        let crash = c.crash_per_mille as u64;
+        let torn = crash + c.torn_write_per_mille as u64;
+        let short = torn + c.short_write_per_mille as u64;
+        let rot = short + c.bit_rot_per_mille as u64;
+        if m < crash {
+            // Split the crash budget between before-op and after-write.
+            if roll & (1 << 20) == 0 {
+                Fault::CrashBefore
+            } else {
+                Fault::CrashAfterWrite
+            }
+        } else if m < torn {
+            Fault::TornWrite
+        } else if m < short {
+            Fault::ShortWrite
+        } else if m < rot {
+            Fault::BitRot
+        } else {
+            Fault::None
+        }
+    }
+
+    fn sync_fault(&self, roll: u64) -> Fault {
+        let m = roll % 1000;
+        let c = &self.config;
+        let crash = c.crash_per_mille as u64;
+        let lost = crash + c.lost_fsync_per_mille as u64;
+        let rot = lost + c.bit_rot_per_mille as u64;
+        if m < crash {
+            Fault::CrashBefore
+        } else if m < lost {
+            Fault::LostFsync
+        } else if m < rot {
+            Fault::BitRot
+        } else {
+            Fault::None
+        }
+    }
+
+    /// Flips one bit of one durable byte somewhere on the disk, chosen by
+    /// `roll`. No-op when the disk is empty.
+    fn rot_somewhere(&self, roll: u64) {
+        let Ok(paths) = self.inner.list("") else {
+            return;
+        };
+        if paths.is_empty() {
+            return;
+        }
+        let Some(path) = paths.get((roll >> 10) as usize % paths.len()) else {
+            return;
+        };
+        let Ok(len) = self.inner.len(path) else {
+            return;
+        };
+        if len == 0 {
+            return;
+        }
+        let offset = (splitmix64(roll) % len) as usize;
+        let mask = 1u8 << ((roll >> 3) % 8);
+        self.note_fault();
+        let _ = self.inner.corrupt(path, offset, mask);
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn read(&self, path: &str) -> Result<Vec<u8>, VfsError> {
+        if let Some(e) = self.dead("read", path) {
+            return Err(e);
+        }
+        // Reads are pure: bit rot is injected at write/sync points so the
+        // schedule stays a function of the *mutation* sequence.
+        self.inner.read(path)
+    }
+
+    fn append(&self, path: &str, bytes: &[u8]) -> Result<(), VfsError> {
+        if let Some(e) = self.dead("append", path) {
+            return Err(e);
+        }
+        let (roll, _op) = self.draw(1);
+        match self.write_fault(roll) {
+            Fault::None => self.inner.append(path, bytes),
+            Fault::CrashBefore => Err(self.die("append", path)),
+            Fault::CrashAfterWrite => {
+                // The full write reaches the page cache, then power dies
+                // before any fsync: nothing of it is durable.
+                self.inner.append(path, bytes)?;
+                Err(self.die("append", path))
+            }
+            Fault::TornWrite => {
+                // A page-aligned-ish prefix hits the platter, then power
+                // dies. Model: append prefix, force it durable, die.
+                let kept = (splitmix64(roll) as usize) % (bytes.len().max(1));
+                let (prefix, _lost) = bytes.split_at(kept);
+                self.inner.append(path, prefix)?;
+                self.inner.sync(path)?;
+                Err(self.die("append", path))
+            }
+            Fault::ShortWrite => {
+                let kept = (splitmix64(roll) as usize) % (bytes.len().max(1));
+                let (prefix, _lost) = bytes.split_at(kept);
+                self.inner.append(path, prefix)?;
+                self.note_fault();
+                Err(VfsError::Io {
+                    op: "append".to_string(),
+                    path: path.to_string(),
+                    detail: format!("short write: {kept} of {} bytes", bytes.len()),
+                })
+            }
+            Fault::BitRot => {
+                self.inner.append(path, bytes)?;
+                self.rot_somewhere(roll);
+                Ok(())
+            }
+            // LostFsync never comes out of write_fault.
+            Fault::LostFsync => self.inner.append(path, bytes),
+        }
+    }
+
+    fn create(&self, path: &str, bytes: &[u8]) -> Result<(), VfsError> {
+        if let Some(e) = self.dead("create", path) {
+            return Err(e);
+        }
+        let (roll, _op) = self.draw(2);
+        match self.write_fault(roll) {
+            Fault::CrashBefore => Err(self.die("create", path)),
+            Fault::CrashAfterWrite => {
+                self.inner.create(path, bytes)?;
+                Err(self.die("create", path))
+            }
+            Fault::TornWrite | Fault::ShortWrite => {
+                // A torn create leaves a truncated temp file; recovery
+                // must ignore it (CRC framing).
+                let kept = (splitmix64(roll) as usize) % (bytes.len().max(1));
+                let (prefix, _lost) = bytes.split_at(kept);
+                self.inner.create(path, prefix)?;
+                if self.write_fault(roll) == Fault::TornWrite {
+                    self.inner.sync(path)?;
+                    Err(self.die("create", path))
+                } else {
+                    self.note_fault();
+                    Err(VfsError::Io {
+                        op: "create".to_string(),
+                        path: path.to_string(),
+                        detail: format!("short write: {kept} of {} bytes", bytes.len()),
+                    })
+                }
+            }
+            Fault::BitRot => {
+                self.inner.create(path, bytes)?;
+                self.rot_somewhere(roll);
+                Ok(())
+            }
+            Fault::None | Fault::LostFsync => self.inner.create(path, bytes),
+        }
+    }
+
+    fn sync(&self, path: &str) -> Result<(), VfsError> {
+        if let Some(e) = self.dead("sync", path) {
+            return Err(e);
+        }
+        let (roll, _op) = self.draw(3);
+        match self.sync_fault(roll) {
+            Fault::CrashBefore => Err(self.die("sync", path)),
+            Fault::LostFsync => {
+                // The kernel already dropped the dirty pages; report the
+                // failure once. The unsynced suffix is gone for good.
+                self.note_fault();
+                self.inner.crash();
+                Err(VfsError::Io {
+                    op: "sync".to_string(),
+                    path: path.to_string(),
+                    detail: "fsync failed; dirty pages dropped".to_string(),
+                })
+            }
+            Fault::BitRot => {
+                self.inner.sync(path)?;
+                self.rot_somewhere(roll);
+                Ok(())
+            }
+            _ => self.inner.sync(path),
+        }
+    }
+
+    fn truncate(&self, path: &str, len: u64) -> Result<(), VfsError> {
+        if let Some(e) = self.dead("truncate", path) {
+            return Err(e);
+        }
+        let (roll, _op) = self.draw(4);
+        if self.write_fault(roll) == Fault::CrashBefore {
+            return Err(self.die("truncate", path));
+        }
+        self.inner.truncate(path, len)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<(), VfsError> {
+        if let Some(e) = self.dead("rename", from) {
+            return Err(e);
+        }
+        let (roll, _op) = self.draw(5);
+        // Rename is atomic: it either happened or it didn't. Crash-before
+        // leaves the temp file; crash-after leaves the final name.
+        match self.write_fault(roll) {
+            Fault::CrashBefore => Err(self.die("rename", from)),
+            Fault::CrashAfterWrite => {
+                self.inner.rename(from, to)?;
+                Err(self.die("rename", from))
+            }
+            _ => self.inner.rename(from, to),
+        }
+    }
+
+    fn remove(&self, path: &str) -> Result<(), VfsError> {
+        if let Some(e) = self.dead("remove", path) {
+            return Err(e);
+        }
+        let (roll, _op) = self.draw(6);
+        if self.write_fault(roll) == Fault::CrashBefore {
+            return Err(self.die("remove", path));
+        }
+        self.inner.remove(path)
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn len(&self, path: &str) -> Result<u64, VfsError> {
+        if let Some(e) = self.dead("len", path) {
+            return Err(e);
+        }
+        self.inner.len(path)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>, VfsError> {
+        if let Some(e) = self.dead("list", prefix) {
+            return Err(e);
+        }
+        self.inner.list(prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(seed: u64, ops: usize) -> (Vec<&'static str>, u64, u64) {
+        let disk = Arc::new(MemVfs::new());
+        let fault = FaultVfs::new(Arc::clone(&disk), seed, FaultConfig::crashy());
+        let mut outcomes = Vec::new();
+        for i in 0..ops {
+            let record = vec![i as u8; 32];
+            let result = fault
+                .append("wal.log", &record)
+                .and_then(|()| fault.sync("wal.log"));
+            match result {
+                Ok(()) => outcomes.push("ok"),
+                Err(VfsError::Crashed { .. }) => {
+                    outcomes.push("crash");
+                    fault.reboot();
+                }
+                Err(_) => {
+                    outcomes.push("io");
+                    fault.reboot();
+                }
+            }
+        }
+        (outcomes, fault.injected(), fault.crashes())
+    }
+
+    #[test]
+    fn same_seed_same_fault_trace() {
+        let (a, ia, ca) = drive(42, 800);
+        let (b, ib, cb) = drive(42, 800);
+        assert_eq!(a, b);
+        assert_eq!((ia, ca), (ib, cb));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (a, ..) = drive(1, 800);
+        let (b, ..) = drive(2, 800);
+        assert_ne!(a, b, "two seeds producing identical 800-op traces");
+    }
+
+    #[test]
+    fn faults_do_fire_at_default_rates() {
+        let (outcomes, injected, crashes) = drive(7, 2000);
+        assert!(injected > 0, "no faults in 2000 ops");
+        assert!(crashes > 0, "no crashes in 2000 ops");
+        assert!(outcomes.contains(&"ok"), "nothing succeeded");
+    }
+
+    #[test]
+    fn dead_until_reboot() {
+        // Find a seed/op where a crash fires, then check everything fails.
+        let disk = Arc::new(MemVfs::new());
+        let fault = FaultVfs::new(Arc::clone(&disk), 42, FaultConfig::crashy());
+        let mut crashed = false;
+        for i in 0..5000 {
+            if fault.append("f", &[i as u8]).is_err() && fault.is_crashed() {
+                crashed = true;
+                break;
+            }
+            let _ = fault.sync("f");
+            if fault.is_crashed() {
+                crashed = true;
+                break;
+            }
+        }
+        assert!(crashed, "no crash in 5000 ops at crashy rates");
+        assert!(matches!(
+            fault.append("f", b"x"),
+            Err(VfsError::Crashed { .. })
+        ));
+        assert!(matches!(fault.read("f"), Err(VfsError::Crashed { .. })));
+        fault.reboot();
+        assert!(fault.append("f", b"x").is_ok() || !fault.is_crashed());
+    }
+
+    #[test]
+    fn quiet_config_never_faults() {
+        let disk = Arc::new(MemVfs::new());
+        let fault = FaultVfs::new(Arc::clone(&disk), 9, FaultConfig::quiet());
+        for i in 0..500u32 {
+            fault.append("f", &i.to_be_bytes()).unwrap();
+            fault.sync("f").unwrap();
+        }
+        assert_eq!(fault.injected(), 0);
+        assert_eq!(disk.read("f").unwrap().len(), 2000);
+    }
+}

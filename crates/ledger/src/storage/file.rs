@@ -1,0 +1,554 @@
+//! The file-backed [`StorageBackend`]: append-only WAL + periodic
+//! snapshots + crash recovery, all over the [`Vfs`] seam.
+//!
+//! # Files
+//!
+//! ```text
+//! wal.log                 CRC-framed block records (wal.rs)
+//! snap-<height-20d>.snap  "TDTSNAP1" + payload + crc32(payload)
+//! snap-<height-20d>.tmp   in-flight snapshot (removed by recovery)
+//! ```
+//!
+//! # Recovery algorithm
+//!
+//! 1. Scan the WAL front-to-back; trust ends at the first bad frame.
+//! 2. Chain-verify the scanned blocks (numbers, hash links, Merkle data
+//!    hashes); trust ends at the first violation.
+//! 3. Physically truncate the WAL to the trusted region.
+//! 4. Walk snapshots newest-first; the first one that parses, passes its
+//!    CRC, recomputes to its recorded `state_hash`, and is not ahead of
+//!    the truncated chain wins. Everything else is a counted fallback.
+//! 5. Hand the caller the verified chain + snapshot; the caller replays
+//!    blocks past the snapshot height to rebuild derived state.
+//!
+//! # Fail-stop contract
+//!
+//! Any failed append poisons the backend: the WAL tail is in an unknown
+//! state, and appending after garbage would strand durable blocks behind
+//! an undecodable frame. Reopening (a fresh backend + [`FileBackend::load`])
+//! truncates the bad tail and resumes — the same discipline a real peer
+//! applies by restarting after an fsync error (the fsyncgate lesson).
+
+use super::codec;
+use super::vfs::{Vfs, VfsError};
+use super::wal::{Wal, WalScan, WAL_MAGIC};
+use super::{Recovered, RecoveryReport, Snapshot, StorageBackend, StorageError, StorageStats};
+use crate::block::Block;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The WAL file name inside the backend's directory/namespace.
+pub const WAL_FILE: &str = "wal.log";
+/// Snapshot file prefix.
+pub const SNAP_PREFIX: &str = "snap-";
+/// Snapshot file suffix.
+pub const SNAP_SUFFIX: &str = ".snap";
+/// In-flight snapshot suffix (atomically renamed to `.snap`).
+pub const SNAP_TMP_SUFFIX: &str = ".tmp";
+/// Snapshot file magic + version.
+pub const SNAP_MAGIC: &[u8; 8] = b"TDTSNAP1";
+
+/// Tuning knobs for the file backend.
+#[derive(Debug, Clone)]
+pub struct FileConfig {
+    /// Write a snapshot every N blocks (0 disables snapshots).
+    pub snapshot_interval: u64,
+    /// How many verified snapshots to keep on disk.
+    pub keep_snapshots: usize,
+}
+
+impl Default for FileConfig {
+    fn default() -> Self {
+        FileConfig {
+            snapshot_interval: 64,
+            keep_snapshots: 2,
+        }
+    }
+}
+
+fn snap_name(height: u64) -> String {
+    // Zero-padded so lexical order == numeric order for Vfs::list.
+    format!("{SNAP_PREFIX}{height:020}{SNAP_SUFFIX}")
+}
+
+fn snap_height(name: &str) -> Option<u64> {
+    name.strip_prefix(SNAP_PREFIX)?
+        .strip_suffix(SNAP_SUFFIX)?
+        .parse()
+        .ok()
+}
+
+/// The durable file backend. One instance owns one VFS namespace; drop
+/// it and reopen (with [`FileBackend::load`]) to run recovery.
+#[derive(Debug)]
+pub struct FileBackend {
+    vfs: Arc<dyn Vfs>,
+    config: FileConfig,
+    stats: Arc<StorageStats>,
+    /// Next block number the WAL expects (== recovered chain height).
+    expected_next: u64,
+    /// Hash of the chain tip (zeroes before genesis).
+    prev_hash: [u8; 32],
+    /// Current WAL length, maintained incrementally after load.
+    wal_bytes: u64,
+    /// Set by any failed append; cleared only by reopening.
+    poisoned: bool,
+    loaded: bool,
+}
+
+impl FileBackend {
+    /// A backend over `vfs` with `config`. Call
+    /// [`StorageBackend::load`] before appending.
+    pub fn new(vfs: Arc<dyn Vfs>, config: FileConfig) -> FileBackend {
+        FileBackend {
+            vfs,
+            config,
+            stats: Arc::new(StorageStats::new()),
+            expected_next: 0,
+            prev_hash: [0u8; 32],
+            wal_bytes: 0,
+            poisoned: false,
+            loaded: false,
+        }
+    }
+
+    /// Chain-verifies scanned blocks; returns how many form a valid
+    /// prefix (numbers contiguous from 0, hash links intact, Merkle data
+    /// hashes matching).
+    fn verified_prefix(blocks: &[Block]) -> usize {
+        let mut prev = [0u8; 32];
+        for (i, block) in blocks.iter().enumerate() {
+            if block.header.number != i as u64
+                || block.header.prev_hash != prev
+                || !block.data_hash_valid()
+            {
+                return i;
+            }
+            prev = block.hash();
+        }
+        blocks.len()
+    }
+
+    /// Reads and fully verifies one snapshot file; any defect is an `Err`
+    /// so the caller can fall back to an older snapshot.
+    fn read_snapshot(&self, name: &str) -> Result<Snapshot, String> {
+        let bytes = self.vfs.read(name).map_err(|e| e.to_string())?;
+        if !bytes.starts_with(SNAP_MAGIC) {
+            return Err("bad snapshot magic".to_string());
+        }
+        if bytes.len() < SNAP_MAGIC.len() + 4 {
+            return Err("snapshot too short".to_string());
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let payload = body.get(SNAP_MAGIC.len()..).unwrap_or(&[]);
+        if codec::crc32(payload) != codec::be_fold(crc_bytes) as u32 {
+            return Err("snapshot crc mismatch".to_string());
+        }
+        let decoded = codec::decode_snapshot_payload(payload).map_err(|e| e.to_string())?;
+        if decoded.state.state_hash() != decoded.state_hash {
+            return Err("snapshot state hash mismatch".to_string());
+        }
+        Ok(Snapshot {
+            height: decoded.height,
+            state_hash: decoded.state_hash,
+            state: decoded.state,
+            history: decoded.history,
+        })
+    }
+
+    /// Picks the newest usable snapshot for a chain of `chain_height`
+    /// blocks, counting every rejected candidate as a fallback.
+    fn load_snapshot(&self, chain_height: u64, fallbacks: &mut u64) -> Option<Snapshot> {
+        let names = self.vfs.list(SNAP_PREFIX).unwrap_or_default();
+        for name in names.iter().rev() {
+            if name.ends_with(SNAP_TMP_SUFFIX) {
+                // An in-flight snapshot that never got renamed: garbage.
+                let _ = self.vfs.remove(name);
+                continue;
+            }
+            let Some(height) = snap_height(name) else {
+                *fallbacks += 1;
+                continue;
+            };
+            if height > chain_height {
+                // The WAL was truncated below this snapshot; replay
+                // cannot reach it, so it is unusable.
+                *fallbacks += 1;
+                continue;
+            }
+            match self.read_snapshot(name) {
+                Ok(snapshot) if snapshot.height == height => return Some(snapshot),
+                _ => *fallbacks += 1,
+            }
+        }
+        None
+    }
+
+    /// Deletes all but the newest `keep_snapshots` snapshot files
+    /// (best-effort; GC failure never fails a commit).
+    fn gc_snapshots(&self) {
+        let Ok(names) = self.vfs.list(SNAP_PREFIX) else {
+            return;
+        };
+        let snaps: Vec<&String> = names.iter().filter(|n| n.ends_with(SNAP_SUFFIX)).collect();
+        let keep = self.config.keep_snapshots.max(1);
+        let excess = snaps.len().saturating_sub(keep);
+        for name in snaps.iter().take(excess) {
+            let _ = self.vfs.remove(name);
+        }
+    }
+}
+
+impl StorageBackend for FileBackend {
+    fn load(&mut self) -> Result<Recovered, StorageError> {
+        let start = Instant::now();
+        let wal = Wal::new(&*self.vfs, WAL_FILE);
+        let WalScan {
+            mut blocks,
+            offsets,
+            mut valid_len,
+            file_len,
+            tail,
+        } = wal.scan()?;
+        let mut tail_reason = tail.map(|t| t.to_string());
+
+        // Frames can be CRC-clean yet chain-broken (a writer bug or a
+        // surgically flipped bit that CRC32 happens to collide on): the
+        // Merkle/link verification is the final authority.
+        let keep = Self::verified_prefix(&blocks);
+        if keep < blocks.len() {
+            tail_reason = Some(format!("chain verification failed at block {keep}"));
+            blocks.truncate(keep);
+            valid_len = match keep.checked_sub(1).and_then(|i| offsets.get(i)) {
+                Some(end) => *end,
+                None => WAL_MAGIC.len() as u64,
+            };
+        }
+
+        let truncated = file_len.saturating_sub(valid_len);
+        if truncated > 0 || tail_reason.is_some() {
+            wal.truncate_to(valid_len)?;
+            self.stats.note_wal_truncation(truncated);
+        }
+
+        let chain_height = blocks.len() as u64;
+        let mut fallbacks = 0u64;
+        let snapshot = self.load_snapshot(chain_height, &mut fallbacks);
+        for _ in 0..fallbacks {
+            self.stats.note_snapshot_fallback();
+        }
+        let snapshot_height = snapshot.as_ref().map(|s| s.height);
+
+        self.expected_next = chain_height;
+        self.prev_hash = blocks.last().map_or([0u8; 32], Block::hash);
+        // A repaired all-garbage file is recreated as a bare header.
+        self.wal_bytes = if valid_len >= WAL_MAGIC.len() as u64 {
+            valid_len
+        } else if self.vfs.exists(WAL_FILE) {
+            WAL_MAGIC.len() as u64
+        } else {
+            0
+        };
+        self.poisoned = false;
+        self.loaded = true;
+
+        let report = RecoveryReport {
+            chain_height,
+            wal_bytes: self.wal_bytes,
+            truncated_bytes: truncated,
+            tail: tail_reason,
+            snapshot_height,
+            snapshot_fallbacks: fallbacks,
+            replayed_blocks: chain_height - snapshot_height.unwrap_or(0),
+            duration_ns: start.elapsed().as_nanos() as u64,
+        };
+        self.stats.note_recovery(&report);
+        Ok(Recovered {
+            blocks,
+            snapshot,
+            report,
+        })
+    }
+
+    fn append_block(&mut self, block: &Block) -> Result<(), StorageError> {
+        if self.poisoned || !self.loaded {
+            return Err(StorageError::Poisoned);
+        }
+        if block.header.number != self.expected_next || block.header.prev_hash != self.prev_hash {
+            return Err(StorageError::NotNextBlock {
+                expected: self.expected_next,
+                got: block.header.number,
+            });
+        }
+        match Wal::new(&*self.vfs, WAL_FILE).append_block(block) {
+            Ok(frame_len) => {
+                if self.wal_bytes == 0 {
+                    self.wal_bytes = WAL_MAGIC.len() as u64;
+                }
+                self.wal_bytes += frame_len;
+                self.expected_next += 1;
+                self.prev_hash = block.hash();
+                self.stats.note_wal_append(self.wal_bytes);
+                self.stats.set_chain_height(self.expected_next);
+                Ok(())
+            }
+            Err(e) => {
+                // The WAL tail is now suspect (possibly a torn frame):
+                // fail stop until a reopen truncates it.
+                self.poisoned = true;
+                Err(StorageError::Vfs(e))
+            }
+        }
+    }
+
+    fn snapshot_due(&self, height: u64) -> bool {
+        !self.poisoned
+            && self.config.snapshot_interval > 0
+            && height > 0
+            && height.is_multiple_of(self.config.snapshot_interval)
+    }
+
+    fn write_snapshot(&mut self, snapshot: &Snapshot) -> Result<(), StorageError> {
+        if self.poisoned || !self.loaded {
+            return Err(StorageError::Poisoned);
+        }
+        let payload = codec::encode_snapshot_payload(
+            snapshot.height,
+            &snapshot.state_hash,
+            &snapshot.state,
+            &snapshot.history,
+        );
+        let mut bytes = SNAP_MAGIC.to_vec();
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&codec::crc32(&payload).to_be_bytes());
+        let tmp = format!("{SNAP_PREFIX}{:020}{SNAP_TMP_SUFFIX}", snapshot.height);
+        let result = self
+            .vfs
+            .create(&tmp, &bytes)
+            .and_then(|()| self.vfs.sync(&tmp))
+            .and_then(|()| self.vfs.rename(&tmp, &snap_name(snapshot.height)));
+        match result {
+            Ok(()) => {
+                self.stats.note_snapshot_written(snapshot.height);
+                self.gc_snapshots();
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.note_snapshot_failure();
+                if matches!(e, VfsError::Crashed { .. }) {
+                    // The process is "dead"; the next append will fail
+                    // anyway, but poisoning makes the state explicit.
+                    self.poisoned = true;
+                } else {
+                    // A lost fsync during the snapshot may have dropped
+                    // the whole page cache; WAL appends are fsynced per
+                    // record, so committed blocks are safe — but the
+                    // half-written temp file is garbage.
+                    let _ = self.vfs.remove(&tmp);
+                }
+                Err(StorageError::Vfs(e))
+            }
+        }
+    }
+
+    fn stats(&self) -> Arc<StorageStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::vfs::MemVfs;
+    use super::*;
+    use crate::block::Block;
+    use crate::history::HistoryIndex;
+    use crate::rwset::{TxRwSet, Version};
+    use crate::state::WorldState;
+
+    fn chain(n: usize) -> Vec<Block> {
+        let mut blocks = vec![Block::genesis(vec![b"cfg".to_vec()])];
+        for i in 1..n {
+            let prev = blocks[i - 1].header.clone();
+            blocks.push(Block::next(&prev, vec![format!("tx-{i}").into_bytes()]));
+        }
+        blocks
+    }
+
+    fn open(vfs: &Arc<MemVfs>) -> (FileBackend, Recovered) {
+        let mut backend = FileBackend::new(
+            Arc::clone(vfs) as Arc<dyn Vfs>,
+            FileConfig {
+                snapshot_interval: 4,
+                keep_snapshots: 2,
+            },
+        );
+        let recovered = backend.load().unwrap();
+        (backend, recovered)
+    }
+
+    #[test]
+    fn append_reopen_recovers_everything() {
+        let vfs = Arc::new(MemVfs::new());
+        let blocks = chain(6);
+        {
+            let (mut backend, recovered) = open(&vfs);
+            assert_eq!(recovered.report.chain_height, 0);
+            for b in &blocks {
+                backend.append_block(b).unwrap();
+            }
+        }
+        let (_backend, recovered) = open(&vfs);
+        assert_eq!(recovered.blocks, blocks);
+        assert_eq!(recovered.report.chain_height, 6);
+        assert_eq!(recovered.report.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn unsynced_suffix_lost_on_crash_but_prefix_survives() {
+        let vfs = Arc::new(MemVfs::new());
+        let blocks = chain(4);
+        let (mut backend, _) = open(&vfs);
+        for b in &blocks {
+            backend.append_block(b).unwrap();
+        }
+        // Torn garbage after the last record, never synced.
+        vfs.append(WAL_FILE, b"half-a-frame").unwrap();
+        vfs.crash();
+        let (_backend, recovered) = open(&vfs);
+        assert_eq!(recovered.blocks, blocks);
+    }
+
+    #[test]
+    fn append_requires_chain_extension() {
+        let vfs = Arc::new(MemVfs::new());
+        let blocks = chain(3);
+        let (mut backend, _) = open(&vfs);
+        backend.append_block(&blocks[0]).unwrap();
+        // Skipping block 1 is rejected.
+        assert!(matches!(
+            backend.append_block(&blocks[2]),
+            Err(StorageError::NotNextBlock {
+                expected: 1,
+                got: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_and_gc() {
+        let vfs = Arc::new(MemVfs::new());
+        let (mut backend, _) = open(&vfs);
+        let blocks = chain(9);
+        let mut state = WorldState::new();
+        let history = HistoryIndex::new();
+        for (i, b) in blocks.iter().enumerate() {
+            backend.append_block(b).unwrap();
+            let mut rw = TxRwSet::new();
+            rw.record_write("cc", &format!("k{i}"), Some(vec![i as u8]));
+            state.apply(&rw, Version::new(i as u64, 0));
+            let height = i as u64 + 1;
+            if backend.snapshot_due(height) {
+                backend
+                    .write_snapshot(&Snapshot::capture(height, &state, &history))
+                    .unwrap();
+            }
+        }
+        // interval=4, 9 blocks -> snapshots at 4 and 8; keep=2 keeps both.
+        let snaps = vfs.list(SNAP_PREFIX).unwrap();
+        assert_eq!(snaps, vec![snap_name(4), snap_name(8)]);
+        let (_backend, recovered) = open(&vfs);
+        assert_eq!(recovered.report.snapshot_height, Some(8));
+        assert_eq!(recovered.report.replayed_blocks, 1);
+        let snap = recovered.snapshot.unwrap();
+        assert_eq!(snap.state.state_hash(), snap.state_hash);
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_previous() {
+        let vfs = Arc::new(MemVfs::new());
+        let (mut backend, _) = open(&vfs);
+        let blocks = chain(9);
+        let state = WorldState::new();
+        let history = HistoryIndex::new();
+        for (i, b) in blocks.iter().enumerate() {
+            backend.append_block(b).unwrap();
+            let height = i as u64 + 1;
+            if backend.snapshot_due(height) {
+                backend
+                    .write_snapshot(&Snapshot::capture(height, &state, &history))
+                    .unwrap();
+            }
+        }
+        // Rot a byte in the newest snapshot's payload.
+        vfs.corrupt(&snap_name(8), SNAP_MAGIC.len() + 3, 0xff)
+            .unwrap();
+        let (_backend, recovered) = open(&vfs);
+        assert_eq!(recovered.report.snapshot_height, Some(4));
+        assert!(recovered.report.snapshot_fallbacks >= 1);
+        // Losing every snapshot still loses no blocks.
+        vfs.corrupt(&snap_name(4), SNAP_MAGIC.len() + 3, 0xff)
+            .unwrap();
+        let (_backend, recovered) = open(&vfs);
+        assert_eq!(recovered.report.snapshot_height, None);
+        assert_eq!(recovered.blocks.len(), 9);
+    }
+
+    #[test]
+    fn chain_violation_inside_crc_clean_wal_is_cut() {
+        let vfs = Arc::new(MemVfs::new());
+        let (mut backend, _) = open(&vfs);
+        for b in chain(3) {
+            backend.append_block(&b).unwrap();
+        }
+        // Hand-append a CRC-valid frame whose block doesn't link.
+        let rogue = Block::genesis(vec![b"rogue".to_vec()]);
+        let frame = Wal::encode_frame(&codec::encode_block(&rogue));
+        vfs.append(WAL_FILE, &frame).unwrap();
+        vfs.sync(WAL_FILE).unwrap();
+        let (_backend, recovered) = open(&vfs);
+        assert_eq!(recovered.blocks.len(), 3);
+        assert!(recovered
+            .report
+            .tail
+            .as_deref()
+            .is_some_and(|t| t.contains("chain verification")));
+        // The rogue frame was physically truncated.
+        let (_backend, again) = open(&vfs);
+        assert_eq!(again.report.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn poisoned_after_failed_append_until_reopen() {
+        let vfs = Arc::new(MemVfs::new());
+        let (mut backend, _) = open(&vfs);
+        backend.append_block(&chain(1)[0]).unwrap();
+        backend.poisoned = true;
+        assert!(matches!(
+            backend.append_block(&chain(2)[1]),
+            Err(StorageError::Poisoned)
+        ));
+        let (mut backend, recovered) = open(&vfs);
+        assert_eq!(recovered.blocks.len(), 1);
+        backend.append_block(&chain(2)[1]).unwrap();
+    }
+
+    #[test]
+    fn append_before_load_is_rejected() {
+        let vfs = Arc::new(MemVfs::new());
+        let mut backend = FileBackend::new(Arc::clone(&vfs) as Arc<dyn Vfs>, FileConfig::default());
+        assert!(matches!(
+            backend.append_block(&chain(1)[0]),
+            Err(StorageError::Poisoned)
+        ));
+    }
+
+    #[test]
+    fn leftover_tmp_snapshot_is_cleaned_up() {
+        let vfs = Arc::new(MemVfs::new());
+        vfs.create("snap-00000000000000000004.tmp", b"partial")
+            .unwrap();
+        let (_backend, recovered) = open(&vfs);
+        assert_eq!(recovered.report.snapshot_height, None);
+        assert!(!vfs.exists("snap-00000000000000000004.tmp"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Scrape-time bridge from [`StorageStats`] to the observability plane.
+//!
+//! Same pattern as the relay's metric sources: the hot path touches only
+//! its own atomics; at scrape time [`StorageMetricSource::collect`] copies
+//! them into registry metrics under the `tdt_ledger_*` prefix.
+
+use super::StorageStats;
+use std::sync::Arc;
+use tdt_obs::handle::MetricSource;
+use tdt_obs::metrics::Registry;
+
+/// Exports one backend's [`StorageStats`] as `tdt_ledger_*` series.
+#[derive(Debug)]
+pub struct StorageMetricSource {
+    stats: Arc<StorageStats>,
+}
+
+impl StorageMetricSource {
+    /// Wraps a backend's stats handle (see `StorageBackend::stats`).
+    pub fn new(stats: Arc<StorageStats>) -> StorageMetricSource {
+        StorageMetricSource { stats }
+    }
+}
+
+impl MetricSource for StorageMetricSource {
+    fn collect(&self, registry: &Registry) {
+        let s = &self.stats;
+        registry
+            .counter(
+                "tdt_ledger_wal_appends_total",
+                "Durable WAL block appends (write + fsync)",
+            )
+            .set(s.wal_appends());
+        registry
+            .gauge("tdt_ledger_wal_bytes", "Current WAL file length in bytes")
+            .set(s.wal_bytes() as i64);
+        registry
+            .counter(
+                "tdt_ledger_wal_truncations_total",
+                "WAL tail truncation events during recovery",
+            )
+            .set(s.wal_truncations());
+        registry
+            .counter(
+                "tdt_ledger_wal_truncated_bytes_total",
+                "Bytes cut off corrupt WAL tails",
+            )
+            .set(s.wal_truncated_bytes());
+        registry
+            .counter(
+                "tdt_ledger_snapshots_written_total",
+                "Snapshots durably written",
+            )
+            .set(s.snapshots_written());
+        registry
+            .counter(
+                "tdt_ledger_snapshot_failures_total",
+                "Snapshot writes that failed (commits unaffected)",
+            )
+            .set(s.snapshot_failures());
+        registry
+            .counter(
+                "tdt_ledger_snapshot_fallbacks_total",
+                "Snapshot files rejected during recovery",
+            )
+            .set(s.snapshot_fallbacks());
+        registry
+            .gauge(
+                "tdt_ledger_last_snapshot_height",
+                "Chain height of the newest on-disk snapshot",
+            )
+            .set(s.last_snapshot_height() as i64);
+        registry
+            .gauge(
+                "tdt_ledger_snapshot_age_blocks",
+                "Blocks committed since the newest snapshot",
+            )
+            .set(s.chain_height().saturating_sub(s.last_snapshot_height()) as i64);
+        registry
+            .gauge("tdt_ledger_chain_height", "Committed chain height")
+            .set(s.chain_height() as i64);
+        registry
+            .counter("tdt_ledger_recoveries_total", "Recovery passes run")
+            .set(s.recoveries());
+        registry
+            .gauge(
+                "tdt_ledger_recovery_replayed_blocks",
+                "Blocks replayed over the snapshot in the last recovery",
+            )
+            .set(s.replayed_blocks() as i64);
+        registry
+            .gauge(
+                "tdt_ledger_recovery_duration_ns",
+                "Wall-clock nanoseconds of the last recovery pass",
+            )
+            .set(s.last_recovery_ns() as i64);
+        registry
+            .counter(
+                "tdt_ledger_duplicate_txids_total",
+                "Colliding transaction ids rejected (first write wins)",
+            )
+            .set(s.duplicate_txids());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::RecoveryReport;
+
+    #[test]
+    fn collect_exports_all_series() {
+        let stats = Arc::new(StorageStats::new());
+        stats.note_wal_append(96);
+        stats.note_recovery(&RecoveryReport {
+            chain_height: 5,
+            wal_bytes: 96,
+            truncated_bytes: 0,
+            tail: None,
+            snapshot_height: Some(4),
+            snapshot_fallbacks: 0,
+            replayed_blocks: 1,
+            duration_ns: 1234,
+        });
+        let registry = Registry::new();
+        StorageMetricSource::new(Arc::clone(&stats)).collect(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("tdt_ledger_wal_appends_total"), Some(1));
+        assert_eq!(snap.gauge("tdt_ledger_wal_bytes"), Some(96));
+        assert_eq!(snap.gauge("tdt_ledger_chain_height"), Some(5));
+        assert_eq!(snap.gauge("tdt_ledger_snapshot_age_blocks"), Some(1));
+        assert_eq!(snap.counter("tdt_ledger_recoveries_total"), Some(1));
+        assert_eq!(snap.gauge("tdt_ledger_recovery_duration_ns"), Some(1234));
+    }
+}

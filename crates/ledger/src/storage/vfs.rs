@@ -1,0 +1,533 @@
+//! Virtual file system: the seam between the file backend and the disk.
+//!
+//! Everything the durable ledger does to storage goes through the [`Vfs`]
+//! trait — a deliberately small, path-based API (append, read, sync,
+//! atomic rename). That seam is what makes the backend testable: the same
+//! WAL and snapshot code runs over [`StdVfs`] (real files), [`MemVfs`]
+//! (an in-memory disk with an explicit durable/volatile split and a
+//! `crash()` that drops everything unsynced), and the seeded
+//! [`crate::storage::fault::FaultVfs`] decorator that injects torn
+//! writes, lost fsyncs, bit rot, and crash-point aborts.
+//!
+//! # Durability model
+//!
+//! * `append`/`create` buffer data; it is *not* durable until `sync`.
+//! * `sync` is the fsync: after it returns `Ok`, all previously written
+//!   bytes of that path survive a crash.
+//! * `rename` is atomic and immediately durable (the POSIX rename-into-
+//!   place idiom; directory fsync is folded into the operation).
+//! * Any error from `append`/`sync` means the file's unsynced suffix is
+//!   in an unknown state — callers must treat the file as suspect
+//!   (fail-stop, the fsyncgate lesson) and re-run recovery before
+//!   trusting it again.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{Read, Seek, Write};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Errors surfaced by a [`Vfs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VfsError {
+    /// The path does not exist.
+    NotFound(String),
+    /// An I/O failure (short write, fsync failure, permission, ...).
+    Io {
+        /// The failing operation (`append`, `sync`, ...).
+        op: String,
+        /// The path operated on.
+        path: String,
+        /// Cause description.
+        detail: String,
+    },
+    /// An injected crash point: the simulated process died mid-operation.
+    /// Every subsequent operation fails the same way until the harness
+    /// acknowledges the crash and "reboots" (see `FaultVfs::reboot`).
+    Crashed {
+        /// The operation that was interrupted.
+        op: String,
+        /// The path operated on.
+        path: String,
+    },
+}
+
+impl fmt::Display for VfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VfsError::NotFound(p) => write!(f, "vfs path {p:?} not found"),
+            VfsError::Io { op, path, detail } => {
+                write!(f, "vfs {op} on {path:?} failed: {detail}")
+            }
+            VfsError::Crashed { op, path } => {
+                write!(f, "simulated crash during {op} on {path:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VfsError {}
+
+/// A minimal, path-based file system abstraction.
+///
+/// Paths are flat relative names (`wal.log`, `snap-...`); backends own a
+/// directory (or a namespace) and never walk outside it.
+pub trait Vfs: Send + Sync + fmt::Debug {
+    /// Full contents of `path`.
+    fn read(&self, path: &str) -> Result<Vec<u8>, VfsError>;
+
+    /// Appends `bytes` to `path`, creating it when missing. Buffered until
+    /// [`Vfs::sync`].
+    fn append(&self, path: &str, bytes: &[u8]) -> Result<(), VfsError>;
+
+    /// Creates (or truncates) `path` with `bytes`. Buffered until
+    /// [`Vfs::sync`].
+    fn create(&self, path: &str, bytes: &[u8]) -> Result<(), VfsError>;
+
+    /// Makes every written byte of `path` durable (fsync).
+    fn sync(&self, path: &str) -> Result<(), VfsError>;
+
+    /// Truncates `path` to `len` bytes. The truncation is durable.
+    fn truncate(&self, path: &str, len: u64) -> Result<(), VfsError>;
+
+    /// Atomically, durably renames `from` onto `to` (replacing it).
+    fn rename(&self, from: &str, to: &str) -> Result<(), VfsError>;
+
+    /// Removes `path` (missing paths are not an error).
+    fn remove(&self, path: &str) -> Result<(), VfsError>;
+
+    /// True when `path` exists.
+    fn exists(&self, path: &str) -> bool;
+
+    /// Current length of `path` in bytes.
+    fn len(&self, path: &str) -> Result<u64, VfsError>;
+
+    /// All existing paths starting with `prefix`, sorted ascending.
+    fn list(&self, prefix: &str) -> Result<Vec<String>, VfsError>;
+}
+
+fn io_err(op: &str, path: &str, e: impl fmt::Display) -> VfsError {
+    VfsError::Io {
+        op: op.to_string(),
+        path: path.to_string(),
+        detail: e.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// StdVfs — real files under a root directory
+// ---------------------------------------------------------------------------
+
+/// A [`Vfs`] over a real directory. Append handles are cached so the WAL
+/// hot path does not reopen the file per record.
+pub struct StdVfs {
+    root: PathBuf,
+    // Cached append handles (path -> open file in append mode).
+    handles: Mutex<HashMap<String, std::fs::File>>,
+}
+
+impl fmt::Debug for StdVfs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StdVfs").field("root", &self.root).finish()
+    }
+}
+
+impl StdVfs {
+    /// Opens (creating if needed) a VFS rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<StdVfs, VfsError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)
+            .map_err(|e| io_err("create_dir_all", &root.to_string_lossy(), e))?;
+        Ok(StdVfs {
+            root,
+            handles: Mutex::new(HashMap::new()),
+        })
+    }
+
+    fn full(&self, path: &str) -> PathBuf {
+        self.root.join(path)
+    }
+
+    fn with_handle<T>(
+        &self,
+        path: &str,
+        f: impl FnOnce(&mut std::fs::File) -> std::io::Result<T>,
+    ) -> Result<T, VfsError> {
+        let mut handles = self.handles.lock().unwrap_or_else(|e| e.into_inner());
+        if !handles.contains_key(path) {
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .read(true)
+                .open(self.full(path))
+                .map_err(|e| io_err("open", path, e))?;
+            handles.insert(path.to_string(), file);
+        }
+        let file = handles
+            .get_mut(path)
+            .ok_or_else(|| VfsError::NotFound(path.to_string()))?;
+        f(file).map_err(|e| io_err("file-op", path, e))
+    }
+
+    fn drop_handle(&self, path: &str) {
+        self.handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(path);
+    }
+
+    fn sync_dir(&self) -> Result<(), VfsError> {
+        // Directory fsync so renames/creates are durable. Best-effort on
+        // platforms where directories cannot be opened.
+        if let Ok(dir) = std::fs::File::open(&self.root) {
+            dir.sync_all()
+                .map_err(|e| io_err("sync_dir", &self.root.to_string_lossy(), e))?;
+        }
+        Ok(())
+    }
+}
+
+impl Vfs for StdVfs {
+    fn read(&self, path: &str) -> Result<Vec<u8>, VfsError> {
+        // Read through the cached handle when one exists, so unflushed
+        // appends are visible; otherwise read the file directly.
+        let mut handles = self.handles.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(file) = handles.get_mut(path) {
+            file.flush().map_err(|e| io_err("flush", path, e))?;
+            let mut out = Vec::new();
+            file.seek(std::io::SeekFrom::Start(0))
+                .and_then(|_| file.read_to_end(&mut out))
+                .map_err(|e| io_err("read", path, e))?;
+            return Ok(out);
+        }
+        drop(handles);
+        match std::fs::read(self.full(path)) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(VfsError::NotFound(path.to_string()))
+            }
+            Err(e) => Err(io_err("read", path, e)),
+        }
+    }
+
+    fn append(&self, path: &str, bytes: &[u8]) -> Result<(), VfsError> {
+        self.with_handle(path, |file| file.write_all(bytes))
+    }
+
+    fn create(&self, path: &str, bytes: &[u8]) -> Result<(), VfsError> {
+        self.drop_handle(path);
+        std::fs::write(self.full(path), bytes).map_err(|e| io_err("create", path, e))
+    }
+
+    fn sync(&self, path: &str) -> Result<(), VfsError> {
+        if self
+            .handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains_key(path)
+        {
+            return self.with_handle(path, |file| file.flush().and_then(|()| file.sync_all()));
+        }
+        let file =
+            std::fs::File::open(self.full(path)).map_err(|e| io_err("sync-open", path, e))?;
+        file.sync_all().map_err(|e| io_err("sync", path, e))
+    }
+
+    fn truncate(&self, path: &str, len: u64) -> Result<(), VfsError> {
+        self.drop_handle(path);
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(self.full(path))
+            .map_err(|e| io_err("truncate-open", path, e))?;
+        file.set_len(len)
+            .and_then(|()| file.sync_all())
+            .map_err(|e| io_err("truncate", path, e))
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<(), VfsError> {
+        self.drop_handle(from);
+        self.drop_handle(to);
+        std::fs::rename(self.full(from), self.full(to)).map_err(|e| io_err("rename", from, e))?;
+        self.sync_dir()
+    }
+
+    fn remove(&self, path: &str) -> Result<(), VfsError> {
+        self.drop_handle(path);
+        match std::fs::remove_file(self.full(path)) {
+            Ok(()) => self.sync_dir(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err("remove", path, e)),
+        }
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.full(path).exists()
+    }
+
+    fn len(&self, path: &str) -> Result<u64, VfsError> {
+        // Route through the handle cache so buffered appends count.
+        self.read(path).map(|b| b.len() as u64)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>, VfsError> {
+        let mut out = Vec::new();
+        let entries = std::fs::read_dir(&self.root)
+            .map_err(|e| io_err("list", &self.root.to_string_lossy(), e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("list", prefix, e))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with(prefix) {
+                out.push(name);
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemVfs — in-memory disk with an explicit durability line
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default, Clone)]
+struct MemFile {
+    data: Vec<u8>,
+    /// Bytes `[0..synced_len)` survive a crash; the rest is page cache.
+    synced_len: usize,
+}
+
+/// An in-memory [`Vfs`] that models the durability line explicitly:
+/// written bytes sit in a volatile suffix until `sync`, and
+/// [`MemVfs::crash`] drops every unsynced byte — exactly what a power
+/// cut does to a page cache.
+#[derive(Debug, Default)]
+pub struct MemVfs {
+    files: Mutex<HashMap<String, MemFile>>,
+}
+
+impl MemVfs {
+    /// An empty in-memory disk.
+    pub fn new() -> MemVfs {
+        MemVfs::default()
+    }
+
+    /// Simulates a power cut: every file loses its unsynced suffix.
+    /// Reopening afterwards sees only what was durable.
+    pub fn crash(&self) {
+        let mut files = self.files.lock().unwrap_or_else(|e| e.into_inner());
+        for file in files.values_mut() {
+            file.data.truncate(file.synced_len);
+        }
+    }
+
+    /// Number of bytes of `path` that would survive a crash right now
+    /// (diagnostics for tests).
+    pub fn durable_len(&self, path: &str) -> usize {
+        self.files
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(path)
+            .map_or(0, |f| f.synced_len)
+    }
+
+    /// XORs `mask` into the byte at `offset` of `path` — the bit-rot
+    /// primitive used by fault injection and corruption tests. Rot hits
+    /// the platter, so the corrupted byte is considered durable.
+    pub fn corrupt(&self, path: &str, offset: usize, mask: u8) -> Result<(), VfsError> {
+        let mut files = self.files.lock().unwrap_or_else(|e| e.into_inner());
+        let file = files
+            .get_mut(path)
+            .ok_or_else(|| VfsError::NotFound(path.to_string()))?;
+        match file.data.get_mut(offset) {
+            Some(byte) => {
+                *byte ^= mask;
+                Ok(())
+            }
+            None => Err(io_err("corrupt", path, "offset out of range")),
+        }
+    }
+}
+
+impl Vfs for MemVfs {
+    fn read(&self, path: &str) -> Result<Vec<u8>, VfsError> {
+        self.files
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(path)
+            .map(|f| f.data.clone())
+            .ok_or_else(|| VfsError::NotFound(path.to_string()))
+    }
+
+    fn append(&self, path: &str, bytes: &[u8]) -> Result<(), VfsError> {
+        let mut files = self.files.lock().unwrap_or_else(|e| e.into_inner());
+        files
+            .entry(path.to_string())
+            .or_default()
+            .data
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn create(&self, path: &str, bytes: &[u8]) -> Result<(), VfsError> {
+        let mut files = self.files.lock().unwrap_or_else(|e| e.into_inner());
+        files.insert(
+            path.to_string(),
+            MemFile {
+                data: bytes.to_vec(),
+                synced_len: 0,
+            },
+        );
+        Ok(())
+    }
+
+    fn sync(&self, path: &str) -> Result<(), VfsError> {
+        let mut files = self.files.lock().unwrap_or_else(|e| e.into_inner());
+        let file = files
+            .get_mut(path)
+            .ok_or_else(|| VfsError::NotFound(path.to_string()))?;
+        file.synced_len = file.data.len();
+        Ok(())
+    }
+
+    fn truncate(&self, path: &str, len: u64) -> Result<(), VfsError> {
+        let mut files = self.files.lock().unwrap_or_else(|e| e.into_inner());
+        let file = files
+            .get_mut(path)
+            .ok_or_else(|| VfsError::NotFound(path.to_string()))?;
+        file.data.truncate(len as usize);
+        file.synced_len = file.synced_len.min(file.data.len());
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<(), VfsError> {
+        let mut files = self.files.lock().unwrap_or_else(|e| e.into_inner());
+        let mut file = files
+            .remove(from)
+            .ok_or_else(|| VfsError::NotFound(from.to_string()))?;
+        // Rename-into-place is atomic and durable (dir entry + fsync'd
+        // directory); the file's own durability line travels with it.
+        file.synced_len = file.data.len();
+        files.insert(to.to_string(), file);
+        Ok(())
+    }
+
+    fn remove(&self, path: &str) -> Result<(), VfsError> {
+        self.files
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(path);
+        Ok(())
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.files
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains_key(path)
+    }
+
+    fn len(&self, path: &str) -> Result<u64, VfsError> {
+        self.files
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(path)
+            .map(|f| f.data.len() as u64)
+            .ok_or_else(|| VfsError::NotFound(path.to_string()))
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>, VfsError> {
+        let files = self.files.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<String> = files
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_append_read_roundtrip() {
+        let vfs = MemVfs::new();
+        vfs.append("f", b"abc").unwrap();
+        vfs.append("f", b"def").unwrap();
+        assert_eq!(vfs.read("f").unwrap(), b"abcdef");
+        assert_eq!(vfs.len("f").unwrap(), 6);
+    }
+
+    #[test]
+    fn mem_crash_drops_unsynced_suffix() {
+        let vfs = MemVfs::new();
+        vfs.append("f", b"durable").unwrap();
+        vfs.sync("f").unwrap();
+        vfs.append("f", b"-volatile").unwrap();
+        assert_eq!(vfs.durable_len("f"), 7);
+        vfs.crash();
+        assert_eq!(vfs.read("f").unwrap(), b"durable");
+    }
+
+    #[test]
+    fn mem_crash_without_sync_loses_everything() {
+        let vfs = MemVfs::new();
+        vfs.append("f", b"gone").unwrap();
+        vfs.crash();
+        assert_eq!(vfs.read("f").unwrap(), b"");
+    }
+
+    #[test]
+    fn mem_rename_is_durable_and_atomic() {
+        let vfs = MemVfs::new();
+        vfs.create("tmp", b"snapshot").unwrap();
+        vfs.sync("tmp").unwrap();
+        vfs.rename("tmp", "final").unwrap();
+        vfs.crash();
+        assert_eq!(vfs.read("final").unwrap(), b"snapshot");
+        assert!(!vfs.exists("tmp"));
+    }
+
+    #[test]
+    fn mem_corrupt_flips_bits() {
+        let vfs = MemVfs::new();
+        vfs.append("f", b"\x00\x00").unwrap();
+        vfs.corrupt("f", 1, 0x80).unwrap();
+        assert_eq!(vfs.read("f").unwrap(), vec![0x00, 0x80]);
+    }
+
+    #[test]
+    fn mem_list_filters_by_prefix() {
+        let vfs = MemVfs::new();
+        vfs.append("snap-1", b"a").unwrap();
+        vfs.append("snap-2", b"b").unwrap();
+        vfs.append("wal.log", b"c").unwrap();
+        assert_eq!(vfs.list("snap-").unwrap(), vec!["snap-1", "snap-2"]);
+    }
+
+    #[test]
+    fn std_vfs_roundtrip() {
+        let root = std::env::temp_dir().join(format!("tdt-vfs-test-{}", std::process::id()));
+        let vfs = StdVfs::open(&root).unwrap();
+        vfs.create("wal.log", b"").unwrap();
+        vfs.append("wal.log", b"hello").unwrap();
+        vfs.sync("wal.log").unwrap();
+        assert_eq!(vfs.read("wal.log").unwrap(), b"hello");
+        assert_eq!(vfs.len("wal.log").unwrap(), 5);
+        vfs.truncate("wal.log", 2).unwrap();
+        assert_eq!(vfs.read("wal.log").unwrap(), b"he");
+        vfs.create("snap.tmp", b"snap").unwrap();
+        vfs.sync("snap.tmp").unwrap();
+        vfs.rename("snap.tmp", "snap-1").unwrap();
+        assert_eq!(vfs.list("snap").unwrap(), vec!["snap-1"]);
+        vfs.remove("snap-1").unwrap();
+        vfs.remove("wal.log").unwrap();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

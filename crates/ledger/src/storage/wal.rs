@@ -1,0 +1,322 @@
+//! The write-ahead log: CRC-framed, length-prefixed block records in one
+//! append-only file.
+//!
+//! # Format
+//!
+//! ```text
+//! file   := header frame*
+//! header := "TDTWAL01"                      (8 bytes, magic + version)
+//! frame  := len:u32be crc:u32be payload     (crc = CRC32(payload))
+//! ```
+//!
+//! Each payload is one [`crate::storage::codec::encode_block`] record.
+//!
+//! # Recovery contract
+//!
+//! [`Wal::scan`] reads the file once, front to back. The first frame that
+//! is short, oversized, fails its CRC, or fails block decoding ends the
+//! trusted region: everything from that byte offset on is **tail** and is
+//! reported (and later physically truncated) rather than trusted. A torn
+//! append therefore costs at most the blocks that were never acknowledged
+//! — never a prefix, never a silently wrong record.
+
+use super::codec::{self, DecodeError};
+use super::vfs::{Vfs, VfsError};
+use crate::block::Block;
+use std::fmt;
+
+/// Magic + version prefix of a WAL file.
+pub const WAL_MAGIC: &[u8; 8] = b"TDTWAL01";
+
+/// Largest accepted frame payload (matches the codec's allocation cap).
+const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// Why scanning stopped before the end of the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TailReason {
+    /// The file ended mid-frame (torn append).
+    Torn,
+    /// A frame's CRC did not match its payload (bit rot / partial page).
+    CrcMismatch,
+    /// The frame length field is implausible.
+    BadLength,
+    /// The payload passed its CRC but did not decode as a block.
+    Undecodable(String),
+}
+
+impl fmt::Display for TailReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TailReason::Torn => write!(f, "torn frame"),
+            TailReason::CrcMismatch => write!(f, "crc mismatch"),
+            TailReason::BadLength => write!(f, "implausible frame length"),
+            TailReason::Undecodable(why) => write!(f, "undecodable payload: {why}"),
+        }
+    }
+}
+
+/// The result of scanning a WAL file.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Every fully verified block, in file order.
+    pub blocks: Vec<Block>,
+    /// End-of-frame byte offset for each entry of `blocks` (so a caller
+    /// that rejects block *i* on chain grounds can truncate to
+    /// `offsets[i-1]`).
+    pub offsets: Vec<u64>,
+    /// Byte offset of the end of the last good frame — the length the
+    /// file should be truncated to.
+    pub valid_len: u64,
+    /// Total file length at scan time.
+    pub file_len: u64,
+    /// Why the tail (if any) was rejected.
+    pub tail: Option<TailReason>,
+}
+
+impl WalScan {
+    /// Bytes past the last trusted frame.
+    pub fn tail_bytes(&self) -> u64 {
+        self.file_len - self.valid_len
+    }
+}
+
+/// Handle over the WAL file of one ledger directory.
+#[derive(Debug)]
+pub struct Wal<'a> {
+    vfs: &'a dyn Vfs,
+    path: &'a str,
+}
+
+impl<'a> Wal<'a> {
+    /// A WAL at `path` on `vfs` (the file need not exist yet).
+    pub fn new(vfs: &'a dyn Vfs, path: &'a str) -> Wal<'a> {
+        Wal { vfs, path }
+    }
+
+    /// Encodes one frame (length, CRC, payload).
+    pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&codec::crc32(payload).to_be_bytes());
+        frame.extend_from_slice(payload);
+        frame
+    }
+
+    /// Appends one block record and makes it durable (write + fsync).
+    /// When this returns `Ok`, the block survives any crash.
+    pub fn append_block(&self, block: &Block) -> Result<u64, VfsError> {
+        if !self.vfs.exists(self.path) {
+            self.vfs.create(self.path, WAL_MAGIC)?;
+            self.vfs.sync(self.path)?;
+        }
+        let frame = Self::encode_frame(&codec::encode_block(block));
+        let len = frame.len() as u64;
+        self.vfs.append(self.path, &frame)?;
+        self.vfs.sync(self.path)?;
+        Ok(len)
+    }
+
+    /// Scans the file, verifying every frame; never fails on corruption —
+    /// corruption just ends the trusted region (see module docs).
+    ///
+    /// # Errors
+    ///
+    /// Only genuine VFS failures (crash injection, I/O) are errors.
+    pub fn scan(&self) -> Result<WalScan, VfsError> {
+        let bytes = match self.vfs.read(self.path) {
+            Ok(bytes) => bytes,
+            Err(VfsError::NotFound(_)) => {
+                return Ok(WalScan {
+                    blocks: Vec::new(),
+                    offsets: Vec::new(),
+                    valid_len: 0,
+                    file_len: 0,
+                    tail: None,
+                })
+            }
+            Err(e) => return Err(e),
+        };
+        let file_len = bytes.len() as u64;
+        // A missing or wrong header means nothing in the file is trusted.
+        if !bytes.starts_with(WAL_MAGIC) {
+            return Ok(WalScan {
+                blocks: Vec::new(),
+                offsets: Vec::new(),
+                valid_len: 0,
+                file_len,
+                tail: (file_len > 0).then_some(TailReason::BadLength),
+            });
+        }
+        let mut blocks = Vec::new();
+        let mut offsets = Vec::new();
+        let mut pos = WAL_MAGIC.len();
+        let mut tail = None;
+        while pos < bytes.len() {
+            let Some(header) = bytes.get(pos..pos.saturating_add(8)) else {
+                tail = Some(TailReason::Torn);
+                break;
+            };
+            let (len_bytes, crc_bytes) = header.split_at(4);
+            let len = codec::be_fold(len_bytes);
+            let crc = codec::be_fold(crc_bytes) as u32;
+            if len > u64::from(MAX_FRAME) {
+                tail = Some(TailReason::BadLength);
+                break;
+            }
+            let len = len as usize;
+            let Some(payload) = bytes.get(pos + 8..pos + 8 + len) else {
+                tail = Some(TailReason::Torn);
+                break;
+            };
+            if codec::crc32(payload) != crc {
+                tail = Some(TailReason::CrcMismatch);
+                break;
+            }
+            match codec::decode_block(payload) {
+                Ok(block) => blocks.push(block),
+                Err(DecodeError(reason)) => {
+                    tail = Some(TailReason::Undecodable(reason));
+                    break;
+                }
+            }
+            pos += 8 + len;
+            offsets.push(pos as u64);
+        }
+        Ok(WalScan {
+            blocks,
+            offsets,
+            valid_len: pos as u64,
+            file_len,
+            tail,
+        })
+    }
+
+    /// Physically truncates the file to the trusted region found by a
+    /// scan, so future appends extend a clean tail.
+    pub fn truncate_to(&self, valid_len: u64) -> Result<(), VfsError> {
+        if !self.vfs.exists(self.path) {
+            return Ok(());
+        }
+        // An all-garbage file (bad header) is recreated empty.
+        if valid_len < WAL_MAGIC.len() as u64 {
+            self.vfs.create(self.path, WAL_MAGIC)?;
+            return self.vfs.sync(self.path);
+        }
+        self.vfs.truncate(self.path, valid_len)
+    }
+
+    /// Current file length (0 when missing).
+    pub fn file_len(&self) -> u64 {
+        self.vfs.len(self.path).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use crate::storage::vfs::MemVfs;
+
+    fn chain(n: usize) -> Vec<Block> {
+        let mut blocks = vec![Block::genesis(vec![b"cfg".to_vec()])];
+        for i in 1..n {
+            let prev = blocks[i - 1].header.clone();
+            blocks.push(Block::next(&prev, vec![format!("tx-{i}").into_bytes()]));
+        }
+        blocks
+    }
+
+    #[test]
+    fn append_scan_roundtrip() {
+        let vfs = MemVfs::new();
+        let wal = Wal::new(&vfs, "wal.log");
+        let blocks = chain(5);
+        for b in &blocks {
+            wal.append_block(b).unwrap();
+        }
+        let scan = wal.scan().unwrap();
+        assert_eq!(scan.blocks, blocks);
+        assert_eq!(scan.tail, None);
+        assert_eq!(scan.valid_len, scan.file_len);
+    }
+
+    #[test]
+    fn missing_file_scans_empty() {
+        let vfs = MemVfs::new();
+        let wal = Wal::new(&vfs, "wal.log");
+        let scan = wal.scan().unwrap();
+        assert!(scan.blocks.is_empty());
+        assert_eq!(scan.tail, None);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_trusted() {
+        let vfs = MemVfs::new();
+        let wal = Wal::new(&vfs, "wal.log");
+        let blocks = chain(3);
+        for b in &blocks {
+            wal.append_block(b).unwrap();
+        }
+        let good_len = vfs.len("wal.log").unwrap();
+        // Simulate a torn append: half a frame at the end.
+        vfs.append("wal.log", &[1, 2, 3, 4, 5]).unwrap();
+        let scan = wal.scan().unwrap();
+        assert_eq!(scan.blocks, blocks);
+        assert_eq!(scan.valid_len, good_len);
+        assert_eq!(scan.tail, Some(TailReason::Torn));
+        wal.truncate_to(scan.valid_len).unwrap();
+        assert_eq!(wal.file_len(), good_len);
+        // Appending after repair keeps working.
+        let next = Block::next(&blocks[2].header, vec![b"x".to_vec()]);
+        wal.append_block(&next).unwrap();
+        assert_eq!(wal.scan().unwrap().blocks.len(), 4);
+    }
+
+    #[test]
+    fn crc_mismatch_ends_trust_at_the_flip() {
+        let vfs = MemVfs::new();
+        let wal = Wal::new(&vfs, "wal.log");
+        let blocks = chain(4);
+        let mut offsets = vec![WAL_MAGIC.len() as u64];
+        for b in &blocks {
+            let len = wal.append_block(b).unwrap();
+            offsets.push(offsets.last().unwrap() + len);
+        }
+        // Flip a payload bit inside the third frame.
+        vfs.corrupt("wal.log", offsets[2] as usize + 9, 0x01)
+            .unwrap();
+        let scan = wal.scan().unwrap();
+        assert_eq!(scan.blocks, blocks[..2]);
+        assert_eq!(scan.valid_len, offsets[2]);
+        assert_eq!(scan.tail, Some(TailReason::CrcMismatch));
+    }
+
+    #[test]
+    fn bad_header_trusts_nothing() {
+        let vfs = MemVfs::new();
+        vfs.create("wal.log", b"garbage!").unwrap();
+        let wal = Wal::new(&vfs, "wal.log");
+        let scan = wal.scan().unwrap();
+        assert!(scan.blocks.is_empty());
+        assert_eq!(scan.valid_len, 0);
+        wal.truncate_to(scan.valid_len).unwrap();
+        // Repair recreated a clean header.
+        assert_eq!(vfs.read("wal.log").unwrap(), WAL_MAGIC);
+    }
+
+    #[test]
+    fn absurd_length_field_is_rejected() {
+        let vfs = MemVfs::new();
+        let wal = Wal::new(&vfs, "wal.log");
+        wal.append_block(&chain(1)[0]).unwrap();
+        let good = vfs.len("wal.log").unwrap();
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&u32::MAX.to_be_bytes());
+        frame.extend_from_slice(&[0u8; 4]);
+        vfs.append("wal.log", &frame).unwrap();
+        let scan = wal.scan().unwrap();
+        assert_eq!(scan.blocks.len(), 1);
+        assert_eq!(scan.valid_len, good);
+        assert_eq!(scan.tail, Some(TailReason::BadLength));
+    }
+}

@@ -64,8 +64,30 @@ impl BlockStore {
     }
 
     /// Registers a transaction id for lookup via [`BlockStore::find_tx`].
-    pub fn index_tx(&mut self, txid: impl Into<String>, block: u64, tx_index: usize) {
-        self.tx_index.insert(txid.into(), (block, tx_index));
+    ///
+    /// Duplicates are **first-write-wins**: the chain position a txid was
+    /// first committed at is authoritative, and a later colliding id must
+    /// not silently redirect [`BlockStore::find_tx`] to a newer payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LedgerError::DuplicateTxId`] when `txid` is already
+    /// indexed; the existing mapping is left untouched.
+    pub fn index_tx(
+        &mut self,
+        txid: impl Into<String>,
+        block: u64,
+        tx_index: usize,
+    ) -> Result<(), LedgerError> {
+        match self.tx_index.entry(txid.into()) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                Err(LedgerError::DuplicateTxId(e.key().clone()))
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert((block, tx_index));
+                Ok(())
+            }
+        }
     }
 
     /// Fetches a block by number.
@@ -220,12 +242,24 @@ mod tests {
     #[test]
     fn tx_index_lookup() {
         let mut store = chain(3);
-        store.index_tx("tx-1", 1, 0);
+        store.index_tx("tx-1", 1, 0).unwrap();
         assert_eq!(store.find_tx("tx-1").unwrap(), b"tx-1");
         assert_eq!(
             store.find_tx("missing").unwrap_err(),
             LedgerError::TxNotFound("missing".into())
         );
+    }
+
+    #[test]
+    fn duplicate_txid_is_first_write_wins() {
+        let mut store = chain(3);
+        store.index_tx("tx-1", 1, 0).unwrap();
+        // A later block smuggling the same txid must not redirect lookup.
+        assert_eq!(
+            store.index_tx("tx-1", 2, 0),
+            Err(LedgerError::DuplicateTxId("tx-1".into()))
+        );
+        assert_eq!(store.find_tx("tx-1").unwrap(), b"tx-1");
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub const PANIC_CRATES: &[&str] = &[
 /// Crates scanned for non-constant-time comparisons.
 pub const CT_CRATES: &[&str] = &["crypto"];
 /// Crates scanned by the memory-model (`sync`) pass.
-pub const SYNC_CRATES: &[&str] = &["relay", "obs", "crypto", "core", "fabric"];
+pub const SYNC_CRATES: &[&str] = &["relay", "obs", "crypto", "core", "fabric", "ledger"];
 /// The wire schema source, relative to the workspace root.
 pub const MESSAGES_PATH: &str = "crates/wire/src/messages.rs";
 /// The blessed tag snapshot, relative to the workspace root.

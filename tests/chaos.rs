@@ -592,3 +592,365 @@ fn overload_soak_sheds_at_the_gate_with_bounded_p99_and_replayable_faults() {
         );
     }
 }
+
+/// Durable-ledger kill+recover soak: a committing peer over a seeded
+/// fault-injecting disk. The client keeps a shadow model of what each
+/// acknowledged commit implies; after every injected crash the peer is
+/// reopened through recovery and checked against it.
+///
+/// Safety properties asserted under disk chaos:
+/// * **no acked loss** — once `validate_and_commit` returns `Ok`, the
+///   block survives every later crash (clean-disk soak);
+/// * **verified prefix** — whatever height recovery lands on, the
+///   recovered state hash is exactly the client's shadow hash for that
+///   height: never garbage, never a half-applied block (bit-rot soak,
+///   where tail truncation may legitimately lose acked blocks);
+/// * the same seed replays the exact same commit/crash/recover trace.
+mod durable_ledger {
+    use super::chaos_seed;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+    use tdt::crypto::cert::CertRole;
+    use tdt::crypto::group::Group;
+    use tdt::fabric::chaincode::{Chaincode, ChaincodeRegistry, Proposal, TxContext};
+    use tdt::fabric::endorse::TransactionEnvelope;
+    use tdt::fabric::error::ChaincodeError;
+    use tdt::fabric::msp::{Identity, Msp, MspRegistry};
+    use tdt::fabric::peer::Peer;
+    use tdt::fabric::policy::EndorsementPolicy;
+    use tdt::fabric::FabricError;
+    use tdt::ledger::block::Block;
+    use tdt::ledger::rwset::Version;
+    use tdt::ledger::state::WorldState;
+    use tdt::ledger::storage::fault::{FaultConfig, FaultVfs};
+    use tdt::ledger::storage::file::{FileBackend, FileConfig};
+    use tdt::ledger::storage::vfs::{MemVfs, Vfs};
+    use tdt::ledger::LedgerError;
+    use tdt::wire::codec::Message;
+
+    struct KvStore;
+
+    impl Chaincode for KvStore {
+        fn invoke(
+            &self,
+            ctx: &mut TxContext<'_>,
+            function: &str,
+            args: &[Vec<u8>],
+        ) -> Result<Vec<u8>, ChaincodeError> {
+            match function {
+                "put" => {
+                    let key = String::from_utf8_lossy(&args[0]).into_owned();
+                    ctx.put_state(&key, args[1].clone());
+                    Ok(Vec::new())
+                }
+                f => Err(ChaincodeError::UnknownFunction(f.into())),
+            }
+        }
+    }
+
+    struct Parts {
+        peer_id: Identity,
+        client: Identity,
+        registry: Arc<ChaincodeRegistry>,
+        msp_registry: Arc<MspRegistry>,
+        policies: Arc<std::collections::HashMap<String, EndorsementPolicy>>,
+    }
+
+    fn parts() -> Parts {
+        let mut msp = Msp::new("net", "org1", Group::test_group(), b"s");
+        let peer_id = msp.enroll("peer0", CertRole::Peer, false);
+        let client = msp.enroll("alice", CertRole::Client, false);
+        let mut registry = ChaincodeRegistry::new();
+        registry.deploy("kv", Arc::new(KvStore));
+        let mut msp_registry = MspRegistry::new();
+        msp_registry.register("org1", msp.root_certificate().clone());
+        let mut policies = std::collections::HashMap::new();
+        policies.insert("kv".to_string(), EndorsementPolicy::any_of(["org1"]));
+        Parts {
+            peer_id,
+            client,
+            registry: Arc::new(registry),
+            msp_registry: Arc::new(msp_registry),
+            policies: Arc::new(policies),
+        }
+    }
+
+    fn is_storage_err(e: &FabricError) -> bool {
+        matches!(e, FabricError::Ledger(LedgerError::Storage(_)))
+    }
+
+    /// Reopens the peer through recovery, rebooting the disk out of any
+    /// crashed state first (and again if recovery itself hits a crash
+    /// point — recovery must be re-runnable from any crash).
+    fn reopen(
+        p: &Parts,
+        disk: &Arc<FaultVfs>,
+        config: &FileConfig,
+        trace: &mut Vec<String>,
+    ) -> Peer {
+        loop {
+            if disk.is_crashed() {
+                disk.reboot();
+            }
+            let backend = Box::new(FileBackend::new(
+                Arc::clone(disk) as Arc<dyn Vfs>,
+                config.clone(),
+            ));
+            match Peer::with_backend(
+                "net",
+                "org1",
+                "peer0",
+                p.peer_id.clone(),
+                Arc::clone(&p.registry),
+                Arc::clone(&p.msp_registry),
+                Arc::clone(&p.policies),
+                backend,
+            ) {
+                Ok(peer) => {
+                    let r = peer.recovery_report().expect("opened via with_backend");
+                    trace.push(format!(
+                        "recovered h={} replayed={} truncated={} fallbacks={}",
+                        r.chain_height, r.replayed_blocks, r.truncated_bytes, r.snapshot_fallbacks
+                    ));
+                    return peer;
+                }
+                Err(e) if is_storage_err(&e) => {
+                    trace.push("recovery-crashed".into());
+                }
+                Err(e) => panic!("non-storage error during recovery: {e}"),
+            }
+        }
+    }
+
+    struct SoakOutcome {
+        trace: Vec<String>,
+        crashes: u64,
+        injected: u64,
+        final_height: u64,
+        acked: u64,
+        recoveries: u64,
+        duplicates: u64,
+    }
+
+    /// One seeded soak: `attempts` put-transactions committed one block
+    /// each against a peer whose disk injects `fault_config` faults.
+    /// `require_no_loss` asserts acked commits survive every crash (only
+    /// sound when the config injects no bit rot).
+    fn run_recovery_soak(
+        seed: u64,
+        attempts: usize,
+        fault_config: FaultConfig,
+        require_no_loss: bool,
+    ) -> SoakOutcome {
+        let p = parts();
+        let disk = Arc::new(FaultVfs::new(Arc::new(MemVfs::new()), seed, fault_config));
+        let file_config = FileConfig {
+            snapshot_interval: 16,
+            ..FileConfig::default()
+        };
+        let mut trace: Vec<String> = Vec::new();
+        // Shadow model: for every chain height the client has ever sent a
+        // block for, the exact world state that prefix implies.
+        let mut shadow = WorldState::new();
+        let mut candidates: HashMap<u64, WorldState> = HashMap::new();
+        candidates.insert(0, WorldState::new());
+        candidates.insert(1, WorldState::new()); // genesis writes nothing
+        let mut acked: u64 = 0;
+        let mut recoveries: u64 = 0;
+
+        let mut peer = reopen(&p, &disk, &file_config, &mut trace);
+        let mut i = 0usize;
+        while i < attempts {
+            // (Re-)establish genesis if the chain is empty — possible at
+            // first open and again if bit rot ate the whole WAL.
+            if peer.height() == 0 {
+                match peer.validate_and_commit(Block::genesis(vec![b"config".to_vec()])) {
+                    Ok(_) => {
+                        shadow = WorldState::new();
+                        acked = acked.max(1);
+                        trace.push("genesis-ok".into());
+                    }
+                    Err(e) if is_storage_err(&e) => {
+                        trace.push("crash@genesis".into());
+                        peer = reopen(&p, &disk, &file_config, &mut trace);
+                        recoveries += 1;
+                    }
+                    Err(e) => panic!("genesis commit failed: {e}"),
+                }
+                continue;
+            }
+            let proposal = Proposal::new(
+                format!("tx{i}"),
+                "ch",
+                "kv",
+                "put",
+                vec![
+                    format!("k{}", i % 8).into_bytes(),
+                    format!("v{i}").into_bytes(),
+                ],
+                p.client.certificate().clone(),
+            )
+            .sign(p.client.signing_key());
+            let sim = peer.simulate(&proposal).expect("simulation is disk-free");
+            let endorsement = peer
+                .endorse_transaction(&proposal, &sim)
+                .expect("endorsement is disk-free");
+            let envelope = TransactionEnvelope {
+                txid: proposal.txid.clone(),
+                channel: "ch".into(),
+                chaincode: "kv".into(),
+                result: sim.result.clone(),
+                rwset: sim.rwset.clone(),
+                endorsements: vec![endorsement],
+                creator_cert: proposal.creator.clone(),
+            };
+            let tip = peer.store().tip().expect("non-empty chain").clone();
+            let block = Block::next(&tip, vec![envelope.encode_to_vec()]);
+            let number = block.header.number;
+            // What the world state must be if this block commits.
+            let mut candidate = shadow.clone();
+            candidate.apply(&envelope.rwset, Version::new(number, 0));
+            candidates.insert(number + 1, candidate.clone());
+            match peer.validate_and_commit(block) {
+                Ok(codes) => {
+                    assert!(
+                        codes.iter().all(|c| c.is_valid()),
+                        "blind puts can never be invalidated: {codes:?} (seed {seed})"
+                    );
+                    shadow = candidate;
+                    acked = acked.max(number + 1);
+                    assert_eq!(
+                        peer.state_hash(),
+                        shadow.state_hash(),
+                        "live state diverged from shadow after block {number} (seed {seed})"
+                    );
+                    trace.push(format!("ok@{number}"));
+                    i += 1;
+                }
+                Err(e) if is_storage_err(&e) => {
+                    trace.push(format!("crash@{number}"));
+                    peer = reopen(&p, &disk, &file_config, &mut trace);
+                    recoveries += 1;
+                    let h = peer.height();
+                    assert!(
+                        h <= number + 1,
+                        "recovered past what was ever sent: {h} > {} (seed {seed})",
+                        number + 1
+                    );
+                    if require_no_loss {
+                        assert!(
+                            h >= acked,
+                            "acked block lost: recovered to {h} after acking {acked} (seed {seed})"
+                        );
+                    }
+                    // Verified prefix: the recovered state is exactly the
+                    // shadow state for that height — never a half-applied
+                    // or corrupt prefix.
+                    let expected = candidates
+                        .get(&h)
+                        .unwrap_or_else(|| panic!("recovered to unknown height {h} (seed {seed})"));
+                    assert_eq!(
+                        peer.state_hash(),
+                        expected.state_hash(),
+                        "recovered state at height {h} is not the committed prefix (seed {seed})"
+                    );
+                    shadow = expected.clone();
+                    // The client moves on: an unacked block may or may not
+                    // have survived; re-sending tx{i} in a fresh block is
+                    // legal and exercises duplicate-txid handling.
+                }
+                Err(e) => panic!("commit of block {number} failed: {e}"),
+            }
+        }
+        SoakOutcome {
+            trace,
+            crashes: disk.crashes(),
+            injected: disk.injected(),
+            final_height: peer.height(),
+            acked,
+            recoveries,
+            duplicates: peer.storage_stats().duplicate_txids(),
+        }
+    }
+
+    #[test]
+    fn kill_recover_soak_never_loses_acked_commits() {
+        let seed = chaos_seed();
+        let outcome = run_recovery_soak(seed, 120, FaultConfig::crashy(), true);
+        println!(
+            "durable soak: {} attempts acked to height {}, {} crashes, {} faults injected, {} recoveries, {} duplicate txids",
+            120, outcome.acked, outcome.crashes, outcome.injected, outcome.recoveries, outcome.duplicates
+        );
+        assert!(
+            outcome.crashes > 0,
+            "crash schedule must actually fire (seed {seed})"
+        );
+        assert!(
+            outcome.recoveries > 0,
+            "soak must exercise recovery (seed {seed})"
+        );
+        // 120 acked puts + genesis, plus any durable-but-unacked blocks
+        // that survived a crash-after-write (those are retried under a
+        // fresh block, so they add height).
+        assert!(
+            outcome.final_height >= 121,
+            "all 120 payloads plus genesis must eventually commit: height {} (seed {seed})",
+            outcome.final_height
+        );
+        assert!(
+            outcome.acked <= outcome.final_height,
+            "acked height {} above actual chain {} (seed {seed})",
+            outcome.acked,
+            outcome.final_height
+        );
+    }
+
+    #[test]
+    fn kill_recover_soak_with_bit_rot_always_recovers_a_verified_prefix() {
+        let seed = chaos_seed().wrapping_add(1);
+        // Bit rot may destroy acked durable bytes; the property that
+        // survives is prefix integrity, asserted inside the soak after
+        // every recovery.
+        let outcome = run_recovery_soak(seed, 120, FaultConfig::rotten(), false);
+        println!(
+            "rotten soak: final height {}, {} crashes, {} faults injected, {} recoveries",
+            outcome.final_height, outcome.crashes, outcome.injected, outcome.recoveries
+        );
+        assert!(
+            outcome.injected > 0,
+            "fault schedule must actually fire (seed {seed})"
+        );
+        assert!(
+            outcome.recoveries > 0,
+            "soak must exercise recovery (seed {seed})"
+        );
+        // Bit rot may permanently truncate acked blocks, so no exact
+        // height claim — the load-bearing assertions (recovered state ==
+        // shadow prefix after every crash) already ran inside the soak.
+        assert!(
+            outcome.final_height >= 1,
+            "chain must end non-empty (seed {seed})"
+        );
+    }
+
+    #[test]
+    fn kill_recover_soak_replays_identically_from_its_seed() {
+        let seed = chaos_seed();
+        let first = run_recovery_soak(seed, 60, FaultConfig::crashy(), true);
+        let second = run_recovery_soak(seed, 60, FaultConfig::crashy(), true);
+        assert_eq!(
+            first.trace, second.trace,
+            "same seed {seed} must replay the exact same commit/crash/recover trace"
+        );
+        assert_eq!(first.crashes, second.crashes);
+        assert_eq!(first.injected, second.injected);
+        assert_eq!(first.final_height, second.final_height);
+        // And a different seed produces a different schedule (overwhelming
+        // probability for any non-degenerate config).
+        let third = run_recovery_soak(seed.wrapping_add(0x9e37), 60, FaultConfig::crashy(), true);
+        assert_ne!(
+            first.trace, third.trace,
+            "different seeds should not produce identical traces"
+        );
+    }
+}

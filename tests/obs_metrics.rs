@@ -46,9 +46,24 @@ fn harness_exposition() -> String {
     };
     group.relay_query(&query).expect("query through harness");
 
+    // A durable ledger backend with one recovery pass behind it, so the
+    // tdt_ledger_* series are part of the inventory.
+    let mut backend = tdt::ledger::storage::file::FileBackend::new(
+        Arc::new(tdt::ledger::storage::vfs::MemVfs::new()),
+        tdt::ledger::storage::file::FileConfig::default(),
+    );
+    use tdt::ledger::storage::StorageBackend;
+    backend.load().expect("load empty backend");
+    backend
+        .append_block(&tdt::ledger::block::Block::genesis(vec![b"g".to_vec()]))
+        .expect("append genesis");
+
     let handle = ObsHandle::new();
     register_relay(&handle, &swt);
     register_group(&handle, &group);
+    handle.add_source(Arc::new(
+        tdt::ledger::storage::telemetry::StorageMetricSource::new(backend.stats()),
+    ));
     handle.prometheus_text()
 }
 
