@@ -16,7 +16,12 @@
 //!    server, showing sheds plus bounded completion p99 instead of
 //!    queue collapse.
 //!
-//! Usage: `cargo run -p tdt-bench --release --bin loadplane -- [--smoke] [--out PATH]`
+//! Usage: `cargo run -p tdt-bench --release --bin loadplane -- \
+//!            [--smoke] [--out PATH] [--profile-hz N]`
+//!
+//! `--profile-hz N` runs the scoped sampling profiler for the whole
+//! rate sweep and writes the folded stacks next to the JSON (`<out>.folded`)
+//! — a flamegraph of where the relay actually spends the sweep.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -350,6 +355,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_loadplane.json".to_string());
+    let profile_hz: u64 = args
+        .iter()
+        .position(|a| a == "--profile-hz")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     let profile = if smoke { SMOKE } else { FULL };
 
     // ---- Phase 1 + 2: capacity calibration and the batching sweep ----
@@ -389,6 +400,10 @@ fn main() {
     } else {
         &[0.3, 0.6, 0.9, 1.2]
     };
+    let sampler = (profile_hz > 0).then(|| {
+        eprintln!("profiling the sweep at {profile_hz} Hz");
+        tdt_obs::profile::start(profile_hz)
+    });
     let mut run_rows = Vec::new();
     for &fraction in fractions {
         let offered = (capacity * fraction).round();
@@ -421,6 +436,17 @@ fn main() {
                 profile.window_secs,
                 stats_json(&stats)
             ));
+        }
+    }
+    if let Some(sampler) = sampler {
+        let report = sampler.stop();
+        let folded_path = format!("{out_path}.folded");
+        match std::fs::write(&folded_path, report.folded_text()) {
+            Ok(()) => eprintln!(
+                "wrote {folded_path} ({} samples, {} idle)",
+                report.samples, report.idle
+            ),
+            Err(e) => eprintln!("warning: could not write {folded_path}: {e}"),
         }
     }
     testbed.shutdown();

@@ -1,0 +1,255 @@
+//! Profiler overhead bench (E21, `BENCH_profile.json`).
+//!
+//! Measures what the always-available sampling profiler costs the hot
+//! path. The workload is an in-process relay echo: client threads call
+//! [`EnvelopeHandler::handle`] on a worker-backed [`RelayService`] in a
+//! closed loop, which walks the real instrumented path —
+//! `profile_scope!("relay.dispatch")`, admission, driver dispatch — with
+//! no TCP noise. Throughput is measured with the sampler off (the
+//! baseline) and at each requested rate; overhead is the relative
+//! throughput loss, best-of-3 per rate so a scheduler hiccup cannot
+//! fail the gate.
+//!
+//! `--check` exits non-zero when overhead at the default rate
+//! ([`tdt_obs::profile::DEFAULT_HZ`]) exceeds 3% — the CI gate that
+//! keeps "always-on" honest. The folded stacks observed at the highest
+//! rate are written next to the JSON so a flamegraph of the bench
+//! itself is one `flamegraph.pl` away.
+//!
+//! Usage: `cargo run -p tdt-bench --release --bin profile -- \
+//!            [--smoke] [--check] [--out PATH] [--folded PATH]`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tdt_relay::discovery::{DiscoveryService, StaticRegistry};
+use tdt_relay::driver::EchoDriver;
+use tdt_relay::service::RelayService;
+use tdt_relay::transport::{EnvelopeHandler, PooledTcpTransport, RelayTransport};
+use tdt_wire::messages::{EnvelopeKind, NetworkAddress, Query, RelayEnvelope};
+
+/// The network served by the bench relay.
+const NETWORK: &str = "profnet";
+
+/// The overhead ceiling `--check` enforces at the default rate.
+const MAX_OVERHEAD_PCT: f64 = 3.0;
+
+/// Sampling rates measured after the hz=0 baseline. 19 Hz is the
+/// always-on default; 97 Hz is the stress point (both prime, so they
+/// cannot alias against periodic work).
+const RATES: &[u64] = &[tdt_obs::profile::DEFAULT_HZ, 97];
+
+#[derive(Clone, Copy)]
+struct Profile {
+    client_threads: usize,
+    workers: usize,
+    window_secs: f64,
+    repeats: usize,
+}
+
+const FULL: Profile = Profile {
+    client_threads: 4,
+    workers: 4,
+    window_secs: 1.5,
+    repeats: 3,
+};
+
+const SMOKE: Profile = Profile {
+    client_threads: 2,
+    workers: 2,
+    window_secs: 0.3,
+    repeats: 2,
+};
+
+fn query_envelope(thread: usize, seq: u64) -> RelayEnvelope {
+    let q = Query {
+        request_id: format!("p{thread}-{seq}"),
+        address: NetworkAddress::new(NETWORK, "ledger", "contract", "fn")
+            .with_arg(format!("payload-{thread}-{seq}").into_bytes()),
+        ..Default::default()
+    };
+    RelayEnvelope::query("profile-client", NETWORK, &q)
+}
+
+/// Closed-loop burst: every client thread calls `handle` back-to-back
+/// for `secs`. Returns the sustained ok-throughput.
+fn run_burst(relay: &Arc<RelayService>, threads: usize, secs: f64) -> f64 {
+    let ok = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let until = started + Duration::from_secs_f64(secs);
+    std::thread::scope(|scope| {
+        for thread in 0..threads {
+            let relay = Arc::clone(relay);
+            let ok = Arc::clone(&ok);
+            scope.spawn(move || {
+                let mut seq = 0u64;
+                while Instant::now() < until {
+                    let reply = relay.handle(query_envelope(thread, seq));
+                    if reply.kind == EnvelopeKind::QueryResponse {
+                        ok.fetch_add(1, Ordering::Relaxed);
+                    }
+                    seq += 1;
+                }
+            });
+        }
+    });
+    ok.load(Ordering::Relaxed) as f64 / started.elapsed().as_secs_f64()
+}
+
+struct RateResult {
+    hz: u64,
+    best_rps: f64,
+    runs: Vec<f64>,
+    samples: u64,
+    folded: String,
+}
+
+/// Best-of-`repeats` throughput at one sampling rate (0 = sampler off).
+/// Keeps the folded stacks of the best run for the artifact.
+fn measure_rate(relay: &Arc<RelayService>, profile: Profile, hz: u64) -> RateResult {
+    let mut runs = Vec::with_capacity(profile.repeats);
+    let mut best_rps = 0.0f64;
+    let mut samples = 0u64;
+    let mut folded = String::new();
+    for _ in 0..profile.repeats {
+        let handle = (hz > 0).then(|| tdt_obs::profile::start(hz));
+        let rps = run_burst(relay, profile.client_threads, profile.window_secs);
+        let report = handle.map(tdt_obs::profile::ProfilerHandle::stop);
+        runs.push(rps);
+        if rps > best_rps {
+            best_rps = rps;
+            if let Some(report) = report {
+                samples = report.samples;
+                folded = report.folded_text();
+            }
+        }
+    }
+    RateResult {
+        hz,
+        best_rps,
+        runs,
+        samples,
+        folded,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_profile.json".to_string());
+    let folded_path = args
+        .iter()
+        .position(|a| a == "--folded")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_profile.folded".to_string());
+    let profile = if smoke { SMOKE } else { FULL };
+
+    let registry = Arc::new(StaticRegistry::new());
+    let relay = Arc::new(RelayService::new(
+        "profile-relay",
+        NETWORK,
+        registry as Arc<dyn DiscoveryService>,
+        Arc::new(PooledTcpTransport::new()) as Arc<dyn RelayTransport>,
+    ));
+    relay.register_driver(Arc::new(EchoDriver::new(NETWORK)));
+    relay.start_workers(profile.workers);
+
+    // Warm up: intern tags, fill worker queues, fault in code paths.
+    run_burst(&relay, profile.client_threads, profile.window_secs.min(0.3));
+
+    eprintln!(
+        "baseline: {} client threads x {} workers, {:.1}s windows, best of {}",
+        profile.client_threads, profile.workers, profile.window_secs, profile.repeats
+    );
+    let baseline = measure_rate(&relay, profile, 0);
+    eprintln!("  hz 0: {:.0} req/s (sampler off)", baseline.best_rps);
+
+    let mut results = Vec::new();
+    for &hz in RATES {
+        let result = measure_rate(&relay, profile, hz);
+        let overhead = 100.0 * (1.0 - result.best_rps / baseline.best_rps.max(1.0));
+        eprintln!(
+            "  hz {hz}: {:.0} req/s, {} samples, overhead {overhead:+.2}%",
+            result.best_rps, result.samples
+        );
+        results.push((result, overhead));
+    }
+    relay.stop_workers();
+
+    // The folded artifact comes from the highest rate: most samples,
+    // same workload.
+    if let Some((densest, _)) = results.last() {
+        if let Err(e) = std::fs::write(&folded_path, &densest.folded) {
+            eprintln!("warning: could not write {folded_path}: {e}");
+        } else {
+            eprintln!("wrote {folded_path} ({} samples)", densest.samples);
+        }
+    }
+
+    let runs_json = |runs: &[f64]| {
+        runs.iter()
+            .map(|r| format!("{r:.1}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let rows: Vec<String> = std::iter::once(format!(
+        "    {{\"hz\": 0, \"best_rps\": {:.1}, \"runs\": [{}], \"samples\": 0, \
+         \"overhead_pct\": 0.0}}",
+        baseline.best_rps,
+        runs_json(&baseline.runs)
+    ))
+    .chain(results.iter().map(|(r, overhead)| {
+        format!(
+            "    {{\"hz\": {}, \"best_rps\": {:.1}, \"runs\": [{}], \"samples\": {}, \
+             \"overhead_pct\": {overhead:.2}}}",
+            r.hz,
+            r.best_rps,
+            runs_json(&r.runs),
+            r.samples
+        )
+    }))
+    .collect();
+    let json = format!(
+        "{{\n  \"schema\": \"profile-overhead/v1\",\n  \
+         \"generated_by\": \"cargo run -p tdt-bench --release --bin profile{}\",\n  \
+         \"smoke\": {smoke},\n  \
+         \"config\": {{\"client_threads\": {}, \"workers\": {}, \"window_s\": {:.2}, \
+         \"repeats\": {}, \"default_hz\": {}}},\n  \"rates\": [\n{}\n  ]\n}}\n",
+        if smoke { " -- --smoke" } else { "" },
+        profile.client_threads,
+        profile.workers,
+        profile.window_secs,
+        profile.repeats,
+        tdt_obs::profile::DEFAULT_HZ,
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write bench output"); // lint:allow(panic: "bench harness: losing the result file must abort the run")
+    eprintln!("wrote {out_path}");
+
+    if check {
+        let default_overhead = results
+            .iter()
+            .find(|(r, _)| r.hz == tdt_obs::profile::DEFAULT_HZ)
+            .map_or(0.0, |(_, overhead)| *overhead);
+        if default_overhead > MAX_OVERHEAD_PCT {
+            eprintln!(
+                "FAIL: profiler overhead {default_overhead:.2}% at {} Hz exceeds the \
+                 {MAX_OVERHEAD_PCT:.1}% ceiling",
+                tdt_obs::profile::DEFAULT_HZ
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "check ok: profiler overhead {default_overhead:.2}% at {} Hz is within the \
+             {MAX_OVERHEAD_PCT:.1}% ceiling",
+            tdt_obs::profile::DEFAULT_HZ
+        );
+    }
+}

@@ -160,6 +160,7 @@ pub fn verify_block_proof(
     config: &NetworkConfig,
     policy: &PolicyNode,
 ) -> Result<(), InteropError> {
+    tdt_obs::profile_scope!("proof.verify");
     if proof.network_id != config.network_id {
         return Err(InteropError::InvalidResponse(format!(
             "proof from {:?} checked against config for {:?}",

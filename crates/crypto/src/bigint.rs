@@ -778,6 +778,7 @@ impl MontgomeryCtx {
     /// Montgomery-domain exponentiation: `base^exp` with `base` already in
     /// Montgomery form; returns the result in Montgomery form.
     pub fn modexp_mont(&self, base: &MontElem, exp: &BigUint) -> MontElem {
+        tdt_obs::profile_scope!("crypto.modexp_mont");
         // Precompute base^0..=15 in Montgomery form.
         let mut table = Vec::with_capacity(16);
         table.push(self.one.clone());

@@ -282,6 +282,7 @@ impl VerifyingKey {
         signature: &Signature,
         table: Option<&FixedBaseTable>,
     ) -> Result<(), CryptoError> {
+        tdt_obs::profile_scope!("crypto.schnorr_verify");
         let (e, s) = signature.scalars(&self.group)?;
         // r' = g^s * y^(q - e)  (y has order q, so y^(q-e) = y^(-e)),
         // fused into a single fixed-base + windowed multi-exponentiation.
@@ -389,6 +390,7 @@ impl std::error::Error for BatchVerifyError {}
 /// [`BatchVerifyError::GroupMismatch`] if items span groups, and
 /// [`BatchVerifyError::Invalid`] naming an offending index otherwise.
 pub fn batch_verify(items: &[BatchItem<'_>]) -> Result<(), BatchVerifyError> {
+    tdt_obs::profile_scope!("crypto.batch_verify");
     if items.is_empty() {
         return Err(BatchVerifyError::Empty);
     }

@@ -103,6 +103,20 @@ impl Peer {
             Some(snapshot) => (snapshot.height, snapshot.state, snapshot.history),
             None => (0, WorldState::new(), HistoryIndex::new()),
         };
+        // Replay is the last recovery phase, owned by the peer because
+        // only it holds the derived-state structures. Mirror the span /
+        // phase-gauge / flight breadcrumbs the storage phases leave (see
+        // `tdt_ledger::storage::recovery_phase`) so a startup stuck here
+        // is distinguishable from one stuck scanning the WAL.
+        let _trace_guard = match tdt_obs::TraceContext::current() {
+            Some(_) => tdt_obs::ContextGuard::noop(),
+            None => tdt_obs::TraceContext::root().install(),
+        };
+        let (mut replay_span, _replay_guard) = obs_span::enter("recovery.replay");
+        stats.set_recovery_phase(
+            tdt_ledger::storage::recovery_phase::REPLAY,
+            recovered.report.replayed_blocks,
+        );
         let mut store = BlockStore::new();
         for block in recovered.blocks {
             let number = block.header.number;
@@ -133,8 +147,16 @@ impl Peer {
                 }
             }
             // Re-verifies number, hash link, and Merkle data hash.
-            store.append(block)?;
+            if let Err(e) = store.append(block) {
+                replay_span.fail(&e.to_string());
+                stats.set_recovery_phase(tdt_ledger::storage::recovery_phase::IDLE, 0);
+                return Err(e.into());
+            }
         }
+        stats.set_recovery_phase(
+            tdt_ledger::storage::recovery_phase::IDLE,
+            recovered.report.chain_height,
+        );
         Ok(Peer {
             network_id: network_id.into(),
             org_id: org_id.into(),

@@ -32,10 +32,14 @@
 use super::codec;
 use super::vfs::{Vfs, VfsError};
 use super::wal::{Wal, WalScan, WAL_MAGIC};
-use super::{Recovered, RecoveryReport, Snapshot, StorageBackend, StorageError, StorageStats};
+use super::{
+    recovery_phase, Recovered, RecoveryReport, Snapshot, StorageBackend, StorageError, StorageStats,
+};
 use crate::block::Block;
 use std::sync::Arc;
 use std::time::Instant;
+use tdt_obs::span::{self as obs_span, RecordErr};
+use tdt_obs::TraceContext;
 
 /// The WAL file name inside the backend's directory/namespace.
 pub const WAL_FILE: &str = "wal.log";
@@ -202,20 +206,54 @@ impl FileBackend {
 impl StorageBackend for FileBackend {
     fn load(&mut self) -> Result<Recovered, StorageError> {
         let start = Instant::now();
-        let wal = Wal::new(&*self.vfs, WAL_FILE);
+        // Recovery runs at process startup, before any trace exists:
+        // mint a root context so its per-phase spans actually record
+        // (they are the only forensic trail for a recovery that hangs
+        // or truncates data). No-op when the caller already has one.
+        let _trace_guard = match TraceContext::current() {
+            Some(_) => tdt_obs::ContextGuard::noop(),
+            None => TraceContext::root().install(),
+        };
+        let (mut load_span, _load_guard) = obs_span::enter("recovery.load");
+
+        self.stats
+            .set_recovery_phase(recovery_phase::SCAN, self.wal_bytes);
+        let scan_outcome = {
+            tdt_obs::profile_scope!("recovery.scan");
+            let (mut span, _guard) = obs_span::enter("recovery.scan");
+            let wal = Wal::new(&*self.vfs, WAL_FILE);
+            wal.scan().record_err(&mut span)
+        };
         let WalScan {
             mut blocks,
             offsets,
             mut valid_len,
             file_len,
             tail,
-        } = wal.scan()?;
+        } = match scan_outcome {
+            Ok(scan) => scan,
+            Err(e) => {
+                self.stats.set_recovery_phase(recovery_phase::IDLE, 0);
+                load_span.fail(&e.to_string());
+                return Err(e.into());
+            }
+        };
+        self.stats.set_recovery_blocks_scanned(blocks.len() as u64);
         let mut tail_reason = tail.map(|t| t.to_string());
 
         // Frames can be CRC-clean yet chain-broken (a writer bug or a
         // surgically flipped bit that CRC32 happens to collide on): the
         // Merkle/link verification is the final authority.
-        let keep = Self::verified_prefix(&blocks);
+        self.stats
+            .set_recovery_phase(recovery_phase::VERIFY, blocks.len() as u64);
+        let keep = {
+            let (mut span, _guard) = obs_span::enter("recovery.verify");
+            let keep = Self::verified_prefix(&blocks);
+            if keep < blocks.len() {
+                span.fail(&format!("chain verification failed at block {keep}"));
+            }
+            keep
+        };
         if keep < blocks.len() {
             tail_reason = Some(format!("chain verification failed at block {keep}"));
             blocks.truncate(keep);
@@ -227,13 +265,30 @@ impl StorageBackend for FileBackend {
 
         let truncated = file_len.saturating_sub(valid_len);
         if truncated > 0 || tail_reason.is_some() {
-            wal.truncate_to(valid_len)?;
+            self.stats
+                .set_recovery_phase(recovery_phase::TRUNCATE, truncated);
+            let (mut span, _guard) = obs_span::enter("recovery.truncate");
+            let wal = Wal::new(&*self.vfs, WAL_FILE);
+            if let Err(e) = wal.truncate_to(valid_len).record_err(&mut span) {
+                self.stats.set_recovery_phase(recovery_phase::IDLE, 0);
+                load_span.fail(&e.to_string());
+                return Err(e.into());
+            }
             self.stats.note_wal_truncation(truncated);
         }
 
         let chain_height = blocks.len() as u64;
+        self.stats
+            .set_recovery_phase(recovery_phase::SNAPSHOT, chain_height);
         let mut fallbacks = 0u64;
-        let snapshot = self.load_snapshot(chain_height, &mut fallbacks);
+        let snapshot = {
+            let (mut span, _guard) = obs_span::enter("recovery.snapshot");
+            let snapshot = self.load_snapshot(chain_height, &mut fallbacks);
+            if snapshot.is_none() && fallbacks > 0 {
+                span.fail(&format!("all {fallbacks} snapshot candidates rejected"));
+            }
+            snapshot
+        };
         for _ in 0..fallbacks {
             self.stats.note_snapshot_fallback();
         }
@@ -263,6 +318,11 @@ impl StorageBackend for FileBackend {
             duration_ns: start.elapsed().as_nanos() as u64,
         };
         self.stats.note_recovery(&report);
+        // Replay of blocks past the snapshot is the *caller's* phase
+        // (see `tdt_fabric::Peer::with_backend`); storage-level recovery
+        // is done here.
+        self.stats
+            .set_recovery_phase(recovery_phase::IDLE, chain_height);
         Ok(Recovered {
             blocks,
             snapshot,
@@ -280,6 +340,7 @@ impl StorageBackend for FileBackend {
                 got: block.header.number,
             });
         }
+        tdt_obs::profile_scope!("wal.append");
         match Wal::new(&*self.vfs, WAL_FILE).append_block(block) {
             Ok(frame_len) => {
                 if self.wal_bytes == 0 {
@@ -290,6 +351,12 @@ impl StorageBackend for FileBackend {
                 self.prev_hash = block.hash();
                 self.stats.note_wal_append(self.wal_bytes);
                 self.stats.set_chain_height(self.expected_next);
+                tdt_obs::flight::record(
+                    tdt_obs::FlightKind::WalAppend,
+                    0,
+                    block.header.number,
+                    frame_len,
+                );
                 Ok(())
             }
             Err(e) => {

@@ -166,6 +166,39 @@ pub struct StorageStats {
     replayed_blocks: AtomicU64,
     last_recovery_ns: AtomicU64,
     duplicate_txids: AtomicU64,
+    recovery_phase: AtomicU64,
+    recovery_blocks_scanned: AtomicU64,
+}
+
+/// Recovery phases, exported through `tdt_ledger_recovery_phase` so an
+/// operator watching a slow startup can see *where* it is stuck. The
+/// numeric order matches execution order; 0 means recovery is not
+/// running (never started, or finished).
+pub mod recovery_phase {
+    /// Recovery is not running.
+    pub const IDLE: u64 = 0;
+    /// Scanning WAL frames.
+    pub const SCAN: u64 = 1;
+    /// Chain-verifying scanned blocks.
+    pub const VERIFY: u64 = 2;
+    /// Truncating the untrusted WAL tail.
+    pub const TRUNCATE: u64 = 3;
+    /// Selecting and verifying a snapshot.
+    pub const SNAPSHOT: u64 = 4;
+    /// Replaying blocks past the snapshot into derived state.
+    pub const REPLAY: u64 = 5;
+
+    /// Human-readable phase name, for spans and dumps.
+    pub fn name(phase: u64) -> &'static str {
+        match phase {
+            SCAN => "scan",
+            VERIFY => "verify",
+            TRUNCATE => "truncate",
+            SNAPSHOT => "snapshot",
+            REPLAY => "replay",
+            _ => "idle",
+        }
+    }
 }
 
 impl StorageStats {
@@ -224,6 +257,21 @@ impl StorageStats {
     /// A colliding transaction id was rejected (first write wins).
     pub fn note_duplicate_txid(&self) {
         self.duplicate_txids.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Moves the recovery phase gauge (see [`recovery_phase`]) and drops
+    /// a flight-recorder breadcrumb so an incident dump shows how far
+    /// recovery progressed before things went wrong.
+    pub fn set_recovery_phase(&self, phase: u64, detail: u64) {
+        self.recovery_phase.store(phase, Ordering::Relaxed);
+        tdt_obs::flight::record(tdt_obs::FlightKind::Recovery, phase as u16, detail, 0);
+    }
+
+    /// Updates the blocks-scanned progress gauge for the running
+    /// recovery pass.
+    pub fn set_recovery_blocks_scanned(&self, blocks: u64) {
+        self.recovery_blocks_scanned
+            .store(blocks, Ordering::Relaxed);
     }
 
     /// Total durable WAL appends.
@@ -289,6 +337,16 @@ impl StorageStats {
     /// Total duplicate transaction ids rejected.
     pub fn duplicate_txids(&self) -> u64 {
         self.duplicate_txids.load(Ordering::Relaxed)
+    }
+
+    /// Current recovery phase (see [`recovery_phase`]; 0 = not running).
+    pub fn recovery_phase(&self) -> u64 {
+        self.recovery_phase.load(Ordering::Relaxed)
+    }
+
+    /// Blocks scanned by the running (or last) recovery pass.
+    pub fn recovery_blocks_scanned(&self) -> u64 {
+        self.recovery_blocks_scanned.load(Ordering::Relaxed)
     }
 }
 

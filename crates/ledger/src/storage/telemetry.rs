@@ -95,6 +95,19 @@ impl MetricSource for StorageMetricSource {
             )
             .set(s.last_recovery_ns() as i64);
         registry
+            .gauge(
+                "tdt_ledger_recovery_phase",
+                "Recovery phase in progress (0 idle, 1 scan, 2 verify, 3 \
+                 truncate, 4 snapshot, 5 replay)",
+            )
+            .set(s.recovery_phase() as i64);
+        registry
+            .gauge(
+                "tdt_ledger_recovery_blocks_scanned",
+                "Blocks scanned by the running (or last) recovery pass",
+            )
+            .set(s.recovery_blocks_scanned() as i64);
+        registry
             .counter(
                 "tdt_ledger_duplicate_txids_total",
                 "Colliding transaction ids rejected (first write wins)",

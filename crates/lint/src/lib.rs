@@ -9,7 +9,7 @@
 //! | `panic`      | relay, core, fabric, contracts, ledger, obs, bench | fail closed, never panic |
 //! | `ct`         | crypto                             | constant-time secret comparisons  |
 //! | `wire`       | wire message schema                | append-only field-tag evolution   |
-//! | `obs`        | relay request path                 | fallible entry points record span errors |
+//! | `obs`        | relay request path, admission gate, ledger durability | fallible entry points record span errors |
 //! | `sync`       | relay, obs, crypto, core, fabric   | atomics: no racy RMW, no Relaxed sync edges, no lock bypass |
 //!
 //! Run as `cargo run -p lint --release -- check`; CI fails on any
@@ -53,6 +53,9 @@ pub const PANIC_CRATES: &[&str] = &[
 pub const CT_CRATES: &[&str] = &["crypto"];
 /// Crates scanned by the memory-model (`sync`) pass.
 pub const SYNC_CRATES: &[&str] = &["relay", "obs", "crypto", "core", "fabric", "ledger"];
+/// Crates scanned by the observability (`obs`) pass; per-file scope and
+/// error matching live in [`obs::OBS_FILES`].
+pub const OBS_CRATES: &[&str] = &["relay", "ledger"];
 /// The wire schema source, relative to the workspace root.
 pub const MESSAGES_PATH: &str = "crates/wire/src/messages.rs";
 /// The blessed tag snapshot, relative to the workspace root.
@@ -73,7 +76,7 @@ pub fn run_all(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
         ct::check_file(&file, &mut out);
     }
 
-    for file in workspace::load_crates(root, &["relay"])? {
+    for file in workspace::load_crates(root, OBS_CRATES)? {
         obs::check_file(&file, &mut out);
     }
 

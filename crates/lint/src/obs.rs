@@ -7,6 +7,14 @@
 //! that genuinely have nothing to record (constructors, thin delegates whose
 //! callee records) opt out per-site with `// lint:allow(obs: "why")`; the
 //! justification string is mandatory.
+//!
+//! ISSUE 10 widened the pass beyond the relay request path: the ledger's
+//! durability entry points and the admission gate return `Result` types of
+//! their own (`VfsError`, `LedgerError`, shed decisions), and a silent
+//! failure there is *worse* than on the query path — it loses committed
+//! data instead of one request. Those files are matched with
+//! [`ErrorMatch::AnyResult`]: any fallible `pub fn` must record or carry a
+//! justified allow.
 
 use crate::diag::Diagnostic;
 use crate::lexer::{lex, strip_test_items, Lexed, Tok, Token};
@@ -14,25 +22,50 @@ use crate::workspace::SourceFile;
 
 const PASS: &str = "obs";
 
-/// Files on the relay request path that the pass inspects.
-pub const OBS_FILES: &[&str] = &[
-    "crates/relay/src/service.rs",
-    "crates/relay/src/redundancy.rs",
-    "crates/relay/src/transport.rs",
+/// How the pass decides a `pub fn`'s return type is "fallible enough"
+/// to demand error recording.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorMatch {
+    /// Only `Result<_, RelayError>` (the relay request path; other
+    /// `Result`s there are conversions and lookups).
+    RelayError,
+    /// Any `Result<_, _>` return (durability paths: every error is an
+    /// incident in the making).
+    AnyResult,
+}
+
+/// Files the pass inspects, each with its error-matching mode.
+pub const OBS_FILES: &[(&str, ErrorMatch)] = &[
+    ("crates/relay/src/service.rs", ErrorMatch::RelayError),
+    ("crates/relay/src/redundancy.rs", ErrorMatch::RelayError),
+    ("crates/relay/src/transport.rs", ErrorMatch::RelayError),
+    ("crates/relay/src/admission.rs", ErrorMatch::AnyResult),
+    ("crates/ledger/src/store.rs", ErrorMatch::AnyResult),
+    ("crates/ledger/src/storage/file.rs", ErrorMatch::AnyResult),
+    ("crates/ledger/src/storage/wal.rs", ErrorMatch::AnyResult),
 ];
 
 /// Runs the pass over one file, appending findings. Files outside
 /// [`OBS_FILES`] are skipped.
 pub fn check_file(file: &SourceFile, out: &mut Vec<Diagnostic>) {
-    if !OBS_FILES.contains(&file.rel_path.as_str()) {
+    let Some((_, mode)) = OBS_FILES
+        .iter()
+        .find(|(path, _)| *path == file.rel_path.as_str())
+    else {
         return;
-    }
+    };
     let lexed = lex(&file.text);
     let tokens = strip_test_items(&lexed.tokens);
-    check_tokens(&tokens, &lexed, &file.rel_path, out);
+    check_tokens(&tokens, &lexed, &file.rel_path, *mode, out);
 }
 
-fn check_tokens(tokens: &[Token], lexed: &Lexed, path: &str, out: &mut Vec<Diagnostic>) {
+fn check_tokens(
+    tokens: &[Token],
+    lexed: &Lexed,
+    path: &str,
+    mode: ErrorMatch,
+    out: &mut Vec<Diagnostic>,
+) {
     let mut i = 0;
     while i < tokens.len() {
         let Some((fn_idx, next)) = pub_fn_at(tokens, i) else {
@@ -52,7 +85,7 @@ fn check_tokens(tokens: &[Token], lexed: &Lexed, path: &str, out: &mut Vec<Diagn
         let Some(open) = body_open(tokens, fn_idx) else {
             continue;
         };
-        if !returns_relay_result(&tokens[fn_idx..open]) {
+        if !returns_matching_result(&tokens[fn_idx..open], mode) {
             i = open;
             continue;
         }
@@ -84,7 +117,7 @@ fn check_tokens(tokens: &[Token], lexed: &Lexed, path: &str, out: &mut Vec<Diagn
                 path,
                 fn_line,
                 format!(
-                    "`pub fn {name}` returns Result<_, RelayError> but never \
+                    "`pub fn {name}` returns a fallible Result but never \
                      records an error status on its span (`record_err`)"
                 ),
             )),
@@ -201,13 +234,19 @@ fn matching_brace(tokens: &[Token], open: usize) -> usize {
 }
 
 /// True when the signature slice (fn keyword up to the body brace) declares
-/// a `Result<..., RelayError>` return type.
-fn returns_relay_result(sig: &[Token]) -> bool {
+/// a return type the file's [`ErrorMatch`] mode considers fallible.
+fn returns_matching_result(sig: &[Token], mode: ErrorMatch) -> bool {
     let Some(arrow) = sig.iter().position(|t| t.tok.is_punct("->")) else {
         return false;
     };
     let ret = &sig[arrow..];
-    ret.iter().any(|t| t.tok.is_ident("Result")) && ret.iter().any(|t| t.tok.is_ident("RelayError"))
+    if !ret.iter().any(|t| t.tok.is_ident("Result")) {
+        return false;
+    }
+    match mode {
+        ErrorMatch::RelayError => ret.iter().any(|t| t.tok.is_ident("RelayError")),
+        ErrorMatch::AnyResult => true,
+    }
 }
 
 #[cfg(test)]
@@ -290,6 +329,23 @@ mod tests {
         let mut out = Vec::new();
         check_file(&elsewhere, &mut out);
         assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn any_result_mode_flags_non_relay_error_types() {
+        let file = SourceFile {
+            rel_path: "crates/ledger/src/storage/wal.rs".into(),
+            crate_name: "ledger".into(),
+            text: r#"
+                pub fn scan(&self) -> Result<WalScan, VfsError> { self.read_all() }
+                pub fn infallible(&self) -> u64 { 0 }
+            "#
+            .into(),
+        };
+        let mut out = Vec::new();
+        check_file(&file, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("scan"));
     }
 
     #[test]

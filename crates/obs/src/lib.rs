@@ -17,6 +17,12 @@
 //! 3. **Export** ([`export`], [`handle`], [`waterfall`]) — Prometheus-text
 //!    and JSON snapshot exporters plus an ASCII span-timeline renderer for
 //!    the message-flow example.
+//! 4. **Incident forensics** ([`flight`], [`profile`], [`slo`]) — an
+//!    always-on flight recorder (lock-free per-thread event rings drained
+//!    into CRC-framed dumps), a scoped sampling profiler exporting folded
+//!    stacks, and an SLO engine with multi-window burn-rate breach
+//!    detection that fires a flight dump so every alert carries its own
+//!    evidence.
 //!
 //! The crate is intentionally `std`-only: it must be usable from every
 //! layer (wire, relay, core, fabric) without adding dependencies.
@@ -25,13 +31,18 @@
 
 pub mod clock;
 pub mod export;
+pub mod flight;
 pub mod handle;
 pub mod metrics;
+pub mod profile;
+pub mod slo;
 pub mod span;
 pub mod trace;
 pub mod waterfall;
 
+pub use flight::{FlightKind, FlightRecord};
 pub use handle::{MetricSource, ObsHandle};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use slo::{Slo, SloConfig, SloStatus};
 pub use span::{RecordErr, Span, SpanRecord, SpanStatus};
 pub use trace::{ContextGuard, TraceContext};

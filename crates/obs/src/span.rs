@@ -227,6 +227,12 @@ impl Span {
         if !ctx.is_recording() {
             return Span::inert();
         }
+        crate::flight::record(
+            crate::flight::FlightKind::SpanOpen,
+            0,
+            ctx.span_id,
+            ctx.trace_lo,
+        );
         Span {
             inner: Some(SpanRecord {
                 name,
@@ -276,6 +282,22 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(mut rec) = self.inner.take() {
             rec.end_nanos = now_nanos();
+            if rec.is_error() {
+                crate::flight::record(
+                    crate::flight::FlightKind::SpanFail,
+                    0,
+                    rec.span_id,
+                    rec.duration_nanos(),
+                );
+                crate::flight::maybe_error_dump(rec.name);
+            } else {
+                crate::flight::record(
+                    crate::flight::FlightKind::SpanClose,
+                    0,
+                    rec.span_id,
+                    rec.duration_nanos(),
+                );
+            }
             record(rec);
         }
     }

@@ -91,6 +91,7 @@ impl AdmissionController {
     /// Admits or sheds a request arriving at `queue_depth` with `budget`
     /// left before its deadline. On shed, returns the wait estimate that
     /// disqualified the request.
+    // lint:allow(obs: "Err here is a shed decision, not a failure; the dispatch caller records the admission.shed span event and the flight Admission record")
     pub fn admit(&self, queue_depth: u64, budget: Duration) -> Result<(), Duration> {
         if queue_depth < self.config.burst_floor {
             self.admitted.fetch_add(1, Ordering::Relaxed);

@@ -28,6 +28,19 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+use tdt_obs::flight::{self, FlightKind};
+
+/// FNV-1a over the endpoint string, so breaker flight events can name
+/// the endpoint in 8 bytes (dump consumers correlate the hash across
+/// trip/reject/probe events rather than reversing it).
+fn endpoint_hash(endpoint: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in endpoint.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// Trip and recovery thresholds for a [`CircuitBreaker`].
 #[derive(Debug, Clone)]
@@ -224,19 +237,23 @@ impl CircuitBreaker {
                     state.probe_successes = 0;
                     let admission = state.admit_probe();
                     self.probes.fetch_add(1, Ordering::Relaxed);
+                    flight::record(FlightKind::Breaker, 3, endpoint_hash(endpoint), 0);
                     Ok(admission)
                 } else {
                     self.fast_rejects.fetch_add(1, Ordering::Relaxed);
+                    flight::record(FlightKind::Breaker, 2, endpoint_hash(endpoint), 0);
                     Err(RelayError::CircuitOpen(endpoint.to_string()))
                 }
             }
             BreakerState::HalfOpen => {
                 if state.probe_in_flight {
                     self.fast_rejects.fetch_add(1, Ordering::Relaxed);
+                    flight::record(FlightKind::Breaker, 2, endpoint_hash(endpoint), 1);
                     Err(RelayError::CircuitOpen(endpoint.to_string()))
                 } else {
                     let admission = state.admit_probe();
                     self.probes.fetch_add(1, Ordering::Relaxed);
+                    flight::record(FlightKind::Breaker, 3, endpoint_hash(endpoint), 1);
                     Ok(admission)
                 }
             }
@@ -299,6 +316,12 @@ impl CircuitBreaker {
                 state.probe_in_flight = false;
                 state.probe_successes = 0;
                 self.trips.fetch_add(1, Ordering::Relaxed);
+                flight::record(
+                    FlightKind::Breaker,
+                    1,
+                    endpoint_hash(endpoint),
+                    u64::from(state.consecutive_failures),
+                );
             }
         }
     }

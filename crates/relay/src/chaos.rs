@@ -586,6 +586,22 @@ impl RelayTransport for ChaosTransport {
         if let Some((span, _)) = obs.as_mut() {
             span.event("chaos.fault");
         }
+        if faulty {
+            // One flight event per disturbed operation. The code packs
+            // the decision as a bitset so a dump names the fault mix;
+            // (a, b) = (seed, op) lets a reader replay the schedule.
+            let code = u16::from(decision.drop)
+                | u16::from(decision.delay.is_some()) << 1
+                | u16::from(decision.corrupt.is_some()) << 2
+                | u16::from(decision.duplicate) << 3
+                | u16::from(decision.reorder) << 4
+                | u16::from(decision.start_partition) << 5
+                | u16::from(
+                    self.faults.is_down(endpoint)
+                        || self.faults.is_partitioned(&self.local, endpoint),
+                ) << 6;
+            tdt_obs::flight::record(tdt_obs::FlightKind::Chaos, code, self.schedule.seed(), op);
+        }
         if decision.start_partition && !self.faults.is_partitioned(&self.local, endpoint) {
             self.faults.partition(self.local.clone(), endpoint);
             self.scheduled.lock().push(ScheduledPartition {

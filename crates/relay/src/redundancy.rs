@@ -458,6 +458,12 @@ impl RelayGroup {
                 if hedged {
                     self.hedges.fetch_add(1, Ordering::Relaxed);
                     span.event("hedge.fired");
+                    tdt_obs::flight::record(
+                        tdt_obs::FlightKind::Hedge,
+                        0,
+                        index as u64,
+                        started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+                    );
                 }
                 let member = Arc::clone(member);
                 let query = query.clone();

@@ -256,6 +256,12 @@ impl RetryingTransport {
                     };
                     self.retries.fetch_add(1, Ordering::Relaxed);
                     span.event("retry.attempt");
+                    tdt_obs::flight::record(
+                        tdt_obs::FlightKind::Retry,
+                        u16::try_from(attempt + 1).unwrap_or(u16::MAX),
+                        delay.as_nanos().min(u128::from(u64::MAX)) as u64,
+                        0,
+                    );
                     if !delay.is_zero() {
                         std::thread::sleep(delay);
                     }

@@ -26,8 +26,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, Weak};
 use std::time::{Duration, Instant};
 use tdt_crypto::certcache::CertChainCache;
+use tdt_obs::flight::{self, FlightKind};
 use tdt_obs::metrics::Histogram;
 use tdt_obs::span::{self as obs_span, RecordErr, Span};
+use tdt_obs::Slo;
 use tdt_wire::codec::Message;
 use tdt_wire::messages::{
     AuthInfo, EnvelopeKind, EventNotice, EventSubscribeRequest, Query, QueryResponse, RelayEnvelope,
@@ -428,6 +430,7 @@ pub struct RelayService {
     down: AtomicBool,
     breaker: Option<Arc<CircuitBreaker>>,
     admission: Option<Arc<AdmissionController>>,
+    slo: Option<Arc<Slo>>,
     stats: RelayStats,
 }
 
@@ -465,6 +468,7 @@ impl RelayService {
             down: AtomicBool::new(false),
             breaker: None,
             admission: None,
+            slo: None,
             stats: RelayStats::default(),
         }
     }
@@ -505,6 +509,17 @@ impl RelayService {
         let admission = Arc::new(AdmissionController::new(config));
         self.stats.admission.set(Arc::clone(&admission)).ok();
         self.admission = Some(admission);
+        self
+    }
+
+    /// Attaches a service-level objective that every handled envelope is
+    /// scored against (builder style): latency from dispatch to reply,
+    /// availability from whether the reply is an error envelope. Breach
+    /// detection (multi-window burn rate) runs inside the [`Slo`]; wire
+    /// the same handle through [`tdt_obs::slo::register_slo`] to export
+    /// its burn gauges.
+    pub fn with_slo(mut self, slo: Arc<Slo>) -> Self {
+        self.slo = Some(slo);
         self
     }
 
@@ -816,6 +831,12 @@ impl RelayService {
                 let remote = crate::telemetry::context_from_envelope(&envelope);
                 let (mut span, _obs_guard) = obs_span::enter_remote("relay.admission", &remote);
                 span.event("admission.shed");
+                flight::record(
+                    FlightKind::Admission,
+                    1,
+                    depth,
+                    budget.as_nanos().min(u128::from(u64::MAX)) as u64,
+                );
                 let message = format!(
                     "{OVERLOADED_PREFIX}queue depth {depth} implies ~{estimated:?} wait \
                      against a {budget:?} deadline budget"
@@ -845,6 +866,12 @@ impl RelayService {
             Ok(reply) => reply,
             Err(RecvTimeoutError::Timeout) => {
                 self.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                flight::record(
+                    FlightKind::Admission,
+                    2,
+                    self.stats.queue_depth.load(Ordering::Relaxed),
+                    self.request_deadline.as_nanos().min(u128::from(u64::MAX)) as u64,
+                );
                 RelayEnvelope::error(
                     self.id.clone(),
                     dest_network,
@@ -871,6 +898,7 @@ impl RelayService {
     /// context is re-installed here from the envelope's wire header
     /// rather than inherited from the dispatching thread.
     fn process_envelope(&self, envelope: RelayEnvelope) -> RelayEnvelope {
+        tdt_obs::profile_scope!("relay.dispatch");
         let remote = crate::telemetry::context_from_envelope(&envelope);
         let (mut span, _obs_guard) = obs_span::enter_remote("relay.handle", &remote);
         if self.is_down() {
@@ -1105,7 +1133,11 @@ impl EnvelopeHandler for RelayService {
     fn handle(&self, envelope: RelayEnvelope) -> RelayEnvelope {
         let start = Instant::now();
         let reply = self.dispatch(envelope, start);
-        self.stats.record_latency(start.elapsed());
+        let latency = start.elapsed();
+        self.stats.record_latency(latency);
+        if let Some(slo) = &self.slo {
+            slo.record(latency, reply.kind != EnvelopeKind::Error);
+        }
         reply
     }
 }

@@ -229,6 +229,31 @@ impl MetricSource for RelayMetricSource {
                  count indicates leaked rings)",
             )
             .set(tdt_obs::span::live_rings().min(i64::MAX as u64) as i64);
+        // Flight-recorder and profiler health, equally process-global.
+        registry
+            .counter(
+                "tdt_obs_flight_events_total",
+                "Events written to the flight recorder since process start",
+            )
+            .set(tdt_obs::flight::events_recorded());
+        registry
+            .counter(
+                "tdt_obs_flight_dumps_total",
+                "Incident dumps taken (on demand, on error, or on SLO breach)",
+            )
+            .set(tdt_obs::flight::dumps_taken());
+        registry
+            .gauge(
+                "tdt_obs_flight_rings",
+                "Per-thread flight-recorder rings currently alive",
+            )
+            .set(tdt_obs::flight::live_rings().min(i64::MAX as u64) as i64);
+        registry
+            .counter(
+                "tdt_obs_profile_samples_total",
+                "Stack observations taken by the sampling profiler",
+            )
+            .set(tdt_obs::profile::samples_total());
     }
 }
 

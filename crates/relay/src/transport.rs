@@ -593,9 +593,16 @@ pub struct TcpServerConfig {
     pub max_frame: usize,
     /// When set, the server also binds a loopback admin listener serving
     /// this handle's unified metrics: Prometheus text at `GET /metrics`,
-    /// a JSON snapshot at `GET /metrics.json`. See
+    /// a JSON snapshot at `GET /metrics.json`, liveness at `GET /healthz`,
+    /// readiness at `GET /readyz`, a flight-recorder dump at
+    /// `GET /debug/flightrec`, and an on-demand folded-stack profile at
+    /// `GET /debug/profile?seconds=N&hz=M`. See
     /// [`TcpRelayServer::admin_endpoint`].
     pub obs: Option<Arc<ObsHandle>>,
+    /// Readiness state consulted by `GET /readyz`. When unset the server
+    /// reports ready unconditionally (liveness still comes from
+    /// `/healthz`).
+    pub readiness: Option<Arc<Readiness>>,
 }
 
 impl Default for TcpServerConfig {
@@ -607,7 +614,58 @@ impl Default for TcpServerConfig {
                 .max(4),
             max_frame: DEFAULT_MAX_FRAME,
             obs: None,
+            readiness: None,
         }
+    }
+}
+
+/// Readiness state behind the admin endpoint's `GET /readyz`: the relay
+/// is ready once ledger recovery has completed and while no circuit is
+/// open. Share one instance between the recovery path (which calls
+/// [`Readiness::set_recovered`]) and the server config.
+#[derive(Debug, Default)]
+pub struct Readiness {
+    recovered: AtomicBool,
+    breaker: Mutex<Option<Arc<crate::breaker::CircuitBreaker>>>,
+}
+
+impl Readiness {
+    /// A gate that is not yet recovered and watches no breaker.
+    pub fn new() -> Readiness {
+        Readiness::default()
+    }
+
+    /// A gate for a relay with no durable ledger: recovery is vacuously
+    /// complete.
+    pub fn recovered() -> Readiness {
+        let r = Readiness::default();
+        r.set_recovered(true);
+        r
+    }
+
+    /// Marks ledger recovery complete (or, with `false`, in progress).
+    pub fn set_recovered(&self, done: bool) {
+        self.recovered.store(done, Ordering::Release);
+    }
+
+    /// Attaches the circuit breaker whose open circuits gate readiness.
+    pub fn watch_breaker(&self, breaker: Arc<crate::breaker::CircuitBreaker>) {
+        *self.breaker.lock() = Some(breaker);
+    }
+
+    /// `Ok` when ready; `Err` carries the human-readable reason served
+    /// with the 503.
+    pub fn check(&self) -> Result<(), String> {
+        if !self.recovered.load(Ordering::Acquire) {
+            return Err("ledger recovery incomplete".into());
+        }
+        if let Some(breaker) = self.breaker.lock().as_ref() {
+            let open = breaker.open_endpoints();
+            if open > 0 {
+                return Err(format!("{open} circuit(s) open or half-open"));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -723,9 +781,10 @@ impl TcpRelayServer {
                     .set_nonblocking(true)
                     .map_err(|e| RelayError::TransportFailed(format!("set nonblocking: {e}")))?;
                 let shutdown = Arc::clone(&shutdown);
+                let readiness = config.readiness.clone();
                 let thread = std::thread::Builder::new()
                     .name("tcp-relay-admin".into())
-                    .spawn(move || admin_loop(&admin_listener, &shutdown, &obs))
+                    .spawn(move || admin_loop(&admin_listener, &shutdown, &obs, readiness))
                     .map_err(|e| spawn_failed("spawn tcp relay admin loop", e))?;
                 (Some(admin_addr), Some(thread))
             }
@@ -823,14 +882,64 @@ impl Drop for TcpRelayServer {
     }
 }
 
-/// Accept loop of the loopback admin listener: one short-lived HTTP
-/// exchange per connection, served inline (metrics scrapes are rare and
-/// cheap, so no thread pool).
-fn admin_loop(listener: &TcpListener, shutdown: &AtomicBool, obs: &ObsHandle) {
+/// Hard ceiling on an admin request head (slowloris guard: a client
+/// that sends more than this without finishing its headers is cut off).
+const ADMIN_MAX_HEAD: usize = 8192;
+
+/// Overall deadline for reading an admin request head. This is a
+/// *total* budget, not a per-read timeout: a slowloris client dripping
+/// one byte every 1.9 s used to hold the old reader forever because
+/// each byte reset the 2 s read timeout.
+const ADMIN_HEAD_DEADLINE: Duration = Duration::from_secs(2);
+
+/// Concurrent admin requests served; excess get a fast 503 so a scrape
+/// storm cannot exhaust threads.
+const ADMIN_MAX_CONCURRENT: usize = 8;
+
+/// Longest profile window `GET /debug/profile` will run, bounding both
+/// the serving thread's lifetime and shutdown latency.
+const ADMIN_MAX_PROFILE_SECONDS: f64 = 10.0;
+
+/// Accept loop of the loopback admin listener. Each exchange is served
+/// on its own short-lived thread (bounded by [`ADMIN_MAX_CONCURRENT`])
+/// so a multi-second profile capture or a slow client never blocks
+/// concurrent metric scrapes.
+fn admin_loop(
+    listener: &TcpListener,
+    shutdown: &AtomicBool,
+    obs: &Arc<ObsHandle>,
+    readiness: Option<Arc<Readiness>>,
+) {
+    let active = Arc::new(AtomicU64::new(0));
     while !shutdown.load(Ordering::Acquire) {
         match listener.accept() {
-            Ok((stream, _)) => {
-                serve_admin_request(stream, obs).ok();
+            Ok((mut stream, _)) => {
+                if active.load(Ordering::Relaxed) >= ADMIN_MAX_CONCURRENT as u64 {
+                    stream
+                        .set_write_timeout(Some(Duration::from_millis(200)))
+                        .ok();
+                    write_admin_response(
+                        &mut stream,
+                        "503 Service Unavailable",
+                        "text/plain",
+                        b"admin endpoint busy\n",
+                    )
+                    .ok();
+                    continue;
+                }
+                active.fetch_add(1, Ordering::Relaxed);
+                let worker_active = Arc::clone(&active);
+                let obs = Arc::clone(obs);
+                let readiness = readiness.clone();
+                let spawned = std::thread::Builder::new()
+                    .name("tcp-relay-admin-worker".into())
+                    .spawn(move || {
+                        serve_admin_request(stream, &obs, readiness.as_deref()).ok();
+                        worker_active.fetch_sub(1, Ordering::Relaxed);
+                    });
+                if spawned.is_err() {
+                    active.fetch_sub(1, Ordering::Relaxed);
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
@@ -840,21 +949,94 @@ fn admin_loop(listener: &TcpListener, shutdown: &AtomicBool, obs: &ObsHandle) {
     }
 }
 
-/// Answers one admin HTTP request. Only the request line matters; any
-/// headers the client sent are read and discarded.
-fn serve_admin_request(mut stream: TcpStream, obs: &ObsHandle) -> std::io::Result<()> {
-    stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+/// Reads a request head under both a size cap and a *total* deadline.
+/// Returns the head bytes, or `None` when the budget ran out first.
+fn read_admin_head(stream: &mut TcpStream) -> std::io::Result<Option<Vec<u8>>> {
+    let deadline = std::time::Instant::now() + ADMIN_HEAD_DEADLINE;
     let mut head = Vec::new();
     let mut buf = [0u8; 512];
-    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 8192 {
-        let n = stream.read(&mut buf)?;
-        if n == 0 {
-            break;
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < ADMIN_MAX_HEAD {
+        let now = std::time::Instant::now();
+        if now >= deadline {
+            return Ok(None);
         }
-        head.extend_from_slice(buf.get(..n).unwrap_or_default());
+        stream.set_read_timeout(Some(deadline - now))?;
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(buf.get(..n).unwrap_or_default()),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Ok(None);
+            }
+            Err(e) => return Err(e),
+        }
     }
+    Ok(Some(head))
+}
+
+fn write_admin_response(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    stream.shutdown(Shutdown::Both).ok();
+    Ok(())
+}
+
+/// Parses `?seconds=N&hz=M` off a profile request path, with clamped
+/// defaults (1 s at the profiler's default rate).
+fn parse_profile_query(query: Option<&str>) -> (Duration, u64) {
+    let mut seconds = 1.0f64;
+    let mut hz = tdt_obs::profile::DEFAULT_HZ;
+    for pair in query.unwrap_or("").split('&') {
+        match pair.split_once('=') {
+            Some(("seconds", v)) => {
+                if let Ok(s) = v.parse::<f64>() {
+                    seconds = s;
+                }
+            }
+            Some(("hz", v)) => {
+                if let Ok(h) = v.parse::<u64>() {
+                    hz = h;
+                }
+            }
+            _ => {}
+        }
+    }
+    let seconds = seconds.clamp(0.05, ADMIN_MAX_PROFILE_SECONDS);
+    (Duration::from_secs_f64(seconds), hz.clamp(1, 1000))
+}
+
+/// Answers one admin HTTP request. Only the request line matters; any
+/// headers the client sent are read and discarded.
+fn serve_admin_request(
+    mut stream: TcpStream,
+    obs: &ObsHandle,
+    readiness: Option<&Readiness>,
+) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let head = match read_admin_head(&mut stream)? {
+        Some(head) => head,
+        None => {
+            return write_admin_response(
+                &mut stream,
+                "408 Request Timeout",
+                "text/plain",
+                b"request head not received in time\n",
+            );
+        }
+    };
     let request_line = head
         .split(|&b| b == b'\r' || b == b'\n')
         .next()
@@ -862,25 +1044,45 @@ fn serve_admin_request(mut stream: TcpStream, obs: &ObsHandle) -> std::io::Resul
     let request_line = String::from_utf8_lossy(request_line);
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let (status, content_type, body) = match (method, path) {
-        ("GET", "/metrics") => ("200 OK", "text/plain; version=0.0.4", obs.prometheus_text()),
-        ("GET", "/metrics.json") => ("200 OK", "application/json", obs.json_text()),
-        ("GET", _) => ("404 Not Found", "text/plain", "not found\n".to_string()),
+    let target = parts.next().unwrap_or("");
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let (status, content_type, body): (&str, &str, Vec<u8>) = match (method, path) {
+        ("GET", "/metrics") => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            obs.prometheus_text().into_bytes(),
+        ),
+        ("GET", "/metrics.json") => ("200 OK", "application/json", obs.json_text().into_bytes()),
+        ("GET", "/healthz") => ("200 OK", "text/plain", b"ok\n".to_vec()),
+        ("GET", "/readyz") => match readiness.map_or(Ok(()), Readiness::check) {
+            Ok(()) => ("200 OK", "text/plain", b"ready\n".to_vec()),
+            Err(reason) => (
+                "503 Service Unavailable",
+                "text/plain",
+                format!("not ready: {reason}\n").into_bytes(),
+            ),
+        },
+        ("GET", "/debug/flightrec") => (
+            "200 OK",
+            "application/octet-stream",
+            tdt_obs::flight::dump("admin: GET /debug/flightrec"),
+        ),
+        ("GET", "/debug/profile") => {
+            let (duration, hz) = parse_profile_query(query);
+            let report = tdt_obs::profile::sample_for(duration, hz);
+            ("200 OK", "text/plain", report.folded_text().into_bytes())
+        }
+        ("GET", _) => ("404 Not Found", "text/plain", b"not found\n".to_vec()),
         _ => (
             "405 Method Not Allowed",
             "text/plain",
-            "method not allowed\n".to_string(),
+            b"method not allowed\n".to_vec(),
         ),
     };
-    let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    stream.write_all(response.as_bytes())?;
-    stream.flush()?;
-    stream.shutdown(Shutdown::Both).ok();
-    Ok(())
+    write_admin_response(&mut stream, status, content_type, &body)
 }
 
 fn accept_loop(

@@ -17,8 +17,8 @@ use tdt::relay::discovery::{DiscoveryService, FileRegistry};
 use tdt::relay::service::RelayService;
 use tdt::relay::telemetry::register_relay;
 use tdt::relay::transport::{
-    EnvelopeHandler, PooledTcpTransport, RelayTransport, TcpRelayServer, TcpServerConfig,
-    TcpTransport,
+    EnvelopeHandler, PooledTcpTransport, Readiness, RelayTransport, TcpRelayServer,
+    TcpServerConfig, TcpTransport,
 };
 use tdt::wire::codec::Message;
 use tdt::wire::messages::{NetworkAddress, VerificationPolicy};
@@ -31,22 +31,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Source-side relay served over TCP.
     let registry_path =
         std::env::temp_dir().join(format!("tdt-registry-{}.txt", std::process::id()));
-    let stl_relay = Arc::new(RelayService::new(
+    // An SLO on the serving relay: 50 ms latency objective, with burn-rate
+    // breach detection feeding the flight recorder.
+    let slo = Arc::new(tdt::obs::Slo::new(tdt::obs::SloConfig::new(
         "stl-relay-tcp",
-        "stl",
-        Arc::new(FileRegistry::new(&registry_path)) as Arc<dyn DiscoveryService>,
-        Arc::new(TcpTransport::new()) as Arc<dyn RelayTransport>,
-    ));
+        std::time::Duration::from_millis(50),
+    )));
+    let stl_relay = Arc::new(
+        RelayService::new(
+            "stl-relay-tcp",
+            "stl",
+            Arc::new(FileRegistry::new(&registry_path)) as Arc<dyn DiscoveryService>,
+            Arc::new(TcpTransport::new()) as Arc<dyn RelayTransport>,
+        )
+        .with_slo(Arc::clone(&slo)),
+    );
     stl_relay.register_driver(Arc::new(FabricDriver::new(Arc::clone(&testbed.stl))));
     // Unified observability: the server exposes the relay's counters,
-    // gauges and the latency histogram on a loopback admin endpoint.
+    // gauges, the latency histogram, and the SLO burn gauges on a
+    // loopback admin endpoint, plus health/readiness and the debug
+    // surface (flight recorder, profiler).
     let obs = Arc::new(ObsHandle::new());
     register_relay(&obs, &stl_relay);
+    obs.add_source(Arc::new(tdt::obs::slo::SloMetricSource::new(&slo)));
+    let readiness = Arc::new(Readiness::recovered());
     let server = TcpRelayServer::spawn_with(
         "127.0.0.1:0",
         Arc::clone(&stl_relay) as Arc<dyn EnvelopeHandler>,
         TcpServerConfig {
             obs: Some(Arc::clone(&obs)),
+            readiness: Some(Arc::clone(&readiness)),
             ..TcpServerConfig::default()
         },
     )?;
@@ -149,9 +163,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             || l.starts_with("tdt_relay_forwarded_total")
             || l.starts_with("tdt_relay_latency_ns_count")
             || l.starts_with("tdt_relay_latency_ns_max")
+            || l.starts_with("tdt_slo_")
     }) {
         println!("  {line}");
     }
+
+    // The rest of the admin surface: liveness, readiness, a profiler
+    // capture, and a flight-recorder dump of everything this demo did.
+    let scrape = |path: &str| -> Result<Vec<u8>, Box<dyn std::error::Error>> {
+        let mut stream = TcpStream::connect(host)?;
+        write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n"
+        )?;
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw)?;
+        let split = raw
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .ok_or("no header/body split")?;
+        Ok(raw[split + 4..].to_vec())
+    };
+    let health = String::from_utf8(scrape("/healthz")?)?;
+    let ready = String::from_utf8(scrape("/readyz")?)?;
+    println!("healthz: {} readyz: {}", health.trim(), ready.trim());
+    let folded = String::from_utf8(scrape("/debug/profile?seconds=0.2&hz=97")?)?;
+    let profile_rows =
+        tdt::obs::profile::parse_folded(&folded).map_err(|e| format!("bad folded stacks: {e}"))?;
+    println!(
+        "profiler: {} folded path(s) in a 0.2s capture",
+        profile_rows.len()
+    );
+    let dump = tdt::obs::flight::decode_dump(&scrape("/debug/flightrec")?)
+        .map_err(|e| format!("bad flight dump: {e}"))?;
+    println!(
+        "flight recorder: {} event(s), dump reason {:?}",
+        dump.records.len(),
+        dump.reason
+    );
     std::fs::remove_file(&registry_path).ok();
     server.shutdown();
     println!("done.");

@@ -64,6 +64,15 @@ fn harness_exposition() -> String {
     handle.add_source(Arc::new(
         tdt::ledger::storage::telemetry::StorageMetricSource::new(backend.stats()),
     ));
+
+    // An SLO tracker with one recorded request, so the tdt_slo_* burn
+    // gauges join the inventory.
+    let slo = Arc::new(tdt::obs::Slo::new(tdt::obs::SloConfig::new(
+        "golden",
+        std::time::Duration::from_millis(50),
+    )));
+    slo.record(std::time::Duration::from_millis(1), true);
+    handle.add_source(Arc::new(tdt::obs::slo::SloMetricSource::new(&slo)));
     handle.prometheus_text()
 }
 
